@@ -1,0 +1,175 @@
+//! Criterion microbenches of the hot substrate paths: atomic image
+//! accumulation, PSF evaluation, coalescing analysis, the texture cache,
+//! and image encoding.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpusim::memory::cache::CacheSim;
+use gpusim::warp::{bank_conflict_extra, coalesce_transactions};
+use psf::{GaussianPsf, IntegratedGaussianPsf, MoffatPsf, SmearedGaussianPsf};
+use starfield::{triad, Attitude, Observation, SkyStar};
+use starimage::io::bmp::write_bmp_gray8;
+use starimage::{apply_noise, label_blobs, AtomicImage, ImageF32, NoiseModel};
+
+fn bench_atomic_image(c: &mut Criterion) {
+    let img = AtomicImage::new(1024, 1024);
+    c.bench_function("atomic_image_fetch_add_1k", |b| {
+        b.iter(|| {
+            for i in 0..1000usize {
+                img.fetch_add(black_box(i * 1049 % (1024 * 1024)), 0.5);
+            }
+        });
+    });
+}
+
+fn bench_psf_eval(c: &mut Criterion) {
+    let point = GaussianPsf::new(2.0);
+    let integ = IntegratedGaussianPsf::new(2.0);
+    c.bench_function("psf_point_eval_100", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for j in 0..10 {
+                for i in 0..10 {
+                    acc += point.eval(i as f32, j as f32, 4.5, 4.5);
+                }
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("psf_integrated_eval_100", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for j in 0..10 {
+                for i in 0..10 {
+                    acc += integ.eval(i as f32, j as f32, 4.5, 4.5);
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_warp_analysis(c: &mut Criterion) {
+    let coalesced: Vec<(u64, u16)> = (0..32).map(|i| (i * 4, 4)).collect();
+    let scattered: Vec<(u64, u16)> = (0..32).map(|i| (i * 4096, 4)).collect();
+    c.bench_function("coalesce_coalesced_warp", |b| {
+        b.iter(|| coalesce_transactions(black_box(&coalesced), 128));
+    });
+    c.bench_function("coalesce_scattered_warp", |b| {
+        b.iter(|| coalesce_transactions(black_box(&scattered), 128));
+    });
+    let words: Vec<u32> = (0..32).map(|i| i * 32).collect();
+    c.bench_function("bank_conflict_analysis", |b| {
+        b.iter(|| bank_conflict_extra(black_box(&words), 32));
+    });
+}
+
+fn bench_texture_cache(c: &mut Criterion) {
+    c.bench_function("cache_sim_streaming_4k", |b| {
+        let mut cache = CacheSim::new(48 * 1024, 128, 16);
+        b.iter(|| {
+            let mut hits = 0u64;
+            for addr in (0..16384u64).step_by(4) {
+                if cache.access(addr) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+}
+
+fn bench_bmp_encode(c: &mut Criterion) {
+    let img = ImageF32::new(1024, 1024);
+    let gray = starimage::to_gray8(&img, starimage::GrayMap::linear(1.0));
+    c.bench_function("bmp_encode_1024", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(1024 * 1024 + 2048);
+            write_bmp_gray8(&mut buf, 1024, 1024, black_box(&gray)).unwrap();
+            black_box(buf)
+        });
+    });
+}
+
+fn bench_extension_psfs(c: &mut Criterion) {
+    let smear = SmearedGaussianPsf::new(1.5, 6.0, 0.5);
+    let moffat = MoffatPsf::with_gaussian_fwhm(1.5, 2.5);
+    c.bench_function("psf_smeared_eval_100", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for j in 0..10 {
+                for i in 0..10 {
+                    acc += smear.eval(i as f32, j as f32, 4.5, 4.5);
+                }
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("psf_moffat_eval_100", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for j in 0..10 {
+                for i in 0..10 {
+                    acc += moffat.eval(i as f32, j as f32, 4.5, 4.5);
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    // A 256² frame with ~50 blobs: the extraction paths.
+    let mut img = ImageF32::new(256, 256);
+    for k in 0..50usize {
+        let (cx, cy) = ((k * 37 % 240 + 8) as f32, (k * 53 % 240 + 8) as f32);
+        for dy in -4i64..=4 {
+            for dx in -4i64..=4 {
+                let v = 5.0 * (-((dx * dx + dy * dy) as f32) / 4.0).exp();
+                img.add((cx as i64 + dx) as usize, (cy as i64 + dy) as usize, v);
+            }
+        }
+    }
+    c.bench_function("label_blobs_256", |b| {
+        b.iter(|| black_box(label_blobs(&img, 1e-3, 3)));
+    });
+    c.bench_function("detect_stars_256", |b| {
+        b.iter(|| black_box(starimage::detect_stars(&img, starimage::CentroidParams::default())));
+    });
+}
+
+fn bench_noise_and_triad(c: &mut Criterion) {
+    c.bench_function("apply_noise_256", |b| {
+        let base = ImageF32::from_data(256, 256, vec![0.5; 256 * 256]);
+        b.iter(|| {
+            let mut img = base.clone();
+            apply_noise(&mut img, NoiseModel::quiet(), 7);
+            black_box(img)
+        });
+    });
+    let truth = Attitude::pointing(1.2, 0.3, 0.7);
+    let observations: Vec<Observation> = (0..10)
+        .map(|k| {
+            let d = SkyStar::new(0.3 + k as f64 * 0.2, 0.1 * k as f64 - 0.4, 3.0).direction();
+            Observation {
+                body: truth.to_body(d),
+                inertial: d,
+            }
+        })
+        .collect();
+    c.bench_function("triad_10_observations", |b| {
+        b.iter(|| black_box(triad(black_box(&observations)).unwrap()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_atomic_image,
+    bench_psf_eval,
+    bench_extension_psfs,
+    bench_extraction,
+    bench_noise_and_triad,
+    bench_warp_analysis,
+    bench_texture_cache,
+    bench_bmp_encode
+);
+criterion_main!(benches);

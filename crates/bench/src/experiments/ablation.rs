@@ -1,0 +1,67 @@
+//! Ablation: star-centric vs pixel-centric decomposition (paper §III-B.1,
+//! Fig. 3) — the quantitative version of the paper's design argument.
+//!
+//! Runs on a reduced 256×256 image because the pixel-centric kernel is
+//! O(pixels × stars).
+
+use starfield::FieldGenerator;
+use starsim_core::{ParallelSimulator, PixelCentricSimulator, SimConfig, Simulator};
+
+use super::format::{ms, Table};
+use super::Context;
+
+/// Runs the ablation and renders its table.
+pub fn run(ctx: &Context) -> Table {
+    let image = 256;
+    let star_counts: &[usize] = if ctx.quick {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let par = ParallelSimulator::new();
+    let pix = PixelCentricSimulator::new();
+
+    let mut t = Table::new(vec![
+        "stars",
+        "star_centric_kernel_ms",
+        "pixel_centric_kernel_ms",
+        "kernel_ratio",
+        "star_centric_divergent",
+        "pixel_centric_divergent",
+    ]);
+    for &n in star_counts {
+        eprintln!("ablation: {n} stars ...");
+        let cat = FieldGenerator::new(image, image).generate(n, ctx.seed);
+        let config = SimConfig::new(image, image, 10);
+        let rp = par.simulate(&cat, &config).expect("star-centric");
+        let rx = pix.simulate(&cat, &config).expect("pixel-centric");
+        let kp = rp.kernel_time_s();
+        let kx = rx.kernel_time_s();
+        t.row(vec![
+            n.to_string(),
+            ms(kp),
+            ms(kx),
+            format!("{:.1}x", kx / kp),
+            rp.profile.kernels[0].counters.divergent_branches.to_string(),
+            rx.profile.kernels[0].counters.divergent_branches.to_string(),
+        ]);
+    }
+    let _ = t.write_csv(&ctx.out_path("ablation.csv"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_runs_quick() {
+        let ctx = Context {
+            quick: true,
+            out_dir: std::env::temp_dir().join("starsim_ablation"),
+            ..Default::default()
+        };
+        let t = run(&ctx);
+        assert_eq!(t.len(), 2);
+    }
+}

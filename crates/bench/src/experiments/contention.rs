@@ -1,0 +1,77 @@
+//! Atomic-contention study (paper §III-B.3): quantifies "the possibility
+//! of ROI overlaying is relatively low, considering that stars in the
+//! image are generally scattered" — and shows when it stops being low.
+
+use starfield::{FieldGenerator, PositionModel};
+use starsim_core::{contention, ParallelSimulator, SimConfig, Simulator};
+
+use super::format::{ms, Table};
+use super::Context;
+
+/// Runs the study over field densities and spatial distributions.
+pub fn run(ctx: &Context) -> Table {
+    let image = 1024;
+    let config = SimConfig::new(image, image, 10);
+    let cases: Vec<(String, PositionModel, usize)> = {
+        let counts: &[usize] = if ctx.quick {
+            &[1 << 10, 1 << 13]
+        } else {
+            &[1 << 10, 1 << 13, 1 << 15, 1 << 17]
+        };
+        let mut v = Vec::new();
+        for &n in counts {
+            v.push((format!("uniform/{n}"), PositionModel::Uniform, n));
+        }
+        v.push((
+            "clustered/8192".into(),
+            PositionModel::Clustered {
+                clusters: 30,
+                sigma_px: 25.0,
+            },
+            1 << 13,
+        ));
+        v
+    };
+
+    let mut t = Table::new(vec![
+        "field",
+        "contention_rate_pct",
+        "max_multiplicity",
+        "overlapped_pixels",
+        "kernel_ms",
+    ]);
+    let par = ParallelSimulator::new();
+    for (label, model, n) in cases {
+        eprintln!("contention: {label} ...");
+        let catalog = FieldGenerator::new(image, image)
+            .positions(model)
+            .generate(n, ctx.seed);
+        let profile = contention::analyze(&catalog, &config);
+        let report = par.simulate(&catalog, &config).expect("parallel");
+        t.row(vec![
+            label,
+            format!("{:.2}", profile.contention_rate() * 100.0),
+            profile.max_multiplicity.to_string(),
+            profile.overlapped_pixels().to_string(),
+            ms(report.kernel_time_s()),
+        ]);
+    }
+    let _ = t.write_csv(&ctx.out_path("contention.csv"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_study_runs_quick() {
+        let ctx = Context {
+            quick: true,
+            out_dir: std::env::temp_dir().join("starsim_contention"),
+            ..Default::default()
+        };
+        let t = run(&ctx);
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Device sensitivity: the paper's design on other GPU generations.
+//!
+//! The paper notes its limits "can be improved with the development of GPU
+//! general computing" (§V); this experiment reruns the 2^13-star workload
+//! on the previous generation (GTX280, CC 1.3) and a compute-class Fermi
+//! (Tesla C2050) to show how the architecture moves the numbers.
+
+use gpusim::{DeviceSpec, VirtualGpu};
+use starfield::workload;
+use starsim_core::{AdaptiveSimulator, ParallelSimulator, SimConfig, Simulator};
+
+use super::format::{ms, Table};
+use super::Context;
+
+/// Runs the paper's inflection-point workload on three device specs.
+pub fn run(ctx: &Context) -> Table {
+    let exponent = if ctx.quick { 11 } else { 13 };
+    let w = workload::test1(exponent, ctx.seed);
+    let config = SimConfig::new(w.image_size, w.image_size, w.roi_side);
+
+    let devices: Vec<DeviceSpec> = vec![
+        DeviceSpec::gtx280(),
+        DeviceSpec::gtx480(),
+        DeviceSpec::tesla_c2050(),
+    ];
+
+    let mut t = Table::new(vec![
+        "device",
+        "sms",
+        "parallel_kernel_ms",
+        "adaptive_kernel_ms",
+        "parallel_app_ms",
+        "adaptive_app_ms",
+        "winner",
+    ]);
+    for spec in devices {
+        eprintln!("devices: {} ...", spec.name);
+        let name = spec.name;
+        let sms = spec.sm_count;
+        let par = ParallelSimulator::on(VirtualGpu::new(spec.clone()));
+        let ada = AdaptiveSimulator::on(VirtualGpu::new(spec));
+        let rp = par.simulate(&w.catalog, &config).expect("parallel");
+        let ra = ada.simulate(&w.catalog, &config).expect("adaptive");
+        let winner = if rp.app_time_s <= ra.app_time_s {
+            "parallel"
+        } else {
+            "adaptive"
+        };
+        t.row(vec![
+            name.to_string(),
+            sms.to_string(),
+            ms(rp.kernel_time_s()),
+            ms(ra.kernel_time_s()),
+            ms(rp.app_time_s),
+            ms(ra.app_time_s),
+            winner.to_string(),
+        ]);
+    }
+    let _ = t.write_csv(&ctx.out_path("devices.csv"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_sweep_runs_quick() {
+        let ctx = Context {
+            quick: true,
+            out_dir: std::env::temp_dir().join("starsim_devices"),
+            ..Default::default()
+        };
+        let t = run(&ctx);
+        assert_eq!(t.len(), 3);
+    }
+}

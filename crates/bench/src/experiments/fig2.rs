@@ -1,0 +1,68 @@
+//! Fig. 2 — "a segment of simulated star image (1024*1024) with 2252 stars
+//! projected": renders the scene and writes a BMP next to the CSVs.
+
+use starfield::FieldGenerator;
+use starimage::io::bmp::write_bmp;
+use starimage::{stats, GrayMap};
+use starsim_core::{ParallelSimulator, SimConfig, Simulator};
+
+use super::format::Table;
+use super::Context;
+
+/// The star count of the paper's Fig. 2.
+pub const FIG2_STARS: usize = 2252;
+
+/// Renders the Fig. 2 scene; returns a one-row summary table.
+pub fn run(ctx: &Context) -> Table {
+    let size = if ctx.quick { 256 } else { 1024 };
+    let stars = if ctx.quick { FIG2_STARS / 16 } else { FIG2_STARS };
+    let cat = FieldGenerator::new(size, size).generate(stars, ctx.seed);
+    let config = SimConfig::new(size, size, 10);
+    let report = ParallelSimulator::new()
+        .simulate(&cat, &config)
+        .expect("fig2 render");
+
+    let path = ctx.out_path("fig2.bmp");
+    let mut file = std::fs::File::create(&path).expect("create fig2.bmp");
+    // Gamma lifts the faint wings so the blur effect is visible, as in the
+    // paper's reproduction of the image.
+    write_bmp(&mut file, &report.image, GrayMap::with_gamma(report_white(&report), 2.2))
+        .expect("write fig2.bmp");
+
+    let s = stats(&report.image);
+    let mut t = Table::new(vec!["stars", "image", "lit_pixels", "peak", "file"]);
+    t.row(vec![
+        stars.to_string(),
+        format!("{size}x{size}"),
+        s.lit_pixels.to_string(),
+        format!("{:.3}", s.max),
+        path.display().to_string(),
+    ]);
+    t
+}
+
+fn report_white(report: &starsim_core::SimulationReport) -> f32 {
+    let max = stats(&report.image).max;
+    if max > 0.0 {
+        max
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_saves() {
+        let ctx = Context {
+            quick: true,
+            out_dir: std::env::temp_dir().join("starsim_fig2"),
+            ..Default::default()
+        };
+        let t = run(&ctx);
+        assert_eq!(t.len(), 1);
+        assert!(ctx.out_path("fig2.bmp").exists());
+    }
+}

@@ -1,0 +1,53 @@
+//! Lookup-table build placement (paper §IV-D): CPU vs GPU construction
+//! across table sizes. See `starsim_core::lut_build`.
+
+use starsim_core::{lut_build, SimConfig};
+
+use super::format::{ms, Table};
+use super::Context;
+
+/// Runs the comparison across magnitude-bin counts.
+pub fn run(ctx: &Context) -> Table {
+    let bin_counts: &[usize] = if ctx.quick {
+        &[16, 128]
+    } else {
+        &[16, 128, 1024, 4096]
+    };
+    let mut t = Table::new(vec![
+        "mag_bins",
+        "entries",
+        "cpu_build_ms",
+        "gpu_build_ms",
+        "winner",
+    ]);
+    for &bins in bin_counts {
+        eprintln!("lutbuild: {bins} bins ...");
+        let mut config = SimConfig::new(1024, 1024, 10);
+        config.lut_mag_bins = bins;
+        let (cmp, _) = lut_build::compare_builds(&config).expect("comparison");
+        t.row(vec![
+            bins.to_string(),
+            cmp.entries.to_string(),
+            ms(cmp.cpu_build_s),
+            ms(cmp.gpu_build_s),
+            if cmp.cpu_wins() { "cpu" } else { "gpu" }.to_string(),
+        ]);
+    }
+    let _ = t.write_csv(&ctx.out_path("lutbuild.csv"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lutbuild_study_runs_quick() {
+        let ctx = Context {
+            quick: true,
+            out_dir: std::env::temp_dir().join("starsim_lutbuild"),
+            ..Default::default()
+        };
+        assert_eq!(run(&ctx).len(), 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! The experiment suite: one module per paper table/figure group.
+
+pub mod ablation;
+pub mod contention;
+pub mod devices;
+pub mod fig2;
+pub mod format;
+pub mod lutbuild;
+pub mod multigpu;
+pub mod session;
+pub mod streams;
+pub mod table3;
+pub mod test1;
+pub mod test2;
+
+use std::path::PathBuf;
+
+/// Shared experiment settings.
+#[derive(Debug, Clone)]
+pub struct Context {
+    /// Reduced sweeps for CI / smoke runs.
+    pub quick: bool,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Directory CSV artefacts are written into.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context {
+            quick: false,
+            seed: 2012,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Context {
+    /// Ensures the output directory exists and returns the path of `name`.
+    pub fn out_path(&self, name: &str) -> PathBuf {
+        let _ = std::fs::create_dir_all(&self.out_dir);
+        self.out_dir.join(name)
+    }
+}
+
+/// Modeled per-ROI-pixel cost of the paper's sequential simulator on its
+/// testbed (one core of a 2.8 GHz Core i7, C++ with libm `expf`/`powf`).
+///
+/// Derived from the paper's own numbers: at 2^17 stars × 100 ROI pixels the
+/// parallel simulator's ≈270× speedup over a GPU application time of a few
+/// milliseconds implies ≈1.9 s of sequential time, i.e. ≈145 ns per ROI
+/// pixel. Speedups against this *reference* baseline are comparable to the
+/// paper's; speedups against the locally measured sequential time depend on
+/// how fast this host's CPU is.
+pub const REFERENCE_SEQ_NS_PER_PIXEL: f64 = 145.0;
+
+/// Reference sequential application time for a workload, seconds.
+pub fn reference_sequential_s(stars: usize, roi_side: usize) -> f64 {
+    let per_star = (roi_side * roi_side) as f64 * REFERENCE_SEQ_NS_PER_PIXEL + 50.0;
+    stars as f64 * per_star * 1e-9
+}

@@ -1,0 +1,60 @@
+//! Multi-GPU scaling (the paper's future work, §V): star partitioning
+//! across 1..8 virtual GTX480s.
+
+use starfield::workload;
+use starsim_core::{MultiGpuSimulator, SimConfig, Simulator};
+
+use super::format::{ms, Table};
+use super::Context;
+
+/// Runs the scaling study and renders its table.
+pub fn run(ctx: &Context) -> Table {
+    let exponent = if ctx.quick { 12 } else { 16 };
+    let device_counts: &[usize] = if ctx.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let w = workload::test1(exponent, ctx.seed);
+    let config = SimConfig::new(w.image_size, w.image_size, w.roi_side);
+
+    let mut t = Table::new(vec![
+        "devices",
+        "slowest_kernel_ms",
+        "app_ms",
+        "kernel_scaling",
+    ]);
+    let mut base_kernel = None;
+    for &n in device_counts {
+        eprintln!("multigpu: {n} device(s), 2^{exponent} stars ...");
+        let sim = MultiGpuSimulator::new(n);
+        let r = sim.simulate(&w.catalog, &config).expect("multi-gpu");
+        let slowest = r
+            .profile
+            .kernels
+            .iter()
+            .map(|k| k.time_s)
+            .fold(0.0f64, f64::max);
+        let base = *base_kernel.get_or_insert(slowest);
+        t.row(vec![
+            n.to_string(),
+            ms(slowest),
+            ms(r.app_time_s),
+            format!("{:.2}x", base / slowest),
+        ]);
+    }
+    let _ = t.write_csv(&ctx.out_path("multigpu.csv"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_runs_quick() {
+        let ctx = Context {
+            quick: true,
+            out_dir: std::env::temp_dir().join("starsim_multigpu"),
+            ..Default::default()
+        };
+        let t = run(&ctx);
+        assert_eq!(t.len(), 3);
+    }
+}

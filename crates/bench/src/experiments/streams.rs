@@ -1,0 +1,47 @@
+//! Stream-pipelining study: how much of the non-kernel transmission
+//! overhead (paper Fig. 12/16) CUDA streams would hide.
+
+use starfield::workload;
+use starsim_core::{streams, ParallelSimulator, SimConfig, Simulator};
+
+use super::format::{ms, Table};
+use super::Context;
+
+/// Runs the study at the top of test 1 where transfers matter most.
+pub fn run(ctx: &Context) -> Table {
+    let exponent = if ctx.quick { 12 } else { 16 };
+    let w = workload::test1(exponent, ctx.seed);
+    let config = SimConfig::new(w.image_size, w.image_size, w.roi_side);
+    eprintln!("streams: 2^{exponent} stars ...");
+    let report = ParallelSimulator::new()
+        .simulate(&w.catalog, &config)
+        .expect("parallel");
+
+    let mut t = Table::new(vec!["streams", "app_ms", "saved_ms", "saved_pct"]);
+    for n in [1usize, 2, 4, 8, 16] {
+        let e = streams::streamed_estimate(&report, n);
+        t.row(vec![
+            n.to_string(),
+            ms(e.app_time_s),
+            ms(e.saved_s),
+            format!("{:.1}", e.saved_s / report.app_time_s * 100.0),
+        ]);
+    }
+    let _ = t.write_csv(&ctx.out_path("streams.csv"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_study_runs_quick() {
+        let ctx = Context {
+            quick: true,
+            out_dir: std::env::temp_dir().join("starsim_streams"),
+            ..Default::default()
+        };
+        assert_eq!(run(&ctx).len(), 5);
+    }
+}

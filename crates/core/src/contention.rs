@@ -1,0 +1,200 @@
+//! ROI-overlap and atomic-contention analysis.
+//!
+//! The paper's §III-B justifies the star-centric design's atomics with a
+//! density argument: "the overhead on atomic operation can be relieved
+//! because the possibility of ROI overlaying is relatively low, considering
+//! that stars in the image are generally scattered". This module makes that
+//! argument checkable for *any* field: it computes the per-pixel ROI
+//! multiplicity map (how many stars' ROIs cover each pixel) and derives the
+//! atomic-serialization exposure from it.
+
+use psf::roi::Roi;
+use starfield::StarCatalog;
+
+use crate::config::SimConfig;
+
+/// The overlap profile of a star field under a given ROI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapProfile {
+    /// Per-pixel ROI multiplicity (how many stars cover each pixel),
+    /// row-major `width × height`.
+    pub multiplicity: Vec<u32>,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Total in-bounds ROI pixel deposits (= atomic adds issued).
+    pub total_deposits: u64,
+    /// Deposits that landed on a pixel some other star also writes —
+    /// the adds exposed to cross-block atomic serialization.
+    pub contended_deposits: u64,
+    /// Maximum multiplicity over the image.
+    pub max_multiplicity: u32,
+}
+
+impl OverlapProfile {
+    /// Fraction of atomic adds exposed to contention, in `[0, 1]`.
+    pub fn contention_rate(&self) -> f64 {
+        if self.total_deposits == 0 {
+            0.0
+        } else {
+            self.contended_deposits as f64 / self.total_deposits as f64
+        }
+    }
+
+    /// Pixels covered by at least one ROI.
+    pub fn covered_pixels(&self) -> usize {
+        self.multiplicity.iter().filter(|&&m| m > 0).count()
+    }
+
+    /// Pixels covered by at least two ROIs (the overlapped region of
+    /// paper Fig. 3a).
+    pub fn overlapped_pixels(&self) -> usize {
+        self.multiplicity.iter().filter(|&&m| m > 1).count()
+    }
+
+    /// Histogram of multiplicities `0 ..= max` (index = multiplicity).
+    pub fn histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.max_multiplicity as usize + 1];
+        for &m in &self.multiplicity {
+            h[m as usize] += 1;
+        }
+        h
+    }
+}
+
+/// Computes the overlap profile of `catalog` under `config`'s ROI.
+pub fn analyze(catalog: &StarCatalog, config: &SimConfig) -> OverlapProfile {
+    let roi = Roi::new(config.roi_side);
+    let (w, h) = (config.width, config.height);
+    let mut multiplicity = vec![0u32; w * h];
+    for star in catalog.stars() {
+        if let Some(clip) = roi.clip(star.pos.x, star.pos.y, w, h) {
+            for (x, y, _, _) in clip.pixels() {
+                multiplicity[y * w + x] += 1;
+            }
+        }
+    }
+    let mut total = 0u64;
+    let mut contended = 0u64;
+    let mut max_mult = 0u32;
+    for &m in &multiplicity {
+        total += m as u64;
+        if m > 1 {
+            contended += m as u64;
+        }
+        max_mult = max_mult.max(m);
+    }
+    OverlapProfile {
+        multiplicity,
+        width: w,
+        height: h,
+        total_deposits: total,
+        contended_deposits: contended,
+        max_multiplicity: max_mult,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfield::{FieldGenerator, PositionModel, Star};
+
+    fn cfg() -> SimConfig {
+        SimConfig::new(128, 128, 10)
+    }
+
+    #[test]
+    fn empty_field_has_no_contention() {
+        let p = analyze(&StarCatalog::new(), &cfg());
+        assert_eq!(p.total_deposits, 0);
+        assert_eq!(p.contention_rate(), 0.0);
+        assert_eq!(p.covered_pixels(), 0);
+        assert_eq!(p.max_multiplicity, 0);
+        assert_eq!(p.histogram(), vec![128 * 128]);
+    }
+
+    #[test]
+    fn single_interior_star_covers_exactly_one_roi() {
+        let cat = StarCatalog::from_stars(vec![Star::new(64.0, 64.0, 3.0)]);
+        let p = analyze(&cat, &cfg());
+        assert_eq!(p.total_deposits, 100);
+        assert_eq!(p.covered_pixels(), 100);
+        assert_eq!(p.overlapped_pixels(), 0);
+        assert_eq!(p.max_multiplicity, 1);
+        assert_eq!(p.contention_rate(), 0.0);
+    }
+
+    #[test]
+    fn coincident_stars_fully_contend() {
+        let cat = StarCatalog::from_stars(vec![
+            Star::new(64.0, 64.0, 3.0),
+            Star::new(64.0, 64.0, 5.0),
+        ]);
+        let p = analyze(&cat, &cfg());
+        assert_eq!(p.max_multiplicity, 2);
+        assert_eq!(p.contention_rate(), 1.0);
+        assert_eq!(p.overlapped_pixels(), 100);
+        let h = p.histogram();
+        assert_eq!(h[2], 100);
+    }
+
+    #[test]
+    fn disjoint_stars_do_not_contend() {
+        let cat = StarCatalog::from_stars(vec![
+            Star::new(20.0, 20.0, 3.0),
+            Star::new(100.0, 100.0, 3.0),
+        ]);
+        let p = analyze(&cat, &cfg());
+        assert_eq!(p.contention_rate(), 0.0);
+        assert_eq!(p.total_deposits, 200);
+    }
+
+    #[test]
+    fn partial_overlap_counts_shared_pixels() {
+        // Stars 5 apart with ROI 10 (origins differ by 5): 5×10 shared.
+        let cat = StarCatalog::from_stars(vec![
+            Star::new(60.0, 60.0, 3.0),
+            Star::new(65.0, 60.0, 3.0),
+        ]);
+        let p = analyze(&cat, &cfg());
+        assert_eq!(p.overlapped_pixels(), 50);
+        assert_eq!(p.contended_deposits, 100); // 50 px × 2 writers
+        assert!((p.contention_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scattered_fields_have_low_contention_clustered_high() {
+        // The paper's density argument, quantified.
+        let uniform = FieldGenerator::new(128, 128).generate(60, 5);
+        let clustered = FieldGenerator::new(128, 128)
+            .positions(PositionModel::Clustered {
+                clusters: 2,
+                sigma_px: 6.0,
+            })
+            .generate(60, 5);
+        let pu = analyze(&uniform, &cfg());
+        let pc = analyze(&clustered, &cfg());
+        assert!(
+            pc.contention_rate() > 2.0 * pu.contention_rate(),
+            "clustered {:.3} should far exceed uniform {:.3}",
+            pc.contention_rate(),
+            pu.contention_rate()
+        );
+        assert!(pc.max_multiplicity > pu.max_multiplicity);
+    }
+
+    #[test]
+    fn edge_stars_clip_their_deposits() {
+        let cat = StarCatalog::from_stars(vec![Star::new(0.0, 0.0, 3.0)]);
+        let p = analyze(&cat, &cfg());
+        assert_eq!(p.total_deposits, 25); // 5×5 corner clip
+    }
+
+    #[test]
+    fn histogram_sums_to_image_area() {
+        let cat = FieldGenerator::new(128, 128).generate(100, 9);
+        let p = analyze(&cat, &cfg());
+        assert_eq!(p.histogram().iter().sum::<usize>(), 128 * 128);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the simulators.
+
+use std::fmt;
+
+/// Errors raised by simulator construction and execution.
+#[derive(Debug)]
+pub enum SimError {
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+    /// The virtual GPU rejected a launch or allocation.
+    Gpu(gpusim::GpuError),
+    /// PSF / lookup-table construction failed.
+    Psf(psf::PsfError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(m) => write!(f, "invalid simulation config: {m}"),
+            SimError::Gpu(e) => write!(f, "gpu error: {e}"),
+            SimError::Psf(e) => write!(f, "psf error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Gpu(e) => Some(e),
+            SimError::Psf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gpusim::GpuError> for SimError {
+    fn from(e: gpusim::GpuError) -> Self {
+        SimError::Gpu(e)
+    }
+}
+
+impl From<psf::PsfError> for SimError {
+    fn from(e: psf::PsfError) -> Self {
+        SimError::Psf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = SimError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let g: SimError = gpusim::GpuError::Other("x".into()).into();
+        assert!(g.to_string().contains("x"));
+        assert!(g.source().is_some());
+        let p: SimError = psf::PsfError::InvalidParameter("y".into()).into();
+        assert!(p.to_string().contains("y"));
+    }
+}

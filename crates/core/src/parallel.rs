@@ -1,0 +1,296 @@
+//! The parallel simulator: the paper's star-centric CUDA kernel (§III-B,
+//! Fig. 6) on the virtual GPU.
+//!
+//! Decomposition: one thread **block** per star, one **thread** per pixel
+//! of the star's ROI (two levels of data parallelism, Fig. 4). The kernel
+//! runs in two barrier-separated phases:
+//!
+//! 1. thread (0,0) loads the star record from global memory, computes its
+//!    brightness, and stages brightness + position in shared memory
+//!    (Fig. 6 step 5) — "the global memory access frequency will be reduced
+//!    from all threads to one thread per block";
+//! 2. after `__syncthreads()` (step 6), every thread reads the staged
+//!    values (once, into registers — the Fig. 7 bank-conflict relief),
+//!    derives its pixel coordinate, evaluates the Gauss PSF, and
+//!    `atomicAdd`s the contribution into the global image (step 8).
+
+use std::time::Instant;
+
+use gpusim::memory::global::{GlobalAtomicF32, GlobalBuffer};
+use gpusim::{AppProfile, FlopClass, Kernel, LaunchConfig, ThreadCtx, VirtualGpu};
+use psf::integrated::PsfModel;
+use psf::roi::Roi;
+use starfield::StarCatalog;
+use starimage::ImageF32;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::report::SimulationReport;
+use crate::star_record::{to_device_stars, DeviceStar};
+use crate::Simulator;
+
+/// Shared-memory layout of the kernel: `[brightness, posX, posY]`
+/// (the paper's `__shared__ float shareMem[3]`).
+const SMEM_WORDS: usize = 3;
+const SMEM_BRIGHTNESS: usize = 0;
+const SMEM_POS_X: usize = 1;
+const SMEM_POS_Y: usize = 2;
+
+/// The star-centric kernel (paper Fig. 6).
+pub struct StarCentricKernel<'a> {
+    /// Device star array.
+    pub stars: &'a GlobalBuffer<DeviceStar>,
+    /// Device output image.
+    pub image: &'a GlobalAtomicF32,
+    /// Number of valid stars (`starCount` guard of step 3).
+    pub star_count: usize,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// ROI geometry (side = blockDim.x = blockDim.y).
+    pub roi: Roi,
+    /// PSF evaluation.
+    pub psf: PsfModel,
+    /// Brightness proportionality factor.
+    pub a_factor: f32,
+}
+
+impl Kernel for StarCentricKernel<'_> {
+    fn phases(&self) -> usize {
+        2
+    }
+
+    fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>) {
+        // Step 3: grid round-up guard.
+        let block_id = ctx.block_linear();
+        if phase == 0 && !ctx.branch(block_id < self.star_count) {
+            ctx.exit();
+            return;
+        }
+
+        match phase {
+            0 => {
+                // Step 5: one designated thread computes and stages the
+                // star's brightness and position.
+                let first = ctx.thread_idx.x == 0 && ctx.thread_idx.y == 0;
+                if ctx.branch(first) {
+                    let star = ctx.global_read(self.stars, block_id);
+                    // g(m) = A · 2.512^(−m): one powf call (a software
+                    // sequence — count ~8 scalar flops) plus a multiply.
+                    let g = starfield::magnitude::brightness(star.mag, self.a_factor);
+                    ctx.flops(FlopClass::Special, 8);
+                    ctx.flops(FlopClass::Mul, 1);
+                    ctx.shared_write(SMEM_BRIGHTNESS, g);
+                    ctx.shared_write(SMEM_POS_X, star.x);
+                    ctx.shared_write(SMEM_POS_Y, star.y);
+                }
+                // Step 6: __syncthreads() = the phase boundary.
+            }
+            _ => {
+                // Step 7: read the staged star once into registers.
+                let g = ctx.shared_read(SMEM_BRIGHTNESS);
+                let pos_x = ctx.shared_read(SMEM_POS_X);
+                let pos_y = ctx.shared_read(SMEM_POS_Y);
+
+                // pixel = starPos − MARGIN + threadIdx (Fig. 6 step 7).
+                let (x0, y0) = self.roi.origin(pos_x, pos_y);
+                let px = x0 + ctx.thread_idx.x as i64;
+                let py = y0 + ctx.thread_idx.y as i64;
+                ctx.flops(FlopClass::Add, 2);
+
+                // Step 8: image-bounds guard, PSF, atomic accumulation.
+                let in_image =
+                    px >= 0 && py >= 0 && px < self.width as i64 && py < self.height as i64;
+                if ctx.branch(in_image) {
+                    let mu = self.psf.eval(px as f32, py as f32, pos_x, pos_y);
+                    // dx, dy; dx²+dy² (2 FMA); expf (software sequence,
+                    // ~8 scalar flops, one warp call); g·μ scaling.
+                    ctx.flops(FlopClass::Add, 2);
+                    ctx.flops(FlopClass::Fma, 2);
+                    ctx.flops(FlopClass::Special, 8);
+                    ctx.flops(FlopClass::Mul, 2);
+                    let gray = g * mu;
+                    let idx = py as usize * self.width + px as usize;
+                    ctx.atomic_add_global(self.image, idx, gray);
+                }
+            }
+        }
+    }
+}
+
+/// The parallel (star-centric GPU) simulator.
+pub struct ParallelSimulator {
+    gpu: VirtualGpu,
+}
+
+impl ParallelSimulator {
+    /// Simulator on the paper's GTX480.
+    pub fn new() -> Self {
+        ParallelSimulator {
+            gpu: VirtualGpu::gtx480(),
+        }
+    }
+
+    /// Simulator on a caller-provided device.
+    pub fn on(gpu: VirtualGpu) -> Self {
+        ParallelSimulator { gpu }
+    }
+
+    /// The underlying device.
+    pub fn gpu(&self) -> &VirtualGpu {
+        &self.gpu
+    }
+}
+
+impl Default for ParallelSimulator {
+    fn default() -> Self {
+        ParallelSimulator::new()
+    }
+}
+
+impl Simulator for ParallelSimulator {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn simulate(
+        &self,
+        catalog: &StarCatalog,
+        config: &SimConfig,
+    ) -> Result<SimulationReport, SimError> {
+        config.validate()?;
+        let wall_start = Instant::now();
+        let mut profile = AppProfile::new();
+
+        // Host → device: star array and the zeroed image.
+        let (stars, t_stars) = self.gpu.upload(to_device_stars(catalog.stars()));
+        let image_dev = self.gpu.alloc_atomic_f32(config.pixels());
+        // The paper transfers the pixel array to the device before the
+        // kernel (its CUDA 3.2 flow); model that upload as an image-sized
+        // host→device copy.
+        let t_img_up = self
+            .gpu
+            .transfer_model()
+            .time(gpusim::MemcpyKind::HostToDevice, config.pixels() * 4);
+
+        let star_count = catalog.len();
+        let kernel = StarCentricKernel {
+            stars: &stars,
+            image: &image_dev,
+            star_count,
+            width: config.width,
+            height: config.height,
+            roi: Roi::new(config.roi_side),
+            psf: config.psf_model(),
+            a_factor: config.a_factor,
+        };
+        let cfg = LaunchConfig::star_centric(star_count.max(1), config.roi_side, self.gpu.spec())
+            .with_shared_mem(SMEM_WORDS * 4);
+        let kp = self.gpu.launch("star-centric", &kernel, cfg)?;
+        profile.kernels.push(kp);
+
+        // Device → host: the finished image.
+        let (host_pixels, t_down) = self.gpu.download(&image_dev);
+        profile.push_overhead("CPU-GPU transmission", t_stars + t_img_up + t_down);
+
+        let image = ImageF32::from_data(config.width, config.height, host_pixels);
+        let app_time_s = profile.app_time();
+        Ok(SimulationReport {
+            simulator: self.name(),
+            image,
+            profile,
+            app_time_s,
+            wall_time_s: wall_start.elapsed().as_secs_f64(),
+            stars: star_count,
+            roi_side: config.roi_side,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialSimulator;
+    use starfield::{FieldGenerator, Star};
+    use starimage::diff::images_close;
+
+    fn small_config() -> SimConfig {
+        SimConfig::new(64, 64, 10)
+    }
+
+    #[test]
+    fn matches_sequential_on_a_single_star() {
+        let cat = StarCatalog::from_stars(vec![Star::new(30.5, 31.25, 2.5)]);
+        let cfg = small_config();
+        let seq = SequentialSimulator::new().simulate(&cat, &cfg).unwrap();
+        let par = ParallelSimulator::new().simulate(&cat, &cfg).unwrap();
+        assert!(
+            images_close(&seq.image, &par.image, 1e-7, 1e-5),
+            "parallel image must match sequential"
+        );
+    }
+
+    #[test]
+    fn matches_sequential_on_a_random_field() {
+        let cat = FieldGenerator::new(64, 64).generate(200, 7);
+        let cfg = small_config();
+        let seq = SequentialSimulator::new().simulate(&cat, &cfg).unwrap();
+        let par = ParallelSimulator::new().simulate(&cat, &cfg).unwrap();
+        // Accumulation order differs (atomics), so allow small relative slack.
+        assert!(
+            images_close(&seq.image, &par.image, 1e-5, 1e-4),
+            "dense-field images must agree"
+        );
+    }
+
+    #[test]
+    fn kernel_counters_reflect_the_decomposition() {
+        let n = 50;
+        let cat = FieldGenerator::new(64, 64).generate(n, 3);
+        let cfg = small_config();
+        let report = ParallelSimulator::new().simulate(&cat, &cfg).unwrap();
+        let k = &report.profile.kernels[0];
+        // One global star read per block (the shared-memory staging).
+        assert_eq!(k.counters.global_requests, n as u64);
+        // Brightness: one SFU op per star; PSF: one per in-bounds pixel.
+        assert!(k.counters.flops_special >= n as u64);
+        // Atomics: one per in-bounds ROI pixel ⇒ ≤ n·side².
+        assert!(k.counters.atomic_requests > 0);
+        assert!(k.counters.threads >= (n * 100) as u64);
+        // Two phases with a barrier between: 4 warps per 100-thread block.
+        assert_eq!(k.counters.barriers, (n * 4) as u64);
+        assert_eq!(k.counters.shared_hazards, 0, "staging is barrier-safe");
+    }
+
+    #[test]
+    fn empty_catalog_is_black() {
+        let report = ParallelSimulator::new()
+            .simulate(&StarCatalog::new(), &small_config())
+            .unwrap();
+        assert!(report.image.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn transfers_appear_as_non_kernel_overhead() {
+        let cat = FieldGenerator::new(64, 64).generate(10, 1);
+        let report = ParallelSimulator::new().simulate(&cat, &small_config()).unwrap();
+        let t = report.profile.overhead_named("CPU-GPU transmission");
+        assert!(t > 0.0);
+        assert_eq!(report.profile.overheads.len(), 1);
+        assert!((report.app_time_s
+            - (report.kernel_time_s() + report.non_kernel_time_s()))
+        .abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn oversized_roi_propagates_launch_error() {
+        let cat = StarCatalog::from_stars(vec![Star::new(32.0, 32.0, 3.0)]);
+        let cfg = SimConfig::new(64, 64, 33); // 33² > 1024 threads
+        assert!(matches!(
+            ParallelSimulator::new().simulate(&cat, &cfg),
+            Err(SimError::Gpu(_))
+        ));
+    }
+}

@@ -1,0 +1,106 @@
+//! The result record every simulator returns.
+
+use gpusim::AppProfile;
+use starimage::ImageF32;
+
+/// The outcome of one simulation run: the image plus the timing story.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Which simulator produced this (`"sequential"`, `"parallel"`,
+    /// `"adaptive"`, ...).
+    pub simulator: &'static str,
+    /// The rendered intensity image.
+    pub image: ImageF32,
+    /// Kernel/non-kernel decomposition. For the sequential simulator the
+    /// "kernels" list is empty and stages appear as overhead items.
+    pub profile: AppProfile,
+    /// The simulator's reported application time, seconds. Measured wall
+    /// time for CPU simulators; modeled device time for GPU simulators.
+    pub app_time_s: f64,
+    /// Host wall-clock time the run actually took on this machine, seconds.
+    pub wall_time_s: f64,
+    /// Stars simulated.
+    pub stars: usize,
+    /// ROI side used.
+    pub roi_side: usize,
+}
+
+impl SimulationReport {
+    /// Total modeled kernel time, seconds (zero for CPU simulators).
+    pub fn kernel_time_s(&self) -> f64 {
+        self.profile.kernel_time()
+    }
+
+    /// Total non-kernel time, seconds.
+    pub fn non_kernel_time_s(&self) -> f64 {
+        self.profile.non_kernel_time()
+    }
+
+    /// Achieved GFLOPS over all kernels (paper Table II's metric).
+    /// Zero when no kernel ran.
+    pub fn gflops(&self) -> f64 {
+        let t = self.kernel_time_s();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.profile.total_counters().total_flops() as f64 / t / 1e9
+    }
+
+    /// Speedup of this run relative to a baseline application time.
+    pub fn speedup_vs(&self, baseline_app_time_s: f64) -> f64 {
+        baseline_app_time_s / self.app_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::Counters;
+
+    fn report(app: f64) -> SimulationReport {
+        SimulationReport {
+            simulator: "test",
+            image: ImageF32::new(2, 2),
+            profile: AppProfile::new(),
+            app_time_s: app,
+            wall_time_s: app * 2.0,
+            stars: 10,
+            roi_side: 10,
+        }
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_app_times() {
+        let r = report(0.01);
+        assert!((r.speedup_vs(1.0) - 100.0).abs() < 1e-9);
+        assert!((r.speedup_vs(0.005) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gflops_zero_without_kernels() {
+        assert_eq!(report(1.0).gflops(), 0.0);
+    }
+
+    #[test]
+    fn gflops_uses_kernel_time() {
+        let mut r = report(1.0);
+        r.profile.kernels.push(gpusim::KernelProfile {
+            name: "k".into(),
+            time_s: 0.5,
+            cycles: Default::default(),
+            counters: Counters {
+                flops_add: 1_000_000_000,
+                ..Default::default()
+            },
+            occupancy: gpusim::Occupancy {
+                blocks_per_sm: 1,
+                warps_per_sm: 1,
+                fraction: 1.0,
+                active_sms: 1,
+                effective_warps: 1.0,
+            },
+        });
+        assert!((r.gflops() - 2.0).abs() < 1e-9);
+        assert!((r.kernel_time_s() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulator selection (paper §IV-C, Table III).
+//!
+//! The parallel simulator wins below the inflection point (its non-kernel
+//! overhead is smaller); the adaptive simulator wins above it (its kernel
+//! is cheaper and kernel time dominates at scale). The paper reports the
+//! inflection at **2^13 stars** (test 1, ROI fixed at 10) and **ROI side
+//! 10** (test 2, stars fixed at 8192) — "the two tests accord perfectly in
+//! the value of two model parameters at the inflection point". The paper
+//! also notes (§IV-D) that below ~2^7 stars the sequential CPU simulator is
+//! competitive because transfer overhead dominates.
+
+/// The simulators a user can choose among.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// The sequential CPU simulator.
+    Sequential,
+    /// The star-centric GPU simulator.
+    Parallel,
+    /// The lookup-table GPU simulator.
+    Adaptive,
+}
+
+/// The measured inflection point between the two GPU simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InflectionPoint {
+    /// Star count at the crossover with the ROI fixed (paper: 2^13).
+    pub stars: usize,
+    /// ROI side at the crossover with the star count fixed (paper: 10).
+    pub roi_side: usize,
+    /// Below this star count the sequential simulator is competitive
+    /// (paper §IV-D: "0 ~ 2^7").
+    pub sequential_below: usize,
+}
+
+impl Default for InflectionPoint {
+    /// The paper's values.
+    fn default() -> Self {
+        InflectionPoint {
+            stars: 1 << 13,
+            roi_side: 10,
+            sequential_below: 1 << 7,
+        }
+    }
+}
+
+impl InflectionPoint {
+    /// Chooses the best simulator for a workload — Table III, extended with
+    /// the §IV-D small-scale sequential advice.
+    ///
+    /// Table III's rule: with one parameter at its turning-point value, the
+    /// other decides; at or below the turning point choose parallel, above
+    /// it choose adaptive. For workloads off the table's axes we
+    /// generalize by the product rule: the computation scale `stars × roi²`
+    /// against the scale at the inflection.
+    pub fn choose(&self, stars: usize, roi_side: usize) -> Choice {
+        if stars < self.sequential_below {
+            return Choice::Sequential;
+        }
+        // Table III rows: exact-axis cases.
+        if stars == self.stars {
+            return if roi_side <= self.roi_side {
+                Choice::Parallel
+            } else {
+                Choice::Adaptive
+            };
+        }
+        if roi_side == self.roi_side {
+            return if stars <= self.stars {
+                Choice::Parallel
+            } else {
+                Choice::Adaptive
+            };
+        }
+        // Off-axis: compare computational scales.
+        let scale = stars as u128 * (roi_side * roi_side) as u128;
+        let pivot = self.stars as u128 * (self.roi_side * self.roi_side) as u128;
+        if scale <= pivot {
+            Choice::Parallel
+        } else {
+            Choice::Adaptive
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_iii_rows() {
+        let p = InflectionPoint::default();
+        // Row 1: stars at turning point, ROI below ⇒ parallel.
+        assert_eq!(p.choose(1 << 13, 8), Choice::Parallel);
+        // Row 2: ROI at turning point, stars below ⇒ parallel.
+        assert_eq!(p.choose(1 << 12, 10), Choice::Parallel);
+        // Row 3: stars at turning point, ROI above ⇒ adaptive.
+        assert_eq!(p.choose(1 << 13, 14), Choice::Adaptive);
+        // Row 4: ROI at turning point, stars above ⇒ adaptive.
+        assert_eq!(p.choose(1 << 15, 10), Choice::Adaptive);
+    }
+
+    #[test]
+    fn exactly_at_the_inflection_prefers_parallel() {
+        // "=" rows of Table III list parallel for the boundary itself.
+        let p = InflectionPoint::default();
+        assert_eq!(p.choose(1 << 13, 10), Choice::Parallel);
+    }
+
+    #[test]
+    fn tiny_fields_go_sequential() {
+        let p = InflectionPoint::default();
+        assert_eq!(p.choose(100, 10), Choice::Sequential);
+        assert_eq!(p.choose(127, 20), Choice::Sequential);
+        assert_eq!(p.choose(128, 10), Choice::Parallel);
+    }
+
+    #[test]
+    fn off_axis_uses_scale_product() {
+        let p = InflectionPoint::default();
+        // 2^15 stars × ROI 6²: scale 2^15·36 < 2^13·100 ⇒ parallel... check:
+        // 32768·36 = 1_179_648 > 8192·100 = 819_200 ⇒ adaptive.
+        assert_eq!(p.choose(1 << 15, 6), Choice::Adaptive);
+        // 2^12 stars × ROI 12²: 4096·144 = 589_824 < 819_200 ⇒ parallel.
+        assert_eq!(p.choose(1 << 12, 12), Choice::Parallel);
+        // Large both ways ⇒ adaptive.
+        assert_eq!(p.choose(1 << 17, 20), Choice::Adaptive);
+    }
+
+    #[test]
+    fn custom_inflection_points_respected() {
+        let p = InflectionPoint {
+            stars: 1000,
+            roi_side: 8,
+            sequential_below: 10,
+        };
+        assert_eq!(p.choose(5, 8), Choice::Sequential);
+        assert_eq!(p.choose(1000, 8), Choice::Parallel);
+        assert_eq!(p.choose(1001, 8), Choice::Adaptive);
+    }
+}

@@ -1,0 +1,214 @@
+//! The baseline: a single-threaded CPU simulator (paper §III-A, Fig. 5).
+//!
+//! Four stages run in order: *Star generation* (the catalogue is the input,
+//! so its cost is catalogue iteration), *Star brightness computation*,
+//! *Pixel computation* (the two-level ROI loop of Fig. 5), and *Output*.
+//! Stage times are measured wall-clock and recorded as overhead items so
+//! the harness can print the same breakdown for every simulator.
+
+use std::time::Instant;
+
+use gpusim::AppProfile;
+use starfield::StarCatalog;
+use starimage::ImageF32;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::report::SimulationReport;
+use crate::Simulator;
+
+/// The sequential CPU simulator.
+#[derive(Debug, Clone, Default)]
+pub struct SequentialSimulator;
+
+impl SequentialSimulator {
+    /// Creates the simulator.
+    pub fn new() -> Self {
+        SequentialSimulator
+    }
+}
+
+impl Simulator for SequentialSimulator {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn simulate(
+        &self,
+        catalog: &StarCatalog,
+        config: &SimConfig,
+    ) -> Result<SimulationReport, SimError> {
+        config.validate()?;
+        let model = config.intensity_model();
+        let wall_start = Instant::now();
+        let mut profile = AppProfile::new();
+
+        // Stage 1: star generation — the stars are retrieved from the
+        // catalogue (generation itself happened upstream).
+        let t = Instant::now();
+        let stars = catalog.stars();
+        profile.push_overhead("star generation", t.elapsed().as_secs_f64());
+
+        // Stage 2: star brightness computation.
+        let t = Instant::now();
+        let brightness: Vec<f32> = stars.iter().map(|s| s.brightness(config.a_factor)).collect();
+        profile.push_overhead("brightness computation", t.elapsed().as_secs_f64());
+
+        // Stage 3: pixel computation — Fig. 5's loop nest: outer loop over
+        // stars, two inner loops over the star's ROI, bounds check, gray
+        // accumulation.
+        let t = Instant::now();
+        let mut image = ImageF32::new(config.width, config.height);
+        for (star, &g) in stars.iter().zip(&brightness) {
+            let Some(clip) = model
+                .roi
+                .clip(star.pos.x, star.pos.y, config.width, config.height)
+            else {
+                continue;
+            };
+            for (x, y, _, _) in clip.pixels() {
+                let mu = model.psf.eval(x as f32, y as f32, star.pos.x, star.pos.y);
+                image.add(x, y, g * mu);
+            }
+        }
+        profile.push_overhead("pixel computation", t.elapsed().as_secs_f64());
+
+        // Stage 4: output — the gray values are already host-resident; the
+        // stage is the hand-off (file encoding is the caller's business).
+        profile.push_overhead("output", 0.0);
+
+        let wall = wall_start.elapsed().as_secs_f64();
+        Ok(SimulationReport {
+            simulator: self.name(),
+            image,
+            profile,
+            app_time_s: wall,
+            wall_time_s: wall,
+            stars: catalog.len(),
+            roi_side: config.roi_side,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfield::Star;
+
+    fn single_star_catalog() -> StarCatalog {
+        StarCatalog::from_stars(vec![Star::new(32.0, 32.0, 3.0)])
+    }
+
+    fn small_config() -> SimConfig {
+        SimConfig::new(64, 64, 10)
+    }
+
+    #[test]
+    fn single_star_peaks_at_its_centre() {
+        let report = SequentialSimulator::new()
+            .simulate(&single_star_catalog(), &small_config())
+            .unwrap();
+        let img = &report.image;
+        let peak = img.get(32, 32);
+        assert!(peak > 0.0);
+        for (x, y, v) in img.pixels() {
+            assert!(v <= peak, "({x},{y}) brighter than the star centre");
+        }
+        assert_eq!(report.simulator, "sequential");
+        assert_eq!(report.stars, 1);
+    }
+
+    #[test]
+    fn deposited_flux_matches_model() {
+        let cat = single_star_catalog();
+        let config = small_config();
+        let report = SequentialSimulator::new().simulate(&cat, &config).unwrap();
+        let total: f64 = report.image.data().iter().map(|&v| v as f64).sum();
+        let expect = config.intensity_model().roi_flux(&cat.stars()[0]);
+        assert!(
+            (total - expect).abs() < 1e-3 * expect,
+            "flux {total} vs model {expect}"
+        );
+    }
+
+    #[test]
+    fn empty_catalog_gives_black_image() {
+        let report = SequentialSimulator::new()
+            .simulate(&StarCatalog::new(), &small_config())
+            .unwrap();
+        assert!(report.image.data().iter().all(|&v| v == 0.0));
+        assert_eq!(report.stars, 0);
+    }
+
+    #[test]
+    fn off_image_star_contributes_nothing() {
+        let cat = StarCatalog::from_stars(vec![Star::new(-50.0, -50.0, 1.0)]);
+        let report = SequentialSimulator::new().simulate(&cat, &small_config()).unwrap();
+        assert!(report.image.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn edge_star_clips_into_image() {
+        let cat = StarCatalog::from_stars(vec![Star::new(0.0, 0.0, 1.0)]);
+        let report = SequentialSimulator::new().simulate(&cat, &small_config()).unwrap();
+        assert!(report.image.get(0, 0) > 0.0);
+        let lit = report.image.data().iter().filter(|&&v| v > 0.0).count();
+        // ROI 10 at the corner: margin 5 each side in-bounds ⇒ 5×5 pixels.
+        assert_eq!(lit, 25);
+    }
+
+    #[test]
+    fn brighter_star_brighter_image() {
+        let bright = StarCatalog::from_stars(vec![Star::new(32.0, 32.0, 1.0)]);
+        let dim = StarCatalog::from_stars(vec![Star::new(32.0, 32.0, 8.0)]);
+        let cfg = small_config();
+        let rb = SequentialSimulator::new().simulate(&bright, &cfg).unwrap();
+        let rd = SequentialSimulator::new().simulate(&dim, &cfg).unwrap();
+        assert!(rb.image.get(32, 32) > rd.image.get(32, 32));
+    }
+
+    #[test]
+    fn overlapping_stars_accumulate() {
+        let one = StarCatalog::from_stars(vec![Star::new(32.0, 32.0, 3.0)]);
+        let two = StarCatalog::from_stars(vec![
+            Star::new(32.0, 32.0, 3.0),
+            Star::new(33.0, 32.0, 3.0),
+        ]);
+        let cfg = small_config();
+        let r1 = SequentialSimulator::new().simulate(&one, &cfg).unwrap();
+        let r2 = SequentialSimulator::new().simulate(&two, &cfg).unwrap();
+        assert!(r2.image.get(32, 32) > r1.image.get(32, 32));
+    }
+
+    #[test]
+    fn profile_records_all_four_stages() {
+        let report = SequentialSimulator::new()
+            .simulate(&single_star_catalog(), &small_config())
+            .unwrap();
+        let labels: Vec<&str> = report
+            .profile
+            .overheads
+            .iter()
+            .map(|o| o.label.as_str())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "star generation",
+                "brightness computation",
+                "pixel computation",
+                "output"
+            ]
+        );
+        assert!(report.profile.kernels.is_empty());
+        assert!(report.app_time_s > 0.0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let bad = SimConfig::new(0, 64, 10);
+        assert!(SequentialSimulator::new()
+            .simulate(&StarCatalog::new(), &bad)
+            .is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! The device-side star record uploaded to GPU global memory.
+
+use starfield::Star;
+
+/// A star as laid out in device memory: 12 contiguous bytes, matching the
+/// `star* starArray` parameter of the paper's kernel (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct DeviceStar {
+    /// Catalogue magnitude.
+    pub mag: f32,
+    /// Image-plane x, pixels.
+    pub x: f32,
+    /// Image-plane y, pixels.
+    pub y: f32,
+}
+
+impl From<&Star> for DeviceStar {
+    fn from(s: &Star) -> Self {
+        DeviceStar {
+            mag: s.mag.value(),
+            x: s.pos.x,
+            y: s.pos.y,
+        }
+    }
+}
+
+/// Converts a host catalogue into the device array layout.
+pub fn to_device_stars(stars: &[Star]) -> Vec<DeviceStar> {
+    stars.iter().map(DeviceStar::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_12_bytes() {
+        assert_eq!(std::mem::size_of::<DeviceStar>(), 12);
+    }
+
+    #[test]
+    fn conversion_preserves_fields() {
+        let s = Star::new(10.5, 20.25, 3.75);
+        let d = DeviceStar::from(&s);
+        assert_eq!((d.mag, d.x, d.y), (3.75, 10.5, 20.25));
+        let v = to_device_stars(&[s, Star::new(1.0, 2.0, 3.0)]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1].x, 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Device specifications of the virtual GPU.
+//!
+//! The paper's testbed is an NVIDIA GTX480 (Fermi, compute capability 2.0,
+//! "480 execution SPs and 1.5 GB of device memory"); [`DeviceSpec::gtx480`]
+//! is the default everywhere. Two more presets allow sensitivity studies
+//! across GPU generations.
+
+use crate::dim::Dim3;
+
+/// Architectural parameters of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"GTX480"`.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Scalar cores per SM (sm_count × cores_per_sm = total SPs).
+    pub cores_per_sm: u32,
+    /// Shader clock in GHz (warp instructions issue at this rate).
+    pub clock_ghz: f64,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Maximum threads per block (1024 on compute capability 2.0 — this is
+    /// what limits the paper's ROI side to 32).
+    pub max_threads_per_block: u32,
+    /// Maximum block dimensions.
+    pub max_block_dim: Dim3,
+    /// Maximum grid dimensions.
+    pub max_grid_dim: Dim3,
+    /// Maximum resident warps per SM (occupancy ceiling).
+    pub max_warps_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Shared memory per block, bytes.
+    pub shared_mem_per_block: usize,
+    /// Number of shared-memory banks (32 on Fermi).
+    pub shared_mem_banks: u32,
+    /// Global (device) memory, bytes.
+    pub global_mem_bytes: usize,
+    /// Memory addressable through texture binds, bytes. Real GPUs bind
+    /// textures over global memory with per-dimension limits; we model a
+    /// single byte budget (paper §IV-D treats it as a size cap).
+    pub texture_mem_bytes: usize,
+    /// Texture L2 cache capacity, bytes.
+    pub tex_cache_bytes: usize,
+    /// Texture cache line size, bytes.
+    pub tex_cache_line: usize,
+    /// Texture cache associativity (ways).
+    pub tex_cache_ways: usize,
+    /// Global memory coalescing segment, bytes (128 on Fermi).
+    pub coalesce_segment: usize,
+}
+
+impl DeviceSpec {
+    /// The paper's GPU: GTX480 (Fermi GF100), 15 SMs × 32 SPs = 480 SPs,
+    /// 1.5 GB device memory, CC 2.0.
+    pub fn gtx480() -> Self {
+        DeviceSpec {
+            name: "GTX480",
+            sm_count: 15,
+            cores_per_sm: 32,
+            clock_ghz: 1.401,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_block_dim: Dim3::d3(1024, 1024, 64),
+            max_grid_dim: Dim3::d3(65535, 65535, 1),
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 8,
+            shared_mem_per_block: 48 * 1024,
+            shared_mem_banks: 32,
+            global_mem_bytes: 1536 * 1024 * 1024,
+            texture_mem_bytes: 512 * 1024 * 1024,
+            tex_cache_bytes: 768 * 1024,
+            tex_cache_line: 128,
+            tex_cache_ways: 16,
+            coalesce_segment: 128,
+        }
+    }
+
+    /// Previous generation for sensitivity studies: GTX280 (Tesla GT200,
+    /// CC 1.3): 30 SMs × 8 SPs, 512 threads/block, 16 KB shared memory.
+    pub fn gtx280() -> Self {
+        DeviceSpec {
+            name: "GTX280",
+            sm_count: 30,
+            cores_per_sm: 8,
+            clock_ghz: 1.296,
+            warp_size: 32,
+            max_threads_per_block: 512,
+            max_block_dim: Dim3::d3(512, 512, 64),
+            max_grid_dim: Dim3::d3(65535, 65535, 1),
+            max_warps_per_sm: 32,
+            max_blocks_per_sm: 8,
+            shared_mem_per_block: 16 * 1024,
+            shared_mem_banks: 16,
+            global_mem_bytes: 1024 * 1024 * 1024,
+            texture_mem_bytes: 256 * 1024 * 1024,
+            tex_cache_bytes: 256 * 1024,
+            tex_cache_line: 128,
+            tex_cache_ways: 8,
+            coalesce_segment: 64,
+        }
+    }
+
+    /// Compute-class Fermi for sensitivity studies: Tesla C2050, 14 SMs,
+    /// 3 GB ECC memory, same CC 2.0 limits as the GTX480.
+    pub fn tesla_c2050() -> Self {
+        DeviceSpec {
+            name: "TeslaC2050",
+            sm_count: 14,
+            cores_per_sm: 32,
+            clock_ghz: 1.15,
+            shared_mem_per_block: 48 * 1024,
+            global_mem_bytes: 3 * 1024 * 1024 * 1024,
+            ..DeviceSpec::gtx480()
+        }
+    }
+
+    /// Total scalar processor count (the paper's "480 execution SPs").
+    pub fn total_cores(&self) -> u32 {
+        self.sm_count * self.cores_per_sm
+    }
+
+    /// The largest square ROI a star-centric kernel can use on this device
+    /// (side² ≤ max threads per block) — the paper's §IV-D limitation.
+    pub fn max_roi_side(&self) -> usize {
+        (self.max_threads_per_block as f64).sqrt().floor() as usize
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec::gtx480()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx480_matches_paper() {
+        let d = DeviceSpec::gtx480();
+        assert_eq!(d.total_cores(), 480, "the paper's 480 SPs");
+        assert_eq!(d.max_threads_per_block, 1024, "CC 2.0 cap");
+        assert_eq!(d.max_roi_side(), 32, "32×32 = 1024 threads");
+        assert_eq!(d.warp_size, 32);
+        assert_eq!(d.global_mem_bytes, 1536 << 20, "1.5 GB");
+    }
+
+    #[test]
+    fn gtx280_is_older_generation() {
+        let d = DeviceSpec::gtx280();
+        assert_eq!(d.total_cores(), 240);
+        assert_eq!(d.max_roi_side(), 22, "512 threads/block ⇒ 22×22 max");
+        assert!(d.shared_mem_per_block < DeviceSpec::gtx480().shared_mem_per_block);
+    }
+
+    #[test]
+    fn c2050_inherits_fermi_limits() {
+        let d = DeviceSpec::tesla_c2050();
+        assert_eq!(d.max_threads_per_block, 1024);
+        assert_eq!(d.sm_count, 14);
+        assert!(d.global_mem_bytes > DeviceSpec::gtx480().global_mem_bytes);
+    }
+
+    #[test]
+    fn default_is_the_papers_device() {
+        assert_eq!(DeviceSpec::default().name, "GTX480");
+    }
+}

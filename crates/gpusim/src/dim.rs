@@ -1,0 +1,145 @@
+//! CUDA-style 3-component dimensions and indices.
+
+/// A CUDA `dim3`: grid/block shapes and block/thread indices.
+///
+/// Components default to 1 so 1-D and 2-D launches read naturally, exactly
+/// like CUDA's `dim3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// x extent (fastest-varying).
+    pub x: u32,
+    /// y extent.
+    pub y: u32,
+    /// z extent (slowest-varying).
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// `(1, 1, 1)` — the unit dimension.
+    pub const ONE: Dim3 = Dim3 { x: 1, y: 1, z: 1 };
+
+    /// 1-D dimension.
+    #[inline]
+    pub const fn d1(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// 2-D dimension.
+    #[inline]
+    pub const fn d2(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// 3-D dimension.
+    #[inline]
+    pub const fn d3(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// Total element count `x·y·z`.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.x as usize * self.y as usize * self.z as usize
+    }
+
+    /// CUDA's linearization of an index within this shape:
+    /// `x + y·Dx + z·Dx·Dy`. This ordering determines warp membership.
+    #[inline]
+    pub fn linear(&self, idx: Dim3) -> usize {
+        debug_assert!(idx.x < self.x && idx.y < self.y && idx.z < self.z);
+        idx.x as usize
+            + idx.y as usize * self.x as usize
+            + idx.z as usize * self.x as usize * self.y as usize
+    }
+
+    /// Inverse of [`Self::linear`].
+    #[inline]
+    pub fn delinearize(&self, mut linear: usize) -> Dim3 {
+        let x = (linear % self.x as usize) as u32;
+        linear /= self.x as usize;
+        let y = (linear % self.y as usize) as u32;
+        linear /= self.y as usize;
+        Dim3 {
+            x,
+            y,
+            z: linear as u32,
+        }
+    }
+
+    /// True when any component is zero (an invalid launch shape).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.x == 0 || self.y == 0 || self.z == 0
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Dim3::ONE
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::d1(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::d2(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Dim3::d3(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_count() {
+        assert_eq!(Dim3::d1(7).count(), 7);
+        assert_eq!(Dim3::d2(10, 10).count(), 100);
+        assert_eq!(Dim3::d3(2, 3, 4).count(), 24);
+        assert_eq!(Dim3::ONE.count(), 1);
+        assert_eq!(Dim3::default(), Dim3::ONE);
+    }
+
+    #[test]
+    fn linearization_matches_cuda_order() {
+        let shape = Dim3::d2(10, 10);
+        // threadIdx (3, 2) ⇒ 3 + 2·10 = 23. Indices use z = 0 (uint3),
+        // unlike shapes where a missing dimension is 1.
+        assert_eq!(shape.linear(Dim3::d3(3, 2, 0)), 23);
+        let shape3 = Dim3::d3(4, 3, 2);
+        assert_eq!(shape3.linear(Dim3::d3(1, 2, 1)), 1 + 2 * 4 + 12);
+    }
+
+    #[test]
+    fn delinearize_roundtrip() {
+        let shape = Dim3::d3(5, 4, 3);
+        for i in 0..shape.count() {
+            let idx = shape.delinearize(i);
+            assert_eq!(shape.linear(idx), i);
+            assert!(idx.x < 5 && idx.y < 4 && idx.z < 3);
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Dim3::from(5u32), Dim3::d1(5));
+        assert_eq!(Dim3::from((2u32, 3u32)), Dim3::d2(2, 3));
+        assert_eq!(Dim3::from((2u32, 3u32, 4u32)), Dim3::d3(2, 3, 4));
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        assert!(Dim3::d2(0, 5).is_degenerate());
+        assert!(!Dim3::d2(1, 5).is_degenerate());
+    }
+}

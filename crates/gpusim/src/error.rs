@@ -1,0 +1,64 @@
+//! Error type for the virtual GPU.
+
+use std::fmt;
+
+/// Errors raised by launch validation, memory management and texture binds.
+#[derive(Debug)]
+pub enum GpuError {
+    /// The launch configuration violates a device limit.
+    InvalidLaunch(String),
+    /// A device allocation exceeds available memory.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available.
+        available: usize,
+        /// Which memory space overflowed.
+        space: &'static str,
+    },
+    /// Mismatched buffer sizes in a transfer.
+    TransferMismatch(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::InvalidLaunch(m) => write!(f, "invalid launch: {m}"),
+            GpuError::OutOfMemory {
+                requested,
+                available,
+                space,
+            } => write!(
+                f,
+                "out of {space} memory: requested {requested} B, available {available} B"
+            ),
+            GpuError::TransferMismatch(m) => write!(f, "transfer mismatch: {m}"),
+            GpuError::Other(m) => write!(f, "gpu error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(GpuError::InvalidLaunch("too many threads".into())
+            .to_string()
+            .contains("too many threads"));
+        let oom = GpuError::OutOfMemory {
+            requested: 100,
+            available: 50,
+            space: "texture",
+        };
+        assert!(oom.to_string().contains("texture"));
+        assert!(oom.to_string().contains("100"));
+        assert!(GpuError::TransferMismatch("x".into()).to_string().contains("x"));
+        assert!(GpuError::Other("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,486 @@
+//! The virtual GPU: device object, memory management, and kernel launches.
+//!
+//! Blocks are scheduled the way Fermi's GigaThread engine does it to first
+//! order: block `b` runs on SM `b mod sm_count`, and each virtual SM
+//! processes its blocks in issue order. The executor parallelizes over
+//! *SMs* (not blocks), which keeps every per-SM structure — notably the
+//! texture cache — free of cross-thread interleaving, so counter results
+//! are deterministic regardless of how many host cores run the simulation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::counters::{Counters, SharedCounters};
+use crate::device::DeviceSpec;
+#[cfg(test)]
+use crate::dim::Dim3;
+use crate::error::GpuError;
+use crate::kernel::{Kernel, ThreadCtx};
+use crate::launch::LaunchConfig;
+use crate::memory::cache::CacheSim;
+use crate::memory::global::{AddressSpace, GlobalAtomicF32, GlobalBuffer};
+use crate::memory::shared::SharedMem;
+use crate::memory::texture::Texture;
+use crate::memory::transfer::{MemcpyKind, TransferModel};
+use crate::pool::{default_workers, parallel_for};
+use crate::profiler::KernelProfile;
+use crate::timing::{kernel_time, occupancy, CostModel};
+use crate::warp::analyze_warp;
+
+/// A virtual GPU device.
+#[derive(Debug)]
+pub struct VirtualGpu {
+    spec: DeviceSpec,
+    cost: CostModel,
+    transfer: TransferModel,
+    space: AddressSpace,
+    workers: usize,
+}
+
+impl VirtualGpu {
+    /// A device with the given spec, Fermi cost constants, PCIe-2 transfer
+    /// model, and one worker per host core.
+    pub fn new(spec: DeviceSpec) -> Self {
+        VirtualGpu {
+            spec,
+            cost: CostModel::fermi(),
+            transfer: TransferModel::pcie2(),
+            space: AddressSpace::new(),
+            workers: default_workers(),
+        }
+    }
+
+    /// The paper's GTX480.
+    pub fn gtx480() -> Self {
+        VirtualGpu::new(DeviceSpec::gtx480())
+    }
+
+    /// Overrides the host worker count (functional parallelism only; has no
+    /// effect on modeled times or counters).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Overrides the transfer model.
+    pub fn with_transfer_model(mut self, transfer: TransferModel) -> Self {
+        self.transfer = transfer;
+        self
+    }
+
+    /// Device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Transfer model in use.
+    pub fn transfer_model(&self) -> &TransferModel {
+        &self.transfer
+    }
+
+    /// Uploads host data to a device buffer; returns the buffer and the
+    /// modeled host→device copy time in seconds.
+    pub fn upload<T: Copy>(&self, data: Vec<T>) -> (GlobalBuffer<T>, f64) {
+        let bytes = std::mem::size_of::<T>() * data.len();
+        let t = self.transfer.time(MemcpyKind::HostToDevice, bytes);
+        (GlobalBuffer::from_host(&self.space, data), t)
+    }
+
+    /// Allocates a zero-filled atomic f32 device buffer (e.g. the output
+    /// image; zeroing is a `cudaMemset`, modeled as free).
+    pub fn alloc_atomic_f32(&self, len: usize) -> GlobalAtomicF32 {
+        GlobalAtomicF32::zeroed(&self.space, len)
+    }
+
+    /// Uploads host floats into an atomic device buffer; returns the buffer
+    /// and the modeled copy time.
+    pub fn upload_atomic_f32(&self, host: &[f32]) -> (GlobalAtomicF32, f64) {
+        let t = self.transfer.time(MemcpyKind::HostToDevice, host.len() * 4);
+        (GlobalAtomicF32::from_host(&self.space, host), t)
+    }
+
+    /// Downloads an atomic device buffer to the host; returns the data and
+    /// the modeled device→host copy time.
+    pub fn download(&self, buf: &GlobalAtomicF32) -> (Vec<f32>, f64) {
+        let t = self
+            .transfer
+            .time(MemcpyKind::DeviceToHost, buf.size_bytes());
+        (buf.to_host(), t)
+    }
+
+    /// Binds a layered 2-D texture: models the upload plus the bind call.
+    /// Returns `(texture, upload_time, bind_time)`.
+    pub fn bind_texture(
+        &self,
+        width: usize,
+        height: usize,
+        layers: usize,
+        data: Vec<f32>,
+    ) -> Result<(Texture, f64, f64), GpuError> {
+        let bytes = data.len() * 4;
+        let tex = Texture::bind(
+            &self.space,
+            width,
+            height,
+            layers,
+            data,
+            self.spec.texture_mem_bytes,
+        )?;
+        let upload = self.transfer.time(MemcpyKind::HostToDevice, bytes);
+        Ok((tex, upload, self.cost.tex_bind_overhead_s))
+    }
+
+    /// Launches a kernel: functionally executes every thread and returns the
+    /// modeled [`KernelProfile`].
+    pub fn launch<K: Kernel>(
+        &self,
+        name: &str,
+        kernel: &K,
+        cfg: LaunchConfig,
+    ) -> Result<KernelProfile, GpuError> {
+        cfg.validate(&self.spec)?;
+        let occ = occupancy(&self.spec, &cfg);
+        let shared_counters = SharedCounters::default();
+        let hazards = AtomicU64::new(0);
+        let sm_count = self.spec.sm_count as usize;
+        let total_blocks = cfg.total_blocks();
+
+        // Per-SM texture caches (per-SM texture L1 path on Fermi). Each SM
+        // is processed by exactly one worker at a time, so the mutex is
+        // uncontended; it exists to satisfy `Sync`.
+        // The device texture-cache budget shared evenly across SMs, rounded
+        // down to a whole number of sets.
+        let line = self.spec.tex_cache_line;
+        let ways = self.spec.tex_cache_ways;
+        let set_bytes = line * ways;
+        let per_sm_bytes = ((self.spec.tex_cache_bytes / sm_count) / set_bytes).max(1) * set_bytes;
+        let caches: Vec<Mutex<CacheSim>> = (0..sm_count)
+            .map(|_| Mutex::new(CacheSim::new(per_sm_bytes, line, ways)))
+            .collect();
+
+        parallel_for(sm_count.min(total_blocks), self.workers, 1, |sm_id, _| {
+            let mut local = Counters::default();
+            let mut cache = caches[sm_id].lock();
+            let mut block = sm_id;
+            while block < total_blocks {
+                self.run_block(kernel, &cfg, block, &mut local, &mut cache, &hazards);
+                block += sm_count;
+            }
+            shared_counters.merge(&local);
+        });
+
+        let mut counters = shared_counters.snapshot();
+        counters.shared_hazards = hazards.load(Ordering::Relaxed);
+        let (time_s, cycles) = kernel_time(&counters, &self.spec, &self.cost, &occ);
+        Ok(KernelProfile {
+            name: name.to_string(),
+            time_s,
+            cycles,
+            counters,
+            occupancy: occ,
+        })
+    }
+
+    /// Executes one block: all phases, warp by warp.
+    fn run_block<K: Kernel>(
+        &self,
+        kernel: &K,
+        cfg: &LaunchConfig,
+        block_linear: usize,
+        counters: &mut Counters,
+        cache: &mut CacheSim,
+        hazards: &AtomicU64,
+    ) {
+        let block_idx = cfg.grid.delinearize(block_linear);
+        let threads = cfg.threads_per_block();
+        let warp = self.spec.warp_size as usize;
+        let shared = SharedMem::new(cfg.shared_mem_bytes / 4);
+        let phases = kernel.phases().max(1);
+
+        let mut exited = vec![false; threads];
+        // Reusable per-lane trace buffers.
+        let mut traces: Vec<Vec<crate::kernel::Event>> = vec![Vec::new(); warp];
+
+        for phase in 0..phases {
+            if phase > 0 {
+                shared.barrier();
+                // One barrier instruction per warp that still has live
+                // threads — fully-exited warps (e.g. grid-padding blocks
+                // past the starCount guard) never reach the barrier.
+                let live_warps = (0..threads)
+                    .step_by(warp)
+                    .filter(|&ws| (ws..(ws + warp).min(threads)).any(|t| !exited[t]))
+                    .count();
+                counters.barriers += live_warps as u64;
+            }
+            for warp_start in (0..threads).step_by(warp) {
+                let lanes = warp.min(threads - warp_start);
+                let mut any = false;
+                for (lane, trace) in traces.iter_mut().enumerate().take(lanes) {
+                    let t = warp_start + lane;
+                    trace.clear();
+                    if exited[t] {
+                        continue;
+                    }
+                    any = true;
+                    let thread_idx = cfg.block.delinearize(t);
+                    let ctx_events = std::mem::take(trace);
+                    let mut ctx = ThreadCtx::new(
+                        thread_idx,
+                        block_idx,
+                        cfg.block,
+                        cfg.grid,
+                        &shared,
+                        ctx_events,
+                    );
+                    kernel.run(phase, &mut ctx);
+                    if ctx.exited() {
+                        exited[t] = true;
+                    }
+                    if phase == 0 {
+                        counters.threads += 1;
+                    }
+                    *trace = ctx.take_events();
+                }
+                for trace in traces.iter_mut().skip(lanes) {
+                    trace.clear();
+                }
+                if any {
+                    counters.warps += 1;
+                    analyze_warp(&traces[..lanes], &self.spec, counters, cache);
+                }
+            }
+        }
+        hazards.fetch_add(shared.hazards(), Ordering::Relaxed);
+    }
+}
+
+impl Default for VirtualGpu {
+    fn default() -> Self {
+        VirtualGpu::gtx480()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::FlopClass;
+
+    /// y[i] = a*x[i] + y[i] over a 1-D launch — the "hello world" kernel.
+    struct Saxpy<'a> {
+        a: f32,
+        x: &'a GlobalBuffer<f32>,
+        y: &'a GlobalAtomicF32,
+        n: usize,
+    }
+
+    impl Kernel for Saxpy<'_> {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) {
+            let i = ctx.block_linear() * ctx.block_dim.count() + ctx.thread_linear();
+            if !ctx.branch(i < self.n) {
+                ctx.exit();
+                return;
+            }
+            let xv = ctx.global_read(self.x, i);
+            ctx.flops(FlopClass::Fma, 1);
+            ctx.atomic_add_global(self.y, i, self.a * xv);
+        }
+    }
+
+    #[test]
+    fn saxpy_computes_correct_values() {
+        let gpu = VirtualGpu::gtx480();
+        let n = 1000;
+        let (x, _) = gpu.upload((0..n).map(|i| i as f32).collect::<Vec<_>>());
+        let (y, _) = gpu.upload_atomic_f32(&vec![1.0f32; n]);
+        let k = Saxpy {
+            a: 2.0,
+            x: &x,
+            y: &y,
+            n,
+        };
+        let cfg = LaunchConfig::new(n.div_ceil(128) as u32, 128u32);
+        let profile = gpu.launch("saxpy", &k, cfg).unwrap();
+
+        let (host, _) = gpu.download(&y);
+        for (i, &v) in host.iter().enumerate() {
+            assert_eq!(v, 2.0 * i as f32 + 1.0, "element {i}");
+        }
+        // 1000 threads did work; 1024 launched.
+        assert_eq!(profile.counters.threads, 1024);
+        assert_eq!(profile.counters.flops_fma, 1000);
+        assert!(profile.time_s > 0.0);
+        // The tail warp (threads 992..1024) diverges on the bounds check
+        // (8 in-range, 24 out). All others are uniform.
+        assert_eq!(profile.counters.divergent_branches, 1);
+    }
+
+    #[test]
+    fn coalescing_visible_in_saxpy() {
+        let gpu = VirtualGpu::gtx480();
+        let n = 256;
+        let (x, _) = gpu.upload(vec![1.0f32; n]);
+        let (y, _) = gpu.upload_atomic_f32(&vec![0.0f32; n]);
+        let k = Saxpy {
+            a: 1.0,
+            x: &x,
+            y: &y,
+            n,
+        };
+        let profile = gpu
+            .launch("saxpy", &k, LaunchConfig::new(2u32, 128u32))
+            .unwrap();
+        // 8 warps, each reading 32 consecutive f32 = one 128B transaction.
+        assert_eq!(profile.counters.global_requests, 8);
+        assert_eq!(profile.counters.global_transactions, 8);
+    }
+
+    /// Two-phase kernel staging through shared memory, like the paper's.
+    struct StagedBroadcast<'a> {
+        src: &'a GlobalBuffer<f32>,
+        dst: &'a GlobalAtomicF32,
+    }
+
+    impl Kernel for StagedBroadcast<'_> {
+        fn phases(&self) -> usize {
+            2
+        }
+        fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>) {
+            let b = ctx.block_linear();
+            match phase {
+                0 => {
+                    // One thread per block loads the block's value.
+                    if ctx.branch(ctx.thread_linear() == 0) {
+                        let v = ctx.global_read(self.src, b);
+                        ctx.shared_write(0, v);
+                    }
+                }
+                _ => {
+                    let v = ctx.shared_read(0);
+                    let i = b * ctx.block_dim.count() + ctx.thread_linear();
+                    ctx.atomic_add_global(self.dst, i, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_phases_order_shared_memory() {
+        let gpu = VirtualGpu::gtx480();
+        let blocks = 20;
+        let tpb = 64;
+        let (src, _) = gpu.upload((0..blocks).map(|b| b as f32 * 10.0).collect::<Vec<_>>());
+        let dst = gpu.alloc_atomic_f32(blocks * tpb);
+        let k = StagedBroadcast {
+            src: &src,
+            dst: &dst,
+        };
+        let cfg = LaunchConfig::new(blocks as u32, tpb as u32).with_shared_mem(4);
+        let profile = gpu.launch("staged", &k, cfg).unwrap();
+        let (host, _) = gpu.download(&dst);
+        for b in 0..blocks {
+            for t in 0..tpb {
+                assert_eq!(host[b * tpb + t], b as f32 * 10.0);
+            }
+        }
+        // No same-phase hazard: the write and reads are barrier-separated.
+        assert_eq!(profile.counters.shared_hazards, 0);
+        // Barriers: one per warp per extra phase = blocks × 2 warps.
+        assert_eq!(profile.counters.barriers, (blocks * 2) as u64);
+        // Global reads reduced to one per block by the staging (the paper's
+        // §III-B.3 optimization).
+        assert_eq!(profile.counters.global_requests, blocks as u64);
+    }
+
+    /// The same broadcast *without* the barrier — the bug the paper's
+    /// step 6 (`__syncthreads`) prevents. The hazard detector must fire.
+    struct RacyBroadcast<'a> {
+        src: &'a GlobalBuffer<f32>,
+    }
+
+    impl Kernel for RacyBroadcast<'_> {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) {
+            if ctx.branch(ctx.thread_linear() == 0) {
+                let v = ctx.global_read(self.src, ctx.block_linear());
+                ctx.shared_write(0, v);
+            }
+            let _ = ctx.shared_read(0);
+        }
+    }
+
+    #[test]
+    fn missing_syncthreads_detected_as_hazard() {
+        let gpu = VirtualGpu::gtx480();
+        let (src, _) = gpu.upload(vec![1.0f32; 4]);
+        let k = RacyBroadcast { src: &src };
+        let cfg = LaunchConfig::new(4u32, 32u32).with_shared_mem(4);
+        let profile = gpu.launch("racy", &k, cfg).unwrap();
+        assert!(
+            profile.counters.shared_hazards > 0,
+            "cross-thread same-phase read must be flagged"
+        );
+    }
+
+    #[test]
+    fn launch_validation_propagates() {
+        let gpu = VirtualGpu::gtx480();
+        let (src, _) = gpu.upload(vec![1.0f32; 4]);
+        let k = RacyBroadcast { src: &src };
+        let bad = LaunchConfig::new(1u32, Dim3::d2(33, 33));
+        assert!(matches!(
+            gpu.launch("bad", &k, bad),
+            Err(GpuError::InvalidLaunch(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_counters_across_worker_counts() {
+        let run = |workers: usize| {
+            let gpu = VirtualGpu::gtx480().with_workers(workers);
+            let n = 4096;
+            let (x, _) = gpu.upload(vec![1.0f32; n]);
+            let (y, _) = gpu.upload_atomic_f32(&vec![0.0f32; n]);
+            let k = Saxpy {
+                a: 3.0,
+                x: &x,
+                y: &y,
+                n,
+            };
+            gpu.launch("saxpy", &k, LaunchConfig::new(32u32, 128u32))
+                .unwrap()
+                .counters
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a, b, "counters must not depend on host parallelism");
+    }
+
+    #[test]
+    fn texture_budget_enforced_through_device() {
+        let gpu = VirtualGpu::gtx480();
+        let too_big = gpu.spec().texture_mem_bytes / 4 + 1;
+        let r = gpu.bind_texture(too_big, 1, 1, vec![0.0; too_big]);
+        assert!(matches!(r, Err(GpuError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn upload_download_roundtrip_with_times() {
+        let gpu = VirtualGpu::gtx480();
+        let (buf, t_up) = gpu.upload_atomic_f32(&[1.0, 2.0, 3.0]);
+        let (back, t_down) = gpu.download(&buf);
+        assert_eq!(back, vec![1.0, 2.0, 3.0]);
+        assert!(t_up > 0.0 && t_down > 0.0);
+    }
+}

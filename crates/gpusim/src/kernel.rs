@@ -1,0 +1,282 @@
+//! The kernel programming model: barrier-phased kernels and the per-thread
+//! execution context.
+//!
+//! A CUDA kernel with `__syncthreads()` barriers is expressed here as a
+//! sequence of *phases*: phase boundaries are exactly the barriers. The
+//! executor runs every (non-exited) thread of a block through phase `p`
+//! before any thread enters phase `p+1`, which is precisely the
+//! synchronization `__syncthreads()` guarantees. The paper's parallel
+//! kernel (Fig. 6) is two phases: brightness staging, then pixel
+//! computation.
+//!
+//! Every device operation goes through [`ThreadCtx`], which performs the
+//! *functional* effect (real loads, stores, float math on real data) and
+//! logs an [`Event`] for the warp-level performance analysis (coalescing,
+//! bank conflicts, texture cache, atomic serialization, divergence).
+
+use crate::counters::FlopClass;
+use crate::dim::Dim3;
+use crate::memory::global::{GlobalAtomicF32, GlobalBuffer};
+use crate::memory::shared::SharedMem;
+use crate::memory::texture::Texture;
+
+/// One device operation observed during a thread's execution of a phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// `n` scalar flops of a class (warp-issues once per call site).
+    Flop {
+        /// Operation class.
+        class: FlopClass,
+        /// Scalar operation count.
+        n: u16,
+    },
+    /// A global memory read at a device byte address.
+    GlobalRead {
+        /// Device byte address.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u16,
+    },
+    /// A shared memory read of a 4-byte word.
+    SharedRead {
+        /// Word index.
+        word: u32,
+    },
+    /// A shared memory write of a 4-byte word.
+    SharedWrite {
+        /// Word index.
+        word: u32,
+    },
+    /// A texture fetch at a (swizzled) device byte address.
+    TexFetch {
+        /// Swizzled device byte address.
+        addr: u64,
+    },
+    /// A global-memory `atomicAdd`.
+    AtomicAdd {
+        /// Device byte address.
+        addr: u64,
+    },
+    /// A data-dependent branch.
+    Branch {
+        /// Whether this thread took the branch.
+        taken: bool,
+    },
+}
+
+/// A barrier-phased kernel.
+///
+/// Implementations must be `Sync`: the same kernel object is shared by all
+/// worker threads.
+pub trait Kernel: Sync {
+    /// Number of barrier-separated phases (≥ 1). The executor inserts a
+    /// block-wide barrier (`__syncthreads()`) between consecutive phases.
+    fn phases(&self) -> usize {
+        1
+    }
+
+    /// Runs one thread through one phase.
+    fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>);
+}
+
+/// Per-thread execution context: identity, shared memory, and event log.
+#[derive(Debug)]
+pub struct ThreadCtx<'a> {
+    /// `threadIdx`.
+    pub thread_idx: Dim3,
+    /// `blockIdx`.
+    pub block_idx: Dim3,
+    /// `blockDim`.
+    pub block_dim: Dim3,
+    /// `gridDim`.
+    pub grid_dim: Dim3,
+    shared: &'a SharedMem,
+    events: Vec<Event>,
+    exited: bool,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// Creates a context (called by the executor).
+    pub(crate) fn new(
+        thread_idx: Dim3,
+        block_idx: Dim3,
+        block_dim: Dim3,
+        grid_dim: Dim3,
+        shared: &'a SharedMem,
+        events: Vec<Event>,
+    ) -> Self {
+        ThreadCtx {
+            thread_idx,
+            block_idx,
+            block_dim,
+            grid_dim,
+            shared,
+            events,
+            exited: false,
+        }
+    }
+
+    /// Linear thread index within the block (CUDA ordering — determines
+    /// warp membership).
+    #[inline]
+    pub fn thread_linear(&self) -> usize {
+        self.block_dim.linear(self.thread_idx)
+    }
+
+    /// Linear block index within the grid (the paper's
+    /// `blockIdx.x + blockIdx.y * gridDim.x`).
+    #[inline]
+    pub fn block_linear(&self) -> usize {
+        self.grid_dim.linear(self.block_idx)
+    }
+
+    /// Records `n` scalar flops of `class`.
+    #[inline]
+    pub fn flops(&mut self, class: FlopClass, n: u16) {
+        self.events.push(Event::Flop { class, n });
+    }
+
+    /// Global memory read of element `idx` from a device buffer.
+    #[inline]
+    pub fn global_read<T: Copy>(&mut self, buf: &GlobalBuffer<T>, idx: usize) -> T {
+        self.events.push(Event::GlobalRead {
+            addr: buf.addr_of(idx),
+            bytes: std::mem::size_of::<T>() as u16,
+        });
+        buf.read(idx)
+    }
+
+    /// Global-memory `atomicAdd(&buf[idx], v)`, returning the old value.
+    #[inline]
+    pub fn atomic_add_global(&mut self, buf: &GlobalAtomicF32, idx: usize, v: f32) -> f32 {
+        self.events.push(Event::AtomicAdd {
+            addr: buf.addr_of(idx),
+        });
+        buf.atomic_add(idx, v)
+    }
+
+    /// Shared memory read of word `idx`.
+    #[inline]
+    pub fn shared_read(&mut self, idx: usize) -> f32 {
+        self.events.push(Event::SharedRead { word: idx as u32 });
+        self.shared.read(idx, self.thread_linear() as u32)
+    }
+
+    /// Shared memory write of word `idx`.
+    #[inline]
+    pub fn shared_write(&mut self, idx: usize, v: f32) {
+        self.events.push(Event::SharedWrite { word: idx as u32 });
+        self.shared.write(idx, v, self.thread_linear() as u32);
+    }
+
+    /// Texture fetch `tex[layer](x, y)` with clamp addressing.
+    #[inline]
+    pub fn tex_fetch(&mut self, tex: &Texture, layer: usize, x: i64, y: i64) -> f32 {
+        let (value, addr) = tex.fetch(layer, x, y);
+        self.events.push(Event::TexFetch { addr });
+        value
+    }
+
+    /// Records a data-dependent branch and returns `cond`, so kernels write
+    /// `if ctx.branch(cond) { ... }`. Mixed outcomes within a warp are
+    /// counted as a divergent branch by the analyzer.
+    #[inline]
+    pub fn branch(&mut self, cond: bool) -> bool {
+        self.events.push(Event::Branch { taken: cond });
+        cond
+    }
+
+    /// Early return (`return;` in CUDA): the thread skips all remaining
+    /// phases. Used by the paper's `if (blockId >= starCount) return`.
+    #[inline]
+    pub fn exit(&mut self) {
+        self.exited = true;
+    }
+
+    /// Whether [`Self::exit`] was called.
+    pub(crate) fn exited(&self) -> bool {
+        self.exited
+    }
+
+    /// Drains the event log (executor use).
+    pub(crate) fn take_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::global::AddressSpace;
+
+    fn ctx<'a>(shared: &'a SharedMem) -> ThreadCtx<'a> {
+        ThreadCtx::new(
+            Dim3::d3(3, 2, 0),
+            Dim3::d3(1, 1, 0),
+            Dim3::d2(10, 10),
+            Dim3::d2(4, 4),
+            shared,
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn indices_linearize_like_cuda() {
+        let sm = SharedMem::new(4);
+        let c = ctx(&sm);
+        assert_eq!(c.thread_linear(), 23); // 3 + 2·10
+        assert_eq!(c.block_linear(), 5); // 1 + 1·4
+    }
+
+    #[test]
+    fn operations_log_events_and_have_effects() {
+        let sm = SharedMem::new(4);
+        let space = AddressSpace::new();
+        let buf = GlobalBuffer::from_host(&space, vec![10.0f32, 20.0]);
+        let img = GlobalAtomicF32::zeroed(&space, 8);
+
+        let mut c = ctx(&sm);
+        c.flops(FlopClass::Mul, 3);
+        assert_eq!(c.global_read(&buf, 1), 20.0);
+        c.shared_write(2, 7.0);
+        assert_eq!(c.shared_read(2), 7.0);
+        let prev = c.atomic_add_global(&img, 5, 1.5);
+        assert_eq!(prev, 0.0);
+        assert_eq!(img.read(5), 1.5);
+        assert!(c.branch(true));
+        assert!(!c.branch(false));
+
+        let events = c.take_events();
+        assert_eq!(events.len(), 7);
+        assert!(matches!(events[0], Event::Flop { n: 3, .. }));
+        assert!(matches!(events[1], Event::GlobalRead { bytes: 4, .. }));
+        assert!(matches!(events[2], Event::SharedWrite { word: 2 }));
+        assert!(matches!(events[3], Event::SharedRead { word: 2 }));
+        assert!(matches!(events[4], Event::AtomicAdd { .. }));
+        assert!(matches!(events[5], Event::Branch { taken: true }));
+        assert!(matches!(events[6], Event::Branch { taken: false }));
+    }
+
+    #[test]
+    fn texture_fetch_logs_swizzled_address() {
+        let sm = SharedMem::new(1);
+        let space = AddressSpace::new();
+        let tex = Texture::bind(&space, 2, 2, 1, vec![1.0, 2.0, 3.0, 4.0], usize::MAX).unwrap();
+        let mut c = ctx(&sm);
+        assert_eq!(c.tex_fetch(&tex, 0, 1, 1), 4.0);
+        let events = c.take_events();
+        match events[0] {
+            Event::TexFetch { addr } => assert_eq!(addr, tex.fetch(0, 1, 1).1),
+            ref other => panic!("expected TexFetch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exit_flag() {
+        let sm = SharedMem::new(1);
+        let mut c = ctx(&sm);
+        assert!(!c.exited());
+        c.exit();
+        assert!(c.exited());
+    }
+}

@@ -1,0 +1,206 @@
+//! A set-associative LRU cache simulator.
+//!
+//! Models the per-SM texture L1 cache the adaptive simulator leans on: the
+//! paper stores the lookup table in texture memory because "the texture
+//! memory has the texture (L2) cache, which will speed up the access when
+//! the same star data in lookup table has been accessed several times"
+//! (§III-C). Each executor worker (one virtual SM) owns one instance, so
+//! accesses need no locking.
+
+/// Set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    line_bytes: usize,
+    sets: usize,
+    ways: usize,
+    /// `tags[set * ways + way]`: cached line tag, `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// A cache of `capacity_bytes` with `line_bytes` lines and `ways`-way
+    /// associativity.
+    ///
+    /// # Panics
+    /// Panics when parameters are zero, non-power-of-two line size, or the
+    /// geometry doesn't divide evenly.
+    pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Self {
+        assert!(capacity_bytes > 0 && line_bytes > 0 && ways > 0);
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two, got {line_bytes}"
+        );
+        let lines = capacity_bytes / line_bytes;
+        assert!(
+            lines >= ways && lines.is_multiple_of(ways),
+            "cache of {lines} lines cannot be {ways}-way associative"
+        );
+        let sets = lines / ways;
+        CacheSim {
+            line_bytes,
+            sets,
+            ways,
+            tags: vec![u64::MAX; lines],
+            stamps: vec![0; lines],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Performs one access at byte address `addr`; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr / self.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let base = set * self.ways;
+        let slots = &mut self.tags[base..base + self.ways];
+
+        if let Some(way) = slots.iter().position(|&t| t == line) {
+            self.stamps[base + way] = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        // Miss: evict the LRU way of this set.
+        let lru = (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways > 0");
+        self.tags[base + lru] = line;
+        self.stamps[base + lru] = self.clock;
+        self.misses += 1;
+        false
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidates all contents, keeping statistics.
+    pub fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+    }
+
+    /// Resets both contents and statistics.
+    pub fn reset(&mut self) {
+        self.flush();
+        self.hits = 0;
+        self.misses = 0;
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63), "same line");
+        assert!(!c.access(64), "next line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 2 sets × 2 ways × 64B = 256B. Addresses 0, 128, 256 share set 0.
+        let mut c = CacheSim::new(256, 64, 2);
+        assert!(!c.access(0));
+        assert!(!c.access(128));
+        assert!(c.access(0)); // refresh line 0
+        assert!(!c.access(256)); // evicts 128 (LRU)
+        assert!(c.access(0), "line 0 must survive");
+        assert!(!c.access(128), "line 128 was evicted");
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = CacheSim::new(256, 64, 2);
+        assert!(!c.access(0)); // set 0
+        assert!(!c.access(64)); // set 1
+        assert!(c.access(0));
+        assert!(c.access(64));
+    }
+
+    #[test]
+    fn working_set_within_capacity_fully_hits_on_second_pass() {
+        let mut c = CacheSim::new(8192, 128, 8);
+        for pass in 0..2 {
+            for addr in (0..8192u64).step_by(4) {
+                let hit = c.access(addr);
+                if pass == 1 {
+                    assert!(hit, "second pass over resident set must hit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = CacheSim::new(1024, 64, 4);
+        // Stream 16 KB twice: second pass misses too (LRU streaming).
+        for _ in 0..2 {
+            for addr in (0..16384u64).step_by(64) {
+                c.access(addr);
+            }
+        }
+        assert!(c.misses() > c.hits());
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut c = CacheSim::new(256, 64, 2);
+        c.access(0);
+        c.access(0);
+        c.flush();
+        assert!(!c.access(0), "flushed line must miss");
+        assert_eq!(c.hits(), 1);
+        c.reset();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let c = CacheSim::new(12 * 1024, 128, 16);
+        assert_eq!(c.sets(), 6);
+        assert_eq!(c.line_bytes(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_line_rejected() {
+        let _ = CacheSim::new(1024, 100, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_rejected() {
+        let _ = CacheSim::new(64, 64, 2); // 1 line, 2 ways
+    }
+}

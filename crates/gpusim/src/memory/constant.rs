@@ -1,0 +1,165 @@
+//! Constant memory: the read-only, broadcast-cached space CUDA uses for
+//! kernel parameters and small shared tables.
+//!
+//! The paper's kernel interface passes "two categories of information ...
+//! as parameters to ensure a safe data deployment" (§III-B.3) — image
+//! size, `starCount`, device pointers. On real hardware those live in
+//! constant memory: reads that *broadcast* (all lanes read the same
+//! address) cost about as much as a register after the constant cache
+//! warms, while divergent constant reads serialize per distinct address.
+//! [`ConstantBuffer`] models exactly that; the star kernels' parameters
+//! are uniform per launch, so their constant traffic is effectively free —
+//! which is why the executor does not charge for plain kernel fields — but
+//! kernels that *index* constant memory per thread (e.g. coefficient
+//! tables) can use this type to get the serialization accounted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::GpuError;
+
+/// Fermi's constant-memory budget, bytes (64 KB).
+pub const CONSTANT_MEM_BYTES: usize = 64 * 1024;
+
+/// A read-only device buffer in constant memory.
+#[derive(Debug)]
+pub struct ConstantBuffer<T> {
+    data: Vec<T>,
+    /// Warp-level reads that broadcast (single address).
+    broadcasts: AtomicU64,
+    /// Extra serialization steps from multi-address warp reads.
+    serializations: AtomicU64,
+}
+
+impl<T: Copy> ConstantBuffer<T> {
+    /// Uploads `data` into constant memory, enforcing the 64 KB budget.
+    pub fn new(data: Vec<T>) -> Result<Self, GpuError> {
+        let bytes = std::mem::size_of_val(data.as_slice());
+        if bytes > CONSTANT_MEM_BYTES {
+            return Err(GpuError::OutOfMemory {
+                requested: bytes,
+                available: CONSTANT_MEM_BYTES,
+                space: "constant",
+            });
+        }
+        Ok(ConstantBuffer {
+            data,
+            broadcasts: AtomicU64::new(0),
+            serializations: AtomicU64::new(0),
+        })
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A warp-level read: every lane supplies its index; the hardware
+    /// serializes one transaction per *distinct* index. Returns the values
+    /// in lane order.
+    ///
+    /// # Panics
+    /// Panics when any index is out of bounds.
+    pub fn warp_read(&self, indices: &[usize]) -> Vec<T> {
+        let mut distinct: Vec<usize> = indices.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        match distinct.len() {
+            0 => {}
+            1 => {
+                self.broadcasts.fetch_add(1, Ordering::Relaxed);
+            }
+            n => {
+                self.broadcasts.fetch_add(1, Ordering::Relaxed);
+                self.serializations
+                    .fetch_add(n as u64 - 1, Ordering::Relaxed);
+            }
+        }
+        indices.iter().map(|&i| self.data[i]).collect()
+    }
+
+    /// Uniform (all-lanes-same) read of element `idx` — the kernel-param
+    /// pattern; counted as one broadcast.
+    pub fn read_uniform(&self, idx: usize) -> T {
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+        self.data[idx]
+    }
+
+    /// Broadcast reads observed.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts.load(Ordering::Relaxed)
+    }
+
+    /// Serialization steps observed (divergent constant reads).
+    pub fn serializations(&self) -> u64 {
+        self.serializations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_enforced() {
+        let ok = ConstantBuffer::new(vec![0u8; CONSTANT_MEM_BYTES]);
+        assert!(ok.is_ok());
+        let too_big = ConstantBuffer::new(vec![0u8; CONSTANT_MEM_BYTES + 1]);
+        match too_big {
+            Err(GpuError::OutOfMemory { space, .. }) => assert_eq!(space, "constant"),
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uniform_reads_are_broadcasts() {
+        let c = ConstantBuffer::new(vec![10u32, 20, 30]).unwrap();
+        assert_eq!(c.read_uniform(1), 20);
+        assert_eq!(c.read_uniform(1), 20);
+        assert_eq!(c.broadcasts(), 2);
+        assert_eq!(c.serializations(), 0);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn warp_broadcast_is_free_of_serialization() {
+        let c = ConstantBuffer::new(vec![7.0f32; 8]).unwrap();
+        let vals = c.warp_read(&[3; 32]);
+        assert_eq!(vals, vec![7.0f32; 32]);
+        assert_eq!(c.broadcasts(), 1);
+        assert_eq!(c.serializations(), 0);
+    }
+
+    #[test]
+    fn divergent_warp_reads_serialize_per_distinct_address() {
+        let c = ConstantBuffer::new((0..32u32).collect::<Vec<_>>()).unwrap();
+        // 32 lanes, 4 distinct indices ⇒ 3 extra serialization steps.
+        let indices: Vec<usize> = (0..32).map(|i| i % 4).collect();
+        let vals = c.warp_read(&indices);
+        assert_eq!(vals[5], 1);
+        assert_eq!(c.serializations(), 3);
+        // Fully divergent: 31 extra steps.
+        let all: Vec<usize> = (0..32).collect();
+        c.warp_read(&all);
+        assert_eq!(c.serializations(), 3 + 31);
+    }
+
+    #[test]
+    fn empty_warp_read_is_noop() {
+        let c = ConstantBuffer::new(vec![1u8]).unwrap();
+        assert!(c.warp_read(&[]).is_empty());
+        assert_eq!(c.broadcasts(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_faults() {
+        let c = ConstantBuffer::new(vec![1u8]).unwrap();
+        let _ = c.read_uniform(1);
+    }
+}

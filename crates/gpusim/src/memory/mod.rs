@@ -1,0 +1,10 @@
+//! The virtual GPU's memory spaces: global buffers, per-block shared
+//! memory, layered textures with a per-SM cache, and the PCIe transfer
+//! model.
+
+pub mod cache;
+pub mod constant;
+pub mod global;
+pub mod shared;
+pub mod texture;
+pub mod transfer;

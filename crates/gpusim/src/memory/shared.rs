@@ -1,0 +1,139 @@
+//! Per-block shared memory.
+//!
+//! The paper's kernel stages the star's brightness and position in shared
+//! memory so "the global memory access frequency will be reduced from all
+//! threads to one thread per block" (§III-B.3). Within the executor a block
+//! runs on a single worker thread, so shared memory needs no atomics — but
+//! it *does* track same-phase read-after-write hazards: a thread reading a
+//! cell another thread wrote in the same barrier phase is exactly the race
+//! `__syncthreads()` exists to prevent (paper Fig. 6 step 6).
+
+use std::cell::{Cell, RefCell};
+
+/// A block's shared memory: a word-addressed array of `f32` cells.
+#[derive(Debug)]
+pub struct SharedMem {
+    words: RefCell<Box<[f32]>>,
+    /// Which thread (linear id + 1; 0 = none) wrote each word this phase.
+    writer: RefCell<Box<[u32]>>,
+    hazards: Cell<u64>,
+}
+
+impl SharedMem {
+    /// Shared memory of `words` f32 cells, zero-initialized.
+    pub fn new(words: usize) -> Self {
+        SharedMem {
+            words: RefCell::new(vec![0.0; words].into_boxed_slice()),
+            writer: RefCell::new(vec![0u32; words].into_boxed_slice()),
+            hazards: Cell::new(0),
+        }
+    }
+
+    /// Word count.
+    pub fn len(&self) -> usize {
+        self.words.borrow().len()
+    }
+
+    /// True when zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.len() * 4
+    }
+
+    /// Reads word `idx` on behalf of `thread_linear`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn read(&self, idx: usize, thread_linear: u32) -> f32 {
+        let w = self.writer.borrow()[idx];
+        if w != 0 && w != thread_linear + 1 {
+            // Same-phase cross-thread visibility: on real hardware this
+            // value may or may not have landed yet — a missing barrier.
+            self.hazards.set(self.hazards.get() + 1);
+        }
+        self.words.borrow()[idx]
+    }
+
+    /// Writes word `idx` on behalf of `thread_linear`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn write(&self, idx: usize, v: f32, thread_linear: u32) {
+        self.words.borrow_mut()[idx] = v;
+        self.writer.borrow_mut()[idx] = thread_linear + 1;
+    }
+
+    /// Barrier: clears the phase-local writer tracking. Called by the
+    /// executor between kernel phases (the `__syncthreads()` points).
+    pub fn barrier(&self) {
+        self.writer.borrow_mut().fill(0);
+    }
+
+    /// Hazards observed so far (reads of same-phase foreign writes).
+    pub fn hazards(&self) -> u64 {
+        self.hazards.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_read_write() {
+        let sm = SharedMem::new(3);
+        assert_eq!(sm.len(), 3);
+        assert_eq!(sm.size_bytes(), 12);
+        assert!(!sm.is_empty());
+        sm.write(0, 4.5, 0);
+        assert_eq!(sm.read(0, 0), 4.5);
+        assert_eq!(sm.read(1, 0), 0.0);
+    }
+
+    #[test]
+    fn same_thread_rw_is_not_a_hazard() {
+        let sm = SharedMem::new(1);
+        sm.write(0, 1.0, 7);
+        let _ = sm.read(0, 7);
+        assert_eq!(sm.hazards(), 0);
+    }
+
+    #[test]
+    fn cross_thread_same_phase_read_is_a_hazard() {
+        // Thread 0 writes, thread 5 reads with no barrier in between: this
+        // is the bug the paper's step-6 __syncthreads prevents.
+        let sm = SharedMem::new(3);
+        sm.write(0, 2.0, 0);
+        let _ = sm.read(0, 5);
+        assert_eq!(sm.hazards(), 1);
+    }
+
+    #[test]
+    fn barrier_clears_hazard_window() {
+        let sm = SharedMem::new(1);
+        sm.write(0, 2.0, 0);
+        sm.barrier(); // __syncthreads()
+        let _ = sm.read(0, 5);
+        assert_eq!(sm.hazards(), 0, "post-barrier reads are safe");
+    }
+
+    #[test]
+    fn reads_before_any_write_are_safe() {
+        let sm = SharedMem::new(2);
+        let _ = sm.read(1, 3);
+        assert_eq!(sm.hazards(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let sm = SharedMem::new(2);
+        let _ = sm.read(2, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! A minimal scoped parallel-for used to run thread blocks across worker
+//! threads ("virtual SMs").
+//!
+//! We deliberately do not depend on rayon: the executor wants explicit
+//! control of how blocks map onto workers (each worker plays one SM for the
+//! timing model), and the work shape is trivially regular — an atomic
+//! chunk-claiming loop over a dense index range is the textbook solution
+//! (*Rust Atomics and Locks*, ch. 1/2) and is exactly how a GPU's global
+//! work distributor hands blocks to SMs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `body(index, worker_id)` for every index in `0..count`, distributing
+/// chunks of `chunk` indices over `workers` OS threads.
+///
+/// `body` must be `Sync` (shared by reference across workers). The call
+/// blocks until every index has been processed. Panics in `body` propagate
+/// after all workers stop claiming work.
+///
+/// With `workers == 1` the loop runs inline on the caller's thread — no
+/// spawn overhead, which also keeps single-core CI environments fast.
+pub fn parallel_for<F>(count: usize, workers: usize, chunk: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let workers = workers.max(1);
+    let chunk = chunk.max(1);
+    if count == 0 {
+        return;
+    }
+    if workers == 1 || count <= chunk {
+        for i in 0..count {
+            body(i, 0);
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for worker_id in 0..workers {
+            let next = &next;
+            let body = &body;
+            s.spawn(move || loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= count {
+                    break;
+                }
+                let end = (start + chunk).min(count);
+                for i in start..end {
+                    body(i, worker_id);
+                }
+            });
+        }
+    });
+}
+
+/// The number of workers to use by default: one per available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn visits_every_index_exactly_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, 4, 64, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_count_is_a_noop() {
+        parallel_for(0, 4, 16, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn single_worker_runs_inline_in_order() {
+        let order = std::sync::Mutex::new(Vec::new());
+        parallel_for(5, 1, 2, |i, w| {
+            assert_eq!(w, 0);
+            order.lock().unwrap().push(i);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn small_count_avoids_spawning() {
+        // count <= chunk runs inline; worker id must be 0 throughout.
+        parallel_for(3, 8, 16, |_, w| assert_eq!(w, 0));
+    }
+
+    #[test]
+    fn sums_match_sequential() {
+        let total = AtomicU64::new(0);
+        parallel_for(1000, 3, 7, |i, _| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn worker_ids_are_in_range() {
+        let n = 2000;
+        parallel_for(n, 4, 8, |_, w| assert!(w < 4));
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Profiles: per-kernel and per-application timing records.
+//!
+//! The paper's analysis lives on the split between *kernel time* and
+//! *non-kernel overhead* (Figs. 11/12/15/16, Table I); these types carry
+//! exactly that decomposition.
+
+use crate::counters::Counters;
+use crate::timing::{CycleBreakdown, Occupancy};
+
+/// The result of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    /// Kernel label.
+    pub name: String,
+    /// Modeled execution time, seconds.
+    pub time_s: f64,
+    /// Cycle breakdown behind `time_s`.
+    pub cycles: CycleBreakdown,
+    /// Event counters gathered during execution.
+    pub counters: Counters,
+    /// Occupancy of the launch.
+    pub occupancy: Occupancy,
+}
+
+/// What dominates a kernel's modeled cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundedness {
+    /// Arithmetic pipelines (incl. SFU transcendentals) dominate.
+    Compute,
+    /// Global/texture memory traffic dominates.
+    Memory,
+    /// Atomics and their serialization dominate.
+    Atomic,
+    /// Shared memory, barriers and divergence dominate.
+    Control,
+}
+
+impl KernelProfile {
+    /// Achieved GFLOPS (paper Table II).
+    pub fn gflops(&self) -> f64 {
+        crate::timing::gflops(&self.counters, self.time_s)
+    }
+
+    /// Classifies the kernel by its dominant cycle component.
+    pub fn boundedness(&self) -> Boundedness {
+        let b = &self.cycles;
+        let compute = b.arith + b.special;
+        let memory = b.global + b.texture;
+        let atomic = b.atomic;
+        let control = b.shared + b.control;
+        let max = compute.max(memory).max(atomic).max(control);
+        if max == compute {
+            Boundedness::Compute
+        } else if max == memory {
+            Boundedness::Memory
+        } else if max == atomic {
+            Boundedness::Atomic
+        } else {
+            Boundedness::Control
+        }
+    }
+
+    /// A human-readable profile report (the virtual GPU's answer to
+    /// `nvprof`), used by examples and the harness's verbose modes.
+    pub fn describe(&self) -> String {
+        let c = &self.counters;
+        let b = &self.cycles;
+        let total = b.total().max(1e-12);
+        let pct = |x: f64| x / total * 100.0;
+        format!(
+            "kernel `{}`: {:.3} ms, {:.1} GFLOPS, {:?}-bound\n\
+             \x20 occupancy: {:.0}% ({} blocks/SM, {} warps/SM, {} active SMs)\n\
+             \x20 cycles: arith {:.1}% | special {:.1}% | shared {:.1}% | \
+             global {:.1}% | texture {:.1}% | atomic {:.1}% | control {:.1}%\n\
+             \x20 memory: {} global transactions / {} requests, \
+             texture hit rate {:.1}%\n\
+             \x20 atomics: {} requests, {} serialization steps\n\
+             \x20 divergence: {} of {} branches; shared-memory hazards: {}",
+            self.name,
+            self.time_s * 1e3,
+            self.gflops(),
+            self.boundedness(),
+            self.occupancy.fraction * 100.0,
+            self.occupancy.blocks_per_sm,
+            self.occupancy.warps_per_sm,
+            self.occupancy.active_sms,
+            pct(b.arith),
+            pct(b.special),
+            pct(b.shared),
+            pct(b.global),
+            pct(b.texture),
+            pct(b.atomic),
+            pct(b.control),
+            c.global_transactions,
+            c.global_requests,
+            c.tex_hit_rate() * 100.0,
+            c.atomic_requests,
+            c.atomic_conflicts,
+            c.divergent_branches,
+            c.branches,
+            c.shared_hazards,
+        )
+    }
+}
+
+/// One non-kernel cost item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadItem {
+    /// What the time was spent on (e.g. `"CPU-GPU transmission"`,
+    /// `"lookup table build"`, `"texture memory binding"`).
+    pub label: String,
+    /// Seconds.
+    pub time_s: f64,
+}
+
+/// A whole simulator run: kernels plus non-kernel overheads.
+#[derive(Debug, Clone, Default)]
+pub struct AppProfile {
+    /// Kernel launches, in order.
+    pub kernels: Vec<KernelProfile>,
+    /// Non-kernel items, in order.
+    pub overheads: Vec<OverheadItem>,
+}
+
+impl AppProfile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        AppProfile::default()
+    }
+
+    /// Adds a non-kernel item.
+    pub fn push_overhead(&mut self, label: impl Into<String>, time_s: f64) {
+        self.overheads.push(OverheadItem {
+            label: label.into(),
+            time_s,
+        });
+    }
+
+    /// Total kernel time, seconds.
+    pub fn kernel_time(&self) -> f64 {
+        // fold from +0.0: `Iterator::sum` yields -0.0 on empty input,
+        // which formats as "-0.000".
+        self.kernels.iter().map(|k| k.time_s).fold(0.0, |a, b| a + b)
+    }
+
+    /// Total non-kernel time, seconds.
+    pub fn non_kernel_time(&self) -> f64 {
+        self.overheads.iter().map(|o| o.time_s).fold(0.0, |a, b| a + b)
+    }
+
+    /// Application time: kernel + non-kernel.
+    pub fn app_time(&self) -> f64 {
+        self.kernel_time() + self.non_kernel_time()
+    }
+
+    /// The percentage of application time spent outside kernels
+    /// (paper Fig. 16's y-axis). Zero for an empty profile.
+    pub fn non_kernel_percentage(&self) -> f64 {
+        let app = self.app_time();
+        if app <= 0.0 {
+            0.0
+        } else {
+            self.non_kernel_time() / app * 100.0
+        }
+    }
+
+    /// Sum of a labelled overhead across the run (e.g. all transfers).
+    pub fn overhead_named(&self, label: &str) -> f64 {
+        self.overheads
+            .iter()
+            .filter(|o| o.label == label)
+            .map(|o| o.time_s)
+            .fold(0.0, |a, b| a + b)
+    }
+
+    /// Merged counters across all kernels.
+    pub fn total_counters(&self) -> Counters {
+        let mut c = Counters::default();
+        for k in &self.kernels {
+            c.merge(&k.counters);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::Occupancy;
+
+    fn kernel(name: &str, t: f64, flops: u64) -> KernelProfile {
+        KernelProfile {
+            name: name.into(),
+            time_s: t,
+            cycles: CycleBreakdown::default(),
+            counters: Counters {
+                flops_add: flops,
+                ..Default::default()
+            },
+            occupancy: Occupancy {
+                blocks_per_sm: 1,
+                warps_per_sm: 1,
+                fraction: 1.0,
+                active_sms: 1,
+                effective_warps: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let mut app = AppProfile::new();
+        app.kernels.push(kernel("k1", 0.002, 1000));
+        app.kernels.push(kernel("k2", 0.001, 500));
+        app.push_overhead("CPU-GPU transmission", 0.0025);
+        app.push_overhead("lookup table build", 0.0007);
+        app.push_overhead("CPU-GPU transmission", 0.0012);
+
+        assert!((app.kernel_time() - 0.003).abs() < 1e-12);
+        assert!((app.non_kernel_time() - 0.0044).abs() < 1e-12);
+        assert!((app.app_time() - 0.0074).abs() < 1e-12);
+        assert!((app.non_kernel_percentage() - 0.0044 / 0.0074 * 100.0).abs() < 1e-9);
+        assert!((app.overhead_named("CPU-GPU transmission") - 0.0037).abs() < 1e-12);
+        assert_eq!(app.overhead_named("missing"), 0.0);
+        assert_eq!(app.total_counters().flops_add, 1500);
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let app = AppProfile::new();
+        assert_eq!(app.app_time(), 0.0);
+        assert_eq!(app.non_kernel_percentage(), 0.0);
+        // Positive zero specifically: -0.0 would print as "-0.000 ms".
+        assert!(app.kernel_time().is_sign_positive());
+        assert!(app.non_kernel_time().is_sign_positive());
+        assert!(app.overhead_named("anything").is_sign_positive());
+    }
+
+    #[test]
+    fn gflops_from_profile() {
+        let k = kernel("k", 0.5, 1_000_000_000);
+        assert!((k.gflops() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundedness_classification() {
+        let mut k = kernel("k", 0.001, 100);
+        k.cycles = CycleBreakdown {
+            special: 1000.0,
+            global: 10.0,
+            ..Default::default()
+        };
+        assert_eq!(k.boundedness(), Boundedness::Compute);
+        k.cycles = CycleBreakdown {
+            texture: 500.0,
+            global: 600.0,
+            arith: 10.0,
+            ..Default::default()
+        };
+        assert_eq!(k.boundedness(), Boundedness::Memory);
+        k.cycles = CycleBreakdown {
+            atomic: 2000.0,
+            arith: 100.0,
+            ..Default::default()
+        };
+        assert_eq!(k.boundedness(), Boundedness::Atomic);
+        k.cycles = CycleBreakdown {
+            shared: 50.0,
+            control: 60.0,
+            ..Default::default()
+        };
+        assert_eq!(k.boundedness(), Boundedness::Control);
+    }
+
+    #[test]
+    fn describe_contains_the_essentials() {
+        let mut k = kernel("star-centric", 0.002, 1_000_000);
+        k.cycles = CycleBreakdown {
+            special: 800.0,
+            arith: 100.0,
+            atomic: 50.0,
+            ..Default::default()
+        };
+        let text = k.describe();
+        assert!(text.contains("star-centric"));
+        assert!(text.contains("2.000 ms"));
+        assert!(text.contains("Compute-bound"));
+        assert!(text.contains("occupancy"));
+        assert!(text.contains("hazards: 0"));
+    }
+}

@@ -1,0 +1,137 @@
+//! The analytical cost model: cycles per warp-level event.
+//!
+//! Constants are first-order Fermi figures from public microbenchmarking
+//! literature (Wong et al., *Demystifying GPU Microarchitecture through
+//! Microbenchmarking*, ISPASS 2010) and the CUDA 3.2 programming guide the
+//! paper cites: shared memory 1–4 cycles, global memory 400–600 cycles,
+//! SFU transcendentals at 1/4 of SP rate. They are *checked* against the
+//! paper's two inflection points (see `starsim-core` calibration tests)
+//! rather than fitted per-point.
+
+/// Cycle costs of warp-level events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cycles per warp arithmetic issue (add/mul/fma pipelines, full rate).
+    pub arith_cpi: f64,
+    /// Cycles per warp transcendental *call* (`powf`, `expf`).
+    ///
+    /// CUDA 3.2's full-precision `powf`/`expf` do not map to a single SFU
+    /// instruction: they compile to multi-dozen-instruction software
+    /// sequences (range reduction, polynomial, scaling) with SFU ops at
+    /// 1/8 warp rate, costing on the order of 10² cycles per warp call.
+    /// The value is calibrated so the kernel-time gap between the
+    /// compute-bound parallel kernel and the fetch-bound adaptive kernel
+    /// reproduces the paper's inflection points (2^13 stars / ROI side 10).
+    pub special_cpi: f64,
+    /// Cycles per conflict-free warp shared-memory request.
+    pub shared_cpi: f64,
+    /// Extra cycles per shared-memory bank conflict step.
+    pub shared_conflict_cpi: f64,
+    /// Raw global-memory latency in cycles (exposed when occupancy cannot
+    /// hide it).
+    pub gmem_latency: f64,
+    /// Floor cost per global transaction once fully latency-hidden
+    /// (DRAM bandwidth bound).
+    pub gmem_min_cpi: f64,
+    /// Cycles per warp texture request that hits the texture cache.
+    pub tex_hit_cpi: f64,
+    /// Raw latency of a texture miss (global memory behind the cache).
+    pub tex_miss_latency: f64,
+    /// Floor cost per texture miss once latency-hidden.
+    pub tex_miss_min_cpi: f64,
+    /// Base cycles per warp atomic request (L2 round trip on Fermi).
+    pub atomic_cpi: f64,
+    /// Extra cycles per same-address serialization step.
+    pub atomic_conflict_cpi: f64,
+    /// Cycles per block-wide barrier per warp.
+    pub barrier_cpi: f64,
+    /// Extra issue overhead on a divergent branch (both sides replayed).
+    pub divergence_cpi: f64,
+    /// Fixed host-side kernel launch overhead, seconds (driver + queue).
+    pub launch_overhead_s: f64,
+    /// Fixed texture-binding overhead, seconds (`cudaBindTexture`;
+    /// paper Table I: ≈0.21 ms).
+    pub tex_bind_overhead_s: f64,
+}
+
+impl CostModel {
+    /// Fermi-class (GTX480) constants.
+    pub fn fermi() -> Self {
+        CostModel {
+            arith_cpi: 1.0,
+            special_cpi: 220.0,
+            shared_cpi: 2.0,
+            shared_conflict_cpi: 2.0,
+            gmem_latency: 450.0,
+            gmem_min_cpi: 4.0,
+            tex_hit_cpi: 4.0,
+            tex_miss_latency: 400.0,
+            tex_miss_min_cpi: 4.0,
+            atomic_cpi: 12.0,
+            atomic_conflict_cpi: 12.0,
+            barrier_cpi: 4.0,
+            divergence_cpi: 2.0,
+            launch_overhead_s: 8e-6,
+            tex_bind_overhead_s: 0.21e-3,
+        }
+    }
+
+    /// Effective cycles per global transaction with `effective_warps`
+    /// available to hide latency: `max(floor, latency / warps)`.
+    #[inline]
+    pub fn gmem_effective_cpi(&self, effective_warps: f64) -> f64 {
+        (self.gmem_latency / effective_warps.max(1.0)).max(self.gmem_min_cpi)
+    }
+
+    /// Effective cycles per texture miss under the same hiding model.
+    #[inline]
+    pub fn tex_miss_effective_cpi(&self, effective_warps: f64) -> f64 {
+        (self.tex_miss_latency / effective_warps.max(1.0)).max(self.tex_miss_min_cpi)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::fermi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_relations_hold() {
+        let m = CostModel::fermi();
+        // Software transcendentals cost on the order of 10² cycles/warp.
+        assert!((40.0..=500.0).contains(&m.special_cpi));
+        // Shared memory is two orders cheaper than exposed global latency
+        // (the paper's "1~4 clock cycles" vs "400~600 clock cycles").
+        assert!(m.shared_cpi <= 4.0);
+        assert!((400.0..=600.0).contains(&m.gmem_latency));
+        assert!(m.gmem_latency / m.shared_cpi >= 100.0);
+    }
+
+    #[test]
+    fn latency_hiding_saturates_at_floor() {
+        let m = CostModel::fermi();
+        // One lonely warp sees the whole latency.
+        assert_eq!(m.gmem_effective_cpi(1.0), m.gmem_latency);
+        // Plenty of warps: bandwidth floor.
+        assert_eq!(m.gmem_effective_cpi(1000.0), m.gmem_min_cpi);
+        // Monotone non-increasing in warps.
+        let mut prev = f64::INFINITY;
+        for w in 1..64 {
+            let c = m.gmem_effective_cpi(w as f64);
+            assert!(c <= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn tex_miss_hiding_mirrors_gmem() {
+        let m = CostModel::fermi();
+        assert_eq!(m.tex_miss_effective_cpi(0.5), m.tex_miss_latency);
+        assert_eq!(m.tex_miss_effective_cpi(1e6), m.tex_miss_min_cpi);
+    }
+}

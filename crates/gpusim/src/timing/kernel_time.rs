@@ -1,0 +1,196 @@
+//! Converts event counters + occupancy into a kernel execution time.
+//!
+//! The model is a single-resource cycle account: every warp-level event
+//! contributes its effective cycles, SMs work independently in parallel, so
+//!
+//! ```text
+//! time = Σ warp-event cycles / active_SMs / clock  +  launch overhead
+//! ```
+//!
+//! Memory latencies are scaled down by the resident-warp count
+//! (latency hiding) before summation — see [`CostModel`].
+
+use crate::counters::Counters;
+use crate::device::DeviceSpec;
+use crate::timing::cost::CostModel;
+use crate::timing::occupancy::Occupancy;
+
+/// The cycle breakdown of a kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CycleBreakdown {
+    /// Arithmetic-pipeline cycles.
+    pub arith: f64,
+    /// Special-function cycles.
+    pub special: f64,
+    /// Shared-memory cycles (incl. bank conflicts).
+    pub shared: f64,
+    /// Global-memory cycles (coalesced transactions).
+    pub global: f64,
+    /// Texture cycles (hits + misses).
+    pub texture: f64,
+    /// Atomic cycles (incl. serialization).
+    pub atomic: f64,
+    /// Barrier + divergence overhead cycles.
+    pub control: f64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles across all components.
+    pub fn total(&self) -> f64 {
+        self.arith + self.special + self.shared + self.global + self.texture + self.atomic
+            + self.control
+    }
+}
+
+/// Computes the modeled kernel time in seconds and its cycle breakdown.
+pub fn kernel_time(
+    counters: &Counters,
+    device: &DeviceSpec,
+    cost: &CostModel,
+    occ: &Occupancy,
+) -> (f64, CycleBreakdown) {
+    let w = occ.effective_warps;
+    let gmem_cpi = cost.gmem_effective_cpi(w);
+    let tex_miss_cpi = cost.tex_miss_effective_cpi(w);
+
+    // An SM with fewer scalar cores than the warp width issues one warp
+    // instruction over several cycles (GT200: 8 SPs ⇒ 4 cycles/warp;
+    // Fermi: 32 SPs ⇒ 1). Compute-pipeline costs scale by that factor.
+    let issue_factor =
+        (device.warp_size as f64 / device.cores_per_sm as f64).max(1.0);
+
+    let breakdown = CycleBreakdown {
+        arith: counters.arith_issues as f64 * cost.arith_cpi * issue_factor,
+        special: counters.special_issues as f64 * cost.special_cpi * issue_factor,
+        shared: counters.shared_requests as f64 * cost.shared_cpi
+            + counters.shared_conflicts as f64 * cost.shared_conflict_cpi,
+        global: counters.global_transactions as f64 * gmem_cpi,
+        texture: counters.tex_requests as f64 * cost.tex_hit_cpi
+            + counters.tex_misses() as f64 * tex_miss_cpi,
+        atomic: counters.atomic_requests as f64 * cost.atomic_cpi
+            + counters.atomic_conflicts as f64 * cost.atomic_conflict_cpi,
+        control: counters.barriers as f64 * cost.barrier_cpi
+            + counters.divergent_branches as f64 * cost.divergence_cpi,
+    };
+
+    let clock_hz = device.clock_ghz * 1e9;
+    let time = breakdown.total() / occ.active_sms as f64 / clock_hz + cost.launch_overhead_s;
+    (time, breakdown)
+}
+
+/// Achieved GFLOPS of a kernel execution (paper Table II's metric).
+pub fn gflops(counters: &Counters, time_s: f64) -> f64 {
+    if time_s <= 0.0 {
+        return 0.0;
+    }
+    counters.total_flops() as f64 / time_s / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::LaunchConfig;
+    use crate::timing::occupancy::occupancy;
+
+    fn setup(blocks: usize) -> (DeviceSpec, CostModel, Occupancy) {
+        let dev = DeviceSpec::gtx480();
+        let cfg = LaunchConfig::star_centric(blocks, 10, &dev);
+        let occ = occupancy(&dev, &cfg);
+        (dev, CostModel::fermi(), occ)
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let (dev, cost, occ) = setup(1);
+        let (t, b) = kernel_time(&Counters::default(), &dev, &cost, &occ);
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(t, cost.launch_overhead_s);
+    }
+
+    #[test]
+    fn time_scales_linearly_with_work_at_fixed_occupancy() {
+        let (dev, cost, occ) = setup(10_000);
+        let c1 = Counters {
+            arith_issues: 1_000_000,
+            ..Default::default()
+        };
+        let c2 = Counters {
+            arith_issues: 2_000_000,
+            ..Default::default()
+        };
+        let (t1, _) = kernel_time(&c1, &dev, &cost, &occ);
+        let (t2, _) = kernel_time(&c2, &dev, &cost, &occ);
+        let work1 = t1 - cost.launch_overhead_s;
+        let work2 = t2 - cost.launch_overhead_s;
+        assert!((work2 / work1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_sms_make_it_faster() {
+        let (dev, cost, occ_small) = setup(4); // 4 active SMs
+        let (_, _, occ_big) = setup(10_000); // all 15 SMs
+        let c = Counters {
+            arith_issues: 1_000_000,
+            ..Default::default()
+        };
+        let (t_small, _) = kernel_time(&c, &dev, &cost, &occ_small);
+        let (t_big, _) = kernel_time(&c, &dev, &cost, &occ_big);
+        assert!(t_big < t_small);
+    }
+
+    #[test]
+    fn breakdown_components_add_up() {
+        let (dev, cost, occ) = setup(1000);
+        let c = Counters {
+            arith_issues: 100,
+            special_issues: 50,
+            shared_requests: 30,
+            shared_conflicts: 5,
+            global_transactions: 20,
+            tex_requests: 10,
+            tex_fetches: 40,
+            tex_hits: 35,
+            atomic_requests: 8,
+            atomic_conflicts: 2,
+            barriers: 4,
+            divergent_branches: 1,
+            ..Default::default()
+        };
+        let (t, b) = kernel_time(&c, &dev, &cost, &occ);
+        assert!(b.arith > 0.0 && b.special > 0.0 && b.shared > 0.0);
+        assert!(b.global > 0.0 && b.texture > 0.0 && b.atomic > 0.0 && b.control > 0.0);
+        let clock = dev.clock_ghz * 1e9;
+        let expect = b.total() / occ.active_sms as f64 / clock + cost.launch_overhead_s;
+        assert!((t - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn special_heavy_kernel_slower_than_arith_heavy() {
+        // Same issue count, SFU-bound variant must cost more — this is the
+        // arithmetic the adaptive simulator removes from its kernel.
+        let (dev, cost, occ) = setup(8192);
+        let arith = Counters {
+            arith_issues: 1_000_000,
+            ..Default::default()
+        };
+        let special = Counters {
+            special_issues: 1_000_000,
+            ..Default::default()
+        };
+        let (ta, _) = kernel_time(&arith, &dev, &cost, &occ);
+        let (ts, _) = kernel_time(&special, &dev, &cost, &occ);
+        assert!(ts > 4.0 * ta);
+    }
+
+    #[test]
+    fn gflops_computation() {
+        let c = Counters {
+            flops_add: 500_000_000,
+            flops_fma: 250_000_000, // counts double
+            ..Default::default()
+        };
+        assert!((gflops(&c, 1.0) - 1.0).abs() < 1e-12);
+        assert!((gflops(&c, 0.01) - 100.0).abs() < 1e-9);
+        assert_eq!(gflops(&c, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,10 @@
+//! The analytical timing model: cost constants, occupancy, and the
+//! counters→seconds conversion.
+
+pub mod cost;
+pub mod kernel_time;
+pub mod occupancy;
+
+pub use cost::CostModel;
+pub use kernel_time::{gflops, kernel_time, CycleBreakdown};
+pub use occupancy::{occupancy, Occupancy};

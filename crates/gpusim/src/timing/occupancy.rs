@@ -1,0 +1,122 @@
+//! Occupancy: how many blocks/warps an SM can keep resident.
+//!
+//! Latency hiding on a GPU comes from switching among resident warps; the
+//! cost model uses the resident-warp count to decide how much of the
+//! global-memory latency is exposed. This mirrors the paper's observation
+//! that "when the number of threads is low ... we cannot fully take
+//! advantage of the massive computing resources" (§IV-A).
+
+use crate::device::DeviceSpec;
+use crate::launch::LaunchConfig;
+
+/// Occupancy figures for one launch on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM permitted by all limits.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM (`blocks_per_sm × warps_per_block`).
+    pub warps_per_sm: u32,
+    /// `warps_per_sm / max_warps_per_sm`, in `[0, 1]`.
+    pub fraction: f64,
+    /// SMs that actually receive work (`min(sm_count, total blocks)`).
+    pub active_sms: u32,
+    /// Average resident warps per active SM given the launch's actual
+    /// block count — what latency hiding really sees. Bounded by
+    /// `warps_per_sm` and at least 1 for a non-empty launch.
+    pub effective_warps: f64,
+}
+
+/// Computes occupancy of `cfg` on `device`.
+pub fn occupancy(device: &DeviceSpec, cfg: &LaunchConfig) -> Occupancy {
+    let warps_per_block = cfg.warps_per_block(device) as u32;
+    // Resident-block limits: block slots, warp slots, shared memory.
+    let by_blocks = device.max_blocks_per_sm;
+    let by_warps = device
+        .max_warps_per_sm
+        .checked_div(warps_per_block)
+        .unwrap_or(device.max_blocks_per_sm);
+    let by_smem = device
+        .shared_mem_per_block
+        .checked_div(cfg.shared_mem_bytes)
+        .map_or(device.max_blocks_per_sm, |b| b as u32);
+    let blocks_per_sm = by_blocks.min(by_warps).min(by_smem).max(1);
+    let warps_per_sm = blocks_per_sm * warps_per_block;
+
+    let total_blocks = cfg.total_blocks() as u64;
+    let active_sms = (device.sm_count as u64).min(total_blocks).max(1) as u32;
+    let avg_warps = (total_blocks as f64 * warps_per_block as f64) / active_sms as f64;
+    let effective_warps = avg_warps.min(warps_per_sm as f64).max(1.0);
+
+    Occupancy {
+        blocks_per_sm,
+        warps_per_sm,
+        fraction: warps_per_sm as f64 / device.max_warps_per_sm as f64,
+        active_sms,
+        effective_warps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::Dim3;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::gtx480()
+    }
+
+    #[test]
+    fn paper_launch_roi10() {
+        // ROI 10 ⇒ 100 threads ⇒ 4 warps/block; 8 blocks/SM (block limit)
+        // ⇒ 32 warps/SM of a 48 cap.
+        let cfg = LaunchConfig::star_centric(8192, 10, &dev());
+        let occ = occupancy(&dev(), &cfg);
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert_eq!(occ.warps_per_sm, 32);
+        assert!((occ.fraction - 32.0 / 48.0).abs() < 1e-12);
+        assert_eq!(occ.active_sms, 15);
+        assert!((occ.effective_warps - 32.0).abs() < 1e-9, "plenty of blocks");
+    }
+
+    #[test]
+    fn large_blocks_limited_by_warp_slots() {
+        // ROI 32 ⇒ 1024 threads = 32 warps/block ⇒ 1 block/SM (48/32 = 1).
+        let cfg = LaunchConfig::star_centric(8192, 32, &dev());
+        let occ = occupancy(&dev(), &cfg);
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.warps_per_sm, 32);
+    }
+
+    #[test]
+    fn tiny_grid_underutilizes() {
+        let cfg = LaunchConfig::star_centric(4, 10, &dev());
+        let occ = occupancy(&dev(), &cfg);
+        assert_eq!(occ.active_sms, 4, "only 4 blocks ⇒ 4 SMs busy");
+        assert!((occ.effective_warps - 4.0).abs() < 1e-9, "one block each");
+    }
+
+    #[test]
+    fn shared_memory_limits_blocks() {
+        let cfg = LaunchConfig::new(Dim3::d1(1000), Dim3::d1(32)).with_shared_mem(24 * 1024);
+        let occ = occupancy(&dev(), &cfg);
+        assert_eq!(occ.blocks_per_sm, 2, "48KB / 24KB = 2 blocks");
+    }
+
+    #[test]
+    fn single_block_launch() {
+        let cfg = LaunchConfig::new(Dim3::d1(1), Dim3::d2(10, 10));
+        let occ = occupancy(&dev(), &cfg);
+        assert_eq!(occ.active_sms, 1);
+        assert!((occ.effective_warps - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_never_exceeds_one() {
+        for side in [2usize, 8, 16, 24, 32] {
+            let cfg = LaunchConfig::star_centric(10_000, side, &dev());
+            let occ = occupancy(&dev(), &cfg);
+            assert!(occ.fraction <= 1.0 + 1e-12, "side {side}");
+            assert!(occ.effective_warps >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Warp-level analysis of per-thread event traces.
+//!
+//! The executor runs the threads of a warp one at a time (they share no
+//! mutable state except shared memory and atomics, so program order within
+//! the warp is irrelevant to the functional result) and then *aligns* their
+//! event traces: the k-th event of every thread corresponds to the k-th
+//! dynamic instruction of the warp. This is exact for the uniform control
+//! flow of the paper's kernels — threads either execute an instruction or
+//! have exited/diverged past it — and when traces disagree in kind at a
+//! position we conservatively account each kind group as its own issue.
+//!
+//! From the aligned groups we derive exactly the hardware effects the
+//! paper's optimizations target:
+//!
+//! * **coalescing** — one global request per warp instruction, broken into
+//!   as many transactions as distinct aligned segments are touched
+//!   (§III-B.3: "all threads within the same warp will access data from the
+//!   same contiguous memory, enabling coalesced access");
+//! * **shared-memory bank conflicts** — the register-staging trick of
+//!   Fig. 7 exists to "relieve the bank collision of share memory";
+//! * **texture cache** hits/misses via the worker's [`CacheSim`];
+//! * **atomic serialization** — same-address `atomicAdd`s in a warp retire
+//!   one at a time (§III-B.3's "queuing for the same memory modification");
+//! * **branch divergence** — mixed branch outcomes in a warp (§III-B.1:
+//!   "a highly divergent warp of 32 threads will be very inefficient").
+
+use std::collections::HashMap;
+
+use crate::counters::{Counters, FlopClass};
+use crate::device::DeviceSpec;
+use crate::kernel::Event;
+use crate::memory::cache::CacheSim;
+
+/// Analyzes one warp's aligned event traces into `counters`.
+///
+/// `traces[i]` is the event list of the i-th thread of the warp for one
+/// phase (threads that exited earlier contribute empty traces).
+pub fn analyze_warp(
+    traces: &[Vec<Event>],
+    spec: &DeviceSpec,
+    counters: &mut Counters,
+    tex_cache: &mut CacheSim,
+) {
+    let max_len = traces.iter().map(Vec::len).max().unwrap_or(0);
+    // Scratch reused across positions.
+    let mut addrs: Vec<(u64, u16)> = Vec::with_capacity(traces.len());
+    let mut words: Vec<u32> = Vec::with_capacity(traces.len());
+
+    for k in 0..max_len {
+        // Kind groups at position k. Events at the same position with
+        // different kinds indicate divergence already visible through
+        // Branch events; each group issues separately.
+        // Order of kinds: flop, gread, sread, swrite, tex, atomic, branch.
+        let mut flop_groups: HashMap<u8, (FlopClass, u64)> = HashMap::new();
+        addrs.clear();
+        words.clear();
+        let mut swrite_words: Vec<u32> = Vec::new();
+        let mut tex_addrs: Vec<u64> = Vec::new();
+        let mut atomic_addrs: Vec<u64> = Vec::new();
+        let mut branch_taken = 0usize;
+        let mut branch_not = 0usize;
+
+        for t in traces {
+            let Some(ev) = t.get(k) else { continue };
+            match *ev {
+                Event::Flop { class, n } => {
+                    let key = class_key(class);
+                    let e = flop_groups.entry(key).or_insert((class, 0));
+                    e.1 += n as u64;
+                }
+                Event::GlobalRead { addr, bytes } => addrs.push((addr, bytes)),
+                Event::SharedRead { word } => words.push(word),
+                Event::SharedWrite { word } => swrite_words.push(word),
+                Event::TexFetch { addr } => tex_addrs.push(addr),
+                Event::AtomicAdd { addr } => atomic_addrs.push(addr),
+                Event::Branch { taken } => {
+                    if taken {
+                        branch_taken += 1
+                    } else {
+                        branch_not += 1
+                    }
+                }
+            }
+        }
+
+        for (_, (class, scalar)) in flop_groups {
+            counters.add_flops(class, scalar);
+            match class {
+                FlopClass::Special => counters.special_issues += 1,
+                _ => counters.arith_issues += 1,
+            }
+        }
+        if !addrs.is_empty() {
+            counters.global_requests += 1;
+            counters.global_transactions += coalesce_transactions(&addrs, spec.coalesce_segment);
+        }
+        if !words.is_empty() {
+            counters.shared_requests += 1;
+            counters.shared_conflicts += bank_conflict_extra(&words, spec.shared_mem_banks);
+        }
+        if !swrite_words.is_empty() {
+            counters.shared_requests += 1;
+            counters.shared_conflicts += bank_conflict_extra(&swrite_words, spec.shared_mem_banks);
+        }
+        if !tex_addrs.is_empty() {
+            counters.tex_requests += 1;
+            for &a in &tex_addrs {
+                counters.tex_fetches += 1;
+                if tex_cache.access(a) {
+                    counters.tex_hits += 1;
+                }
+            }
+        }
+        if !atomic_addrs.is_empty() {
+            counters.atomic_requests += 1;
+            counters.atomic_conflicts += atomic_serialization_extra(&atomic_addrs);
+        }
+        if branch_taken + branch_not > 0 {
+            counters.branches += 1;
+            if branch_taken > 0 && branch_not > 0 {
+                counters.divergent_branches += 1;
+            }
+        }
+    }
+}
+
+fn class_key(c: FlopClass) -> u8 {
+    match c {
+        FlopClass::Add => 0,
+        FlopClass::Mul => 1,
+        FlopClass::Fma => 2,
+        FlopClass::Special => 3,
+    }
+}
+
+/// Number of aligned memory segments a warp's accesses touch — the
+/// transaction count of a coalesced load on Fermi-class hardware.
+pub fn coalesce_transactions(accesses: &[(u64, u16)], segment: usize) -> u64 {
+    let seg = segment as u64;
+    let mut segments: Vec<u64> = accesses
+        .iter()
+        .flat_map(|&(addr, bytes)| {
+            let first = addr / seg;
+            let last = (addr + bytes.max(1) as u64 - 1) / seg;
+            first..=last
+        })
+        .collect();
+    segments.sort_unstable();
+    segments.dedup();
+    segments.len() as u64
+}
+
+/// Extra serialized shared-memory cycles beyond the first access: the
+/// maximum number of *distinct* words mapped to any one bank, minus one.
+/// Multiple threads reading the same word broadcast for free (Fermi).
+pub fn bank_conflict_extra(words: &[u32], banks: u32) -> u64 {
+    let mut per_bank: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &w in words {
+        let bank = w % banks;
+        let v = per_bank.entry(bank).or_default();
+        if !v.contains(&w) {
+            v.push(w);
+        }
+    }
+    let max_degree = per_bank.values().map(Vec::len).max().unwrap_or(1);
+    (max_degree as u64).saturating_sub(1)
+}
+
+/// Extra serialization steps for same-address atomics within one warp:
+/// `Σ_addr (multiplicity − 1)`.
+pub fn atomic_serialization_extra(addrs: &[u64]) -> u64 {
+    let mut mult: HashMap<u64, u64> = HashMap::new();
+    for &a in addrs {
+        *mult.entry(a).or_insert(0) += 1;
+    }
+    mult.values().map(|&m| m - 1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::gtx480()
+    }
+
+    fn cache() -> CacheSim {
+        CacheSim::new(12 * 1024, 128, 16)
+    }
+
+    #[test]
+    fn coalesced_warp_read_is_one_transaction() {
+        // 32 threads reading consecutive f32s: 128 bytes = 1 segment.
+        let accesses: Vec<(u64, u16)> = (0..32).map(|i| (i * 4, 4)).collect();
+        assert_eq!(coalesce_transactions(&accesses, 128), 1);
+        // Crossing a segment boundary: base offset 64 spans 2 segments.
+        let accesses: Vec<(u64, u16)> = (0..32).map(|i| (64 + i * 4, 4)).collect();
+        assert_eq!(coalesce_transactions(&accesses, 128), 2);
+    }
+
+    #[test]
+    fn strided_warp_read_explodes_transactions() {
+        // Stride of one segment per thread: 32 transactions.
+        let accesses: Vec<(u64, u16)> = (0..32).map(|i| (i * 128, 4)).collect();
+        assert_eq!(coalesce_transactions(&accesses, 128), 32);
+    }
+
+    #[test]
+    fn same_address_warp_read_is_one_transaction() {
+        let accesses: Vec<(u64, u16)> = (0..32).map(|_| (4096, 4)).collect();
+        assert_eq!(coalesce_transactions(&accesses, 128), 1);
+    }
+
+    #[test]
+    fn wide_access_spanning_segments() {
+        // A 16-byte access at offset 120 touches segments 0 and 1.
+        assert_eq!(coalesce_transactions(&[(120, 16)], 128), 2);
+    }
+
+    #[test]
+    fn bank_conflicts() {
+        // All different banks: no extra cycles.
+        let words: Vec<u32> = (0..32).collect();
+        assert_eq!(bank_conflict_extra(&words, 32), 0);
+        // All threads hit bank 0 with distinct words: 31 extra.
+        let words: Vec<u32> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(bank_conflict_extra(&words, 32), 31);
+        // Same word everywhere: broadcast, free.
+        let words = vec![5u32; 32];
+        assert_eq!(bank_conflict_extra(&words, 32), 0);
+        // Two distinct words in one bank: 1 extra cycle.
+        let words = vec![0u32, 32, 1, 2];
+        assert_eq!(bank_conflict_extra(&words, 32), 1);
+    }
+
+    #[test]
+    fn atomic_serialization() {
+        assert_eq!(atomic_serialization_extra(&[1, 2, 3]), 0);
+        assert_eq!(atomic_serialization_extra(&[7, 7, 7]), 2);
+        assert_eq!(atomic_serialization_extra(&[1, 1, 2, 2, 2]), 3);
+        assert_eq!(atomic_serialization_extra(&[]), 0);
+    }
+
+    #[test]
+    fn analyze_uniform_warp() {
+        // 4 threads, each: 2 mul flops, a coalesced read, a shared read of
+        // word 0 (broadcast), an atomic to distinct addresses.
+        let traces: Vec<Vec<Event>> = (0..4u64)
+            .map(|i| {
+                vec![
+                    Event::Flop {
+                        class: FlopClass::Mul,
+                        n: 2,
+                    },
+                    Event::GlobalRead {
+                        addr: i * 4,
+                        bytes: 4,
+                    },
+                    Event::SharedRead { word: 0 },
+                    Event::AtomicAdd { addr: 1000 + i * 4 },
+                ]
+            })
+            .collect();
+        let mut c = Counters::default();
+        analyze_warp(&traces, &spec(), &mut c, &mut cache());
+        assert_eq!(c.flops_mul, 8);
+        assert_eq!(c.arith_issues, 1);
+        assert_eq!(c.global_requests, 1);
+        assert_eq!(c.global_transactions, 1);
+        assert_eq!(c.shared_requests, 1);
+        assert_eq!(c.shared_conflicts, 0);
+        assert_eq!(c.atomic_requests, 1);
+        assert_eq!(c.atomic_conflicts, 0);
+    }
+
+    #[test]
+    fn analyze_divergent_branch() {
+        let traces = vec![
+            vec![Event::Branch { taken: true }],
+            vec![Event::Branch { taken: false }],
+            vec![Event::Branch { taken: true }],
+        ];
+        let mut c = Counters::default();
+        analyze_warp(&traces, &spec(), &mut c, &mut cache());
+        assert_eq!(c.branches, 1);
+        assert_eq!(c.divergent_branches, 1);
+        // Uniform branch: not divergent.
+        let traces = vec![
+            vec![Event::Branch { taken: true }],
+            vec![Event::Branch { taken: true }],
+        ];
+        let mut c = Counters::default();
+        analyze_warp(&traces, &spec(), &mut c, &mut cache());
+        assert_eq!(c.branches, 1);
+        assert_eq!(c.divergent_branches, 0);
+    }
+
+    #[test]
+    fn analyze_texture_fetches_through_cache() {
+        // Two threads fetch the same line; first misses, second hits.
+        let traces = vec![
+            vec![Event::TexFetch { addr: 0 }],
+            vec![Event::TexFetch { addr: 4 }],
+        ];
+        let mut c = Counters::default();
+        let mut cache = cache();
+        analyze_warp(&traces, &spec(), &mut c, &mut cache);
+        assert_eq!(c.tex_requests, 1);
+        assert_eq!(c.tex_fetches, 2);
+        assert_eq!(c.tex_hits, 1);
+        assert_eq!(c.tex_misses(), 1);
+    }
+
+    #[test]
+    fn ragged_traces_align_by_position() {
+        // Thread 1 exited early: its trace is shorter. The shared position
+        // still forms one warp instruction.
+        let traces = vec![
+            vec![
+                Event::Flop {
+                    class: FlopClass::Add,
+                    n: 1,
+                },
+                Event::GlobalRead { addr: 0, bytes: 4 },
+            ],
+            vec![Event::Flop {
+                class: FlopClass::Add,
+                n: 1,
+            }],
+        ];
+        let mut c = Counters::default();
+        analyze_warp(&traces, &spec(), &mut c, &mut cache());
+        assert_eq!(c.flops_add, 2);
+        assert_eq!(c.arith_issues, 1);
+        assert_eq!(c.global_requests, 1);
+    }
+
+    #[test]
+    fn mixed_kinds_issue_separately() {
+        // Genuinely divergent paths at one position: an add and a special.
+        let traces = vec![
+            vec![Event::Flop {
+                class: FlopClass::Add,
+                n: 1,
+            }],
+            vec![Event::Flop {
+                class: FlopClass::Special,
+                n: 1,
+            }],
+        ];
+        let mut c = Counters::default();
+        analyze_warp(&traces, &spec(), &mut c, &mut cache());
+        assert_eq!(c.arith_issues, 1);
+        assert_eq!(c.special_issues, 1);
+    }
+
+    #[test]
+    fn empty_traces_are_noop() {
+        let mut c = Counters::default();
+        analyze_warp(&[], &spec(), &mut c, &mut cache());
+        analyze_warp(&[vec![], vec![]], &spec(), &mut c, &mut cache());
+        assert_eq!(c, Counters::default());
+    }
+}

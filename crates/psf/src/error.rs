@@ -1,0 +1,52 @@
+//! Error type for the PSF substrate.
+
+use std::fmt;
+
+/// Errors produced by PSF and lookup-table construction.
+#[derive(Debug)]
+pub enum PsfError {
+    /// An invalid parameter (non-positive sigma, empty range, ...).
+    InvalidParameter(String),
+    /// The lookup table exceeds the device's texture memory
+    /// (paper §IV-D: "we should first determine the size of lookup table to
+    /// assure that it can be successfully bound into the GPU texture
+    /// memory").
+    LutTooLarge {
+        /// Bytes the table needs.
+        needed: usize,
+        /// Bytes the device offers.
+        available: usize,
+    },
+}
+
+impl fmt::Display for PsfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsfError::InvalidParameter(m) => write!(f, "invalid PSF parameter: {m}"),
+            PsfError::LutTooLarge { needed, available } => write!(
+                f,
+                "lookup table needs {needed} B but texture memory holds {available} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PsfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(PsfError::InvalidParameter("x".into())
+            .to_string()
+            .contains("x"));
+        let e = PsfError::LutTooLarge {
+            needed: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+    }
+}

@@ -1,0 +1,112 @@
+//! The composed intensity model (paper eq. 3):
+//! `φ(m, x, y) = g(m) · μ(x, y)`, restricted to the star's ROI.
+
+use starfield::star::Star;
+
+use crate::integrated::PsfModel;
+use crate::roi::Roi;
+
+/// The full intensity model: brightness law factor, PSF and ROI bundled
+/// with the image geometry they apply to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntensityModel {
+    /// The proportionality factor `A` of the brightness law (paper eq. 1).
+    pub a_factor: f32,
+    /// The point-spread function.
+    pub psf: PsfModel,
+    /// The region of interest.
+    pub roi: Roi,
+}
+
+impl IntensityModel {
+    /// Builds a model with the paper's point-sampled Gaussian PSF.
+    pub fn new(a_factor: f32, sigma: f32, roi_side: usize) -> Self {
+        IntensityModel {
+            a_factor,
+            psf: PsfModel::point(sigma),
+            roi: Roi::new(roi_side),
+        }
+    }
+
+    /// φ(m, x, y): the gray contribution of `star` at pixel centre `(x, y)`
+    /// (paper eq. 3). Does **not** check ROI membership; callers iterate ROI
+    /// pixels via [`Roi::clip`].
+    #[inline]
+    pub fn contribution(&self, star: &Star, x: f32, y: f32) -> f32 {
+        star.brightness(self.a_factor) * self.psf.eval(x, y, star.pos.x, star.pos.y)
+    }
+
+    /// The total gray a star deposits inside its (unclipped) ROI — the
+    /// reference value for flux-conservation tests.
+    pub fn roi_flux(&self, star: &Star) -> f64 {
+        let (x0, y0) = self.roi.origin(star.pos.x, star.pos.y);
+        let mut sum = 0.0f64;
+        for j in 0..self.roi.side() {
+            for i in 0..self.roi.side() {
+                let x = (x0 + i as i64) as f32;
+                let y = (y0 + j as i64) as f32;
+                sum += self.contribution(star, x, y) as f64;
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfield::magnitude::brightness;
+
+    fn model() -> IntensityModel {
+        IntensityModel::new(1000.0, 2.0, 10)
+    }
+
+    #[test]
+    fn contribution_is_brightness_times_psf() {
+        let m = model();
+        let star = Star::new(100.0, 100.0, 3.0);
+        let got = m.contribution(&star, 101.0, 102.0);
+        let g = brightness(3.0, 1000.0);
+        let mu = m.psf.eval(101.0, 102.0, 100.0, 100.0);
+        assert!((got - g * mu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_at_star_centre() {
+        let m = model();
+        let star = Star::new(50.0, 50.0, 2.0);
+        let centre = m.contribution(&star, 50.0, 50.0);
+        for (dx, dy) in [(1.0, 0.0), (0.0, 1.0), (-1.0, -1.0), (3.0, 2.0)] {
+            assert!(m.contribution(&star, 50.0 + dx, 50.0 + dy) < centre);
+        }
+    }
+
+    #[test]
+    fn brighter_star_contributes_more_everywhere() {
+        let m = model();
+        let bright = Star::new(50.0, 50.0, 1.0);
+        let dim = Star::new(50.0, 50.0, 6.0);
+        for (x, y) in [(50.0, 50.0), (52.0, 49.0), (47.0, 53.0)] {
+            assert!(m.contribution(&bright, x, y) > m.contribution(&dim, x, y));
+        }
+    }
+
+    #[test]
+    fn roi_flux_captures_most_energy_for_generous_roi() {
+        // σ=2, ROI 10 (margin 5 = 2.5σ): expect > 95% of g(m) in the ROI
+        // under point sampling (discrete sum approximates the integral).
+        let m = model();
+        let star = Star::new(500.0, 500.0, 4.0);
+        let flux = m.roi_flux(&star);
+        let g = brightness(4.0, 1000.0) as f64;
+        assert!(flux > 0.9 * g && flux <= 1.02 * g, "flux={flux} g={g}");
+    }
+
+    #[test]
+    fn tiny_roi_loses_energy() {
+        let small = IntensityModel::new(1000.0, 2.0, 3);
+        let big = IntensityModel::new(1000.0, 2.0, 15);
+        let star = Star::new(500.0, 500.0, 4.0);
+        assert!(small.roi_flux(&star) < big.roi_flux(&star));
+    }
+}

@@ -1,0 +1,390 @@
+//! The adaptive simulator's precomputed intensity lookup table
+//! (paper §III-C, Fig. 8).
+//!
+//! "With a fixed star magnitude and side of ROI, we can build a
+//! three-dimensional lookup table which contains each magnitude of a star
+//! and its intensity distribution matrix." The table shifts the kernel's
+//! arithmetic (`exp`, multiplies) into memory fetches from texture memory.
+//!
+//! Layout: `table[mag_bin][phase_y][phase_x][j][i]` flattened row-major,
+//! where `(i, j)` index the ROI pixel offsets and the optional sub-pixel
+//! *phase* bins (an extension over the paper, which assumes pixel-centred
+//! stars) quantize the star's fractional pixel offset in `[−0.5, 0.5)²`.
+//! With `phases == 1` the table is exactly the paper's 3-D table.
+
+use starfield::magnitude::BrightnessTable;
+use starfield::star::Star;
+
+use crate::error::PsfError;
+use crate::integrated::PsfModel;
+use crate::roi::Roi;
+
+/// Build parameters of a lookup table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LutParams {
+    /// Number of magnitude bins over the simulator's magnitude range.
+    pub mag_bins: usize,
+    /// Sub-pixel phase bins per axis (1 = paper behaviour).
+    pub phases: usize,
+    /// Magnitude range `[min, max]` covered.
+    pub mag_range: (f32, f32),
+}
+
+impl Default for LutParams {
+    fn default() -> Self {
+        LutParams {
+            mag_bins: 256,
+            phases: 1,
+            mag_range: (0.0, 15.0),
+        }
+    }
+}
+
+/// The precomputed `g(m) · μ(Δx, Δy)` table of the adaptive simulator.
+#[derive(Debug, Clone)]
+pub struct LookupTable {
+    params: LutParams,
+    roi: Roi,
+    brightness: BrightnessTable,
+    /// Flattened `[mag][py][px][j][i]`.
+    data: Vec<f32>,
+}
+
+impl LookupTable {
+    /// Builds the table on the CPU (the paper builds it "in CPU platform
+    /// instead of GPU kernel, due to the small execution overhead and little
+    /// data parallelism", §IV-D).
+    ///
+    /// `max_bytes`, when given, rejects tables that would not fit the
+    /// device's texture memory (paper §IV-D limitation).
+    pub fn build(
+        model_psf: &PsfModel,
+        a_factor: f32,
+        roi: Roi,
+        params: LutParams,
+        max_bytes: Option<usize>,
+    ) -> Result<Self, PsfError> {
+        if params.mag_bins == 0 || params.phases == 0 {
+            return Err(PsfError::InvalidParameter(format!(
+                "LUT needs ≥1 magnitude bin and ≥1 phase, got {} / {}",
+                params.mag_bins, params.phases
+            )));
+        }
+        let (lo, hi) = params.mag_range;
+        // NaN bounds must fail too, hence the explicit finiteness check.
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return Err(PsfError::InvalidParameter(format!(
+                "LUT magnitude range must be non-empty: [{lo}, {hi}]"
+            )));
+        }
+        let bytes = Self::size_bytes(&params, roi);
+        if let Some(cap) = max_bytes {
+            if bytes > cap {
+                return Err(PsfError::LutTooLarge {
+                    needed: bytes,
+                    available: cap,
+                });
+            }
+        }
+
+        let brightness = BrightnessTable::build(lo, hi, params.mag_bins, a_factor);
+        let side = roi.side();
+        let margin = roi.margin() as f32;
+        let mut data = Vec::with_capacity(params.mag_bins * params.phases * params.phases * side * side);
+        for mb in 0..params.mag_bins {
+            let g = brightness.at_bin(mb);
+            for py in 0..params.phases {
+                let fy = Self::phase_centre(py, params.phases);
+                for px in 0..params.phases {
+                    let fx = Self::phase_centre(px, params.phases);
+                    for j in 0..side {
+                        let dy = j as f32 - margin - fy;
+                        for i in 0..side {
+                            let dx = i as f32 - margin - fx;
+                            // μ evaluated at the ROI offset relative to the
+                            // (possibly sub-pixel) star centre.
+                            data.push(g * model_psf.eval(dx, dy, 0.0, 0.0));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(LookupTable {
+            params,
+            roi,
+            brightness,
+            data,
+        })
+    }
+
+    /// Centre of phase bin `p` of `n` over the fractional range `[−0.5, 0.5)`.
+    #[inline]
+    fn phase_centre(p: usize, n: usize) -> f32 {
+        if n == 1 {
+            0.0
+        } else {
+            -0.5 + (p as f32 + 0.5) / n as f32
+        }
+    }
+
+    /// Size in bytes of a table with these parameters (f32 entries).
+    pub fn size_bytes(params: &LutParams, roi: Roi) -> usize {
+        params.mag_bins * params.phases * params.phases * roi.area() * 4
+    }
+
+    /// The largest magnitude-bin count that fits in `max_bytes` for this ROI
+    /// and phase count — the paper's "maximum star magnitude range that the
+    /// simulator can simulate with the fixed size of texture memory".
+    pub fn max_mag_bins(roi: Roi, phases: usize, max_bytes: usize) -> usize {
+        max_bytes / (phases * phases * roi.area() * 4).max(1)
+    }
+
+    /// Build parameters.
+    pub fn params(&self) -> &LutParams {
+        &self.params
+    }
+
+    /// The ROI the table was built for.
+    pub fn roi(&self) -> Roi {
+        self.roi
+    }
+
+    /// The underlying brightness table.
+    pub fn brightness(&self) -> &BrightnessTable {
+        &self.brightness
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the table has no entries (never true for built tables).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw table data, flattened `[mag][py][px][j][i]` — this is the buffer
+    /// uploaded to texture memory.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The number of texture *layers* (mag × phase² combinations); each
+    /// layer is a `side × side` 2-D slice fetched with 2-D locality.
+    pub fn layers(&self) -> usize {
+        self.params.mag_bins * self.params.phases * self.params.phases
+    }
+
+    /// The layer index a given star fetches from.
+    pub fn layer_of(&self, star: &Star) -> usize {
+        let mb = self.brightness.bin_of(star.mag.value());
+        let (px, py) = self.phase_of(star);
+        (mb * self.params.phases + py) * self.params.phases + px
+    }
+
+    /// The sub-pixel phase bin `(px, py)` of a star (both 0 when phases=1).
+    pub fn phase_of(&self, star: &Star) -> (usize, usize) {
+        if self.params.phases == 1 {
+            return (0, 0);
+        }
+        let frac = |v: f32| {
+            // Fractional offset in [−0.5, 0.5): v − round(v).
+            let f = v - v.round();
+            let t = (f + 0.5) * self.params.phases as f32;
+            (t.floor() as isize).clamp(0, self.params.phases as isize - 1) as usize
+        };
+        (frac(star.pos.x), frac(star.pos.y))
+    }
+
+    /// Table value at `(layer, j, i)`.
+    ///
+    /// # Panics
+    /// Panics when any index is out of range.
+    #[inline]
+    pub fn at(&self, layer: usize, j: usize, i: usize) -> f32 {
+        let side = self.roi.side();
+        assert!(layer < self.layers() && j < side && i < side);
+        self.data[(layer * side + j) * side + i]
+    }
+
+    /// Convenience: the precomputed contribution of `star` at ROI offset
+    /// `(i, j)` — what the adaptive kernel fetches from texture memory.
+    #[inline]
+    pub fn fetch(&self, star: &Star, i: usize, j: usize) -> f32 {
+        self.at(self.layer_of(star), j, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::IntensityModel;
+
+    fn table(phases: usize, bins: usize) -> LookupTable {
+        LookupTable::build(
+            &PsfModel::point(2.0),
+            1000.0,
+            Roi::new(10),
+            LutParams {
+                mag_bins: bins,
+                phases,
+                mag_range: (0.0, 15.0),
+            },
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_size() {
+        let t = table(1, 256);
+        assert_eq!(t.len(), 256 * 10 * 10);
+        assert_eq!(t.layers(), 256);
+        assert!(!t.is_empty());
+        assert_eq!(
+            LookupTable::size_bytes(t.params(), t.roi()),
+            256 * 100 * 4
+        );
+        let t2 = table(4, 64);
+        assert_eq!(t2.layers(), 64 * 16);
+    }
+
+    #[test]
+    fn matches_direct_evaluation_at_bin_centres() {
+        let t = table(1, 256);
+        let model = IntensityModel::new(1000.0, 2.0, 10);
+        // A pixel-centred star whose magnitude sits exactly on a bin centre.
+        let m = t.brightness().bin_centre(40);
+        let star = Star::new(500.0, 500.0, m);
+        let clip = model.roi.clip(500.0, 500.0, 1024, 1024).unwrap();
+        for (x, y, i, j) in clip.pixels() {
+            let direct = model.contribution(&star, x as f32, y as f32);
+            let fetched = t.fetch(&star, i, j);
+            assert!(
+                (direct - fetched).abs() <= 1e-6 * direct.max(1e-12),
+                "mismatch at ({i},{j}): direct={direct} lut={fetched}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let t = table(1, 512);
+        let model = IntensityModel::new(1000.0, 2.0, 10);
+        let bound = t.brightness().max_relative_error() * 1.05;
+        for k in 0..100 {
+            let m = k as f32 * 0.149;
+            let star = Star::new(500.0, 500.0, m);
+            let direct = model.contribution(&star, 500.0, 500.0);
+            let fetched = t.fetch(&star, 5, 5);
+            let rel = (fetched - direct).abs() / direct;
+            assert!(rel <= bound, "m={m}: rel err {rel} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn phase_bins_reduce_subpixel_error() {
+        let model = IntensityModel::new(1000.0, 2.0, 10);
+        let t1 = table(1, 4096);
+        let t8 = LookupTable::build(
+            &PsfModel::point(2.0),
+            1000.0,
+            Roi::new(10),
+            LutParams {
+                mag_bins: 4096,
+                phases: 8,
+                mag_range: (0.0, 15.0),
+            },
+            None,
+        )
+        .unwrap();
+        // A star well off pixel centre.
+        let star = Star::new(500.37, 500.41, 3.0);
+        let clip = model.roi.clip(star.pos.x, star.pos.y, 1024, 1024).unwrap();
+        let (mut err1, mut err8) = (0.0f64, 0.0f64);
+        for (x, y, i, j) in clip.pixels() {
+            let direct = model.contribution(&star, x as f32, y as f32) as f64;
+            err1 += (t1.fetch(&star, i, j) as f64 - direct).abs();
+            err8 += (t8.fetch(&star, i, j) as f64 - direct).abs();
+        }
+        assert!(
+            err8 < err1 * 0.5,
+            "8-phase error {err8} should be well under 1-phase error {err1}"
+        );
+    }
+
+    #[test]
+    fn phase_of_quantizes_fraction() {
+        let t = table(4, 8);
+        // Fraction −0.5 → phase 0; ~0 → phase 2 (bins at −0.5,−0.25,0,0.25).
+        assert_eq!(t.phase_of(&Star::new(10.5, 20.0, 1.0)), (0, 2));
+        assert_eq!(t.phase_of(&Star::new(10.0, 20.26, 1.0)), (2, 3));
+        let t1 = table(1, 8);
+        assert_eq!(t1.phase_of(&Star::new(10.37, 20.9, 1.0)), (0, 0));
+    }
+
+    #[test]
+    fn size_cap_enforced() {
+        let err = LookupTable::build(
+            &PsfModel::point(2.0),
+            1000.0,
+            Roi::new(10),
+            LutParams::default(),
+            Some(1024), // far too small
+        );
+        match err {
+            Err(PsfError::LutTooLarge { needed, available }) => {
+                assert_eq!(available, 1024);
+                assert_eq!(needed, 256 * 100 * 4);
+            }
+            other => panic!("expected LutTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_mag_bins_inverse_of_size() {
+        let roi = Roi::new(10);
+        let cap = 1 << 20; // 1 MiB
+        let bins = LookupTable::max_mag_bins(roi, 1, cap);
+        let params = LutParams {
+            mag_bins: bins,
+            phases: 1,
+            mag_range: (0.0, 15.0),
+        };
+        assert!(LookupTable::size_bytes(&params, roi) <= cap);
+        let params_over = LutParams {
+            mag_bins: bins + 1,
+            ..params
+        };
+        assert!(LookupTable::size_bytes(&params_over, roi) > cap);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let bad_bins = LookupTable::build(
+            &PsfModel::point(2.0),
+            1000.0,
+            Roi::new(10),
+            LutParams {
+                mag_bins: 0,
+                phases: 1,
+                mag_range: (0.0, 15.0),
+            },
+            None,
+        );
+        assert!(matches!(bad_bins, Err(PsfError::InvalidParameter(_))));
+        let bad_range = LookupTable::build(
+            &PsfModel::point(2.0),
+            1000.0,
+            Roi::new(10),
+            LutParams {
+                mag_bins: 4,
+                phases: 1,
+                mag_range: (5.0, 5.0),
+            },
+            None,
+        );
+        assert!(matches!(bad_range, Err(PsfError::InvalidParameter(_))));
+    }
+}

@@ -1,0 +1,199 @@
+//! Moffat PSF — an alternative stellar profile (extension).
+//!
+//! The Gaussian of eq. 2 underestimates the broad wings real optics
+//! produce; astronomical practice often fits a Moffat profile
+//! (Moffat 1969):
+//!
+//! ```text
+//! μ(r) = (β − 1)/(π α²) · [1 + r²/α²]^(−β)
+//! ```
+//!
+//! normalized to unit total energy for `β > 1`. Smaller `β` ⇒ heavier
+//! wings; `β → ∞` recovers a Gaussian of σ = α/√(2β). Offering it as a
+//! [`crate::integrated::PsfModel`] alternative lets the simulators be
+//! compared under a more realistic blur, and stresses the ROI-truncation
+//! trade-off (heavy wings lose more energy to the ROI cut).
+
+/// A Moffat point-spread function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoffatPsf {
+    alpha: f32,
+    beta: f32,
+    /// Precomputed normalization (β−1)/(πα²).
+    norm: f32,
+    inv_alpha_sq: f32,
+}
+
+impl MoffatPsf {
+    /// Creates a Moffat PSF with core width `alpha` (pixels) and wing
+    /// exponent `beta`.
+    ///
+    /// # Panics
+    /// Panics unless `alpha > 0` and `beta > 1` (finite), the condition for
+    /// a normalizable profile.
+    pub fn new(alpha: f32, beta: f32) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "Moffat alpha must be positive and finite, got {alpha}"
+        );
+        assert!(
+            beta.is_finite() && beta > 1.0,
+            "Moffat beta must exceed 1 for finite energy, got {beta}"
+        );
+        MoffatPsf {
+            alpha,
+            beta,
+            norm: (beta - 1.0) / (std::f32::consts::PI * alpha * alpha),
+            inv_alpha_sq: 1.0 / (alpha * alpha),
+        }
+    }
+
+    /// A Moffat whose full-width-half-maximum matches a Gaussian of the
+    /// given sigma (for like-for-like simulator comparisons):
+    /// `FWHM = 2α√(2^(1/β) − 1) = 2.3548 σ`.
+    pub fn with_gaussian_fwhm(sigma: f32, beta: f32) -> Self {
+        assert!(beta > 1.0);
+        let fwhm = 2.354_82_f32 * sigma;
+        let alpha = fwhm / (2.0 * (2f32.powf(1.0 / beta) - 1.0).sqrt());
+        MoffatPsf::new(alpha, beta)
+    }
+
+    /// Core width α in pixels.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Wing exponent β.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+
+    /// The peak value `μ(0) = (β−1)/(πα²)`.
+    pub fn peak(&self) -> f32 {
+        self.norm
+    }
+
+    /// Evaluates μ at pixel `(x, y)` for a star centred at `(cx, cy)`.
+    #[inline]
+    pub fn eval(&self, x: f32, y: f32, cx: f32, cy: f32) -> f32 {
+        let dx = x - cx;
+        let dy = y - cy;
+        let r2 = dx * dx + dy * dy;
+        self.norm * (1.0 + r2 * self.inv_alpha_sq).powf(-self.beta)
+    }
+
+    /// Encircled energy within radius `r`: `1 − (1 + r²/α²)^(1−β)`.
+    pub fn encircled_energy(&self, r: f32) -> f32 {
+        1.0 - (1.0 + (r * r) * self.inv_alpha_sq).powf(1.0 - self.beta)
+    }
+
+    /// Smallest ROI margin capturing `fraction` of the energy:
+    /// `r = α·√((1−fraction)^(1/(1−β)) − 1)`.
+    pub fn margin_for_energy(&self, fraction: f32) -> usize {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "energy fraction must be in [0, 1), got {fraction}"
+        );
+        let r = self.alpha * ((1.0 - fraction).powf(1.0 / (1.0 - self.beta)) - 1.0).sqrt();
+        (r.ceil() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::GaussianPsf;
+
+    #[test]
+    fn peak_and_normalization() {
+        let psf = MoffatPsf::new(2.0, 2.5);
+        assert_eq!(psf.eval(0.0, 0.0, 0.0, 0.0), psf.peak());
+        assert_eq!(psf.alpha(), 2.0);
+        assert_eq!(psf.beta(), 2.5);
+        // Numerical integral ≈ 1 over a wide grid (wings are heavy, so a
+        // large grid and a loose tolerance).
+        let mut sum = 0.0f64;
+        let half = 60;
+        for y in -half..=half {
+            for x in -half..=half {
+                sum += psf.eval(x as f32, y as f32, 0.0, 0.0) as f64;
+            }
+        }
+        assert!((sum - 1.0).abs() < 0.02, "integral {sum}");
+    }
+
+    #[test]
+    fn radial_monotone_decay() {
+        let psf = MoffatPsf::new(1.5, 3.0);
+        let mut prev = f32::INFINITY;
+        for k in 0..50 {
+            let v = psf.eval(k as f32 * 0.4, 0.0, 0.0, 0.0);
+            assert!(v < prev || k == 0);
+            assert!(v > 0.0, "Moffat wings never truncate to zero");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn heavier_wings_for_smaller_beta() {
+        let narrow = MoffatPsf::with_gaussian_fwhm(2.0, 6.0);
+        let heavy = MoffatPsf::with_gaussian_fwhm(2.0, 1.5);
+        // Same FWHM, but at 5 FWHM the β=1.5 profile carries far more.
+        let r = 5.0 * 2.3548 * 2.0;
+        assert!(
+            heavy.eval(r, 0.0, 0.0, 0.0) > 10.0 * narrow.eval(r, 0.0, 0.0, 0.0),
+            "β=1.5 wings should dominate β=6"
+        );
+        // And it needs a bigger ROI for the same energy.
+        assert!(heavy.margin_for_energy(0.95) > narrow.margin_for_energy(0.95));
+    }
+
+    #[test]
+    fn encircled_energy_is_cdf() {
+        let psf = MoffatPsf::new(2.0, 2.5);
+        assert_eq!(psf.encircled_energy(0.0), 0.0);
+        let mut prev = 0.0;
+        for k in 1..40 {
+            let e = psf.encircled_energy(k as f32);
+            assert!(e > prev && e < 1.0);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn margin_for_energy_is_sufficient() {
+        let psf = MoffatPsf::new(2.0, 3.0);
+        for target in [0.5f32, 0.9, 0.99] {
+            let m = psf.margin_for_energy(target);
+            assert!(psf.encircled_energy(m as f32) >= target);
+        }
+    }
+
+    #[test]
+    fn large_beta_approaches_gaussian_core() {
+        let sigma = 2.0;
+        let moffat = MoffatPsf::with_gaussian_fwhm(sigma, 50.0);
+        let gauss = GaussianPsf::new(sigma);
+        // Within ~1σ the profiles agree to a few percent.
+        for r in [0.0f32, 1.0, 2.0] {
+            let m = moffat.eval(r, 0.0, 0.0, 0.0);
+            let g = gauss.eval(r, 0.0, 0.0, 0.0);
+            assert!(
+                (m - g).abs() / g < 0.05,
+                "r={r}: moffat {m} vs gaussian {g}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn beta_at_most_one_rejected() {
+        let _ = MoffatPsf::new(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bad_alpha_rejected() {
+        let _ = MoffatPsf::new(0.0, 2.0);
+    }
+}

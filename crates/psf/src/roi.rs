@@ -1,0 +1,224 @@
+//! Regions of interest (ROIs).
+//!
+//! Instead of scattering every star's energy across the whole image, the
+//! paper restricts deposition to a square ROI centred on the star (Fig. 1):
+//! "the coverage of star point's intensity distribution is imposed on a
+//! region of interest (ROI)". The ROI side length is an optical parameter,
+//! empirically 2–20 pixels radius; it is also the thread-block shape of the
+//! GPU simulators (side × side threads per block).
+
+/// A square ROI of a given side length (pixels).
+///
+/// For a star whose centre rounds to pixel `(cx, cy)`, the ROI covers the
+/// half-open pixel rectangle `[cx − margin, cx − margin + side) ×
+/// [cy − margin, cy − margin + side)` with `margin = side / 2`. This matches
+/// the paper's kernel addressing `pixelX = starPosX − MARGIN + threadX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Roi {
+    side: usize,
+}
+
+impl Roi {
+    /// ROI of the given side length.
+    ///
+    /// # Panics
+    /// Panics when `side == 0`.
+    pub fn new(side: usize) -> Self {
+        assert!(side > 0, "ROI side must be positive");
+        Roi { side }
+    }
+
+    /// Side length in pixels (= threads per block dimension on the GPU).
+    #[inline]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Pixel count (= threads per block on the GPU).
+    #[inline]
+    pub fn area(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// The margin subtracted from the star pixel to find the ROI origin.
+    #[inline]
+    pub fn margin(&self) -> i64 {
+        (self.side / 2) as i64
+    }
+
+    /// ROI origin (top-left pixel) for a star centred at `(x, y)`.
+    ///
+    /// Coordinates are clamped to ±2³² pixels so extreme (or non-finite)
+    /// star positions — which are always fully off-image — cannot overflow
+    /// the downstream index arithmetic.
+    #[inline]
+    pub fn origin(&self, x: f32, y: f32) -> (i64, i64) {
+        const LIMIT: f32 = 4.3e9;
+        (
+            (x.round().clamp(-LIMIT, LIMIT) as i64) - self.margin(),
+            (y.round().clamp(-LIMIT, LIMIT) as i64) - self.margin(),
+        )
+    }
+
+    /// The ROI of a star at `(x, y)` clipped against a `width × height`
+    /// image. Returns `None` when the ROI lies entirely outside.
+    pub fn clip(&self, x: f32, y: f32, width: usize, height: usize) -> Option<ClippedRoi> {
+        let (x0, y0) = self.origin(x, y);
+        let x1 = x0 + self.side as i64;
+        let y1 = y0 + self.side as i64;
+        let cx0 = x0.max(0);
+        let cy0 = y0.max(0);
+        let cx1 = x1.min(width as i64);
+        let cy1 = y1.min(height as i64);
+        if cx0 >= cx1 || cy0 >= cy1 {
+            return None;
+        }
+        Some(ClippedRoi {
+            x0: cx0 as usize,
+            y0: cy0 as usize,
+            x1: cx1 as usize,
+            y1: cy1 as usize,
+            full_x0: x0,
+            full_y0: y0,
+        })
+    }
+}
+
+/// An ROI clipped to image bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClippedRoi {
+    /// First in-bounds column.
+    pub x0: usize,
+    /// First in-bounds row.
+    pub y0: usize,
+    /// One past the last in-bounds column.
+    pub x1: usize,
+    /// One past the last in-bounds row.
+    pub y1: usize,
+    /// Unclipped ROI origin column (may be negative).
+    pub full_x0: i64,
+    /// Unclipped ROI origin row (may be negative).
+    pub full_y0: i64,
+}
+
+impl ClippedRoi {
+    /// Number of in-bounds pixels.
+    #[inline]
+    pub fn area(&self) -> usize {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+
+    /// Iterates the in-bounds pixels in row-major order, yielding
+    /// `(x, y, roi_i, roi_j)` where `(roi_i, roi_j)` are the offsets inside
+    /// the *unclipped* ROI (the thread indices on the GPU, and the lookup
+    /// table indices in the adaptive simulator).
+    pub fn pixels(&self) -> impl Iterator<Item = (usize, usize, usize, usize)> + '_ {
+        let (x0, x1, y0, y1) = (self.x0, self.x1, self.y0, self.y1);
+        let (fx0, fy0) = (self.full_x0, self.full_y0);
+        (y0..y1).flat_map(move |y| {
+            (x0..x1).map(move |x| {
+                (
+                    x,
+                    y,
+                    (x as i64 - fx0) as usize,
+                    (y as i64 - fy0) as usize,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_basics() {
+        let r = Roi::new(10);
+        assert_eq!(r.side(), 10);
+        assert_eq!(r.area(), 100);
+        assert_eq!(r.margin(), 5);
+        assert_eq!(Roi::new(7).margin(), 3);
+        assert_eq!(Roi::new(1).margin(), 0);
+    }
+
+    #[test]
+    fn origin_follows_kernel_addressing() {
+        let r = Roi::new(10);
+        // star at (100, 200): origin = (100−5, 200−5).
+        assert_eq!(r.origin(100.0, 200.0), (95, 195));
+        // Sub-pixel positions round to nearest pixel first.
+        assert_eq!(r.origin(100.4, 199.6), (95, 195));
+        assert_eq!(r.origin(100.6, 199.4), (96, 194));
+    }
+
+    #[test]
+    fn interior_roi_is_unclipped() {
+        let r = Roi::new(10);
+        let c = r.clip(512.0, 512.0, 1024, 1024).unwrap();
+        assert_eq!(c.area(), 100);
+        assert_eq!((c.x0, c.y0), (507, 507));
+        assert_eq!((c.x1, c.y1), (517, 517));
+        assert_eq!((c.full_x0, c.full_y0), (507, 507));
+    }
+
+    #[test]
+    fn corner_roi_clips() {
+        let r = Roi::new(10);
+        let c = r.clip(0.0, 0.0, 1024, 1024).unwrap();
+        // Origin (−5, −5); in-bounds part is [0, 5) × [0, 5).
+        assert_eq!((c.x0, c.y0, c.x1, c.y1), (0, 0, 5, 5));
+        assert_eq!(c.area(), 25);
+        assert_eq!((c.full_x0, c.full_y0), (-5, -5));
+    }
+
+    #[test]
+    fn edge_roi_clips_one_side() {
+        let r = Roi::new(10);
+        let c = r.clip(1023.0, 500.0, 1024, 1024).unwrap();
+        assert_eq!((c.x0, c.x1), (1018, 1024));
+        assert_eq!((c.y0, c.y1), (495, 505));
+        assert_eq!(c.area(), 60);
+    }
+
+    #[test]
+    fn fully_outside_roi_is_none() {
+        let r = Roi::new(10);
+        assert!(r.clip(-100.0, 50.0, 1024, 1024).is_none());
+        assert!(r.clip(50.0, 2000.0, 1024, 1024).is_none());
+        // Just close enough that the ROI pokes in:
+        assert!(r.clip(-4.0, 50.0, 1024, 1024).is_some());
+        // Origin −4−5 = −9, side 10 ⇒ covers [−9, 1): one in-bounds column.
+        let c = r.clip(-4.0, 50.0, 1024, 1024).unwrap();
+        assert_eq!((c.x0, c.x1), (0, 1));
+    }
+
+    #[test]
+    fn pixel_iteration_covers_area_with_correct_offsets() {
+        let r = Roi::new(4);
+        let c = r.clip(1.0, 1.0, 8, 8).unwrap();
+        // Origin (−1, −1), clipped to [0, 3) × [0, 3).
+        let px: Vec<_> = c.pixels().collect();
+        assert_eq!(px.len(), c.area());
+        assert_eq!(px[0], (0, 0, 1, 1)); // image (0,0) is ROI offset (1,1)
+        for &(x, y, i, j) in &px {
+            assert_eq!(x as i64 - c.full_x0, i as i64);
+            assert_eq!(y as i64 - c.full_y0, j as i64);
+            assert!(i < 4 && j < 4);
+        }
+    }
+
+    #[test]
+    fn odd_roi_is_centred() {
+        let r = Roi::new(5);
+        let c = r.clip(10.0, 10.0, 100, 100).unwrap();
+        // Margin 2: [8, 13) in both axes; star pixel (10,10) is the centre.
+        assert_eq!((c.x0, c.y0, c.x1, c.y1), (8, 8, 13, 13));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_side_rejected() {
+        let _ = Roi::new(0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Motion-smeared Gaussian PSF — an extension for slewing sensors.
+//!
+//! When the spacecraft rotates during the exposure, each star streaks along
+//! the slew direction: the paper's reference \[9\] ("Attitude Information
+//! Deduction Based on Single Frame of Blurred Star Image") is exactly this
+//! regime. A Gaussian PSF convolved with a uniform line segment of length
+//! `L` at angle `θ` has a closed form in track-aligned coordinates
+//! `(u, v)` (u along the streak):
+//!
+//! ```text
+//! μ(u, v) = 1/L · [Φ((u+L/2)/δ) − Φ((u−L/2)/δ)] · 1/(√(2π)δ) · e^(−v²/2δ²)
+//! ```
+//!
+//! where `Φ` is the standard normal CDF — no numerical convolution needed.
+//! As `L → 0` this reduces to the static Gaussian of eq. 2.
+
+use crate::erf::normal_cdf;
+use crate::gaussian::GaussianPsf;
+
+/// A Gaussian PSF smeared along a linear track.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmearedGaussianPsf {
+    sigma: f32,
+    /// Streak length in pixels (≥ 0).
+    length: f32,
+    /// Track direction, radians from the +x axis.
+    cos_t: f32,
+    sin_t: f32,
+    angle: f32,
+}
+
+impl SmearedGaussianPsf {
+    /// Creates a smeared PSF.
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0` and `length >= 0`, both finite.
+    pub fn new(sigma: f32, length: f32, angle: f32) -> Self {
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "PSF sigma must be positive and finite, got {sigma}"
+        );
+        assert!(
+            length.is_finite() && length >= 0.0,
+            "streak length must be non-negative and finite, got {length}"
+        );
+        assert!(angle.is_finite(), "streak angle must be finite");
+        SmearedGaussianPsf {
+            sigma,
+            length,
+            cos_t: angle.cos(),
+            sin_t: angle.sin(),
+            angle,
+        }
+    }
+
+    /// The underlying Gaussian width δ.
+    #[inline]
+    pub fn sigma(&self) -> f32 {
+        self.sigma
+    }
+
+    /// The streak length in pixels.
+    #[inline]
+    pub fn length(&self) -> f32 {
+        self.length
+    }
+
+    /// The streak direction in radians.
+    #[inline]
+    pub fn angle(&self) -> f32 {
+        self.angle
+    }
+
+    /// Evaluates the smeared intensity rate at pixel `(x, y)` for a star
+    /// centred (mid-exposure) at `(cx, cy)`.
+    #[inline]
+    pub fn eval(&self, x: f32, y: f32, cx: f32, cy: f32) -> f32 {
+        let dx = x - cx;
+        let dy = y - cy;
+        // Rotate into track coordinates.
+        let u = (self.cos_t * dx + self.sin_t * dy) as f64;
+        let v = (-self.sin_t * dx + self.cos_t * dy) as f64;
+        let s = self.sigma as f64;
+
+        // Across-track: plain 1-D Gaussian.
+        let across = (-(v * v) / (2.0 * s * s)).exp() / ((2.0 * std::f64::consts::PI).sqrt() * s);
+
+        // Along-track: box ⊗ Gaussian.
+        let along = if self.length < 1e-6 {
+            (-(u * u) / (2.0 * s * s)).exp() / ((2.0 * std::f64::consts::PI).sqrt() * s)
+        } else {
+            let half = self.length as f64 / 2.0;
+            (normal_cdf((u + half) / s) - normal_cdf((u - half) / s)) / self.length as f64
+        };
+        (across * along) as f32
+    }
+
+    /// The margin (half-side) an ROI needs to capture `fraction` of the
+    /// streaked energy: the static margin plus half the streak length.
+    pub fn margin_for_energy(&self, fraction: f32) -> usize {
+        let base = GaussianPsf::new(self.sigma).margin_for_energy(fraction);
+        base + (self.length / 2.0).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_reduces_to_static_gaussian() {
+        let smear = SmearedGaussianPsf::new(2.0, 0.0, 0.7);
+        let gauss = GaussianPsf::new(2.0);
+        for (x, y) in [(0.0f32, 0.0f32), (1.5, -2.0), (4.0, 3.0)] {
+            let a = smear.eval(x, y, 0.0, 0.0);
+            let b = gauss.eval(x, y, 0.0, 0.0);
+            assert!(
+                (a - b).abs() < 1e-6 * b.max(1e-9),
+                "({x},{y}): smeared {a} vs gaussian {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_length_converges_to_static() {
+        let smear = SmearedGaussianPsf::new(2.0, 0.01, 0.3);
+        let gauss = GaussianPsf::new(2.0);
+        let a = smear.eval(1.0, 1.0, 0.0, 0.0);
+        let b = gauss.eval(1.0, 1.0, 0.0, 0.0);
+        assert!((a - b).abs() / b < 1e-3);
+    }
+
+    #[test]
+    fn energy_is_conserved() {
+        // Sum over a generous grid ≈ 1 for any streak length.
+        for length in [0.0f32, 3.0, 8.0] {
+            let psf = SmearedGaussianPsf::new(1.5, length, 0.4);
+            let half = 20i32;
+            let mut sum = 0.0f64;
+            for y in -half..=half {
+                for x in -half..=half {
+                    sum += psf.eval(x as f32, y as f32, 0.0, 0.0) as f64;
+                }
+            }
+            assert!((sum - 1.0).abs() < 2e-3, "L={length}: integral {sum}");
+        }
+    }
+
+    #[test]
+    fn streak_elongates_along_track() {
+        // Along the track the profile is wider than across it.
+        let psf = SmearedGaussianPsf::new(1.0, 6.0, 0.0); // track = +x
+        let along = psf.eval(3.0, 0.0, 0.0, 0.0);
+        let across = psf.eval(0.0, 3.0, 0.0, 0.0);
+        assert!(
+            along > 5.0 * across,
+            "along-track {along} should dominate across-track {across}"
+        );
+        // And the peak is depressed relative to the static PSF.
+        let static_peak = GaussianPsf::new(1.0).peak();
+        assert!(psf.eval(0.0, 0.0, 0.0, 0.0) < static_peak);
+    }
+
+    #[test]
+    fn track_rotation_rotates_the_streak() {
+        let horizontal = SmearedGaussianPsf::new(1.0, 6.0, 0.0);
+        let vertical = SmearedGaussianPsf::new(1.0, 6.0, std::f32::consts::FRAC_PI_2);
+        // The vertical streak evaluated at (0, d) equals the horizontal one
+        // at (d, 0).
+        for d in [1.0f32, 2.5, 4.0] {
+            let h = horizontal.eval(d, 0.0, 0.0, 0.0);
+            let v = vertical.eval(0.0, d, 0.0, 0.0);
+            assert!((h - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn symmetric_about_mid_exposure_centre() {
+        let psf = SmearedGaussianPsf::new(1.5, 5.0, 0.9);
+        for (x, y) in [(2.0f32, 1.0f32), (-1.0, 3.0), (4.0, -2.0)] {
+            let a = psf.eval(x, y, 0.0, 0.0);
+            let b = psf.eval(-x, -y, 0.0, 0.0);
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn margin_grows_with_streak() {
+        let static_margin = SmearedGaussianPsf::new(2.0, 0.0, 0.0).margin_for_energy(0.95);
+        let streaked = SmearedGaussianPsf::new(2.0, 10.0, 0.0).margin_for_energy(0.95);
+        assert_eq!(streaked, static_margin + 5);
+        assert_eq!(
+            SmearedGaussianPsf::new(2.0, 0.0, 0.0).margin_for_energy(0.95),
+            GaussianPsf::new(2.0).margin_for_energy(0.95)
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let psf = SmearedGaussianPsf::new(1.5, 4.0, 0.25);
+        assert_eq!(psf.sigma(), 1.5);
+        assert_eq!(psf.length(), 4.0);
+        assert_eq!(psf.angle(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_rejected() {
+        let _ = SmearedGaussianPsf::new(1.0, -1.0, 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Spacecraft attitude as a unit quaternion.
+//!
+//! The star-simulator use case from the paper's introduction is a star
+//! sensor producing imagery "under any time and any attitude"; attitude here
+//! rotates the equatorial frame into the camera body frame (boresight = +z,
+//! image +x = body +x, image +y = body +y).
+
+/// A unit quaternion `w + xi + yj + zk` representing a rotation from the
+/// inertial (equatorial) frame into the camera body frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attitude {
+    /// Scalar part.
+    pub w: f64,
+    /// Vector part, i component.
+    pub x: f64,
+    /// Vector part, j component.
+    pub y: f64,
+    /// Vector part, k component.
+    pub z: f64,
+}
+
+impl Attitude {
+    /// The identity attitude: camera boresight points at `(ra, dec) = (90°, 0)`
+    /// ... more precisely, body frame equals the inertial frame.
+    pub const IDENTITY: Attitude = Attitude {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Quaternion from an axis (need not be normalized) and angle (radians).
+    pub fn from_axis_angle(axis: [f64; 3], angle: f64) -> Self {
+        let n = (axis[0] * axis[0] + axis[1] * axis[1] + axis[2] * axis[2]).sqrt();
+        assert!(n > 0.0, "rotation axis must be non-zero");
+        let (s, c) = (angle / 2.0).sin_cos();
+        Attitude {
+            w: c,
+            x: axis[0] / n * s,
+            y: axis[1] / n * s,
+            z: axis[2] / n * s,
+        }
+        .normalized()
+    }
+
+    /// Attitude whose boresight (+z body axis) points at right ascension
+    /// `ra` / declination `dec`, with roll angle `roll` about the boresight.
+    ///
+    /// All angles in radians. This is the conventional 3-1-3-like pointing
+    /// construction for star trackers.
+    pub fn pointing(ra: f64, dec: f64, roll: f64) -> Self {
+        // Rotate +z onto the target direction: first rotate about y by
+        // (π/2 − dec)… compose as Rz(ra) · Ry(π/2 − dec) applied to +z, then
+        // roll about the final boresight.
+        let q_ra = Attitude::from_axis_angle([0.0, 0.0, 1.0], ra);
+        let q_dec = Attitude::from_axis_angle([0.0, 1.0, 0.0], std::f64::consts::FRAC_PI_2 - dec);
+        let point = q_ra.mul(q_dec);
+        let boresight = point.rotate([0.0, 0.0, 1.0]);
+        let q_roll = Attitude::from_axis_angle(boresight, roll);
+        q_roll.mul(point)
+    }
+
+    /// Hamilton product `self · rhs` (apply `rhs` first, then `self`).
+    // An inherent `mul` is intentional: quaternion composition is the
+    // Hamilton product and reads naturally as `a.mul(b)` without importing
+    // `std::ops::Mul`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Attitude) -> Attitude {
+        Attitude {
+            w: self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            x: self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            y: self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            z: self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        }
+    }
+
+    /// The inverse rotation (conjugate, assuming unit norm).
+    pub fn conjugate(self) -> Attitude {
+        Attitude {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
+    }
+
+    /// Renormalizes to a unit quaternion.
+    pub fn normalized(self) -> Attitude {
+        let n = (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt();
+        assert!(n > 0.0, "cannot normalize the zero quaternion");
+        Attitude {
+            w: self.w / n,
+            x: self.x / n,
+            y: self.y / n,
+            z: self.z / n,
+        }
+    }
+
+    /// Rotates a vector by this quaternion: `v' = q v q*`.
+    pub fn rotate(self, v: [f64; 3]) -> [f64; 3] {
+        // Optimised sandwich product: v' = v + 2·u×(u×v + w·v), u = (x,y,z).
+        let u = [self.x, self.y, self.z];
+        let cross = |a: [f64; 3], b: [f64; 3]| {
+            [
+                a[1] * b[2] - a[2] * b[1],
+                a[2] * b[0] - a[0] * b[2],
+                a[0] * b[1] - a[1] * b[0],
+            ]
+        };
+        let t = cross(u, [v[0] * 1.0, v[1] * 1.0, v[2] * 1.0]);
+        let t = [t[0] + self.w * v[0], t[1] + self.w * v[1], t[2] + self.w * v[2]];
+        let c = cross(u, t);
+        [v[0] + 2.0 * c[0], v[1] + 2.0 * c[1], v[2] + 2.0 * c[2]]
+    }
+
+    /// Transforms an inertial-frame direction into the camera body frame.
+    ///
+    /// A star visible on-boresight maps to `[0, 0, 1]`.
+    pub fn to_body(self, inertial: [f64; 3]) -> [f64; 3] {
+        self.conjugate().rotate(inertial)
+    }
+
+    /// The inertial direction of the camera boresight (+z body axis).
+    pub fn boresight(self) -> [f64; 3] {
+        self.rotate([0.0, 0.0, 1.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn close(a: [f64; 3], b: [f64; 3], eps: f64) -> bool {
+        (0..3).all(|i| (a[i] - b[i]).abs() < eps)
+    }
+
+    #[test]
+    fn identity_rotation() {
+        let v = [0.3, -0.4, 0.5];
+        assert!(close(Attitude::IDENTITY.rotate(v), v, 1e-15));
+    }
+
+    #[test]
+    fn axis_angle_quarter_turn() {
+        let q = Attitude::from_axis_angle([0.0, 0.0, 1.0], FRAC_PI_2);
+        // z-rotation by 90°: x → y.
+        assert!(close(q.rotate([1.0, 0.0, 0.0]), [0.0, 1.0, 0.0], 1e-12));
+        assert!(close(q.rotate([0.0, 0.0, 1.0]), [0.0, 0.0, 1.0], 1e-12));
+    }
+
+    #[test]
+    fn conjugate_inverts() {
+        let q = Attitude::from_axis_angle([1.0, 2.0, 3.0], 0.73);
+        let v = [0.1, 0.2, 0.3];
+        let back = q.conjugate().rotate(q.rotate(v));
+        assert!(close(back, v, 1e-12));
+    }
+
+    #[test]
+    fn product_composes() {
+        let a = Attitude::from_axis_angle([0.0, 0.0, 1.0], 0.4);
+        let b = Attitude::from_axis_angle([0.0, 1.0, 0.0], 0.9);
+        let v = [0.5, -0.2, 0.8];
+        let composed = a.mul(b).rotate(v);
+        let sequential = a.rotate(b.rotate(v));
+        assert!(close(composed, sequential, 1e-12));
+    }
+
+    #[test]
+    fn pointing_places_target_on_boresight() {
+        for (ra, dec, roll) in [
+            (0.0, 0.0, 0.0),
+            (1.2, 0.4, 0.0),
+            (4.0, -0.9, 1.1),
+            (PI, FRAC_PI_2 - 0.01, 2.0),
+        ] {
+            let q = Attitude::pointing(ra, dec, roll);
+            let target = crate::star::SkyStar::new(ra, dec, 0.0).direction();
+            // The boresight must point at the target irrespective of roll.
+            assert!(
+                close(q.boresight(), target, 1e-10),
+                "boresight={:?} target={:?}",
+                q.boresight(),
+                target
+            );
+            // And the star must appear on-axis in the body frame.
+            assert!(close(q.to_body(target), [0.0, 0.0, 1.0], 1e-10));
+        }
+    }
+
+    #[test]
+    fn roll_spins_field_but_not_boresight() {
+        let (ra, dec) = (0.7, 0.2);
+        let q0 = Attitude::pointing(ra, dec, 0.0);
+        let q1 = Attitude::pointing(ra, dec, 1.0);
+        assert!(close(q0.boresight(), q1.boresight(), 1e-10));
+        // An off-axis star lands at a different body position under roll.
+        let off = crate::star::SkyStar::new(ra + 0.05, dec, 0.0).direction();
+        let b0 = q0.to_body(off);
+        let b1 = q1.to_body(off);
+        assert!(!close(b0, b1, 1e-6));
+        // But with the same off-axis angle (z component).
+        assert!((b0[2] - b1[2]).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_axis_rejected() {
+        let _ = Attitude::from_axis_angle([0.0, 0.0, 0.0], 1.0);
+    }
+}

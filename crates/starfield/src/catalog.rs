@@ -1,0 +1,252 @@
+//! Star catalogues: in-memory storage, range queries, and the text format
+//! used to exchange the paper's benchmark star files.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::error::FieldError;
+use crate::star::Star;
+
+/// An in-memory catalogue of image-plane stars.
+///
+/// The sequential simulator's *Star generation* stage (paper §III-A)
+/// retrieves stars in the FOV from a catalogue; this type is its output and
+/// the common input of all three simulators.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StarCatalog {
+    stars: Vec<Star>,
+}
+
+impl StarCatalog {
+    /// Empty catalogue.
+    pub fn new() -> Self {
+        StarCatalog { stars: Vec::new() }
+    }
+
+    /// Catalogue from an existing star list.
+    pub fn from_stars(stars: Vec<Star>) -> Self {
+        StarCatalog { stars }
+    }
+
+    /// Number of stars.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stars.len()
+    }
+
+    /// True when no stars are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stars.is_empty()
+    }
+
+    /// The stars, in catalogue order.
+    #[inline]
+    pub fn stars(&self) -> &[Star] {
+        &self.stars
+    }
+
+    /// Mutable access to the stars.
+    #[inline]
+    pub fn stars_mut(&mut self) -> &mut [Star] {
+        &mut self.stars
+    }
+
+    /// Appends a star.
+    pub fn push(&mut self, star: Star) {
+        self.stars.push(star);
+    }
+
+    /// Stars whose centre lies inside the axis-aligned rectangle
+    /// `[x0, x1) × [y0, y1)`.
+    pub fn in_rect(&self, x0: f32, y0: f32, x1: f32, y1: f32) -> Vec<Star> {
+        self.stars
+            .iter()
+            .copied()
+            .filter(|s| s.pos.x >= x0 && s.pos.x < x1 && s.pos.y >= y0 && s.pos.y < y1)
+            .collect()
+    }
+
+    /// Stars brighter than (magnitude strictly below) `mag_limit`.
+    pub fn brighter_than(&self, mag_limit: f32) -> Vec<Star> {
+        self.stars
+            .iter()
+            .copied()
+            .filter(|s| s.mag.value() < mag_limit)
+            .collect()
+    }
+
+    /// Sorts stars brightest-first (ascending magnitude). Stable.
+    pub fn sort_by_brightness(&mut self) {
+        self.stars
+            .sort_by(|a, b| a.mag.value().total_cmp(&b.mag.value()));
+    }
+
+    /// Total brightness of the catalogue under factor `A` (useful as a flux
+    /// conservation reference in tests).
+    pub fn total_brightness(&self, a_factor: f32) -> f64 {
+        self.stars
+            .iter()
+            .map(|s| s.brightness(a_factor) as f64)
+            .sum()
+    }
+
+    /// Serializes to the benchmark text format: one star per line,
+    /// `magnitude x y`, '#'-prefixed comment lines allowed.
+    pub fn write_text<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let mut buf = String::with_capacity(self.stars.len() * 24 + 64);
+        buf.push_str("# starsim catalogue: magnitude x y\n");
+        for s in &self.stars {
+            // `write!` into a String never fails.
+            let _ = writeln!(buf, "{} {} {}", s.mag.value(), s.pos.x, s.pos.y);
+        }
+        w.write_all(buf.as_bytes())
+    }
+
+    /// Parses the benchmark text format produced by [`Self::write_text`].
+    pub fn read_text<R: Read>(r: R) -> Result<Self, FieldError> {
+        let reader = BufReader::new(r);
+        let mut stars = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line.map_err(FieldError::Io)?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let parse = |tok: Option<&str>, what: &str| -> Result<f32, FieldError> {
+                let tok = tok.ok_or_else(|| FieldError::Parse {
+                    line: lineno + 1,
+                    message: format!("missing {what}"),
+                })?;
+                tok.parse::<f32>().map_err(|e| FieldError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad {what} `{tok}`: {e}"),
+                })
+            };
+            let mag = parse(it.next(), "magnitude")?;
+            let x = parse(it.next(), "x coordinate")?;
+            let y = parse(it.next(), "y coordinate")?;
+            if it.next().is_some() {
+                return Err(FieldError::Parse {
+                    line: lineno + 1,
+                    message: "trailing fields after `magnitude x y`".into(),
+                });
+            }
+            stars.push(Star::new(x, y, mag));
+        }
+        Ok(StarCatalog { stars })
+    }
+}
+
+impl FromIterator<Star> for StarCatalog {
+    fn from_iter<T: IntoIterator<Item = Star>>(iter: T) -> Self {
+        StarCatalog {
+            stars: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a StarCatalog {
+    type Item = &'a Star;
+    type IntoIter = std::slice::Iter<'a, Star>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.stars.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StarCatalog {
+        StarCatalog::from_stars(vec![
+            Star::new(10.0, 20.0, 3.5),
+            Star::new(100.0, 50.0, 1.0),
+            Star::new(500.5, 900.25, 7.75),
+        ])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let mut c = sample();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(StarCatalog::new().is_empty());
+        c.push(Star::new(1.0, 1.0, 0.0));
+        assert_eq!(c.len(), 4);
+        c.stars_mut()[0].mag = crate::magnitude::Magnitude(9.0);
+        assert_eq!(c.stars()[0].mag.value(), 9.0);
+    }
+
+    #[test]
+    fn rect_query() {
+        let c = sample();
+        let hits = c.in_rect(0.0, 0.0, 200.0, 100.0);
+        assert_eq!(hits.len(), 2);
+        // Half-open: a star exactly on x1 is excluded.
+        let edge = c.in_rect(0.0, 0.0, 100.0, 100.0);
+        assert_eq!(edge.len(), 1);
+    }
+
+    #[test]
+    fn brightness_filter_and_sort() {
+        let mut c = sample();
+        assert_eq!(c.brighter_than(4.0).len(), 2);
+        c.sort_by_brightness();
+        let mags: Vec<f32> = c.stars().iter().map(|s| s.mag.value()).collect();
+        assert_eq!(mags, vec![1.0, 3.5, 7.75]);
+    }
+
+    #[test]
+    fn total_brightness_adds_up() {
+        let c = sample();
+        let expect: f64 = c
+            .stars()
+            .iter()
+            .map(|s| s.brightness(1000.0) as f64)
+            .sum();
+        assert!((c.total_brightness(1000.0) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_text(&mut buf).unwrap();
+        let back = StarCatalog::read_text(&buf[..]).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn text_parsing_tolerates_comments_and_blanks() {
+        let text = "# header\n\n 3.5 10 20 \n# mid comment\n1 100 50\n";
+        let c = StarCatalog::read_text(text.as_bytes()).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stars()[1].pos.x, 100.0);
+    }
+
+    #[test]
+    fn text_parsing_rejects_malformed_lines() {
+        assert!(matches!(
+            StarCatalog::read_text("3.5 10".as_bytes()),
+            Err(FieldError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            StarCatalog::read_text("a b c".as_bytes()),
+            Err(FieldError::Parse { .. })
+        ));
+        assert!(matches!(
+            StarCatalog::read_text("1 2 3 4".as_bytes()),
+            Err(FieldError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn from_iterator_and_borrowing_iter() {
+        let c: StarCatalog = (0..5).map(|i| Star::new(i as f32, 0.0, 1.0)).collect();
+        assert_eq!(c.len(), 5);
+        let xs: Vec<f32> = (&c).into_iter().map(|s| s.pos.x).collect();
+        assert_eq!(xs, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+}

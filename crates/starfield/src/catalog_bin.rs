@@ -1,0 +1,165 @@
+//! Compact binary catalogue format.
+//!
+//! The text format (`magnitude x y` per line) is human-friendly but ~3×
+//! larger and slow to parse for the paper's 2^17-star benchmark fields.
+//! This module defines a simple little-endian binary container:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"STARCAT1"
+//! 8       8     star count (u64 LE)
+//! 16      12·N  records: mag f32, x f32, y f32 (LE)
+//! 16+12N  4     checksum: XOR of all record words (u32 LE)
+//! ```
+//!
+//! The checksum catches truncation and bit corruption cheaply; it is not
+//! cryptographic.
+
+use std::io::{Read, Write};
+
+use crate::catalog::StarCatalog;
+use crate::error::FieldError;
+use crate::star::Star;
+
+const MAGIC: &[u8; 8] = b"STARCAT1";
+
+/// Serializes a catalogue in the binary format.
+pub fn write_binary<W: Write>(catalog: &StarCatalog, mut w: W) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(20 + catalog.len() * 12);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(catalog.len() as u64).to_le_bytes());
+    let mut checksum = 0u32;
+    for s in catalog.stars() {
+        for word in [s.mag.value(), s.pos.x, s.pos.y] {
+            let bits = word.to_bits();
+            checksum ^= bits;
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&checksum.to_le_bytes());
+    w.write_all(&out)
+}
+
+/// Deserializes the binary format, verifying magic, length and checksum.
+pub fn read_binary<R: Read>(mut r: R) -> Result<StarCatalog, FieldError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf).map_err(FieldError::Io)?;
+    if buf.len() < 20 {
+        return Err(FieldError::Parse {
+            line: 0,
+            message: format!("binary catalogue truncated: {} bytes", buf.len()),
+        });
+    }
+    if &buf[0..8] != MAGIC {
+        return Err(FieldError::Parse {
+            line: 0,
+            message: "bad magic: not a STARCAT1 file".into(),
+        });
+    }
+    let count = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
+    let expected_len = 16 + count * 12 + 4;
+    if buf.len() != expected_len {
+        return Err(FieldError::Parse {
+            line: 0,
+            message: format!(
+                "length mismatch: header says {count} stars ({expected_len} bytes), file has {}",
+                buf.len()
+            ),
+        });
+    }
+    let mut stars = Vec::with_capacity(count);
+    let mut checksum = 0u32;
+    let mut off = 16;
+    for _ in 0..count {
+        let mut words = [0f32; 3];
+        for w in &mut words {
+            let bits = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+            checksum ^= bits;
+            *w = f32::from_bits(bits);
+            off += 4;
+        }
+        stars.push(Star::new(words[1], words[2], words[0]));
+    }
+    let stored = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+    if stored != checksum {
+        return Err(FieldError::Parse {
+            line: 0,
+            message: format!("checksum mismatch: stored {stored:#010x}, computed {checksum:#010x}"),
+        });
+    }
+    Ok(StarCatalog::from_stars(stars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::FieldGenerator;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let cat = FieldGenerator::new(1024, 1024).generate(500, 9);
+        let mut buf = Vec::new();
+        write_binary(&cat, &mut buf).unwrap();
+        assert_eq!(buf.len(), 20 + 500 * 12);
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, cat);
+    }
+
+    #[test]
+    fn empty_catalogue_roundtrips() {
+        let cat = StarCatalog::new();
+        let mut buf = Vec::new();
+        write_binary(&cat, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), cat);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let cat = FieldGenerator::new(1024, 1024).generate(1000, 3);
+        let mut bin = Vec::new();
+        write_binary(&cat, &mut bin).unwrap();
+        let mut text = Vec::new();
+        cat.write_text(&mut text).unwrap();
+        assert!(
+            bin.len() * 2 < text.len(),
+            "binary {} vs text {}",
+            bin.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_binary(&StarCatalog::new(), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(FieldError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let cat = FieldGenerator::new(64, 64).generate(10, 1);
+        let mut buf = Vec::new();
+        write_binary(&cat, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("length mismatch"));
+        assert!(read_binary(&buf[..4]).is_err());
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let cat = FieldGenerator::new(64, 64).generate(10, 1);
+        let mut buf = Vec::new();
+        write_binary(&cat, &mut buf).unwrap();
+        buf[20] ^= 0x40; // flip a bit in the first record
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum"),
+            "got: {err}"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Star-count statistics: how many stars a field of view should contain.
+//!
+//! The paper's "large-scale" regime (tens of thousands of stars per frame)
+//! corresponds to deep magnitude limits; this module provides the standard
+//! cumulative star-count law so workloads can be sized realistically:
+//!
+//! ```text
+//! N(<m) ≈ N₀ · 10^(k·m)   stars per steradian brighter than m,
+//! ```
+//!
+//! with `k ≈ 0.51` and `N₀` normalized so the whole sky holds ≈ 6 000
+//! stars brighter than m = 6 (the classical naked-eye count). Real
+//! catalogues vary with galactic latitude by ~3×; this is the
+//! latitude-averaged law, adequate for sizing benchmarks.
+
+use crate::projection::Camera;
+
+/// Slope of the cumulative star-count law (dex per magnitude).
+pub const COUNT_SLOPE: f64 = 0.51;
+
+/// Whole-sky star count brighter than magnitude 6 (the normalization).
+pub const NAKED_EYE_COUNT: f64 = 6000.0;
+
+/// Steradians on the whole sphere.
+const SPHERE_SR: f64 = 4.0 * std::f64::consts::PI;
+
+/// Whole-sky cumulative count of stars brighter than magnitude `m`.
+pub fn sky_count_brighter_than(m: f64) -> f64 {
+    NAKED_EYE_COUNT * 10f64.powf(COUNT_SLOPE * (m - 6.0))
+}
+
+/// Stars per steradian brighter than magnitude `m`.
+pub fn density_per_sr(m: f64) -> f64 {
+    sky_count_brighter_than(m) / SPHERE_SR
+}
+
+/// Solid angle (steradians) of a camera's rectangular field of view
+/// (planar small-angle approximation, good below ~30°).
+pub fn fov_solid_angle(camera: &Camera) -> f64 {
+    let w = 2.0 * ((camera.width as f64 / 2.0) / camera.focal_px).atan();
+    let h = 2.0 * ((camera.height as f64 / 2.0) / camera.focal_px).atan();
+    w * h
+}
+
+/// Expected number of stars brighter than `mag_limit` in a camera's FOV.
+pub fn expected_stars_in_fov(camera: &Camera, mag_limit: f64) -> f64 {
+    density_per_sr(mag_limit) * fov_solid_angle(camera)
+}
+
+/// The magnitude limit needed to see roughly `count` stars in the FOV —
+/// the inverse of [`expected_stars_in_fov`]; useful for sizing a
+/// "large-scale" workload.
+pub fn mag_limit_for_count(camera: &Camera, count: f64) -> f64 {
+    assert!(count > 0.0, "count must be positive");
+    let per_sr = count / fov_solid_angle(camera);
+    let whole_sky = per_sr * SPHERE_SR;
+    6.0 + (whole_sky / NAKED_EYE_COUNT).log10() / COUNT_SLOPE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn camera() -> Camera {
+        Camera::from_fov(12.0f64.to_radians(), 1024, 1024).unwrap()
+    }
+
+    #[test]
+    fn normalization_matches_naked_eye() {
+        assert!((sky_count_brighter_than(6.0) - 6000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_grow_by_the_slope() {
+        // One magnitude deeper ⇒ ×10^0.51 ≈ 3.24.
+        let ratio = sky_count_brighter_than(7.0) / sky_count_brighter_than(6.0);
+        assert!((ratio - 10f64.powf(0.51)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fov_solid_angle_sane() {
+        // A 12°×12° FOV ≈ 0.0439 sr.
+        let sr = fov_solid_angle(&camera());
+        let expect = 12.0f64.to_radians() * 12.0f64.to_radians();
+        assert!((sr - expect).abs() / expect < 0.01, "{sr} vs {expect}");
+    }
+
+    #[test]
+    fn star_tracker_magnitudes_give_hundreds_of_stars() {
+        // A 12° tracker at m=6.5 sees a few tens of stars; the paper's
+        // tens-of-thousands regime needs m ≈ 10+.
+        let cam = camera();
+        let at_6_5 = expected_stars_in_fov(&cam, 6.5);
+        assert!(
+            (10.0..200.0).contains(&at_6_5),
+            "m=6.5 expectation {at_6_5}"
+        );
+        let at_11 = expected_stars_in_fov(&cam, 11.0);
+        assert!(at_11 > 5_000.0, "m=11 expectation {at_11}");
+    }
+
+    #[test]
+    fn mag_limit_inverts_expected_count() {
+        let cam = camera();
+        for count in [100.0f64, 8192.0, 131072.0] {
+            let m = mag_limit_for_count(&cam, count);
+            let back = expected_stars_in_fov(&cam, m);
+            assert!(
+                (back - count).abs() / count < 1e-9,
+                "count {count}: m={m}, back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_needs_deep_limits() {
+        // 2^17 stars in one 12° frame corresponds to m ≈ 13–14 — inside
+        // the paper's 0..15 magnitude range, confirming the benchmark's
+        // realism.
+        let m = mag_limit_for_count(&camera(), 131072.0);
+        assert!(
+            (12.0..15.0).contains(&m),
+            "2^17 stars needs m ≈ {m}, expected 12..15"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_count_rejected() {
+        let _ = mag_limit_for_count(&camera(), 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the star-field substrate.
+
+use std::fmt;
+
+/// Errors produced by catalogue IO and field-of-view operations.
+#[derive(Debug)]
+pub enum FieldError {
+    /// Underlying IO failure while reading or writing a catalogue.
+    Io(std::io::Error),
+    /// A malformed catalogue line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An invalid parameter (e.g. non-positive focal length or FOV).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::Io(e) => write!(f, "catalogue IO error: {e}"),
+            FieldError::Parse { line, message } => {
+                write!(f, "catalogue parse error at line {line}: {message}")
+            }
+            FieldError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FieldError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FieldError {
+    fn from(e: std::io::Error) -> Self {
+        FieldError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_formats() {
+        let e = FieldError::Parse {
+            line: 7,
+            message: "bad magnitude".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = FieldError::InvalidParameter("fov".into());
+        assert!(e.to_string().contains("fov"));
+        let io: FieldError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+        assert!(io.source().is_some());
+    }
+}

@@ -1,0 +1,164 @@
+//! Field-of-view retrieval: from a sky catalogue and an attitude to the
+//! image-plane star list the simulators consume.
+//!
+//! The paper delegates this step to reference \[4\] ("The star obtaining
+//! process will not be discussed in this paper"); we implement it as a
+//! substrate so the star-tracker example can run end-to-end.
+
+use crate::attitude::Attitude;
+use crate::catalog::StarCatalog;
+use crate::projection::Camera;
+use crate::star::{SkyStar, Star};
+
+/// A catalogue of stars on the celestial sphere.
+#[derive(Debug, Clone, Default)]
+pub struct SkyCatalog {
+    stars: Vec<SkyStar>,
+}
+
+impl SkyCatalog {
+    /// Empty sky catalogue.
+    pub fn new() -> Self {
+        SkyCatalog { stars: Vec::new() }
+    }
+
+    /// Catalogue from an existing list.
+    pub fn from_stars(stars: Vec<SkyStar>) -> Self {
+        SkyCatalog { stars }
+    }
+
+    /// Number of stars.
+    pub fn len(&self) -> usize {
+        self.stars.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.stars.is_empty()
+    }
+
+    /// The stars.
+    pub fn stars(&self) -> &[SkyStar] {
+        &self.stars
+    }
+
+    /// Appends a star.
+    pub fn push(&mut self, star: SkyStar) {
+        self.stars.push(star);
+    }
+
+    /// Retrieves the stars visible to `camera` under `attitude`, projected
+    /// onto the image plane.
+    ///
+    /// `margin_px` extends the acceptance window beyond the image bounds so
+    /// stars whose centre falls just outside but whose ROI still clips the
+    /// image are retained (set it to the ROI margin).
+    pub fn view(&self, attitude: Attitude, camera: &Camera, margin_px: f32) -> StarCatalog {
+        // Coarse cull: angular cone test against the image diagonal plus the
+        // pixel margin, then exact projection.
+        let margin_angle = (margin_px as f64 / camera.focal_px).atan();
+        let cos_limit = (camera.diagonal_half_angle() + margin_angle).cos();
+        let boresight = attitude.boresight();
+
+        let mut out = StarCatalog::new();
+        for s in &self.stars {
+            let dir = s.direction();
+            let cos = dir[0] * boresight[0] + dir[1] * boresight[1] + dir[2] * boresight[2];
+            if cos < cos_limit {
+                continue;
+            }
+            let body = attitude.to_body(dir);
+            if let Some(p) = camera.project(body) {
+                let in_window = p.x >= -margin_px
+                    && p.y >= -margin_px
+                    && p.x < camera.width as f32 + margin_px
+                    && p.y < camera.height as f32 + margin_px;
+                if in_window {
+                    out.push(Star {
+                        pos: p,
+                        mag: s.mag,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<SkyStar> for SkyCatalog {
+    fn from_iter<T: IntoIterator<Item = SkyStar>>(iter: T) -> Self {
+        SkyCatalog {
+            stars: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn camera() -> Camera {
+        Camera::from_fov(10.0f64.to_radians(), 1024, 1024).unwrap()
+    }
+
+    #[test]
+    fn boresight_star_lands_at_centre() {
+        let (ra, dec) = (1.0, 0.3);
+        let sky = SkyCatalog::from_stars(vec![SkyStar::new(ra, dec, 3.0)]);
+        let att = Attitude::pointing(ra, dec, 0.0);
+        let cat = sky.view(att, &camera(), 0.0);
+        assert_eq!(cat.len(), 1);
+        let p = cat.stars()[0].pos;
+        assert!((p.x - 512.0).abs() < 1e-2 && (p.y - 512.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn stars_behind_are_culled() {
+        let (ra, dec) = (1.0, 0.3);
+        // A star diametrically opposite the boresight.
+        let anti = SkyStar::new(ra + std::f64::consts::PI, -dec, 3.0);
+        let sky = SkyCatalog::from_stars(vec![anti]);
+        let att = Attitude::pointing(ra, dec, 0.0);
+        assert!(sky.view(att, &camera(), 0.0).is_empty());
+    }
+
+    #[test]
+    fn off_fov_star_is_culled_but_margin_keeps_edge_star() {
+        let cam = camera();
+        let att = Attitude::pointing(0.0, 0.0, 0.0);
+        // A star ~half FOV + a few pixels off axis: just outside the image.
+        let half_fov = cam.horizontal_fov() / 2.0;
+        let just_out = SkyStar::new(0.0 + 1e-9, half_fov + 8.0 / cam.focal_px, 3.0);
+        let sky = SkyCatalog::from_stars(vec![just_out]);
+        assert!(sky.view(att, &cam, 0.0).is_empty());
+        let with_margin = sky.view(att, &cam, 16.0);
+        assert_eq!(with_margin.len(), 1, "margin window should keep the star");
+    }
+
+    #[test]
+    fn dense_sky_visible_fraction_is_plausible() {
+        // A ring of stars around the equator; pointing at the equator should
+        // see roughly fov/2π of them.
+        let n = 3600;
+        let sky: SkyCatalog = (0..n)
+            .map(|i| SkyStar::new(i as f64 / n as f64 * std::f64::consts::TAU, 0.0, 3.0))
+            .collect();
+        let cam = camera();
+        let att = Attitude::pointing(1.0, 0.0, 0.0);
+        let seen = sky.view(att, &cam, 0.0).len();
+        let expect = (cam.horizontal_fov() / std::f64::consts::TAU * n as f64) as usize;
+        assert!(
+            (seen as i64 - expect as i64).unsigned_abs() as usize <= expect / 5 + 2,
+            "saw {seen}, expected about {expect}"
+        );
+    }
+
+    #[test]
+    fn collection_basics() {
+        let mut sky = SkyCatalog::new();
+        assert!(sky.is_empty());
+        sky.push(SkyStar::new(0.0, 0.0, 1.0));
+        assert_eq!(sky.len(), 1);
+        assert_eq!(sky.stars().len(), 1);
+    }
+}

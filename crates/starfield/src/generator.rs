@@ -1,0 +1,327 @@
+//! Seeded synthetic star-field generators.
+//!
+//! The paper's benchmarks use randomly generated star files ("these stars
+//! are the simulated data which have been generated randomly", §IV). These
+//! generators reproduce that setup deterministically, plus two more
+//! realistic distributions used by the examples.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::StarCatalog;
+use crate::fov::SkyCatalog;
+use crate::magnitude::{MAG_MAX, MAG_MIN};
+use crate::star::{SkyStar, Star};
+
+/// How star positions are distributed across the image plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PositionModel {
+    /// Uniform over the full image (the paper's benchmark setup).
+    Uniform,
+    /// Uniform, but snapped to integer pixel centres. Makes the adaptive
+    /// simulator's lookup table exact, which is useful for validation.
+    UniformPixelCentred,
+    /// Gaussian clusters: `clusters` cluster centres drawn uniformly, each
+    /// star assigned to a random cluster with positional std-dev `sigma_px`.
+    /// Models dense fields (e.g. pointing near the galactic plane) and
+    /// stresses the atomic-contention path of the parallel simulator.
+    Clustered {
+        /// Number of cluster centres.
+        clusters: usize,
+        /// Positional standard deviation around a centre, pixels.
+        sigma_px: f32,
+    },
+}
+
+/// How magnitudes are distributed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MagnitudeModel {
+    /// Uniform in `[min, max]` (the paper's benchmark setup, 0..15).
+    Uniform {
+        /// Dimmest-allowed magnitude bound (lower value = brighter).
+        min: f32,
+        /// Brightest-allowed magnitude bound.
+        max: f32,
+    },
+    /// Realistic cumulative star-count law `N(<m) ∝ 10^(0.51·m)`: dim stars
+    /// vastly outnumber bright ones, as in real catalogues.
+    Realistic {
+        /// Brightest magnitude to generate.
+        min: f32,
+        /// Dimmest magnitude to generate.
+        max: f32,
+    },
+}
+
+/// A deterministic star-field generator.
+#[derive(Debug, Clone)]
+pub struct FieldGenerator {
+    width: usize,
+    height: usize,
+    positions: PositionModel,
+    magnitudes: MagnitudeModel,
+}
+
+impl FieldGenerator {
+    /// Generator for a `width × height` image with the paper's default
+    /// models (uniform positions, uniform magnitudes in `[0, 15]`).
+    pub fn new(width: usize, height: usize) -> Self {
+        FieldGenerator {
+            width,
+            height,
+            positions: PositionModel::Uniform,
+            magnitudes: MagnitudeModel::Uniform {
+                min: MAG_MIN,
+                max: MAG_MAX,
+            },
+        }
+    }
+
+    /// Sets the position model.
+    pub fn positions(mut self, model: PositionModel) -> Self {
+        self.positions = model;
+        self
+    }
+
+    /// Sets the magnitude model.
+    pub fn magnitudes(mut self, model: MagnitudeModel) -> Self {
+        self.magnitudes = model;
+        self
+    }
+
+    /// Generates `count` stars with RNG seed `seed`.
+    ///
+    /// The same `(seed, count, models, image size)` always produces the same
+    /// catalogue, so experiments are reproducible run-to-run.
+    pub fn generate(&self, count: usize, seed: u64) -> StarCatalog {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stars = Vec::with_capacity(count);
+
+        // Pre-draw cluster centres if needed so cluster layout is stable in
+        // `count` (adding stars doesn't reshuffle centres).
+        let centres: Vec<(f32, f32)> = match self.positions {
+            PositionModel::Clustered { clusters, .. } => {
+                let ux = Uniform::new(0.0f32, self.width as f32);
+                let uy = Uniform::new(0.0f32, self.height as f32);
+                (0..clusters.max(1))
+                    .map(|_| (ux.sample(&mut rng), uy.sample(&mut rng)))
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+
+        for _ in 0..count {
+            let (x, y) = self.sample_position(&mut rng, &centres);
+            let m = self.sample_magnitude(&mut rng);
+            stars.push(Star::new(x, y, m));
+        }
+        StarCatalog::from_stars(stars)
+    }
+
+    fn sample_position(&self, rng: &mut StdRng, centres: &[(f32, f32)]) -> (f32, f32) {
+        let w = self.width as f32;
+        let h = self.height as f32;
+        match self.positions {
+            PositionModel::Uniform => (rng.gen_range(0.0..w), rng.gen_range(0.0..h)),
+            PositionModel::UniformPixelCentred => (
+                rng.gen_range(0..self.width) as f32,
+                rng.gen_range(0..self.height) as f32,
+            ),
+            PositionModel::Clustered { sigma_px, .. } => {
+                let (cx, cy) = centres[rng.gen_range(0..centres.len())];
+                // Box–Muller normal deviates.
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                let r = (-2.0 * u1.ln()).sqrt() * sigma_px;
+                let theta = std::f32::consts::TAU * u2;
+                let x = (cx + r * theta.cos()).clamp(0.0, w - 1.0);
+                let y = (cy + r * theta.sin()).clamp(0.0, h - 1.0);
+                (x, y)
+            }
+        }
+    }
+
+    fn sample_magnitude(&self, rng: &mut StdRng) -> f32 {
+        match self.magnitudes {
+            MagnitudeModel::Uniform { min, max } => {
+                if max > min {
+                    rng.gen_range(min..max)
+                } else {
+                    min
+                }
+            }
+            MagnitudeModel::Realistic { min, max } => {
+                // Inverse-CDF sampling of N(<m) ∝ 10^(0.51 m) on [min, max]:
+                // F(m) = (10^(k·m) − 10^(k·min)) / (10^(k·max) − 10^(k·min)).
+                const K: f32 = 0.51;
+                let lo = 10.0f32.powf(K * min);
+                let hi = 10.0f32.powf(K * max);
+                let u: f32 = rng.gen_range(0.0..1.0);
+                ((lo + u * (hi - lo)).log10() / K).clamp(min, max)
+            }
+        }
+    }
+}
+
+/// Generates a synthetic full-sky catalogue of `count` stars, uniformly
+/// distributed over the celestial sphere with the realistic magnitude law.
+///
+/// Used by the star-tracker example as a stand-in for a real catalogue
+/// (e.g. Hipparcos), which we do not ship.
+pub fn synthetic_sky(count: usize, mag_min: f32, mag_max: f32, seed: u64) -> SkyCatalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = FieldGenerator::new(1, 1).magnitudes(MagnitudeModel::Realistic {
+        min: mag_min,
+        max: mag_max,
+    });
+    (0..count)
+        .map(|_| {
+            let ra = rng.gen_range(0.0..std::f64::consts::TAU);
+            // Uniform on the sphere: dec = asin(u), u ∈ [−1, 1].
+            let dec = (rng.gen_range(-1.0f64..1.0)).asin();
+            let m = gen.sample_magnitude(&mut rng);
+            SkyStar::new(ra, dec, m)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g = FieldGenerator::new(1024, 1024);
+        let a = g.generate(100, 42);
+        let b = g.generate(100, 42);
+        assert_eq!(a, b);
+        let c = g.generate(100, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_positions_cover_image() {
+        let g = FieldGenerator::new(256, 128);
+        let cat = g.generate(5000, 7);
+        for s in cat.stars() {
+            assert!(s.in_image(256, 128), "star out of bounds: {:?}", s.pos);
+        }
+        // Rough coverage: each quadrant should get a decent share.
+        let q = cat.in_rect(0.0, 0.0, 128.0, 64.0).len();
+        assert!(q > 900 && q < 1600, "quadrant share {q} of 5000");
+    }
+
+    #[test]
+    fn pixel_centred_positions_are_integers() {
+        let g = FieldGenerator::new(64, 64).positions(PositionModel::UniformPixelCentred);
+        let cat = g.generate(500, 3);
+        for s in cat.stars() {
+            assert_eq!(s.pos.x.fract(), 0.0);
+            assert_eq!(s.pos.y.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn clustered_positions_cluster() {
+        let g = FieldGenerator::new(1024, 1024).positions(PositionModel::Clustered {
+            clusters: 3,
+            sigma_px: 5.0,
+        });
+        let cat = g.generate(3000, 11);
+        // With σ=5 around 3 centres, the mean pairwise spread is far below
+        // a uniform field's. Check mean distance to nearest centre proxy:
+        // stars should be concentrated — the bounding box of a random 100
+        // stars from one run is not the whole image. Use variance heuristic.
+        let mean_x: f32 =
+            cat.stars().iter().map(|s| s.pos.x).sum::<f32>() / cat.len() as f32;
+        let var_x: f32 = cat
+            .stars()
+            .iter()
+            .map(|s| (s.pos.x - mean_x).powi(2))
+            .sum::<f32>()
+            / cat.len() as f32;
+        // Uniform variance would be 1024²/12 ≈ 87k; clusters give much less
+        // unless centres happen to be maximally spread (3 centres ⇒ still
+        // below ~3x). Loose bound:
+        assert!(var_x < 250_000.0);
+        for s in cat.stars() {
+            assert!(s.in_image(1024, 1024));
+        }
+    }
+
+    #[test]
+    fn uniform_magnitudes_in_range() {
+        let g = FieldGenerator::new(64, 64).magnitudes(MagnitudeModel::Uniform {
+            min: 2.0,
+            max: 6.0,
+        });
+        let cat = g.generate(2000, 5);
+        for s in cat.stars() {
+            assert!((2.0..6.0).contains(&s.mag.value()));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_magnitude_range() {
+        let g = FieldGenerator::new(64, 64).magnitudes(MagnitudeModel::Uniform {
+            min: 4.0,
+            max: 4.0,
+        });
+        let cat = g.generate(10, 5);
+        for s in cat.stars() {
+            assert_eq!(s.mag.value(), 4.0);
+        }
+    }
+
+    #[test]
+    fn realistic_magnitudes_skew_dim() {
+        let g = FieldGenerator::new(64, 64).magnitudes(MagnitudeModel::Realistic {
+            min: 0.0,
+            max: 10.0,
+        });
+        let cat = g.generate(10_000, 9);
+        let dim = cat.stars().iter().filter(|s| s.mag.value() > 8.0).count();
+        let bright = cat.stars().iter().filter(|s| s.mag.value() < 2.0).count();
+        // 10^(0.51·10) / 10^(0.51·2) ≈ 1.2e4: dim stars dominate massively.
+        assert!(
+            dim > bright * 50,
+            "dim={dim} bright={bright}: distribution should be dim-heavy"
+        );
+        for s in cat.stars() {
+            assert!((0.0..=10.0).contains(&s.mag.value()));
+        }
+    }
+
+    #[test]
+    fn synthetic_sky_is_deterministic_and_on_sphere() {
+        let a = synthetic_sky(1000, 0.0, 6.0, 1);
+        let b = synthetic_sky(1000, 0.0, 6.0, 1);
+        assert_eq!(a.len(), 1000);
+        for (x, y) in a.stars().iter().zip(b.stars()) {
+            assert_eq!(x.ra, y.ra);
+            assert_eq!(x.dec, y.dec);
+        }
+        for s in a.stars() {
+            assert!((0.0..std::f64::consts::TAU).contains(&s.ra));
+            assert!(s.dec.abs() <= std::f64::consts::FRAC_PI_2);
+            assert!((0.0..=6.0).contains(&s.mag.value()));
+        }
+    }
+
+    #[test]
+    fn sky_declination_is_area_uniform() {
+        // asin sampling: |dec| < 30° should hold ~half the stars (sin 30° = 0.5).
+        let sky = synthetic_sky(20_000, 0.0, 6.0, 2);
+        let low = sky
+            .stars()
+            .iter()
+            .filter(|s| s.dec.abs() < 30.0f64.to_radians())
+            .count();
+        assert!(
+            (low as f64 / 20_000.0 - 0.5).abs() < 0.03,
+            "fraction below 30° was {}",
+            low as f64 / 20_000.0
+        );
+    }
+}

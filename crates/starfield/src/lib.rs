@@ -1,0 +1,48 @@
+//! # starfield — star catalogue substrate
+//!
+//! Everything upstream of the intensity model: star records, the
+//! magnitude→brightness law (paper eq. 1), seeded synthetic field
+//! generation, celestial-sphere catalogues, attitude (quaternion) and
+//! gnomonic projection for field-of-view retrieval, and the paper's two
+//! benchmark workload builders.
+//!
+//! The paper under reproduction is Li, Zhang, Zheng & Hu, *Implementing
+//! High-performance Intensity Model with Blur Effect on GPUs for Large-scale
+//! Star Image Simulation* (IPDPS Workshops 2012). Its simulators consume a
+//! star file of `(magnitude, x, y)` records; [`catalog::StarCatalog`] is
+//! that file in memory, and [`generator::FieldGenerator`] recreates the
+//! randomly-generated benchmark inputs deterministically.
+
+#![warn(missing_docs)]
+
+pub mod attitude;
+pub mod catalog;
+pub mod catalog_bin;
+pub mod density;
+pub mod dynamics;
+pub mod error;
+pub mod fov;
+pub mod generator;
+pub mod identify;
+pub mod magnitude;
+pub mod projection;
+pub mod quest;
+pub mod star;
+pub mod triad;
+pub mod vec2;
+pub mod workload;
+
+pub use attitude::Attitude;
+pub use catalog::StarCatalog;
+pub use dynamics::AttitudeDynamics;
+pub use error::FieldError;
+pub use fov::SkyCatalog;
+pub use generator::{FieldGenerator, MagnitudeModel, PositionModel};
+pub use identify::PairCatalog;
+pub use magnitude::{brightness, BrightnessTable, Magnitude};
+pub use projection::Camera;
+pub use quest::quest;
+pub use star::{SkyStar, Star};
+pub use triad::{attitude_error, triad, Observation};
+pub use vec2::Vec2;
+pub use workload::Workload;

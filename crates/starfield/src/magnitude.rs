@@ -1,0 +1,293 @@
+//! Stellar magnitudes and the paper's brightness law.
+//!
+//! The paper (eq. 1) relates a star's catalogue magnitude `m` to the
+//! intensity `g` it deposits on the imaging device:
+//!
+//! ```text
+//! g(m) = A · 2.512^(−m)
+//! ```
+//!
+//! where `A` is a proportionality factor of the optical system and `m`
+//! typically ranges over `0..=15`. Each step of one magnitude dims the star
+//! by a factor of 2.512 (the classic Pogson ratio, rounded as in the paper).
+
+/// The magnitude ratio used by the paper: one magnitude step = ×2.512 flux.
+///
+/// (The exact Pogson ratio is `100^(1/5) ≈ 2.51189`; the paper rounds to
+/// 2.512 and we follow the paper.)
+pub const MAGNITUDE_RATIO: f64 = 2.512;
+
+/// Default lower bound of the simulated magnitude range.
+pub const MAG_MIN: f32 = 0.0;
+/// Default upper bound of the simulated magnitude range (paper: 0..15).
+pub const MAG_MAX: f32 = 15.0;
+
+/// A stellar magnitude (lower = brighter).
+///
+/// Thin newtype over `f32` so magnitudes cannot be silently mixed up with
+/// brightnesses or coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Magnitude(pub f32);
+
+impl Magnitude {
+    /// Creates a magnitude, clamping into the simulator's supported range
+    /// `[MAG_MIN, MAG_MAX]`.
+    #[inline]
+    pub fn clamped(value: f32) -> Self {
+        Magnitude(value.clamp(MAG_MIN, MAG_MAX))
+    }
+
+    /// Raw magnitude value.
+    #[inline]
+    pub fn value(self) -> f32 {
+        self.0
+    }
+
+    /// Brightness under the paper's law `g(m) = A · 2.512^(−m)`.
+    #[inline]
+    pub fn brightness(self, a_factor: f32) -> f32 {
+        brightness(self.0, a_factor)
+    }
+
+    /// True if the magnitude lies in the simulator's supported range.
+    #[inline]
+    pub fn in_range(self) -> bool {
+        (MAG_MIN..=MAG_MAX).contains(&self.0) && self.0.is_finite()
+    }
+}
+
+impl From<f32> for Magnitude {
+    fn from(v: f32) -> Self {
+        Magnitude(v)
+    }
+}
+
+/// Brightness of a star of magnitude `m` with proportionality factor `A`:
+/// `g(m) = A · 2.512^(−m)` (paper eq. 1).
+#[inline]
+pub fn brightness(m: f32, a_factor: f32) -> f32 {
+    a_factor * (MAGNITUDE_RATIO as f32).powf(-m)
+}
+
+/// Inverse of [`brightness`]: the magnitude whose brightness is `g` given `A`.
+///
+/// Returns `None` when `g` or `A` is non-positive (no real magnitude exists).
+#[inline]
+pub fn magnitude_from_brightness(g: f32, a_factor: f32) -> Option<f32> {
+    if g <= 0.0 || a_factor <= 0.0 {
+        return None;
+    }
+    // g = A · r^(−m)  ⇒  m = −log_r(g/A) = −ln(g/A)/ln(r)
+    Some(-((g / a_factor).ln() / (MAGNITUDE_RATIO as f32).ln()))
+}
+
+/// A precomputed brightness table over binned magnitudes.
+///
+/// The adaptive simulator (paper §III-C) relies on the fact that a star
+/// simulator is labelled with a *fixed magnitude range*, so brightnesses can
+/// be tabulated once: "A fixed-length array can be used to store the star
+/// brightness of different star magnitudes."
+///
+/// Magnitudes are quantized to `bins` equal-width bins across
+/// `[mag_min, mag_max]`; each bin stores the brightness of its centre.
+#[derive(Debug, Clone)]
+pub struct BrightnessTable {
+    mag_min: f32,
+    mag_max: f32,
+    a_factor: f32,
+    values: Vec<f32>,
+}
+
+impl BrightnessTable {
+    /// Builds a table of `bins` entries covering `[mag_min, mag_max]`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `mag_max <= mag_min`.
+    pub fn build(mag_min: f32, mag_max: f32, bins: usize, a_factor: f32) -> Self {
+        assert!(bins > 0, "brightness table needs at least one bin");
+        assert!(
+            mag_max > mag_min,
+            "magnitude range must be non-empty: [{mag_min}, {mag_max}]"
+        );
+        let width = (mag_max - mag_min) / bins as f32;
+        let values = (0..bins)
+            .map(|i| {
+                let centre = mag_min + (i as f32 + 0.5) * width;
+                brightness(centre, a_factor)
+            })
+            .collect();
+        BrightnessTable {
+            mag_min,
+            mag_max,
+            a_factor,
+            values,
+        }
+    }
+
+    /// Number of magnitude bins.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The proportionality factor the table was built with.
+    #[inline]
+    pub fn a_factor(&self) -> f32 {
+        self.a_factor
+    }
+
+    /// The covered magnitude range.
+    #[inline]
+    pub fn range(&self) -> (f32, f32) {
+        (self.mag_min, self.mag_max)
+    }
+
+    /// Bin index for magnitude `m` (clamped into range).
+    #[inline]
+    pub fn bin_of(&self, m: f32) -> usize {
+        let bins = self.values.len();
+        let t = (m - self.mag_min) / (self.mag_max - self.mag_min);
+        let idx = (t * bins as f32).floor() as isize;
+        idx.clamp(0, bins as isize - 1) as usize
+    }
+
+    /// The magnitude at the centre of bin `bin`.
+    #[inline]
+    pub fn bin_centre(&self, bin: usize) -> f32 {
+        let width = (self.mag_max - self.mag_min) / self.values.len() as f32;
+        self.mag_min + (bin as f32 + 0.5) * width
+    }
+
+    /// Tabulated brightness for magnitude `m` (nearest-bin lookup).
+    #[inline]
+    pub fn lookup(&self, m: f32) -> f32 {
+        self.values[self.bin_of(m)]
+    }
+
+    /// Tabulated brightness of bin `bin`.
+    ///
+    /// # Panics
+    /// Panics if `bin >= self.bins()`.
+    #[inline]
+    pub fn at_bin(&self, bin: usize) -> f32 {
+        self.values[bin]
+    }
+
+    /// Raw table contents (one brightness per bin, brightest first).
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Worst-case relative error of nearest-bin quantization.
+    ///
+    /// A bin spans `w` magnitudes, so the quantized magnitude is off by at
+    /// most `w/2`, and brightness by a factor of at most `2.512^(w/2)`.
+    pub fn max_relative_error(&self) -> f32 {
+        let w = (self.mag_max - self.mag_min) / self.values.len() as f32;
+        (MAGNITUDE_RATIO as f32).powf(w / 2.0) - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brightness_law_matches_paper() {
+        // g(0) = A, one magnitude dims by 2.512.
+        assert!((brightness(0.0, 1000.0) - 1000.0).abs() < 1e-3);
+        let g1 = brightness(1.0, 1000.0);
+        assert!((1000.0 / g1 - 2.512).abs() < 1e-3);
+        // Five magnitudes ≈ ×100 (Pogson).
+        let g5 = brightness(5.0, 1000.0);
+        assert!((1000.0 / g5 - 2.512f32.powi(5)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn brightness_is_monotone_decreasing() {
+        let mut prev = f32::INFINITY;
+        for i in 0..=150 {
+            let g = brightness(i as f32 * 0.1, 500.0);
+            assert!(g < prev, "brightness must strictly decrease with magnitude");
+            assert!(g > 0.0);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn magnitude_inverse_roundtrip() {
+        for m in [0.0f32, 0.5, 3.0, 7.25, 14.9] {
+            let g = brightness(m, 1000.0);
+            let back = magnitude_from_brightness(g, 1000.0).unwrap();
+            assert!((back - m).abs() < 1e-4, "m={m} back={back}");
+        }
+        assert_eq!(magnitude_from_brightness(-1.0, 1000.0), None);
+        assert_eq!(magnitude_from_brightness(1.0, 0.0), None);
+    }
+
+    #[test]
+    fn magnitude_newtype() {
+        assert_eq!(Magnitude::clamped(-3.0).value(), MAG_MIN);
+        assert_eq!(Magnitude::clamped(99.0).value(), MAG_MAX);
+        assert!(Magnitude(5.0).in_range());
+        assert!(!Magnitude(15.1).in_range());
+        assert!(!Magnitude(f32::NAN).in_range());
+        let m: Magnitude = 4.5f32.into();
+        assert_eq!(m.value(), 4.5);
+        assert_eq!(m.brightness(100.0), brightness(4.5, 100.0));
+    }
+
+    #[test]
+    fn table_bins_and_lookup() {
+        let t = BrightnessTable::build(0.0, 15.0, 16, 1000.0);
+        assert_eq!(t.bins(), 16);
+        assert_eq!(t.range(), (0.0, 15.0));
+        assert_eq!(t.a_factor(), 1000.0);
+        // Bin 0 covers [0, 0.9375); centre 0.46875.
+        assert_eq!(t.bin_of(0.0), 0);
+        assert_eq!(t.bin_of(15.0), 15); // clamped top edge
+        assert_eq!(t.bin_of(-5.0), 0);
+        assert_eq!(t.bin_of(50.0), 15);
+        let centre = t.bin_centre(3);
+        assert!((t.at_bin(3) - brightness(centre, 1000.0)).abs() < 1e-6);
+        assert_eq!(t.lookup(centre), t.at_bin(3));
+        assert_eq!(t.values().len(), 16);
+    }
+
+    #[test]
+    fn table_values_decrease() {
+        let t = BrightnessTable::build(0.0, 15.0, 64, 1.0);
+        for w in t.values().windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn table_quantization_error_bound() {
+        let t = BrightnessTable::build(0.0, 15.0, 256, 1000.0);
+        let bound = t.max_relative_error();
+        for i in 0..1000 {
+            let m = i as f32 * 0.015;
+            let exact = brightness(m, 1000.0);
+            let approx = t.lookup(m);
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel <= bound * 1.01,
+                "relative error {rel} exceeds bound {bound} at m={m}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn table_rejects_zero_bins() {
+        let _ = BrightnessTable::build(0.0, 15.0, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn table_rejects_empty_range() {
+        let _ = BrightnessTable::build(5.0, 5.0, 4, 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Pinhole / gnomonic projection of body-frame directions onto the image
+//! plane of a star sensor.
+
+use crate::error::FieldError;
+use crate::vec2::Vec2;
+
+/// The optical geometry of the simulated star sensor.
+///
+/// Directions in the camera body frame (boresight = +z) are projected
+/// gnomonically: a direction `(dx, dy, dz)` with `dz > 0` lands at
+/// `(cx + f·dx/dz, cy + f·dy/dz)` where `f` is the focal length in pixels
+/// and `(cx, cy)` the principal point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Focal length in pixels.
+    pub focal_px: f64,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+}
+
+impl Camera {
+    /// Camera with the principal point at the image centre.
+    ///
+    /// Returns an error for non-positive focal length or empty image.
+    pub fn new(focal_px: f64, width: usize, height: usize) -> Result<Self, FieldError> {
+        // NaN must fail too, hence the explicit finiteness check.
+        if !focal_px.is_finite() || focal_px <= 0.0 {
+            return Err(FieldError::InvalidParameter(format!(
+                "focal length must be positive, got {focal_px}"
+            )));
+        }
+        if width == 0 || height == 0 {
+            return Err(FieldError::InvalidParameter(format!(
+                "image must be non-empty, got {width}x{height}"
+            )));
+        }
+        Ok(Camera {
+            focal_px,
+            width,
+            height,
+        })
+    }
+
+    /// Camera sized so the *horizontal* field of view is `fov_rad` radians.
+    pub fn from_fov(fov_rad: f64, width: usize, height: usize) -> Result<Self, FieldError> {
+        if !(fov_rad > 0.0 && fov_rad < std::f64::consts::PI) {
+            return Err(FieldError::InvalidParameter(format!(
+                "horizontal FOV must be in (0, π), got {fov_rad}"
+            )));
+        }
+        let focal_px = width as f64 / 2.0 / (fov_rad / 2.0).tan();
+        Camera::new(focal_px, width, height)
+    }
+
+    /// Principal point (image centre).
+    #[inline]
+    pub fn principal_point(&self) -> Vec2 {
+        Vec2::new(self.width as f32 / 2.0, self.height as f32 / 2.0)
+    }
+
+    /// Horizontal field of view in radians.
+    pub fn horizontal_fov(&self) -> f64 {
+        2.0 * (self.width as f64 / 2.0 / self.focal_px).atan()
+    }
+
+    /// Half-angle of the cone that circumscribes the full image diagonal —
+    /// any star within this angle of the boresight *may* fall on the sensor.
+    pub fn diagonal_half_angle(&self) -> f64 {
+        let half_diag =
+            ((self.width as f64 / 2.0).powi(2) + (self.height as f64 / 2.0).powi(2)).sqrt();
+        (half_diag / self.focal_px).atan()
+    }
+
+    /// Projects a body-frame direction onto the image plane.
+    ///
+    /// Returns `None` for directions behind the camera (`dz <= 0`). The
+    /// returned point may lie outside the image bounds; callers decide
+    /// whether marginal stars (whose ROI still clips the image) matter.
+    pub fn project(&self, body_dir: [f64; 3]) -> Option<Vec2> {
+        let [dx, dy, dz] = body_dir;
+        if dz <= 0.0 {
+            return None;
+        }
+        let pp = self.principal_point();
+        Some(Vec2::new(
+            pp.x + (self.focal_px * dx / dz) as f32,
+            pp.y + (self.focal_px * dy / dz) as f32,
+        ))
+    }
+
+    /// Back-projects an image point into a unit body-frame direction.
+    pub fn unproject(&self, p: Vec2) -> [f64; 3] {
+        let pp = self.principal_point();
+        let dx = (p.x - pp.x) as f64 / self.focal_px;
+        let dy = (p.y - pp.y) as f64 / self.focal_px;
+        let n = (dx * dx + dy * dy + 1.0).sqrt();
+        [dx / n, dy / n, 1.0 / n]
+    }
+
+    /// True when point `p` lies inside the image bounds.
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= 0.0 && p.y >= 0.0 && p.x < self.width as f32 && p.y < self.height as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> Camera {
+        Camera::new(1000.0, 1024, 1024).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Camera::new(0.0, 10, 10).is_err());
+        assert!(Camera::new(-5.0, 10, 10).is_err());
+        assert!(Camera::new(10.0, 0, 10).is_err());
+        assert!(Camera::from_fov(0.0, 10, 10).is_err());
+        assert!(Camera::from_fov(4.0, 10, 10).is_err());
+    }
+
+    #[test]
+    fn boresight_projects_to_centre() {
+        let c = cam();
+        let p = c.project([0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(p, Vec2::new(512.0, 512.0));
+    }
+
+    #[test]
+    fn behind_camera_is_rejected() {
+        let c = cam();
+        assert!(c.project([0.0, 0.0, -1.0]).is_none());
+        assert!(c.project([0.1, 0.1, 0.0]).is_none());
+    }
+
+    #[test]
+    fn fov_construction_roundtrip() {
+        let fov = 12.0f64.to_radians();
+        let c = Camera::from_fov(fov, 1024, 1024).unwrap();
+        assert!((c.horizontal_fov() - fov).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_unproject_roundtrip() {
+        let c = cam();
+        for &(x, y) in &[(512.0, 512.0), (0.0, 0.0), (1000.0, 300.0), (13.5, 900.25)] {
+            let p = Vec2::new(x, y);
+            let d = c.unproject(p);
+            let n = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            assert!((n - 1.0).abs() < 1e-12, "unproject must return unit vectors");
+            let back = c.project(d).unwrap();
+            assert!((back.x - p.x).abs() < 1e-3 && (back.y - p.y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn diagonal_half_angle_bounds_fov() {
+        let c = cam();
+        assert!(c.diagonal_half_angle() > c.horizontal_fov() / 2.0);
+        assert!(c.diagonal_half_angle() < std::f64::consts::FRAC_PI_2);
+    }
+
+    #[test]
+    fn contains_respects_bounds() {
+        let c = cam();
+        assert!(c.contains(Vec2::new(0.0, 0.0)));
+        assert!(c.contains(Vec2::new(1023.9, 1023.9)));
+        assert!(!c.contains(Vec2::new(1024.0, 10.0)));
+        assert!(!c.contains(Vec2::new(-0.1, 10.0)));
+    }
+}

@@ -1,0 +1,245 @@
+//! Attitude determination from star observations — the TRIAD algorithm.
+//!
+//! The paper's motivating device, the star sensor, is "an important
+//! instrument of attitude determination on satellite that primarily uses
+//! star image for real-time attitude adjustment" (§I). This module closes
+//! that loop: given two (or more) stars identified in the image — unit
+//! vectors in the camera body frame — and their catalogue directions in
+//! the inertial frame, TRIAD (Black 1964) reconstructs the attitude.
+//!
+//! TRIAD builds an orthonormal triad from each vector pair and equates
+//! them; it is exact for two noiseless observations and is the classical
+//! baseline against which QUEST-class estimators are measured. With more
+//! than two observations we pick the pair with the widest angular
+//! separation (best conditioning).
+
+use crate::attitude::Attitude;
+use crate::error::FieldError;
+
+type V3 = [f64; 3];
+
+fn dot(a: V3, b: V3) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+fn cross(a: V3, b: V3) -> V3 {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+fn normalize(v: V3) -> Option<V3> {
+    let n = dot(v, v).sqrt();
+    if n < 1e-12 {
+        None
+    } else {
+        Some([v[0] / n, v[1] / n, v[2] / n])
+    }
+}
+
+/// One matched star: its direction in the camera body frame (from
+/// centroiding + unprojection) and in the inertial frame (from the
+/// catalogue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Unit direction in the camera body frame.
+    pub body: V3,
+    /// Unit direction in the inertial frame.
+    pub inertial: V3,
+}
+
+/// Estimates the attitude from ≥ 2 observations with TRIAD.
+///
+/// Returns the quaternion `q` such that `q.to_body(inertial) ≈ body` for
+/// every observation. Errors when fewer than two observations are given or
+/// the chosen pair is (near-)collinear.
+pub fn triad(observations: &[Observation]) -> Result<Attitude, FieldError> {
+    if observations.len() < 2 {
+        return Err(FieldError::InvalidParameter(format!(
+            "TRIAD needs at least 2 observations, got {}",
+            observations.len()
+        )));
+    }
+    // Pick the best-conditioned pair: smallest |cos| between body vectors.
+    let (mut best_i, mut best_j, mut best_cos) = (0, 1, f64::INFINITY);
+    for i in 0..observations.len() {
+        for j in (i + 1)..observations.len() {
+            let c = dot(observations[i].body, observations[j].body).abs();
+            if c < best_cos {
+                (best_i, best_j, best_cos) = (i, j, c);
+            }
+        }
+    }
+    if best_cos > 1.0 - 1e-9 {
+        return Err(FieldError::InvalidParameter(
+            "TRIAD observations are collinear".into(),
+        ));
+    }
+    let (a, b) = (observations[best_i], observations[best_j]);
+
+    // Body triad.
+    let t1b = normalize(a.body).ok_or_else(bad_vector)?;
+    let t2b = normalize(cross(a.body, b.body)).ok_or_else(bad_vector)?;
+    let t3b = cross(t1b, t2b);
+    // Inertial triad.
+    let t1i = normalize(a.inertial).ok_or_else(bad_vector)?;
+    let t2i = normalize(cross(a.inertial, b.inertial)).ok_or_else(bad_vector)?;
+    let t3i = cross(t1i, t2i);
+
+    // Rotation matrix R (inertial → body): R = Σ t_kb · t_kiᵀ.
+    let mut m = [[0.0f64; 3]; 3];
+    for (tb, ti) in [(t1b, t1i), (t2b, t2i), (t3b, t3i)] {
+        for r in 0..3 {
+            for c in 0..3 {
+                m[r][c] += tb[r] * ti[c];
+            }
+        }
+    }
+
+    // Matrix → quaternion (Shepperd's method, branch on the largest term).
+    // `m` maps inertial to body; Attitude rotates body→inertial via
+    // `rotate` and inertial→body via `to_body`, i.e. `to_body` applies the
+    // conjugate. So build q from R and conjugate at the end.
+    let trace = m[0][0] + m[1][1] + m[2][2];
+    let q = if trace > 0.0 {
+        let s = (trace + 1.0).sqrt() * 2.0;
+        Attitude {
+            w: s / 4.0,
+            x: (m[2][1] - m[1][2]) / s,
+            y: (m[0][2] - m[2][0]) / s,
+            z: (m[1][0] - m[0][1]) / s,
+        }
+    } else if m[0][0] > m[1][1] && m[0][0] > m[2][2] {
+        let s = (1.0 + m[0][0] - m[1][1] - m[2][2]).sqrt() * 2.0;
+        Attitude {
+            w: (m[2][1] - m[1][2]) / s,
+            x: s / 4.0,
+            y: (m[0][1] + m[1][0]) / s,
+            z: (m[0][2] + m[2][0]) / s,
+        }
+    } else if m[1][1] > m[2][2] {
+        let s = (1.0 + m[1][1] - m[0][0] - m[2][2]).sqrt() * 2.0;
+        Attitude {
+            w: (m[0][2] - m[2][0]) / s,
+            x: (m[0][1] + m[1][0]) / s,
+            y: s / 4.0,
+            z: (m[1][2] + m[2][1]) / s,
+        }
+    } else {
+        let s = (1.0 + m[2][2] - m[0][0] - m[1][1]).sqrt() * 2.0;
+        Attitude {
+            w: (m[1][0] - m[0][1]) / s,
+            x: (m[0][2] + m[2][0]) / s,
+            y: (m[1][2] + m[2][1]) / s,
+            z: s / 4.0,
+        }
+    };
+    // q built above represents the inertial→body rotation as an active
+    // rotation; Attitude stores body→inertial, so conjugate.
+    Ok(q.conjugate().normalized())
+}
+
+fn bad_vector() -> FieldError {
+    FieldError::InvalidParameter("TRIAD observation vector is degenerate".into())
+}
+
+/// The angular error between two attitudes, radians — the rotation angle
+/// of `a⁻¹·b`.
+pub fn attitude_error(a: Attitude, b: Attitude) -> f64 {
+    let d = a.conjugate().mul(b);
+    2.0 * d.w.abs().min(1.0).acos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::SkyStar;
+
+    fn observe(q: Attitude, dirs: &[V3]) -> Vec<Observation> {
+        dirs.iter()
+            .map(|&d| Observation {
+                body: q.to_body(d),
+                inertial: d,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_identity() {
+        let dirs = [
+            SkyStar::new(0.1, 0.2, 0.0).direction(),
+            SkyStar::new(1.0, -0.3, 0.0).direction(),
+        ];
+        let obs = observe(Attitude::IDENTITY, &dirs);
+        let est = triad(&obs).unwrap();
+        assert!(attitude_error(est, Attitude::IDENTITY) < 1e-10);
+    }
+
+    #[test]
+    fn recovers_arbitrary_attitudes_exactly() {
+        let dirs = [
+            SkyStar::new(0.3, 0.1, 0.0).direction(),
+            SkyStar::new(0.5, 0.25, 0.0).direction(),
+            SkyStar::new(5.9, -0.7, 0.0).direction(),
+        ];
+        for (ra, dec, roll) in [(0.0, 0.0, 0.0), (1.3, 0.4, 2.0), (4.0, -1.0, 5.5)] {
+            let truth = Attitude::pointing(ra, dec, roll);
+            let est = triad(&observe(truth, &dirs)).unwrap();
+            let err = attitude_error(est, truth);
+            assert!(err < 1e-9, "({ra},{dec},{roll}): error {err} rad");
+        }
+    }
+
+    #[test]
+    fn small_observation_noise_gives_small_attitude_error() {
+        let dirs = [
+            SkyStar::new(0.3, 0.1, 0.0).direction(),
+            SkyStar::new(0.6, 0.4, 0.0).direction(),
+        ];
+        let truth = Attitude::pointing(2.0, 0.3, 1.0);
+        let mut obs = observe(truth, &dirs);
+        // Perturb one body vector by ~10 µrad.
+        obs[0].body[0] += 1e-5;
+        let est = triad(&obs).unwrap();
+        let err = attitude_error(est, truth);
+        assert!(err < 1e-4, "error {err} rad for 1e-5 perturbation");
+        assert!(err > 0.0);
+    }
+
+    #[test]
+    fn picks_the_widest_pair() {
+        // Two nearly collinear stars plus one far away: TRIAD must use the
+        // far one and stay accurate.
+        let dirs = [
+            SkyStar::new(0.300, 0.100, 0.0).direction(),
+            SkyStar::new(0.3001, 0.1001, 0.0).direction(),
+            SkyStar::new(1.8, -0.5, 0.0).direction(),
+        ];
+        let truth = Attitude::pointing(0.9, 0.2, 0.4);
+        let est = triad(&observe(truth, &dirs)).unwrap();
+        assert!(attitude_error(est, truth) < 1e-9);
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(triad(&[]).is_err());
+        let one = Observation {
+            body: [0.0, 0.0, 1.0],
+            inertial: [0.0, 0.0, 1.0],
+        };
+        assert!(triad(&[one]).is_err());
+        // Collinear pair.
+        let obs = vec![one, one];
+        assert!(triad(&obs).is_err());
+    }
+
+    #[test]
+    fn attitude_error_metric() {
+        let a = Attitude::pointing(1.0, 0.2, 0.0);
+        assert!(attitude_error(a, a) < 1e-12);
+        let b = Attitude::from_axis_angle([0.0, 1.0, 0.0], 0.01).mul(a);
+        assert!((attitude_error(a, b) - 0.01).abs() < 1e-9);
+    }
+}

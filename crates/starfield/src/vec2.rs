@@ -1,0 +1,201 @@
+//! Minimal 2-D vector used for image-plane positions.
+
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D vector / point in image-plane coordinates (pixels).
+///
+/// `x` grows to the right, `y` grows downwards, matching the raster layout of
+/// [`starimage`](https://docs.rs/starimage) buffers (row-major, row = `y`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal (column) coordinate in pixels.
+    pub x: f32,
+    /// Vertical (row) coordinate in pixels.
+    pub y: f32,
+}
+
+impl Vec2 {
+    /// The origin `(0, 0)`.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Creates a vector with both components set to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Vec2 { x: v, y: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec2) -> f32 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.length_squared().sqrt()
+    }
+
+    /// Squared distance to `other`.
+    #[inline]
+    pub fn distance_squared(self, other: Vec2) -> f32 {
+        (self - other).length_squared()
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Vec2) -> f32 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Component-wise rounding to the nearest integer pixel centre.
+    #[inline]
+    pub fn round(self) -> Vec2 {
+        Vec2::new(self.x.round(), self.y.round())
+    }
+
+    /// Rounds to integer pixel indices `(col, row)`.
+    #[inline]
+    pub fn to_pixel(self) -> (i64, i64) {
+        (self.x.round() as i64, self.y.round() as i64)
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f32> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f32 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f32> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec2::new(3.0, -4.0);
+        let b = Vec2::new(1.0, 2.0);
+        assert_eq!(a + b, Vec2::new(4.0, -2.0));
+        assert_eq!(a - b, Vec2::new(2.0, -6.0));
+        assert_eq!(a * 2.0, Vec2::new(6.0, -8.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec2::new(1.5, -2.0));
+        assert_eq!(-a, Vec2::new(-3.0, 4.0));
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = Vec2::new(1.0, 1.0);
+        a += Vec2::new(2.0, 3.0);
+        assert_eq!(a, Vec2::new(3.0, 4.0));
+        a -= Vec2::new(1.0, 1.0);
+        assert_eq!(a, Vec2::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn length_and_distance() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.length_squared(), 25.0);
+        assert_eq!(a.length(), 5.0);
+        assert_eq!(a.distance(Vec2::ZERO), 5.0);
+        assert_eq!(Vec2::ZERO.distance_squared(a), 25.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, 4.0);
+        assert_eq!(a.dot(b), 11.0);
+        // Orthogonal vectors.
+        assert_eq!(Vec2::new(1.0, 0.0).dot(Vec2::new(0.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn pixel_rounding() {
+        assert_eq!(Vec2::new(10.4, 7.6).to_pixel(), (10, 8));
+        assert_eq!(Vec2::new(-0.6, 0.5).to_pixel(), (-1, 1));
+        assert_eq!(Vec2::new(10.4, 7.6).round(), Vec2::new(10.0, 8.0));
+    }
+
+    #[test]
+    fn splat_and_finite() {
+        assert_eq!(Vec2::splat(2.5), Vec2::new(2.5, 2.5));
+        assert!(Vec2::new(1.0, 2.0).is_finite());
+        assert!(!Vec2::new(f32::NAN, 2.0).is_finite());
+        assert!(!Vec2::new(1.0, f32::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's two benchmark workloads.
+//!
+//! * **test 1** (paper §IV-A): star count sweeps `2^5 .. 2^17`; ROI side
+//!   fixed at 10 (100 threads/block); image fixed at 1024×1024.
+//! * **test 2** (paper §IV-B): ROI side sweeps up to 32×32 (1024
+//!   threads/block, the CUDA 2.0 cap); star count fixed at 8192 (= 2^13);
+//!   image fixed at 1024×1024.
+
+use crate::catalog::StarCatalog;
+use crate::generator::FieldGenerator;
+
+/// Image edge used by both benchmarks (pixels).
+pub const BENCH_IMAGE_SIZE: usize = 1024;
+/// ROI side fixed by test 1.
+pub const TEST1_ROI_SIDE: usize = 10;
+/// Star count fixed by test 2 (2^13, the paper's 8192).
+pub const TEST2_STARS: usize = 8192;
+/// Star-count exponents swept by test 1 (2^5 ..= 2^17).
+pub const TEST1_EXPONENTS: std::ops::RangeInclusive<u32> = 5..=17;
+/// ROI sides swept by test 2 (even sides 2 ..= 32; the paper's x-axis).
+pub const TEST2_ROI_SIDES: [usize; 16] = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32];
+
+/// One benchmark configuration: a star field plus the ROI side to simulate.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable workload label, e.g. `test1/stars=2^13`.
+    pub label: String,
+    /// The star field.
+    pub catalog: StarCatalog,
+    /// ROI side length in pixels.
+    pub roi_side: usize,
+    /// Image width = height, pixels.
+    pub image_size: usize,
+}
+
+impl Workload {
+    /// Number of stars.
+    pub fn star_count(&self) -> usize {
+        self.catalog.len()
+    }
+}
+
+/// Builds the test-1 workload with `2^exponent` stars.
+///
+/// # Panics
+/// Panics if `exponent` exceeds 26 (guard against absurd allocations).
+pub fn test1(exponent: u32, seed: u64) -> Workload {
+    assert!(exponent <= 26, "test1 exponent {exponent} too large");
+    let count = 1usize << exponent;
+    let catalog = FieldGenerator::new(BENCH_IMAGE_SIZE, BENCH_IMAGE_SIZE).generate(count, seed);
+    Workload {
+        label: format!("test1/stars=2^{exponent}"),
+        catalog,
+        roi_side: TEST1_ROI_SIDE,
+        image_size: BENCH_IMAGE_SIZE,
+    }
+}
+
+/// Builds the test-2 workload with the given ROI side.
+///
+/// # Panics
+/// Panics if `roi_side` is zero or exceeds 32 (the 1024-threads/block limit
+/// of compute capability 2.0: 32×32 = 1024).
+pub fn test2(roi_side: usize, seed: u64) -> Workload {
+    assert!(
+        (1..=32).contains(&roi_side),
+        "test2 ROI side {roi_side} outside 1..=32 (1024 threads/block cap)"
+    );
+    let catalog =
+        FieldGenerator::new(BENCH_IMAGE_SIZE, BENCH_IMAGE_SIZE).generate(TEST2_STARS, seed);
+    Workload {
+        label: format!("test2/roi={roi_side}"),
+        catalog,
+        roi_side,
+        image_size: BENCH_IMAGE_SIZE,
+    }
+}
+
+/// All test-1 workloads in sweep order.
+pub fn test1_sweep(seed: u64) -> Vec<Workload> {
+    TEST1_EXPONENTS.map(|e| test1(e, seed)).collect()
+}
+
+/// All test-2 workloads in sweep order.
+pub fn test2_sweep(seed: u64) -> Vec<Workload> {
+    TEST2_ROI_SIDES.iter().map(|&r| test2(r, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test1_parameters_match_paper() {
+        let w = test1(13, 0);
+        assert_eq!(w.star_count(), 8192);
+        assert_eq!(w.roi_side, 10);
+        assert_eq!(w.image_size, 1024);
+        assert!(w.label.contains("2^13"));
+    }
+
+    #[test]
+    fn test2_parameters_match_paper() {
+        let w = test2(32, 0);
+        assert_eq!(w.star_count(), 8192);
+        assert_eq!(w.roi_side, 32);
+        assert_eq!(w.image_size, 1024);
+    }
+
+    #[test]
+    fn sweeps_have_expected_lengths() {
+        assert_eq!(test1_sweep(0).len(), 13); // 2^5 ..= 2^17
+        assert_eq!(test2_sweep(0).len(), 16); // sides 2..=32 step 2
+    }
+
+    #[test]
+    fn same_seed_same_field_across_roi() {
+        // test2 varies only the ROI side; the star field must be identical
+        // across the sweep so times are comparable (paper fixes the field).
+        let a = test2(4, 99);
+        let b = test2(20, 99);
+        assert_eq!(a.catalog, b.catalog);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn test1_rejects_huge_exponent() {
+        let _ = test1(27, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=32")]
+    fn test2_rejects_oversize_roi() {
+        let _ = test2(33, 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The gray-value image buffer every simulator writes into.
+
+/// A row-major `f32` gray image.
+///
+/// Gray values are unbounded non-negative intensities; conversion to
+/// display formats happens in [`crate::convert`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageF32 {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl ImageF32 {
+    /// A zero-filled image.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        ImageF32 {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != width * height` or a dimension is zero.
+    pub fn from_data(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        assert_eq!(
+            data.len(),
+            width * height,
+            "data length {} does not match {width}x{height}",
+            data.len()
+        );
+        ImageF32 {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the image holds no pixels (never true: dimensions are
+    /// validated positive).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major pixel slice.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major pixel slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the image, returning its pixels.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Linear index of `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics (in debug) when out of bounds.
+    #[inline]
+    pub fn index(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Adds `v` to pixel `(x, y)` — the sequential simulator's accumulation.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn add(&mut self, x: usize, y: usize, v: f32) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x] += v;
+    }
+
+    /// Row `y` as a slice.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[f32] {
+        assert!(y < self.height, "row {y} out of bounds");
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Resets every pixel to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Iterates `(x, y, value)` in row-major order.
+    pub fn pixels(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        let w = self.width;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i % w, i / w, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = ImageF32::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.len(), 12);
+        assert!(!img.is_empty());
+        assert_eq!(img.get(0, 0), 0.0);
+        img.set(2, 1, 5.0);
+        assert_eq!(img.get(2, 1), 5.0);
+        assert_eq!(img.data()[img.index(2, 1)], 5.0);
+        img.add(2, 1, 1.5);
+        assert_eq!(img.get(2, 1), 6.5);
+    }
+
+    #[test]
+    fn from_data_roundtrip() {
+        let img = ImageF32::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(img.get(1, 0), 2.0);
+        assert_eq!(img.get(0, 1), 3.0);
+        assert_eq!(img.into_data(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let img = ImageF32::from_data(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(img.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(img.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn clear_keeps_dimensions() {
+        let mut img = ImageF32::from_data(2, 1, vec![1.0, 2.0]);
+        img.clear();
+        assert_eq!(img.data(), &[0.0, 0.0]);
+        assert_eq!(img.width(), 2);
+    }
+
+    #[test]
+    fn pixel_iteration_order() {
+        let img = ImageF32::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let px: Vec<_> = img.pixels().collect();
+        assert_eq!(
+            px,
+            vec![(0, 0, 1.0), (1, 0, 2.0), (0, 1, 3.0), (1, 1, 4.0)]
+        );
+    }
+
+    #[test]
+    fn data_mut_writes_through() {
+        let mut img = ImageF32::new(2, 2);
+        img.data_mut()[3] = 9.0;
+        assert_eq!(img.get(1, 1), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_width_rejected() {
+        let _ = ImageF32::new(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_data_rejected() {
+        let _ = ImageF32::from_data(2, 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        let img = ImageF32::new(2, 2);
+        let _ = img.get(2, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Detector calibration: bias/dark subtraction and flat-field correction.
+//!
+//! A deployed star simulator (the paper's closing use case) feeds imagery
+//! to processing chains that expect *calibrated* frames; conversely, to
+//! emulate a real sensor the simulator must be able to *apply* the
+//! instrument signature. This module does both directions:
+//!
+//! * [`InstrumentSignature::apply`] — superimpose bias, dark current and
+//!   pixel-response non-uniformity (PRNU / vignetting) onto a clean frame;
+//! * [`InstrumentSignature::calibrate`] — the standard reduction
+//!   `(raw − bias − dark·t) / flat`.
+//!
+//! Round-tripping a frame through `apply` then `calibrate` recovers it to
+//! floating-point precision, which is exactly the property the tests pin.
+
+use crate::buffer::ImageF32;
+
+/// The fixed-pattern signature of a detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrumentSignature {
+    /// Bias (offset) frame — the zero-exposure readout level per pixel.
+    pub bias: ImageF32,
+    /// Dark-current rate frame, intensity per second per pixel.
+    pub dark_rate: ImageF32,
+    /// Flat field (relative pixel response, ~1.0; must be positive).
+    pub flat: ImageF32,
+}
+
+impl InstrumentSignature {
+    /// A perfectly uniform detector (identity signature).
+    pub fn ideal(width: usize, height: usize) -> Self {
+        InstrumentSignature {
+            bias: ImageF32::new(width, height),
+            dark_rate: ImageF32::new(width, height),
+            flat: ImageF32::from_data(width, height, vec![1.0; width * height]),
+        }
+    }
+
+    /// A plausible CCD: constant bias, constant dark rate, and a radial
+    /// vignette falling to `edge_response` at the corners.
+    pub fn vignetted(
+        width: usize,
+        height: usize,
+        bias_level: f32,
+        dark_rate: f32,
+        edge_response: f32,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&edge_response) && edge_response > 0.0,
+            "edge response must be in (0, 1], got {edge_response}"
+        );
+        let bias = ImageF32::from_data(width, height, vec![bias_level; width * height]);
+        let dark = ImageF32::from_data(width, height, vec![dark_rate; width * height]);
+        let (cx, cy) = (width as f32 / 2.0, height as f32 / 2.0);
+        let r_max2 = cx * cx + cy * cy;
+        let mut flat = ImageF32::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let r2 = (x as f32 - cx).powi(2) + (y as f32 - cy).powi(2);
+                flat.set(x, y, 1.0 - (1.0 - edge_response) * (r2 / r_max2));
+            }
+        }
+        InstrumentSignature {
+            bias,
+            dark_rate: dark,
+            flat,
+        }
+    }
+
+    /// Checks the dimensions agree and the flat is strictly positive.
+    pub fn validate(&self) -> Result<(), String> {
+        let dims = (self.bias.width(), self.bias.height());
+        if (self.dark_rate.width(), self.dark_rate.height()) != dims
+            || (self.flat.width(), self.flat.height()) != dims
+        {
+            return Err("signature frames have mismatched dimensions".into());
+        }
+        if self.flat.data().iter().any(|&v| !v.is_finite() || v <= 0.0) {
+            return Err("flat field must be strictly positive".into());
+        }
+        Ok(())
+    }
+
+    /// Applies the signature to a clean scene with exposure `exposure_s`:
+    /// `raw = scene·flat + bias + dark·t`.
+    ///
+    /// # Panics
+    /// Panics when dimensions mismatch or the signature is invalid.
+    pub fn apply(&self, scene: &ImageF32, exposure_s: f32) -> ImageF32 {
+        self.validate().expect("valid signature");
+        assert_eq!(
+            (scene.width(), scene.height()),
+            (self.bias.width(), self.bias.height()),
+            "scene dimensions must match the signature"
+        );
+        let data = scene
+            .data()
+            .iter()
+            .zip(self.flat.data())
+            .zip(self.bias.data().iter().zip(self.dark_rate.data()))
+            .map(|((&s, &f), (&b, &d))| s * f + b + d * exposure_s)
+            .collect();
+        ImageF32::from_data(scene.width(), scene.height(), data)
+    }
+
+    /// Standard reduction: `(raw − bias − dark·t) / flat`.
+    ///
+    /// # Panics
+    /// Panics when dimensions mismatch or the signature is invalid.
+    pub fn calibrate(&self, raw: &ImageF32, exposure_s: f32) -> ImageF32 {
+        self.validate().expect("valid signature");
+        assert_eq!(
+            (raw.width(), raw.height()),
+            (self.bias.width(), self.bias.height()),
+            "raw dimensions must match the signature"
+        );
+        let data = raw
+            .data()
+            .iter()
+            .zip(self.flat.data())
+            .zip(self.bias.data().iter().zip(self.dark_rate.data()))
+            .map(|((&r, &f), (&b, &d))| (r - b - d * exposure_s) / f)
+            .collect();
+        ImageF32::from_data(raw.width(), raw.height(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene() -> ImageF32 {
+        let mut img = ImageF32::new(32, 32);
+        img.set(10, 12, 5.0);
+        img.set(20, 8, 2.5);
+        img
+    }
+
+    #[test]
+    fn ideal_signature_is_identity() {
+        let sig = InstrumentSignature::ideal(32, 32);
+        let s = scene();
+        assert_eq!(sig.apply(&s, 1.0), s);
+        assert_eq!(sig.calibrate(&s, 1.0), s);
+    }
+
+    #[test]
+    fn apply_then_calibrate_roundtrips() {
+        let sig = InstrumentSignature::vignetted(32, 32, 0.3, 0.02, 0.6);
+        let s = scene();
+        let raw = sig.apply(&s, 2.5);
+        let back = sig.calibrate(&raw, 2.5);
+        for (a, b) in s.data().iter().zip(back.data()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bias_and_dark_raise_the_floor() {
+        let sig = InstrumentSignature::vignetted(32, 32, 0.3, 0.1, 1.0);
+        let raw = sig.apply(&ImageF32::new(32, 32), 2.0);
+        for &v in raw.data() {
+            assert!((v - (0.3 + 0.2)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn vignette_dims_corners_more_than_centre() {
+        let sig = InstrumentSignature::vignetted(64, 64, 0.0, 0.0, 0.5);
+        let flat_centre = sig.flat.get(32, 32);
+        let flat_corner = sig.flat.get(0, 0);
+        assert!(flat_centre > 0.99);
+        assert!((flat_corner - 0.5).abs() < 0.02);
+        // A uniform scene comes out dimmer at the corner.
+        let uniform = ImageF32::from_data(64, 64, vec![1.0; 64 * 64]);
+        let raw = sig.apply(&uniform, 0.0);
+        assert!(raw.get(0, 0) < raw.get(32, 32));
+    }
+
+    #[test]
+    fn validation_catches_bad_signatures() {
+        let mut sig = InstrumentSignature::ideal(8, 8);
+        sig.flat.set(3, 3, 0.0);
+        assert!(sig.validate().is_err());
+        let sig = InstrumentSignature {
+            bias: ImageF32::new(8, 8),
+            dark_rate: ImageF32::new(8, 9),
+            flat: ImageF32::from_data(8, 8, vec![1.0; 64]),
+        };
+        assert!(sig.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_scene_panics() {
+        let sig = InstrumentSignature::ideal(8, 8);
+        let _ = sig.apply(&ImageF32::new(9, 8), 1.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Conversion from raw intensity to displayable gray levels.
+//!
+//! The simulators accumulate unbounded `f32` intensities; the *Output*
+//! stage (paper §III-A) maps them into 8-bit (or 16-bit) gray for picture
+//! formats "like JPG, BMP, etc".
+
+use crate::buffer::ImageF32;
+
+/// Tone-mapping settings for the output stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrayMap {
+    /// Intensity mapped to full white. Values above saturate.
+    pub white_level: f32,
+    /// Gamma applied after normalization (1.0 = linear).
+    pub gamma: f32,
+}
+
+impl GrayMap {
+    /// Linear map saturating at `white_level`.
+    pub fn linear(white_level: f32) -> Self {
+        GrayMap {
+            white_level,
+            gamma: 1.0,
+        }
+    }
+
+    /// Map with gamma correction.
+    ///
+    /// # Panics
+    /// Panics unless `white_level` and `gamma` are positive and finite.
+    pub fn with_gamma(white_level: f32, gamma: f32) -> Self {
+        assert!(
+            white_level.is_finite() && white_level > 0.0,
+            "white level must be positive, got {white_level}"
+        );
+        assert!(
+            gamma.is_finite() && gamma > 0.0,
+            "gamma must be positive, got {gamma}"
+        );
+        GrayMap { white_level, gamma }
+    }
+
+    /// A map whose white level is the image's maximum (auto-exposure).
+    /// Falls back to 1.0 for an all-black image.
+    pub fn auto(img: &ImageF32) -> Self {
+        let max = img.data().iter().copied().fold(0.0f32, f32::max);
+        GrayMap::linear(if max > 0.0 { max } else { 1.0 })
+    }
+
+    /// Auto-exposure at a percentile of the *lit* pixels: robust against a
+    /// single saturating star dominating the stretch in dense fields.
+    /// `percentile` is in `(0, 100]`; 99.5 is a good survey default.
+    /// Falls back to 1.0 for an all-black image.
+    ///
+    /// # Panics
+    /// Panics when `percentile` is out of range.
+    pub fn auto_percentile(img: &ImageF32, percentile: f32) -> Self {
+        assert!(
+            percentile > 0.0 && percentile <= 100.0,
+            "percentile must be in (0, 100], got {percentile}"
+        );
+        let mut lit: Vec<f32> = img.data().iter().copied().filter(|&v| v > 0.0).collect();
+        if lit.is_empty() {
+            return GrayMap::linear(1.0);
+        }
+        let k = ((percentile / 100.0 * lit.len() as f32).ceil() as usize)
+            .clamp(1, lit.len())
+            - 1;
+        let (_, kth, _) = lit.select_nth_unstable_by(k, |a, b| a.total_cmp(b));
+        GrayMap::linear(*kth)
+    }
+
+    /// Maps one intensity into `[0, 1]`.
+    #[inline]
+    pub fn normalize(&self, v: f32) -> f32 {
+        let t = (v / self.white_level).clamp(0.0, 1.0);
+        if self.gamma == 1.0 {
+            t
+        } else {
+            t.powf(1.0 / self.gamma)
+        }
+    }
+
+    /// Maps one intensity to an 8-bit gray level.
+    #[inline]
+    pub fn to_u8(&self, v: f32) -> u8 {
+        (self.normalize(v) * 255.0).round() as u8
+    }
+
+    /// Maps one intensity to a 16-bit gray level.
+    #[inline]
+    pub fn to_u16(&self, v: f32) -> u16 {
+        (self.normalize(v) * 65535.0).round() as u16
+    }
+}
+
+/// Converts a whole image to 8-bit gray, row-major.
+pub fn to_gray8(img: &ImageF32, map: GrayMap) -> Vec<u8> {
+    img.data().iter().map(|&v| map.to_u8(v)).collect()
+}
+
+/// Converts a whole image to 16-bit gray, row-major.
+pub fn to_gray16(img: &ImageF32, map: GrayMap) -> Vec<u16> {
+    img.data().iter().map(|&v| map.to_u16(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_map_endpoints() {
+        let m = GrayMap::linear(10.0);
+        assert_eq!(m.to_u8(0.0), 0);
+        assert_eq!(m.to_u8(10.0), 255);
+        assert_eq!(m.to_u8(5.0), 128); // 0.5·255 rounds to 128
+        // Saturation.
+        assert_eq!(m.to_u8(100.0), 255);
+        assert_eq!(m.to_u8(-1.0), 0);
+    }
+
+    #[test]
+    fn sixteen_bit_resolution() {
+        let m = GrayMap::linear(1.0);
+        assert_eq!(m.to_u16(1.0), 65535);
+        assert_eq!(m.to_u16(0.5), 32768);
+        assert!(m.to_u16(1e-4) > 0, "16-bit should resolve 1e-4 of white");
+    }
+
+    #[test]
+    fn gamma_brightens_midtones() {
+        let lin = GrayMap::linear(1.0);
+        let g22 = GrayMap::with_gamma(1.0, 2.2);
+        assert!(g22.to_u8(0.2) > lin.to_u8(0.2));
+        assert_eq!(g22.to_u8(0.0), 0);
+        assert_eq!(g22.to_u8(1.0), 255);
+    }
+
+    #[test]
+    fn auto_exposure_uses_max() {
+        let mut img = ImageF32::new(2, 2);
+        img.set(1, 1, 40.0);
+        let m = GrayMap::auto(&img);
+        assert_eq!(m.white_level, 40.0);
+        assert_eq!(m.to_u8(40.0), 255);
+        // All-black image falls back to a sane white level.
+        let black = ImageF32::new(2, 2);
+        assert_eq!(GrayMap::auto(&black).white_level, 1.0);
+    }
+
+    #[test]
+    fn percentile_exposure_ignores_outliers() {
+        // 99 pixels at 1.0 and a 1000× outlier: the 99th percentile stretch
+        // keeps the field visible where the max-stretch would crush it.
+        let mut data = vec![1.0f32; 99];
+        data.push(1000.0);
+        let img = ImageF32::from_data(10, 10, data);
+        let robust = GrayMap::auto_percentile(&img, 99.0);
+        assert_eq!(robust.white_level, 1.0);
+        assert_eq!(robust.to_u8(1.0), 255);
+        let naive = GrayMap::auto(&img);
+        assert_eq!(naive.to_u8(1.0), 0, "max-stretch crushes the field");
+        // 100th percentile equals the max.
+        assert_eq!(GrayMap::auto_percentile(&img, 100.0).white_level, 1000.0);
+    }
+
+    #[test]
+    fn percentile_exposure_edge_cases() {
+        let black = ImageF32::new(4, 4);
+        assert_eq!(GrayMap::auto_percentile(&black, 99.0).white_level, 1.0);
+        let mut one = ImageF32::new(2, 2);
+        one.set(0, 0, 7.0);
+        assert_eq!(GrayMap::auto_percentile(&one, 50.0).white_level, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_rejected() {
+        let _ = GrayMap::auto_percentile(&ImageF32::new(1, 1), 0.0);
+    }
+
+    #[test]
+    fn whole_image_conversion() {
+        let img = ImageF32::from_data(2, 2, vec![0.0, 1.0, 2.0, 4.0]);
+        let g = to_gray8(&img, GrayMap::linear(4.0));
+        assert_eq!(g, vec![0, 64, 128, 255]);
+        let g16 = to_gray16(&img, GrayMap::linear(4.0));
+        assert_eq!(g16[3], 65535);
+        assert_eq!(g16.len(), 4);
+    }
+
+    #[test]
+    fn normalize_is_monotone() {
+        let m = GrayMap::with_gamma(10.0, 2.2);
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let v = m.normalize(i as f32 * 0.1);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be positive")]
+    fn bad_gamma_rejected() {
+        let _ = GrayMap::with_gamma(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "white level must be positive")]
+    fn bad_white_rejected() {
+        let _ = GrayMap::with_gamma(0.0, 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for image IO.
+
+use std::fmt;
+
+/// Errors produced by image readers/writers.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Malformed or unsupported file contents.
+    Format(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Io(e) => write!(f, "image IO error: {e}"),
+            ImageError::Format(m) => write!(f, "image format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = ImageError::Format("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        assert!(e.source().is_none());
+        let io: ImageError = std::io::Error::other("x").into();
+        assert!(io.source().is_some());
+    }
+}

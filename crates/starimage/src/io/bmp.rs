@@ -1,0 +1,192 @@
+//! Minimal self-contained 8-bit grayscale BMP writer/reader.
+//!
+//! The paper's *Output* stage writes "a kind of common picture type like
+//! JPG, BMP" — we implement BMP (BITMAPINFOHEADER, 8 bpp, 256-entry gray
+//! palette, uncompressed) with no external crates. The reader accepts only
+//! the files this writer produces; it exists for round-trip tests and for
+//! examples that reload rendered images.
+
+use std::io::{self, Read, Write};
+
+use crate::buffer::ImageF32;
+use crate::convert::{to_gray8, GrayMap};
+use crate::error::ImageError;
+
+const FILE_HEADER_LEN: u32 = 14;
+const INFO_HEADER_LEN: u32 = 40;
+const PALETTE_LEN: u32 = 256 * 4;
+
+/// Writes an 8-bit grayscale BMP.
+pub fn write_bmp<W: Write>(w: &mut W, img: &ImageF32, map: GrayMap) -> io::Result<()> {
+    write_bmp_gray8(w, img.width(), img.height(), &to_gray8(img, map))
+}
+
+/// Writes raw 8-bit gray data (row-major, top-down in memory) as a BMP.
+///
+/// # Panics
+/// Panics when `gray.len() != width * height`.
+pub fn write_bmp_gray8<W: Write>(
+    w: &mut W,
+    width: usize,
+    height: usize,
+    gray: &[u8],
+) -> io::Result<()> {
+    assert_eq!(gray.len(), width * height, "gray data does not match size");
+    let row_stride = (width + 3) & !3; // rows padded to 4 bytes
+    let pixel_bytes = (row_stride * height) as u32;
+    let data_offset = FILE_HEADER_LEN + INFO_HEADER_LEN + PALETTE_LEN;
+    let file_size = data_offset + pixel_bytes;
+
+    let mut out = io::BufWriter::new(w);
+    // BITMAPFILEHEADER
+    out.write_all(b"BM")?;
+    out.write_all(&file_size.to_le_bytes())?;
+    out.write_all(&0u32.to_le_bytes())?; // reserved
+    out.write_all(&data_offset.to_le_bytes())?;
+    // BITMAPINFOHEADER
+    out.write_all(&INFO_HEADER_LEN.to_le_bytes())?;
+    out.write_all(&(width as i32).to_le_bytes())?;
+    out.write_all(&(height as i32).to_le_bytes())?; // positive: bottom-up
+    out.write_all(&1u16.to_le_bytes())?; // planes
+    out.write_all(&8u16.to_le_bytes())?; // bpp
+    out.write_all(&0u32.to_le_bytes())?; // BI_RGB
+    out.write_all(&pixel_bytes.to_le_bytes())?;
+    out.write_all(&2835u32.to_le_bytes())?; // 72 dpi
+    out.write_all(&2835u32.to_le_bytes())?;
+    out.write_all(&256u32.to_le_bytes())?; // colours used
+    out.write_all(&0u32.to_le_bytes())?; // important colours
+    // Gray palette: BGRA entries.
+    for i in 0..=255u8 {
+        out.write_all(&[i, i, i, 0])?;
+    }
+    // Pixel rows, bottom-up, padded.
+    let pad = [0u8; 3];
+    for y in (0..height).rev() {
+        out.write_all(&gray[y * width..(y + 1) * width])?;
+        out.write_all(&pad[..row_stride - width])?;
+    }
+    out.flush()
+}
+
+/// Reads an 8-bit grayscale BMP produced by [`write_bmp_gray8`].
+///
+/// Returns `(width, height, gray)` with `gray` row-major top-down.
+pub fn read_bmp_gray8<R: Read>(r: &mut R) -> Result<(usize, usize, Vec<u8>), ImageError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    let need = |n: usize| -> Result<(), ImageError> {
+        if buf.len() < n {
+            Err(ImageError::Format(format!(
+                "BMP truncated: need {n} bytes, have {}",
+                buf.len()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    need(FILE_HEADER_LEN as usize + INFO_HEADER_LEN as usize)?;
+    if &buf[0..2] != b"BM" {
+        return Err(ImageError::Format("not a BMP (missing BM magic)".into()));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+    let u16_at = |o: usize| u16::from_le_bytes(buf[o..o + 2].try_into().unwrap());
+    let i32_at = |o: usize| i32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+
+    let data_offset = u32_at(10) as usize;
+    let width = i32_at(18);
+    let height = i32_at(22);
+    let bpp = u16_at(28);
+    let compression = u32_at(30);
+    if bpp != 8 || compression != 0 {
+        return Err(ImageError::Format(format!(
+            "unsupported BMP: bpp={bpp} compression={compression} (expect 8/0)"
+        )));
+    }
+    if width <= 0 || height <= 0 {
+        return Err(ImageError::Format(format!(
+            "unsupported BMP dimensions {width}x{height}"
+        )));
+    }
+    let (width, height) = (width as usize, height as usize);
+    let row_stride = (width + 3) & !3;
+    need(data_offset + row_stride * height)?;
+
+    let mut gray = vec![0u8; width * height];
+    for y in 0..height {
+        // File rows are bottom-up.
+        let src = data_offset + (height - 1 - y) * row_stride;
+        gray[y * width..(y + 1) * width].copy_from_slice(&buf[src..src + width]);
+    }
+    Ok((width, height, gray))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact() {
+        let (w, h) = (5, 3); // width 5 forces row padding
+        let gray: Vec<u8> = (0..w * h).map(|i| (i * 17 % 256) as u8).collect();
+        let mut buf = Vec::new();
+        write_bmp_gray8(&mut buf, w, h, &gray).unwrap();
+        let (rw, rh, back) = read_bmp_gray8(&mut &buf[..]).unwrap();
+        assert_eq!((rw, rh), (w, h));
+        assert_eq!(back, gray);
+    }
+
+    #[test]
+    fn header_fields() {
+        let mut buf = Vec::new();
+        write_bmp_gray8(&mut buf, 4, 2, &[0; 8]).unwrap();
+        assert_eq!(&buf[0..2], b"BM");
+        // File size field matches actual length.
+        let size = u32::from_le_bytes(buf[2..6].try_into().unwrap());
+        assert_eq!(size as usize, buf.len());
+        // 8 bpp.
+        assert_eq!(u16::from_le_bytes(buf[28..30].try_into().unwrap()), 8);
+    }
+
+    #[test]
+    fn image_f32_entry_point() {
+        let mut img = ImageF32::new(3, 3);
+        img.set(1, 1, 1.0);
+        let mut buf = Vec::new();
+        write_bmp(&mut buf, &img, GrayMap::linear(1.0)).unwrap();
+        let (_, _, gray) = read_bmp_gray8(&mut &buf[..]).unwrap();
+        assert_eq!(gray[4], 255);
+        assert_eq!(gray[0], 0);
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(read_bmp_gray8(&mut &b"not a bmp at all"[..]).is_err());
+        assert!(read_bmp_gray8(&mut &b"BM"[..]).is_err());
+        // Corrupt a valid file's bpp field.
+        let mut buf = Vec::new();
+        write_bmp_gray8(&mut buf, 2, 2, &[0; 4]).unwrap();
+        buf[28] = 24;
+        match read_bmp_gray8(&mut &buf[..]) {
+            Err(ImageError::Format(m)) => assert!(m.contains("bpp=24")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_pixel_data_detected() {
+        let mut buf = Vec::new();
+        write_bmp_gray8(&mut buf, 4, 4, &[7; 16]).unwrap();
+        buf.truncate(buf.len() - 8);
+        assert!(matches!(
+            read_bmp_gray8(&mut &buf[..]),
+            Err(ImageError::Format(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_payload_panics() {
+        let mut buf = Vec::new();
+        let _ = write_bmp_gray8(&mut buf, 4, 4, &[0; 3]);
+    }
+}

@@ -1,0 +1,4 @@
+//! Self-contained image file IO (no external image crates).
+
+pub mod bmp;
+pub mod pgm;

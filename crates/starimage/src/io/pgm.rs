@@ -1,0 +1,214 @@
+//! Minimal PGM (portable graymap) writer/reader, binary (`P5`) and ASCII
+//! (`P2`), 8- and 16-bit.
+//!
+//! PGM is the simplest interchange format for grayscale scientific imagery;
+//! examples use it when 16-bit depth matters (BMP is 8-bit only).
+
+use std::io::{self, Read, Write};
+
+use crate::buffer::ImageF32;
+use crate::convert::{to_gray16, to_gray8, GrayMap};
+use crate::error::ImageError;
+
+/// Writes a binary 8-bit PGM (`P5`, maxval 255).
+pub fn write_pgm8<W: Write>(w: &mut W, img: &ImageF32, map: GrayMap) -> io::Result<()> {
+    let gray = to_gray8(img, map);
+    let mut out = io::BufWriter::new(w);
+    write!(out, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    out.write_all(&gray)?;
+    out.flush()
+}
+
+/// Writes a binary 16-bit PGM (`P5`, maxval 65535, big-endian samples).
+pub fn write_pgm16<W: Write>(w: &mut W, img: &ImageF32, map: GrayMap) -> io::Result<()> {
+    let gray = to_gray16(img, map);
+    let mut out = io::BufWriter::new(w);
+    write!(out, "P5\n{} {}\n65535\n", img.width(), img.height())?;
+    let mut bytes = Vec::with_capacity(gray.len() * 2);
+    for v in gray {
+        bytes.extend_from_slice(&v.to_be_bytes());
+    }
+    out.write_all(&bytes)?;
+    out.flush()
+}
+
+/// Writes an ASCII PGM (`P2`) — human-inspectable, used in docs and tests.
+pub fn write_pgm_ascii<W: Write>(w: &mut W, img: &ImageF32, map: GrayMap) -> io::Result<()> {
+    let gray = to_gray8(img, map);
+    let mut out = io::BufWriter::new(w);
+    write!(out, "P2\n{} {}\n255\n", img.width(), img.height())?;
+    for row in gray.chunks(img.width()) {
+        let line: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        writeln!(out, "{}", line.join(" "))?;
+    }
+    out.flush()
+}
+
+/// A decoded PGM image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pgm {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Maximum sample value (255 or 65535).
+    pub maxval: u32,
+    /// Row-major samples (8-bit values widened to u16 for uniformity).
+    pub samples: Vec<u16>,
+}
+
+/// Reads a binary (`P5`) or ASCII (`P2`) PGM.
+pub fn read_pgm<R: Read>(r: &mut R) -> Result<Pgm, ImageError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    let mut pos = 0usize;
+
+    fn skip_ws(buf: &[u8], mut pos: usize) -> usize {
+        loop {
+            while pos < buf.len() && buf[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < buf.len() && buf[pos] == b'#' {
+                while pos < buf.len() && buf[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else {
+                return pos;
+            }
+        }
+    }
+    fn token(buf: &[u8], pos: usize) -> Result<(usize, usize), ImageError> {
+        let start = skip_ws(buf, pos);
+        let mut end = start;
+        while end < buf.len() && !buf[end].is_ascii_whitespace() {
+            end += 1;
+        }
+        if start == end {
+            return Err(ImageError::Format("PGM truncated header".into()));
+        }
+        Ok((start, end))
+    }
+    fn number(buf: &[u8], pos: usize) -> Result<(u32, usize), ImageError> {
+        let (s, e) = token(buf, pos)?;
+        let text = std::str::from_utf8(&buf[s..e])
+            .map_err(|_| ImageError::Format("PGM: non-UTF8 header".into()))?;
+        let v = text
+            .parse::<u32>()
+            .map_err(|_| ImageError::Format(format!("PGM: bad number `{text}`")))?;
+        Ok((v, e))
+    }
+
+    let (ms, me) = token(&buf, pos)?;
+    let magic = &buf[ms..me];
+    let binary = match magic {
+        b"P5" => true,
+        b"P2" => false,
+        _ => {
+            return Err(ImageError::Format(format!(
+                "not a PGM (magic {:?})",
+                String::from_utf8_lossy(magic)
+            )))
+        }
+    };
+    pos = me;
+    let (width, p) = number(&buf, pos)?;
+    let (height, p) = number(&buf, p)?;
+    let (maxval, p) = number(&buf, p)?;
+    pos = p;
+    if width == 0 || height == 0 {
+        return Err(ImageError::Format("PGM: empty image".into()));
+    }
+    if maxval == 0 || maxval > 65535 {
+        return Err(ImageError::Format(format!("PGM: bad maxval {maxval}")));
+    }
+    let n = width as usize * height as usize;
+    let mut samples = Vec::with_capacity(n);
+    if binary {
+        pos += 1; // single whitespace after maxval
+        let wide = maxval > 255;
+        let bytes_needed = n * if wide { 2 } else { 1 };
+        if buf.len() < pos + bytes_needed {
+            return Err(ImageError::Format("PGM: truncated pixel data".into()));
+        }
+        if wide {
+            for c in buf[pos..pos + bytes_needed].chunks_exact(2) {
+                samples.push(u16::from_be_bytes([c[0], c[1]]));
+            }
+        } else {
+            samples.extend(buf[pos..pos + bytes_needed].iter().map(|&b| b as u16));
+        }
+    } else {
+        let mut p = pos;
+        for _ in 0..n {
+            let (v, np) = number(&buf, p)?;
+            if v > maxval {
+                return Err(ImageError::Format(format!(
+                    "PGM: sample {v} exceeds maxval {maxval}"
+                )));
+            }
+            samples.push(v as u16);
+            p = np;
+        }
+    }
+    Ok(Pgm {
+        width: width as usize,
+        height: height as usize,
+        maxval,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(w: usize, h: usize) -> ImageF32 {
+        let data = (0..w * h).map(|i| i as f32).collect();
+        ImageF32::from_data(w, h, data)
+    }
+
+    #[test]
+    fn pgm8_roundtrip() {
+        let img = ramp(4, 3);
+        let mut buf = Vec::new();
+        write_pgm8(&mut buf, &img, GrayMap::linear(11.0)).unwrap();
+        let pgm = read_pgm(&mut &buf[..]).unwrap();
+        assert_eq!((pgm.width, pgm.height, pgm.maxval), (4, 3, 255));
+        assert_eq!(pgm.samples[0], 0);
+        assert_eq!(pgm.samples[11], 255);
+    }
+
+    #[test]
+    fn pgm16_roundtrip_preserves_depth() {
+        let img = ramp(3, 2);
+        let mut buf = Vec::new();
+        write_pgm16(&mut buf, &img, GrayMap::linear(5.0)).unwrap();
+        let pgm = read_pgm(&mut &buf[..]).unwrap();
+        assert_eq!(pgm.maxval, 65535);
+        assert_eq!(pgm.samples[5], 65535);
+        assert_eq!(pgm.samples[1], ((1.0 / 5.0) * 65535.0f32).round() as u16);
+    }
+
+    #[test]
+    fn ascii_roundtrip_and_comments() {
+        let img = ramp(2, 2);
+        let mut buf = Vec::new();
+        write_pgm_ascii(&mut buf, &img, GrayMap::linear(3.0)).unwrap();
+        let pgm = read_pgm(&mut &buf[..]).unwrap();
+        assert_eq!(pgm.samples.len(), 4);
+        assert_eq!(pgm.samples[3], 255);
+        // A hand-written file with comments parses too.
+        let text = b"P2 # comment\n# another\n2 1\n255\n7 9\n";
+        let pgm = read_pgm(&mut &text[..]).unwrap();
+        assert_eq!(pgm.samples, vec![7, 9]);
+    }
+
+    #[test]
+    fn reader_rejects_bad_input() {
+        assert!(read_pgm(&mut &b"P6\n1 1\n255\nx"[..]).is_err());
+        assert!(read_pgm(&mut &b"P5\n0 1\n255\n"[..]).is_err());
+        assert!(read_pgm(&mut &b"P5\n2 2\n255\nab"[..]).is_err()); // truncated
+        assert!(read_pgm(&mut &b"P2\n1 1\n255\n300\n"[..]).is_err()); // > maxval
+        assert!(read_pgm(&mut &b"P5\n1 1\n99999\nx"[..]).is_err()); // maxval
+    }
+}

@@ -1,0 +1,281 @@
+//! Connected-component labeling: blob extraction that works on *streaked*
+//! stars, where local-maximum centroiding (see [`crate::centroid`])
+//! fragments or misses elongated images.
+//!
+//! Classic two-pass 8-connected labeling with a union–find over
+//! provisional labels, followed by per-component moment accumulation. The
+//! second moments give each blob's elongation — exactly what a tracker
+//! needs to detect slew-smeared frames.
+
+use crate::buffer::ImageF32;
+
+/// One labeled blob with its intensity moments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blob {
+    /// Pixel count.
+    pub area: usize,
+    /// Integrated intensity.
+    pub flux: f64,
+    /// Intensity-weighted centroid x.
+    pub cx: f32,
+    /// Intensity-weighted centroid y.
+    pub cy: f32,
+    /// Peak pixel value.
+    pub peak: f32,
+    /// Major-axis length (2σ of the intensity distribution), pixels.
+    pub major_axis: f32,
+    /// Minor-axis length (2σ), pixels.
+    pub minor_axis: f32,
+    /// Major-axis orientation, radians from +x in `(-π/2, π/2]`.
+    pub orientation: f32,
+}
+
+impl Blob {
+    /// Elongation ratio ≥ 1; ≈1 for round (static) stars, ≫1 for streaks.
+    pub fn elongation(&self) -> f32 {
+        if self.minor_axis < 1e-6 {
+            f32::INFINITY
+        } else {
+            self.major_axis / self.minor_axis
+        }
+    }
+}
+
+/// Union–find with path halving.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new() -> Self {
+        Dsu { parent: Vec::new() }
+    }
+    fn make(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        id
+    }
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb) as usize] = ra.min(rb);
+        }
+    }
+}
+
+/// Labels 8-connected components of pixels above `threshold` and returns
+/// their blobs, brightest (by flux) first. Components smaller than
+/// `min_area` pixels are dropped (noise rejection).
+pub fn label_blobs(img: &ImageF32, threshold: f32, min_area: usize) -> Vec<Blob> {
+    let (w, h) = (img.width(), img.height());
+    const NONE: u32 = u32::MAX;
+    let mut labels = vec![NONE; w * h];
+    let mut dsu = Dsu::new();
+
+    // Pass 1: provisional labels; union with the west and the three
+    // northern neighbours.
+    for y in 0..h {
+        for x in 0..w {
+            if img.get(x, y) <= threshold {
+                continue;
+            }
+            let idx = y * w + x;
+            let mut assigned = NONE;
+            let neighbours = [
+                (x.wrapping_sub(1), y),
+                (x.wrapping_sub(1), y.wrapping_sub(1)),
+                (x, y.wrapping_sub(1)),
+                (x + 1, y.wrapping_sub(1)),
+            ];
+            for (nx, ny) in neighbours {
+                if nx < w && ny < h {
+                    let nl = labels[ny * w + nx];
+                    if nl != NONE {
+                        if assigned == NONE {
+                            assigned = nl;
+                        } else {
+                            dsu.union(assigned, nl);
+                        }
+                    }
+                }
+            }
+            labels[idx] = if assigned == NONE { dsu.make() } else { assigned };
+        }
+    }
+
+    // Pass 2: accumulate moments per root label.
+    #[derive(Default, Clone)]
+    struct Acc {
+        area: usize,
+        flux: f64,
+        sx: f64,
+        sy: f64,
+        sxx: f64,
+        syy: f64,
+        sxy: f64,
+        peak: f32,
+    }
+    let mut acc: std::collections::HashMap<u32, Acc> = std::collections::HashMap::new();
+    for y in 0..h {
+        for x in 0..w {
+            let l = labels[y * w + x];
+            if l == NONE {
+                continue;
+            }
+            let root = dsu.find(l);
+            let v = img.get(x, y) as f64;
+            let a = acc.entry(root).or_default();
+            a.area += 1;
+            a.flux += v;
+            a.sx += v * x as f64;
+            a.sy += v * y as f64;
+            a.sxx += v * (x as f64) * (x as f64);
+            a.syy += v * (y as f64) * (y as f64);
+            a.sxy += v * (x as f64) * (y as f64);
+            a.peak = a.peak.max(img.get(x, y));
+        }
+    }
+
+    let mut blobs: Vec<Blob> = acc
+        .values()
+        .filter(|a| a.area >= min_area && a.flux > 0.0)
+        .map(|a| {
+            let cx = a.sx / a.flux;
+            let cy = a.sy / a.flux;
+            // Central second moments.
+            let mxx = (a.sxx / a.flux - cx * cx).max(0.0);
+            let myy = (a.syy / a.flux - cy * cy).max(0.0);
+            let mxy = a.sxy / a.flux - cx * cy;
+            // Eigenvalues of the 2×2 covariance.
+            let tr = mxx + myy;
+            let det = mxx * myy - mxy * mxy;
+            let disc = (tr * tr / 4.0 - det).max(0.0).sqrt();
+            let l1 = (tr / 2.0 + disc).max(0.0);
+            let l2 = (tr / 2.0 - disc).max(0.0);
+            let orientation = 0.5 * (2.0 * mxy).atan2(mxx - myy);
+            Blob {
+                area: a.area,
+                flux: a.flux,
+                cx: cx as f32,
+                cy: cy as f32,
+                peak: a.peak,
+                major_axis: (2.0 * l1.sqrt()) as f32,
+                minor_axis: (2.0 * l2.sqrt()) as f32,
+                orientation: orientation as f32,
+            }
+        })
+        .collect();
+    blobs.sort_by(|a, b| b.flux.total_cmp(&a.flux));
+    blobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_blob(img: &mut ImageF32, cx: f32, cy: f32, amp: f32, sx: f32, sy: f32, theta: f32) {
+        let (c, s) = (theta.cos(), theta.sin());
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let dx = x as f32 - cx;
+                let dy = y as f32 - cy;
+                let u = c * dx + s * dy;
+                let v = -s * dx + c * dy;
+                let e = (-(u * u) / (2.0 * sx * sx) - (v * v) / (2.0 * sy * sy)).exp();
+                img.add(x, y, amp * e);
+            }
+        }
+    }
+
+    #[test]
+    fn single_round_blob() {
+        let mut img = ImageF32::new(64, 64);
+        gaussian_blob(&mut img, 30.0, 34.0, 10.0, 2.0, 2.0, 0.0);
+        let blobs = label_blobs(&img, 0.01, 3);
+        assert_eq!(blobs.len(), 1);
+        let b = blobs[0];
+        assert!((b.cx - 30.0).abs() < 0.1 && (b.cy - 34.0).abs() < 0.1);
+        assert!(b.elongation() < 1.2, "round blob, got {}", b.elongation());
+        assert!(b.peak > 9.0);
+        assert!(b.area > 10);
+    }
+
+    #[test]
+    fn separated_blobs_counted_brightest_first() {
+        let mut img = ImageF32::new(96, 96);
+        gaussian_blob(&mut img, 20.0, 20.0, 5.0, 1.5, 1.5, 0.0);
+        gaussian_blob(&mut img, 70.0, 70.0, 20.0, 1.5, 1.5, 0.0);
+        let blobs = label_blobs(&img, 0.01, 3);
+        assert_eq!(blobs.len(), 2);
+        assert!(blobs[0].flux > blobs[1].flux);
+        assert!((blobs[0].cx - 70.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn touching_blobs_merge() {
+        let mut img = ImageF32::new(64, 64);
+        gaussian_blob(&mut img, 30.0, 30.0, 10.0, 2.0, 2.0, 0.0);
+        gaussian_blob(&mut img, 33.0, 30.0, 10.0, 2.0, 2.0, 0.0);
+        let blobs = label_blobs(&img, 0.01, 3);
+        assert_eq!(blobs.len(), 1, "overlapping images form one component");
+        assert!((blobs[0].cx - 31.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn streak_detected_as_elongated_with_orientation() {
+        let mut img = ImageF32::new(96, 96);
+        let theta = 0.5f32;
+        gaussian_blob(&mut img, 48.0, 48.0, 10.0, 6.0, 1.5, theta);
+        let blobs = label_blobs(&img, 0.01, 5);
+        assert_eq!(blobs.len(), 1);
+        let b = blobs[0];
+        assert!(b.elongation() > 2.5, "elongation {}", b.elongation());
+        assert!(
+            (b.orientation - theta).abs() < 0.05,
+            "orientation {} vs {theta}",
+            b.orientation
+        );
+        assert!(b.major_axis > b.minor_axis);
+    }
+
+    #[test]
+    fn min_area_rejects_specks() {
+        let mut img = ImageF32::new(32, 32);
+        img.set(5, 5, 1.0); // single-pixel noise hit
+        gaussian_blob(&mut img, 20.0, 20.0, 10.0, 2.0, 2.0, 0.0);
+        let blobs = label_blobs(&img, 0.01, 4);
+        assert_eq!(blobs.len(), 1);
+        assert!((blobs[0].cx - 20.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn empty_image_has_no_blobs() {
+        let img = ImageF32::new(32, 32);
+        assert!(label_blobs(&img, 0.0, 1).is_empty());
+    }
+
+    #[test]
+    fn u_shaped_component_merges_across_provisional_labels() {
+        // A 'U' forces two provisional labels that only merge at the
+        // bottom row — the union–find's job.
+        let mut img = ImageF32::new(16, 16);
+        for y in 2..10 {
+            img.set(3, y, 1.0);
+            img.set(9, y, 1.0);
+        }
+        for x in 3..=9 {
+            img.set(x, 10, 1.0);
+        }
+        let blobs = label_blobs(&img, 0.5, 1);
+        assert_eq!(blobs.len(), 1, "U shape must be one component");
+        assert_eq!(blobs[0].area, 8 + 8 + 7);
+    }
+}

@@ -1,0 +1,243 @@
+//! Sensor noise model — an extension toward the realistic imaging chain of
+//! the star sensors the paper's introduction targets.
+//!
+//! The intensity model produces a noiseless irradiance map. A real CCD/CMOS
+//! detector adds, per pixel:
+//!
+//! * a uniform **background** level (stray light, dark current),
+//! * **shot noise** — Poisson fluctuation of the collected photoelectrons,
+//!   approximated by a Gaussian of variance equal to the signal (exact in
+//!   the bright limit, and star pixels are bright by construction),
+//! * Gaussian **read noise** from the output amplifier.
+//!
+//! All randomness is drawn from a seeded generator so noisy frames are
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::buffer::ImageF32;
+
+/// Detector noise parameters, in the same intensity units as the image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Uniform background level added to every pixel.
+    pub background: f32,
+    /// Photon-to-intensity gain: shot-noise variance = `signal / gain`
+    /// scaled back, i.e. σ_shot = sqrt(signal · gain). `0` disables shot
+    /// noise.
+    pub shot_gain: f32,
+    /// Read-noise standard deviation. `0` disables read noise.
+    pub read_sigma: f32,
+}
+
+impl NoiseModel {
+    /// A quiet sensor: small background, mild shot and read noise.
+    pub fn quiet() -> Self {
+        NoiseModel {
+            background: 0.001,
+            shot_gain: 0.01,
+            read_sigma: 0.002,
+        }
+    }
+
+    /// No noise at all (identity transform).
+    pub fn none() -> Self {
+        NoiseModel {
+            background: 0.0,
+            shot_gain: 0.0,
+            read_sigma: 0.0,
+        }
+    }
+}
+
+/// Applies the noise model in place with a seeded RNG.
+///
+/// Pixels are clamped at zero afterwards (a detector cannot report negative
+/// charge after bias subtraction).
+pub fn apply_noise(img: &mut ImageF32, model: NoiseModel, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for v in img.data_mut().iter_mut() {
+        let signal = *v + model.background;
+        let shot_sigma = if model.shot_gain > 0.0 {
+            (signal.max(0.0) * model.shot_gain).sqrt()
+        } else {
+            0.0
+        };
+        let sigma = (shot_sigma * shot_sigma + model.read_sigma * model.read_sigma).sqrt();
+        let noisy = if sigma > 0.0 {
+            signal + gaussian(&mut rng) * sigma
+        } else {
+            signal
+        };
+        *v = noisy.max(0.0);
+    }
+}
+
+/// A standard normal deviate via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Signal-to-noise ratio of a star of total flux `flux` spread over
+/// `pixels` pixels under `model` — the standard CCD SNR equation, useful
+/// for choosing detection thresholds.
+pub fn star_snr(flux: f64, pixels: usize, model: NoiseModel) -> f64 {
+    let shot_var = flux * model.shot_gain as f64;
+    let bg_var = pixels as f64 * model.background as f64 * model.shot_gain as f64;
+    let read_var = pixels as f64 * (model.read_sigma as f64).powi(2);
+    let denom = (shot_var + bg_var + read_var).sqrt();
+    if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        flux / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(level: f32) -> ImageF32 {
+        ImageF32::from_data(64, 64, vec![level; 64 * 64])
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut img = flat(0.5);
+        let before = img.clone();
+        apply_noise(&mut img, NoiseModel::none(), 1);
+        assert_eq!(img, before);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = flat(0.5);
+        let mut b = flat(0.5);
+        apply_noise(&mut a, NoiseModel::quiet(), 42);
+        apply_noise(&mut b, NoiseModel::quiet(), 42);
+        assert_eq!(a, b);
+        let mut c = flat(0.5);
+        apply_noise(&mut c, NoiseModel::quiet(), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn background_raises_the_mean() {
+        let mut img = flat(0.0);
+        apply_noise(
+            &mut img,
+            NoiseModel {
+                background: 0.2,
+                shot_gain: 0.0,
+                read_sigma: 0.0,
+            },
+            7,
+        );
+        for &v in img.data() {
+            assert_eq!(v, 0.2);
+        }
+    }
+
+    #[test]
+    fn read_noise_statistics_match() {
+        let mut img = flat(1.0);
+        let sigma = 0.05f32;
+        apply_noise(
+            &mut img,
+            NoiseModel {
+                background: 0.0,
+                shot_gain: 0.0,
+                read_sigma: sigma,
+            },
+            11,
+        );
+        let n = img.len() as f64;
+        let mean: f64 = img.data().iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var: f64 = img
+            .data()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!(
+            (var.sqrt() - sigma as f64).abs() < 0.005,
+            "sd {} vs {}",
+            var.sqrt(),
+            sigma
+        );
+    }
+
+    #[test]
+    fn shot_noise_scales_with_signal() {
+        // Bright pixels must fluctuate more than dim pixels.
+        let measure = |level: f32| {
+            let mut img = flat(level);
+            apply_noise(
+                &mut img,
+                NoiseModel {
+                    background: 0.0,
+                    shot_gain: 0.1,
+                    read_sigma: 0.0,
+                },
+                5,
+            );
+            let n = img.len() as f64;
+            let mean: f64 = img.data().iter().map(|&v| v as f64).sum::<f64>() / n;
+            (img.data()
+                .iter()
+                .map(|&v| (v as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n)
+                .sqrt()
+        };
+        let dim = measure(0.1);
+        let bright = measure(10.0);
+        // σ ∝ √signal: 10× brighter ⇒ ~10× ... √100 = 10× the σ.
+        assert!(
+            bright / dim > 5.0,
+            "bright σ {bright} should be ~10x dim σ {dim}"
+        );
+    }
+
+    #[test]
+    fn pixels_never_go_negative() {
+        let mut img = flat(0.0);
+        apply_noise(
+            &mut img,
+            NoiseModel {
+                background: 0.001,
+                shot_gain: 0.0,
+                read_sigma: 0.5, // huge read noise around zero
+            },
+            3,
+        );
+        assert!(img.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn snr_equation_behaviour() {
+        let m = NoiseModel {
+            background: 0.01,
+            shot_gain: 0.1,
+            read_sigma: 0.01,
+        };
+        let low = star_snr(1.0, 100, m);
+        let high = star_snr(100.0, 100, m);
+        assert!(high > low, "more flux, more SNR");
+        // Read-noise-limited regime: SNR ∝ flux.
+        let rn = NoiseModel {
+            background: 0.0,
+            shot_gain: 0.0,
+            read_sigma: 0.01,
+        };
+        let r1 = star_snr(1.0, 100, rn);
+        let r2 = star_snr(2.0, 100, rn);
+        assert!((r2 / r1 - 2.0).abs() < 1e-9);
+        // Noiseless sensor: infinite SNR.
+        assert!(star_snr(1.0, 100, NoiseModel::none()).is_infinite());
+    }
+}

@@ -1,0 +1,250 @@
+//! Aperture photometry: measuring star brightness back out of the image.
+//!
+//! The intensity model deposits `g(m)·μ` per pixel; photometry inverts
+//! that — sum the flux in a circular aperture around the star, subtract
+//! the local background estimated from a surrounding annulus, and the
+//! result approximates `g(m)` (times the aperture's encircled-energy
+//! fraction). Together with the magnitude law's inverse this closes the
+//! radiometric loop: the magnitude written into the catalogue comes back
+//! out of the rendered frame.
+
+use crate::buffer::ImageF32;
+
+/// An aperture/annulus geometry, radii in pixels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aperture {
+    /// Flux-summing aperture radius.
+    pub radius: f32,
+    /// Inner radius of the background annulus.
+    pub annulus_inner: f32,
+    /// Outer radius of the background annulus.
+    pub annulus_outer: f32,
+}
+
+impl Aperture {
+    /// A conventional geometry: aperture of `radius`, annulus from
+    /// `radius+2` to `radius+5`.
+    pub fn new(radius: f32) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+        Aperture {
+            radius,
+            annulus_inner: radius + 2.0,
+            annulus_outer: radius + 5.0,
+        }
+    }
+
+    /// Validates the geometry.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.radius.is_finite() || self.radius <= 0.0 {
+            return Err(format!("aperture radius {} must be positive", self.radius));
+        }
+        if !(self.annulus_inner >= self.radius && self.annulus_outer > self.annulus_inner) {
+            return Err(format!(
+                "annulus [{}, {}] must lie outside the aperture {}",
+                self.annulus_inner, self.annulus_outer, self.radius
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One photometric measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Photometry {
+    /// Background-subtracted flux inside the aperture.
+    pub flux: f64,
+    /// Estimated background level per pixel (annulus median).
+    pub background: f32,
+    /// Pixels inside the aperture.
+    pub aperture_pixels: usize,
+    /// Pixels in the annulus used for the background estimate.
+    pub annulus_pixels: usize,
+}
+
+/// Measures the star at `(cx, cy)` with geometry `ap`.
+///
+/// Pixels belong to a region by the distance of their centre. Apertures
+/// clipped by the image border use whatever pixels remain (flagged by a
+/// reduced `aperture_pixels`).
+///
+/// # Panics
+/// Panics when the aperture geometry is invalid.
+pub fn measure(img: &ImageF32, cx: f32, cy: f32, ap: Aperture) -> Photometry {
+    ap.validate().expect("valid aperture");
+    let (w, h) = (img.width() as i64, img.height() as i64);
+    // Clamp the scan window to the image diagonal: a larger annulus can
+    // only add out-of-bounds pixels, and an unclamped radius would make
+    // the loop below scale with the radius squared.
+    let r_out = (ap.annulus_outer.ceil() as i64).min(w + h);
+    let (icx, icy) = (cx.round() as i64, cy.round() as i64);
+
+    let mut flux_sum = 0.0f64;
+    let mut n_ap = 0usize;
+    let mut annulus: Vec<f32> = Vec::new();
+    for dy in -r_out..=r_out {
+        for dx in -r_out..=r_out {
+            let (x, y) = (icx + dx, icy + dy);
+            if x < 0 || y < 0 || x >= w || y >= h {
+                continue;
+            }
+            let r = ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)).sqrt();
+            let v = img.get(x as usize, y as usize);
+            if r <= ap.radius {
+                flux_sum += v as f64;
+                n_ap += 1;
+            } else if r >= ap.annulus_inner && r <= ap.annulus_outer {
+                annulus.push(v);
+            }
+        }
+    }
+    // Median background: robust to neighbouring stars in the annulus.
+    let background = if annulus.is_empty() {
+        0.0
+    } else {
+        let mid = annulus.len() / 2;
+        let (_, m, _) = annulus.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+        *m
+    };
+    Photometry {
+        flux: flux_sum - background as f64 * n_ap as f64,
+        background,
+        aperture_pixels: n_ap,
+        annulus_pixels: annulus.len(),
+    }
+}
+
+/// Recovers a catalogue magnitude from a measurement: inverts
+/// `g(m) = A·2.512^(−m)` after correcting for the aperture's encircled
+/// energy `ee_fraction` (from the PSF model; 1.0 if uncorrected).
+///
+/// Returns `None` for non-positive flux (sky-dominated or empty aperture).
+pub fn magnitude_from_flux(flux: f64, a_factor: f32, ee_fraction: f64) -> Option<f32> {
+    if flux <= 0.0 || ee_fraction <= 0.0 {
+        return None;
+    }
+    let g = (flux / ee_fraction) as f32;
+    starfield_magnitude_inverse(g, a_factor)
+}
+
+// Local reimplementation note: starimage deliberately does not depend on
+// starfield; the inverse of eq. 1 is three lines.
+fn starfield_magnitude_inverse(g: f32, a_factor: f32) -> Option<f32> {
+    if g <= 0.0 || a_factor <= 0.0 {
+        return None;
+    }
+    Some(-((g / a_factor).ln() / 2.512f32.ln()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Gaussian star + flat background, total blob flux = `total`.
+    fn scene(cx: f32, cy: f32, total: f32, sigma: f32, bg: f32) -> ImageF32 {
+        let mut img = ImageF32::new(96, 96);
+        let norm = total / (2.0 * std::f32::consts::PI * sigma * sigma);
+        for y in 0..96 {
+            for x in 0..96 {
+                let d2 = (x as f32 - cx).powi(2) + (y as f32 - cy).powi(2);
+                img.set(x, y, bg + norm * (-d2 / (2.0 * sigma * sigma)).exp());
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn measures_flux_with_background_subtraction() {
+        let img = scene(48.0, 48.0, 100.0, 1.5, 0.25);
+        let p = measure(&img, 48.0, 48.0, Aperture::new(6.0));
+        // r = 6 = 4σ: >99.97% of the energy; background subtracted.
+        assert!((p.flux - 100.0).abs() < 1.0, "flux {}", p.flux);
+        assert!((p.background - 0.25).abs() < 1e-3);
+        assert!(p.aperture_pixels > 100);
+        assert!(p.annulus_pixels > 50);
+    }
+
+    #[test]
+    fn no_background_no_bias() {
+        let img = scene(48.0, 48.0, 50.0, 1.5, 0.0);
+        let p = measure(&img, 48.0, 48.0, Aperture::new(6.0));
+        assert!((p.flux - 50.0).abs() < 0.5);
+        // The annulus sits on the PSF's far wings: ~1e-8, not exactly zero.
+        assert!(p.background < 1e-6, "background {}", p.background);
+    }
+
+    #[test]
+    fn annulus_median_rejects_a_neighbour() {
+        // A second star sitting in the annulus would bias a *mean*
+        // background; the median shrugs it off.
+        let mut img = scene(48.0, 48.0, 100.0, 1.5, 0.1);
+        let neighbour = scene(56.0, 48.0, 80.0, 1.0, 0.0);
+        for (dst, src) in img.data_mut().iter_mut().zip(neighbour.data()) {
+            *dst += src;
+        }
+        let p = measure(&img, 48.0, 48.0, Aperture::new(5.0));
+        assert!(
+            (p.background - 0.1).abs() < 0.02,
+            "median background {} should ignore the neighbour",
+            p.background
+        );
+    }
+
+    #[test]
+    fn magnitude_roundtrip() {
+        // g(m) with A=1000, m=4 → flux 1000·2.512^-4 ≈ 25.1.
+        let a = 1000.0f32;
+        let m_true = 4.0f32;
+        let g = a * 2.512f32.powf(-m_true);
+        let img = scene(48.0, 48.0, g, 1.5, 0.05);
+        let p = measure(&img, 48.0, 48.0, Aperture::new(6.0));
+        let m = magnitude_from_flux(p.flux, a, 0.9997).unwrap();
+        assert!(
+            (m - m_true).abs() < 0.02,
+            "recovered m={m} vs true {m_true}"
+        );
+    }
+
+    #[test]
+    fn non_positive_flux_yields_none() {
+        assert_eq!(magnitude_from_flux(0.0, 1000.0, 1.0), None);
+        assert_eq!(magnitude_from_flux(-1.0, 1000.0, 1.0), None);
+        assert_eq!(magnitude_from_flux(1.0, 1000.0, 0.0), None);
+        assert_eq!(magnitude_from_flux(1.0, 0.0, 1.0), None);
+    }
+
+    #[test]
+    fn border_clipping_reduces_pixel_counts() {
+        let img = scene(2.0, 2.0, 100.0, 1.5, 0.0);
+        let p = measure(&img, 2.0, 2.0, Aperture::new(6.0));
+        let interior = measure(&scene(48.0, 48.0, 100.0, 1.5, 0.0), 48.0, 48.0, Aperture::new(6.0));
+        assert!(p.aperture_pixels < interior.aperture_pixels);
+    }
+
+    #[test]
+    fn huge_annulus_is_clamped_not_hung() {
+        // A pathological outer radius must terminate promptly (scan window
+        // clamps to the image diagonal) and still measure correctly.
+        let img = scene(48.0, 48.0, 10.0, 1.5, 0.0);
+        let ap = Aperture {
+            radius: 6.0,
+            annulus_inner: 8.0,
+            annulus_outer: 1e9,
+        };
+        let t = std::time::Instant::now();
+        let p = measure(&img, 48.0, 48.0, ap);
+        assert!(t.elapsed().as_secs_f64() < 5.0, "must not hang");
+        assert!((p.flux - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "annulus")]
+    fn invalid_geometry_panics() {
+        let img = ImageF32::new(8, 8);
+        let bad = Aperture {
+            radius: 5.0,
+            annulus_inner: 3.0,
+            annulus_outer: 4.0,
+        };
+        let _ = measure(&img, 4.0, 4.0, bad);
+    }
+}

@@ -1,0 +1,100 @@
+//! Image statistics used by validation tests and the benchmark harness.
+
+use crate::buffer::ImageF32;
+
+/// Summary statistics of an intensity image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageStats {
+    /// Minimum pixel value.
+    pub min: f32,
+    /// Maximum pixel value.
+    pub max: f32,
+    /// Mean pixel value.
+    pub mean: f64,
+    /// Total flux (sum of all pixels), in f64 to avoid cancellation.
+    pub total: f64,
+    /// Number of strictly positive pixels.
+    pub lit_pixels: usize,
+}
+
+/// Computes summary statistics in one pass.
+pub fn stats(img: &ImageF32) -> ImageStats {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    let mut total = 0.0f64;
+    let mut lit = 0usize;
+    for &v in img.data() {
+        min = min.min(v);
+        max = max.max(v);
+        total += v as f64;
+        if v > 0.0 {
+            lit += 1;
+        }
+    }
+    ImageStats {
+        min,
+        max,
+        mean: total / img.len() as f64,
+        total,
+        lit_pixels: lit,
+    }
+}
+
+/// A histogram of pixel intensities over `bins` equal-width bins spanning
+/// `[0, max]` (values above `max` land in the last bin).
+pub fn histogram(img: &ImageF32, bins: usize, max: f32) -> Vec<usize> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(max > 0.0, "histogram max must be positive");
+    let mut h = vec![0usize; bins];
+    let scale = bins as f32 / max;
+    for &v in img.data() {
+        let b = ((v.max(0.0) * scale) as usize).min(bins - 1);
+        h[b] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_image() {
+        let img = ImageF32::from_data(2, 2, vec![0.0, 1.0, 2.0, 5.0]);
+        let s = stats(&img);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.total, 8.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.lit_pixels, 3);
+    }
+
+    #[test]
+    fn stats_of_black_image() {
+        let s = stats(&ImageF32::new(4, 4));
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.total, 0.0);
+        assert_eq!(s.lit_pixels, 0);
+    }
+
+    #[test]
+    fn histogram_bins_correctly() {
+        let img = ImageF32::from_data(2, 3, vec![0.0, 0.5, 1.5, 2.5, 3.5, 99.0]);
+        let h = histogram(&img, 4, 4.0);
+        assert_eq!(h, vec![2, 1, 1, 2]); // 99 clamps to last bin
+        assert_eq!(h.iter().sum::<usize>(), img.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = histogram(&ImageF32::new(1, 1), 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn histogram_rejects_bad_max() {
+        let _ = histogram(&ImageF32::new(1, 1), 4, 0.0);
+    }
+}

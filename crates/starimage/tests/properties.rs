@@ -1,0 +1,117 @@
+//! Property-based tests of the image substrate.
+
+use proptest::prelude::*;
+use starimage::io::bmp::{read_bmp_gray8, write_bmp_gray8};
+use starimage::io::pgm::{read_pgm, write_pgm8};
+use starimage::{apply_noise, AtomicImage, GrayMap, ImageF32, NoiseModel};
+
+proptest! {
+    /// Atomic accumulation equals sequential accumulation for any deposit
+    /// pattern (the core `atomicAdd` guarantee, single-threaded case is
+    /// order-exact).
+    #[test]
+    fn atomic_matches_sequential(
+        deposits in prop::collection::vec((0usize..256, 0.0f32..10.0), 0..500),
+    ) {
+        let atomic = AtomicImage::new(16, 16);
+        let mut plain = ImageF32::new(16, 16);
+        for &(idx, v) in &deposits {
+            atomic.fetch_add(idx, v);
+            let (x, y) = (idx % 16, idx / 16);
+            plain.add(x, y, v);
+        }
+        prop_assert_eq!(atomic.snapshot(), plain);
+    }
+
+    /// Gray mapping is monotone and saturating for any positive white level
+    /// and gamma.
+    #[test]
+    fn gray_map_monotone(
+        white in 0.01f32..1e6,
+        gamma in 0.2f32..5.0,
+        a in 0.0f32..1e6,
+        b in 0.0f32..1e6,
+    ) {
+        let m = GrayMap::with_gamma(white, gamma);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.to_u8(lo) <= m.to_u8(hi));
+        prop_assert!(m.to_u16(lo) <= m.to_u16(hi));
+        prop_assert_eq!(m.to_u8(white * 2.0), 255);
+        prop_assert_eq!(m.to_u8(0.0), 0);
+    }
+
+    /// BMP round-trips arbitrary gray payloads at arbitrary (small) sizes,
+    /// including widths that need row padding.
+    #[test]
+    fn bmp_roundtrip(w in 1usize..40, h in 1usize..40, seed in 0u64..1000) {
+        let gray: Vec<u8> = (0..w * h).map(|i| ((i as u64 * 31 + seed) % 256) as u8).collect();
+        let mut buf = Vec::new();
+        write_bmp_gray8(&mut buf, w, h, &gray).unwrap();
+        let (rw, rh, back) = read_bmp_gray8(&mut &buf[..]).unwrap();
+        prop_assert_eq!((rw, rh), (w, h));
+        prop_assert_eq!(back, gray);
+    }
+
+    /// PGM round-trips arbitrary images.
+    #[test]
+    fn pgm_roundtrip(w in 1usize..40, h in 1usize..40, white in 1.0f32..100.0) {
+        let data: Vec<f32> = (0..w * h).map(|i| (i % 97) as f32).collect();
+        let img = ImageF32::from_data(w, h, data);
+        let map = GrayMap::linear(white);
+        let mut buf = Vec::new();
+        write_pgm8(&mut buf, &img, map).unwrap();
+        let pgm = read_pgm(&mut &buf[..]).unwrap();
+        prop_assert_eq!((pgm.width, pgm.height), (w, h));
+        let expect: Vec<u16> = img.data().iter().map(|&v| map.to_u8(v) as u16).collect();
+        prop_assert_eq!(pgm.samples, expect);
+    }
+
+    /// The image readers never panic on arbitrary byte soup — malformed
+    /// input is an `Err`, not a crash.
+    #[test]
+    fn readers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = read_bmp_gray8(&mut &bytes[..]);
+        let _ = read_pgm(&mut &bytes[..]);
+    }
+
+    /// The readers also survive corrupted versions of *valid* files.
+    #[test]
+    fn readers_survive_corruption(
+        flip_at in 0usize..500,
+        flip_to in any::<u8>(),
+    ) {
+        let gray: Vec<u8> = (0..64).map(|i| i as u8 * 4).collect();
+        let mut bmp = Vec::new();
+        write_bmp_gray8(&mut bmp, 8, 8, &gray).unwrap();
+        if flip_at < bmp.len() {
+            bmp[flip_at] = flip_to;
+        }
+        let _ = read_bmp_gray8(&mut &bmp[..]); // must not panic
+
+        let img = ImageF32::from_data(8, 8, gray.iter().map(|&g| g as f32).collect());
+        let mut pgm = Vec::new();
+        write_pgm8(&mut pgm, &img, GrayMap::linear(255.0)).unwrap();
+        if flip_at < pgm.len() {
+            pgm[flip_at] = flip_to;
+        }
+        let _ = read_pgm(&mut &pgm[..]); // must not panic
+    }
+
+    /// Noise keeps pixels finite and non-negative and is seed-stable.
+    #[test]
+    fn noise_invariants(
+        level in 0.0f32..100.0,
+        bg in 0.0f32..1.0,
+        shot in 0.0f32..1.0,
+        read in 0.0f32..1.0,
+        seed in 0u64..1000,
+    ) {
+        let model = NoiseModel { background: bg, shot_gain: shot, read_sigma: read };
+        let mut a = ImageF32::from_data(8, 8, vec![level; 64]);
+        apply_noise(&mut a, model, seed);
+        prop_assert!(a.data().iter().all(|v| v.is_finite() && *v >= 0.0));
+        let mut b = ImageF32::from_data(8, 8, vec![level; 64]);
+        apply_noise(&mut b, model, seed);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,65 @@
+//! Simulator selection advisor — the paper's Table III as a tool: for a
+//! grid of workloads, print which simulator the inflection-point rule
+//! recommends, then spot-check the recommendation with head-to-head runs.
+//!
+//! ```text
+//! cargo run --release --example selection_advisor
+//! ```
+
+use starsim::prelude::*;
+
+fn main() {
+    let point = InflectionPoint::default();
+
+    println!("selection map (rows: stars, cols: ROI side) — S=sequential, P=parallel, A=adaptive\n");
+    let roi_sides = [2usize, 6, 10, 14, 20, 28, 32];
+    print!("{:>9}", "stars\\roi");
+    for r in roi_sides {
+        print!("{r:>5}");
+    }
+    println!();
+    for exp in [5u32, 7, 9, 11, 13, 15, 17] {
+        let stars = 1usize << exp;
+        print!("{:>9}", format!("2^{exp}"));
+        for r in roi_sides {
+            let c = match point.choose(stars, r) {
+                Choice::Sequential => 'S',
+                Choice::Parallel => 'P',
+                Choice::Adaptive => 'A',
+            };
+            print!("{c:>5}");
+        }
+        println!();
+    }
+
+    // Spot-check three regimes against live measurements on a reduced
+    // (512²) frame so the example stays fast.
+    println!("\nspot checks (512x512 frame):");
+    let cases = [(1 << 6, 10usize), (1 << 12, 10), (1 << 15, 10)];
+    for (stars, roi) in cases {
+        let catalog = FieldGenerator::new(512, 512).generate(stars, 1);
+        let config = SimConfig::new(512, 512, roi);
+        let seq = SequentialSimulator::new().simulate(&catalog, &config).unwrap();
+        let par = ParallelSimulator::new().simulate(&catalog, &config).unwrap();
+        let ada = AdaptiveSimulator::new().simulate(&catalog, &config).unwrap();
+        let best = [
+            ("sequential", seq.app_time_s),
+            ("parallel", par.app_time_s),
+            ("adaptive", ada.app_time_s),
+        ]
+        .into_iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+        println!(
+            "  {stars:>6} stars, ROI {roi:>2}: advisor={:?}  measured best={} \
+             (seq {:.2} ms, par {:.2} ms, ada {:.2} ms)",
+            point.choose(stars, roi),
+            best.0,
+            seq.app_time_s * 1e3,
+            par.app_time_s * 1e3,
+            ada.app_time_s * 1e3,
+        );
+    }
+    println!("\nnote: the advisor's thresholds come from the paper's 1024x1024 benchmarks;");
+    println!("on other frame sizes the sequential/GPU boundary shifts with the host CPU.");
+}

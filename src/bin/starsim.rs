@@ -1,0 +1,279 @@
+//! `starsim` — command-line star image renderer.
+//!
+//! ```text
+//! starsim render   --stars FILE|--random N  [--out image.bmp] [options]
+//! starsim generate --count N --width W --height H [--seed S] > stars.txt
+//! starsim info     --stars FILE [options]
+//! ```
+//!
+//! `render` reads a star catalogue (the paper's `magnitude x y` text
+//! format), simulates it with the requested (or auto-selected) simulator,
+//! and writes a BMP or PGM image plus a timing report. `generate` emits a
+//! random benchmark field. `info` prints catalogue statistics and the
+//! simulator the selection table recommends.
+
+use std::io::Write as _;
+use std::process::exit;
+
+use starsim::image::io::bmp::write_bmp;
+use starsim::image::io::pgm::{write_pgm16, write_pgm8};
+use starsim::image::stats;
+use starsim::prelude::*;
+use starsim::sim::contention;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage("missing command");
+    };
+    let opts = Options::parse(&args[1..]);
+    match command.as_str() {
+        "render" => render(opts),
+        "generate" => generate(opts),
+        "info" => info(opts),
+        "validate" => validate_cmd(opts),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+/// Parsed command-line options with defaults.
+struct Options {
+    stars_file: Option<String>,
+    random: Option<usize>,
+    out: String,
+    width: usize,
+    height: usize,
+    roi: usize,
+    sigma: f32,
+    simulator: String,
+    seed: u64,
+    count: usize,
+    gamma: f32,
+    profile: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Options {
+        let mut o = Options {
+            stars_file: None,
+            random: None,
+            out: "starsim.bmp".into(),
+            width: 1024,
+            height: 1024,
+            roi: 10,
+            sigma: 2.0,
+            simulator: "auto".into(),
+            seed: 42,
+            count: 2252,
+            gamma: 2.2,
+            profile: false,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next().cloned().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+            };
+            match a.as_str() {
+                "--stars" => o.stars_file = Some(value("--stars")),
+                "--random" => o.random = Some(parse_num(&value("--random"), "--random")),
+                "--out" => o.out = value("--out"),
+                "--width" => o.width = parse_num(&value("--width"), "--width"),
+                "--height" => o.height = parse_num(&value("--height"), "--height"),
+                "--roi" => o.roi = parse_num(&value("--roi"), "--roi"),
+                "--sigma" => o.sigma = parse_float(&value("--sigma"), "--sigma"),
+                "--simulator" => o.simulator = value("--simulator"),
+                "--seed" => o.seed = parse_num(&value("--seed"), "--seed") as u64,
+                "--count" => o.count = parse_num(&value("--count"), "--count"),
+                "--gamma" => o.gamma = parse_float(&value("--gamma"), "--gamma"),
+                "--profile" => o.profile = true,
+                other => usage(&format!("unknown option `{other}`")),
+            }
+        }
+        o
+    }
+
+    fn load_catalog(&self) -> StarCatalog {
+        if let Some(path) = &self.stars_file {
+            let file = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot open {path}: {e}");
+                exit(1);
+            });
+            StarCatalog::read_text(file).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1);
+            })
+        } else if let Some(n) = self.random {
+            FieldGenerator::new(self.width, self.height).generate(n, self.seed)
+        } else {
+            usage("render/info need --stars FILE or --random N");
+        }
+    }
+
+    fn config(&self) -> SimConfig {
+        let mut c = SimConfig::new(self.width, self.height, self.roi);
+        c.sigma = self.sigma;
+        c
+    }
+}
+
+fn parse_num(s: &str, what: &str) -> usize {
+    s.parse().unwrap_or_else(|_| usage(&format!("bad {what}: `{s}`")))
+}
+
+fn parse_float(s: &str, what: &str) -> f32 {
+    s.parse().unwrap_or_else(|_| usage(&format!("bad {what}: `{s}`")))
+}
+
+fn render(opts: Options) {
+    let catalog = opts.load_catalog();
+    let config = opts.config();
+    if let Err(e) = config.validate() {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+
+    let choice = match opts.simulator.as_str() {
+        "sequential" => Choice::Sequential,
+        "parallel" => Choice::Parallel,
+        "adaptive" => Choice::Adaptive,
+        "auto" => InflectionPoint::default().choose(catalog.len(), config.roi_side),
+        other => usage(&format!(
+            "unknown simulator `{other}` (sequential|parallel|adaptive|auto)"
+        )),
+    };
+    let result = match choice {
+        Choice::Sequential => SequentialSimulator::new().simulate(&catalog, &config),
+        Choice::Parallel => ParallelSimulator::new().simulate(&catalog, &config),
+        Choice::Adaptive => AdaptiveSimulator::new().simulate(&catalog, &config),
+    };
+    let report = result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1);
+    });
+
+    eprintln!(
+        "{}: {} stars, {}x{} image, ROI {} — app {:.3} ms (kernel {:.3} ms)",
+        report.simulator,
+        report.stars,
+        config.width,
+        config.height,
+        config.roi_side,
+        report.app_time_s * 1e3,
+        report.kernel_time_s() * 1e3,
+    );
+    if opts.profile {
+        for k in &report.profile.kernels {
+            eprintln!("{}", k.describe());
+        }
+        for o in &report.profile.overheads {
+            eprintln!("  overhead `{}`: {:.3} ms", o.label, o.time_s * 1e3);
+        }
+    }
+
+    let s = stats(&report.image);
+    let map = GrayMap::with_gamma(if s.max > 0.0 { s.max } else { 1.0 }, opts.gamma);
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&opts.out).unwrap_or_else(|e| {
+        eprintln!("error: cannot create {}: {e}", opts.out);
+        exit(1);
+    }));
+    let write_result = if opts.out.ends_with(".pgm") {
+        write_pgm16(&mut file, &report.image, map)
+    } else if opts.out.ends_with(".pgm8") {
+        write_pgm8(&mut file, &report.image, map)
+    } else {
+        write_bmp(&mut file, &report.image, map)
+    };
+    if let Err(e) = write_result.and_then(|_| file.flush()) {
+        eprintln!("error writing {}: {e}", opts.out);
+        exit(1);
+    }
+    eprintln!("wrote {}", opts.out);
+}
+
+fn generate(opts: Options) {
+    let catalog = FieldGenerator::new(opts.width, opts.height).generate(opts.count, opts.seed);
+    let stdout = std::io::stdout();
+    if let Err(e) = catalog.write_text(stdout.lock()) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn info(opts: Options) {
+    let catalog = opts.load_catalog();
+    let config = opts.config();
+    let in_frame = catalog
+        .stars()
+        .iter()
+        .filter(|s| s.in_image(config.width, config.height))
+        .count();
+    let brightest = catalog
+        .stars()
+        .iter()
+        .map(|s| s.mag.value())
+        .fold(f32::INFINITY, f32::min);
+    let dimmest = catalog
+        .stars()
+        .iter()
+        .map(|s| s.mag.value())
+        .fold(f32::NEG_INFINITY, f32::max);
+    let overlap = contention::analyze(&catalog, &config);
+    let choice = InflectionPoint::default().choose(catalog.len(), config.roi_side);
+
+    println!("stars:            {}", catalog.len());
+    println!("inside frame:     {in_frame}");
+    if !catalog.is_empty() {
+        println!("magnitude range:  {brightest:.2} .. {dimmest:.2}");
+    }
+    println!(
+        "ROI overlap:      {:.1}% of deposits contended (max multiplicity {})",
+        overlap.contention_rate() * 100.0,
+        overlap.max_multiplicity
+    );
+    println!("recommended:      {choice:?} simulator (ROI {})", config.roi_side);
+}
+
+fn validate_cmd(opts: Options) {
+    use starsim::sim::validate::validate;
+    let catalog = opts.load_catalog();
+    let config = opts.config();
+    if let Err(e) = config.validate() {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+    let mut failed = false;
+    let par = validate(&ParallelSimulator::new(), &catalog, &config);
+    let ada = validate(&AdaptiveSimulator::new(), &catalog, &config);
+    for result in [par, ada] {
+        match result {
+            Ok(v) => {
+                println!("{}", v.summary());
+                failed |= !v.passed;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "starsim — star image simulator (intensity model with Gauss blur)\n\n\
+         usage:\n  starsim render   (--stars FILE | --random N) [--out img.bmp|img.pgm]\n\
+         \x20                  [--width W] [--height H] [--roi SIDE] [--sigma S]\n\
+         \x20                  [--simulator auto|sequential|parallel|adaptive] [--gamma G]\n\
+         \x20 starsim generate --count N [--width W] [--height H] [--seed S]   (stdout)\n\
+         \x20 starsim info     (--stars FILE | --random N) [--roi SIDE]\n\
+         \x20 starsim validate (--stars FILE | --random N) [--roi SIDE]"
+    );
+    exit(if error.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,62 @@
+//! # starsim — high-performance star image simulation
+//!
+//! A Rust reproduction of Li, Zhang, Zheng & Hu, *Implementing
+//! High-performance Intensity Model with Blur Effect on GPUs for
+//! Large-scale Star Image Simulation* (IPDPS Workshops 2012).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`field`] — star catalogues, magnitudes, synthetic field generation,
+//!   attitude + field-of-view projection ([`starfield`]);
+//! * [`psf`] — the Gaussian blur model, ROIs, intensity lookup tables;
+//! * [`image`] — gray-value buffers, atomic accumulation, BMP/PGM IO,
+//!   centroiding ([`starimage`]);
+//! * [`gpu`] — the virtual CUDA-class GPU with its analytical Fermi timing
+//!   model ([`gpusim`]);
+//! * [`sim`] — the three simulators of the paper plus selection logic and
+//!   the multi-GPU extension ([`starsim_core`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use starsim::prelude::*;
+//!
+//! // A random 1024×1024 star field (the paper's Fig. 2 scenario).
+//! let catalog = FieldGenerator::new(256, 256).generate(140, 42);
+//! let config = SimConfig::new(256, 256, 10);
+//!
+//! // Render with the star-centric GPU simulator and the CPU baseline.
+//! let gpu_report = ParallelSimulator::new().simulate(&catalog, &config).unwrap();
+//! let cpu_report = SequentialSimulator::new().simulate(&catalog, &config).unwrap();
+//!
+//! // The images agree (up to atomic accumulation order).
+//! assert!(starsim::image::images_close(
+//!     &gpu_report.image,
+//!     &cpu_report.image,
+//!     1e-5,
+//!     1e-4,
+//! ));
+//! ```
+
+pub use gpusim as gpu;
+pub use starfield as field;
+pub use starimage as image;
+pub use starsim_core as sim;
+
+/// The PSF substrate crate (re-exported under its library name `psf`).
+pub use psf;
+
+/// Everything most applications need, in one import.
+pub mod prelude {
+    pub use gpusim::{DeviceSpec, VirtualGpu};
+    pub use psf::{GaussianPsf, IntensityModel, LookupTable, Roi};
+    pub use starfield::{
+        Attitude, Camera, FieldGenerator, MagnitudeModel, PositionModel, SkyCatalog, Star,
+        StarCatalog,
+    };
+    pub use starimage::{detect_stars, CentroidParams, GrayMap, ImageF32};
+    pub use starsim_core::{
+        AdaptiveSimulator, Choice, InflectionPoint, MultiGpuSimulator, ParallelSimulator,
+        PixelCentricSimulator, SequentialSimulator, SimConfig, SimulationReport, Simulator,
+    };
+}

@@ -1,0 +1,110 @@
+//! End-to-end tests of the `starsim` command-line tool.
+
+use std::process::Command;
+
+fn starsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_starsim"))
+}
+
+#[test]
+fn generate_info_render_pipeline() {
+    let dir = std::env::temp_dir().join("starsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stars = dir.join("stars.txt");
+    let image = dir.join("out.bmp");
+
+    // generate → a parseable catalogue on stdout.
+    let out = starsim()
+        .args(["generate", "--count", "200", "--width", "256", "--height", "256"])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    std::fs::write(&stars, &out.stdout).unwrap();
+    let cat = starsim::field::StarCatalog::read_text(&out.stdout[..]).unwrap();
+    assert_eq!(cat.len(), 200);
+
+    // info → statistics and a recommendation.
+    let out = starsim()
+        .args(["info", "--stars", stars.to_str().unwrap(), "--width", "256", "--height", "256"])
+        .output()
+        .expect("run info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stars:            200"));
+    assert!(text.contains("recommended:"));
+
+    // render → a valid BMP.
+    let out = starsim()
+        .args([
+            "render",
+            "--stars",
+            stars.to_str().unwrap(),
+            "--width",
+            "256",
+            "--height",
+            "256",
+            "--out",
+            image.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run render");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&image).unwrap();
+    let (w, h, gray) =
+        starsim::image::io::bmp::read_bmp_gray8(&mut &bytes[..]).expect("valid BMP");
+    assert_eq!((w, h), (256, 256));
+    assert!(gray.iter().any(|&g| g > 0), "image must not be black");
+}
+
+#[test]
+fn render_random_with_explicit_simulator_and_pgm() {
+    let dir = std::env::temp_dir().join("starsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let image = dir.join("random.pgm");
+    let out = starsim()
+        .args([
+            "render",
+            "--random",
+            "300",
+            "--width",
+            "256",
+            "--height",
+            "256",
+            "--simulator",
+            "adaptive",
+            "--out",
+            image.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run render");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("adaptive:"), "stderr: {stderr}");
+    let bytes = std::fs::read(&image).unwrap();
+    let pgm = starsim::image::io::pgm::read_pgm(&mut &bytes[..]).expect("valid PGM");
+    assert_eq!((pgm.width, pgm.height, pgm.maxval), (256, 256, 65535));
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown command.
+    let out = starsim().args(["explode"]).output().unwrap();
+    assert!(!out.status.success());
+    // render without a source.
+    let out = starsim().args(["render"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--stars FILE or --random"));
+    // Unknown simulator.
+    let out = starsim()
+        .args(["render", "--random", "10", "--simulator", "warp-drive"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // ROI over the device limit surfaces the GPU error.
+    let out = starsim()
+        .args(["render", "--random", "10", "--roi", "40", "--simulator", "parallel"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exceeds device limit"));
+}

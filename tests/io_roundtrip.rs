@@ -1,0 +1,70 @@
+//! IO round trips across crates: simulate → encode → decode → compare, and
+//! catalogue text round trips through the simulators.
+
+use starsim::image::io::bmp::{read_bmp_gray8, write_bmp};
+use starsim::image::io::pgm::{read_pgm, write_pgm16, write_pgm8};
+use starsim::image::{to_gray16, to_gray8};
+use starsim::prelude::*;
+
+fn render() -> (SimulationReport, GrayMap) {
+    let cat = FieldGenerator::new(96, 96).generate(60, 31);
+    let cfg = SimConfig::new(96, 96, 10);
+    let report = SequentialSimulator::new().simulate(&cat, &cfg).unwrap();
+    let map = GrayMap::auto(&report.image);
+    (report, map)
+}
+
+#[test]
+fn bmp_roundtrip_preserves_gray_levels() {
+    let (report, map) = render();
+    let mut buf = Vec::new();
+    write_bmp(&mut buf, &report.image, map).unwrap();
+    let (w, h, gray) = read_bmp_gray8(&mut &buf[..]).unwrap();
+    assert_eq!((w, h), (96, 96));
+    assert_eq!(gray, to_gray8(&report.image, map));
+    // The star image is not black: some pixel saturates to 255.
+    assert!(gray.contains(&255));
+}
+
+#[test]
+fn pgm8_roundtrip_preserves_gray_levels() {
+    let (report, map) = render();
+    let mut buf = Vec::new();
+    write_pgm8(&mut buf, &report.image, map).unwrap();
+    let pgm = read_pgm(&mut &buf[..]).unwrap();
+    assert_eq!((pgm.width, pgm.height, pgm.maxval), (96, 96, 255));
+    let expect: Vec<u16> = to_gray8(&report.image, map).iter().map(|&v| v as u16).collect();
+    assert_eq!(pgm.samples, expect);
+}
+
+#[test]
+fn pgm16_roundtrip_preserves_depth() {
+    let (report, map) = render();
+    let mut buf = Vec::new();
+    write_pgm16(&mut buf, &report.image, map).unwrap();
+    let pgm = read_pgm(&mut &buf[..]).unwrap();
+    assert_eq!(pgm.maxval, 65535);
+    assert_eq!(pgm.samples, to_gray16(&report.image, map));
+    // 16-bit must resolve faint PSF wings that 8-bit crushes to zero.
+    let gray8 = to_gray8(&report.image, map);
+    let crushed = gray8
+        .iter()
+        .zip(&pgm.samples)
+        .filter(|&(&g8, &g16)| g8 == 0 && g16 > 0)
+        .count();
+    assert!(crushed > 0, "expected 16-bit to resolve sub-8-bit wings");
+}
+
+#[test]
+fn catalog_text_roundtrip_renders_identically() {
+    let cat = FieldGenerator::new(96, 96).generate(80, 37);
+    let mut text = Vec::new();
+    cat.write_text(&mut text).unwrap();
+    let back = StarCatalog::read_text(&text[..]).unwrap();
+    assert_eq!(back, cat);
+
+    let cfg = SimConfig::new(96, 96, 10);
+    let a = SequentialSimulator::new().simulate(&cat, &cfg).unwrap();
+    let b = SequentialSimulator::new().simulate(&back, &cfg).unwrap();
+    assert_eq!(a.image, b.image, "round-tripped catalogue must render identically");
+}

@@ -1,0 +1,137 @@
+//! Regression tests pinning the paper-shape claims of EXPERIMENTS.md:
+//! the quantitative relationships the reproduction stands on, with
+//! deliberately generous tolerances so they fail only when the model's
+//! *structure* drifts, not on noise.
+
+use starsim::field::workload;
+use starsim::prelude::*;
+
+fn run_gpu(stars_exp: u32, roi: usize) -> (SimulationReport, SimulationReport) {
+    let catalog = workload::test1(stars_exp, 2012).catalog;
+    let cfg = SimConfig::new(1024, 1024, roi);
+    let par = ParallelSimulator::new().simulate(&catalog, &cfg).unwrap();
+    let ada = AdaptiveSimulator::new().simulate(&catalog, &cfg).unwrap();
+    (par, ada)
+}
+
+#[test]
+fn table1_transmission_band_matches_paper() {
+    // Paper Table I: CPU-GPU transmission 2.43–3.01 ms across test 1.
+    let (_, ada_small) = run_gpu(5, 10);
+    let (_, ada_big) = run_gpu(14, 10);
+    for (label, r) in [("2^5", &ada_small), ("2^14", &ada_big)] {
+        let t = r.profile.overhead_named("CPU-GPU transmission");
+        assert!(
+            (2.3e-3..=3.2e-3).contains(&t),
+            "{label}: transmission {t}s outside the paper's Table I band"
+        );
+    }
+    // And it grows with the star count (the star-array upload).
+    assert!(
+        ada_big.profile.overhead_named("CPU-GPU transmission")
+            > ada_small.profile.overhead_named("CPU-GPU transmission")
+    );
+}
+
+#[test]
+fn table1_binding_and_build_are_flat_and_paper_scale() {
+    let (_, a) = run_gpu(5, 10);
+    let (_, b) = run_gpu(13, 10);
+    let bind_a = a.profile.overhead_named("texture memory binding");
+    let bind_b = b.profile.overhead_named("texture memory binding");
+    assert_eq!(bind_a, bind_b, "binding cost must not depend on stars");
+    assert!((bind_a - 0.21e-3).abs() < 0.05e-3, "paper: ≈0.21 ms");
+    let build_a = a.profile.overhead_named("lookup table build");
+    let build_b = b.profile.overhead_named("lookup table build");
+    assert_eq!(build_a, build_b, "build cost must not depend on stars");
+    assert!(
+        (0.05e-3..=1.0e-3).contains(&build_a),
+        "build {build_a}s should be paper-order (≈0.1–1 ms)"
+    );
+}
+
+#[test]
+fn kernel_time_ratio_grows_past_the_inflection() {
+    // Fig 11: the parallel kernel outgrows the adaptive one.
+    let (par, ada) = run_gpu(14, 10);
+    let ratio = par.kernel_time_s() / ada.kernel_time_s();
+    assert!(
+        ratio > 2.0,
+        "parallel/adaptive kernel ratio at 2^14 was only {ratio:.2}"
+    );
+}
+
+#[test]
+fn non_kernel_share_falls_with_scale() {
+    // Fig 16's direction: the non-kernel percentage falls as work grows.
+    let (par_small, _) = run_gpu(8, 10);
+    let (par_big, _) = run_gpu(14, 10);
+    let pct = |r: &SimulationReport| r.non_kernel_time_s() / r.app_time_s;
+    assert!(
+        pct(&par_big) < pct(&par_small),
+        "non-kernel share must fall: {:.3} !< {:.3}",
+        pct(&par_big),
+        pct(&par_small)
+    );
+    // At small scale non-kernel dominates (paper: >90%).
+    assert!(pct(&par_small) > 0.8);
+}
+
+#[test]
+fn gpu_kernels_scale_linearly_in_stars() {
+    // Doubling stars ≈ doubles kernel work (modeled, so noise-free).
+    let overhead = starsim::gpu::CostModel::fermi().launch_overhead_s;
+    let (par_a, ada_a) = run_gpu(12, 10);
+    let (par_b, ada_b) = run_gpu(13, 10);
+    for (label, a, b) in [
+        ("parallel", &par_a, &par_b),
+        ("adaptive", &ada_a, &ada_b),
+    ] {
+        let ratio = (b.kernel_time_s() - overhead) / (a.kernel_time_s() - overhead);
+        assert!(
+            (1.7..2.3).contains(&ratio),
+            "{label}: 2x-star kernel ratio was {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn reference_speedups_reach_paper_order() {
+    // Paper: speedups of order 10²  at the top of test 1.
+    let (par, ada) = run_gpu(15, 10);
+    // Reference sequential: 145 ns per ROI pixel (see bench::experiments).
+    let seq_ref = (1usize << 15) as f64 * (100.0 * 145.0 + 50.0) * 1e-9;
+    let sp_par = seq_ref / par.app_time_s;
+    let sp_ada = seq_ref / ada.app_time_s;
+    assert!(sp_par > 50.0, "parallel reference speedup {sp_par:.0}x");
+    assert!(sp_ada > sp_par, "adaptive must lead past the inflection");
+}
+
+#[test]
+fn gflops_are_paper_order_and_kernels_comparable() {
+    // Paper Table II: both kernels within ~2% of each other at ~95 GFLOPS.
+    // Our accounting lands both in the tens with the parallel one ahead.
+    let (par, ada) = run_gpu(14, 10);
+    let (gp, ga) = (par.gflops(), ada.gflops());
+    assert!((5.0..200.0).contains(&gp), "parallel {gp:.1} GFLOPS");
+    assert!((5.0..200.0).contains(&ga), "adaptive {ga:.1} GFLOPS");
+    assert!(
+        ga < gp * 1.5 && gp < ga * 3.0,
+        "kernels should be comparable: {gp:.1} vs {ga:.1}"
+    );
+}
+
+#[test]
+fn adaptive_kernel_replaces_arithmetic_with_fetches() {
+    // The §III-C mechanism itself: SFU work leaves the kernel; texture
+    // fetches appear; both kernels issue the same atomics.
+    let (par, ada) = run_gpu(11, 10);
+    let cp = &par.profile.kernels[0].counters;
+    let ca = &ada.profile.kernels[0].counters;
+    assert!(cp.flops_special > 0);
+    assert_eq!(ca.flops_special, 0);
+    assert_eq!(cp.tex_fetches, 0);
+    assert!(ca.tex_fetches > 0);
+    assert_eq!(cp.atomic_requests, ca.atomic_requests);
+    assert_eq!(cp.barriers, ca.barriers);
+}

@@ -1,0 +1,101 @@
+//! Streaked-frame analysis across crates: render slew-smeared stars with
+//! the extension PSF and recover the streak geometry with blob labeling —
+//! what an attitude system does to *measure* its own slew rate from a
+//! blurred frame (the paper's reference [9] use case).
+
+use starsim::image::label_blobs;
+use starsim::prelude::*;
+use starsim::sim::PsfKind;
+
+#[test]
+fn streak_orientation_and_elongation_recovered() {
+    let angle = 35.0f32.to_radians();
+    let length = 8.0f32;
+    let stars = StarCatalog::from_stars(vec![
+        Star::new(40.0, 40.0, 2.0),
+        Star::new(100.0, 60.0, 3.0),
+        Star::new(60.0, 110.0, 2.5),
+    ]);
+    let mut cfg = SimConfig::new(160, 160, 20);
+    cfg.sigma = 1.2;
+    cfg.psf = PsfKind::Smeared { length, angle };
+    let report = SequentialSimulator::new().simulate(&stars, &cfg).unwrap();
+
+    let blobs = label_blobs(&report.image, 1e-3, 5);
+    assert_eq!(blobs.len(), 3, "each streak is one blob");
+    for b in &blobs {
+        assert!(
+            b.elongation() > 1.8,
+            "streaked star should be elongated, got {}",
+            b.elongation()
+        );
+        let da = (b.orientation - angle).abs();
+        assert!(
+            da < 0.1,
+            "blob orientation {:.3} vs slew angle {angle:.3}",
+            b.orientation
+        );
+    }
+}
+
+#[test]
+fn static_stars_are_round_blobs() {
+    let stars = StarCatalog::from_stars(vec![Star::new(64.0, 64.0, 2.0)]);
+    let cfg = SimConfig::new(128, 128, 14);
+    let report = SequentialSimulator::new().simulate(&stars, &cfg).unwrap();
+    let blobs = label_blobs(&report.image, 1e-3, 5);
+    assert_eq!(blobs.len(), 1);
+    assert!(
+        blobs[0].elongation() < 1.2,
+        "static star should be round, got {}",
+        blobs[0].elongation()
+    );
+}
+
+#[test]
+fn blob_centroid_matches_detect_stars_for_static_fields() {
+    // Two extraction paths agree on round stars.
+    let stars = StarCatalog::from_stars(vec![
+        Star::new(30.0, 30.0, 2.0),
+        Star::new(90.0, 80.0, 3.0),
+    ]);
+    let cfg = SimConfig::new(128, 128, 12);
+    let report = ParallelSimulator::new().simulate(&stars, &cfg).unwrap();
+    let blobs = label_blobs(&report.image, 1e-3, 5);
+    let dets = detect_stars(&report.image, CentroidParams::default());
+    assert_eq!(blobs.len(), 2);
+    assert_eq!(dets.len(), 2);
+    for b in &blobs {
+        let nearest = dets
+            .iter()
+            .map(|d| ((d.x - b.cx).powi(2) + (d.y - b.cy).powi(2)).sqrt())
+            .fold(f32::INFINITY, f32::min);
+        assert!(nearest < 0.2, "blob and centroid disagree by {nearest}");
+    }
+}
+
+#[test]
+fn streak_length_grows_with_slew_rate() {
+    let measure = |length: f32| {
+        let stars = StarCatalog::from_stars(vec![Star::new(64.0, 64.0, 2.0)]);
+        let mut cfg = SimConfig::new(128, 128, 24);
+        cfg.sigma = 1.2;
+        cfg.psf = if length > 0.0 {
+            PsfKind::Smeared { length, angle: 0.0 }
+        } else {
+            PsfKind::Point
+        };
+        let report = SequentialSimulator::new().simulate(&stars, &cfg).unwrap();
+        label_blobs(&report.image, 1e-3, 5)[0].major_axis
+    };
+    let a0 = measure(0.0);
+    let a5 = measure(5.0);
+    let a10 = measure(10.0);
+    assert!(a5 > a0 && a10 > a5, "major axis must grow: {a0} {a5} {a10}");
+    // The box of length L adds variance L²/12: 2σ grows accordingly.
+    let predicted = 2.0 * ((a0 / 2.0).powi(2) + 100.0f32 / 12.0).sqrt();
+    assert!(
+        (a10 - predicted).abs() / predicted < 0.15,
+        "major axis {a10} vs predicted {predicted}"
+    );
+}
