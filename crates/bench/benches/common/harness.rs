@@ -1,0 +1,22 @@
+// Minimal wall-clock micro-benchmark harness shared by the bench targets
+// (no Criterion: the workspace builds with no registry access).
+//
+// Each target `include!`s this file. Timing: one warm-up call, then
+// batches of iterations until ~0.2 s or 50 iterations have elapsed;
+// reports the mean per-iteration time.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+#[allow(dead_code)]
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f()); // warm-up
+    let mut iters = 0u32;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < 0.2 && iters < 50 {
+        black_box(f());
+        iters += 1;
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.3} µs/iter  ({iters} iters)", per_iter * 1e6);
+}

@@ -1,63 +1,50 @@
-//! Criterion microbenches of the virtual-GPU kernel path: star-centric vs
-//! adaptive kernel execution, and the lookup-table build.
+//! Microbenches of the virtual-GPU kernel path: star-centric vs adaptive
+//! kernel execution, and the lookup-table build.
 //!
 //! These measure *host wall time* of the functional simulation (how fast
 //! the virtual GPU itself runs), complementing the harness's modeled GPU
 //! times.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+include!("common/harness.rs");
+
 use starfield::FieldGenerator;
 use starsim_core::{AdaptiveSimulator, ParallelSimulator, SimConfig, Simulator};
 
-fn bench_star_centric_kernel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("star_centric_kernel");
-    group.sample_size(10);
+fn bench_star_centric_kernel() {
     for &stars in &[256usize, 1024, 4096] {
         let catalog = FieldGenerator::new(512, 512).generate(stars, 1);
         let config = SimConfig::new(512, 512, 10);
         let sim = ParallelSimulator::new();
-        group.bench_with_input(BenchmarkId::from_parameter(stars), &stars, |b, _| {
-            b.iter(|| sim.simulate(&catalog, &config).unwrap());
+        bench(&format!("star_centric_kernel/{stars}"), || {
+            sim.simulate(&catalog, &config).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_adaptive_kernel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adaptive_kernel");
-    group.sample_size(10);
+fn bench_adaptive_kernel() {
     for &stars in &[256usize, 1024, 4096] {
         let catalog = FieldGenerator::new(512, 512).generate(stars, 1);
         let config = SimConfig::new(512, 512, 10);
         let sim = AdaptiveSimulator::new();
-        group.bench_with_input(BenchmarkId::from_parameter(stars), &stars, |b, _| {
-            b.iter(|| sim.simulate(&catalog, &config).unwrap());
+        bench(&format!("adaptive_kernel/{stars}"), || {
+            sim.simulate(&catalog, &config).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_lut_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lut_build");
+fn bench_lut_build() {
     for &(bins, roi) in &[(128usize, 10usize), (512, 10), (128, 32)] {
         let mut config = SimConfig::new(64, 64, roi);
         config.lut_mag_bins = bins;
         let sim = AdaptiveSimulator::new();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{bins}bins_roi{roi}")),
-            &bins,
-            |b, _| {
-                b.iter(|| sim.build_lut(&config).unwrap());
-            },
-        );
+        bench(&format!("lut_build/{bins}bins_roi{roi}"), || {
+            sim.build_lut(&config).unwrap()
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_star_centric_kernel,
-    bench_adaptive_kernel,
-    bench_lut_build
-);
-criterion_main!(benches);
+fn main() {
+    bench_star_centric_kernel();
+    bench_adaptive_kernel();
+    bench_lut_build();
+}

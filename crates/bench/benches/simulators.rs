@@ -1,69 +1,59 @@
-//! Criterion end-to-end comparison of the three simulators on one
-//! mid-scale workload — the wall-time analogue of paper Fig. 9's middle.
+//! End-to-end comparison of the three simulators on one mid-scale
+//! workload — the wall-time analogue of paper Fig. 9's middle.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+include!("common/harness.rs");
+
 use starfield::FieldGenerator;
 use starsim_core::{
     AdaptiveSession, AdaptiveSimulator, ParallelSimulator, PixelCentricSimulator,
     SequentialSimulator, SimConfig, Simulator,
 };
 
-fn bench_three_simulators(c: &mut Criterion) {
+fn bench_three_simulators() {
     let catalog = FieldGenerator::new(512, 512).generate(2048, 3);
     let config = SimConfig::new(512, 512, 10);
 
-    let mut group = c.benchmark_group("simulators_2048stars_512px");
-    group.sample_size(10);
-    group.bench_function("sequential", |b| {
-        let sim = SequentialSimulator::new();
-        b.iter(|| sim.simulate(&catalog, &config).unwrap());
+    let seq = SequentialSimulator::new();
+    bench("simulators_2048stars_512px/sequential", || {
+        seq.simulate(&catalog, &config).unwrap()
     });
-    group.bench_function("parallel", |b| {
-        let sim = ParallelSimulator::new();
-        b.iter(|| sim.simulate(&catalog, &config).unwrap());
+    let par = ParallelSimulator::new();
+    bench("simulators_2048stars_512px/parallel", || {
+        par.simulate(&catalog, &config).unwrap()
     });
-    group.bench_function("adaptive", |b| {
-        let sim = AdaptiveSimulator::new();
-        b.iter(|| sim.simulate(&catalog, &config).unwrap());
+    let ada = AdaptiveSimulator::new();
+    bench("simulators_2048stars_512px/adaptive", || {
+        ada.simulate(&catalog, &config).unwrap()
     });
-    group.finish();
 }
 
-fn bench_pixel_centric_ablation(c: &mut Criterion) {
+fn bench_pixel_centric_ablation() {
     // Small frame: the rejected design is O(pixels × stars).
     let catalog = FieldGenerator::new(128, 128).generate(256, 5);
     let config = SimConfig::new(128, 128, 10);
 
-    let mut group = c.benchmark_group("decomposition_ablation");
-    group.sample_size(10);
-    group.bench_function("star_centric", |b| {
-        let sim = ParallelSimulator::new();
-        b.iter(|| sim.simulate(&catalog, &config).unwrap());
+    let star = ParallelSimulator::new();
+    bench("decomposition_ablation/star_centric", || {
+        star.simulate(&catalog, &config).unwrap()
     });
-    group.bench_function("pixel_centric", |b| {
-        let sim = PixelCentricSimulator::new();
-        b.iter(|| sim.simulate(&catalog, &config).unwrap());
+    let pixel = PixelCentricSimulator::new();
+    bench("decomposition_ablation/pixel_centric", || {
+        pixel.simulate(&catalog, &config).unwrap()
     });
-    group.finish();
 }
 
-fn bench_session_frames(c: &mut Criterion) {
+fn bench_session_frames() {
     // Per-frame cost of the persistent adaptive session (setup excluded).
     let catalog = FieldGenerator::new(512, 512).generate(2048, 3);
     let config = SimConfig::new(512, 512, 10);
     let session = AdaptiveSession::new(config).unwrap();
-    let mut group = c.benchmark_group("session");
-    group.sample_size(10);
-    group.bench_function("adaptive_session_frame", |b| {
-        b.iter(|| session.render(&catalog).unwrap());
+    bench("session/adaptive_session_frame", || {
+        session.render(&catalog).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_three_simulators,
-    bench_pixel_centric_ablation,
-    bench_session_frames
-);
-criterion_main!(benches);
+fn main() {
+    bench_three_simulators();
+    bench_pixel_centric_ablation();
+    bench_session_frames();
+}

@@ -1,8 +1,9 @@
-//! Criterion microbenches of the hot substrate paths: atomic image
-//! accumulation, PSF evaluation, coalescing analysis, the texture cache,
-//! and image encoding.
+//! Microbenches of the hot substrate paths: atomic image accumulation,
+//! PSF evaluation, coalescing analysis, the texture cache, and image
+//! encoding.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+include!("common/harness.rs");
+
 use gpusim::memory::cache::CacheSim;
 use gpusim::warp::{bank_conflict_extra, coalesce_transactions};
 use psf::{GaussianPsf, IntegratedGaussianPsf, MoffatPsf, SmearedGaussianPsf};
@@ -10,114 +11,100 @@ use starfield::{triad, Attitude, Observation, SkyStar};
 use starimage::io::bmp::write_bmp_gray8;
 use starimage::{apply_noise, label_blobs, AtomicImage, ImageF32, NoiseModel};
 
-fn bench_atomic_image(c: &mut Criterion) {
+fn bench_atomic_image() {
     let img = AtomicImage::new(1024, 1024);
-    c.bench_function("atomic_image_fetch_add_1k", |b| {
-        b.iter(|| {
-            for i in 0..1000usize {
-                img.fetch_add(black_box(i * 1049 % (1024 * 1024)), 0.5);
-            }
-        });
+    bench("atomic_image_fetch_add_1k", || {
+        for i in 0..1000usize {
+            img.fetch_add(black_box(i * 1049 % (1024 * 1024)), 0.5);
+        }
     });
 }
 
-fn bench_psf_eval(c: &mut Criterion) {
+fn bench_psf_eval() {
     let point = GaussianPsf::new(2.0);
     let integ = IntegratedGaussianPsf::new(2.0);
-    c.bench_function("psf_point_eval_100", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for j in 0..10 {
-                for i in 0..10 {
-                    acc += point.eval(i as f32, j as f32, 4.5, 4.5);
-                }
+    bench("psf_point_eval_100", || {
+        let mut acc = 0.0f32;
+        for j in 0..10 {
+            for i in 0..10 {
+                acc += point.eval(i as f32, j as f32, 4.5, 4.5);
             }
-            black_box(acc)
-        });
+        }
+        acc
     });
-    c.bench_function("psf_integrated_eval_100", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for j in 0..10 {
-                for i in 0..10 {
-                    acc += integ.eval(i as f32, j as f32, 4.5, 4.5);
-                }
+    bench("psf_integrated_eval_100", || {
+        let mut acc = 0.0f32;
+        for j in 0..10 {
+            for i in 0..10 {
+                acc += integ.eval(i as f32, j as f32, 4.5, 4.5);
             }
-            black_box(acc)
-        });
+        }
+        acc
     });
 }
 
-fn bench_warp_analysis(c: &mut Criterion) {
+fn bench_warp_analysis() {
     let coalesced: Vec<(u64, u16)> = (0..32).map(|i| (i * 4, 4)).collect();
     let scattered: Vec<(u64, u16)> = (0..32).map(|i| (i * 4096, 4)).collect();
-    c.bench_function("coalesce_coalesced_warp", |b| {
-        b.iter(|| coalesce_transactions(black_box(&coalesced), 128));
+    bench("coalesce_coalesced_warp", || {
+        coalesce_transactions(black_box(&coalesced), 128)
     });
-    c.bench_function("coalesce_scattered_warp", |b| {
-        b.iter(|| coalesce_transactions(black_box(&scattered), 128));
+    bench("coalesce_scattered_warp", || {
+        coalesce_transactions(black_box(&scattered), 128)
     });
     let words: Vec<u32> = (0..32).map(|i| i * 32).collect();
-    c.bench_function("bank_conflict_analysis", |b| {
-        b.iter(|| bank_conflict_extra(black_box(&words), 32));
+    bench("bank_conflict_analysis", || {
+        bank_conflict_extra(black_box(&words), 32)
     });
 }
 
-fn bench_texture_cache(c: &mut Criterion) {
-    c.bench_function("cache_sim_streaming_4k", |b| {
-        let mut cache = CacheSim::new(48 * 1024, 128, 16);
-        b.iter(|| {
-            let mut hits = 0u64;
-            for addr in (0..16384u64).step_by(4) {
-                if cache.access(addr) {
-                    hits += 1;
-                }
+fn bench_texture_cache() {
+    let mut cache = CacheSim::new(48 * 1024, 128, 16);
+    bench("cache_sim_streaming_4k", || {
+        let mut hits = 0u64;
+        for addr in (0..16384u64).step_by(4) {
+            if cache.access(addr) {
+                hits += 1;
             }
-            black_box(hits)
-        });
+        }
+        hits
     });
 }
 
-fn bench_bmp_encode(c: &mut Criterion) {
+fn bench_bmp_encode() {
     let img = ImageF32::new(1024, 1024);
     let gray = starimage::to_gray8(&img, starimage::GrayMap::linear(1.0));
-    c.bench_function("bmp_encode_1024", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(1024 * 1024 + 2048);
-            write_bmp_gray8(&mut buf, 1024, 1024, black_box(&gray)).unwrap();
-            black_box(buf)
-        });
+    bench("bmp_encode_1024", || {
+        let mut buf = Vec::with_capacity(1024 * 1024 + 2048);
+        write_bmp_gray8(&mut buf, 1024, 1024, black_box(&gray)).unwrap();
+        buf
     });
 }
 
-fn bench_extension_psfs(c: &mut Criterion) {
+fn bench_extension_psfs() {
     let smear = SmearedGaussianPsf::new(1.5, 6.0, 0.5);
     let moffat = MoffatPsf::with_gaussian_fwhm(1.5, 2.5);
-    c.bench_function("psf_smeared_eval_100", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for j in 0..10 {
-                for i in 0..10 {
-                    acc += smear.eval(i as f32, j as f32, 4.5, 4.5);
-                }
+    bench("psf_smeared_eval_100", || {
+        let mut acc = 0.0f32;
+        for j in 0..10 {
+            for i in 0..10 {
+                acc += smear.eval(i as f32, j as f32, 4.5, 4.5);
             }
-            black_box(acc)
-        });
+        }
+        acc
     });
-    c.bench_function("psf_moffat_eval_100", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for j in 0..10 {
-                for i in 0..10 {
-                    acc += moffat.eval(i as f32, j as f32, 4.5, 4.5);
-                }
+    bench("psf_moffat_eval_100", || {
+        let mut acc = 0.0f32;
+        for j in 0..10 {
+            for i in 0..10 {
+                acc += moffat.eval(i as f32, j as f32, 4.5, 4.5);
             }
-            black_box(acc)
-        });
+        }
+        acc
     });
 }
 
-fn bench_extraction(c: &mut Criterion) {
+fn bench_extraction() {
     // A 256² frame with ~50 blobs: the extraction paths.
     let mut img = ImageF32::new(256, 256);
     for k in 0..50usize {
@@ -129,22 +116,18 @@ fn bench_extraction(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("label_blobs_256", |b| {
-        b.iter(|| black_box(label_blobs(&img, 1e-3, 3)));
-    });
-    c.bench_function("detect_stars_256", |b| {
-        b.iter(|| black_box(starimage::detect_stars(&img, starimage::CentroidParams::default())));
+    bench("label_blobs_256", || label_blobs(&img, 1e-3, 3));
+    bench("detect_stars_256", || {
+        starimage::detect_stars(&img, starimage::CentroidParams::default())
     });
 }
 
-fn bench_noise_and_triad(c: &mut Criterion) {
-    c.bench_function("apply_noise_256", |b| {
-        let base = ImageF32::from_data(256, 256, vec![0.5; 256 * 256]);
-        b.iter(|| {
-            let mut img = base.clone();
-            apply_noise(&mut img, NoiseModel::quiet(), 7);
-            black_box(img)
-        });
+fn bench_noise_and_triad() {
+    let base = ImageF32::from_data(256, 256, vec![0.5; 256 * 256]);
+    bench("apply_noise_256", || {
+        let mut img = base.clone();
+        apply_noise(&mut img, NoiseModel::quiet(), 7);
+        img
     });
     let truth = Attitude::pointing(1.2, 0.3, 0.7);
     let observations: Vec<Observation> = (0..10)
@@ -156,20 +139,18 @@ fn bench_noise_and_triad(c: &mut Criterion) {
             }
         })
         .collect();
-    c.bench_function("triad_10_observations", |b| {
-        b.iter(|| black_box(triad(black_box(&observations)).unwrap()));
+    bench("triad_10_observations", || {
+        triad(black_box(&observations)).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_atomic_image,
-    bench_psf_eval,
-    bench_extension_psfs,
-    bench_extraction,
-    bench_noise_and_triad,
-    bench_warp_analysis,
-    bench_texture_cache,
-    bench_bmp_encode
-);
-criterion_main!(benches);
+fn main() {
+    bench_atomic_image();
+    bench_psf_eval();
+    bench_extension_psfs();
+    bench_extraction();
+    bench_noise_and_triad();
+    bench_warp_analysis();
+    bench_texture_cache();
+    bench_bmp_encode();
+}

@@ -5,7 +5,7 @@
 //! O(pixels × stars).
 
 use starfield::FieldGenerator;
-use starsim_core::{ParallelSimulator, PixelCentricSimulator, SimConfig, Simulator};
+use starsim_core::{ParallelSimulator, PixelCentricSimulator, Simulator};
 
 use super::format::{ms, Table};
 use super::Context;
@@ -32,7 +32,7 @@ pub fn run(ctx: &Context) -> Table {
     for &n in star_counts {
         eprintln!("ablation: {n} stars ...");
         let cat = FieldGenerator::new(image, image).generate(n, ctx.seed);
-        let config = SimConfig::new(image, image, 10);
+        let config = ctx.sim_config(image, image, 10);
         let rp = par.simulate(&cat, &config).expect("star-centric");
         let rx = pix.simulate(&cat, &config).expect("pixel-centric");
         let kp = rp.kernel_time_s();
@@ -42,8 +42,14 @@ pub fn run(ctx: &Context) -> Table {
             ms(kp),
             ms(kx),
             format!("{:.1}x", kx / kp),
-            rp.profile.kernels[0].counters.divergent_branches.to_string(),
-            rx.profile.kernels[0].counters.divergent_branches.to_string(),
+            rp.profile.kernels[0]
+                .counters
+                .divergent_branches
+                .to_string(),
+            rx.profile.kernels[0]
+                .counters
+                .divergent_branches
+                .to_string(),
         ]);
     }
     let _ = t.write_csv(&ctx.out_path("ablation.csv"));

@@ -3,7 +3,7 @@
 //! image are generally scattered" — and shows when it stops being low.
 
 use starfield::{FieldGenerator, PositionModel};
-use starsim_core::{contention, ParallelSimulator, SimConfig, Simulator};
+use starsim_core::{contention, ParallelSimulator, Simulator};
 
 use super::format::{ms, Table};
 use super::Context;
@@ -11,7 +11,7 @@ use super::Context;
 /// Runs the study over field densities and spatial distributions.
 pub fn run(ctx: &Context) -> Table {
     let image = 1024;
-    let config = SimConfig::new(image, image, 10);
+    let config = ctx.sim_config(image, image, 10);
     let cases: Vec<(String, PositionModel, usize)> = {
         let counts: &[usize] = if ctx.quick {
             &[1 << 10, 1 << 13]

@@ -7,7 +7,7 @@
 
 use gpusim::{DeviceSpec, VirtualGpu};
 use starfield::workload;
-use starsim_core::{AdaptiveSimulator, ParallelSimulator, SimConfig, Simulator};
+use starsim_core::{AdaptiveSimulator, ParallelSimulator, Simulator};
 
 use super::format::{ms, Table};
 use super::Context;
@@ -16,7 +16,7 @@ use super::Context;
 pub fn run(ctx: &Context) -> Table {
     let exponent = if ctx.quick { 11 } else { 13 };
     let w = workload::test1(exponent, ctx.seed);
-    let config = SimConfig::new(w.image_size, w.image_size, w.roi_side);
+    let config = ctx.sim_config(w.image_size, w.image_size, w.roi_side);
 
     let devices: Vec<DeviceSpec> = vec![
         DeviceSpec::gtx280(),

@@ -1,0 +1,100 @@
+//! Host-side executor comparison: reference per-thread interpretation vs
+//! the block-batched fast path (`gpusim::ExecMode`).
+//!
+//! Both executors produce identical counters and modeled GPU times — that
+//! is covered by `tests/exec_modes.rs` — so the only thing to measure here
+//! is **host wall-clock**: how long the virtual GPU takes to *run* the
+//! simulation on this machine. The headline number (2^13 stars, ROI 10,
+//! 1024×1024 — the paper's test-1 shape) is written to `BENCH_PR1.json`.
+
+use std::time::Instant;
+
+use starfield::workload;
+use starsim_core::{ExecMode, ParallelSimulator, Simulator};
+
+use super::format::{speedup, Table};
+use super::Context;
+
+/// The headline workload: 2^13 stars. Always measured, even under
+/// `--quick`, so `BENCH_PR1.json` is comparable across runs.
+const HEADLINE_EXPONENT: u32 = 13;
+
+/// Wall-clock seconds to simulate `w` with the given executor, best of
+/// `reps` (the virtual GPU is deterministic; repetitions only shave
+/// scheduler noise).
+fn measure(w: &workload::Workload, ctx: &Context, mode: ExecMode, reps: usize) -> f64 {
+    let mut config = ctx.sim_config(w.image_size, w.image_size, w.roi_side);
+    config.exec_mode = mode;
+    let sim = ParallelSimulator::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let report = sim.simulate(&w.catalog, &config).expect("simulate");
+        let elapsed = start.elapsed().as_secs_f64();
+        // Wall time from the report would also do; timing here keeps the
+        // two modes measured through the exact same code path.
+        assert_eq!(report.stars, w.star_count());
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// Runs the comparison sweep and writes `executor.csv` plus the
+/// `BENCH_PR1.json` headline artefact.
+pub fn run(ctx: &Context) -> Table {
+    let exponents: &[u32] = if ctx.quick {
+        &[HEADLINE_EXPONENT]
+    } else {
+        &[13, 14, 15, 16]
+    };
+    let mut t = Table::new(vec!["stars", "reference_s", "batched_s", "speedup"]);
+    let mut headline: Option<(f64, f64)> = None;
+    for &exponent in exponents {
+        eprintln!("executor: 2^{exponent} stars ...");
+        let w = workload::test1(exponent, ctx.seed);
+        let reference_s = measure(&w, ctx, ExecMode::Reference, 1);
+        let batched_s = measure(&w, ctx, ExecMode::Batched, 3);
+        if exponent == HEADLINE_EXPONENT {
+            headline = Some((reference_s, batched_s));
+        }
+        t.row(vec![
+            format!("2^{exponent}"),
+            format!("{reference_s:.3}"),
+            format!("{batched_s:.3}"),
+            speedup(reference_s / batched_s),
+        ]);
+    }
+    let _ = t.write_csv(&ctx.out_path("executor.csv"));
+
+    let (reference_s, batched_s) = headline.expect("headline exponent always measured");
+    let json = format!(
+        "{{\"exec_reference_s\": {:.6}, \"exec_batched_s\": {:.6}, \"speedup\": {:.3}}}\n",
+        reference_s,
+        batched_s,
+        reference_s / batched_s
+    );
+    let _ = std::fs::write(ctx.out_path("BENCH_PR1.json"), json);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_study_runs_quick_and_writes_artefacts() {
+        let dir = std::env::temp_dir().join("starsim_executor");
+        let ctx = Context {
+            quick: true,
+            out_dir: dir.clone(),
+            ..Default::default()
+        };
+        let t = run(&ctx);
+        assert_eq!(t.len(), 1);
+        let json = std::fs::read_to_string(dir.join("BENCH_PR1.json")).unwrap();
+        for key in ["exec_reference_s", "exec_batched_s", "speedup"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(dir.join("executor.csv").exists());
+    }
+}

@@ -4,7 +4,7 @@
 use starfield::FieldGenerator;
 use starimage::io::bmp::write_bmp;
 use starimage::{stats, GrayMap};
-use starsim_core::{ParallelSimulator, SimConfig, Simulator};
+use starsim_core::{ParallelSimulator, Simulator};
 
 use super::format::Table;
 use super::Context;
@@ -15,9 +15,13 @@ pub const FIG2_STARS: usize = 2252;
 /// Renders the Fig. 2 scene; returns a one-row summary table.
 pub fn run(ctx: &Context) -> Table {
     let size = if ctx.quick { 256 } else { 1024 };
-    let stars = if ctx.quick { FIG2_STARS / 16 } else { FIG2_STARS };
+    let stars = if ctx.quick {
+        FIG2_STARS / 16
+    } else {
+        FIG2_STARS
+    };
     let cat = FieldGenerator::new(size, size).generate(stars, ctx.seed);
-    let config = SimConfig::new(size, size, 10);
+    let config = ctx.sim_config(size, size, 10);
     let report = ParallelSimulator::new()
         .simulate(&cat, &config)
         .expect("fig2 render");
@@ -26,8 +30,12 @@ pub fn run(ctx: &Context) -> Table {
     let mut file = std::fs::File::create(&path).expect("create fig2.bmp");
     // Gamma lifts the faint wings so the blur effect is visible, as in the
     // paper's reproduction of the image.
-    write_bmp(&mut file, &report.image, GrayMap::with_gamma(report_white(&report), 2.2))
-        .expect("write fig2.bmp");
+    write_bmp(
+        &mut file,
+        &report.image,
+        GrayMap::with_gamma(report_white(&report), 2.2),
+    )
+    .expect("write fig2.bmp");
 
     let s = stats(&report.image);
     let mut t = Table::new(vec!["stars", "image", "lit_pixels", "peak", "file"]);

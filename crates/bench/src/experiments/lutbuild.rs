@@ -1,7 +1,7 @@
 //! Lookup-table build placement (paper §IV-D): CPU vs GPU construction
 //! across table sizes. See `starsim_core::lut_build`.
 
-use starsim_core::{lut_build, SimConfig};
+use starsim_core::lut_build;
 
 use super::format::{ms, Table};
 use super::Context;
@@ -22,7 +22,7 @@ pub fn run(ctx: &Context) -> Table {
     ]);
     for &bins in bin_counts {
         eprintln!("lutbuild: {bins} bins ...");
-        let mut config = SimConfig::new(1024, 1024, 10);
+        let mut config = ctx.sim_config(1024, 1024, 10);
         config.lut_mag_bins = bins;
         let (cmp, _) = lut_build::compare_builds(&config).expect("comparison");
         t.row(vec![

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod contention;
 pub mod devices;
+pub mod executor;
 pub mod fig2;
 pub mod format;
 pub mod lutbuild;
@@ -15,6 +16,8 @@ pub mod test2;
 
 use std::path::PathBuf;
 
+use starsim_core::{ExecMode, SimConfig};
+
 /// Shared experiment settings.
 #[derive(Debug, Clone)]
 pub struct Context {
@@ -24,6 +27,10 @@ pub struct Context {
     pub seed: u64,
     /// Directory CSV artefacts are written into.
     pub out_dir: PathBuf,
+    /// Virtual-GPU executor every experiment launches with (`--exec`).
+    /// Counters and modeled times are identical across modes; only host
+    /// wall-clock changes. The `executor` experiment measures both.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for Context {
@@ -32,6 +39,7 @@ impl Default for Context {
             quick: false,
             seed: 2012,
             out_dir: PathBuf::from("results"),
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -41,6 +49,14 @@ impl Context {
     pub fn out_path(&self, name: &str) -> PathBuf {
         let _ = std::fs::create_dir_all(&self.out_dir);
         self.out_dir.join(name)
+    }
+
+    /// A [`SimConfig`] for this context: defaults plus the selected
+    /// executor mode.
+    pub fn sim_config(&self, width: usize, height: usize, roi_side: usize) -> SimConfig {
+        let mut config = SimConfig::new(width, height, roi_side);
+        config.exec_mode = self.exec_mode;
+        config
     }
 }
 

@@ -2,7 +2,7 @@
 //! across 1..8 virtual GTX480s.
 
 use starfield::workload;
-use starsim_core::{MultiGpuSimulator, SimConfig, Simulator};
+use starsim_core::{MultiGpuSimulator, Simulator};
 
 use super::format::{ms, Table};
 use super::Context;
@@ -12,7 +12,7 @@ pub fn run(ctx: &Context) -> Table {
     let exponent = if ctx.quick { 12 } else { 16 };
     let device_counts: &[usize] = if ctx.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     let w = workload::test1(exponent, ctx.seed);
-    let config = SimConfig::new(w.image_size, w.image_size, w.roi_side);
+    let config = ctx.sim_config(w.image_size, w.image_size, w.roi_side);
 
     let mut t = Table::new(vec![
         "devices",

@@ -3,7 +3,7 @@
 //! design's non-kernel penalty vanishes and the inflection point with it.
 
 use starfield::workload;
-use starsim_core::{AdaptiveSession, ParallelSimulator, SimConfig, Simulator};
+use starsim_core::{AdaptiveSession, ParallelSimulator, Simulator};
 
 use super::format::{ms, Table};
 use super::Context;
@@ -16,7 +16,7 @@ pub fn run(ctx: &Context) -> Table {
     } else {
         vec![8, 10, 12, 13, 14, 16]
     };
-    let config = SimConfig::new(1024, 1024, 10);
+    let config = ctx.sim_config(1024, 1024, 10);
     let session = AdaptiveSession::new(config.clone()).expect("session");
     let par = ParallelSimulator::new();
 

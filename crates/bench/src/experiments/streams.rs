@@ -2,7 +2,7 @@
 //! overhead (paper Fig. 12/16) CUDA streams would hide.
 
 use starfield::workload;
-use starsim_core::{streams, ParallelSimulator, SimConfig, Simulator};
+use starsim_core::{streams, ParallelSimulator, Simulator};
 
 use super::format::{ms, Table};
 use super::Context;
@@ -11,7 +11,7 @@ use super::Context;
 pub fn run(ctx: &Context) -> Table {
     let exponent = if ctx.quick { 12 } else { 16 };
     let w = workload::test1(exponent, ctx.seed);
-    let config = SimConfig::new(w.image_size, w.image_size, w.roi_side);
+    let config = ctx.sim_config(w.image_size, w.image_size, w.roi_side);
     eprintln!("streams: 2^{exponent} stars ...");
     let report = ParallelSimulator::new()
         .simulate(&w.catalog, &config)

@@ -26,10 +26,30 @@ pub fn table3(t1: &[Test1Row], t2: &[Test2Row], ctx: &Context) -> (Table, Inflec
         "simulator_choice",
     ]);
     let rows = [
-        ("row1", "=", "<", point.choose(point.stars, point.roi_side - 1)),
-        ("row2", "<", "=", point.choose(point.stars - 1, point.roi_side)),
-        ("row3", "=", ">", point.choose(point.stars, point.roi_side + 1)),
-        ("row4", ">", "=", point.choose(point.stars + 1, point.roi_side)),
+        (
+            "row1",
+            "=",
+            "<",
+            point.choose(point.stars, point.roi_side - 1),
+        ),
+        (
+            "row2",
+            "<",
+            "=",
+            point.choose(point.stars - 1, point.roi_side),
+        ),
+        (
+            "row3",
+            "=",
+            ">",
+            point.choose(point.stars, point.roi_side + 1),
+        ),
+        (
+            "row4",
+            ">",
+            "=",
+            point.choose(point.stars + 1, point.roi_side),
+        ),
     ];
     for (label, s, r, choice) in rows {
         t.row(vec![

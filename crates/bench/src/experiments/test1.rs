@@ -2,7 +2,7 @@
 //! ROI fixed at 10×10, image 1024×1024. Feeds Figs. 9–12 and Tables I–II.
 
 use starfield::workload;
-use starsim_core::{AdaptiveSimulator, ParallelSimulator, SequentialSimulator, SimConfig, Simulator};
+use starsim_core::{AdaptiveSimulator, ParallelSimulator, SequentialSimulator, Simulator};
 
 use super::format::{ms, speedup, Table};
 use super::{reference_sequential_s, Context};
@@ -50,7 +50,7 @@ pub fn run(ctx: &Context) -> Vec<Test1Row> {
     let mut rows = Vec::new();
     for exponent in 5..=max_exp {
         let w = workload::test1(exponent, ctx.seed);
-        let config = SimConfig::new(w.image_size, w.image_size, w.roi_side);
+        let config = ctx.sim_config(w.image_size, w.image_size, w.roi_side);
         eprintln!("test1: 2^{exponent} stars ...");
         let rs = seq.simulate(&w.catalog, &config).expect("sequential");
         let rp = par.simulate(&w.catalog, &config).expect("parallel");
@@ -77,12 +77,7 @@ pub fn run(ctx: &Context) -> Vec<Test1Row> {
 
 /// Fig. 9 — overall simulation time of the three simulators.
 pub fn fig9(rows: &[Test1Row], ctx: &Context) -> Table {
-    let mut t = Table::new(vec![
-        "stars",
-        "sequential_ms",
-        "parallel_ms",
-        "adaptive_ms",
-    ]);
+    let mut t = Table::new(vec!["stars", "sequential_ms", "parallel_ms", "adaptive_ms"]);
     for r in rows {
         t.row(vec![
             format!("2^{}", r.exponent),
@@ -192,7 +187,9 @@ pub fn table2(rows: &[Test1Row], ctx: &Context) -> Table {
 /// The star-count inflection point: the first sweep point where the
 /// adaptive simulator's application time beats the parallel one.
 pub fn inflection_stars(rows: &[Test1Row]) -> Option<u32> {
-    rows.iter().find(|r| r.ada_app < r.par_app).map(|r| r.exponent)
+    rows.iter()
+        .find(|r| r.ada_app < r.par_app)
+        .map(|r| r.exponent)
 }
 
 #[cfg(test)]
@@ -261,6 +258,9 @@ mod tests {
         let rows = quick_rows();
         let first = rows[0].par_non_kernel;
         let last = rows.last().unwrap().par_non_kernel;
-        assert!(last < first * 2.0, "transfer-dominated overhead is flat-ish");
+        assert!(
+            last < first * 2.0,
+            "transfer-dominated overhead is flat-ish"
+        );
     }
 }

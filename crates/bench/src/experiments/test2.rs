@@ -2,7 +2,7 @@
 //! fixed at 8192, image 1024×1024. Feeds Figs. 13–16.
 
 use starfield::workload;
-use starsim_core::{AdaptiveSimulator, ParallelSimulator, SequentialSimulator, SimConfig, Simulator};
+use starsim_core::{AdaptiveSimulator, ParallelSimulator, SequentialSimulator, Simulator};
 
 use super::format::{ms, speedup, Table};
 use super::{reference_sequential_s, Context};
@@ -42,7 +42,7 @@ pub fn run(ctx: &Context) -> Vec<Test2Row> {
     let mut rows = Vec::new();
     for side in sides {
         let w = workload::test2(side, ctx.seed);
-        let config = SimConfig::new(w.image_size, w.image_size, side);
+        let config = ctx.sim_config(w.image_size, w.image_size, side);
         eprintln!("test2: ROI {side}x{side} ...");
         let rs = seq.simulate(&w.catalog, &config).expect("sequential");
         let rp = par.simulate(&w.catalog, &config).expect("parallel");
@@ -148,7 +148,9 @@ pub fn fig16(rows: &[Test2Row], ctx: &Context) -> Table {
 /// The ROI-side inflection point: the first sweep point where the adaptive
 /// simulator's application time beats the parallel one.
 pub fn inflection_roi(rows: &[Test2Row]) -> Option<usize> {
-    rows.iter().find(|r| r.ada_app < r.par_app).map(|r| r.roi_side)
+    rows.iter()
+        .find(|r| r.ada_app < r.par_app)
+        .map(|r| r.roi_side)
 }
 
 #[cfg(test)]

@@ -3,10 +3,11 @@
 //!
 //! ```text
 //! starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]
+//!               [--exec reference|batched]
 //!
 //! NAME ∈ { fig2, fig9, fig10, fig11, fig12, table1, table2,
 //!          fig13, fig14, fig15, fig16, table3, ablation, contention,
-//!          devices, multigpu, streams, session, lutbuild, all }
+//!          devices, multigpu, streams, session, lutbuild, executor, all }
 //! ```
 //!
 //! Sequential times are measured wall-clock on this host; GPU times come
@@ -17,10 +18,10 @@
 mod experiments;
 
 use experiments::{
-    ablation, contention, devices, fig2, lutbuild, multigpu, session, streams, table3, test1,
-    test2,
-    Context,
+    ablation, contention, devices, executor, fig2, lutbuild, multigpu, session, streams, table3,
+    test1, test2, Context,
 };
+use starsim_core::ExecMode;
 
 fn main() {
     let mut ctx = Context::default();
@@ -30,7 +31,9 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--experiment" | "-e" => {
-                experiment = args.next().unwrap_or_else(|| usage("missing experiment name"));
+                experiment = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing experiment name"));
             }
             "--quick" => ctx.quick = true,
             "--seed" => {
@@ -40,7 +43,15 @@ fn main() {
                     .unwrap_or_else(|| usage("bad --seed"));
             }
             "--out" => {
-                ctx.out_dir = args.next().unwrap_or_else(|| usage("missing --out dir")).into();
+                ctx.out_dir = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --out dir"))
+                    .into();
+            }
+            "--exec" => {
+                let mode = args.next().unwrap_or_else(|| usage("missing --exec mode"));
+                ctx.exec_mode = ExecMode::parse(&mode)
+                    .unwrap_or_else(|| usage(&format!("bad --exec `{mode}`")));
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
@@ -56,8 +67,16 @@ fn main() {
         "fig13" | "fig14" | "fig15" | "fig16" | "table3" | "all"
     );
 
-    let t1 = if needs_t1 { Some(test1::run(&ctx)) } else { None };
-    let t2 = if needs_t2 { Some(test2::run(&ctx)) } else { None };
+    let t1 = if needs_t1 {
+        Some(test1::run(&ctx))
+    } else {
+        None
+    };
+    let t2 = if needs_t2 {
+        Some(test2::run(&ctx))
+    } else {
+        None
+    };
 
     let section = |title: &str, table: experiments::format::Table| {
         println!("\n== {title} ==");
@@ -66,9 +85,18 @@ fn main() {
 
     match experiment.as_str() {
         "fig2" => section("Fig 2: simulated star image", fig2::run(&ctx)),
-        "fig9" => section("Fig 9: test1 overall time", test1::fig9(t1.as_ref().unwrap(), &ctx)),
-        "fig10" => section("Fig 10: test1 speedups", test1::fig10(t1.as_ref().unwrap(), &ctx)),
-        "fig11" => section("Fig 11: test1 kernel time", test1::fig11(t1.as_ref().unwrap(), &ctx)),
+        "fig9" => section(
+            "Fig 9: test1 overall time",
+            test1::fig9(t1.as_ref().unwrap(), &ctx),
+        ),
+        "fig10" => section(
+            "Fig 10: test1 speedups",
+            test1::fig10(t1.as_ref().unwrap(), &ctx),
+        ),
+        "fig11" => section(
+            "Fig 11: test1 kernel time",
+            test1::fig11(t1.as_ref().unwrap(), &ctx),
+        ),
         "fig12" => section(
             "Fig 12: test1 non-kernel time",
             test1::fig12(t1.as_ref().unwrap(), &ctx),
@@ -77,10 +105,22 @@ fn main() {
             "Table I: adaptive non-kernel breakdown",
             test1::table1(t1.as_ref().unwrap(), &ctx),
         ),
-        "table2" => section("Table II: GFLOPS", test1::table2(t1.as_ref().unwrap(), &ctx)),
-        "fig13" => section("Fig 13: test2 overall time", test2::fig13(t2.as_ref().unwrap(), &ctx)),
-        "fig14" => section("Fig 14: test2 speedups", test2::fig14(t2.as_ref().unwrap(), &ctx)),
-        "fig15" => section("Fig 15: test2 breakdown", test2::fig15(t2.as_ref().unwrap(), &ctx)),
+        "table2" => section(
+            "Table II: GFLOPS",
+            test1::table2(t1.as_ref().unwrap(), &ctx),
+        ),
+        "fig13" => section(
+            "Fig 13: test2 overall time",
+            test2::fig13(t2.as_ref().unwrap(), &ctx),
+        ),
+        "fig14" => section(
+            "Fig 14: test2 speedups",
+            test2::fig14(t2.as_ref().unwrap(), &ctx),
+        ),
+        "fig15" => section(
+            "Fig 15: test2 breakdown",
+            test2::fig15(t2.as_ref().unwrap(), &ctx),
+        ),
         "fig16" => section(
             "Fig 16: test2 non-kernel percentage",
             test2::fig16(t2.as_ref().unwrap(), &ctx),
@@ -90,13 +130,17 @@ fn main() {
             section("Table III: simulator selection", t);
             println!("{}", table3::summary(&point));
         }
-        "ablation" => section("Ablation: star-centric vs pixel-centric", ablation::run(&ctx)),
+        "ablation" => section(
+            "Ablation: star-centric vs pixel-centric",
+            ablation::run(&ctx),
+        ),
         "contention" => section("Atomic contention vs field density", contention::run(&ctx)),
         "devices" => section("Device sensitivity", devices::run(&ctx)),
         "multigpu" => section("Multi-GPU scaling (future work)", multigpu::run(&ctx)),
         "streams" => section("Stream pipelining estimate", streams::run(&ctx)),
         "session" => section("Session amortization", session::run(&ctx)),
         "lutbuild" => section("LUT build placement (CPU vs GPU)", lutbuild::run(&ctx)),
+        "executor" => section("Executor comparison (host wall-clock)", executor::run(&ctx)),
         "all" => {
             let t1 = t1.as_ref().unwrap();
             let t2 = t2.as_ref().unwrap();
@@ -105,22 +149,32 @@ fn main() {
             section("Fig 10: test1 speedups", test1::fig10(t1, &ctx));
             section("Fig 11: test1 kernel time", test1::fig11(t1, &ctx));
             section("Fig 12: test1 non-kernel time", test1::fig12(t1, &ctx));
-            section("Table I: adaptive non-kernel breakdown", test1::table1(t1, &ctx));
+            section(
+                "Table I: adaptive non-kernel breakdown",
+                test1::table1(t1, &ctx),
+            );
             section("Table II: GFLOPS", test1::table2(t1, &ctx));
             section("Fig 13: test2 overall time", test2::fig13(t2, &ctx));
             section("Fig 14: test2 speedups", test2::fig14(t2, &ctx));
             section("Fig 15: test2 breakdown", test2::fig15(t2, &ctx));
-            section("Fig 16: test2 non-kernel percentage", test2::fig16(t2, &ctx));
+            section(
+                "Fig 16: test2 non-kernel percentage",
+                test2::fig16(t2, &ctx),
+            );
             let (t, point) = table3::table3(t1, t2, &ctx);
             section("Table III: simulator selection", t);
             println!("{}", table3::summary(&point));
-            section("Ablation: star-centric vs pixel-centric", ablation::run(&ctx));
+            section(
+                "Ablation: star-centric vs pixel-centric",
+                ablation::run(&ctx),
+            );
             section("Atomic contention vs field density", contention::run(&ctx));
             section("Device sensitivity", devices::run(&ctx));
             section("Multi-GPU scaling (future work)", multigpu::run(&ctx));
             section("Stream pipelining estimate", streams::run(&ctx));
             section("Session amortization", session::run(&ctx));
             section("LUT build placement (CPU vs GPU)", lutbuild::run(&ctx));
+            section("Executor comparison (host wall-clock)", executor::run(&ctx));
         }
         other => usage(&format!("unknown experiment `{other}`")),
     }
@@ -132,8 +186,10 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]\n\
+                      [--exec reference|batched]\n\
          NAME: fig2 fig9 fig10 fig11 fig12 table1 table2 fig13 fig14 fig15 fig16\n\
-               table3 ablation contention devices multigpu streams session lutbuild all (default)"
+               table3 ablation contention devices multigpu streams session lutbuild\n\
+               executor all (default)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

@@ -17,7 +17,9 @@
 use std::time::Instant;
 
 use gpusim::memory::global::{GlobalAtomicF32, GlobalBuffer};
-use gpusim::{AppProfile, FlopClass, Kernel, LaunchConfig, Texture, ThreadCtx, VirtualGpu};
+use gpusim::{
+    AppProfile, BlockCtx, FlopClass, Kernel, LaunchConfig, Texture, ThreadCtx, VirtualGpu,
+};
 use psf::lut::{LookupTable, LutParams};
 use psf::roi::Roi;
 use starfield::{Star, StarCatalog};
@@ -115,6 +117,118 @@ impl Kernel for AdaptiveKernel<'_> {
                 }
             }
         }
+    }
+
+    /// Batched fast path (see [`StarCentricKernel::run_block`]'s notes —
+    /// same structure, with texture fetches driven through the SM's cache
+    /// simulator in the exact lane order of the reference path).
+    ///
+    /// [`StarCentricKernel::run_block`]: crate::parallel::StarCentricKernel
+    fn run_block<'k>(&'k self, ctx: &mut BlockCtx<'k, '_>) -> bool {
+        let side = self.roi.side();
+        if ctx.block_dim.x as usize != side
+            || ctx.block_dim.y as usize != side
+            || ctx.block_dim.z != 1
+        {
+            return false;
+        }
+        let tpb = side * side;
+        let warp = ctx.spec.warp_size as usize;
+        let n_warps = tpb.div_ceil(warp) as u64;
+        let block_id = ctx.block_linear();
+
+        // Phase 0: starCount guard for every thread.
+        ctx.counters.threads += tpb as u64;
+        ctx.counters.warps += n_warps;
+        ctx.counters.branches += n_warps;
+        if block_id >= self.star_count {
+            return true;
+        }
+
+        // Phase 0, designated thread: star read, layer index arithmetic
+        // (an add and a mul — no SFU work, that is the whole point),
+        // three staging writes.
+        ctx.counters.branches += n_warps;
+        if tpb > 1 {
+            ctx.counters.divergent_branches += 1;
+        }
+        let star = self.stars.read(block_id);
+        let addr = self.stars.addr_of(block_id);
+        let bytes = std::mem::size_of::<DeviceStar>() as u64;
+        let seg = ctx.spec.coalesce_segment as u64;
+        ctx.counters.global_requests += 1;
+        ctx.counters.global_transactions += (addr + bytes - 1) / seg - addr / seg + 1;
+        let layer = self.lut.layer_of(&Star::new(star.x, star.y, star.mag));
+        ctx.counters.flops_add += 1;
+        ctx.counters.flops_mul += 1;
+        ctx.counters.arith_issues += 2;
+        ctx.counters.shared_requests += 3;
+        // The reference kernel stages the layer through a shared-memory
+        // f32; replicate the round-trip so any (guarded-against) precision
+        // loss is identical.
+        let layer = (layer as f32) as usize;
+
+        // Phase 1: barrier, broadcast reads, pixel coordinates.
+        ctx.counters.barriers += n_warps;
+        ctx.counters.warps += n_warps;
+        ctx.counters.shared_requests += 3 * n_warps;
+        ctx.counters.flops_add += 2 * tpb as u64;
+        ctx.counters.arith_issues += n_warps;
+        ctx.counters.branches += n_warps;
+
+        let (x0, y0) = self.roi.origin(star.x, star.y);
+        let (w, h) = (self.width as i64, self.height as i64);
+        if x0 >= 0 && y0 >= 0 && x0 + side as i64 <= w && y0 + side as i64 <= h {
+            // Interior ROI: all lanes fetch, one texture request per warp.
+            // The row-major pixel loop visits texels in ascending linear
+            // thread order — the same order the reference path feeds the
+            // cache simulator, so hit/miss sequences are identical.
+            ctx.counters.tex_requests += n_warps;
+            ctx.counters.atomic_requests += n_warps;
+            for j in 0..side {
+                let py = y0 + j as i64;
+                let row = py as usize * self.width + x0 as usize;
+                for i in 0..side {
+                    let (gray, taddr) = self.lut_tex.fetch(layer, i as i64, j as i64);
+                    ctx.counters.tex_fetches += 1;
+                    if ctx.cache.access(taddr) {
+                        ctx.counters.tex_hits += 1;
+                    }
+                    ctx.shadow.add(self.image, row + i, gray);
+                }
+            }
+        } else {
+            let mut t = 0usize;
+            while t < tpb {
+                let lanes = warp.min(tpb - t);
+                let mut n_in = 0u64;
+                for lane in 0..lanes {
+                    let tt = t + lane;
+                    let (tx, ty) = (tt % side, tt / side);
+                    let px = x0 + tx as i64;
+                    let py = y0 + ty as i64;
+                    if px >= 0 && py >= 0 && px < w && py < h {
+                        n_in += 1;
+                        let (gray, taddr) = self.lut_tex.fetch(layer, tx as i64, ty as i64);
+                        ctx.counters.tex_fetches += 1;
+                        if ctx.cache.access(taddr) {
+                            ctx.counters.tex_hits += 1;
+                        }
+                        let idx = py as usize * self.width + px as usize;
+                        ctx.shadow.add(self.image, idx, gray);
+                    }
+                }
+                if n_in > 0 {
+                    if n_in < lanes as u64 {
+                        ctx.counters.divergent_branches += 1;
+                    }
+                    ctx.counters.tex_requests += 1;
+                    ctx.counters.atomic_requests += 1;
+                }
+                t += lanes;
+            }
+        }
+        true
     }
 }
 
@@ -227,7 +341,9 @@ impl Simulator for AdaptiveSimulator {
         };
         let cfg = LaunchConfig::star_centric(star_count.max(1), side, self.gpu.spec())
             .with_shared_mem(SMEM_WORDS * 4);
-        let kp = self.gpu.launch("adaptive-lut", &kernel, cfg)?;
+        let kp = self
+            .gpu
+            .launch_mode("adaptive-lut", &kernel, cfg, config.exec_mode)?;
         profile.kernels.push(kp);
 
         let (host_pixels, t_down) = self.gpu.download(&image_dev);

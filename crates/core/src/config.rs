@@ -1,5 +1,6 @@
 //! Simulation configuration shared by all simulators.
 
+use gpusim::ExecMode;
 use psf::integrated::PsfModel;
 use psf::roi::Roi;
 use psf::IntensityModel;
@@ -51,6 +52,10 @@ pub struct SimConfig {
     pub lut_phases: usize,
     /// PSF evaluation model.
     pub psf: PsfKind,
+    /// Virtual-GPU executor strategy for the kernels this config launches.
+    /// Both modes yield identical counters and modeled times; `Batched` is
+    /// the fast default, `Reference` the per-thread ground truth.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for SimConfig {
@@ -71,6 +76,7 @@ impl Default for SimConfig {
             lut_mag_bins: 128,
             lut_phases: 1,
             psf: PsfKind::Point,
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -192,6 +198,14 @@ mod tests {
         assert_eq!(m.roi.side(), 8);
         assert_eq!(m.a_factor, 1000.0);
         assert_eq!(m.psf.sigma(), 2.0);
+    }
+
+    #[test]
+    fn exec_mode_defaults_to_batched() {
+        assert_eq!(SimConfig::default().exec_mode, ExecMode::Batched);
+        let mut c = SimConfig::default();
+        c.exec_mode = ExecMode::Reference;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -127,10 +127,8 @@ mod tests {
 
     #[test]
     fn coincident_stars_fully_contend() {
-        let cat = StarCatalog::from_stars(vec![
-            Star::new(64.0, 64.0, 3.0),
-            Star::new(64.0, 64.0, 5.0),
-        ]);
+        let cat =
+            StarCatalog::from_stars(vec![Star::new(64.0, 64.0, 3.0), Star::new(64.0, 64.0, 5.0)]);
         let p = analyze(&cat, &cfg());
         assert_eq!(p.max_multiplicity, 2);
         assert_eq!(p.contention_rate(), 1.0);
@@ -153,10 +151,8 @@ mod tests {
     #[test]
     fn partial_overlap_counts_shared_pixels() {
         // Stars 5 apart with ROI 10 (origins differ by 5): 5×10 shared.
-        let cat = StarCatalog::from_stars(vec![
-            Star::new(60.0, 60.0, 3.0),
-            Star::new(65.0, 60.0, 3.0),
-        ]);
+        let cat =
+            StarCatalog::from_stars(vec![Star::new(60.0, 60.0, 3.0), Star::new(65.0, 60.0, 3.0)]);
         let p = analyze(&cat, &cfg());
         assert_eq!(p.overlapped_pixels(), 50);
         assert_eq!(p.contended_deposits, 100); // 50 px × 2 writers

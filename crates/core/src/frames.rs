@@ -57,9 +57,8 @@ impl FrameSequencer {
                 "need 0 < exposure ({exposure_s}) ≤ frame period ({frame_dt})"
             )));
         }
-        let session = AdaptiveSession::new(Self::frame_config(
-            &config, &camera, &dynamics, exposure_s,
-        ))?;
+        let session =
+            AdaptiveSession::new(Self::frame_config(&config, &camera, &dynamics, exposure_s))?;
         Ok(FrameSequencer {
             sky,
             camera,
@@ -92,8 +91,7 @@ impl FrameSequencer {
             };
             // Grow the ROI to keep the streak's energy, staying under the
             // device's thread-block cap.
-            let margin = SmearedGaussianPsf::new(config.sigma, streak, 0.0)
-                .margin_for_energy(0.95);
+            let margin = SmearedGaussianPsf::new(config.sigma, streak, 0.0).margin_for_energy(0.95);
             config.roi_side = (2 * margin + 1).clamp(config.roi_side, 32);
         }
         config
@@ -106,7 +104,12 @@ impl FrameSequencer {
 
     /// The active per-frame configuration.
     pub fn config(&self) -> SimConfig {
-        Self::frame_config(&self.base_config, &self.camera, &self.dynamics, self.exposure_s)
+        Self::frame_config(
+            &self.base_config,
+            &self.camera,
+            &self.dynamics,
+            self.exposure_s,
+        )
     }
 
     /// Renders the next frame and advances the clock and attitude.
@@ -226,12 +229,18 @@ mod tests {
         let PsfKind::Smeared { angle, .. } = about_x.config().psf else {
             panic!("expected smear")
         };
-        assert!((angle - std::f32::consts::FRAC_PI_2).abs() < 1e-6, "angle {angle}");
+        assert!(
+            (angle - std::f32::consts::FRAC_PI_2).abs() < 1e-6,
+            "angle {angle}"
+        );
         let about_y = sequencer([0.0, 1.0f64.to_radians(), 0.0]);
         let PsfKind::Smeared { angle, .. } = about_y.config().psf else {
             panic!("expected smear")
         };
-        assert!((angle.abs() - std::f32::consts::PI).abs() < 1e-6, "angle {angle}");
+        assert!(
+            (angle.abs() - std::f32::consts::PI).abs() < 1e-6,
+            "angle {angle}"
+        );
     }
 
     #[test]

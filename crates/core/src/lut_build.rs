@@ -125,10 +125,7 @@ pub fn compare_builds(config: &SimConfig) -> Result<(LutBuildComparison, Vec<f32
     let blocks = entries.div_ceil(tpb);
     let grid_x = blocks.min(gpu.spec().max_grid_dim.x as usize).max(1);
     let grid_y = blocks.div_ceil(grid_x).max(1);
-    let cfg = LaunchConfig::new(
-        gpusim::Dim3::d2(grid_x as u32, grid_y as u32),
-        tpb as u32,
-    );
+    let cfg = LaunchConfig::new(gpusim::Dim3::d2(grid_x as u32, grid_y as u32), tpb as u32);
     let profile = gpu.launch("lut-build", &kernel, cfg)?;
     let gpu_data = out.to_host();
 

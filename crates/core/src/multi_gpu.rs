@@ -33,7 +33,9 @@ impl MultiGpuSimulator {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one device");
         MultiGpuSimulator {
-            shards: (0..n).map(|_| ParallelSimulator::on(VirtualGpu::gtx480())).collect(),
+            shards: (0..n)
+                .map(|_| ParallelSimulator::on(VirtualGpu::gtx480()))
+                .collect(),
         }
     }
 
@@ -83,10 +85,7 @@ impl Simulator for MultiGpuSimulator {
 
         // Devices run concurrently: modeled app time is the slowest shard
         // plus the merge.
-        let slowest = reports
-            .iter()
-            .map(|r| r.app_time_s)
-            .fold(0.0f64, f64::max);
+        let slowest = reports.iter().map(|r| r.app_time_s).fold(0.0f64, f64::max);
         let mut profile = AppProfile::new();
         for r in reports {
             for k in r.profile.kernels {

@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use gpusim::memory::global::{GlobalAtomicF32, GlobalBuffer};
-use gpusim::{AppProfile, FlopClass, Kernel, LaunchConfig, ThreadCtx, VirtualGpu};
+use gpusim::{AppProfile, BlockCtx, FlopClass, Kernel, LaunchConfig, ThreadCtx, VirtualGpu};
 use psf::integrated::PsfModel;
 use psf::roi::Roi;
 use starfield::StarCatalog;
@@ -117,6 +117,128 @@ impl Kernel for StarCentricKernel<'_> {
             }
         }
     }
+
+    /// Batched fast path: the whole block in one call. Must mirror
+    /// [`Self::run`] through the warp analyzer *exactly* — the counter
+    /// charges below are the closed forms of what the analyzer derives from
+    /// the per-thread event traces (`tests/exec_modes.rs` proves the
+    /// equivalence over a launch-shape grid).
+    fn run_block<'k>(&'k self, ctx: &mut BlockCtx<'k, '_>) -> bool {
+        let side = self.roi.side();
+        // Only the canonical star-centric shape (side × side block) is
+        // handled; anything else falls back to the reference path. No
+        // mutation may precede this check.
+        if ctx.block_dim.x as usize != side
+            || ctx.block_dim.y as usize != side
+            || ctx.block_dim.z != 1
+        {
+            return false;
+        }
+        let tpb = side * side;
+        let warp = ctx.spec.warp_size as usize;
+        let n_warps = tpb.div_ceil(warp) as u64;
+        let block_id = ctx.block_linear();
+
+        // Phase 0, step 3: every thread runs the starCount guard (one
+        // uniform branch per warp).
+        ctx.counters.threads += tpb as u64;
+        ctx.counters.warps += n_warps;
+        ctx.counters.branches += n_warps;
+        if block_id >= self.star_count {
+            // Grid-padding block: all threads exit before the barrier.
+            return true;
+        }
+
+        // Phase 0, step 5: the `first` branch (warp 0 diverges whenever it
+        // has more than one lane), one star read by lane 0 (a 12-byte
+        // access spanning however many coalescing segments it straddles),
+        // the brightness computation, three staging writes.
+        ctx.counters.branches += n_warps;
+        if tpb > 1 {
+            ctx.counters.divergent_branches += 1;
+        }
+        let star = self.stars.read(block_id);
+        let addr = self.stars.addr_of(block_id);
+        let bytes = std::mem::size_of::<DeviceStar>() as u64;
+        let seg = ctx.spec.coalesce_segment as u64;
+        ctx.counters.global_requests += 1;
+        ctx.counters.global_transactions += (addr + bytes - 1) / seg - addr / seg + 1;
+        let g = starfield::magnitude::brightness(star.mag, self.a_factor);
+        ctx.counters.flops_special += 8;
+        ctx.counters.special_issues += 1;
+        ctx.counters.flops_mul += 1;
+        ctx.counters.arith_issues += 1;
+        ctx.counters.shared_requests += 3;
+
+        // Phase boundary (step 6): one barrier per live warp. Phase 1:
+        // every warp re-reads the three staged words (broadcast, conflict
+        // free) and derives its pixel coordinates.
+        ctx.counters.barriers += n_warps;
+        ctx.counters.warps += n_warps;
+        ctx.counters.shared_requests += 3 * n_warps;
+        ctx.counters.flops_add += 2 * tpb as u64;
+        ctx.counters.arith_issues += n_warps;
+        ctx.counters.branches += n_warps; // the in-image guard
+
+        let (x0, y0) = self.roi.origin(star.x, star.y);
+        let (w, h) = (self.width as i64, self.height as i64);
+        if x0 >= 0 && y0 >= 0 && x0 + side as i64 <= w && y0 + side as i64 <= h {
+            // Interior ROI: every lane is in-image, so per-warp charges
+            // aggregate to closed form and the deposition is a dense
+            // row-major loop (identical accumulation order: threads run in
+            // ascending linear id either way).
+            ctx.counters.flops_add += 2 * tpb as u64;
+            ctx.counters.flops_fma += 2 * tpb as u64;
+            ctx.counters.flops_special += 8 * tpb as u64;
+            ctx.counters.flops_mul += 2 * tpb as u64;
+            ctx.counters.arith_issues += 3 * n_warps;
+            ctx.counters.special_issues += n_warps;
+            ctx.counters.atomic_requests += n_warps; // distinct addresses
+            for j in 0..side {
+                let py = y0 + j as i64;
+                let row = py as usize * self.width + x0 as usize;
+                for i in 0..side {
+                    let mu = self
+                        .psf
+                        .eval((x0 + i as i64) as f32, py as f32, star.x, star.y);
+                    ctx.shadow.add(self.image, row + i, g * mu);
+                }
+            }
+        } else {
+            // Edge ROI: census each warp's in-image lanes to account
+            // divergence and per-warp issues, depositing as we go.
+            let mut t = 0usize;
+            while t < tpb {
+                let lanes = warp.min(tpb - t);
+                let mut n_in = 0u64;
+                for lane in 0..lanes {
+                    let tt = t + lane;
+                    let px = x0 + (tt % side) as i64;
+                    let py = y0 + (tt / side) as i64;
+                    if px >= 0 && py >= 0 && px < w && py < h {
+                        n_in += 1;
+                        let mu = self.psf.eval(px as f32, py as f32, star.x, star.y);
+                        let idx = py as usize * self.width + px as usize;
+                        ctx.shadow.add(self.image, idx, g * mu);
+                    }
+                }
+                if n_in > 0 {
+                    if n_in < lanes as u64 {
+                        ctx.counters.divergent_branches += 1;
+                    }
+                    ctx.counters.flops_add += 2 * n_in;
+                    ctx.counters.flops_fma += 2 * n_in;
+                    ctx.counters.flops_special += 8 * n_in;
+                    ctx.counters.flops_mul += 2 * n_in;
+                    ctx.counters.arith_issues += 3;
+                    ctx.counters.special_issues += 1;
+                    ctx.counters.atomic_requests += 1;
+                }
+                t += lanes;
+            }
+        }
+        true
+    }
 }
 
 /// The parallel (star-centric GPU) simulator.
@@ -187,7 +309,9 @@ impl Simulator for ParallelSimulator {
         };
         let cfg = LaunchConfig::star_centric(star_count.max(1), config.roi_side, self.gpu.spec())
             .with_shared_mem(SMEM_WORDS * 4);
-        let kp = self.gpu.launch("star-centric", &kernel, cfg)?;
+        let kp = self
+            .gpu
+            .launch_mode("star-centric", &kernel, cfg, config.exec_mode)?;
         profile.kernels.push(kp);
 
         // Device → host: the finished image.
@@ -274,14 +398,16 @@ mod tests {
     #[test]
     fn transfers_appear_as_non_kernel_overhead() {
         let cat = FieldGenerator::new(64, 64).generate(10, 1);
-        let report = ParallelSimulator::new().simulate(&cat, &small_config()).unwrap();
+        let report = ParallelSimulator::new()
+            .simulate(&cat, &small_config())
+            .unwrap();
         let t = report.profile.overhead_named("CPU-GPU transmission");
         assert!(t > 0.0);
         assert_eq!(report.profile.overheads.len(), 1);
-        assert!((report.app_time_s
-            - (report.kernel_time_s() + report.non_kernel_time_s()))
-        .abs()
-            < 1e-12);
+        assert!(
+            (report.app_time_s - (report.kernel_time_s() + report.non_kernel_time_s())).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -233,7 +233,9 @@ mod tests {
     #[test]
     fn no_atomic_contention_by_construction() {
         let cat = FieldGenerator::new(64, 64).generate(40, 2);
-        let pix = PixelCentricSimulator::new().simulate(&cat, &tiny_config()).unwrap();
+        let pix = PixelCentricSimulator::new()
+            .simulate(&cat, &tiny_config())
+            .unwrap();
         assert_eq!(pix.profile.kernels[0].counters.atomic_conflicts, 0);
     }
 }

@@ -51,7 +51,10 @@ impl Simulator for SequentialSimulator {
 
         // Stage 2: star brightness computation.
         let t = Instant::now();
-        let brightness: Vec<f32> = stars.iter().map(|s| s.brightness(config.a_factor)).collect();
+        let brightness: Vec<f32> = stars
+            .iter()
+            .map(|s| s.brightness(config.a_factor))
+            .collect();
         profile.push_overhead("brightness computation", t.elapsed().as_secs_f64());
 
         // Stage 3: pixel computation — Fig. 5's loop nest: outer loop over
@@ -143,14 +146,18 @@ mod tests {
     #[test]
     fn off_image_star_contributes_nothing() {
         let cat = StarCatalog::from_stars(vec![Star::new(-50.0, -50.0, 1.0)]);
-        let report = SequentialSimulator::new().simulate(&cat, &small_config()).unwrap();
+        let report = SequentialSimulator::new()
+            .simulate(&cat, &small_config())
+            .unwrap();
         assert!(report.image.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]
     fn edge_star_clips_into_image() {
         let cat = StarCatalog::from_stars(vec![Star::new(0.0, 0.0, 1.0)]);
-        let report = SequentialSimulator::new().simulate(&cat, &small_config()).unwrap();
+        let report = SequentialSimulator::new()
+            .simulate(&cat, &small_config())
+            .unwrap();
         assert!(report.image.get(0, 0) > 0.0);
         let lit = report.image.data().iter().filter(|&&v| v > 0.0).count();
         // ROI 10 at the corner: margin 5 each side in-bounds ⇒ 5×5 pixels.
@@ -170,10 +177,8 @@ mod tests {
     #[test]
     fn overlapping_stars_accumulate() {
         let one = StarCatalog::from_stars(vec![Star::new(32.0, 32.0, 3.0)]);
-        let two = StarCatalog::from_stars(vec![
-            Star::new(32.0, 32.0, 3.0),
-            Star::new(33.0, 32.0, 3.0),
-        ]);
+        let two =
+            StarCatalog::from_stars(vec![Star::new(32.0, 32.0, 3.0), Star::new(33.0, 32.0, 3.0)]);
         let cfg = small_config();
         let r1 = SequentialSimulator::new().simulate(&one, &cfg).unwrap();
         let r2 = SequentialSimulator::new().simulate(&two, &cfg).unwrap();

@@ -12,6 +12,9 @@
 //! experiment shows — removes the inflection point entirely: a session-
 //! based adaptive simulator wins at *every* scale where a GPU wins at all.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use gpusim::{AppProfile, LaunchConfig, Texture, VirtualGpu};
@@ -21,17 +24,128 @@ use starfield::StarCatalog;
 use starimage::ImageF32;
 
 use crate::adaptive::{AdaptiveKernel, AdaptiveSimulator, LUT_BUILD_S_PER_ENTRY};
-use crate::config::SimConfig;
+use crate::config::{PsfKind, SimConfig};
 use crate::error::SimError;
 use crate::report::SimulationReport;
 use crate::star_record::to_device_stars;
+
+/// Everything the lookup-table build depends on, hashable. Floats are
+/// compared by bit pattern: two configs share a table exactly when every
+/// input to [`AdaptiveSimulator::build_lut`] is bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LutKey {
+    roi_side: usize,
+    mag_bins: usize,
+    phases: usize,
+    mag_lo: u32,
+    mag_hi: u32,
+    sigma: u32,
+    a_factor: u32,
+    /// PSF discriminant plus its parameter bit patterns (zeros when unused).
+    psf: (u8, u32, u32),
+}
+
+impl LutKey {
+    fn of(config: &SimConfig) -> Self {
+        let psf = match config.psf {
+            PsfKind::Point => (0, 0, 0),
+            PsfKind::Integrated => (1, 0, 0),
+            PsfKind::Smeared { length, angle } => (2, length.to_bits(), angle.to_bits()),
+            PsfKind::Moffat { beta } => (3, beta.to_bits(), 0),
+        };
+        LutKey {
+            roi_side: config.roi_side,
+            mag_bins: config.lut_mag_bins,
+            phases: config.lut_phases,
+            mag_lo: config.mag_range.0.to_bits(),
+            mag_hi: config.mag_range.1.to_bits(),
+            sigma: config.sigma.to_bits(),
+            a_factor: config.a_factor.to_bits(),
+            psf,
+        }
+    }
+}
+
+/// A cross-session cache of built lookup tables.
+///
+/// A large-scale simulator often runs many sessions over the same optics —
+/// sweeping star counts, re-opening sessions per camera, re-rendering with
+/// a different executor. The table depends only on the optics (σ, ROI,
+/// magnitude range, PSF, binning), so [`AdaptiveSession::on_cached`] can
+/// skip both the host-side build *and* the modeled build time on a hit;
+/// only the per-device texture upload/bind is re-paid.
+#[derive(Default)]
+pub struct LutCache {
+    map: Mutex<HashMap<LutKey, Arc<LookupTable>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LutCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        LutCache::default()
+    }
+
+    /// Tables currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when no table is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Returns the cached table for `config`, building (and caching) it on
+    /// a miss. The boolean is `true` on a hit.
+    fn get_or_build(
+        &self,
+        gpu: &VirtualGpu,
+        config: &SimConfig,
+    ) -> Result<(Arc<LookupTable>, bool), SimError> {
+        let key = LutKey::of(config);
+        if let Some(lut) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(lut), true));
+        }
+        // Build outside the lock: a miss takes milliseconds and other
+        // sessions may be hitting concurrently. Racing builders produce
+        // bit-identical tables, so last-writer-wins is harmless.
+        let builder = AdaptiveSimulator::on(VirtualGpu::new(gpu.spec().clone()));
+        let lut = Arc::new(builder.build_lut(config)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().insert(key, Arc::clone(&lut));
+        Ok((lut, false))
+    }
+}
+
+/// Modeled build cost of `lut` (what the one-shot profile charges).
+fn lut_build_time_s(lut: &LookupTable) -> f64 {
+    lut.len() as f64 * LUT_BUILD_S_PER_ENTRY
+}
+
+/// Build cost of a cache hit: the table already exists.
+fn zero_build_time(_: &LookupTable) -> f64 {
+    0.0
+}
 
 /// A long-lived adaptive simulator with its lookup table resident in
 /// texture memory.
 pub struct AdaptiveSession {
     gpu: VirtualGpu,
     config: SimConfig,
-    lut: LookupTable,
+    lut: Arc<LookupTable>,
     lut_tex: Texture,
     /// One-time setup cost (LUT build + upload + bind), seconds.
     setup_time_s: f64,
@@ -50,8 +164,37 @@ impl AdaptiveSession {
         config.validate()?;
         // Reuse the simulator's builder so table parameters stay in sync.
         let builder = AdaptiveSimulator::on(VirtualGpu::new(gpu.spec().clone()));
-        let lut = builder.build_lut(&config)?;
-        let build_time = lut.len() as f64 * LUT_BUILD_S_PER_ENTRY;
+        let lut = Arc::new(builder.build_lut(&config)?);
+        Self::with_lut(gpu, config, lut, lut_build_time_s)
+    }
+
+    /// Opens a session reusing `cache` for the lookup table: on a cache hit
+    /// neither the host-side build nor the modeled build time is paid —
+    /// setup shrinks to the texture upload + bind of *this* device.
+    pub fn on_cached(
+        gpu: VirtualGpu,
+        config: SimConfig,
+        cache: &LutCache,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        let (lut, hit) = cache.get_or_build(&gpu, &config)?;
+        let charge = if hit {
+            zero_build_time
+        } else {
+            lut_build_time_s
+        };
+        Self::with_lut(gpu, config, lut, charge)
+    }
+
+    /// Shared constructor tail: binds `lut` on `gpu` and charges
+    /// `build_charge(&lut)` seconds of setup on top of upload + bind.
+    fn with_lut(
+        gpu: VirtualGpu,
+        config: SimConfig,
+        lut: Arc<LookupTable>,
+        build_charge: fn(&LookupTable) -> f64,
+    ) -> Result<Self, SimError> {
+        let build_time = build_charge(&lut);
         let side = config.roi_side;
         let (lut_tex, t_upload, t_bind) =
             gpu.bind_texture(side, side, lut.layers(), lut.data().to_vec())?;
@@ -100,7 +243,7 @@ impl AdaptiveSession {
             stars: &stars,
             image: &image_dev,
             lut_tex: &self.lut_tex,
-            lut: &self.lut,
+            lut: self.lut.as_ref(),
             star_count,
             width: config.width,
             height: config.height,
@@ -108,7 +251,12 @@ impl AdaptiveSession {
         };
         let cfg = LaunchConfig::star_centric(star_count.max(1), config.roi_side, self.gpu.spec())
             .with_shared_mem(3 * 4);
-        profile.kernels.push(self.gpu.launch("adaptive-lut", &kernel, cfg)?);
+        profile.kernels.push(self.gpu.launch_mode(
+            "adaptive-lut",
+            &kernel,
+            cfg,
+            config.exec_mode,
+        )?);
 
         let (host_pixels, t_down) = self.gpu.download(&image_dev);
         profile.push_overhead("CPU-GPU transmission", t_stars + t_img_up + t_down);
@@ -210,6 +358,56 @@ mod tests {
         let a100 = session.amortized_frame_cost(frame.app_time_s, 100);
         assert!(a1 > a100);
         assert!(a100 - frame.app_time_s < session.setup_time_s() / 50.0);
+    }
+
+    #[test]
+    fn lut_cache_hits_share_one_table_and_skip_build_time() {
+        let cache = LutCache::new();
+        let cold = AdaptiveSession::on_cached(VirtualGpu::gtx480(), cfg(), &cache).unwrap();
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 1, 1));
+
+        let warm = AdaptiveSession::on_cached(VirtualGpu::gtx480(), cfg(), &cache).unwrap();
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        // The warm session skips the modeled build: exactly the build time
+        // cheaper (upload + bind are identical on identical devices).
+        let build = cold.lut.len() as f64 * LUT_BUILD_S_PER_ENTRY;
+        assert!((cold.setup_time_s() - warm.setup_time_s() - build).abs() < 1e-12);
+        // Both sessions hold the *same* table allocation.
+        assert!(Arc::ptr_eq(&cold.lut, &warm.lut));
+
+        // A different optics key builds its own table.
+        let mut other = cfg();
+        other.sigma = 3.0;
+        let _ = AdaptiveSession::on_cached(VirtualGpu::gtx480(), other, &cache).unwrap();
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
+    }
+
+    #[test]
+    fn cached_session_renders_identically_to_uncached() {
+        let cat = FieldGenerator::new(128, 128).generate(200, 9);
+        let cache = LutCache::new();
+        let plain = AdaptiveSession::new(cfg()).unwrap();
+        let cached = AdaptiveSession::on_cached(VirtualGpu::gtx480(), cfg(), &cache).unwrap();
+        let warm = AdaptiveSession::on_cached(VirtualGpu::gtx480(), cfg(), &cache).unwrap();
+        let a = plain.render(&cat).unwrap();
+        let b = cached.render(&cat).unwrap();
+        let c = warm.render(&cat).unwrap();
+        let bits = |r: &SimulationReport| -> Vec<u32> {
+            r.image.data().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(bits(&a), bits(&b));
+        assert_eq!(bits(&a), bits(&c));
+        assert_eq!(a.app_time_s, b.app_time_s);
+        assert_eq!(a.app_time_s, c.app_time_s);
+    }
+
+    #[test]
+    fn lut_cache_propagates_build_errors() {
+        let cache = LutCache::new();
+        let mut bad = cfg();
+        bad.lut_mag_bins = usize::MAX / 1024; // blows the texture budget
+        assert!(AdaptiveSession::on_cached(VirtualGpu::gtx480(), bad, &cache).is_err());
+        assert!(cache.is_empty());
     }
 
     #[test]

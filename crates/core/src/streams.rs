@@ -123,8 +123,8 @@ mod tests {
         let r = report(4000);
         let e = streamed_estimate(&r, 1000);
         let transmission = r.profile.overhead_named("CPU-GPU transmission");
-        let star_frac = (r.stars * 12) as f64
-            / (2.0 * (256.0 * 256.0 * 4.0) + (r.stars * 12) as f64);
+        let star_frac =
+            (r.stars * 12) as f64 / (2.0 * (256.0 * 256.0 * 4.0) + (r.stars * 12) as f64);
         let u = transmission * star_frac;
         let expect = (transmission - u) + u.max(r.kernel_time_s());
         assert!(

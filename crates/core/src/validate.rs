@@ -154,7 +154,10 @@ mod tests {
         let Criterion::PeakNormalized(tight) = criterion_for("adaptive", &phased).unwrap() else {
             panic!("expected peak-normalized criterion")
         };
-        assert!(tight < loose / 3.0, "phases must tighten: {tight} vs {loose}");
+        assert!(
+            tight < loose / 3.0,
+            "phases must tighten: {tight} vs {loose}"
+        );
         let v = validate(&AdaptiveSimulator::new(), &cat, &phased).unwrap();
         assert!(v.passed, "{}", v.summary());
     }
@@ -162,8 +165,16 @@ mod tests {
     #[test]
     fn pixel_centric_and_multi_gpu_validate() {
         let (cat, cfg) = field();
-        assert!(validate(&PixelCentricSimulator::new(), &cat, &cfg).unwrap().passed);
-        assert!(validate(&MultiGpuSimulator::new(2), &cat, &cfg).unwrap().passed);
+        assert!(
+            validate(&PixelCentricSimulator::new(), &cat, &cfg)
+                .unwrap()
+                .passed
+        );
+        assert!(
+            validate(&MultiGpuSimulator::new(2), &cat, &cfg)
+                .unwrap()
+                .passed
+        );
     }
 
     #[test]
@@ -186,12 +197,7 @@ mod tests {
         ) -> Result<SimulationReport, SimError> {
             let mut r = SequentialSimulator::new().simulate(catalog, config)?;
             // Corrupt one lit pixel by 10%.
-            let idx = r
-                .image
-                .data()
-                .iter()
-                .position(|&v| v > 0.0)
-                .unwrap_or(0);
+            let idx = r.image.data().iter().position(|&v| v > 0.0).unwrap_or(0);
             r.image.data_mut()[idx] *= 1.1;
             Ok(r)
         }

@@ -58,7 +58,9 @@ mod tests {
         };
         assert!(oom.to_string().contains("texture"));
         assert!(oom.to_string().contains("100"));
-        assert!(GpuError::TransferMismatch("x".into()).to_string().contains("x"));
+        assert!(GpuError::TransferMismatch("x".into())
+            .to_string()
+            .contains("x"));
         assert!(GpuError::Other("y".into()).to_string().contains("y"));
     }
 }

@@ -8,25 +8,62 @@
 //! are deterministic regardless of how many host cores run the simulation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::counters::{Counters, SharedCounters};
 use crate::device::DeviceSpec;
 #[cfg(test)]
 use crate::dim::Dim3;
 use crate::error::GpuError;
-use crate::kernel::{Kernel, ThreadCtx};
+use crate::kernel::{BlockCtx, Kernel, ShadowSet, ThreadCtx};
 use crate::launch::LaunchConfig;
 use crate::memory::cache::CacheSim;
 use crate::memory::global::{AddressSpace, GlobalAtomicF32, GlobalBuffer};
 use crate::memory::shared::SharedMem;
 use crate::memory::texture::Texture;
 use crate::memory::transfer::{MemcpyKind, TransferModel};
-use crate::pool::{default_workers, parallel_for};
+use crate::pool::{default_workers, parallel_for, parallel_for_static};
 use crate::profiler::KernelProfile;
 use crate::timing::{kernel_time, occupancy, CostModel};
 use crate::warp::analyze_warp;
+
+/// How the executor runs a launch on the host.
+///
+/// Both modes produce identical counters, identical modeled times, and
+/// (for a fixed worker count) deterministic images; they differ only in
+/// host wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Per-thread interpretation with event traces fed through the warp
+    /// analyzer — the semantic ground truth. Slow but fully general.
+    Reference,
+    /// Block-batched fast path: kernels that implement
+    /// [`Kernel::run_block`] process a whole block per call with analytic
+    /// counter accounting and per-worker image privatization; kernels that
+    /// don't are executed block-by-block on the reference path inside the
+    /// same schedule.
+    #[default]
+    Batched,
+}
+
+impl ExecMode {
+    /// Parses the CLI spelling (`"reference"` / `"batched"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reference" => Some(ExecMode::Reference),
+            "batched" => Some(ExecMode::Batched),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecMode::Reference => "reference",
+            ExecMode::Batched => "batched",
+        }
+    }
+}
 
 /// A virtual GPU device.
 #[derive(Debug)]
@@ -36,6 +73,7 @@ pub struct VirtualGpu {
     transfer: TransferModel,
     space: AddressSpace,
     workers: usize,
+    exec_mode: ExecMode,
 }
 
 impl VirtualGpu {
@@ -48,6 +86,7 @@ impl VirtualGpu {
             transfer: TransferModel::pcie2(),
             space: AddressSpace::new(),
             workers: default_workers(),
+            exec_mode: ExecMode::default(),
         }
     }
 
@@ -73,6 +112,17 @@ impl VirtualGpu {
     pub fn with_transfer_model(mut self, transfer: TransferModel) -> Self {
         self.transfer = transfer;
         self
+    }
+
+    /// Overrides the default execution mode used by [`Self::launch`].
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Execution mode used by [`Self::launch`].
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Device specification.
@@ -142,20 +192,30 @@ impl VirtualGpu {
         Ok((tex, upload, self.cost.tex_bind_overhead_s))
     }
 
-    /// Launches a kernel: functionally executes every thread and returns the
-    /// modeled [`KernelProfile`].
+    /// Launches a kernel in the device's configured [`ExecMode`]:
+    /// functionally executes every thread and returns the modeled
+    /// [`KernelProfile`].
     pub fn launch<K: Kernel>(
         &self,
         name: &str,
         kernel: &K,
         cfg: LaunchConfig,
     ) -> Result<KernelProfile, GpuError> {
+        self.launch_mode(name, kernel, cfg, self.exec_mode)
+    }
+
+    /// Launches a kernel in an explicit [`ExecMode`], overriding the
+    /// device default for this launch only.
+    pub fn launch_mode<K: Kernel>(
+        &self,
+        name: &str,
+        kernel: &K,
+        cfg: LaunchConfig,
+        mode: ExecMode,
+    ) -> Result<KernelProfile, GpuError> {
         cfg.validate(&self.spec)?;
         let occ = occupancy(&self.spec, &cfg);
-        let shared_counters = SharedCounters::default();
-        let hazards = AtomicU64::new(0);
         let sm_count = self.spec.sm_count as usize;
-        let total_blocks = cfg.total_blocks();
 
         // Per-SM texture caches (per-SM texture L1 path on Fermi). Each SM
         // is processed by exactly one worker at a time, so the mutex is
@@ -170,19 +230,11 @@ impl VirtualGpu {
             .map(|_| Mutex::new(CacheSim::new(per_sm_bytes, line, ways)))
             .collect();
 
-        parallel_for(sm_count.min(total_blocks), self.workers, 1, |sm_id, _| {
-            let mut local = Counters::default();
-            let mut cache = caches[sm_id].lock();
-            let mut block = sm_id;
-            while block < total_blocks {
-                self.run_block(kernel, &cfg, block, &mut local, &mut cache, &hazards);
-                block += sm_count;
-            }
-            shared_counters.merge(&local);
-        });
+        let counters = match mode {
+            ExecMode::Reference => self.execute_reference(kernel, &cfg, &caches),
+            ExecMode::Batched => self.execute_batched(kernel, &cfg, &caches),
+        };
 
-        let mut counters = shared_counters.snapshot();
-        counters.shared_hazards = hazards.load(Ordering::Relaxed);
         let (time_s, cycles) = kernel_time(&counters, &self.spec, &self.cost, &occ);
         Ok(KernelProfile {
             name: name.to_string(),
@@ -193,8 +245,110 @@ impl VirtualGpu {
         })
     }
 
-    /// Executes one block: all phases, warp by warp.
-    fn run_block<K: Kernel>(
+    /// The reference executor: every thread interpreted, every warp traced.
+    fn execute_reference<K: Kernel>(
+        &self,
+        kernel: &K,
+        cfg: &LaunchConfig,
+        caches: &[Mutex<CacheSim>],
+    ) -> Counters {
+        let shared_counters = SharedCounters::default();
+        let hazards = AtomicU64::new(0);
+        let sm_count = self.spec.sm_count as usize;
+        let total_blocks = cfg.total_blocks();
+
+        parallel_for(sm_count.min(total_blocks), self.workers, 1, |sm_id, _| {
+            let mut local = Counters::default();
+            let mut cache = caches[sm_id].lock().unwrap();
+            let mut block = sm_id;
+            while block < total_blocks {
+                self.run_block_reference(kernel, cfg, block, &mut local, &mut cache, &hazards);
+                block += sm_count;
+            }
+            shared_counters.merge(&local);
+        });
+
+        let mut counters = shared_counters.snapshot();
+        counters.shared_hazards = hazards.load(Ordering::Relaxed);
+        counters
+    }
+
+    /// The batched executor: same SM schedule, but blocks whose kernel
+    /// implements [`Kernel::run_block`] are processed whole, accumulating
+    /// image output into per-worker private shadows that are merged in
+    /// worker order after the join (so the image is deterministic for a
+    /// fixed worker count, and counters/times for *any* worker count).
+    fn execute_batched<'k, K: Kernel>(
+        &self,
+        kernel: &'k K,
+        cfg: &LaunchConfig,
+        caches: &[Mutex<CacheSim>],
+    ) -> Counters {
+        let sm_count = self.spec.sm_count as usize;
+        let total_blocks = cfg.total_blocks();
+        let sms = sm_count.min(total_blocks);
+        let workers = self.workers.min(sms.max(1));
+        let hazards = AtomicU64::new(0);
+
+        struct WorkerState<'k> {
+            counters: Counters,
+            shadow: ShadowSet<'k>,
+        }
+        // One private state per worker. The static schedule guarantees each
+        // state is only ever touched by its worker, so the mutexes are
+        // uncontended; they exist to satisfy `Sync`.
+        let states: Vec<Mutex<WorkerState<'k>>> = (0..workers)
+            .map(|_| {
+                Mutex::new(WorkerState {
+                    counters: Counters::default(),
+                    shadow: ShadowSet::new(),
+                })
+            })
+            .collect();
+
+        parallel_for_static(sms, workers, |sm_id, worker| {
+            let mut state = states[worker].lock().unwrap();
+            let state = &mut *state;
+            let mut cache = caches[sm_id].lock().unwrap();
+            let mut block = sm_id;
+            while block < total_blocks {
+                let mut bctx = BlockCtx {
+                    block_idx: cfg.grid.delinearize(block),
+                    block_dim: cfg.block,
+                    grid_dim: cfg.grid,
+                    spec: &self.spec,
+                    counters: &mut state.counters,
+                    cache: &mut cache,
+                    shadow: &mut state.shadow,
+                };
+                if !kernel.run_block(&mut bctx) {
+                    self.run_block_reference(
+                        kernel,
+                        cfg,
+                        block,
+                        &mut state.counters,
+                        &mut cache,
+                        &hazards,
+                    );
+                }
+                block += sm_count;
+            }
+        });
+
+        // Deterministic reduction: counters and shadows merge in worker
+        // order, single-threaded.
+        let mut counters = Counters::default();
+        for s in states {
+            let state = s.into_inner().unwrap();
+            counters.merge(&state.counters);
+            state.shadow.merge();
+        }
+        counters.shared_hazards += hazards.load(Ordering::Relaxed);
+        counters
+    }
+
+    /// Executes one block on the reference path: all phases, warp by warp.
+    fn run_block_reference<K: Kernel>(
         &self,
         kernel: &K,
         cfg: &LaunchConfig,
@@ -238,12 +392,7 @@ impl VirtualGpu {
                     let thread_idx = cfg.block.delinearize(t);
                     let ctx_events = std::mem::take(trace);
                     let mut ctx = ThreadCtx::new(
-                        thread_idx,
-                        block_idx,
-                        cfg.block,
-                        cfg.grid,
-                        &shared,
-                        ctx_events,
+                        thread_idx, block_idx, cfg.block, cfg.grid, &shared, ctx_events,
                     );
                     kernel.run(phase, &mut ctx);
                     if ctx.exited() {
@@ -465,6 +614,114 @@ mod tests {
         let a = run(1);
         let b = run(4);
         assert_eq!(a, b, "counters must not depend on host parallelism");
+    }
+
+    #[test]
+    fn exec_modes_agree_for_fallback_kernels() {
+        // No kernel here implements `run_block`, so the batched executor
+        // runs every block on the reference path — but through its own
+        // scheduling and reduction. Counters and results must be identical.
+        let run = |mode: ExecMode| {
+            let gpu = VirtualGpu::gtx480().with_workers(4).with_exec_mode(mode);
+            let n = 4096;
+            let (x, _) = gpu.upload((0..n).map(|i| i as f32).collect::<Vec<_>>());
+            let (y, _) = gpu.upload_atomic_f32(&vec![0.5f32; n]);
+            let k = Saxpy {
+                a: 2.0,
+                x: &x,
+                y: &y,
+                n,
+            };
+            let p = gpu
+                .launch("saxpy", &k, LaunchConfig::new(32u32, 128u32))
+                .unwrap();
+            (p.counters, p.time_s, gpu.download(&y).0)
+        };
+        let (ca, ta, ia) = run(ExecMode::Reference);
+        let (cb, tb, ib) = run(ExecMode::Batched);
+        assert_eq!(ca, cb, "counters must not depend on the executor");
+        assert_eq!(ta, tb, "modeled time must not depend on the executor");
+        assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn exec_mode_parses_cli_spellings() {
+        assert_eq!(ExecMode::parse("reference"), Some(ExecMode::Reference));
+        assert_eq!(ExecMode::parse("batched"), Some(ExecMode::Batched));
+        assert_eq!(ExecMode::parse("turbo"), None);
+        assert_eq!(ExecMode::Batched.as_str(), "batched");
+        assert_eq!(ExecMode::Reference.as_str(), "reference");
+        assert_eq!(ExecMode::default(), ExecMode::Batched);
+    }
+
+    #[test]
+    fn hazard_detection_survives_batched_fallback() {
+        let gpu = VirtualGpu::gtx480().with_exec_mode(ExecMode::Batched);
+        let (src, _) = gpu.upload(vec![1.0f32; 4]);
+        let k = RacyBroadcast { src: &src };
+        let cfg = LaunchConfig::new(4u32, 32u32).with_shared_mem(4);
+        let profile = gpu.launch("racy", &k, cfg).unwrap();
+        assert!(profile.counters.shared_hazards > 0);
+    }
+
+    /// Each `DeviceSpec` launch limit, violated one at a time through
+    /// `gpu.launch`, must come back as a typed `InvalidLaunch` whose
+    /// message names the offending quantity.
+    mod launch_limits {
+        use super::*;
+
+        fn try_launch(cfg: LaunchConfig) -> GpuError {
+            let gpu = VirtualGpu::gtx480();
+            let (src, _) = gpu.upload(vec![1.0f32; 4]);
+            let k = RacyBroadcast { src: &src };
+            match gpu.launch("bad", &k, cfg) {
+                Err(e) => e,
+                Ok(_) => panic!("launch must be rejected"),
+            }
+        }
+
+        fn assert_invalid(cfg: LaunchConfig, needle: &str) {
+            match try_launch(cfg) {
+                GpuError::InvalidLaunch(msg) => {
+                    assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
+                }
+                other => panic!("expected InvalidLaunch, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn threads_per_block_limit() {
+            // 33×33 = 1089 > 1024 even though each dimension is legal.
+            assert_invalid(LaunchConfig::new(1u32, Dim3::d2(33, 33)), "1089");
+        }
+
+        #[test]
+        fn block_dim_z_limit() {
+            // 2×2×65 = 260 threads (legal) but z exceeds the 64 limit.
+            assert_invalid(LaunchConfig::new(1u32, Dim3::d3(2, 2, 65)), "per-dimension");
+        }
+
+        #[test]
+        fn grid_dim_x_limit() {
+            assert_invalid(LaunchConfig::new(65536u32, 32u32), "per-dimension");
+        }
+
+        #[test]
+        fn grid_dim_z_limit() {
+            assert_invalid(LaunchConfig::new(Dim3::d3(1, 1, 2), 32u32), "grid");
+        }
+
+        #[test]
+        fn shared_mem_limit() {
+            let spec = DeviceSpec::gtx480();
+            let cfg = LaunchConfig::new(1u32, 32u32).with_shared_mem(spec.shared_mem_per_block + 1);
+            assert_invalid(cfg, "shared");
+        }
+
+        #[test]
+        fn degenerate_launch_rejected() {
+            assert_invalid(LaunchConfig::new(0u32, 32u32), "degenerate");
+        }
     }
 
     #[test]

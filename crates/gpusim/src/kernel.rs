@@ -14,8 +14,10 @@
 //! logs an [`Event`] for the warp-level performance analysis (coalescing,
 //! bank conflicts, texture cache, atomic serialization, divergence).
 
-use crate::counters::FlopClass;
+use crate::counters::{Counters, FlopClass};
+use crate::device::DeviceSpec;
 use crate::dim::Dim3;
+use crate::memory::cache::CacheSim;
 use crate::memory::global::{GlobalAtomicF32, GlobalBuffer};
 use crate::memory::shared::SharedMem;
 use crate::memory::texture::Texture;
@@ -77,6 +79,106 @@ pub trait Kernel: Sync {
 
     /// Runs one thread through one phase.
     fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>);
+
+    /// Batched fast path: runs the *whole block* through all phases in one
+    /// call, returning `true` when handled.
+    ///
+    /// The default returns `false`, which makes the executor fall back to
+    /// the per-thread reference path ([`Self::run`]) for this block.
+    /// Implementations must produce bit-identical functional results and
+    /// *exactly* the counters the reference path would have produced — the
+    /// performance model is analytic either way, only the host-side
+    /// execution strategy changes. An implementation that cannot handle a
+    /// particular launch shape must return `false` **before mutating `ctx`
+    /// in any way** so the fallback starts from a clean slate.
+    ///
+    /// The `'k` lifetime ties shadow-buffer registrations in
+    /// [`BlockCtx::shadow`] to borrows of the kernel itself, letting
+    /// implementations hand their `&GlobalAtomicF32` fields to the
+    /// executor-owned [`ShadowSet`].
+    fn run_block<'k>(&'k self, _ctx: &mut BlockCtx<'k, '_>) -> bool {
+        false
+    }
+}
+
+/// Block-level execution context handed to [`Kernel::run_block`].
+///
+/// Unlike [`ThreadCtx`], which records events for post-hoc warp analysis,
+/// the block context exposes the counter bundle and the SM's texture cache
+/// directly: fast-path kernels account their own warp-level costs
+/// analytically while computing the functional result with tight loops.
+/// Fields are public (rather than wrapped in methods) so a kernel can
+/// borrow `counters`, `cache` and `shadow` simultaneously.
+#[derive(Debug)]
+pub struct BlockCtx<'k, 'a> {
+    /// `blockIdx`.
+    pub block_idx: Dim3,
+    /// `blockDim`.
+    pub block_dim: Dim3,
+    /// `gridDim`.
+    pub grid_dim: Dim3,
+    /// Device being simulated (warp size, coalescing segment width, …).
+    pub spec: &'a DeviceSpec,
+    /// Counter bundle this block accounts into (merged across workers by
+    /// the executor after the launch).
+    pub counters: &'a mut Counters,
+    /// The owning SM's texture cache. Fast-path kernels feed it the same
+    /// swizzled addresses, in the same order, as the reference path.
+    pub cache: &'a mut CacheSim,
+    /// The worker's private accumulation buffers (image privatization).
+    pub shadow: &'a mut ShadowSet<'k>,
+}
+
+impl BlockCtx<'_, '_> {
+    /// Linear block index within the grid.
+    #[inline]
+    pub fn block_linear(&self) -> usize {
+        self.grid_dim.linear(self.block_idx)
+    }
+}
+
+/// Per-worker private shadows of `atomicAdd` target buffers.
+///
+/// Instead of CAS-looping on the shared [`GlobalAtomicF32`] from every
+/// worker, each worker of the batched executor accumulates into a private
+/// `f32` image registered here, and the executor merges the shadows into
+/// their targets in worker order once all workers have joined. The merge is
+/// single-threaded, so the result is deterministic for a fixed worker
+/// count; modeled atomic traffic is accounted analytically by the kernel's
+/// `run_block`, unaffected by this host-side strategy.
+#[derive(Debug, Default)]
+pub struct ShadowSet<'k> {
+    bufs: Vec<(&'k GlobalAtomicF32, Vec<f32>)>,
+}
+
+impl<'k> ShadowSet<'k> {
+    /// An empty shadow set.
+    pub fn new() -> Self {
+        ShadowSet { bufs: Vec::new() }
+    }
+
+    /// `shadow[buf][idx] += v`, allocating the shadow of `buf` (zeroed, one
+    /// slot per element) on first use. Buffers are identified by address;
+    /// launches touch one or two, so the linear scan is free.
+    #[inline]
+    pub fn add(&mut self, buf: &'k GlobalAtomicF32, idx: usize, v: f32) {
+        if let Some((_, vals)) = self.bufs.iter_mut().find(|(b, _)| std::ptr::eq(*b, buf)) {
+            vals[idx] += v;
+            return;
+        }
+        let mut vals = vec![0.0f32; buf.len()];
+        vals[idx] += v;
+        self.bufs.push((buf, vals));
+    }
+
+    /// Adds every accumulated value into its target buffer. Called by the
+    /// executor with all workers joined, so the plain read-modify-write in
+    /// [`GlobalAtomicF32::merge_add`] is race-free.
+    pub(crate) fn merge(self) {
+        for (buf, vals) in self.bufs {
+            buf.merge_add(&vals);
+        }
+    }
 }
 
 /// Per-thread execution context: identity, shared memory, and event log.

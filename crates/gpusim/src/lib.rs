@@ -74,8 +74,8 @@ pub use counters::{Counters, FlopClass};
 pub use device::DeviceSpec;
 pub use dim::Dim3;
 pub use error::GpuError;
-pub use exec::VirtualGpu;
-pub use kernel::{Event, Kernel, ThreadCtx};
+pub use exec::{ExecMode, VirtualGpu};
+pub use kernel::{BlockCtx, Event, Kernel, ShadowSet, ThreadCtx};
 pub use launch::LaunchConfig;
 pub use memory::global::{GlobalAtomicF32, GlobalBuffer};
 pub use memory::texture::Texture;

@@ -156,6 +156,24 @@ impl GlobalAtomicF32 {
         }
     }
 
+    /// Single-writer bulk add: `self[i] += vals[i]` for every non-zero
+    /// entry of `vals` (which may be shorter than the buffer).
+    ///
+    /// Used by the batched executor to merge per-worker shadow images after
+    /// all workers have joined; because merges are sequential, a plain
+    /// load/store per element replaces the CAS loop. Skipping zeros is
+    /// bit-exact here: `x + 0.0 == x` bitwise for every non-negative `x`,
+    /// and accumulated intensities are non-negative.
+    pub fn merge_add(&self, vals: &[f32]) {
+        debug_assert!(vals.len() <= self.data.len());
+        for (cell, &v) in self.data.iter().zip(vals) {
+            if v != 0.0 {
+                let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+                cell.store((cur + v).to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Plain read (used by downloads after kernels complete).
     #[inline]
     pub fn read(&self, idx: usize) -> f32 {
@@ -237,6 +255,20 @@ mod tests {
         });
         let total: f64 = buf.to_host().iter().map(|&v| v as f64).sum();
         assert_eq!(total, 16_000.0);
+    }
+
+    #[test]
+    fn merge_add_matches_atomic_adds() {
+        let space = AddressSpace::new();
+        let a = GlobalAtomicF32::from_host(&space, &[1.0, 2.0, 3.0, 4.0]);
+        let b = GlobalAtomicF32::from_host(&space, &[1.0, 2.0, 3.0, 4.0]);
+        let delta = [0.5f32, 0.0, 1.25];
+        a.merge_add(&delta);
+        for (i, &v) in delta.iter().enumerate() {
+            b.atomic_add(i, v);
+        }
+        assert_eq!(a.to_host(), b.to_host());
+        assert_eq!(a.read(3), 4.0, "entries past the shadow are untouched");
     }
 
     #[test]

@@ -108,8 +108,7 @@ impl Texture {
         let yi = y.clamp(0, self.height as i64 - 1) as usize;
         let value = self.data[(l * self.height + yi) * self.width + xi];
         let addr = self.base_addr
-            + ((l * self.pitch_pow2 * self.pitch_pow2 + morton2(xi as u32, yi as u32)) * 4)
-                as u64;
+            + ((l * self.pitch_pow2 * self.pitch_pow2 + morton2(xi as u32, yi as u32)) * 4) as u64;
         (value, addr)
     }
 }

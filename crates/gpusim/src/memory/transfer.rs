@@ -103,8 +103,6 @@ mod tests {
             h2d_bandwidth: 1e9,
             d2h_bandwidth: 2e9,
         };
-        assert!(
-            m.time(MemcpyKind::HostToDevice, 1000) > m.time(MemcpyKind::DeviceToHost, 1000)
-        );
+        assert!(m.time(MemcpyKind::HostToDevice, 1000) > m.time(MemcpyKind::DeviceToHost, 1000));
     }
 }

@@ -54,6 +54,76 @@ where
     });
 }
 
+/// Runs `body(index, worker_id)` for every index in `0..count` with a
+/// *static* assignment: worker `w` processes indices `w, w + workers,
+/// w + 2·workers, …` in ascending order.
+///
+/// Unlike [`parallel_for`], the index → worker mapping is a pure function
+/// of `(count, workers)`, so per-worker side effects (e.g. the batched
+/// executor's private accumulation buffers) are reproducible run to run
+/// for a fixed worker count. With `workers == 1` the loop runs inline.
+pub fn parallel_for_static<F>(count: usize, workers: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let workers = workers.max(1).min(count.max(1));
+    if count == 0 {
+        return;
+    }
+    if workers == 1 {
+        for i in 0..count {
+            body(i, 0);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for worker_id in 0..workers {
+            let body = &body;
+            s.spawn(move || {
+                let mut i = worker_id;
+                while i < count {
+                    body(i, worker_id);
+                    i += workers;
+                }
+            });
+        }
+    });
+}
+
+/// Splits `data` into consecutive chunks of `chunk` elements (the last may
+/// be short) and runs `body(chunk_index, chunk_slice)` for each, spreading
+/// chunks over `workers` threads.
+///
+/// This is the safe façade over the one `unsafe` trick the pool needs:
+/// handing each worker a `&mut` sub-slice of the same allocation. The
+/// chunks are disjoint by construction and [`parallel_for`] visits every
+/// index exactly once, so no element is aliased.
+pub fn parallel_fill_chunks<T, F>(data: &mut [T], chunk: usize, workers: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk = chunk.max(1);
+    let n_chunks = data.len().div_ceil(chunk);
+    let len = data.len();
+    let base = SlicePtr(data.as_mut_ptr());
+    let base = &base; // capture the Sync wrapper, not the raw pointer field
+    parallel_for(n_chunks, workers, 1, |c, _| {
+        let start = c * chunk;
+        let end = (start + chunk).min(len);
+        // SAFETY: chunks [start, end) are pairwise disjoint across distinct
+        // `c`, each `c` is visited exactly once, and `data` is exclusively
+        // borrowed for the duration of the call.
+        let slice = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+        body(c, slice);
+    });
+}
+
+/// Raw base pointer wrapper so the closure can be `Sync`. Disjointness of
+/// the per-chunk slices is what actually makes the access sound.
+struct SlicePtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SlicePtr<T> {}
+
 /// The number of workers to use by default: one per available core.
 pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -113,5 +183,56 @@ mod tests {
     #[test]
     fn default_workers_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn static_schedule_visits_every_index_once() {
+        let n = 1013;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_static(n, 4, |i, w| {
+            assert_eq!(i % 4, w, "static mapping: index {i} on worker {w}");
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn static_schedule_inline_when_single_worker() {
+        let order = std::sync::Mutex::new(Vec::new());
+        parallel_for_static(4, 1, |i, w| {
+            assert_eq!(w, 0);
+            order.lock().unwrap().push(i);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn static_schedule_zero_count_noop() {
+        parallel_for_static(0, 4, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn fill_chunks_writes_every_element() {
+        let mut data = vec![0u64; 10_000];
+        parallel_fill_chunks(&mut data, 64, 4, |c, out| {
+            for (k, v) in out.iter_mut().enumerate() {
+                *v = (c * 64 + k) as u64;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn fill_chunks_handles_ragged_tail_and_empty() {
+        let mut data = vec![0u8; 10];
+        parallel_fill_chunks(&mut data, 4, 3, |c, out| {
+            assert_eq!(out.len(), if c == 2 { 2 } else { 4 });
+            out.fill(c as u8 + 1);
+        });
+        assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
+        let mut empty: Vec<u8> = Vec::new();
+        parallel_fill_chunks(&mut empty, 4, 3, |_, _| panic!("must not be called"));
     }
 }

@@ -140,12 +140,18 @@ impl AppProfile {
     pub fn kernel_time(&self) -> f64 {
         // fold from +0.0: `Iterator::sum` yields -0.0 on empty input,
         // which formats as "-0.000".
-        self.kernels.iter().map(|k| k.time_s).fold(0.0, |a, b| a + b)
+        self.kernels
+            .iter()
+            .map(|k| k.time_s)
+            .fold(0.0, |a, b| a + b)
     }
 
     /// Total non-kernel time, seconds.
     pub fn non_kernel_time(&self) -> f64 {
-        self.overheads.iter().map(|o| o.time_s).fold(0.0, |a, b| a + b)
+        self.overheads
+            .iter()
+            .map(|o| o.time_s)
+            .fold(0.0, |a, b| a + b)
     }
 
     /// Application time: kernel + non-kernel.

@@ -37,7 +37,12 @@ pub struct CycleBreakdown {
 impl CycleBreakdown {
     /// Total cycles across all components.
     pub fn total(&self) -> f64 {
-        self.arith + self.special + self.shared + self.global + self.texture + self.atomic
+        self.arith
+            + self.special
+            + self.shared
+            + self.global
+            + self.texture
+            + self.atomic
             + self.control
     }
 }
@@ -56,8 +61,7 @@ pub fn kernel_time(
     // An SM with fewer scalar cores than the warp width issues one warp
     // instruction over several cycles (GT200: 8 SPs ⇒ 4 cycles/warp;
     // Fermi: 32 SPs ⇒ 1). Compute-pipeline costs scale by that factor.
-    let issue_factor =
-        (device.warp_size as f64 / device.cores_per_sm as f64).max(1.0);
+    let issue_factor = (device.warp_size as f64 / device.cores_per_sm as f64).max(1.0);
 
     let breakdown = CycleBreakdown {
         arith: counters.arith_issues as f64 * cost.arith_cpi * issue_factor,

@@ -75,7 +75,10 @@ mod tests {
         assert_eq!(occ.warps_per_sm, 32);
         assert!((occ.fraction - 32.0 / 48.0).abs() < 1e-12);
         assert_eq!(occ.active_sms, 15);
-        assert!((occ.effective_warps - 32.0).abs() < 1e-9, "plenty of blocks");
+        assert!(
+            (occ.effective_warps - 32.0).abs() < 1e-9,
+            "plenty of blocks"
+        );
     }
 
     #[test]

@@ -1,123 +1,152 @@
-//! Property-based tests of the virtual GPU's analyzers and timing model.
+//! Property-style tests of the virtual GPU's analyzers and timing model.
+//!
+//! Hand-rolled deterministic property loops (seeded `simrng`) instead of
+//! `proptest`, so the workspace tests run with no registry access.
 
-use proptest::prelude::*;
+use simrng::Rng64;
 
 use gpusim::memory::cache::CacheSim;
 use gpusim::timing::{kernel_time, occupancy, CostModel};
 use gpusim::warp::{atomic_serialization_extra, bank_conflict_extra, coalesce_transactions};
 use gpusim::{Counters, DeviceSpec, Dim3, LaunchConfig};
 
-proptest! {
-    /// Coalescing: the transaction count of a warp access is bounded by
-    /// [1, lanes] and is invariant under permutation of the lanes.
-    #[test]
-    fn coalesce_bounds_and_permutation(
-        mut addrs in prop::collection::vec(0u64..1_000_000, 1..32),
-    ) {
+fn vec_u64(rng: &mut Rng64, len_lo: usize, len_hi: usize, hi: u64) -> Vec<u64> {
+    let len = rng.range_usize(len_lo, len_hi);
+    (0..len).map(|_| rng.range_u64(0, hi)).collect()
+}
+
+/// Coalescing: the transaction count of a warp access is bounded by
+/// [1, 2·lanes] and is invariant under permutation of the lanes.
+#[test]
+fn coalesce_bounds_and_permutation() {
+    let mut rng = Rng64::new(0xC0A1);
+    for _ in 0..256 {
+        let mut addrs = vec_u64(&mut rng, 1, 32, 1_000_000);
         let accesses: Vec<(u64, u16)> = addrs.iter().map(|&a| (a, 4)).collect();
         let t = coalesce_transactions(&accesses, 128);
-        prop_assert!(t >= 1);
+        assert!(t >= 1);
         // An unaligned 4-byte access can straddle a segment boundary, so
         // the bound is two segments per lane.
-        prop_assert!(t as usize <= accesses.len() * 2);
+        assert!(t as usize <= accesses.len() * 2);
         addrs.reverse();
         let rev: Vec<(u64, u16)> = addrs.iter().map(|&a| (a, 4)).collect();
-        prop_assert_eq!(t, coalesce_transactions(&rev, 128));
+        assert_eq!(t, coalesce_transactions(&rev, 128));
     }
+}
 
-    /// Coalescing is monotone in access width: widening every access can
-    /// only add segments.
-    #[test]
-    fn coalesce_monotone_in_width(
-        addrs in prop::collection::vec(0u64..100_000, 1..32),
-    ) {
+/// Coalescing is monotone in access width: widening every access can
+/// only add segments.
+#[test]
+fn coalesce_monotone_in_width() {
+    let mut rng = Rng64::new(0xC0A2);
+    for _ in 0..256 {
+        let addrs = vec_u64(&mut rng, 1, 32, 100_000);
         let narrow: Vec<(u64, u16)> = addrs.iter().map(|&a| (a, 4)).collect();
         let wide: Vec<(u64, u16)> = addrs.iter().map(|&a| (a, 16)).collect();
-        prop_assert!(
-            coalesce_transactions(&wide, 128) >= coalesce_transactions(&narrow, 128)
-        );
+        assert!(coalesce_transactions(&wide, 128) >= coalesce_transactions(&narrow, 128));
     }
+}
 
-    /// Bank conflicts: extra cycles are bounded by distinct-word count − 1
-    /// and by lanes − 1; duplicate words (broadcast) never add conflicts.
-    #[test]
-    fn bank_conflict_bounds(words in prop::collection::vec(0u32..4096, 1..32)) {
+/// Bank conflicts: extra cycles are bounded by distinct-word count − 1
+/// and by lanes − 1; duplicate words (broadcast) never add conflicts.
+#[test]
+fn bank_conflict_bounds() {
+    let mut rng = Rng64::new(0xBA7C);
+    for _ in 0..256 {
+        let words: Vec<u32> = {
+            let len = rng.range_usize(1, 32);
+            (0..len).map(|_| rng.range_u64(0, 4096) as u32).collect()
+        };
         let extra = bank_conflict_extra(&words, 32);
         let mut distinct = words.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert!(extra <= distinct.len() as u64 - 1 + 1);
-        prop_assert!(extra < words.len() as u64 + 1);
+        assert!(extra <= distinct.len() as u64 - 1 + 1);
+        assert!(extra < words.len() as u64 + 1);
         // Duplicating the whole access pattern changes nothing.
         let mut doubled = words.clone();
         doubled.extend_from_slice(&words);
-        prop_assert_eq!(extra, bank_conflict_extra(&doubled, 32));
+        assert_eq!(extra, bank_conflict_extra(&doubled, 32));
     }
+}
 
-    /// Atomic serialization: total extra steps = lanes − distinct addresses.
-    #[test]
-    fn atomic_serialization_identity(addrs in prop::collection::vec(0u64..64, 1..32)) {
+/// Atomic serialization: total extra steps = lanes − distinct addresses.
+#[test]
+fn atomic_serialization_identity() {
+    let mut rng = Rng64::new(0xA703);
+    for _ in 0..256 {
+        let addrs = vec_u64(&mut rng, 1, 32, 64);
         let extra = atomic_serialization_extra(&addrs);
         let mut distinct = addrs.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert_eq!(extra, (addrs.len() - distinct.len()) as u64);
+        assert_eq!(extra, (addrs.len() - distinct.len()) as u64);
     }
+}
 
-    /// Cache: hits + misses equals accesses; a repeat of the very last
-    /// address always hits.
-    #[test]
-    fn cache_accounting(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// Cache: hits + misses equals accesses; a repeat of the very last
+/// address always hits.
+#[test]
+fn cache_accounting() {
+    let mut rng = Rng64::new(0xCAC4E);
+    for _ in 0..128 {
+        let addrs = vec_u64(&mut rng, 1, 200, 1_000_000);
         let mut cache = CacheSim::new(4096, 64, 4);
         for &a in &addrs {
             cache.access(a);
         }
-        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+        assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
         let last = *addrs.last().unwrap();
-        prop_assert!(cache.access(last), "immediate re-access must hit");
+        assert!(cache.access(last), "immediate re-access must hit");
     }
+}
 
-    /// Occupancy stays within the device's architectural bounds for every
-    /// valid launch shape.
-    #[test]
-    fn occupancy_bounds(
-        blocks in 1u32..200_000,
-        tx in 1u32..33,
-        ty in 1u32..33,
-        smem in 0usize..48 * 1024,
-    ) {
-        let dev = DeviceSpec::gtx480();
-        let cfg = LaunchConfig::star_centric(blocks as usize, 1, &dev);
+/// Occupancy stays within the device's architectural bounds for every
+/// valid launch shape.
+#[test]
+fn occupancy_bounds() {
+    let mut rng = Rng64::new(0x0CC);
+    let dev = DeviceSpec::gtx480();
+    for _ in 0..512 {
+        let blocks = rng.range_usize(1, 200_000);
+        let tx = rng.range_usize(1, 33) as u32;
+        let ty = rng.range_usize(1, 33) as u32;
+        let smem = rng.range_usize(0, 48 * 1024);
+        let base = LaunchConfig::star_centric(blocks, 1, &dev);
         // Replace the block shape with the generated one (may exceed caps;
         // skip those — validate() guards real launches).
         let cfg = LaunchConfig {
-            grid: cfg.grid,
+            grid: base.grid,
             block: Dim3::d2(tx, ty),
             shared_mem_bytes: smem,
         };
-        prop_assume!(cfg.validate(&dev).is_ok());
+        if cfg.validate(&dev).is_err() {
+            continue;
+        }
         let occ = occupancy(&dev, &cfg);
-        prop_assert!(occ.blocks_per_sm >= 1);
-        prop_assert!(occ.blocks_per_sm <= dev.max_blocks_per_sm);
-        prop_assert!(occ.warps_per_sm <= dev.max_warps_per_sm + cfg.warps_per_block(&dev) as u32);
-        prop_assert!(occ.active_sms >= 1 && occ.active_sms <= dev.sm_count);
-        prop_assert!(occ.effective_warps >= 1.0);
-        prop_assert!(occ.fraction > 0.0);
+        assert!(occ.blocks_per_sm >= 1);
+        assert!(occ.blocks_per_sm <= dev.max_blocks_per_sm);
+        assert!(occ.warps_per_sm <= dev.max_warps_per_sm + cfg.warps_per_block(&dev) as u32);
+        assert!(occ.active_sms >= 1 && occ.active_sms <= dev.sm_count);
+        assert!(occ.effective_warps >= 1.0);
+        assert!(occ.fraction > 0.0);
     }
+}
 
-    /// Kernel time is monotone in every counter: adding work never makes
-    /// the modeled kernel faster.
-    #[test]
-    fn kernel_time_monotone(
-        arith in 0u64..1_000_000,
-        special in 0u64..100_000,
-        trans in 0u64..100_000,
-        extra in 1u64..50_000,
-    ) {
-        let dev = DeviceSpec::gtx480();
-        let cost = CostModel::fermi();
-        let cfg = LaunchConfig::star_centric(8192, 10, &dev);
-        let occ = occupancy(&dev, &cfg);
+/// Kernel time is monotone in every counter: adding work never makes
+/// the modeled kernel faster.
+#[test]
+fn kernel_time_monotone() {
+    let mut rng = Rng64::new(0x713E);
+    let dev = DeviceSpec::gtx480();
+    let cost = CostModel::fermi();
+    let cfg = LaunchConfig::star_centric(8192, 10, &dev);
+    let occ = occupancy(&dev, &cfg);
+    for _ in 0..256 {
+        let arith = rng.range_u64(0, 1_000_000);
+        let special = rng.range_u64(0, 100_000);
+        let trans = rng.range_u64(0, 100_000);
+        let extra = rng.range_u64(1, 50_000);
         let base = Counters {
             arith_issues: arith,
             special_issues: special,
@@ -126,24 +155,50 @@ proptest! {
         };
         let (t0, _) = kernel_time(&base, &dev, &cost, &occ);
         for grow in [
-            Counters { arith_issues: arith + extra, ..base },
-            Counters { special_issues: special + extra, ..base },
-            Counters { global_transactions: trans + extra, ..base },
-            Counters { atomic_requests: extra, ..base },
-            Counters { shared_requests: extra, ..base },
-            Counters { tex_fetches: extra, tex_hits: 0, tex_requests: 1, ..base },
+            Counters {
+                arith_issues: arith + extra,
+                ..base
+            },
+            Counters {
+                special_issues: special + extra,
+                ..base
+            },
+            Counters {
+                global_transactions: trans + extra,
+                ..base
+            },
+            Counters {
+                atomic_requests: extra,
+                ..base
+            },
+            Counters {
+                shared_requests: extra,
+                ..base
+            },
+            Counters {
+                tex_fetches: extra,
+                tex_hits: 0,
+                tex_requests: 1,
+                ..base
+            },
         ] {
             let (t1, _) = kernel_time(&grow, &dev, &cost, &occ);
-            prop_assert!(t1 >= t0, "more work must not be faster: {t1} < {t0}");
+            assert!(t1 >= t0, "more work must not be faster: {t1} < {t0}");
         }
     }
+}
 
-    /// Dim3 linearization round-trips for every shape.
-    #[test]
-    fn dim3_roundtrip(x in 1u32..50, y in 1u32..50, z in 1u32..8) {
+/// Dim3 linearization round-trips for every shape.
+#[test]
+fn dim3_roundtrip() {
+    let mut rng = Rng64::new(0xD13);
+    for _ in 0..64 {
+        let x = rng.range_usize(1, 50) as u32;
+        let y = rng.range_usize(1, 50) as u32;
+        let z = rng.range_usize(1, 8) as u32;
         let shape = Dim3::d3(x, y, z);
         for i in 0..shape.count() {
-            prop_assert_eq!(shape.linear(shape.delinearize(i)), i);
+            assert_eq!(shape.linear(shape.delinearize(i)), i);
         }
     }
 }

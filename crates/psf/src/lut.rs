@@ -90,25 +90,35 @@ impl LookupTable {
         let brightness = BrightnessTable::build(lo, hi, params.mag_bins, a_factor);
         let side = roi.side();
         let margin = roi.margin() as f32;
-        let mut data = Vec::with_capacity(params.mag_bins * params.phases * params.phases * side * side);
-        for mb in 0..params.mag_bins {
-            let g = brightness.at_bin(mb);
-            for py in 0..params.phases {
-                let fy = Self::phase_centre(py, params.phases);
-                for px in 0..params.phases {
-                    let fx = Self::phase_centre(px, params.phases);
-                    for j in 0..side {
-                        let dy = j as f32 - margin - fy;
-                        for i in 0..side {
-                            let dx = i as f32 - margin - fx;
-                            // μ evaluated at the ROI offset relative to the
-                            // (possibly sub-pixel) star centre.
-                            data.push(g * model_psf.eval(dx, dy, 0.0, 0.0));
-                        }
+        // Layers (mag × phase² combinations) are independent side²-entry
+        // slices, so the build parallelizes over them; each entry is the
+        // same expression the sequential loop evaluated, so the table is
+        // bit-identical regardless of worker count.
+        let phases = params.phases;
+        let layers = params.mag_bins * phases * phases;
+        let mut data = vec![0.0f32; layers * side * side];
+        gpusim::pool::parallel_fill_chunks(
+            &mut data,
+            side * side,
+            gpusim::pool::default_workers(),
+            |layer, out| {
+                let mb = layer / (phases * phases);
+                let rem = layer % (phases * phases);
+                let (py, px) = (rem / phases, rem % phases);
+                let g = brightness.at_bin(mb);
+                let fy = Self::phase_centre(py, phases);
+                let fx = Self::phase_centre(px, phases);
+                for j in 0..side {
+                    let dy = j as f32 - margin - fy;
+                    for i in 0..side {
+                        let dx = i as f32 - margin - fx;
+                        // μ evaluated at the ROI offset relative to the
+                        // (possibly sub-pixel) star centre.
+                        out[j * side + i] = g * model_psf.eval(dx, dy, 0.0, 0.0);
                     }
                 }
-            }
-        }
+            },
+        );
         Ok(LookupTable {
             params,
             roi,
@@ -237,15 +247,57 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_matches_sequential_loop_bitwise() {
+        // The build fans layers out across workers; every entry must still
+        // be the exact bits the original single-threaded loop produced.
+        let model = PsfModel::integrated(1.2);
+        let a_factor = 800.0;
+        let roi = Roi::new(7);
+        let params = LutParams {
+            mag_bins: 9,
+            phases: 3,
+            mag_range: (1.0, 12.0),
+        };
+        let t = LookupTable::build(&model, a_factor, roi, params.clone(), None).unwrap();
+
+        let brightness = BrightnessTable::build(
+            params.mag_range.0,
+            params.mag_range.1,
+            params.mag_bins,
+            a_factor,
+        );
+        let side = roi.side();
+        let margin = roi.margin() as f32;
+        let mut expect = Vec::with_capacity(t.len());
+        for mb in 0..params.mag_bins {
+            let g = brightness.at_bin(mb);
+            for py in 0..params.phases {
+                let fy = LookupTable::phase_centre(py, params.phases);
+                for px in 0..params.phases {
+                    let fx = LookupTable::phase_centre(px, params.phases);
+                    for j in 0..side {
+                        let dy = j as f32 - margin - fy;
+                        for i in 0..side {
+                            let dx = i as f32 - margin - fx;
+                            expect.push(g * model.eval(dx, dy, 0.0, 0.0));
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(expect.len(), t.len());
+        for (k, (&got, &want)) in t.data().iter().zip(&expect).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "entry {k} diverged");
+        }
+    }
+
+    #[test]
     fn dimensions_and_size() {
         let t = table(1, 256);
         assert_eq!(t.len(), 256 * 10 * 10);
         assert_eq!(t.layers(), 256);
         assert!(!t.is_empty());
-        assert_eq!(
-            LookupTable::size_bytes(t.params(), t.roi()),
-            256 * 100 * 4
-        );
+        assert_eq!(LookupTable::size_bytes(t.params(), t.roi()), 256 * 100 * 4);
         let t2 = table(4, 64);
         assert_eq!(t2.layers(), 64 * 16);
     }

@@ -116,14 +116,7 @@ impl ClippedRoi {
         let (x0, x1, y0, y1) = (self.x0, self.x1, self.y0, self.y1);
         let (fx0, fy0) = (self.full_x0, self.full_y0);
         (y0..y1).flat_map(move |y| {
-            (x0..x1).map(move |x| {
-                (
-                    x,
-                    y,
-                    (x as i64 - fx0) as usize,
-                    (y as i64 - fy0) as usize,
-                )
-            })
+            (x0..x1).map(move |x| (x, y, (x as i64 - fx0) as usize, (y as i64 - fy0) as usize))
         })
     }
 }

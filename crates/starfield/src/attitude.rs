@@ -108,7 +108,11 @@ impl Attitude {
             ]
         };
         let t = cross(u, [v[0] * 1.0, v[1] * 1.0, v[2] * 1.0]);
-        let t = [t[0] + self.w * v[0], t[1] + self.w * v[1], t[2] + self.w * v[2]];
+        let t = [
+            t[0] + self.w * v[0],
+            t[1] + self.w * v[1],
+            t[2] + self.w * v[2],
+        ];
         let c = cross(u, t);
         [v[0] + 2.0 * c[0], v[1] + 2.0 * c[1], v[2] + 2.0 * c[2]]
     }

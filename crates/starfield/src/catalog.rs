@@ -201,11 +201,7 @@ mod tests {
     #[test]
     fn total_brightness_adds_up() {
         let c = sample();
-        let expect: f64 = c
-            .stars()
-            .iter()
-            .map(|s| s.brightness(1000.0) as f64)
-            .sum();
+        let expect: f64 = c.stars().iter().map(|s| s.brightness(1000.0) as f64).sum();
         assert!((c.total_brightness(1000.0) - expect).abs() < 1e-9);
     }
 

@@ -157,9 +157,6 @@ mod tests {
         write_binary(&cat, &mut buf).unwrap();
         buf[20] ^= 0x40; // flip a bit in the first record
         let err = read_binary(&buf[..]).unwrap_err();
-        assert!(
-            err.to_string().contains("checksum"),
-            "got: {err}"
-        );
+        assert!(err.to_string().contains("checksum"), "got: {err}");
     }
 }

@@ -74,10 +74,7 @@ impl SkyCatalog {
                     && p.x < camera.width as f32 + margin_px
                     && p.y < camera.height as f32 + margin_px;
                 if in_window {
-                    out.push(Star {
-                        pos: p,
-                        mag: s.mag,
-                    });
+                    out.push(Star { pos: p, mag: s.mag });
                 }
             }
         }

@@ -5,9 +5,7 @@
 //! generators reproduce that setup deterministically, plus two more
 //! realistic distributions used by the examples.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simrng::Rng64;
 
 use crate::catalog::StarCatalog;
 use crate::fov::SkyCatalog;
@@ -95,19 +93,20 @@ impl FieldGenerator {
     /// The same `(seed, count, models, image size)` always produces the same
     /// catalogue, so experiments are reproducible run-to-run.
     pub fn generate(&self, count: usize, seed: u64) -> StarCatalog {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut stars = Vec::with_capacity(count);
 
         // Pre-draw cluster centres if needed so cluster layout is stable in
         // `count` (adding stars doesn't reshuffle centres).
         let centres: Vec<(f32, f32)> = match self.positions {
-            PositionModel::Clustered { clusters, .. } => {
-                let ux = Uniform::new(0.0f32, self.width as f32);
-                let uy = Uniform::new(0.0f32, self.height as f32);
-                (0..clusters.max(1))
-                    .map(|_| (ux.sample(&mut rng), uy.sample(&mut rng)))
-                    .collect()
-            }
+            PositionModel::Clustered { clusters, .. } => (0..clusters.max(1))
+                .map(|_| {
+                    (
+                        rng.range_f32(0.0, self.width as f32),
+                        rng.range_f32(0.0, self.height as f32),
+                    )
+                })
+                .collect(),
             _ => Vec::new(),
         };
 
@@ -119,20 +118,20 @@ impl FieldGenerator {
         StarCatalog::from_stars(stars)
     }
 
-    fn sample_position(&self, rng: &mut StdRng, centres: &[(f32, f32)]) -> (f32, f32) {
+    fn sample_position(&self, rng: &mut Rng64, centres: &[(f32, f32)]) -> (f32, f32) {
         let w = self.width as f32;
         let h = self.height as f32;
         match self.positions {
-            PositionModel::Uniform => (rng.gen_range(0.0..w), rng.gen_range(0.0..h)),
+            PositionModel::Uniform => (rng.range_f32(0.0, w), rng.range_f32(0.0, h)),
             PositionModel::UniformPixelCentred => (
-                rng.gen_range(0..self.width) as f32,
-                rng.gen_range(0..self.height) as f32,
+                rng.range_usize(0, self.width) as f32,
+                rng.range_usize(0, self.height) as f32,
             ),
             PositionModel::Clustered { sigma_px, .. } => {
-                let (cx, cy) = centres[rng.gen_range(0..centres.len())];
+                let (cx, cy) = centres[rng.range_usize(0, centres.len())];
                 // Box–Muller normal deviates.
-                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-                let u2: f32 = rng.gen_range(0.0..1.0);
+                let u1 = rng.f32().max(f32::EPSILON);
+                let u2 = rng.f32();
                 let r = (-2.0 * u1.ln()).sqrt() * sigma_px;
                 let theta = std::f32::consts::TAU * u2;
                 let x = (cx + r * theta.cos()).clamp(0.0, w - 1.0);
@@ -142,11 +141,11 @@ impl FieldGenerator {
         }
     }
 
-    fn sample_magnitude(&self, rng: &mut StdRng) -> f32 {
+    fn sample_magnitude(&self, rng: &mut Rng64) -> f32 {
         match self.magnitudes {
             MagnitudeModel::Uniform { min, max } => {
                 if max > min {
-                    rng.gen_range(min..max)
+                    rng.range_f32(min, max)
                 } else {
                     min
                 }
@@ -157,7 +156,7 @@ impl FieldGenerator {
                 const K: f32 = 0.51;
                 let lo = 10.0f32.powf(K * min);
                 let hi = 10.0f32.powf(K * max);
-                let u: f32 = rng.gen_range(0.0..1.0);
+                let u = rng.f32();
                 ((lo + u * (hi - lo)).log10() / K).clamp(min, max)
             }
         }
@@ -170,16 +169,16 @@ impl FieldGenerator {
 /// Used by the star-tracker example as a stand-in for a real catalogue
 /// (e.g. Hipparcos), which we do not ship.
 pub fn synthetic_sky(count: usize, mag_min: f32, mag_max: f32, seed: u64) -> SkyCatalog {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let gen = FieldGenerator::new(1, 1).magnitudes(MagnitudeModel::Realistic {
         min: mag_min,
         max: mag_max,
     });
     (0..count)
         .map(|_| {
-            let ra = rng.gen_range(0.0..std::f64::consts::TAU);
+            let ra = rng.range_f64(0.0, std::f64::consts::TAU);
             // Uniform on the sphere: dec = asin(u), u ∈ [−1, 1].
-            let dec = (rng.gen_range(-1.0f64..1.0)).asin();
+            let dec = rng.range_f64(-1.0, 1.0).asin();
             let m = gen.sample_magnitude(&mut rng);
             SkyStar::new(ra, dec, m)
         })
@@ -233,8 +232,7 @@ mod tests {
         // a uniform field's. Check mean distance to nearest centre proxy:
         // stars should be concentrated — the bounding box of a random 100
         // stars from one run is not the whole image. Use variance heuristic.
-        let mean_x: f32 =
-            cat.stars().iter().map(|s| s.pos.x).sum::<f32>() / cat.len() as f32;
+        let mean_x: f32 = cat.stars().iter().map(|s| s.pos.x).sum::<f32>() / cat.len() as f32;
         let var_x: f32 = cat
             .stars()
             .iter()
@@ -252,10 +250,8 @@ mod tests {
 
     #[test]
     fn uniform_magnitudes_in_range() {
-        let g = FieldGenerator::new(64, 64).magnitudes(MagnitudeModel::Uniform {
-            min: 2.0,
-            max: 6.0,
-        });
+        let g =
+            FieldGenerator::new(64, 64).magnitudes(MagnitudeModel::Uniform { min: 2.0, max: 6.0 });
         let cat = g.generate(2000, 5);
         for s in cat.stars() {
             assert!((2.0..6.0).contains(&s.mag.value()));
@@ -264,10 +260,8 @@ mod tests {
 
     #[test]
     fn degenerate_uniform_magnitude_range() {
-        let g = FieldGenerator::new(64, 64).magnitudes(MagnitudeModel::Uniform {
-            min: 4.0,
-            max: 4.0,
-        });
+        let g =
+            FieldGenerator::new(64, 64).magnitudes(MagnitudeModel::Uniform { min: 4.0, max: 4.0 });
         let cat = g.generate(10, 5);
         for s in cat.stars() {
             assert_eq!(s.mag.value(), 4.0);

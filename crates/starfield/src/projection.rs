@@ -151,7 +151,10 @@ mod tests {
             let p = Vec2::new(x, y);
             let d = c.unproject(p);
             let n = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
-            assert!((n - 1.0).abs() < 1e-12, "unproject must return unit vectors");
+            assert!(
+                (n - 1.0).abs() < 1e-12,
+                "unproject must return unit vectors"
+            );
             let back = c.project(d).unwrap();
             assert!((back.x - p.x).abs() < 1e-3 && (back.y - p.y).abs() < 1e-3);
         }

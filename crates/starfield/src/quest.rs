@@ -248,10 +248,7 @@ mod tests {
             *x /= n;
         }
         let uniform = attitude_error(quest(&obs, &[]).unwrap(), truth);
-        let weighted = attitude_error(
-            quest(&obs, &[1.0, 1.0, 1e-6, 1.0, 1.0]).unwrap(),
-            truth,
-        );
+        let weighted = attitude_error(quest(&obs, &[1.0, 1.0, 1e-6, 1.0, 1.0]).unwrap(), truth);
         assert!(
             weighted < uniform / 10.0,
             "downweighting the outlier: {weighted:.2e} vs {uniform:.2e}"

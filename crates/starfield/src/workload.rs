@@ -18,7 +18,8 @@ pub const TEST2_STARS: usize = 8192;
 /// Star-count exponents swept by test 1 (2^5 ..= 2^17).
 pub const TEST1_EXPONENTS: std::ops::RangeInclusive<u32> = 5..=17;
 /// ROI sides swept by test 2 (even sides 2 ..= 32; the paper's x-axis).
-pub const TEST2_ROI_SIDES: [usize; 16] = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32];
+pub const TEST2_ROI_SIDES: [usize; 16] =
+    [2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32];
 
 /// One benchmark configuration: a star field plus the ROI side to simulate.
 #[derive(Debug, Clone)]

@@ -1,156 +1,210 @@
-//! Property-based tests of the star-field substrate.
+//! Property-style tests of the star-field substrate.
+//!
+//! Hand-rolled deterministic property loops (seeded `simrng`) instead of
+//! `proptest`, so the workspace tests run with no registry access.
 
-use proptest::prelude::*;
+use simrng::Rng64;
 use starfield::magnitude::{brightness, magnitude_from_brightness, BrightnessTable};
 use starfield::triad::{attitude_error, triad, Observation};
 use starfield::{
     Attitude, AttitudeDynamics, Camera, FieldGenerator, SkyStar, Star, StarCatalog, Vec2,
 };
 
-proptest! {
-    /// Brightness is strictly decreasing and positive over the magnitude
-    /// range, for any positive proportionality factor.
-    #[test]
-    fn brightness_monotone(a in 0.1f32..1e6, m1 in 0.0f32..15.0, m2 in 0.0f32..15.0) {
-        prop_assume!((m1 - m2).abs() > 1e-3);
+/// Brightness is strictly decreasing and positive over the magnitude
+/// range, for any positive proportionality factor.
+#[test]
+fn brightness_monotone() {
+    let mut rng = Rng64::new(0xB1);
+    for _ in 0..256 {
+        let a = rng.range_f32(0.1, 1e6);
+        let m1 = rng.range_f32(0.0, 15.0);
+        let m2 = rng.range_f32(0.0, 15.0);
+        if (m1 - m2).abs() <= 1e-3 {
+            continue;
+        }
         let (lo, hi) = if m1 < m2 { (m1, m2) } else { (m2, m1) };
-        prop_assert!(brightness(lo, a) > brightness(hi, a));
-        prop_assert!(brightness(hi, a) > 0.0);
+        assert!(brightness(lo, a) > brightness(hi, a));
+        assert!(brightness(hi, a) > 0.0);
     }
+}
 
-    /// Brightness inverts exactly.
-    #[test]
-    fn brightness_inverse(a in 0.1f32..1e5, m in 0.0f32..15.0) {
+/// Brightness inverts exactly.
+#[test]
+fn brightness_inverse() {
+    let mut rng = Rng64::new(0xB2);
+    for _ in 0..256 {
+        let a = rng.range_f32(0.1, 1e5);
+        let m = rng.range_f32(0.0, 15.0);
         let g = brightness(m, a);
         let back = magnitude_from_brightness(g, a).unwrap();
-        prop_assert!((back - m).abs() < 1e-3, "m={m} back={back}");
+        assert!((back - m).abs() < 1e-3, "m={m} back={back}");
     }
+}
 
-    /// Table lookups sit between the brightnesses of the bin edges.
-    #[test]
-    fn table_lookup_brackets(m in 0.0f32..15.0, bins in 1usize..512) {
+/// Table lookups sit between the brightnesses of the bin edges.
+#[test]
+fn table_lookup_brackets() {
+    let mut rng = Rng64::new(0xB3);
+    for _ in 0..128 {
+        let m = rng.range_f32(0.0, 15.0);
+        let bins = rng.range_usize(1, 512);
         let t = BrightnessTable::build(0.0, 15.0, bins, 1000.0);
         let bin = t.bin_of(m);
         let width = 15.0 / bins as f32;
         let lo_edge = bin as f32 * width;
         let hi_edge = lo_edge + width;
         let v = t.lookup(m);
-        prop_assert!(v <= brightness(lo_edge, 1000.0) + 1e-3);
-        prop_assert!(v >= brightness(hi_edge, 1000.0) - 1e-3);
+        assert!(v <= brightness(lo_edge, 1000.0) + 1e-3);
+        assert!(v >= brightness(hi_edge, 1000.0) - 1e-3);
     }
+}
 
-    /// Camera projection round-trips through unprojection for any interior
-    /// pixel and any sane focal length.
-    #[test]
-    fn project_unproject(
-        focal in 200.0f64..5000.0,
-        x in 0.0f32..1024.0,
-        y in 0.0f32..1024.0,
-    ) {
+/// Camera projection round-trips through unprojection for any interior
+/// pixel and any sane focal length.
+#[test]
+fn project_unproject() {
+    let mut rng = Rng64::new(0xCA);
+    for _ in 0..256 {
+        let focal = rng.range_f64(200.0, 5000.0);
+        let x = rng.range_f32(0.0, 1024.0);
+        let y = rng.range_f32(0.0, 1024.0);
         let cam = Camera::new(focal, 1024, 1024).unwrap();
         let dir = cam.unproject(Vec2::new(x, y));
         let back = cam.project(dir).unwrap();
-        prop_assert!((back.x - x).abs() < 1e-2 && (back.y - y).abs() < 1e-2);
+        assert!((back.x - x).abs() < 1e-2 && (back.y - y).abs() < 1e-2);
     }
+}
 
-    /// Attitude rotations preserve vector length and invert exactly.
-    #[test]
-    fn attitude_is_orthonormal(
-        ax in -1.0f64..1.0, ay in -1.0f64..1.0, az in -1.0f64..1.0,
-        angle in -6.0f64..6.0,
-        vx in -2.0f64..2.0, vy in -2.0f64..2.0, vz in -2.0f64..2.0,
-    ) {
-        prop_assume!(ax.abs() + ay.abs() + az.abs() > 1e-6);
+/// Attitude rotations preserve vector length and invert exactly.
+#[test]
+fn attitude_is_orthonormal() {
+    let mut rng = Rng64::new(0xA7);
+    for _ in 0..256 {
+        let ax = rng.range_f64(-1.0, 1.0);
+        let ay = rng.range_f64(-1.0, 1.0);
+        let az = rng.range_f64(-1.0, 1.0);
+        if ax.abs() + ay.abs() + az.abs() <= 1e-6 {
+            continue;
+        }
+        let angle = rng.range_f64(-6.0, 6.0);
+        let (vx, vy, vz) = (
+            rng.range_f64(-2.0, 2.0),
+            rng.range_f64(-2.0, 2.0),
+            rng.range_f64(-2.0, 2.0),
+        );
         let q = Attitude::from_axis_angle([ax, ay, az], angle);
         let v = [vx, vy, vz];
         let r = q.rotate(v);
         let n0 = (vx * vx + vy * vy + vz * vz).sqrt();
         let n1 = (r[0] * r[0] + r[1] * r[1] + r[2] * r[2]).sqrt();
-        prop_assert!((n0 - n1).abs() < 1e-9);
+        assert!((n0 - n1).abs() < 1e-9);
         let back = q.conjugate().rotate(r);
         for i in 0..3 {
-            prop_assert!((back[i] - v[i]).abs() < 1e-9);
+            assert!((back[i] - v[i]).abs() < 1e-9);
         }
     }
+}
 
-    /// Pointing attitudes put the target on the boresight for all sane
-    /// (ra, dec, roll).
-    #[test]
-    fn pointing_hits_target(
-        ra in 0.0f64..6.28,
-        dec in -1.4f64..1.4,
-        roll in 0.0f64..6.28,
-    ) {
+/// Pointing attitudes put the target on the boresight for all sane
+/// (ra, dec, roll).
+#[test]
+fn pointing_hits_target() {
+    let mut rng = Rng64::new(0x50);
+    for _ in 0..256 {
+        let ra = rng.range_f64(0.0, 6.28);
+        let dec = rng.range_f64(-1.4, 1.4);
+        let roll = rng.range_f64(0.0, 6.28);
         let q = Attitude::pointing(ra, dec, roll);
         let body = q.to_body(SkyStar::new(ra, dec, 0.0).direction());
-        prop_assert!((body[0].abs()) < 1e-8 && (body[1].abs()) < 1e-8);
-        prop_assert!((body[2] - 1.0).abs() < 1e-8);
+        assert!((body[0].abs()) < 1e-8 && (body[1].abs()) < 1e-8);
+        assert!((body[2] - 1.0).abs() < 1e-8);
     }
+}
 
-    /// Generated fields honour their bounds and are seed-deterministic.
-    #[test]
-    fn generator_bounds(count in 0usize..300, seed in 0u64..1000) {
+/// Generated fields honour their bounds and are seed-deterministic.
+#[test]
+fn generator_bounds() {
+    let mut rng = Rng64::new(0x6E);
+    for _ in 0..48 {
+        let count = rng.range_usize(0, 300);
+        let seed = rng.range_u64(0, 1000);
         let g = FieldGenerator::new(200, 100);
         let a = g.generate(count, seed);
-        prop_assert_eq!(a.len(), count);
+        assert_eq!(a.len(), count);
         for s in a.stars() {
-            prop_assert!(s.in_image(200, 100));
-            prop_assert!((0.0..=15.0).contains(&s.mag.value()));
+            assert!(s.in_image(200, 100));
+            assert!((0.0..=15.0).contains(&s.mag.value()));
         }
-        prop_assert_eq!(a, g.generate(count, seed));
+        assert_eq!(a, g.generate(count, seed));
     }
+}
 
-    /// Catalogue text serialization round-trips arbitrary finite stars.
-    #[test]
-    fn catalog_text_roundtrip(
-        stars in prop::collection::vec(
-            (-1e6f32..1e6, -1e6f32..1e6, 0.0f32..15.0),
-            0..50,
-        ),
-    ) {
-        let cat: StarCatalog = stars
-            .into_iter()
-            .map(|(x, y, m)| Star::new(x, y, m))
+/// Catalogue text serialization round-trips arbitrary finite stars.
+#[test]
+fn catalog_text_roundtrip() {
+    let mut rng = Rng64::new(0x7E);
+    for _ in 0..64 {
+        let n = rng.range_usize(0, 50);
+        let cat: StarCatalog = (0..n)
+            .map(|_| {
+                Star::new(
+                    rng.range_f32(-1e6, 1e6),
+                    rng.range_f32(-1e6, 1e6),
+                    rng.range_f32(0.0, 15.0),
+                )
+            })
             .collect();
         let mut buf = Vec::new();
         cat.write_text(&mut buf).unwrap();
         let back = StarCatalog::read_text(&buf[..]).unwrap();
-        prop_assert_eq!(back, cat);
+        assert_eq!(back, cat);
     }
+}
 
-    /// TRIAD recovers any attitude from any two well-separated stars.
-    #[test]
-    fn triad_recovers_any_attitude(
-        ra in 0.0f64..6.28,
-        dec in -1.4f64..1.4,
-        roll in 0.0f64..6.28,
-        s1_ra in 0.0f64..6.28,
-        s1_dec in -1.2f64..1.2,
-        sep in 0.1f64..1.0,
-    ) {
+/// TRIAD recovers any attitude from any two well-separated stars.
+#[test]
+fn triad_recovers_any_attitude() {
+    let mut rng = Rng64::new(0x731);
+    for _ in 0..256 {
+        let ra = rng.range_f64(0.0, 6.28);
+        let dec = rng.range_f64(-1.4, 1.4);
+        let roll = rng.range_f64(0.0, 6.28);
+        let s1_ra = rng.range_f64(0.0, 6.28);
+        let s1_dec = rng.range_f64(-1.2, 1.2);
+        let sep = rng.range_f64(0.1, 1.0);
         let truth = Attitude::pointing(ra, dec, roll);
         let d1 = SkyStar::new(s1_ra, s1_dec, 0.0).direction();
         let d2 = SkyStar::new(s1_ra + sep, s1_dec - sep / 3.0, 0.0).direction();
         let obs = vec![
-            Observation { body: truth.to_body(d1), inertial: d1 },
-            Observation { body: truth.to_body(d2), inertial: d2 },
+            Observation {
+                body: truth.to_body(d1),
+                inertial: d1,
+            },
+            Observation {
+                body: truth.to_body(d2),
+                inertial: d2,
+            },
         ];
         let est = triad(&obs).unwrap();
         // The acos in attitude_error has a ~3e-8 precision floor near zero;
         // 1e-6 is far below any genuine estimation error.
-        prop_assert!(attitude_error(est, truth) < 1e-6);
+        assert!(attitude_error(est, truth) < 1e-6);
     }
+}
 
-    /// Attitude propagation preserves unit norm and composes: stepping
-    /// twice by dt equals stepping once by 2·dt for constant rate.
-    #[test]
-    fn dynamics_compose(
-        wx in -0.2f64..0.2,
-        wy in -0.2f64..0.2,
-        wz in -0.2f64..0.2,
-        dt in 0.01f64..5.0,
-    ) {
-        prop_assume!(wx.abs() + wy.abs() + wz.abs() > 1e-6);
+/// Attitude propagation preserves unit norm and composes: stepping
+/// twice by dt equals stepping once by 2·dt for constant rate.
+#[test]
+fn dynamics_compose() {
+    let mut rng = Rng64::new(0xD7);
+    for _ in 0..256 {
+        let wx = rng.range_f64(-0.2, 0.2);
+        let wy = rng.range_f64(-0.2, 0.2);
+        let wz = rng.range_f64(-0.2, 0.2);
+        let dt = rng.range_f64(0.01, 5.0);
+        if wx.abs() + wy.abs() + wz.abs() <= 1e-6 {
+            continue;
+        }
         let start = Attitude::pointing(1.0, 0.3, 0.2);
         let d = AttitudeDynamics::new(start, [wx, wy, wz]);
         let once = d.at(2.0 * dt);
@@ -161,29 +215,34 @@ proptest! {
         let a = once.rotate(v);
         let b = twice.attitude.rotate(v);
         for i in 0..3 {
-            prop_assert!((a[i] - b[i]).abs() < 1e-9);
+            assert!((a[i] - b[i]).abs() < 1e-9);
         }
         // Norm preserved.
         let q = twice.attitude;
         let n = (q.w * q.w + q.x * q.x + q.y * q.y + q.z * q.z).sqrt();
-        prop_assert!((n - 1.0).abs() < 1e-9);
+        assert!((n - 1.0).abs() < 1e-9);
     }
+}
 
-    /// Rectangle queries return exactly the stars inside the rectangle.
-    #[test]
-    fn rect_query_exact(
-        stars in prop::collection::vec((0.0f32..100.0, 0.0f32..100.0), 0..80),
-        x0 in 0.0f32..50.0,
-        y0 in 0.0f32..50.0,
-        w in 1.0f32..50.0,
-        h in 1.0f32..50.0,
-    ) {
+/// Rectangle queries return exactly the stars inside the rectangle.
+#[test]
+fn rect_query_exact() {
+    let mut rng = Rng64::new(0x9EC7);
+    for _ in 0..128 {
+        let n = rng.range_usize(0, 80);
+        let stars: Vec<(f32, f32)> = (0..n)
+            .map(|_| (rng.range_f32(0.0, 100.0), rng.range_f32(0.0, 100.0)))
+            .collect();
+        let x0 = rng.range_f32(0.0, 50.0);
+        let y0 = rng.range_f32(0.0, 50.0);
+        let w = rng.range_f32(1.0, 50.0);
+        let h = rng.range_f32(1.0, 50.0);
         let cat: StarCatalog = stars.iter().map(|&(x, y)| Star::new(x, y, 5.0)).collect();
         let hits = cat.in_rect(x0, y0, x0 + w, y0 + h);
         let expect = stars
             .iter()
             .filter(|&&(x, y)| x >= x0 && x < x0 + w && y >= y0 && y < y0 + h)
             .count();
-        prop_assert_eq!(hits.len(), expect);
+        assert_eq!(hits.len(), expect);
     }
 }

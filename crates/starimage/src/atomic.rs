@@ -104,14 +104,20 @@ impl AtomicImage {
     /// Panics when out of bounds.
     #[inline]
     pub fn add(&self, x: usize, y: usize, v: f32) -> f32 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.fetch_add(y * self.width + x, v)
     }
 
     /// Non-atomic read of pixel `(x, y)` (exact once workers have joined).
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> f32 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         f32::from_bits(self.data[y * self.width + x].load(Ordering::Relaxed))
     }
 

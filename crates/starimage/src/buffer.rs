@@ -102,7 +102,10 @@ impl ImageF32 {
     /// Panics when out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> f32 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -112,7 +115,10 @@ impl ImageF32 {
     /// Panics when out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, v: f32) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x] = v;
     }
 
@@ -122,7 +128,10 @@ impl ImageF32 {
     /// Panics when out of bounds.
     #[inline]
     pub fn add(&mut self, x: usize, y: usize, v: f32) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x] += v;
     }
 
@@ -194,10 +203,7 @@ mod tests {
     fn pixel_iteration_order() {
         let img = ImageF32::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let px: Vec<_> = img.pixels().collect();
-        assert_eq!(
-            px,
-            vec![(0, 0, 1.0), (1, 0, 2.0), (0, 1, 3.0), (1, 1, 4.0)]
-        );
+        assert_eq!(px, vec![(0, 0, 1.0), (1, 0, 2.0), (0, 1, 3.0), (1, 1, 4.0)]);
     }
 
     #[test]

@@ -63,9 +63,7 @@ impl GrayMap {
         if lit.is_empty() {
             return GrayMap::linear(1.0);
         }
-        let k = ((percentile / 100.0 * lit.len() as f32).ceil() as usize)
-            .clamp(1, lit.len())
-            - 1;
+        let k = ((percentile / 100.0 * lit.len() as f32).ceil() as usize).clamp(1, lit.len()) - 1;
         let (_, kth, _) = lit.select_nth_unstable_by(k, |a, b| a.total_cmp(b));
         GrayMap::linear(*kth)
     }
@@ -114,7 +112,7 @@ mod tests {
         assert_eq!(m.to_u8(0.0), 0);
         assert_eq!(m.to_u8(10.0), 255);
         assert_eq!(m.to_u8(5.0), 128); // 0.5·255 rounds to 128
-        // Saturation.
+                                       // Saturation.
         assert_eq!(m.to_u8(100.0), 255);
         assert_eq!(m.to_u8(-1.0), 0);
     }

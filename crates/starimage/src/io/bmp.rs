@@ -55,7 +55,7 @@ pub fn write_bmp_gray8<W: Write>(
     out.write_all(&2835u32.to_le_bytes())?;
     out.write_all(&256u32.to_le_bytes())?; // colours used
     out.write_all(&0u32.to_le_bytes())?; // important colours
-    // Gray palette: BGRA entries.
+                                         // Gray palette: BGRA entries.
     for i in 0..=255u8 {
         out.write_all(&[i, i, i, 0])?;
     }

@@ -107,7 +107,11 @@ pub fn label_blobs(img: &ImageF32, threshold: f32, min_area: usize) -> Vec<Blob>
                     }
                 }
             }
-            labels[idx] = if assigned == NONE { dsu.make() } else { assigned };
+            labels[idx] = if assigned == NONE {
+                dsu.make()
+            } else {
+                assigned
+            };
         }
     }
 

@@ -13,8 +13,7 @@
 //! All randomness is drawn from a seeded generator so noisy frames are
 //! reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simrng::Rng64;
 
 use crate::buffer::ImageF32;
 
@@ -56,7 +55,7 @@ impl NoiseModel {
 /// Pixels are clamped at zero afterwards (a detector cannot report negative
 /// charge after bias subtraction).
 pub fn apply_noise(img: &mut ImageF32, model: NoiseModel, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     for v in img.data_mut().iter_mut() {
         let signal = *v + model.background;
         let shot_sigma = if model.shot_gain > 0.0 {
@@ -66,19 +65,12 @@ pub fn apply_noise(img: &mut ImageF32, model: NoiseModel, seed: u64) {
         };
         let sigma = (shot_sigma * shot_sigma + model.read_sigma * model.read_sigma).sqrt();
         let noisy = if sigma > 0.0 {
-            signal + gaussian(&mut rng) * sigma
+            signal + rng.normal_f32() * sigma
         } else {
             signal
         };
         *v = noisy.max(0.0);
     }
-}
-
-/// A standard normal deviate via Box–Muller.
-fn gaussian(rng: &mut StdRng) -> f32 {
-    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-    let u2: f32 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
 }
 
 /// Signal-to-noise ratio of a star of total flux `flux` spread over

@@ -25,7 +25,10 @@ impl Aperture {
     /// A conventional geometry: aperture of `radius`, annulus from
     /// `radius+2` to `radius+5`.
     pub fn new(radius: f32) -> Self {
-        assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "radius must be positive"
+        );
         Aperture {
             radius,
             annulus_inner: radius + 2.0,
@@ -216,7 +219,12 @@ mod tests {
     fn border_clipping_reduces_pixel_counts() {
         let img = scene(2.0, 2.0, 100.0, 1.5, 0.0);
         let p = measure(&img, 2.0, 2.0, Aperture::new(6.0));
-        let interior = measure(&scene(48.0, 48.0, 100.0, 1.5, 0.0), 48.0, 48.0, Aperture::new(6.0));
+        let interior = measure(
+            &scene(48.0, 48.0, 100.0, 1.5, 0.0),
+            48.0,
+            48.0,
+            Aperture::new(6.0),
+        );
         assert!(p.aperture_pixels < interior.aperture_pixels);
     }
 

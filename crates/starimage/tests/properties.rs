@@ -1,18 +1,24 @@
-//! Property-based tests of the image substrate.
+//! Property-style tests of the image substrate.
+//!
+//! Hand-rolled deterministic property loops (seeded `simrng`) instead of
+//! `proptest`, so the workspace tests run with no registry access.
 
-use proptest::prelude::*;
+use simrng::Rng64;
 use starimage::io::bmp::{read_bmp_gray8, write_bmp_gray8};
 use starimage::io::pgm::{read_pgm, write_pgm8};
 use starimage::{apply_noise, AtomicImage, GrayMap, ImageF32, NoiseModel};
 
-proptest! {
-    /// Atomic accumulation equals sequential accumulation for any deposit
-    /// pattern (the core `atomicAdd` guarantee, single-threaded case is
-    /// order-exact).
-    #[test]
-    fn atomic_matches_sequential(
-        deposits in prop::collection::vec((0usize..256, 0.0f32..10.0), 0..500),
-    ) {
+/// Atomic accumulation equals sequential accumulation for any deposit
+/// pattern (the core `atomicAdd` guarantee, single-threaded case is
+/// order-exact).
+#[test]
+fn atomic_matches_sequential() {
+    let mut rng = Rng64::new(0xA70);
+    for _ in 0..64 {
+        let n = rng.range_usize(0, 500);
+        let deposits: Vec<(usize, f32)> = (0..n)
+            .map(|_| (rng.range_usize(0, 256), rng.range_f32(0.0, 10.0)))
+            .collect();
         let atomic = AtomicImage::new(16, 16);
         let mut plain = ImageF32::new(16, 16);
         for &(idx, v) in &deposits {
@@ -20,66 +26,89 @@ proptest! {
             let (x, y) = (idx % 16, idx / 16);
             plain.add(x, y, v);
         }
-        prop_assert_eq!(atomic.snapshot(), plain);
+        assert_eq!(atomic.snapshot(), plain);
     }
+}
 
-    /// Gray mapping is monotone and saturating for any positive white level
-    /// and gamma.
-    #[test]
-    fn gray_map_monotone(
-        white in 0.01f32..1e6,
-        gamma in 0.2f32..5.0,
-        a in 0.0f32..1e6,
-        b in 0.0f32..1e6,
-    ) {
+/// Gray mapping is monotone and saturating for any positive white level
+/// and gamma.
+#[test]
+fn gray_map_monotone() {
+    let mut rng = Rng64::new(0x69A);
+    for _ in 0..256 {
+        let white = rng.range_f32(0.01, 1e6);
+        let gamma = rng.range_f32(0.2, 5.0);
+        let a = rng.range_f32(0.0, 1e6);
+        let b = rng.range_f32(0.0, 1e6);
         let m = GrayMap::with_gamma(white, gamma);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(m.to_u8(lo) <= m.to_u8(hi));
-        prop_assert!(m.to_u16(lo) <= m.to_u16(hi));
-        prop_assert_eq!(m.to_u8(white * 2.0), 255);
-        prop_assert_eq!(m.to_u8(0.0), 0);
+        assert!(m.to_u8(lo) <= m.to_u8(hi));
+        assert!(m.to_u16(lo) <= m.to_u16(hi));
+        assert_eq!(m.to_u8(white * 2.0), 255);
+        assert_eq!(m.to_u8(0.0), 0);
     }
+}
 
-    /// BMP round-trips arbitrary gray payloads at arbitrary (small) sizes,
-    /// including widths that need row padding.
-    #[test]
-    fn bmp_roundtrip(w in 1usize..40, h in 1usize..40, seed in 0u64..1000) {
-        let gray: Vec<u8> = (0..w * h).map(|i| ((i as u64 * 31 + seed) % 256) as u8).collect();
+/// BMP round-trips arbitrary gray payloads at arbitrary (small) sizes,
+/// including widths that need row padding.
+#[test]
+fn bmp_roundtrip() {
+    let mut rng = Rng64::new(0xB9);
+    for _ in 0..128 {
+        let w = rng.range_usize(1, 40);
+        let h = rng.range_usize(1, 40);
+        let seed = rng.range_u64(0, 1000);
+        let gray: Vec<u8> = (0..w * h)
+            .map(|i| ((i as u64 * 31 + seed) % 256) as u8)
+            .collect();
         let mut buf = Vec::new();
         write_bmp_gray8(&mut buf, w, h, &gray).unwrap();
         let (rw, rh, back) = read_bmp_gray8(&mut &buf[..]).unwrap();
-        prop_assert_eq!((rw, rh), (w, h));
-        prop_assert_eq!(back, gray);
+        assert_eq!((rw, rh), (w, h));
+        assert_eq!(back, gray);
     }
+}
 
-    /// PGM round-trips arbitrary images.
-    #[test]
-    fn pgm_roundtrip(w in 1usize..40, h in 1usize..40, white in 1.0f32..100.0) {
+/// PGM round-trips arbitrary images.
+#[test]
+fn pgm_roundtrip() {
+    let mut rng = Rng64::new(0x96);
+    for _ in 0..128 {
+        let w = rng.range_usize(1, 40);
+        let h = rng.range_usize(1, 40);
+        let white = rng.range_f32(1.0, 100.0);
         let data: Vec<f32> = (0..w * h).map(|i| (i % 97) as f32).collect();
         let img = ImageF32::from_data(w, h, data);
         let map = GrayMap::linear(white);
         let mut buf = Vec::new();
         write_pgm8(&mut buf, &img, map).unwrap();
         let pgm = read_pgm(&mut &buf[..]).unwrap();
-        prop_assert_eq!((pgm.width, pgm.height), (w, h));
+        assert_eq!((pgm.width, pgm.height), (w, h));
         let expect: Vec<u16> = img.data().iter().map(|&v| map.to_u8(v) as u16).collect();
-        prop_assert_eq!(pgm.samples, expect);
+        assert_eq!(pgm.samples, expect);
     }
+}
 
-    /// The image readers never panic on arbitrary byte soup — malformed
-    /// input is an `Err`, not a crash.
-    #[test]
-    fn readers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+/// The image readers never panic on arbitrary byte soup — malformed
+/// input is an `Err`, not a crash.
+#[test]
+fn readers_never_panic() {
+    let mut rng = Rng64::new(0x4EAD);
+    for _ in 0..128 {
+        let n = rng.range_usize(0, 2048);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
         let _ = read_bmp_gray8(&mut &bytes[..]);
         let _ = read_pgm(&mut &bytes[..]);
     }
+}
 
-    /// The readers also survive corrupted versions of *valid* files.
-    #[test]
-    fn readers_survive_corruption(
-        flip_at in 0usize..500,
-        flip_to in any::<u8>(),
-    ) {
+/// The readers also survive corrupted versions of *valid* files.
+#[test]
+fn readers_survive_corruption() {
+    let mut rng = Rng64::new(0xC04);
+    for _ in 0..256 {
+        let flip_at = rng.range_usize(0, 500);
+        let flip_to = rng.next_u64() as u8;
         let gray: Vec<u8> = (0..64).map(|i| i as u8 * 4).collect();
         let mut bmp = Vec::new();
         write_bmp_gray8(&mut bmp, 8, 8, &gray).unwrap();
@@ -96,22 +125,25 @@ proptest! {
         }
         let _ = read_pgm(&mut &pgm[..]); // must not panic
     }
+}
 
-    /// Noise keeps pixels finite and non-negative and is seed-stable.
-    #[test]
-    fn noise_invariants(
-        level in 0.0f32..100.0,
-        bg in 0.0f32..1.0,
-        shot in 0.0f32..1.0,
-        read in 0.0f32..1.0,
-        seed in 0u64..1000,
-    ) {
-        let model = NoiseModel { background: bg, shot_gain: shot, read_sigma: read };
+/// Noise keeps pixels finite and non-negative and is seed-stable.
+#[test]
+fn noise_invariants() {
+    let mut rng = Rng64::new(0x401);
+    for _ in 0..64 {
+        let level = rng.range_f32(0.0, 100.0);
+        let model = NoiseModel {
+            background: rng.range_f32(0.0, 1.0),
+            shot_gain: rng.range_f32(0.0, 1.0),
+            read_sigma: rng.range_f32(0.0, 1.0),
+        };
+        let seed = rng.range_u64(0, 1000);
         let mut a = ImageF32::from_data(8, 8, vec![level; 64]);
         apply_noise(&mut a, model, seed);
-        prop_assert!(a.data().iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(a.data().iter().all(|v| v.is_finite() && *v >= 0.0));
         let mut b = ImageF32::from_data(8, 8, vec![level; 64]);
         apply_noise(&mut b, model, seed);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -31,9 +31,14 @@ fn main() {
 
     // The sensor images whatever is out there.
     let in_view = sky.view(secret, &camera, 10.0);
-    println!("sensor sees {} catalogue stars (unknown to the software)", in_view.len());
+    println!(
+        "sensor sees {} catalogue stars (unknown to the software)",
+        in_view.len()
+    );
     let config = SimConfig::new(1024, 1024, 12);
-    let report = ParallelSimulator::new().simulate(&in_view, &config).unwrap();
+    let report = ParallelSimulator::new()
+        .simulate(&in_view, &config)
+        .unwrap();
     println!(
         "rendered on the virtual GPU in {:.3} ms (kernel {:.3} ms)",
         report.app_time_s * 1e3,
@@ -59,7 +64,10 @@ fn main() {
 
     let ids = pair_catalog.identify(&body_dirs, 3e-4);
     let identified = ids.iter().filter(|i| i.is_some()).count();
-    println!("angle-pair voting identified {identified}/{} stars", ids.len());
+    println!(
+        "angle-pair voting identified {identified}/{} stars",
+        ids.len()
+    );
 
     let observations = pair_catalog.observations(&body_dirs, 3e-4);
     let solution = triad(&observations).expect("attitude solution");

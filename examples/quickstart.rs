@@ -25,11 +25,20 @@ fn main() {
         config.sigma
     );
 
-    let sequential = SequentialSimulator::new().simulate(&catalog, &config).unwrap();
-    let parallel = ParallelSimulator::new().simulate(&catalog, &config).unwrap();
-    let adaptive = AdaptiveSimulator::new().simulate(&catalog, &config).unwrap();
+    let sequential = SequentialSimulator::new()
+        .simulate(&catalog, &config)
+        .unwrap();
+    let parallel = ParallelSimulator::new()
+        .simulate(&catalog, &config)
+        .unwrap();
+    let adaptive = AdaptiveSimulator::new()
+        .simulate(&catalog, &config)
+        .unwrap();
 
-    println!("\n{:<12} {:>12} {:>12} {:>12}", "simulator", "app ms", "kernel ms", "non-kernel ms");
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>12}",
+        "simulator", "app ms", "kernel ms", "non-kernel ms"
+    );
     for r in [&sequential, &parallel, &adaptive] {
         println!(
             "{:<12} {:>12.3} {:>12.3} {:>12.3}",

@@ -11,7 +11,9 @@ use starsim::prelude::*;
 fn main() {
     let point = InflectionPoint::default();
 
-    println!("selection map (rows: stars, cols: ROI side) — S=sequential, P=parallel, A=adaptive\n");
+    println!(
+        "selection map (rows: stars, cols: ROI side) — S=sequential, P=parallel, A=adaptive\n"
+    );
     let roi_sides = [2usize, 6, 10, 14, 20, 28, 32];
     print!("{:>9}", "stars\\roi");
     for r in roi_sides {
@@ -39,9 +41,15 @@ fn main() {
     for (stars, roi) in cases {
         let catalog = FieldGenerator::new(512, 512).generate(stars, 1);
         let config = SimConfig::new(512, 512, roi);
-        let seq = SequentialSimulator::new().simulate(&catalog, &config).unwrap();
-        let par = ParallelSimulator::new().simulate(&catalog, &config).unwrap();
-        let ada = AdaptiveSimulator::new().simulate(&catalog, &config).unwrap();
+        let seq = SequentialSimulator::new()
+            .simulate(&catalog, &config)
+            .unwrap();
+        let par = ParallelSimulator::new()
+            .simulate(&catalog, &config)
+            .unwrap();
+        let ada = AdaptiveSimulator::new()
+            .simulate(&catalog, &config)
+            .unwrap();
         let best = [
             ("sequential", seq.app_time_s),
             ("parallel", par.app_time_s),

@@ -23,15 +23,24 @@ fn main() {
             clusters: 40,
             sigma_px: 60.0,
         })
-        .magnitudes(MagnitudeModel::Realistic { min: 2.0, max: 12.0 })
+        .magnitudes(MagnitudeModel::Realistic {
+            min: 2.0,
+            max: 12.0,
+        })
         .generate(stars, 20260707);
 
     let config = SimConfig::new(1024, 1024, 10);
     let choice = InflectionPoint::default().choose(stars, config.roi_side);
     println!("survey frame: {stars} stars, selection table says {choice:?}");
-    assert_eq!(choice, Choice::Adaptive, "this scale sits past the inflection");
+    assert_eq!(
+        choice,
+        Choice::Adaptive,
+        "this scale sits past the inflection"
+    );
 
-    let report = AdaptiveSimulator::new().simulate(&catalog, &config).unwrap();
+    let report = AdaptiveSimulator::new()
+        .simulate(&catalog, &config)
+        .unwrap();
     println!(
         "adaptive simulator: app {:.3} ms (kernel {:.3} ms, non-kernel {:.3} ms)",
         report.app_time_s * 1e3,

@@ -20,10 +20,12 @@ fn main() {
     // must grow to cover the streak (margin_for_energy guides the choice).
     let streak_len = 9.0f32;
     let angle = 30.0f32.to_radians();
-    let margin = starsim::psf::SmearedGaussianPsf::new(1.5, streak_len, angle)
-        .margin_for_energy(0.95);
+    let margin =
+        starsim::psf::SmearedGaussianPsf::new(1.5, streak_len, angle).margin_for_energy(0.95);
     let roi_side = (2 * margin + 1).min(32);
-    println!("streak {streak_len} px at 30°: 95%-energy margin {margin} ⇒ ROI {roi_side}x{roi_side}");
+    println!(
+        "streak {streak_len} px at 30°: 95%-energy margin {margin} ⇒ ROI {roi_side}x{roi_side}"
+    );
 
     let mut config = SimConfig::new(512, 512, roi_side);
     config.sigma = 1.5;
@@ -33,10 +35,14 @@ fn main() {
     };
 
     // Render the streaked frame and a static reference frame.
-    let streaked = ParallelSimulator::new().simulate(&catalog, &config).unwrap();
+    let streaked = ParallelSimulator::new()
+        .simulate(&catalog, &config)
+        .unwrap();
     let mut static_cfg = config.clone();
     static_cfg.psf = PsfKind::Point;
-    let static_frame = ParallelSimulator::new().simulate(&catalog, &static_cfg).unwrap();
+    let static_frame = ParallelSimulator::new()
+        .simulate(&catalog, &static_cfg)
+        .unwrap();
 
     let s_streak = stats(&streaked.image);
     let s_static = stats(&static_frame.image);
@@ -68,11 +74,7 @@ fn main() {
         .iter()
         .max_by(|a, b| a.mag.value().total_cmp(&b.mag.value()))
         .unwrap();
-    let snr = star_snr(
-        model.roi_flux(dim_star),
-        roi_side * roi_side,
-        noise,
-    );
+    let snr = star_snr(model.roi_flux(dim_star), roi_side * roi_side, noise);
     println!(
         "dimmest star (m={:.1}) SNR over its ROI: {:.1}",
         dim_star.mag.value(),

@@ -45,9 +45,15 @@ fn main() {
     let choice = point.choose(in_view.len(), config.roi_side);
     println!("selection table recommends: {choice:?}");
     let report = match choice {
-        Choice::Sequential => SequentialSimulator::new().simulate(&in_view, &config).unwrap(),
-        Choice::Parallel => ParallelSimulator::new().simulate(&in_view, &config).unwrap(),
-        Choice::Adaptive => AdaptiveSimulator::new().simulate(&in_view, &config).unwrap(),
+        Choice::Sequential => SequentialSimulator::new()
+            .simulate(&in_view, &config)
+            .unwrap(),
+        Choice::Parallel => ParallelSimulator::new()
+            .simulate(&in_view, &config)
+            .unwrap(),
+        Choice::Adaptive => AdaptiveSimulator::new()
+            .simulate(&in_view, &config)
+            .unwrap(),
     };
     println!(
         "rendered with {} in {:.3} ms (kernel {:.3} ms)",

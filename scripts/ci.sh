@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full offline CI gate: format, build, test, executor bench smoke.
+# Writes BENCH_PR1.json (executor speedup headline) to the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "== executor bench smoke"
+cargo run --release -p starsim-bench -- --experiment executor --quick --out .
+
+echo "== BENCH_PR1.json"
+cat BENCH_PR1.json

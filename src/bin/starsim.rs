@@ -72,7 +72,9 @@ impl Options {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let mut value = |name: &str| -> String {
-                it.next().cloned().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                it.next()
+                    .cloned()
+                    .unwrap_or_else(|| usage(&format!("{name} needs a value")))
             };
             match a.as_str() {
                 "--stars" => o.stars_file = Some(value("--stars")),
@@ -118,11 +120,13 @@ impl Options {
 }
 
 fn parse_num(s: &str, what: &str) -> usize {
-    s.parse().unwrap_or_else(|_| usage(&format!("bad {what}: `{s}`")))
+    s.parse()
+        .unwrap_or_else(|_| usage(&format!("bad {what}: `{s}`")))
 }
 
 fn parse_float(s: &str, what: &str) -> f32 {
-    s.parse().unwrap_or_else(|_| usage(&format!("bad {what}: `{s}`")))
+    s.parse()
+        .unwrap_or_else(|_| usage(&format!("bad {what}: `{s}`")))
 }
 
 fn render(opts: Options) {
@@ -231,7 +235,10 @@ fn info(opts: Options) {
         overlap.contention_rate() * 100.0,
         overlap.max_multiplicity
     );
-    println!("recommended:      {choice:?} simulator (ROI {})", config.roi_side);
+    println!(
+        "recommended:      {choice:?} simulator (ROI {})",
+        config.roi_side
+    );
 }
 
 fn validate_cmd(opts: Options) {

@@ -15,7 +15,9 @@ fn generate_info_render_pipeline() {
 
     // generate → a parseable catalogue on stdout.
     let out = starsim()
-        .args(["generate", "--count", "200", "--width", "256", "--height", "256"])
+        .args([
+            "generate", "--count", "200", "--width", "256", "--height", "256",
+        ])
         .output()
         .expect("run generate");
     assert!(out.status.success());
@@ -25,7 +27,15 @@ fn generate_info_render_pipeline() {
 
     // info → statistics and a recommendation.
     let out = starsim()
-        .args(["info", "--stars", stars.to_str().unwrap(), "--width", "256", "--height", "256"])
+        .args([
+            "info",
+            "--stars",
+            stars.to_str().unwrap(),
+            "--width",
+            "256",
+            "--height",
+            "256",
+        ])
         .output()
         .expect("run info");
     assert!(out.status.success());
@@ -48,10 +58,13 @@ fn generate_info_render_pipeline() {
         ])
         .output()
         .expect("run render");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let bytes = std::fs::read(&image).unwrap();
-    let (w, h, gray) =
-        starsim::image::io::bmp::read_bmp_gray8(&mut &bytes[..]).expect("valid BMP");
+    let (w, h, gray) = starsim::image::io::bmp::read_bmp_gray8(&mut &bytes[..]).expect("valid BMP");
     assert_eq!((w, h), (256, 256));
     assert!(gray.iter().any(|&g| g > 0), "image must not be black");
 }
@@ -102,7 +115,15 @@ fn bad_inputs_fail_cleanly() {
     assert!(!out.status.success());
     // ROI over the device limit surfaces the GPU error.
     let out = starsim()
-        .args(["render", "--random", "10", "--roi", "40", "--simulator", "parallel"])
+        .args([
+            "render",
+            "--random",
+            "10",
+            "--roi",
+            "40",
+            "--simulator",
+            "parallel",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -3,8 +3,8 @@
 //! criterion in §IV-C: disagreement means "there must be mistakes in
 //! either simulator").
 
-use starsim::prelude::*;
 use starsim::image::diff::{compare, images_close};
+use starsim::prelude::*;
 
 fn config(size: usize, roi: usize) -> SimConfig {
     SimConfig::new(size, size, roi)

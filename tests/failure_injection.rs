@@ -97,8 +97,5 @@ fn gtx280_rejects_rois_the_gtx480_accepts() {
     let fermi = ParallelSimulator::on(VirtualGpu::gtx480());
     assert!(fermi.simulate(&cat, &cfg).is_ok());
     let gt200 = ParallelSimulator::on(VirtualGpu::new(DeviceSpec::gtx280()));
-    assert!(matches!(
-        gt200.simulate(&cat, &cfg),
-        Err(SimError::Gpu(_))
-    ));
+    assert!(matches!(gt200.simulate(&cat, &cfg), Err(SimError::Gpu(_))));
 }

@@ -33,7 +33,10 @@ fn pgm8_roundtrip_preserves_gray_levels() {
     write_pgm8(&mut buf, &report.image, map).unwrap();
     let pgm = read_pgm(&mut &buf[..]).unwrap();
     assert_eq!((pgm.width, pgm.height, pgm.maxval), (96, 96, 255));
-    let expect: Vec<u16> = to_gray8(&report.image, map).iter().map(|&v| v as u16).collect();
+    let expect: Vec<u16> = to_gray8(&report.image, map)
+        .iter()
+        .map(|&v| v as u16)
+        .collect();
     assert_eq!(pgm.samples, expect);
 }
 
@@ -66,5 +69,8 @@ fn catalog_text_roundtrip_renders_identically() {
     let cfg = SimConfig::new(96, 96, 10);
     let a = SequentialSimulator::new().simulate(&cat, &cfg).unwrap();
     let b = SequentialSimulator::new().simulate(&back, &cfg).unwrap();
-    assert_eq!(a.image, b.image, "round-tripped catalogue must render identically");
+    assert_eq!(
+        a.image, b.image,
+        "round-tripped catalogue must render identically"
+    );
 }

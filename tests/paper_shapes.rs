@@ -83,10 +83,7 @@ fn gpu_kernels_scale_linearly_in_stars() {
     let overhead = starsim::gpu::CostModel::fermi().launch_overhead_s;
     let (par_a, ada_a) = run_gpu(12, 10);
     let (par_b, ada_b) = run_gpu(13, 10);
-    for (label, a, b) in [
-        ("parallel", &par_a, &par_b),
-        ("adaptive", &ada_a, &ada_b),
-    ] {
+    for (label, a, b) in [("parallel", &par_a, &par_b), ("adaptive", &ada_a, &ada_b)] {
         let ratio = (b.kernel_time_s() - overhead) / (a.kernel_time_s() - overhead);
         assert!(
             (1.7..2.3).contains(&ratio),

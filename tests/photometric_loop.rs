@@ -38,7 +38,10 @@ fn magnitudes_recovered_from_all_simulators() {
     for (name, image) in [
         (
             "sequential",
-            SequentialSimulator::new().simulate(&cat, &cfg).unwrap().image,
+            SequentialSimulator::new()
+                .simulate(&cat, &cfg)
+                .unwrap()
+                .image,
         ),
         (
             "parallel",
@@ -67,7 +70,10 @@ fn photometry_survives_detector_noise() {
     use starsim::image::{apply_noise, NoiseModel};
     let cat = StarCatalog::from_stars(test_stars());
     let cfg = SimConfig::new(192, 192, 12);
-    let mut image = SequentialSimulator::new().simulate(&cat, &cfg).unwrap().image;
+    let mut image = SequentialSimulator::new()
+        .simulate(&cat, &cfg)
+        .unwrap()
+        .image;
     apply_noise(
         &mut image,
         NoiseModel {
@@ -100,6 +106,9 @@ fn flux_ordering_matches_magnitude_ordering() {
         .map(|s| measure(&image, s.pos.x, s.pos.y, Aperture::new(6.0)).flux)
         .collect();
     for w in fluxes.windows(2) {
-        assert!(w[0] > w[1], "brighter star must measure more flux: {fluxes:?}");
+        assert!(
+            w[0] > w[1],
+            "brighter star must measure more flux: {fluxes:?}"
+        );
     }
 }

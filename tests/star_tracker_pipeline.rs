@@ -142,13 +142,20 @@ fn attitude_recovered_end_to_end_via_triad() {
     let truth = Attitude::pointing(2.2, -0.4, 0.9);
 
     let catalog = sky.view(truth, &camera, 0.0);
-    assert!(catalog.len() >= 4, "need stars in view, got {}", catalog.len());
+    assert!(
+        catalog.len() >= 4,
+        "need stars in view, got {}",
+        catalog.len()
+    );
     let mut bright = catalog.clone();
     bright.sort_by_brightness();
     let bright = StarCatalog::from_stars(bright.stars().iter().take(10).copied().collect());
 
     let cfg = SimConfig::new(512, 512, 12);
-    let image = ParallelSimulator::new().simulate(&bright, &cfg).unwrap().image;
+    let image = ParallelSimulator::new()
+        .simulate(&bright, &cfg)
+        .unwrap()
+        .image;
     let detections = detect_stars(
         &image,
         CentroidParams {

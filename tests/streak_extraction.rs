@@ -55,10 +55,8 @@ fn static_stars_are_round_blobs() {
 #[test]
 fn blob_centroid_matches_detect_stars_for_static_fields() {
     // Two extraction paths agree on round stars.
-    let stars = StarCatalog::from_stars(vec![
-        Star::new(30.0, 30.0, 2.0),
-        Star::new(90.0, 80.0, 3.0),
-    ]);
+    let stars =
+        StarCatalog::from_stars(vec![Star::new(30.0, 30.0, 2.0), Star::new(90.0, 80.0, 3.0)]);
     let cfg = SimConfig::new(128, 128, 12);
     let report = ParallelSimulator::new().simulate(&stars, &cfg).unwrap();
     let blobs = label_blobs(&report.image, 1e-3, 5);
