@@ -13,6 +13,7 @@ pub mod streams;
 pub mod table3;
 pub mod test1;
 pub mod test2;
+pub mod throughput;
 
 use std::path::PathBuf;
 
@@ -31,6 +32,11 @@ pub struct Context {
     /// Counters and modeled times are identical across modes; only host
     /// wall-clock changes. The `executor` experiment measures both.
     pub exec_mode: ExecMode,
+    /// Host worker threads per launch (`--workers`). `None` = auto (one
+    /// per available core, capped at the device SM count). Counters and
+    /// modeled times are identical for any count; only host wall-clock
+    /// changes.
+    pub workers: Option<usize>,
 }
 
 impl Default for Context {
@@ -40,6 +46,7 @@ impl Default for Context {
             seed: 2012,
             out_dir: PathBuf::from("results"),
             exec_mode: ExecMode::default(),
+            workers: None,
         }
     }
 }
@@ -56,6 +63,7 @@ impl Context {
     pub fn sim_config(&self, width: usize, height: usize, roi_side: usize) -> SimConfig {
         let mut config = SimConfig::new(width, height, roi_side);
         config.exec_mode = self.exec_mode;
+        config.workers = self.workers;
         config
     }
 }

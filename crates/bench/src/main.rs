@@ -3,11 +3,12 @@
 //!
 //! ```text
 //! starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]
-//!               [--exec reference|batched]
+//!               [--exec reference|batched] [--workers N]
 //!
 //! NAME ∈ { fig2, fig9, fig10, fig11, fig12, table1, table2,
 //!          fig13, fig14, fig15, fig16, table3, ablation, contention,
-//!          devices, multigpu, streams, session, lutbuild, executor, all }
+//!          devices, multigpu, streams, session, lutbuild, executor,
+//!          throughput, all }
 //! ```
 //!
 //! Sequential times are measured wall-clock on this host; GPU times come
@@ -19,7 +20,7 @@ mod experiments;
 
 use experiments::{
     ablation, contention, devices, executor, fig2, lutbuild, multigpu, session, streams, table3,
-    test1, test2, Context,
+    test1, test2, throughput, Context,
 };
 use starsim_core::ExecMode;
 
@@ -52,6 +53,16 @@ fn main() {
                 let mode = args.next().unwrap_or_else(|| usage("missing --exec mode"));
                 ctx.exec_mode = ExecMode::parse(&mode)
                     .unwrap_or_else(|| usage(&format!("bad --exec `{mode}`")));
+            }
+            "--workers" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad --workers"));
+                if n == 0 {
+                    usage("--workers must be positive");
+                }
+                ctx.workers = Some(n);
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
@@ -141,6 +152,10 @@ fn main() {
         "session" => section("Session amortization", session::run(&ctx)),
         "lutbuild" => section("LUT build placement (CPU vs GPU)", lutbuild::run(&ctx)),
         "executor" => section("Executor comparison (host wall-clock)", executor::run(&ctx)),
+        "throughput" => section(
+            "Sustained throughput (pool + buffer reuse)",
+            throughput::run(&ctx),
+        ),
         "all" => {
             let t1 = t1.as_ref().unwrap();
             let t2 = t2.as_ref().unwrap();
@@ -175,6 +190,10 @@ fn main() {
             section("Session amortization", session::run(&ctx));
             section("LUT build placement (CPU vs GPU)", lutbuild::run(&ctx));
             section("Executor comparison (host wall-clock)", executor::run(&ctx));
+            section(
+                "Sustained throughput (pool + buffer reuse)",
+                throughput::run(&ctx),
+            );
         }
         other => usage(&format!("unknown experiment `{other}`")),
     }
@@ -186,10 +205,10 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]\n\
-                      [--exec reference|batched]\n\
+                      [--exec reference|batched] [--workers N]\n\
          NAME: fig2 fig9 fig10 fig11 fig12 table1 table2 fig13 fig14 fig15 fig16\n\
                table3 ablation contention devices multigpu streams session lutbuild\n\
-               executor all (default)"
+               executor throughput all (default)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

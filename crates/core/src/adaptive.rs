@@ -185,19 +185,28 @@ impl Kernel for AdaptiveKernel<'_> {
             // cache simulator, so hit/miss sequences are identical.
             ctx.counters.tex_requests += n_warps;
             ctx.counters.atomic_requests += n_warps;
+            // Counter increments hoisted out of the pixel loop (every lane
+            // fetches exactly once) and the shadow lookup hoisted to a row
+            // accumulator: per pixel, only the fetch, the cache access, and
+            // one add remain. Totals are identical to per-pixel accounting.
+            ctx.counters.tex_fetches += (side * side) as u64;
+            let mut tex_hits = 0u64;
+            let acc = ctx.shadow.accumulator(self.image);
             for j in 0..side {
                 let py = y0 + j as i64;
                 let row = py as usize * self.width + x0 as usize;
-                for i in 0..side {
+                let row_vals = acc.span_mut(row, row + side);
+                for (i, slot) in row_vals.iter_mut().enumerate() {
                     let (gray, taddr) = self.lut_tex.fetch(layer, i as i64, j as i64);
-                    ctx.counters.tex_fetches += 1;
                     if ctx.cache.access(taddr) {
-                        ctx.counters.tex_hits += 1;
+                        tex_hits += 1;
                     }
-                    ctx.shadow.add(self.image, row + i, gray);
+                    *slot += gray;
                 }
             }
+            ctx.counters.tex_hits += tex_hits;
         } else {
+            let acc = ctx.shadow.accumulator(self.image);
             let mut t = 0usize;
             while t < tpb {
                 let lanes = warp.min(tpb - t);
@@ -215,7 +224,7 @@ impl Kernel for AdaptiveKernel<'_> {
                             ctx.counters.tex_hits += 1;
                         }
                         let idx = py as usize * self.width + px as usize;
-                        ctx.shadow.add(self.image, idx, gray);
+                        acc.add(idx, gray);
                     }
                 }
                 if n_in > 0 {

@@ -56,6 +56,10 @@ pub struct SimConfig {
     /// Both modes yield identical counters and modeled times; `Batched` is
     /// the fast default, `Reference` the per-thread ground truth.
     pub exec_mode: ExecMode,
+    /// Host worker threads for the executor (`None` = one per host core).
+    /// Functional parallelism only — no effect on counters or modeled
+    /// times. The device clamps values beyond its SM count with a warning.
+    pub workers: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -77,6 +81,7 @@ impl Default for SimConfig {
             lut_phases: 1,
             psf: PsfKind::Point,
             exec_mode: ExecMode::default(),
+            workers: None,
         }
     }
 }
@@ -124,6 +129,11 @@ impl SimConfig {
         if self.lut_mag_bins == 0 || self.lut_phases == 0 {
             return Err(SimError::InvalidConfig(
                 "lookup table needs ≥1 magnitude bin and ≥1 phase".into(),
+            ));
+        }
+        if self.workers == Some(0) {
+            return Err(SimError::InvalidConfig(
+                "worker count must be positive (or None for auto)".into(),
             ));
         }
         Ok(())
@@ -189,6 +199,11 @@ mod tests {
         let mut c = SimConfig::default();
         c.lut_mag_bins = 0;
         assert!(c.validate().is_err());
+        let mut c = SimConfig::default();
+        c.workers = Some(0);
+        assert!(c.validate().is_err());
+        c.workers = Some(4);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -137,6 +137,69 @@ impl FrameSequencer {
     pub fn meets_real_time(&self, frame: &Frame) -> bool {
         frame.report.app_time_s <= self.frame_dt
     }
+
+    /// Renders `n` frames back-to-back through the zero-allocation path
+    /// ([`AdaptiveSession::render_into`]) and reports sustained host
+    /// throughput. The clock and attitude advance exactly as with
+    /// [`Self::next_frame`]; only the per-frame `SimulationReport` (and its
+    /// image allocation) is skipped — one pixel buffer serves all frames.
+    pub fn run_frames(&mut self, n: usize) -> Result<ThroughputReport, SimError> {
+        assert!(n > 0, "need at least one frame");
+        let mut host = Vec::new();
+        let mut latencies_s = Vec::with_capacity(n);
+        let mut app_time_s = 0.0;
+        let start = std::time::Instant::now();
+        for _ in 0..n {
+            let attitude = self.dynamics.attitude;
+            let config = self.config();
+            let catalog = self
+                .sky
+                .view(attitude, &self.camera, config.roi_side as f32);
+            let timing = self.session.render_into(&catalog, &mut host)?;
+            latencies_s.push(timing.wall_time_s);
+            app_time_s += timing.app_time_s;
+            self.dynamics.step(self.frame_dt);
+            self.time_s += self.frame_dt;
+        }
+        let elapsed_s = start.elapsed().as_secs_f64();
+        latencies_s.sort_by(f64::total_cmp);
+        Ok(ThroughputReport {
+            frames: n,
+            elapsed_s,
+            p50_ms: percentile_ms(&latencies_s, 50.0),
+            p99_ms: percentile_ms(&latencies_s, 99.0),
+            mean_app_time_s: app_time_s / n as f64,
+        })
+    }
+}
+
+/// Nearest-rank percentile of sorted per-frame latencies, in milliseconds.
+fn percentile_ms(sorted_s: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted_s.is_empty());
+    let rank = (q / 100.0 * sorted_s.len() as f64).ceil() as usize;
+    sorted_s[rank.clamp(1, sorted_s.len()) - 1] * 1e3
+}
+
+/// Sustained host throughput over a [`FrameSequencer::run_frames`] burst.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputReport {
+    /// Frames rendered.
+    pub frames: usize,
+    /// Host wall-clock for the whole burst, seconds.
+    pub elapsed_s: f64,
+    /// Median per-frame host latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-frame host latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean modeled (virtual-GPU) time per frame, seconds.
+    pub mean_app_time_s: f64,
+}
+
+impl ThroughputReport {
+    /// Sustained frames per second (host wall-clock).
+    pub fn fps(&self) -> f64 {
+        self.frames as f64 / self.elapsed_s
+    }
 }
 
 /// One emitted sensor frame.
@@ -241,6 +304,37 @@ mod tests {
             (angle.abs() - std::f32::consts::PI).abs() < 1e-6,
             "angle {angle}"
         );
+    }
+
+    #[test]
+    fn run_frames_reports_throughput_and_advances_the_clock() {
+        let mut seq = sequencer([0.002, 0.0, 0.0]);
+        let report = seq.run_frames(5).unwrap();
+        assert_eq!(report.frames, 5);
+        assert!(report.elapsed_s > 0.0);
+        assert!(report.fps() > 0.0);
+        assert!(report.p50_ms > 0.0);
+        assert!(report.p99_ms >= report.p50_ms);
+        assert!(report.mean_app_time_s > 0.0);
+        assert!(
+            (seq.time_s() - 2.5).abs() < 1e-12,
+            "clock advanced 5 frames"
+        );
+        // The throughput loop and the report loop see the same sky.
+        let f5 = seq.next_frame().unwrap();
+        assert_eq!(f5.index, 5);
+    }
+
+    #[test]
+    fn run_frames_matches_next_frame_timings() {
+        let mut by_report = sequencer([0.0; 3]);
+        let mut by_burst = sequencer([0.0; 3]);
+        let frame = by_report.next_frame().unwrap();
+        let burst = by_burst.run_frames(3).unwrap();
+        // Stationary attitude: every burst frame models identically to the
+        // reported frame (up to the mean's summation rounding).
+        let rel = (burst.mean_app_time_s - frame.report.app_time_s).abs() / frame.report.app_time_s;
+        assert!(rel < 1e-12, "relative deviation {rel}");
     }
 
     #[test]

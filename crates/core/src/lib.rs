@@ -42,7 +42,7 @@ pub mod validate;
 pub use adaptive::{AdaptiveKernel, AdaptiveSimulator};
 pub use config::{PsfKind, SimConfig};
 pub use error::SimError;
-pub use frames::{Frame, FrameSequencer};
+pub use frames::{Frame, FrameSequencer, ThroughputReport};
 pub use gpusim::ExecMode;
 pub use multi_gpu::MultiGpuSimulator;
 pub use parallel::{ParallelSimulator, StarCentricKernel};
@@ -50,7 +50,7 @@ pub use pixel_centric::{PixelCentricKernel, PixelCentricSimulator};
 pub use report::SimulationReport;
 pub use selection::{Choice, InflectionPoint};
 pub use sequential::SequentialSimulator;
-pub use session::{AdaptiveSession, LutCache};
+pub use session::{AdaptiveSession, FrameTiming, LutCache};
 pub use star_record::{to_device_stars, DeviceStar};
 
 use starfield::StarCatalog;

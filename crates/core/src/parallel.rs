@@ -194,19 +194,24 @@ impl Kernel for StarCentricKernel<'_> {
             ctx.counters.arith_issues += 3 * n_warps;
             ctx.counters.special_issues += n_warps;
             ctx.counters.atomic_requests += n_warps; // distinct addresses
+                                                     // Shadow lookup hoisted to a per-row accumulator span: only the
+                                                     // PSF evaluation and one add remain per pixel.
+            let acc = ctx.shadow.accumulator(self.image);
             for j in 0..side {
                 let py = y0 + j as i64;
                 let row = py as usize * self.width + x0 as usize;
-                for i in 0..side {
+                let row_vals = acc.span_mut(row, row + side);
+                for (i, slot) in row_vals.iter_mut().enumerate() {
                     let mu = self
                         .psf
                         .eval((x0 + i as i64) as f32, py as f32, star.x, star.y);
-                    ctx.shadow.add(self.image, row + i, g * mu);
+                    *slot += g * mu;
                 }
             }
         } else {
             // Edge ROI: census each warp's in-image lanes to account
             // divergence and per-warp issues, depositing as we go.
+            let acc = ctx.shadow.accumulator(self.image);
             let mut t = 0usize;
             while t < tpb {
                 let lanes = warp.min(tpb - t);
@@ -219,7 +224,7 @@ impl Kernel for StarCentricKernel<'_> {
                         n_in += 1;
                         let mu = self.psf.eval(px as f32, py as f32, star.x, star.y);
                         let idx = py as usize * self.width + px as usize;
-                        ctx.shadow.add(self.image, idx, g * mu);
+                        acc.add(idx, g * mu);
                     }
                 }
                 if n_in > 0 {

@@ -66,7 +66,13 @@ impl LutKey {
     }
 }
 
-/// A cross-session cache of built lookup tables.
+/// A cached table plus its recency stamp.
+struct LutEntry {
+    lut: Arc<LookupTable>,
+    last_use: u64,
+}
+
+/// A cross-session cache of built lookup tables, bounded by an LRU policy.
 ///
 /// A large-scale simulator often runs many sessions over the same optics —
 /// sweeping star counts, re-opening sessions per camera, re-rendering with
@@ -74,17 +80,53 @@ impl LutKey {
 /// magnitude range, PSF, binning), so [`AdaptiveSession::on_cached`] can
 /// skip both the host-side build *and* the modeled build time on a hit;
 /// only the per-device texture upload/bind is re-paid.
-#[derive(Default)]
+///
+/// The cache holds at most [`Self::capacity`] tables (default
+/// [`LutCache::DEFAULT_CAPACITY`]); inserting past the bound evicts the
+/// least-recently-*used* key, so a many-optics server's memory stays
+/// bounded while its hot optics stay resident.
 pub struct LutCache {
-    map: Mutex<HashMap<LutKey, Arc<LookupTable>>>,
+    map: Mutex<HashMap<LutKey, LutEntry>>,
+    capacity: usize,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for LutCache {
+    fn default() -> Self {
+        LutCache::new()
+    }
+}
+
 impl LutCache {
-    /// An empty cache.
+    /// Default capacity: plenty for one camera sweeping a few PSFs, small
+    /// against the multi-megabyte tables it bounds.
+    pub const DEFAULT_CAPACITY: usize = 8;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
-        LutCache::default()
+        LutCache::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` tables.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "LutCache capacity must be positive");
+        LutCache {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of resident tables.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Tables currently cached.
@@ -115,9 +157,10 @@ impl LutCache {
         config: &SimConfig,
     ) -> Result<(Arc<LookupTable>, bool), SimError> {
         let key = LutKey::of(config);
-        if let Some(lut) = self.map.lock().unwrap().get(&key) {
+        if let Some(entry) = self.map.lock().unwrap().get_mut(&key) {
+            entry.last_use = self.tick.fetch_add(1, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(lut), true));
+            return Ok((Arc::clone(&entry.lut), true));
         }
         // Build outside the lock: a miss takes milliseconds and other
         // sessions may be hitting concurrently. Racing builders produce
@@ -125,7 +168,24 @@ impl LutCache {
         let builder = AdaptiveSimulator::on(VirtualGpu::new(gpu.spec().clone()));
         let lut = Arc::new(builder.build_lut(config)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().unwrap().insert(key, Arc::clone(&lut));
+        let mut map = self.map.lock().unwrap();
+        while map.len() >= self.capacity && !map.contains_key(&key) {
+            // Evict the least-recently-used entry. Linear scan: the cache
+            // is small by construction (that is its purpose).
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map above capacity");
+            map.remove(&victim);
+        }
+        map.insert(
+            key,
+            LutEntry {
+                lut: Arc::clone(&lut),
+                last_use: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
         Ok((lut, false))
     }
 }
@@ -140,6 +200,16 @@ fn zero_build_time(_: &LookupTable) -> f64 {
     0.0
 }
 
+/// Timings of one frame rendered through the zero-allocation path
+/// ([`AdaptiveSession::render_into`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FrameTiming {
+    /// Modeled application time (kernel + transfers), seconds.
+    pub app_time_s: f64,
+    /// Host wall-clock time of the render call, seconds.
+    pub wall_time_s: f64,
+}
+
 /// A long-lived adaptive simulator with its lookup table resident in
 /// texture memory.
 pub struct AdaptiveSession {
@@ -147,6 +217,13 @@ pub struct AdaptiveSession {
     config: SimConfig,
     lut: Arc<LookupTable>,
     lut_tex: Texture,
+    /// Persistent device image: each frame's download zeroes it in the
+    /// same pass (`download_take`), so it is reused — never reallocated —
+    /// across the session's lifetime.
+    image_dev: gpusim::GlobalAtomicF32,
+    /// When `false`, every frame allocates its device image fresh — the
+    /// allocation baseline for the throughput experiment.
+    frame_reuse: bool,
     /// One-time setup cost (LUT build + upload + bind), seconds.
     setup_time_s: f64,
     frames_rendered: std::cell::Cell<u64>,
@@ -186,7 +263,8 @@ impl AdaptiveSession {
         Self::with_lut(gpu, config, lut, charge)
     }
 
-    /// Shared constructor tail: binds `lut` on `gpu` and charges
+    /// Shared constructor tail: binds `lut` on `gpu`, allocates the
+    /// persistent device image, applies `config.workers`, and charges
     /// `build_charge(&lut)` seconds of setup on top of upload + bind.
     fn with_lut(
         gpu: VirtualGpu,
@@ -194,18 +272,34 @@ impl AdaptiveSession {
         lut: Arc<LookupTable>,
         build_charge: fn(&LookupTable) -> f64,
     ) -> Result<Self, SimError> {
+        let gpu = match config.workers {
+            Some(w) => gpu.with_workers(w),
+            None => gpu,
+        };
         let build_time = build_charge(&lut);
         let side = config.roi_side;
         let (lut_tex, t_upload, t_bind) =
             gpu.bind_texture(side, side, lut.layers(), lut.data().to_vec())?;
+        let image_dev = gpu.alloc_atomic_f32(config.pixels());
         Ok(AdaptiveSession {
             gpu,
             config,
             lut,
             lut_tex,
+            image_dev,
+            frame_reuse: true,
             setup_time_s: build_time + t_upload + t_bind,
             frames_rendered: std::cell::Cell::new(0),
         })
+    }
+
+    /// Enables/disables device-image reuse across frames (default on).
+    /// With reuse off, every frame allocates its device image fresh — the
+    /// allocation baseline for the throughput experiment. Both settings
+    /// produce bit-identical frames.
+    pub fn with_frame_reuse(mut self, reuse: bool) -> Self {
+        self.frame_reuse = reuse;
+        self
     }
 
     /// The session's fixed configuration.
@@ -223,16 +317,16 @@ impl AdaptiveSession {
         self.frames_rendered.get()
     }
 
-    /// Renders one frame. Unlike [`AdaptiveSimulator::simulate`], the
-    /// profile carries **no** lookup-table build or texture-binding items —
-    /// they were paid at session setup.
-    pub fn render(&self, catalog: &StarCatalog) -> Result<SimulationReport, SimError> {
-        let wall_start = Instant::now();
-        let mut profile = AppProfile::new();
+    /// Uploads the catalog and launches the fetch kernel against
+    /// `image_dev`; returns the kernel profile and the modeled transfer
+    /// time of the star upload + image upload (download not included).
+    fn launch_frame(
+        &self,
+        catalog: &StarCatalog,
+        image_dev: &gpusim::GlobalAtomicF32,
+    ) -> Result<(gpusim::KernelProfile, f64), SimError> {
         let config = &self.config;
-
         let (stars, t_stars) = self.gpu.upload(to_device_stars(catalog.stars()));
-        let image_dev = self.gpu.alloc_atomic_f32(config.pixels());
         let t_img_up = self
             .gpu
             .transfer_model()
@@ -241,7 +335,7 @@ impl AdaptiveSession {
         let star_count = catalog.len();
         let kernel = AdaptiveKernel {
             stars: &stars,
-            image: &image_dev,
+            image: image_dev,
             lut_tex: &self.lut_tex,
             lut: self.lut.as_ref(),
             star_count,
@@ -251,15 +345,41 @@ impl AdaptiveSession {
         };
         let cfg = LaunchConfig::star_centric(star_count.max(1), config.roi_side, self.gpu.spec())
             .with_shared_mem(3 * 4);
-        profile.kernels.push(self.gpu.launch_mode(
-            "adaptive-lut",
-            &kernel,
-            cfg,
-            config.exec_mode,
-        )?);
+        let profile = self
+            .gpu
+            .launch_mode("adaptive-lut", &kernel, cfg, config.exec_mode)?;
+        Ok((profile, t_stars + t_img_up))
+    }
 
-        let (host_pixels, t_down) = self.gpu.download(&image_dev);
-        profile.push_overhead("CPU-GPU transmission", t_stars + t_img_up + t_down);
+    /// Renders one frame. Unlike [`AdaptiveSimulator::simulate`], the
+    /// profile carries **no** lookup-table build or texture-binding items —
+    /// they were paid at session setup.
+    pub fn render(&self, catalog: &StarCatalog) -> Result<SimulationReport, SimError> {
+        let wall_start = Instant::now();
+        let mut profile = AppProfile::new();
+        let config = &self.config;
+        let star_count = catalog.len();
+
+        let fresh_image;
+        let image_dev = if self.frame_reuse {
+            &self.image_dev
+        } else {
+            fresh_image = self.gpu.alloc_atomic_f32(config.pixels());
+            &fresh_image
+        };
+        let (kernel_profile, t_up) = self.launch_frame(catalog, image_dev)?;
+        profile.kernels.push(kernel_profile);
+
+        let (host_pixels, t_down) = if self.frame_reuse {
+            // Drain the persistent device image so the next frame starts
+            // from zero, exactly like a fresh allocation.
+            let mut host = Vec::new();
+            let t = self.gpu.download_take(image_dev, &mut host);
+            (host, t)
+        } else {
+            self.gpu.download(image_dev)
+        };
+        profile.push_overhead("CPU-GPU transmission", t_up + t_down);
 
         self.frames_rendered.set(self.frames_rendered.get() + 1);
         let image = ImageF32::from_data(config.width, config.height, host_pixels);
@@ -272,6 +392,40 @@ impl AdaptiveSession {
             wall_time_s: wall_start.elapsed().as_secs_f64(),
             stars: star_count,
             roi_side: config.roi_side,
+        })
+    }
+
+    /// Renders one frame into a caller-owned pixel buffer — the
+    /// zero-allocation frame path. `host` is resized on first use and
+    /// reused verbatim afterwards; no device image, shadow buffer, or host
+    /// image is allocated once the loop is warm. Pixels and modeled times
+    /// are bit-identical to [`Self::render`].
+    pub fn render_into(
+        &self,
+        catalog: &StarCatalog,
+        host: &mut Vec<f32>,
+    ) -> Result<FrameTiming, SimError> {
+        let wall_start = Instant::now();
+        let fresh_image;
+        let image_dev = if self.frame_reuse {
+            &self.image_dev
+        } else {
+            fresh_image = self.gpu.alloc_atomic_f32(self.config.pixels());
+            &fresh_image
+        };
+        let (kernel_profile, t_up) = self.launch_frame(catalog, image_dev)?;
+        let t_down = if self.frame_reuse {
+            self.gpu.download_take(image_dev, host)
+        } else {
+            self.gpu.download_into(image_dev, host)
+        };
+        self.frames_rendered.set(self.frames_rendered.get() + 1);
+        Ok(FrameTiming {
+            // Same association as `AppProfile::app_time` (kernel time plus
+            // the one transmission overhead item) so the two render paths
+            // report bit-equal modeled times.
+            app_time_s: kernel_profile.time_s + (t_up + t_down),
+            wall_time_s: wall_start.elapsed().as_secs_f64(),
         })
     }
 
@@ -399,6 +553,85 @@ mod tests {
         assert_eq!(bits(&a), bits(&c));
         assert_eq!(a.app_time_s, b.app_time_s);
         assert_eq!(a.app_time_s, c.app_time_s);
+    }
+
+    #[test]
+    fn render_into_matches_render_bitwise() {
+        let cat = FieldGenerator::new(128, 128).generate(250, 11);
+        let by_report = AdaptiveSession::new(cfg()).unwrap();
+        let by_buffer = AdaptiveSession::new(cfg()).unwrap();
+        let report = by_report.render(&cat).unwrap();
+        let mut host = Vec::new();
+        let mut timing = by_buffer.render_into(&cat, &mut host).unwrap();
+        assert_eq!(report.image.data(), host.as_slice());
+        assert_eq!(report.app_time_s, timing.app_time_s);
+        // Warm loop: the same host buffer serves every later frame.
+        let cap = host.capacity();
+        for _ in 0..3 {
+            timing = by_buffer.render_into(&cat, &mut host).unwrap();
+        }
+        assert_eq!(host.capacity(), cap, "no host reallocation when warm");
+        assert_eq!(report.image.data(), host.as_slice());
+        assert_eq!(report.app_time_s, timing.app_time_s);
+        assert_eq!(by_buffer.frames_rendered(), 4);
+        assert!(timing.wall_time_s > 0.0);
+    }
+
+    #[test]
+    fn frame_reuse_off_renders_identically() {
+        let cat = FieldGenerator::new(128, 128).generate(250, 4);
+        let reuse = AdaptiveSession::new(cfg()).unwrap();
+        let alloc = AdaptiveSession::new(cfg()).unwrap().with_frame_reuse(false);
+        for _ in 0..2 {
+            let a = reuse.render(&cat).unwrap();
+            let b = alloc.render(&cat).unwrap();
+            assert_eq!(a.image, b.image);
+            assert_eq!(a.app_time_s, b.app_time_s);
+        }
+    }
+
+    #[test]
+    fn config_workers_flow_into_the_device() {
+        let cat = FieldGenerator::new(128, 128).generate(250, 4);
+        let mut limited = cfg();
+        limited.workers = Some(2);
+        let a = AdaptiveSession::new(cfg()).unwrap().render(&cat).unwrap();
+        let b = AdaptiveSession::new(limited).unwrap().render(&cat).unwrap();
+        // Worker count is functional parallelism only: counters and modeled
+        // times are invariant; pixels match to merge-order rounding.
+        assert_eq!(a.app_time_s, b.app_time_s);
+        assert!(images_close(&a.image, &b.image, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn lut_cache_evicts_least_recently_used() {
+        let cache = LutCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let mut sigma3 = cfg();
+        sigma3.sigma = 3.0;
+        let mut sigma4 = cfg();
+        sigma4.sigma = 4.0;
+
+        let gpu = VirtualGpu::gtx480;
+        // Fill: [base, sigma3], then touch base so sigma3 becomes LRU.
+        let _ = AdaptiveSession::on_cached(gpu(), cfg(), &cache).unwrap();
+        let _ = AdaptiveSession::on_cached(gpu(), sigma3.clone(), &cache).unwrap();
+        let _ = AdaptiveSession::on_cached(gpu(), cfg(), &cache).unwrap();
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
+
+        // Inserting sigma4 must evict sigma3 (LRU), not base (recently used).
+        let _ = AdaptiveSession::on_cached(gpu(), sigma4, &cache).unwrap();
+        assert_eq!(cache.len(), 2, "capacity bound holds");
+        let _ = AdaptiveSession::on_cached(gpu(), cfg(), &cache).unwrap();
+        assert_eq!(cache.hits(), 2, "base survived the eviction");
+        let _ = AdaptiveSession::on_cached(gpu(), sigma3, &cache).unwrap();
+        assert_eq!(cache.misses(), 4, "sigma3 was evicted and rebuilt");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn lut_cache_rejects_zero_capacity() {
+        let _ = LutCache::with_capacity(0);
     }
 
     #[test]

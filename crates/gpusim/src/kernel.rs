@@ -21,6 +21,7 @@ use crate::memory::cache::CacheSim;
 use crate::memory::global::{GlobalAtomicF32, GlobalBuffer};
 use crate::memory::shared::SharedMem;
 use crate::memory::texture::Texture;
+use std::sync::Mutex;
 
 /// One device operation observed during a thread's execution of a phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,6 +138,154 @@ impl BlockCtx<'_, '_> {
     }
 }
 
+/// Values covered by one dirty bit of a [`ShadowBuf`]: 16 `f32` = 64 B.
+///
+/// Sized to the workload, not the word: the star kernels accumulate
+/// ~10-pixel ROI rows, and every dirty chunk is merged *and zeroed* in
+/// full. At 64 values per bit a 10-value row drags ~6× its footprint
+/// through the merge; at 16 the overshoot is bounded by ~2.6× worst case
+/// while the bitmap (one bit per 64 B) stays a 0.1% overhead.
+const SHADOW_CHUNK: usize = 16;
+
+/// A recycling pool of shadow buffers (see [`ShadowBuf`]).
+///
+/// The batched executor allocates one full-image shadow per worker per
+/// launch; at frame rates those multi-megabyte allocations dominate. The
+/// arena keeps *drained* (all-zero, dirty-clear) buffers from finished
+/// launches and hands them back to the next one — clear, don't reallocate.
+/// Buffers are returned only by [`ShadowSet::merge`], which zeroes every
+/// dirty chunk as it merges, so a recycled buffer needs no zeroing pass; a
+/// launch that panics simply drops its buffers instead of recycling them.
+#[derive(Debug, Default)]
+pub struct BufferArena {
+    free: Mutex<Vec<ShadowBuf>>,
+}
+
+/// Upper bound on pooled buffers: enough for every worker of the widest
+/// device shape (one shadow per SM-worker plus slack); beyond it, returned
+/// buffers are dropped instead of hoarded.
+const ARENA_CAP: usize = 64;
+
+impl BufferArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        BufferArena::default()
+    }
+
+    /// Buffers currently pooled (test/diagnostic use).
+    pub fn pooled(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+
+    /// A drained buffer resized for `len` values. Recycled buffers are
+    /// all-zero by the merge contract; a size change falls back to
+    /// clear-and-resize.
+    fn take(&self, len: usize) -> ShadowBuf {
+        let recycled = self.free.lock().unwrap().pop();
+        match recycled {
+            Some(mut sb) => {
+                if sb.vals.len() != len {
+                    sb.vals.clear();
+                    sb.vals.resize(len, 0.0);
+                    sb.dirty.clear();
+                    sb.dirty.resize(dirty_words(len), 0);
+                } else {
+                    debug_assert!(
+                        sb.vals.iter().all(|&v| v == 0.0) && sb.dirty.iter().all(|&w| w == 0),
+                        "arena invariant: recycled shadows are drained"
+                    );
+                }
+                sb
+            }
+            None => ShadowBuf {
+                vals: vec![0.0; len],
+                dirty: vec![0; dirty_words(len)],
+            },
+        }
+    }
+
+    /// Returns a drained buffer to the pool.
+    fn put(&self, sb: ShadowBuf) {
+        let mut free = self.free.lock().unwrap();
+        if free.len() < ARENA_CAP {
+            free.push(sb);
+        }
+    }
+}
+
+/// `u64` words needed to carry one dirty bit per [`SHADOW_CHUNK`] values.
+fn dirty_words(len: usize) -> usize {
+    len.div_ceil(SHADOW_CHUNK).div_ceil(64)
+}
+
+/// One worker's private shadow of an `atomicAdd` target buffer, with a
+/// coarse dirty bitmap (one bit per [`SHADOW_CHUNK`] values).
+///
+/// The bitmap makes the merge and the drain proportional to the *touched*
+/// footprint instead of the buffer length — with many workers each shadow
+/// holds a thin slice of the image, and scanning megabytes of untouched
+/// zeros per worker would dwarf the actual merge work.
+#[derive(Debug)]
+pub struct ShadowBuf {
+    vals: Vec<f32>,
+    /// Bit `c` of word `c / 64` set ⇔ values `[c·K, (c+1)·K)` for
+    /// `K = SHADOW_CHUNK` may be non-zero. Unmarked chunks are guaranteed
+    /// all-zero.
+    dirty: Vec<u64>,
+}
+
+impl ShadowBuf {
+    /// `self[idx] += v`.
+    #[inline]
+    pub fn add(&mut self, idx: usize, v: f32) {
+        self.vals[idx] += v;
+        let chunk = idx / SHADOW_CHUNK;
+        self.dirty[chunk / 64] |= 1 << (chunk % 64);
+    }
+
+    /// Mutable view of `[start, end)`, marked dirty — the tight-loop API
+    /// for kernels accumulating a whole ROI row at once.
+    #[inline]
+    pub fn span_mut(&mut self, start: usize, end: usize) -> &mut [f32] {
+        debug_assert!(start <= end && end <= self.vals.len());
+        let mut chunk = start / SHADOW_CHUNK;
+        let last = end.saturating_sub(1) / SHADOW_CHUNK;
+        while chunk <= last {
+            self.dirty[chunk / 64] |= 1 << (chunk % 64);
+            chunk += 1;
+        }
+        &mut self.vals[start..end]
+    }
+
+    /// Merges every non-zero value into `buf` in ascending index order and
+    /// drains the shadow back to the all-zero state (values zeroed, dirty
+    /// bits cleared) so the arena can recycle it without a clearing pass.
+    ///
+    /// Runs of consecutive dirty chunks (the common case: an ROI row
+    /// straddling a chunk boundary) coalesce into one merge-and-zero pass,
+    /// and each chunk is visited once, in ascending order either way — the
+    /// per-pixel addition order is unchanged.
+    fn drain_into(&mut self, buf: &GlobalAtomicF32) {
+        for (w, word) in self.dirty.iter_mut().enumerate() {
+            let mut bits = *word;
+            *word = 0;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                // Length of the run of set bits starting at `b`.
+                let run = (!(bits >> b)).trailing_zeros() as usize;
+                bits &= if b + run >= 64 {
+                    0
+                } else {
+                    !(((1u64 << run) - 1) << b)
+                };
+                let start = (w * 64 + b) * SHADOW_CHUNK;
+                let end = (start + run * SHADOW_CHUNK).min(self.vals.len());
+                buf.merge_drain_range(start, &mut self.vals[start..end]);
+            }
+        }
+    }
+}
+
 /// Per-worker private shadows of `atomicAdd` target buffers.
 ///
 /// Instead of CAS-looping on the shared [`GlobalAtomicF32`] from every
@@ -146,37 +295,80 @@ impl BlockCtx<'_, '_> {
 /// single-threaded, so the result is deterministic for a fixed worker
 /// count; modeled atomic traffic is accounted analytically by the kernel's
 /// `run_block`, unaffected by this host-side strategy.
+///
+/// When built [`Self::with_arena`], shadow storage is recycled across
+/// launches instead of reallocated — the zero-allocation frame loop.
 #[derive(Debug, Default)]
 pub struct ShadowSet<'k> {
-    bufs: Vec<(&'k GlobalAtomicF32, Vec<f32>)>,
+    bufs: Vec<(&'k GlobalAtomicF32, ShadowBuf)>,
+    arena: Option<&'k BufferArena>,
 }
 
 impl<'k> ShadowSet<'k> {
-    /// An empty shadow set.
+    /// An empty shadow set allocating fresh storage per buffer.
     pub fn new() -> Self {
-        ShadowSet { bufs: Vec::new() }
+        ShadowSet {
+            bufs: Vec::new(),
+            arena: None,
+        }
+    }
+
+    /// An empty shadow set drawing storage from (and returning it to)
+    /// `arena`.
+    pub fn with_arena(arena: &'k BufferArena) -> Self {
+        ShadowSet {
+            bufs: Vec::new(),
+            arena: Some(arena),
+        }
     }
 
     /// `shadow[buf][idx] += v`, allocating the shadow of `buf` (zeroed, one
-    /// slot per element) on first use. Buffers are identified by address;
-    /// launches touch one or two, so the linear scan is free.
+    /// slot per element) on first use.
     #[inline]
     pub fn add(&mut self, buf: &'k GlobalAtomicF32, idx: usize, v: f32) {
-        if let Some((_, vals)) = self.bufs.iter_mut().find(|(b, _)| std::ptr::eq(*b, buf)) {
-            vals[idx] += v;
-            return;
-        }
-        let mut vals = vec![0.0f32; buf.len()];
-        vals[idx] += v;
-        self.bufs.push((buf, vals));
+        self.accumulator(buf).add(idx, v);
     }
 
-    /// Adds every accumulated value into its target buffer. Called by the
-    /// executor with all workers joined, so the plain read-modify-write in
-    /// [`GlobalAtomicF32::merge_add`] is race-free.
+    /// The private accumulator for `buf`, allocating it on first use.
+    /// Buffers are identified by address; launches touch one or two, so
+    /// the linear scan is free — but kernels should hoist this lookup out
+    /// of per-pixel loops.
+    #[inline]
+    pub fn accumulator(&mut self, buf: &'k GlobalAtomicF32) -> &mut ShadowBuf {
+        if let Some(pos) = self.bufs.iter().position(|(b, _)| std::ptr::eq(*b, buf)) {
+            return &mut self.bufs[pos].1;
+        }
+        let sb = match self.arena {
+            Some(arena) => arena.take(buf.len()),
+            None => ShadowBuf {
+                vals: vec![0.0; buf.len()],
+                dirty: vec![0; dirty_words(buf.len())],
+            },
+        };
+        self.bufs.push((buf, sb));
+        &mut self.bufs.last_mut().expect("just pushed").1
+    }
+
+    /// Adds every accumulated value into its target buffer (ascending index
+    /// order per buffer) and recycles drained storage into the arena, if
+    /// any. Called by the executor with all workers joined, so the plain
+    /// read-modify-write in [`GlobalAtomicF32::merge_add_range`] is
+    /// race-free.
+    ///
+    /// With an arena, the merge walks only dirty chunks — it must drain the
+    /// buffer back to all-zero for recycling anyway, so the bitmap pays for
+    /// itself. Without one, storage is dropped after the merge and draining
+    /// would be wasted work: the merge is the pre-arena full-range scan.
+    /// Both walk each buffer in ascending index order and skip zeros, so
+    /// the merged values are bit-identical.
     pub(crate) fn merge(self) {
-        for (buf, vals) in self.bufs {
-            buf.merge_add(&vals);
+        for (buf, mut sb) in self.bufs {
+            if let Some(arena) = self.arena {
+                sb.drain_into(buf);
+                arena.put(sb);
+            } else {
+                buf.merge_add_range(0, &sb.vals);
+            }
         }
     }
 }
@@ -380,5 +572,82 @@ mod tests {
         assert!(!c.exited());
         c.exit();
         assert!(c.exited());
+    }
+
+    #[test]
+    fn shadow_set_merges_into_targets() {
+        let space = AddressSpace::new();
+        let img = GlobalAtomicF32::from_host(&space, &[1.0, 2.0, 3.0]);
+        let mut shadow = ShadowSet::new();
+        shadow.add(&img, 0, 0.5);
+        shadow.add(&img, 2, 1.0);
+        shadow.add(&img, 2, 1.0);
+        shadow.merge();
+        assert_eq!(img.to_host(), vec![1.5, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn shadow_buf_span_marks_dirty_chunks() {
+        let space = AddressSpace::new();
+        // Large enough that an unmarked merge scan would visit many chunks.
+        let img = GlobalAtomicF32::zeroed(&space, 1024);
+        let mut shadow = ShadowSet::new();
+        let acc = shadow.accumulator(&img);
+        // A span crossing a chunk boundary.
+        let span = acc.span_mut(60, 70);
+        for v in span.iter_mut() {
+            *v += 2.0;
+        }
+        acc.add(1000, 3.0);
+        shadow.merge();
+        let host = img.to_host();
+        for (i, &v) in host.iter().enumerate() {
+            let expect = match i {
+                60..=69 => 2.0,
+                1000 => 3.0,
+                _ => 0.0,
+            };
+            assert_eq!(v, expect, "pixel {i}");
+        }
+    }
+
+    #[test]
+    fn arena_recycles_drained_buffers() {
+        let space = AddressSpace::new();
+        let img = GlobalAtomicF32::zeroed(&space, 256);
+        let arena = BufferArena::new();
+        {
+            let mut shadow = ShadowSet::with_arena(&arena);
+            shadow.add(&img, 7, 1.0);
+            shadow.merge();
+        }
+        assert_eq!(arena.pooled(), 1, "merge must return the buffer");
+        {
+            // Second use draws the recycled (drained) buffer; the merged
+            // result must be indistinguishable from a fresh allocation.
+            let mut shadow = ShadowSet::with_arena(&arena);
+            shadow.add(&img, 7, 1.0);
+            shadow.add(&img, 255, 4.0);
+            shadow.merge();
+        }
+        assert_eq!(arena.pooled(), 1);
+        assert_eq!(img.read(7), 2.0);
+        assert_eq!(img.read(255), 4.0);
+    }
+
+    #[test]
+    fn arena_resizes_recycled_buffers() {
+        let space = AddressSpace::new();
+        let small = GlobalAtomicF32::zeroed(&space, 8);
+        let big = GlobalAtomicF32::zeroed(&space, 4096);
+        let arena = BufferArena::new();
+        let mut shadow = ShadowSet::with_arena(&arena);
+        shadow.add(&small, 3, 1.0);
+        shadow.merge();
+        let mut shadow = ShadowSet::with_arena(&arena);
+        shadow.add(&big, 4095, 2.0);
+        shadow.merge();
+        assert_eq!(small.read(3), 1.0);
+        assert_eq!(big.read(4095), 2.0);
     }
 }

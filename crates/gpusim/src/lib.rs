@@ -75,10 +75,11 @@ pub use device::DeviceSpec;
 pub use dim::Dim3;
 pub use error::GpuError;
 pub use exec::{ExecMode, VirtualGpu};
-pub use kernel::{BlockCtx, Event, Kernel, ShadowSet, ThreadCtx};
+pub use kernel::{BlockCtx, BufferArena, Event, Kernel, ShadowBuf, ShadowSet, ThreadCtx};
 pub use launch::LaunchConfig;
 pub use memory::global::{GlobalAtomicF32, GlobalBuffer};
 pub use memory::texture::Texture;
 pub use memory::transfer::{MemcpyKind, TransferModel};
+pub use pool::WorkerPool;
 pub use profiler::{AppProfile, Boundedness, KernelProfile, OverheadItem};
 pub use timing::{CostModel, Occupancy};

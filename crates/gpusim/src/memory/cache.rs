@@ -11,6 +11,9 @@
 #[derive(Debug, Clone)]
 pub struct CacheSim {
     line_bytes: usize,
+    /// `log2(line_bytes)` — the line size is asserted to be a power of two,
+    /// so address → line is a shift, not a division.
+    line_shift: u32,
     sets: usize,
     ways: usize,
     /// `tags[set * ways + way]`: cached line tag, `u64::MAX` = invalid.
@@ -20,6 +23,13 @@ pub struct CacheSim {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// Line of the most recent access (`u64::MAX` = none) and its slot in
+    /// `tags`/`stamps`. A repeat access to this line is a guaranteed hit —
+    /// nothing can evict between two consecutive accesses of a
+    /// single-threaded cache — so the set scan is skipped. The texture
+    /// swizzle makes runs of same-line fetches the common case.
+    last_line: u64,
+    last_slot: usize,
 }
 
 impl CacheSim {
@@ -43,6 +53,7 @@ impl CacheSim {
         let sets = lines / ways;
         CacheSim {
             line_bytes,
+            line_shift: line_bytes.trailing_zeros(),
             sets,
             ways,
             tags: vec![u64::MAX; lines],
@@ -50,6 +61,8 @@ impl CacheSim {
             clock: 0,
             hits: 0,
             misses: 0,
+            last_line: u64::MAX,
+            last_slot: 0,
         }
     }
 
@@ -64,16 +77,29 @@ impl CacheSim {
     }
 
     /// Performs one access at byte address `addr`; returns `true` on hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.clock += 1;
-        let line = addr / self.line_bytes as u64;
+        let line = addr >> self.line_shift;
+        // MRU shortcut: the last-touched line is resident by construction
+        // (its slot was filled or refreshed on the previous access and the
+        // cache is single-threaded), and refreshing its stamp with the new
+        // clock is exactly what the full scan would do — same stamps, same
+        // statistics, same future evictions.
+        if line == self.last_line {
+            self.stamps[self.last_slot] = self.clock;
+            self.hits += 1;
+            return true;
+        }
         let set = (line % self.sets as u64) as usize;
         let base = set * self.ways;
-        let slots = &mut self.tags[base..base + self.ways];
+        let slots = &self.tags[base..base + self.ways];
 
         if let Some(way) = slots.iter().position(|&t| t == line) {
             self.stamps[base + way] = self.clock;
             self.hits += 1;
+            self.last_line = line;
+            self.last_slot = base + way;
             return true;
         }
         // Miss: evict the LRU way of this set.
@@ -83,6 +109,8 @@ impl CacheSim {
         self.tags[base + lru] = line;
         self.stamps[base + lru] = self.clock;
         self.misses += 1;
+        self.last_line = line;
+        self.last_slot = base + lru;
         false
     }
 
@@ -100,6 +128,8 @@ impl CacheSim {
     pub fn flush(&mut self) {
         self.tags.fill(u64::MAX);
         self.stamps.fill(0);
+        self.last_line = u64::MAX;
+        self.last_slot = 0;
     }
 
     /// Resets both contents and statistics.

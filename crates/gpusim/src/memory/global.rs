@@ -174,6 +174,36 @@ impl GlobalAtomicF32 {
         }
     }
 
+    /// Single-writer bulk add of a sub-range: `self[start + i] += vals[i]`
+    /// for every non-zero entry of `vals`. Same contract and zero-skip
+    /// exactness argument as [`Self::merge_add`]; used by the dirty-chunk
+    /// shadow merge, which visits only touched 64-value spans.
+    #[inline]
+    pub fn merge_add_range(&self, start: usize, vals: &[f32]) {
+        debug_assert!(start + vals.len() <= self.data.len());
+        for (cell, &v) in self.data[start..start + vals.len()].iter().zip(vals) {
+            if v != 0.0 {
+                let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+                cell.store((cur + v).to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// [`Self::merge_add_range`] that also zeroes `vals` as it goes — the
+    /// single-pass drain used by shadow-buffer recycling. Skipping zero
+    /// values is exact: `x + 0.0 == x` bitwise for the non-negative
+    /// intensities kernels accumulate.
+    pub fn merge_drain_range(&self, start: usize, vals: &mut [f32]) {
+        debug_assert!(start + vals.len() <= self.data.len());
+        for (cell, v) in self.data[start..start + vals.len()].iter().zip(vals) {
+            if *v != 0.0 {
+                let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+                cell.store((cur + *v).to_bits(), Ordering::Relaxed);
+                *v = 0.0;
+            }
+        }
+    }
+
     /// Plain read (used by downloads after kernels complete).
     #[inline]
     pub fn read(&self, idx: usize) -> f32 {
@@ -186,6 +216,29 @@ impl GlobalAtomicF32 {
             .iter()
             .map(|c| f32::from_bits(c.load(Ordering::Relaxed)))
             .collect()
+    }
+
+    /// Downloads the whole buffer into `out` (resized to fit) without
+    /// allocating a fresh vector — the frame loop's download path.
+    pub fn to_host_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(
+            self.data
+                .iter()
+                .map(|c| f32::from_bits(c.load(Ordering::Relaxed))),
+        );
+    }
+
+    /// Downloads the whole buffer into `out` and resets the device buffer
+    /// to zero in the same pass, so a persistent device image can be reused
+    /// by the next frame without a separate clearing kernel.
+    pub fn take_to_host(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(self.data.iter().map(|c| {
+            let v = f32::from_bits(c.load(Ordering::Relaxed));
+            c.store(0f32.to_bits(), Ordering::Relaxed);
+            v
+        }));
     }
 }
 
@@ -269,6 +322,32 @@ mod tests {
         }
         assert_eq!(a.to_host(), b.to_host());
         assert_eq!(a.read(3), 4.0, "entries past the shadow are untouched");
+    }
+
+    #[test]
+    fn merge_add_range_matches_offset_atomics() {
+        let space = AddressSpace::new();
+        let a = GlobalAtomicF32::from_host(&space, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = GlobalAtomicF32::from_host(&space, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let delta = [0.25f32, 0.0, 0.75];
+        a.merge_add_range(1, &delta);
+        for (i, &v) in delta.iter().enumerate() {
+            b.atomic_add(1 + i, v);
+        }
+        assert_eq!(a.to_host(), b.to_host());
+    }
+
+    #[test]
+    fn to_host_into_and_take_to_host() {
+        let space = AddressSpace::new();
+        let buf = GlobalAtomicF32::from_host(&space, &[1.0, 2.0]);
+        let mut out = vec![9.0; 7];
+        buf.to_host_into(&mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+        assert_eq!(buf.read(0), 1.0, "plain download leaves device data");
+        buf.take_to_host(&mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+        assert_eq!(buf.to_host(), vec![0.0, 0.0], "take zeroes device data");
     }
 
     #[test]

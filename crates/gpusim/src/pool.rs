@@ -1,5 +1,5 @@
-//! A minimal scoped parallel-for used to run thread blocks across worker
-//! threads ("virtual SMs").
+//! A persistent worker pool that runs thread blocks across worker threads
+//! ("virtual SMs").
 //!
 //! We deliberately do not depend on rayon: the executor wants explicit
 //! control of how blocks map onto workers (each worker plays one SM for the
@@ -7,19 +7,423 @@
 //! chunk-claiming loop over a dense index range is the textbook solution
 //! (*Rust Atomics and Locks*, ch. 1/2) and is exactly how a GPU's global
 //! work distributor hands blocks to SMs.
+//!
+//! PR 1 spawned a fresh scope of OS threads per `parallel_for` call; at
+//! frame rates that fixed cost dominates, so [`WorkerPool`] keeps the
+//! threads alive across launches, parked on a condvar. A launch publishes a
+//! *generation*: a type-erased job pointer plus a lane count, guarded by a
+//! generation counter. Workers wake, run their lanes, and park again; the
+//! launching thread participates as lane 0 so a pool of `n` lanes spawns
+//! only `n − 1` threads (and a 1-lane pool spawns none at all).
+//!
+//! ## Determinism contract
+//!
+//! The *role* an index maps to is a pure function of `(count, workers)`,
+//! never of the pool's thread count. When a caller asks for more workers
+//! than the pool has lanes, lane `l` plays roles `l, l + lanes,
+//! l + 2·lanes, …` — each role still visits its indices in ascending
+//! order, so the batched executor's per-worker shadow buffers and its
+//! worker-order merge see exactly the index → worker mapping the scoped
+//! implementation produced, on any machine.
+//!
+//! ## Panics and nesting
+//!
+//! A panic in a worker body is caught, the generation is allowed to finish
+//! on the remaining lanes, and the panic resumes on the launching thread —
+//! the pool itself stays parked and reusable. Nested calls from inside a
+//! worker body run inline on that worker (no second generation is
+//! published), which cannot deadlock.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
-/// Runs `body(index, worker_id)` for every index in `0..count`, distributing
-/// chunks of `chunk` indices over `workers` OS threads.
+thread_local! {
+    /// Set while this thread is executing a pool lane (worker or caller).
+    /// Nested dispatch from such a thread runs inline.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The job of one generation: a borrowed task run once per role.
 ///
-/// `body` must be `Sync` (shared by reference across workers). The call
-/// blocks until every index has been processed. Panics in `body` propagate
-/// after all workers stop claiming work.
+/// The pointer is type-erased from the launching stack frame; it is only
+/// dereferenced while [`WorkerPool::run`] blocks on the generation, which
+/// keeps the borrow alive.
+#[derive(Clone, Copy)]
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    /// Lanes participating in this generation (≤ pool lanes).
+    lanes: usize,
+    /// Roles to play; lane `l` plays `l, l + lanes, …` below this.
+    roles: usize,
+}
+
+// SAFETY: the task pointer is only dereferenced by participant lanes while
+// the launching thread blocks in `run`, which owns the original `&dyn Fn`
+// borrow; the pointee is `Sync`, so shared calls from many threads are fine.
+unsafe impl Send for Job {}
+
+#[derive(Default)]
+struct PoolState {
+    generation: u64,
+    job: Option<Job>,
+    /// Worker lanes still to finish the current generation.
+    outstanding: usize,
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for the next generation.
+    work: Condvar,
+    /// The launching thread parks here waiting for `outstanding == 0`.
+    done: Condvar,
+    /// Serializes launches from different threads (same-thread reentry runs
+    /// inline and never reaches this lock).
+    launch: Mutex<()>,
+}
+
+/// A persistent pool of parked worker threads, one per virtual SM.
 ///
-/// With `workers == 1` the loop runs inline on the caller's thread — no
-/// spawn overhead, which also keeps single-core CI environments fast.
+/// Threads are spawned lazily on the first multi-lane dispatch and joined
+/// on drop. The launching thread always participates as lane 0.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    lanes: usize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("lanes", &self.lanes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// A pool with `lanes` parallel lanes (clamped to ≥ 1). A 1-lane pool
+    /// never spawns threads; an `n`-lane pool spawns `n − 1` on first use.
+    pub fn new(lanes: usize) -> Self {
+        WorkerPool {
+            inner: Arc::new(PoolInner {
+                state: Mutex::new(PoolState::default()),
+                work: Condvar::new(),
+                done: Condvar::new(),
+                launch: Mutex::new(()),
+            }),
+            lanes: lanes.max(1),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Maximum parallel lanes (including the launching thread).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs `task(role)` for every role in `0..roles`, spreading roles over
+    /// the pool's lanes (lane `l` plays roles `l, l + lanes, …`, each in
+    /// ascending order). Blocks until every role has run.
+    fn run(&self, roles: usize, task: &(dyn Fn(usize) + Sync)) {
+        if roles == 0 {
+            return;
+        }
+        let lanes = self.lanes.min(roles);
+        if lanes == 1 || IN_POOL.get() {
+            // Single lane, or nested dispatch from inside a pool lane:
+            // play every role inline, in order.
+            for role in 0..roles {
+                task(role);
+            }
+            return;
+        }
+        self.ensure_threads();
+
+        let _launch = self.inner.launch.lock().unwrap_or_else(|e| e.into_inner());
+        // Lifetime erasure: `run` does not return until every participant
+        // lane has finished the generation, so the borrow the pointer was
+        // made from outlives every dereference (see `Job`'s safety note).
+        fn erase<'a>(
+            task: &'a (dyn Fn(usize) + Sync + 'a),
+        ) -> *const (dyn Fn(usize) + Sync + 'static) {
+            // SAFETY: only widens the trait object's lifetime bound; the
+            // pointer layout is unchanged and callers uphold the liveness
+            // contract above.
+            unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync + 'a),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(task)
+            }
+        }
+        let job = Job {
+            task: erase(task),
+            lanes,
+            roles,
+        };
+        {
+            let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.job = Some(job);
+            st.outstanding = lanes - 1;
+            st.generation = st.generation.wrapping_add(1);
+            self.inner.work.notify_all();
+        }
+
+        // Lane 0 runs on the launching thread.
+        IN_POOL.set(true);
+        let lane0 = catch_unwind(AssertUnwindSafe(|| {
+            let mut role = 0;
+            while role < roles {
+                task(role);
+                role += lanes;
+            }
+        }));
+        IN_POOL.set(false);
+
+        let worker_panic = {
+            let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            while st.outstanding > 0 {
+                st = self.inner.done.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.job = None;
+            st.panic.take()
+        };
+        if let Err(p) = lane0 {
+            resume_unwind(p);
+        }
+        if let Some(p) = worker_panic {
+            resume_unwind(p);
+        }
+    }
+
+    /// Spawns the worker threads if they are not running yet.
+    fn ensure_threads(&self) {
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        if !handles.is_empty() {
+            return;
+        }
+        for lane in 1..self.lanes {
+            let inner = Arc::clone(&self.inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("gpusim-sm-{lane}"))
+                .spawn(move || worker_loop(lane, &inner))
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+    }
+
+    /// Runs `body(index, worker_id)` for every index in `0..count`,
+    /// distributing chunks of `chunk` indices dynamically over `workers`
+    /// claimant roles.
+    ///
+    /// `body` must be `Sync` (shared by reference across workers). The call
+    /// blocks until every index has been processed. Panics in `body`
+    /// propagate after all workers stop claiming work.
+    ///
+    /// With `workers == 1` (or `count <= chunk`) the loop runs inline on
+    /// the caller's thread.
+    pub fn parallel_for<F>(&self, count: usize, workers: usize, chunk: usize, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let workers = workers.max(1);
+        let chunk = chunk.max(1);
+        if count == 0 {
+            return;
+        }
+        if workers == 1 || count <= chunk {
+            for i in 0..count {
+                body(i, 0);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        self.run(workers, &|worker_id| loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= count {
+                break;
+            }
+            let end = (start + chunk).min(count);
+            for i in start..end {
+                body(i, worker_id);
+            }
+        });
+    }
+
+    /// Runs `body(index, worker_id)` for every index in `0..count` with a
+    /// *static* assignment: worker `w` processes indices `w, w + workers,
+    /// w + 2·workers, …` in ascending order.
+    ///
+    /// Unlike [`Self::parallel_for`], the index → worker mapping is a pure
+    /// function of `(count, workers)` — independent of the pool's lane
+    /// count — so per-worker side effects (e.g. the batched executor's
+    /// private accumulation buffers) are reproducible run to run and
+    /// machine to machine for a fixed worker count. With `workers == 1`
+    /// the loop runs inline.
+    pub fn parallel_for_static<F>(&self, count: usize, workers: usize, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let workers = workers.max(1).min(count.max(1));
+        if count == 0 {
+            return;
+        }
+        if workers == 1 {
+            for i in 0..count {
+                body(i, 0);
+            }
+            return;
+        }
+        self.run(workers, &|worker_id| {
+            let mut i = worker_id;
+            while i < count {
+                body(i, worker_id);
+                i += workers;
+            }
+        });
+    }
+
+    /// Splits `data` into consecutive chunks of `chunk` elements (the last
+    /// may be short) and runs `body(chunk_index, chunk_slice)` for each,
+    /// spreading chunks over `workers` roles.
+    ///
+    /// This is the safe façade over the one `unsafe` trick the pool needs:
+    /// handing each worker a `&mut` sub-slice of the same allocation. The
+    /// chunks are disjoint by construction and [`Self::parallel_for`]
+    /// visits every index exactly once, so no element is aliased.
+    pub fn parallel_fill_chunks<T, F>(&self, data: &mut [T], chunk: usize, workers: usize, body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunk = chunk.max(1);
+        let n_chunks = data.len().div_ceil(chunk);
+        let len = data.len();
+        let base = SlicePtr(data.as_mut_ptr());
+        let base = &base; // capture the Sync wrapper, not the raw pointer field
+        self.parallel_for(n_chunks, workers, 1, |c, _| {
+            let start = c * chunk;
+            let end = (start + chunk).min(len);
+            // SAFETY: chunks [start, end) are pairwise disjoint across
+            // distinct `c`, each `c` is visited exactly once, and `data` is
+            // exclusively borrowed for the duration of the call.
+            let slice = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+            body(c, slice);
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+            self.inner.work.notify_all();
+        }
+        for handle in self
+            .handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The parked worker: waits for a generation it participates in, plays its
+/// roles, reports completion, parks again.
+fn worker_loop(lane: usize, inner: &PoolInner) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    seen = st.generation;
+                    match st.job {
+                        // Participate only when this lane is in range;
+                        // otherwise the generation is acknowledged and the
+                        // worker keeps parking.
+                        Some(job) if lane < job.lanes => break job,
+                        _ => {}
+                    }
+                }
+                st = inner.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+
+        IN_POOL.set(true);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: see `Job`: the launching thread keeps the pointee
+            // alive until this generation completes.
+            let task = unsafe { &*job.task };
+            let mut role = lane;
+            while role < job.roles {
+                task(role);
+                role += job.lanes;
+            }
+        }));
+        IN_POOL.set(false);
+
+        let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(p) = result {
+            // First panic wins; later ones (if any) are dropped, matching
+            // what a scoped spawn-and-join would surface.
+            if st.panic.is_none() {
+                st.panic = Some(p);
+            }
+        }
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            inner.done.notify_one();
+        }
+    }
+}
+
+/// The process-wide pool behind the free-function façades, sized one lane
+/// per host core. Device-owned pools (see `VirtualGpu`) are separate.
+pub fn global() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| WorkerPool::new(default_workers()))
+}
+
+/// [`WorkerPool::parallel_for`] on the process-wide [`global`] pool.
 pub fn parallel_for<F>(count: usize, workers: usize, chunk: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    global().parallel_for(count, workers, chunk, body);
+}
+
+/// [`WorkerPool::parallel_for_static`] on the process-wide [`global`] pool.
+pub fn parallel_for_static<F>(count: usize, workers: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    global().parallel_for_static(count, workers, body);
+}
+
+/// [`WorkerPool::parallel_fill_chunks`] on the process-wide [`global`] pool.
+pub fn parallel_fill_chunks<T, F>(data: &mut [T], chunk: usize, workers: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    global().parallel_fill_chunks(data, chunk, workers, body);
+}
+
+/// Per-call spawn dispatch: the PR-1 implementation of [`parallel_for`],
+/// kept as the measured baseline for the pooled dispatcher (see the
+/// `throughput` bench experiment). Semantics are identical; only the host
+/// cost differs — a scope of fresh OS threads per call.
+pub fn spawn_parallel_for<F>(count: usize, workers: usize, chunk: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
 {
@@ -34,7 +438,6 @@ where
         }
         return;
     }
-
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for worker_id in 0..workers {
@@ -54,15 +457,9 @@ where
     });
 }
 
-/// Runs `body(index, worker_id)` for every index in `0..count` with a
-/// *static* assignment: worker `w` processes indices `w, w + workers,
-/// w + 2·workers, …` in ascending order.
-///
-/// Unlike [`parallel_for`], the index → worker mapping is a pure function
-/// of `(count, workers)`, so per-worker side effects (e.g. the batched
-/// executor's private accumulation buffers) are reproducible run to run
-/// for a fixed worker count. With `workers == 1` the loop runs inline.
-pub fn parallel_for_static<F>(count: usize, workers: usize, body: F)
+/// Per-call spawn dispatch twin of [`parallel_for_static`]: identical
+/// index → worker mapping, fresh OS threads per call. Baseline only.
+pub fn spawn_parallel_for_static<F>(count: usize, workers: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
 {
@@ -87,35 +484,6 @@ where
                 }
             });
         }
-    });
-}
-
-/// Splits `data` into consecutive chunks of `chunk` elements (the last may
-/// be short) and runs `body(chunk_index, chunk_slice)` for each, spreading
-/// chunks over `workers` threads.
-///
-/// This is the safe façade over the one `unsafe` trick the pool needs:
-/// handing each worker a `&mut` sub-slice of the same allocation. The
-/// chunks are disjoint by construction and [`parallel_for`] visits every
-/// index exactly once, so no element is aliased.
-pub fn parallel_fill_chunks<T, F>(data: &mut [T], chunk: usize, workers: usize, body: F)
-where
-    T: Send,
-    F: Fn(usize, &mut [T]) + Sync,
-{
-    let chunk = chunk.max(1);
-    let n_chunks = data.len().div_ceil(chunk);
-    let len = data.len();
-    let base = SlicePtr(data.as_mut_ptr());
-    let base = &base; // capture the Sync wrapper, not the raw pointer field
-    parallel_for(n_chunks, workers, 1, |c, _| {
-        let start = c * chunk;
-        let end = (start + chunk).min(len);
-        // SAFETY: chunks [start, end) are pairwise disjoint across distinct
-        // `c`, each `c` is visited exactly once, and `data` is exclusively
-        // borrowed for the duration of the call.
-        let slice = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
-        body(c, slice);
     });
 }
 
@@ -234,5 +602,114 @@ mod tests {
         assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
         let mut empty: Vec<u8> = Vec::new();
         parallel_fill_chunks(&mut empty, 4, 3, |_, _| panic!("must not be called"));
+    }
+
+    // ------------------------------------------------------------------
+    // Pool-specific coverage: a real multi-lane pool regardless of host
+    // core count.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pool_reused_across_many_generations() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.lanes(), 4);
+        for round in 0..50 {
+            let total = AtomicU64::new(0);
+            pool.parallel_for_static(97, 4, |i, _| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 96 * 97 / 2, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pool_static_mapping_survives_role_virtualization() {
+        // More workers than lanes: roles must still map `i % workers == w`,
+        // each role ascending — the executor's determinism contract.
+        let pool = WorkerPool::new(2);
+        let n = 1013;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_static(n, 5, |i, w| {
+            assert_eq!(i % 5, w, "index {i} on worker {w}");
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_count_below_workers_clamps_worker_ids() {
+        let pool = WorkerPool::new(8);
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_static(3, 8, |i, w| {
+            assert!(w < 3, "worker ids clamp to count, got {w}");
+            assert_eq!(i % 3, w);
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_panic_propagates_and_pool_stays_usable() {
+        let pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for_static(16, 4, |i, _| {
+                if i == 11 {
+                    panic!("boom at {i}");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("boom"), "unexpected payload {msg}");
+
+        // The pool must have cleaned the generation up and stay usable.
+        let total = AtomicU64::new(0);
+        pool.parallel_for(1000, 4, 16, |i, _| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn pool_nested_dispatch_runs_inline_without_deadlock() {
+        let pool = WorkerPool::new(4);
+        let inner_calls = AtomicUsize::new(0);
+        pool.parallel_for_static(8, 4, |_, _| {
+            // Nested dispatch from inside a worker body: must run inline on
+            // this lane (worker id 0, ascending order), not deadlock.
+            let last = std::sync::Mutex::new(None);
+            pool.parallel_for(6, 4, 1, |j, w| {
+                assert_eq!(w, 0, "nested dispatch must be inline");
+                let mut last = last.lock().unwrap();
+                if let Some(prev) = *last {
+                    assert!(j > prev, "inline order must be ascending");
+                }
+                *last = Some(j);
+                inner_calls.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_calls.load(Ordering::Relaxed), 8 * 6);
+    }
+
+    #[test]
+    fn pool_dynamic_ids_stay_in_requested_range() {
+        let pool = WorkerPool::new(2);
+        pool.parallel_for(512, 7, 4, |_, w| assert!(w < 7));
+    }
+
+    #[test]
+    fn spawn_dispatch_baseline_matches_pool_semantics() {
+        let n = 1013;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        spawn_parallel_for_static(n, 4, |i, w| {
+            assert_eq!(i % 4, w);
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let total = AtomicU64::new(0);
+        spawn_parallel_for(1000, 3, 7, |i, _| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
     }
 }

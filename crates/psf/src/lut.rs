@@ -258,7 +258,7 @@ mod tests {
             phases: 3,
             mag_range: (1.0, 12.0),
         };
-        let t = LookupTable::build(&model, a_factor, roi, params.clone(), None).unwrap();
+        let t = LookupTable::build(&model, a_factor, roi, params, None).unwrap();
 
         let brightness = BrightnessTable::build(
             params.mag_range.0,

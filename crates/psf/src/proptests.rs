@@ -150,7 +150,7 @@ fn smear_conserves_energy() {
     for _ in 0..48 {
         let sigma = rng.range_f32(0.8, 2.5);
         let length = rng.range_f32(0.0, 10.0);
-        let angle = rng.range_f32(0.0, 6.28);
+        let angle = rng.range_f32(0.0, std::f32::consts::TAU);
         let psf = SmearedGaussianPsf::new(sigma, length, angle);
         let half = (4.0 * sigma + length) as i32 + 2;
         let mut sum = 0.0f64;

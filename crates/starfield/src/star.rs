@@ -123,7 +123,7 @@ mod tests {
 
     #[test]
     fn sky_star_direction_is_unit() {
-        for (ra, dec) in [(0.0, 0.0), (1.0, 0.5), (4.0, -1.2), (6.28, 1.57)] {
+        for (ra, dec) in [(0.0, 0.0), (1.0, 0.5), (4.0, -1.2), (6.3, 1.57)] {
             let d = SkyStar::new(ra, dec, 3.0).direction();
             let n = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
             assert!((n - 1.0).abs() < 1e-12);

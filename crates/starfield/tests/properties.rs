@@ -111,9 +111,9 @@ fn attitude_is_orthonormal() {
 fn pointing_hits_target() {
     let mut rng = Rng64::new(0x50);
     for _ in 0..256 {
-        let ra = rng.range_f64(0.0, 6.28);
+        let ra = rng.range_f64(0.0, std::f64::consts::TAU);
         let dec = rng.range_f64(-1.4, 1.4);
-        let roll = rng.range_f64(0.0, 6.28);
+        let roll = rng.range_f64(0.0, std::f64::consts::TAU);
         let q = Attitude::pointing(ra, dec, roll);
         let body = q.to_body(SkyStar::new(ra, dec, 0.0).direction());
         assert!((body[0].abs()) < 1e-8 && (body[1].abs()) < 1e-8);
@@ -166,10 +166,10 @@ fn catalog_text_roundtrip() {
 fn triad_recovers_any_attitude() {
     let mut rng = Rng64::new(0x731);
     for _ in 0..256 {
-        let ra = rng.range_f64(0.0, 6.28);
+        let ra = rng.range_f64(0.0, std::f64::consts::TAU);
         let dec = rng.range_f64(-1.4, 1.4);
-        let roll = rng.range_f64(0.0, 6.28);
-        let s1_ra = rng.range_f64(0.0, 6.28);
+        let roll = rng.range_f64(0.0, std::f64::consts::TAU);
+        let s1_ra = rng.range_f64(0.0, std::f64::consts::TAU);
         let s1_dec = rng.range_f64(-1.2, 1.2);
         let sep = rng.range_f64(0.1, 1.0);
         let truth = Attitude::pointing(ra, dec, roll);

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Full offline CI gate: format, build, test, executor bench smoke.
-# Writes BENCH_PR1.json (executor speedup headline) to the repo root.
+# Full offline CI gate: format, lint, build, test, bench smokes.
+# Writes BENCH_PR1.json (executor speedup headline) and BENCH_PR2.json
+# (sustained-throughput headline) to the repo root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 echo "== cargo fmt --check"
 cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release"
 cargo build --release
@@ -19,3 +23,9 @@ cargo run --release -p starsim-bench -- --experiment executor --quick --out .
 
 echo "== BENCH_PR1.json"
 cat BENCH_PR1.json
+
+echo "== throughput bench smoke"
+cargo run --release -p starsim-bench -- --experiment throughput --quick --out .
+
+echo "== BENCH_PR2.json"
+cat BENCH_PR2.json
