@@ -3,13 +3,16 @@
 //!
 //! ```text
 //! starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]
-//!               [--exec reference|batched] [--workers N]
+//!               [--exec reference|batched] [--workers N] [--chaos]
 //!
 //! NAME ∈ { fig2, fig9, fig10, fig11, fig12, table1, table2,
 //!          fig13, fig14, fig15, fig16, table3, ablation, contention,
 //!          devices, multigpu, streams, session, lutbuild, executor,
-//!          throughput, all }
+//!          throughput, chaos, all }
 //! ```
+//!
+//! `--chaos` is shorthand for `--experiment chaos`: the fault-injection
+//! overhead gate plus a seeded recovery run (writes `BENCH_PR3.json`).
 //!
 //! Sequential times are measured wall-clock on this host; GPU times come
 //! from the virtual GPU's calibrated Fermi model (see `gpusim`). Shapes —
@@ -19,8 +22,8 @@
 mod experiments;
 
 use experiments::{
-    ablation, contention, devices, executor, fig2, lutbuild, multigpu, session, streams, table3,
-    test1, test2, throughput, Context,
+    ablation, chaos, contention, devices, executor, fig2, lutbuild, multigpu, session, streams,
+    table3, test1, test2, throughput, Context,
 };
 use starsim_core::ExecMode;
 
@@ -37,6 +40,7 @@ fn main() {
                     .unwrap_or_else(|| usage("missing experiment name"));
             }
             "--quick" => ctx.quick = true,
+            "--chaos" => experiment = String::from("chaos"),
             "--seed" => {
                 ctx.seed = args
                     .next()
@@ -156,6 +160,10 @@ fn main() {
             "Sustained throughput (pool + buffer reuse)",
             throughput::run(&ctx),
         ),
+        "chaos" => section(
+            "Chaos mode (fault-plan overhead + seeded recovery)",
+            chaos::run(&ctx),
+        ),
         "all" => {
             let t1 = t1.as_ref().unwrap();
             let t2 = t2.as_ref().unwrap();
@@ -193,6 +201,10 @@ fn main() {
             section(
                 "Sustained throughput (pool + buffer reuse)",
                 throughput::run(&ctx),
+            );
+            section(
+                "Chaos mode (fault-plan overhead + seeded recovery)",
+                chaos::run(&ctx),
             );
         }
         other => usage(&format!("unknown experiment `{other}`")),

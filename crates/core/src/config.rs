@@ -120,9 +120,23 @@ impl SimConfig {
                 self.a_factor
             )));
         }
+        if !(self.mag_range.0.is_finite() && self.mag_range.1.is_finite()) {
+            return Err(SimError::InvalidConfig(format!(
+                "magnitude range must be finite, got [{}, {}]",
+                self.mag_range.0, self.mag_range.1
+            )));
+        }
         if self.mag_range.1 <= self.mag_range.0 {
             return Err(SimError::InvalidConfig(format!(
                 "magnitude range must be non-empty: [{}, {}]",
+                self.mag_range.0, self.mag_range.1
+            )));
+        }
+        if self.mag_range.0 < 0.0 || self.mag_range.1 > 15.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "magnitude range [{}, {}] exceeds the rated [0, 15] — the \
+                 lookup table and brightness model are calibrated for the \
+                 paper's magnitude scale; clamp the catalog or narrow the range",
                 self.mag_range.0, self.mag_range.1
             )));
         }
@@ -198,6 +212,19 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = SimConfig::default();
         c.lut_mag_bins = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::default();
+        c.mag_range = (f32::NAN, f32::NAN);
+        assert!(c.validate().is_err(), "NaN range must not slip through");
+        let mut c = SimConfig::default();
+        c.mag_range = (-1.0, 10.0);
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::default();
+        c.mag_range = (0.0, 16.0);
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("[0, 15]"), "actionable message, got: {msg}");
+        let mut c = SimConfig::default();
+        c.sigma = f32::NAN;
         assert!(c.validate().is_err());
         let mut c = SimConfig::default();
         c.workers = Some(0);

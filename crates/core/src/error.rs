@@ -11,6 +11,13 @@ pub enum SimError {
     Gpu(gpusim::GpuError),
     /// PSF / lookup-table construction failed.
     Psf(psf::PsfError),
+    /// Every retry attempt (and every degradation rung) failed.
+    RetriesExhausted {
+        /// Number of attempts made before giving up.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<SimError>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -19,6 +26,10 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig(m) => write!(f, "invalid simulation config: {m}"),
             SimError::Gpu(e) => write!(f, "gpu error: {e}"),
             SimError::Psf(e) => write!(f, "psf error: {e}"),
+            SimError::RetriesExhausted { attempts, last } => write!(
+                f,
+                "all {attempts} retry attempts exhausted; last error: {last}"
+            ),
         }
     }
 }
@@ -28,6 +39,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Gpu(e) => Some(e),
             SimError::Psf(e) => Some(e),
+            SimError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -60,5 +72,16 @@ mod tests {
         assert!(g.source().is_some());
         let p: SimError = psf::PsfError::InvalidParameter("y".into()).into();
         assert!(p.to_string().contains("y"));
+    }
+
+    #[test]
+    fn retries_exhausted_chains_the_last_error() {
+        let e = SimError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(SimError::Gpu(gpusim::GpuError::Other("boom".into()))),
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
     }
 }

@@ -9,6 +9,7 @@
 //! resident across frames) → one [`SimulationReport`] per frame, with the
 //! slew-dependent smear applied automatically when it matters.
 
+use gpusim::VirtualGpu;
 use psf::smear::SmearedGaussianPsf;
 use starfield::dynamics::AttitudeDynamics;
 use starfield::fov::SkyCatalog;
@@ -17,6 +18,7 @@ use starfield::projection::Camera;
 use crate::config::{PsfKind, SimConfig};
 use crate::error::SimError;
 use crate::report::SimulationReport;
+use crate::resilience::{ResilienceReport, RetryPolicy};
 use crate::session::AdaptiveSession;
 
 /// A clocked, attitude-propagating frame source.
@@ -46,6 +48,28 @@ impl FrameSequencer {
         exposure_s: f64,
         frame_dt: f64,
     ) -> Result<Self, SimError> {
+        Self::on_device(
+            VirtualGpu::gtx480(),
+            sky,
+            camera,
+            dynamics,
+            config,
+            exposure_s,
+            frame_dt,
+        )
+    }
+
+    /// Creates a sequencer on a caller-provided device — the injection
+    /// point for fault plans, watchdog deadlines, and worker counts.
+    pub fn on_device(
+        gpu: VirtualGpu,
+        sky: SkyCatalog,
+        camera: Camera,
+        dynamics: AttitudeDynamics,
+        config: SimConfig,
+        exposure_s: f64,
+        frame_dt: f64,
+    ) -> Result<Self, SimError> {
         if (camera.width, camera.height) != (config.width, config.height) {
             return Err(SimError::InvalidConfig(format!(
                 "camera {}x{} does not match config {}x{}",
@@ -57,8 +81,10 @@ impl FrameSequencer {
                 "need 0 < exposure ({exposure_s}) ≤ frame period ({frame_dt})"
             )));
         }
-        let session =
-            AdaptiveSession::new(Self::frame_config(&config, &camera, &dynamics, exposure_s))?;
+        let session = AdaptiveSession::on(
+            gpu,
+            Self::frame_config(&config, &camera, &dynamics, exposure_s),
+        )?;
         Ok(FrameSequencer {
             sky,
             camera,
@@ -95,6 +121,18 @@ impl FrameSequencer {
             config.roi_side = (2 * margin + 1).clamp(config.roi_side, 32);
         }
         config
+    }
+
+    /// Enables the bounded-retry degradation ladder for
+    /// [`Self::run_frames`] bursts.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.session.set_retry_policy(Some(policy));
+        self
+    }
+
+    /// Cumulative resilience accounting for the underlying session.
+    pub fn resilience_report(&self) -> ResilienceReport {
+        self.session.resilience_report()
     }
 
     /// Simulation time of the *next* frame, seconds.
@@ -169,6 +207,7 @@ impl FrameSequencer {
             p50_ms: percentile_ms(&latencies_s, 50.0),
             p99_ms: percentile_ms(&latencies_s, 99.0),
             mean_app_time_s: app_time_s / n as f64,
+            resilience: self.session.resilience_report(),
         })
     }
 }
@@ -193,6 +232,10 @@ pub struct ThroughputReport {
     pub p99_ms: f64,
     /// Mean modeled (virtual-GPU) time per frame, seconds.
     pub mean_app_time_s: f64,
+    /// Resilience accounting: faults seen, retries spent, rungs used —
+    /// cumulative for the session as of the end of the burst (all-zero on
+    /// a fault-free run).
+    pub resilience: ResilienceReport,
 }
 
 impl ThroughputReport {
@@ -335,6 +378,47 @@ mod tests {
         // reported frame (up to the mean's summation rounding).
         let rel = (burst.mean_app_time_s - frame.report.app_time_s).abs() / frame.report.app_time_s;
         assert!(rel < 1e-12, "relative deviation {rel}");
+    }
+
+    #[test]
+    fn run_frames_recovers_from_faults_with_a_retry_policy() {
+        use crate::resilience::RetryPolicy;
+        use gpusim::{FaultKind, FaultPlan};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let mut clean = sequencer([0.002, 0.0, 0.0]);
+        let baseline = clean.run_frames(4).unwrap();
+        assert_eq!(baseline.resilience, ResilienceReport::default());
+
+        let gpu = VirtualGpu::gtx480().with_fault_plan(Arc::new(FaultPlan::single(
+            FaultKind::WorkerPanic,
+            1,
+            2,
+        )));
+        let mut seq = FrameSequencer::on_device(
+            gpu,
+            synthetic_sky(30_000, 0.0, 6.0, 3),
+            camera(),
+            AttitudeDynamics::new(Attitude::pointing(1.0, 0.2, 0.0), [0.002, 0.0, 0.0]),
+            SimConfig::new(256, 256, 10),
+            0.1,
+            0.5,
+        )
+        .unwrap()
+        .with_retry_policy(RetryPolicy {
+            backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        });
+        let report = seq.run_frames(4).unwrap();
+        assert_eq!(report.frames, 4);
+        assert_eq!(report.resilience.panics, 1);
+        assert_eq!(report.resilience.retries, 1);
+        assert_eq!(
+            report.resilience.rung_frames,
+            [3, 1, 0, 0],
+            "one frame degraded to spawn dispatch, the rest stayed configured"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod multi_gpu;
 pub mod parallel;
 pub mod pixel_centric;
 pub mod report;
+pub mod resilience;
 pub mod selection;
 pub mod sequential;
 pub mod session;
@@ -48,6 +49,7 @@ pub use multi_gpu::MultiGpuSimulator;
 pub use parallel::{ParallelSimulator, StarCentricKernel};
 pub use pixel_centric::{PixelCentricKernel, PixelCentricSimulator};
 pub use report::SimulationReport;
+pub use resilience::{ResilienceReport, RetryPolicy, Rung};
 pub use selection::{Choice, InflectionPoint};
 pub use sequential::SequentialSimulator;
 pub use session::{AdaptiveSession, FrameTiming, LutCache};

@@ -291,7 +291,7 @@ impl Simulator for ParallelSimulator {
         let mut profile = AppProfile::new();
 
         // Host → device: star array and the zeroed image.
-        let (stars, t_stars) = self.gpu.upload(to_device_stars(catalog.stars()));
+        let (stars, t_stars) = self.gpu.try_upload(to_device_stars(catalog.stars()))?;
         let image_dev = self.gpu.alloc_atomic_f32(config.pixels());
         // The paper transfers the pixel array to the device before the
         // kernel (its CUDA 3.2 flow); model that upload as an image-sized
@@ -320,7 +320,7 @@ impl Simulator for ParallelSimulator {
         profile.kernels.push(kp);
 
         // Device → host: the finished image.
-        let (host_pixels, t_down) = self.gpu.download(&image_dev);
+        let (host_pixels, t_down) = self.gpu.try_download(&image_dev)?;
         profile.push_overhead("CPU-GPU transmission", t_stars + t_img_up + t_down);
 
         let image = ImageF32::from_data(config.width, config.height, host_pixels);

@@ -1,0 +1,372 @@
+//! Bounded retry, degradation ladder, and resilience accounting.
+//!
+//! The frame loop ([`crate::session::AdaptiveSession::render_into`] and
+//! [`crate::frames::FrameSequencer`]) recovers from transient GPU faults —
+//! worker panics, stuck-lane watchdog timeouts, allocation failures,
+//! transfer corruption — by retrying the frame under a [`RetryPolicy`].
+//! Each failed attempt descends one [`Rung`] of the degradation ladder:
+//!
+//! | rung | dispatch | executor | kernel |
+//! |------|----------|----------|--------|
+//! | 0    | pooled   | configured (`Batched`) | adaptive LUT |
+//! | 1    | spawn    | configured | adaptive LUT |
+//! | 2    | spawn    | `Reference` | adaptive LUT |
+//! | 3    | spawn    | `Reference` | parallel (direct PSF) |
+//!
+//! Rungs 0–1 are *bit-identical*: spawn dispatch changes only how blocks
+//! are assigned to host threads, never the arithmetic or the per-worker
+//! reduction, so a retried frame matches the fault-free run at the same
+//! worker count exactly. Rung 2 keeps the kernel math but deposits blocks
+//! sequentially instead of through the per-worker shadow merge; the
+//! different f32 accumulation order can flip low-order mantissa bits on
+//! pixels covered by several blocks. Rung 3 additionally swaps the
+//! intensity model (direct PSF evaluation instead of the lookup table).
+//! Both lower rungs are last resorts, reached only when every
+//! bit-identical attempt has failed — they trade bit-fidelity for
+//! availability.
+//!
+//! Every fault seen, retry spent, and rung used is recorded in a
+//! [`ResilienceReport`] attached to
+//! [`crate::frames::ThroughputReport::resilience`].
+
+use crate::error::SimError;
+use gpusim::{GpuDiagnostics, GpuError};
+use std::time::Duration;
+
+/// Bounded-retry parameters for the resilient frame loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per frame (first try included). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles each further attempt.
+    pub backoff: Duration,
+    /// Multiplier applied to `backoff` after each failed attempt.
+    pub backoff_factor: u32,
+    /// Total backoff budget per frame; sleeps are clipped so their sum
+    /// never exceeds this.
+    pub frame_budget: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::from_micros(200),
+            backoff_factor: 2,
+            frame_budget: Duration::from_millis(250),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt, no backoff).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            backoff_factor: 1,
+            frame_budget: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based: the sleep taken
+    /// after the `attempt`-th failure), before budget clipping.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = self
+            .backoff_factor
+            .max(1)
+            .saturating_pow(attempt.saturating_sub(1));
+        self.backoff.saturating_mul(factor)
+    }
+}
+
+/// One rung of the degradation ladder. See the module docs for the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Pooled dispatch, configured executor, adaptive LUT kernel.
+    Configured = 0,
+    /// Spawn dispatch (bypasses a possibly-poisoned worker pool).
+    SpawnDispatch = 1,
+    /// Spawn dispatch + `ExecMode::Reference` executor. Same math, but
+    /// sequential block deposits reorder the f32 accumulation, so frames
+    /// are numerically equivalent rather than bit-identical.
+    ReferenceExec = 2,
+    /// Direct-PSF parallel kernel — different intensity model; last resort.
+    DirectPsf = 3,
+}
+
+impl Rung {
+    /// All rungs, top to bottom.
+    pub const ALL: [Rung; 4] = [
+        Rung::Configured,
+        Rung::SpawnDispatch,
+        Rung::ReferenceExec,
+        Rung::DirectPsf,
+    ];
+
+    /// The next rung down, or `None` at the bottom of the ladder.
+    pub fn next(self) -> Option<Rung> {
+        match self {
+            Rung::Configured => Some(Rung::SpawnDispatch),
+            Rung::SpawnDispatch => Some(Rung::ReferenceExec),
+            Rung::ReferenceExec => Some(Rung::DirectPsf),
+            Rung::DirectPsf => None,
+        }
+    }
+
+    /// Index into [`ResilienceReport::rung_frames`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Counters describing what the resilient frame loop saw and did.
+///
+/// All-zero means "no faults, no retries" — the report of a healthy run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Frames completed through the resilient path.
+    pub frames: u64,
+    /// Total faults observed (sum of the per-kind counters below).
+    pub faults_seen: u64,
+    /// Retry attempts spent (failed attempts, not counting the first).
+    pub retries: u64,
+    /// Worker panics converted to `GpuError::WorkerPanic`.
+    pub panics: u64,
+    /// Watchdog launch timeouts (`GpuError::LaunchTimeout`).
+    pub timeouts: u64,
+    /// Allocation failures (`GpuError::OutOfMemory`).
+    pub oom: u64,
+    /// Transfer corruptions caught by checksum.
+    pub corruptions: u64,
+    /// Texture-bind failures.
+    pub bind_failures: u64,
+    /// Worker pools torn down and rebuilt after poisoning.
+    pub pool_rebuilds: u64,
+    /// Per-chunk checksum mismatches detected on download.
+    pub checksum_catches: u64,
+    /// Corrupted shadow buffers dropped (not recycled) by the arena.
+    pub arena_drops: u64,
+    /// Frames completed at each ladder rung (index = [`Rung::index`]).
+    pub rung_frames: [u64; 4],
+    /// Frames that exhausted every attempt and surfaced an error.
+    pub exhausted: u64,
+}
+
+impl ResilienceReport {
+    /// Classifies `err` into the per-kind fault counters.
+    pub fn record_error(&mut self, err: &SimError) {
+        self.faults_seen += 1;
+        if let SimError::Gpu(g) = err {
+            match g {
+                GpuError::WorkerPanic(_) => self.panics += 1,
+                GpuError::LaunchTimeout { .. } => self.timeouts += 1,
+                GpuError::OutOfMemory { .. } => self.oom += 1,
+                GpuError::TransferCorrupted { .. } => self.corruptions += 1,
+                GpuError::TextureBind(_) => self.bind_failures += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Records a frame completed at `rung`.
+    pub fn record_frame(&mut self, rung: Rung) {
+        self.frames += 1;
+        self.rung_frames[rung.index()] += 1;
+    }
+
+    /// Folds the device-side diagnostics counters into this report.
+    pub fn absorb_diagnostics(&mut self, d: GpuDiagnostics) {
+        self.pool_rebuilds = d.pool_rebuilds;
+        self.checksum_catches = d.checksum_catches;
+        self.arena_drops = d.arena_drops;
+    }
+
+    /// Element-wise sum of two reports.
+    pub fn merge(&mut self, other: &ResilienceReport) {
+        self.frames += other.frames;
+        self.faults_seen += other.faults_seen;
+        self.retries += other.retries;
+        self.panics += other.panics;
+        self.timeouts += other.timeouts;
+        self.oom += other.oom;
+        self.corruptions += other.corruptions;
+        self.bind_failures += other.bind_failures;
+        self.pool_rebuilds += other.pool_rebuilds;
+        self.checksum_catches += other.checksum_catches;
+        self.arena_drops += other.arena_drops;
+        for (a, b) in self.rung_frames.iter_mut().zip(other.rung_frames.iter()) {
+            *a += *b;
+        }
+        self.exhausted += other.exhausted;
+    }
+}
+
+/// Runs `body` under `policy`, descending one [`Rung`] per failed
+/// attempt. `body` receives the rung to execute at; the helper sleeps
+/// the (budget-clipped) backoff between attempts and records every
+/// error and the final rung in `report`.
+///
+/// This is the shared engine behind the session retry loop; plain
+/// [`crate::Simulator`]s can use it directly by mapping rungs ≥
+/// [`Rung::ReferenceExec`] to `ExecMode::Reference`.
+pub fn run_with_retry<T>(
+    policy: &RetryPolicy,
+    report: &mut ResilienceReport,
+    mut body: impl FnMut(Rung) -> Result<T, SimError>,
+) -> Result<T, SimError> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut rung = Rung::Configured;
+    let mut slept = Duration::ZERO;
+    let mut attempt = 1u32;
+    loop {
+        match body(rung) {
+            Ok(value) => {
+                report.record_frame(rung);
+                return Ok(value);
+            }
+            Err(err) => {
+                report.record_error(&err);
+                if attempt >= max_attempts {
+                    report.exhausted += 1;
+                    return Err(SimError::RetriesExhausted {
+                        attempts: attempt,
+                        last: Box::new(err),
+                    });
+                }
+                report.retries += 1;
+                let nap = policy
+                    .delay(attempt)
+                    .min(policy.frame_budget.saturating_sub(slept));
+                if !nap.is_zero() {
+                    std::thread::sleep(nap);
+                    slept += nap;
+                }
+                rung = rung.next().unwrap_or(Rung::DirectPsf);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_bounded() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 4);
+        assert!(p.delay(1) < p.delay(2));
+        assert!(p.delay(3) <= p.frame_budget);
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let mut report = ResilienceReport::default();
+        let err = run_with_retry(&RetryPolicy::none(), &mut report, |_| {
+            Err::<(), _>(SimError::InvalidConfig("x".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::RetriesExhausted { attempts: 1, .. }
+        ));
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.exhausted, 1);
+    }
+
+    #[test]
+    fn ladder_descends_one_rung_per_failure() {
+        let mut report = ResilienceReport::default();
+        let mut rungs = Vec::new();
+        let out = run_with_retry(
+            &RetryPolicy {
+                backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            &mut report,
+            |rung| {
+                rungs.push(rung);
+                if rungs.len() < 3 {
+                    Err(SimError::Gpu(gpusim::GpuError::WorkerPanic("w".into())))
+                } else {
+                    Ok(42)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(
+            rungs,
+            vec![Rung::Configured, Rung::SpawnDispatch, Rung::ReferenceExec]
+        );
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.panics, 2);
+        assert_eq!(report.rung_frames, [0, 0, 1, 0]);
+        assert_eq!(report.frames, 1);
+    }
+
+    #[test]
+    fn exhaustion_wraps_the_last_error() {
+        let mut report = ResilienceReport::default();
+        let err = run_with_retry(
+            &RetryPolicy {
+                max_attempts: 2,
+                backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            &mut report,
+            |_| {
+                Err::<(), _>(SimError::Gpu(gpusim::GpuError::LaunchTimeout {
+                    deadline_ms: 30,
+                }))
+            },
+        )
+        .unwrap_err();
+        match err {
+            SimError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 2);
+                assert!(matches!(
+                    *last,
+                    SimError::Gpu(gpusim::GpuError::LaunchTimeout { .. })
+                ));
+            }
+            other => panic!("unexpected: {other}"),
+        }
+        assert_eq!(report.timeouts, 2);
+        assert_eq!(report.exhausted, 1);
+    }
+
+    #[test]
+    fn report_merge_sums_everything() {
+        let mut a = ResilienceReport {
+            frames: 1,
+            retries: 2,
+            panics: 1,
+            rung_frames: [1, 0, 0, 0],
+            ..Default::default()
+        };
+        let b = ResilienceReport {
+            frames: 3,
+            retries: 1,
+            timeouts: 1,
+            rung_frames: [2, 1, 0, 0],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.frames, 4);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.panics, 1);
+        assert_eq!(a.timeouts, 1);
+        assert_eq!(a.rung_frames, [3, 1, 0, 0]);
+    }
+
+    #[test]
+    fn rung_order_and_bottom() {
+        assert_eq!(Rung::Configured.next(), Some(Rung::SpawnDispatch));
+        assert_eq!(Rung::DirectPsf.next(), None);
+        assert_eq!(Rung::ALL.len(), 4);
+        assert_eq!(Rung::DirectPsf.index(), 3);
+    }
+}

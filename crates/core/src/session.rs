@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use gpusim::{AppProfile, LaunchConfig, Texture, VirtualGpu};
+use gpusim::{AppProfile, ExecMode, LaunchConfig, Texture, VirtualGpu};
 use psf::lut::LookupTable;
 use psf::roi::Roi;
 use starfield::StarCatalog;
@@ -26,7 +26,9 @@ use starimage::ImageF32;
 use crate::adaptive::{AdaptiveKernel, AdaptiveSimulator, LUT_BUILD_S_PER_ENTRY};
 use crate::config::{PsfKind, SimConfig};
 use crate::error::SimError;
+use crate::parallel::StarCentricKernel;
 use crate::report::SimulationReport;
+use crate::resilience::{run_with_retry, ResilienceReport, RetryPolicy, Rung};
 use crate::star_record::to_device_stars;
 
 /// Everything the lookup-table build depends on, hashable. Floats are
@@ -131,7 +133,7 @@ impl LutCache {
 
     /// Tables currently cached.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// True when no table is cached yet.
@@ -157,7 +159,12 @@ impl LutCache {
         config: &SimConfig,
     ) -> Result<(Arc<LookupTable>, bool), SimError> {
         let key = LutKey::of(config);
-        if let Some(entry) = self.map.lock().unwrap().get_mut(&key) {
+        if let Some(entry) = self
+            .map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_mut(&key)
+        {
             entry.last_use = self.tick.fetch_add(1, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(&entry.lut), true));
@@ -168,15 +175,17 @@ impl LutCache {
         let builder = AdaptiveSimulator::on(VirtualGpu::new(gpu.spec().clone()));
         let lut = Arc::new(builder.build_lut(config)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().unwrap();
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
         while map.len() >= self.capacity && !map.contains_key(&key) {
             // Evict the least-recently-used entry. Linear scan: the cache
             // is small by construction (that is its purpose).
-            let victim = map
+            let Some(victim) = map
                 .iter()
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty map above capacity");
+            else {
+                break; // unreachable: map is non-empty above capacity ≥ 1
+            };
             map.remove(&victim);
         }
         map.insert(
@@ -227,6 +236,11 @@ pub struct AdaptiveSession {
     /// One-time setup cost (LUT build + upload + bind), seconds.
     setup_time_s: f64,
     frames_rendered: std::cell::Cell<u64>,
+    /// When set, [`Self::render_into`] retries failed frames under this
+    /// policy, descending the degradation ladder one [`Rung`] per attempt.
+    retry: Option<RetryPolicy>,
+    /// Host-side resilience accounting (faults, retries, rungs).
+    stats: Mutex<ResilienceReport>,
 }
 
 impl AdaptiveSession {
@@ -263,6 +277,22 @@ impl AdaptiveSession {
         Self::with_lut(gpu, config, lut, charge)
     }
 
+    /// Opens a session with the resilient frame loop enabled: texture
+    /// binding retries under `policy`, and every [`Self::render_into`]
+    /// frame runs under the bounded-retry degradation ladder.
+    pub fn on_resilient(
+        gpu: VirtualGpu,
+        config: SimConfig,
+        policy: RetryPolicy,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        let builder = AdaptiveSimulator::on(VirtualGpu::new(gpu.spec().clone()));
+        let lut = Arc::new(builder.build_lut(&config)?);
+        let mut session = Self::with_lut_retry(gpu, config, lut, lut_build_time_s, Some(policy))?;
+        session.retry = Some(policy);
+        Ok(session)
+    }
+
     /// Shared constructor tail: binds `lut` on `gpu`, allocates the
     /// persistent device image, applies `config.workers`, and charges
     /// `build_charge(&lut)` seconds of setup on top of upload + bind.
@@ -272,14 +302,43 @@ impl AdaptiveSession {
         lut: Arc<LookupTable>,
         build_charge: fn(&LookupTable) -> f64,
     ) -> Result<Self, SimError> {
+        Self::with_lut_retry(gpu, config, lut, build_charge, None)
+    }
+
+    /// Constructor tail with an optional bind-retry policy: a transient
+    /// texture-bind failure is retried up to `retry.max_attempts` times
+    /// (each failure recorded in the session's resilience stats) before
+    /// surfacing as an error.
+    fn with_lut_retry(
+        gpu: VirtualGpu,
+        config: SimConfig,
+        lut: Arc<LookupTable>,
+        build_charge: fn(&LookupTable) -> f64,
+        retry: Option<RetryPolicy>,
+    ) -> Result<Self, SimError> {
         let gpu = match config.workers {
             Some(w) => gpu.with_workers(w),
             None => gpu,
         };
         let build_time = build_charge(&lut);
         let side = config.roi_side;
-        let (lut_tex, t_upload, t_bind) =
-            gpu.bind_texture(side, side, lut.layers(), lut.data().to_vec())?;
+        let mut stats = ResilienceReport::default();
+        let max_attempts = retry.map_or(1, |p| p.max_attempts.max(1));
+        let mut attempt = 1u32;
+        let (lut_tex, t_upload, t_bind) = loop {
+            match gpu.bind_texture(side, side, lut.layers(), lut.data().to_vec()) {
+                Ok(bound) => break bound,
+                Err(e) => {
+                    let err = SimError::from(e);
+                    stats.record_error(&err);
+                    if attempt >= max_attempts {
+                        return Err(err);
+                    }
+                    stats.retries += 1;
+                    attempt += 1;
+                }
+            }
+        };
         let image_dev = gpu.alloc_atomic_f32(config.pixels());
         Ok(AdaptiveSession {
             gpu,
@@ -290,6 +349,8 @@ impl AdaptiveSession {
             frame_reuse: true,
             setup_time_s: build_time + t_upload + t_bind,
             frames_rendered: std::cell::Cell::new(0),
+            retry: None,
+            stats: Mutex::new(stats),
         })
     }
 
@@ -300,6 +361,37 @@ impl AdaptiveSession {
     pub fn with_frame_reuse(mut self, reuse: bool) -> Self {
         self.frame_reuse = reuse;
         self
+    }
+
+    /// Enables the bounded-retry degradation ladder for
+    /// [`Self::render_into`] frames.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Sets (or clears) the frame retry policy in place.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// The active frame retry policy, if any.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry
+    }
+
+    /// Cumulative resilience accounting for this session: host-side fault
+    /// and retry counters folded together with the device's diagnostics
+    /// (pool rebuilds, checksum catches, arena drops).
+    pub fn resilience_report(&self) -> ResilienceReport {
+        let mut report = *self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        report.absorb_diagnostics(self.gpu.diagnostics());
+        report
+    }
+
+    /// The session's device (for fault-plan wiring in tests and benches).
+    pub fn gpu(&self) -> &VirtualGpu {
+        &self.gpu
     }
 
     /// The session's fixed configuration.
@@ -320,34 +412,58 @@ impl AdaptiveSession {
     /// Uploads the catalog and launches the fetch kernel against
     /// `image_dev`; returns the kernel profile and the modeled transfer
     /// time of the star upload + image upload (download not included).
+    ///
+    /// `rung` selects the degradation level: [`Rung::ReferenceExec`] and
+    /// below force the reference executor, and [`Rung::DirectPsf`] swaps
+    /// the LUT fetch kernel for the direct-PSF star-centric kernel (the
+    /// last-resort fallback — numerically close, not bit-identical).
     fn launch_frame(
         &self,
         catalog: &StarCatalog,
         image_dev: &gpusim::GlobalAtomicF32,
+        rung: Rung,
     ) -> Result<(gpusim::KernelProfile, f64), SimError> {
         let config = &self.config;
-        let (stars, t_stars) = self.gpu.upload(to_device_stars(catalog.stars()));
+        let (stars, t_stars) = self.gpu.try_upload(to_device_stars(catalog.stars()))?;
         let t_img_up = self
             .gpu
             .transfer_model()
             .time(gpusim::MemcpyKind::HostToDevice, config.pixels() * 4);
 
         let star_count = catalog.len();
-        let kernel = AdaptiveKernel {
-            stars: &stars,
-            image: image_dev,
-            lut_tex: &self.lut_tex,
-            lut: self.lut.as_ref(),
-            star_count,
-            width: config.width,
-            height: config.height,
-            roi: Roi::new(config.roi_side),
+        let mode = if rung >= Rung::ReferenceExec {
+            ExecMode::Reference
+        } else {
+            config.exec_mode
         };
         let cfg = LaunchConfig::star_centric(star_count.max(1), config.roi_side, self.gpu.spec())
             .with_shared_mem(3 * 4);
-        let profile = self
-            .gpu
-            .launch_mode("adaptive-lut", &kernel, cfg, config.exec_mode)?;
+        let profile = if rung == Rung::DirectPsf {
+            let kernel = StarCentricKernel {
+                stars: &stars,
+                image: image_dev,
+                star_count,
+                width: config.width,
+                height: config.height,
+                roi: Roi::new(config.roi_side),
+                psf: config.psf_model(),
+                a_factor: config.a_factor,
+            };
+            self.gpu
+                .launch_mode("star-centric-fallback", &kernel, cfg, mode)?
+        } else {
+            let kernel = AdaptiveKernel {
+                stars: &stars,
+                image: image_dev,
+                lut_tex: &self.lut_tex,
+                lut: self.lut.as_ref(),
+                star_count,
+                width: config.width,
+                height: config.height,
+                roi: Roi::new(config.roi_side),
+            };
+            self.gpu.launch_mode("adaptive-lut", &kernel, cfg, mode)?
+        };
         Ok((profile, t_stars + t_img_up))
     }
 
@@ -367,17 +483,17 @@ impl AdaptiveSession {
             fresh_image = self.gpu.alloc_atomic_f32(config.pixels());
             &fresh_image
         };
-        let (kernel_profile, t_up) = self.launch_frame(catalog, image_dev)?;
+        let (kernel_profile, t_up) = self.launch_frame(catalog, image_dev, Rung::Configured)?;
         profile.kernels.push(kernel_profile);
 
         let (host_pixels, t_down) = if self.frame_reuse {
             // Drain the persistent device image so the next frame starts
             // from zero, exactly like a fresh allocation.
             let mut host = Vec::new();
-            let t = self.gpu.download_take(image_dev, &mut host);
+            let t = self.gpu.try_download_take(image_dev, &mut host)?;
             (host, t)
         } else {
-            self.gpu.download(image_dev)
+            self.gpu.try_download(image_dev)?
         };
         profile.push_overhead("CPU-GPU transmission", t_up + t_down);
 
@@ -400,10 +516,65 @@ impl AdaptiveSession {
     /// reused verbatim afterwards; no device image, shadow buffer, or host
     /// image is allocated once the loop is warm. Pixels and modeled times
     /// are bit-identical to [`Self::render`].
+    ///
+    /// With a [`RetryPolicy`] installed ([`Self::with_retry_policy`] /
+    /// [`Self::on_resilient`]), a failed frame is retried under the
+    /// degradation ladder: spawn dispatch (bit-identical to the configured
+    /// path), then the reference executor, then the direct-PSF fallback
+    /// kernel (both numerically equivalent, not bit-equal — see
+    /// [`Rung`]). Every fault and rung is recorded in
+    /// [`Self::resilience_report`].
     pub fn render_into(
         &self,
         catalog: &StarCatalog,
         host: &mut Vec<f32>,
+    ) -> Result<FrameTiming, SimError> {
+        let result = match self.retry {
+            None => self.render_attempt(catalog, host, Rung::Configured),
+            Some(policy) => {
+                let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+                run_with_retry(&policy, &mut stats, |rung| {
+                    if rung != Rung::Configured && self.frame_reuse {
+                        // A failed attempt may have deposited partial
+                        // results into the persistent device image; the
+                        // retry must start from zero to stay bit-identical.
+                        self.image_dev.fill_zero();
+                    }
+                    self.render_attempt(catalog, host, rung)
+                })
+            }
+        };
+        if result.is_ok() {
+            self.frames_rendered.set(self.frames_rendered.get() + 1);
+        }
+        result
+    }
+
+    /// One attempt of the zero-allocation frame path at `rung`.
+    fn render_attempt(
+        &self,
+        catalog: &StarCatalog,
+        host: &mut Vec<f32>,
+        rung: Rung,
+    ) -> Result<FrameTiming, SimError> {
+        let spawn = rung >= Rung::SpawnDispatch;
+        if spawn {
+            // Sidestep the worker pool: spawn dispatch survives a poisoned
+            // or rebuilt pool and is bit-identical to pooled dispatch.
+            self.gpu.set_dispatch_override(true);
+        }
+        let result = self.render_attempt_inner(catalog, host, rung);
+        if spawn {
+            self.gpu.set_dispatch_override(false);
+        }
+        result
+    }
+
+    fn render_attempt_inner(
+        &self,
+        catalog: &StarCatalog,
+        host: &mut Vec<f32>,
+        rung: Rung,
     ) -> Result<FrameTiming, SimError> {
         let wall_start = Instant::now();
         let fresh_image;
@@ -413,13 +584,12 @@ impl AdaptiveSession {
             fresh_image = self.gpu.alloc_atomic_f32(self.config.pixels());
             &fresh_image
         };
-        let (kernel_profile, t_up) = self.launch_frame(catalog, image_dev)?;
+        let (kernel_profile, t_up) = self.launch_frame(catalog, image_dev, rung)?;
         let t_down = if self.frame_reuse {
-            self.gpu.download_take(image_dev, host)
+            self.gpu.try_download_take(image_dev, host)?
         } else {
-            self.gpu.download_into(image_dev, host)
+            self.gpu.try_download_into(image_dev, host)?
         };
-        self.frames_rendered.set(self.frames_rendered.get() + 1);
         Ok(FrameTiming {
             // Same association as `AppProfile::app_time` (kernel time plus
             // the one transmission overhead item) so the two render paths
@@ -653,5 +823,113 @@ mod tests {
     fn amortization_needs_frames() {
         let session = AdaptiveSession::new(cfg()).unwrap();
         let _ = session.amortized_frame_cost(0.001, 0);
+    }
+
+    mod resilience {
+        use super::*;
+        use crate::resilience::RetryPolicy;
+        use gpusim::{FaultKind, FaultPlan};
+        use std::time::Duration;
+
+        fn fast_retry() -> RetryPolicy {
+            RetryPolicy {
+                backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            }
+        }
+
+        #[test]
+        fn retried_frame_is_bit_identical_after_a_worker_panic() {
+            let cat = FieldGenerator::new(128, 128).generate(200, 5);
+            let clean = AdaptiveSession::new(cfg()).unwrap();
+            let mut expected = Vec::new();
+            clean.render_into(&cat, &mut expected).unwrap();
+
+            let gpu = VirtualGpu::gtx480().with_fault_plan(Arc::new(FaultPlan::single(
+                FaultKind::WorkerPanic,
+                0,
+                3,
+            )));
+            let session = AdaptiveSession::on(gpu, cfg())
+                .unwrap()
+                .with_retry_policy(fast_retry());
+            let mut host = Vec::new();
+            session.render_into(&cat, &mut host).unwrap();
+            assert_eq!(
+                expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                host.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "retried frame must match the fault-free run bit-for-bit"
+            );
+            let report = session.resilience_report();
+            assert_eq!(report.retries, 1);
+            assert_eq!(report.panics, 1);
+            assert_eq!(report.rung_frames, [0, 1, 0, 0]);
+            assert_eq!(report.frames, 1);
+            assert_eq!(report.exhausted, 0);
+        }
+
+        #[test]
+        fn without_a_policy_faults_surface_directly() {
+            let cat = FieldGenerator::new(128, 128).generate(50, 2);
+            let gpu = VirtualGpu::gtx480().with_fault_plan(Arc::new(FaultPlan::single(
+                FaultKind::WorkerPanic,
+                0,
+                1,
+            )));
+            let session = AdaptiveSession::on(gpu, cfg()).unwrap();
+            let mut host = Vec::new();
+            let err = session.render_into(&cat, &mut host).unwrap_err();
+            assert!(matches!(
+                err,
+                SimError::Gpu(gpusim::GpuError::WorkerPanic(_))
+            ));
+            assert_eq!(session.frames_rendered(), 0);
+        }
+
+        #[test]
+        fn on_resilient_retries_the_texture_bind() {
+            let gpu = VirtualGpu::gtx480().with_fault_plan(Arc::new(FaultPlan::single(
+                FaultKind::TextureBindFail,
+                0,
+                0,
+            )));
+            let session = AdaptiveSession::on_resilient(gpu, cfg(), fast_retry()).unwrap();
+            let report = session.resilience_report();
+            assert_eq!(report.bind_failures, 1);
+            assert_eq!(report.retries, 1);
+            // And the session renders normally afterwards.
+            let cat = FieldGenerator::new(128, 128).generate(50, 2);
+            let mut host = Vec::new();
+            assert!(session.render_into(&cat, &mut host).is_ok());
+        }
+
+        #[test]
+        fn exhausted_retries_report_the_last_error() {
+            // Four one-shot panics sink every attempt of a 4-attempt policy.
+            let plan = FaultPlan::from_specs(
+                (0..4)
+                    .map(|launch| gpusim::FaultSpec {
+                        launch,
+                        lane: 0,
+                        kind: FaultKind::WorkerPanic,
+                    })
+                    .collect(),
+            );
+            let gpu = VirtualGpu::gtx480().with_fault_plan(Arc::new(plan));
+            let session = AdaptiveSession::on(gpu, cfg())
+                .unwrap()
+                .with_retry_policy(fast_retry());
+            let cat = FieldGenerator::new(128, 128).generate(50, 2);
+            let mut host = Vec::new();
+            let err = session.render_into(&cat, &mut host).unwrap_err();
+            assert!(matches!(
+                err,
+                SimError::RetriesExhausted { attempts: 4, .. }
+            ));
+            let report = session.resilience_report();
+            assert_eq!(report.exhausted, 1);
+            assert_eq!(report.faults_seen, 4);
+            assert_eq!(report.retries, 3);
+        }
     }
 }

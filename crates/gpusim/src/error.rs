@@ -18,6 +18,21 @@ pub enum GpuError {
     },
     /// Mismatched buffer sizes in a transfer.
     TransferMismatch(String),
+    /// A launch exceeded the watchdog deadline; the worker pool has been
+    /// poisoned and will be rebuilt on the next launch.
+    LaunchTimeout {
+        /// The configured watchdog deadline, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A worker body panicked mid-launch; partial results were discarded.
+    WorkerPanic(String),
+    /// A device→host transfer failed its per-chunk checksum.
+    TransferCorrupted {
+        /// Index of the first chunk whose checksum mismatched.
+        chunk: usize,
+    },
+    /// A texture bind failed.
+    TextureBind(String),
     /// Anything else.
     Other(String),
 }
@@ -35,6 +50,17 @@ impl fmt::Display for GpuError {
                 "out of {space} memory: requested {requested} B, available {available} B"
             ),
             GpuError::TransferMismatch(m) => write!(f, "transfer mismatch: {m}"),
+            GpuError::LaunchTimeout { deadline_ms } => write!(
+                f,
+                "launch watchdog expired after {deadline_ms} ms; pool poisoned, \
+                 will be rebuilt on next launch"
+            ),
+            GpuError::WorkerPanic(m) => write!(f, "worker panicked mid-launch: {m}"),
+            GpuError::TransferCorrupted { chunk } => write!(
+                f,
+                "device-to-host transfer corrupted: checksum mismatch in chunk {chunk}"
+            ),
+            GpuError::TextureBind(m) => write!(f, "texture bind failed: {m}"),
             GpuError::Other(m) => write!(f, "gpu error: {m}"),
         }
     }
@@ -62,5 +88,20 @@ mod tests {
             .to_string()
             .contains("x"));
         assert!(GpuError::Other("y".into()).to_string().contains("y"));
+    }
+
+    #[test]
+    fn resilience_variants_format() {
+        let t = GpuError::LaunchTimeout { deadline_ms: 40 };
+        assert!(t.to_string().contains("40 ms"));
+        assert!(t.to_string().contains("rebuilt"));
+        assert!(GpuError::WorkerPanic("boom".into())
+            .to_string()
+            .contains("boom"));
+        let c = GpuError::TransferCorrupted { chunk: 3 };
+        assert!(c.to_string().contains("chunk 3"));
+        assert!(GpuError::TextureBind("layers".into())
+            .to_string()
+            .contains("layers"));
     }
 }

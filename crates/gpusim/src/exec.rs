@@ -7,25 +7,35 @@
 //! texture cache — free of cross-thread interleaving, so counter results
 //! are deterministic regardless of how many host cores run the simulation.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::counters::{Counters, SharedCounters};
 use crate::device::DeviceSpec;
 #[cfg(test)]
 use crate::dim::Dim3;
 use crate::error::GpuError;
+use crate::fault::{ArmedFaults, FaultKind, FaultPlan};
 use crate::kernel::{BlockCtx, BufferArena, Kernel, ShadowSet, ThreadCtx};
 use crate::launch::LaunchConfig;
 use crate::memory::cache::CacheSim;
-use crate::memory::global::{AddressSpace, GlobalAtomicF32, GlobalBuffer};
+use crate::memory::global::{chunk_checksums_host, AddressSpace, GlobalAtomicF32, GlobalBuffer};
 use crate::memory::shared::SharedMem;
 use crate::memory::texture::Texture;
 use crate::memory::transfer::{MemcpyKind, TransferModel};
-use crate::pool::{default_workers, spawn_parallel_for, spawn_parallel_for_static, WorkerPool};
+use crate::pool::{
+    default_workers, spawn_parallel_for, spawn_parallel_for_static, PoolTimeout, WorkerPool,
+};
 use crate::profiler::KernelProfile;
 use crate::timing::{kernel_time, occupancy, CostModel};
 use crate::warp::analyze_warp;
+
+/// Values per transfer-verification chunk (16 KiB of `f32`): coarse enough
+/// that the checksum pass is a small fraction of the copy it guards, fine
+/// enough that a corruption report localizes the damage.
+const TRANSFER_CHUNK: usize = 4096;
 
 /// How the executor runs a launch on the host.
 ///
@@ -82,8 +92,23 @@ pub struct VirtualGpu {
     workers: usize,
     exec_mode: ExecMode,
     /// Persistent worker pool; `None` = per-launch scoped-thread spawning
-    /// (the measured baseline, see [`Self::with_spawn_dispatch`]).
-    pool: Option<WorkerPool>,
+    /// (the measured baseline, see [`Self::with_spawn_dispatch`]). Behind a
+    /// mutex so a watchdog-poisoned pool can be torn down and rebuilt at
+    /// the next launch through `&self` (the launch gate serializes access).
+    pool: Option<Mutex<WorkerPool>>,
+    /// Per-launch escape hatch: when set, dispatch bypasses the pool and
+    /// spawns scoped threads — the degradation ladder's first rung, usable
+    /// through `&self` mid-frame.
+    spawn_override: AtomicBool,
+    /// Injected-fault schedule (chaos testing); `None` in production.
+    fault: Option<Arc<FaultPlan>>,
+    /// Watchdog deadline for pooled launches; `None` = wait forever.
+    watchdog: Option<Duration>,
+    /// Resilience diagnostics (see [`GpuDiagnostics`]).
+    pool_rebuilds: AtomicU64,
+    checksum_catches: AtomicU64,
+    panics_caught: AtomicU64,
+    timeouts: AtomicU64,
     /// Persistent per-SM texture caches ([`Self::launch_mode`] resets them
     /// at launch entry, so every launch still starts cold exactly like a
     /// freshly-built cache). Each SM is processed by one worker at a time;
@@ -97,6 +122,22 @@ pub struct VirtualGpu {
     /// When `false`, launches allocate caches and shadows fresh each call
     /// (the allocation baseline, see [`Self::with_buffer_reuse`]).
     reuse: bool,
+}
+
+/// Counters of resilience events on a device, all monotone since device
+/// construction. Zero across the board in a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpuDiagnostics {
+    /// Watchdog-poisoned pools torn down and rebuilt at launch entry.
+    pub pool_rebuilds: u64,
+    /// Transfers failed by the per-chunk checksum.
+    pub checksum_catches: u64,
+    /// Worker panics converted into [`GpuError::WorkerPanic`].
+    pub panics_caught: u64,
+    /// Launches abandoned as [`GpuError::LaunchTimeout`].
+    pub timeouts: u64,
+    /// Corrupted shadow buffers dropped by the arena instead of recycled.
+    pub arena_drops: u64,
 }
 
 impl VirtualGpu {
@@ -114,7 +155,14 @@ impl VirtualGpu {
             space: AddressSpace::new(),
             workers,
             exec_mode: ExecMode::default(),
-            pool: Some(WorkerPool::new(workers)),
+            pool: Some(Mutex::new(WorkerPool::new(workers))),
+            spawn_override: AtomicBool::new(false),
+            fault: None,
+            watchdog: None,
+            pool_rebuilds: AtomicU64::new(0),
+            checksum_catches: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
             caches,
             launch_gate: Mutex::new(()),
             arena: BufferArena::new(),
@@ -158,7 +206,7 @@ impl VirtualGpu {
         }
         self.workers = workers;
         if self.pool.is_some() {
-            self.pool = Some(WorkerPool::new(workers));
+            self.pool = Some(Mutex::new(WorkerPool::new(workers)));
         }
         self
     }
@@ -182,6 +230,42 @@ impl VirtualGpu {
     /// Buffers currently pooled in the shadow arena (diagnostics).
     pub fn arena_pooled(&self) -> usize {
         self.arena.pooled()
+    }
+
+    /// Attaches a deterministic fault-injection schedule (chaos testing).
+    /// [`FaultPlan::none`] keeps all resilience plumbing active at
+    /// negligible cost (one atomic increment per launch, no transfer
+    /// verification).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Arms a watchdog on pooled launches: a generation not finished within
+    /// `deadline` (measured after the launching thread's own share of the
+    /// work) is abandoned as [`GpuError::LaunchTimeout`], the pool is
+    /// poisoned, and the next launch rebuilds it.
+    pub fn with_watchdog(mut self, deadline: Duration) -> Self {
+        self.watchdog = Some(deadline);
+        self
+    }
+
+    /// Forces (or releases) spawn dispatch for subsequent launches without
+    /// rebuilding the device — the degradation ladder's first rung. No-op
+    /// on a device already built [`Self::with_spawn_dispatch`].
+    pub fn set_dispatch_override(&self, spawn: bool) {
+        self.spawn_override.store(spawn, Ordering::Relaxed);
+    }
+
+    /// Resilience event counters (monotone since construction).
+    pub fn diagnostics(&self) -> GpuDiagnostics {
+        GpuDiagnostics {
+            pool_rebuilds: self.pool_rebuilds.load(Ordering::Relaxed),
+            checksum_catches: self.checksum_catches.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            arena_drops: self.arena.dropped(),
+        }
     }
 
     /// Overrides the cost model.
@@ -230,6 +314,25 @@ impl VirtualGpu {
         (GlobalBuffer::from_host(&self.space, data), t)
     }
 
+    /// [`Self::upload`] through the fault plan: an [`FaultKind::AllocOom`]
+    /// spec bound to the upcoming launch surfaces here as
+    /// [`GpuError::OutOfMemory`]. Identical to `upload` without a plan.
+    pub fn try_upload<T: Copy>(&self, data: Vec<T>) -> Result<(GlobalBuffer<T>, f64), GpuError> {
+        if let Some(plan) = &self.fault {
+            if plan
+                .take(FaultKind::AllocOom, plan.upcoming_launch())
+                .is_some()
+            {
+                return Err(GpuError::OutOfMemory {
+                    requested: std::mem::size_of::<T>() * data.len(),
+                    available: 0,
+                    space: "global",
+                });
+            }
+        }
+        Ok(self.upload(data))
+    }
+
     /// Allocates a zero-filled atomic f32 device buffer (e.g. the output
     /// image; zeroing is a `cudaMemset`, modeled as free).
     pub fn alloc_atomic_f32(&self, len: usize) -> GlobalAtomicF32 {
@@ -272,6 +375,82 @@ impl VirtualGpu {
             .time(MemcpyKind::DeviceToHost, buf.size_bytes())
     }
 
+    /// [`Self::download`] through the fault plan and (when the plan demands
+    /// it) per-chunk checksum verification.
+    pub fn try_download(&self, buf: &GlobalAtomicF32) -> Result<(Vec<f32>, f64), GpuError> {
+        let mut out = Vec::new();
+        let t = self.verified_download(buf, &mut out, false)?;
+        Ok((out, t))
+    }
+
+    /// [`Self::download_into`] with verification; see
+    /// [`Self::try_download`].
+    pub fn try_download_into(
+        &self,
+        buf: &GlobalAtomicF32,
+        out: &mut Vec<f32>,
+    ) -> Result<f64, GpuError> {
+        self.verified_download(buf, out, false)
+    }
+
+    /// [`Self::download_take`] with verification. Unlike the infallible
+    /// path, the device buffer is zeroed only *after* the checksums pass —
+    /// a corrupted transfer must leave the device data intact for the
+    /// retry.
+    pub fn try_download_take(
+        &self,
+        buf: &GlobalAtomicF32,
+        out: &mut Vec<f32>,
+    ) -> Result<f64, GpuError> {
+        self.verified_download(buf, out, true)
+    }
+
+    /// Shared verified-download path. Verification only runs when the fault
+    /// plan contains transfer faults ([`FaultPlan::verify_transfers`]), so
+    /// `FaultPlan::none()` downloads at full speed.
+    fn verified_download(
+        &self,
+        buf: &GlobalAtomicF32,
+        out: &mut Vec<f32>,
+        take: bool,
+    ) -> Result<f64, GpuError> {
+        let t = self
+            .transfer
+            .time(MemcpyKind::DeviceToHost, buf.size_bytes());
+        let plan = self.fault.as_deref().filter(|p| p.verify_transfers());
+        let Some(plan) = plan else {
+            if take {
+                buf.take_to_host(out);
+            } else {
+                buf.to_host_into(out);
+            }
+            return Ok(t);
+        };
+        let device_sums = buf.chunk_checksums(TRANSFER_CHUNK);
+        buf.to_host_into(out);
+        // Injected corruption: flip one mantissa bit in the chunk the spec
+        // names, after the copy but before verification — exactly where a
+        // real in-flight corruption would land.
+        if let Some(spec) = plan
+            .completed_launch()
+            .and_then(|l| plan.take(FaultKind::TransferCorrupt, l))
+        {
+            if !out.is_empty() {
+                let idx = (spec.lane * TRANSFER_CHUNK) % out.len();
+                out[idx] = f32::from_bits(out[idx].to_bits() ^ 0x0008_0000);
+            }
+        }
+        let host_sums = chunk_checksums_host(out, TRANSFER_CHUNK);
+        if let Some(chunk) = device_sums.iter().zip(&host_sums).position(|(d, h)| d != h) {
+            self.checksum_catches.fetch_add(1, Ordering::Relaxed);
+            return Err(GpuError::TransferCorrupted { chunk });
+        }
+        if take {
+            buf.fill_zero();
+        }
+        Ok(t)
+    }
+
     /// Binds a layered 2-D texture: models the upload plus the bind call.
     /// Returns `(texture, upload_time, bind_time)`.
     pub fn bind_texture(
@@ -281,6 +460,11 @@ impl VirtualGpu {
         layers: usize,
         data: Vec<f32>,
     ) -> Result<(Texture, f64, f64), GpuError> {
+        if let Some(plan) = &self.fault {
+            if plan.take_any(FaultKind::TextureBindFail).is_some() {
+                return Err(GpuError::TextureBind("injected bind failure".into()));
+            }
+        }
         let bytes = data.len() * 4;
         let tex = Texture::bind(
             &self.space,
@@ -323,23 +507,53 @@ impl VirtualGpu {
         // kernel leaves state that the reset below repairs.)
         let _gate = self.launch_gate.lock().unwrap_or_else(|e| e.into_inner());
 
-        let counters = if self.reuse {
-            // Per-SM texture caches (per-SM texture L1 path on Fermi),
-            // reset — not rebuilt — per launch: a reset cache is
-            // indistinguishable from a freshly-constructed one, so counters
-            // are bit-equal to the allocation path below.
-            for cache in &self.caches {
-                cache.lock().unwrap_or_else(|e| e.into_inner()).reset();
+        // A pool poisoned by a watchdog timeout is torn down (joining any
+        // straggler) and rebuilt here, so the launch after a timeout runs
+        // at full parallel width again.
+        if let Some(pm) = &self.pool {
+            let mut pool = pm.lock().unwrap_or_else(|e| e.into_inner());
+            if pool.poisoned() {
+                *pool = WorkerPool::new(self.workers);
+                self.pool_rebuilds.fetch_add(1, Ordering::Relaxed);
             }
-            match mode {
-                ExecMode::Reference => self.execute_reference(kernel, &cfg, &self.caches),
-                ExecMode::Batched => self.execute_batched(kernel, &cfg, &self.caches),
+        }
+
+        let armed = self.fault.as_ref().map(|f| f.arm());
+        let armed = armed.as_ref();
+
+        // Kernel panics — injected or genuine — must not cross the device
+        // boundary: partial counters and shadows are discarded and the
+        // launch reports `WorkerPanic`. (The caches/arena stay consistent:
+        // caches are reset at every launch entry, and shadow buffers of a
+        // panicked launch are dropped, never recycled.)
+        let executed = catch_unwind(AssertUnwindSafe(|| {
+            if self.reuse {
+                // Per-SM texture caches (per-SM texture L1 path on Fermi),
+                // reset — not rebuilt — per launch: a reset cache is
+                // indistinguishable from a freshly-constructed one, so
+                // counters are bit-equal to the allocation path below.
+                for cache in &self.caches {
+                    cache.lock().unwrap_or_else(|e| e.into_inner()).reset();
+                }
+                match mode {
+                    ExecMode::Reference => {
+                        self.execute_reference(kernel, &cfg, &self.caches, armed)
+                    }
+                    ExecMode::Batched => self.execute_batched(kernel, &cfg, &self.caches, armed),
+                }
+            } else {
+                let caches = Self::build_caches(&self.spec);
+                match mode {
+                    ExecMode::Reference => self.execute_reference(kernel, &cfg, &caches, armed),
+                    ExecMode::Batched => self.execute_batched(kernel, &cfg, &caches, armed),
+                }
             }
-        } else {
-            let caches = Self::build_caches(&self.spec);
-            match mode {
-                ExecMode::Reference => self.execute_reference(kernel, &cfg, &caches),
-                ExecMode::Batched => self.execute_batched(kernel, &cfg, &caches),
+        }));
+        let counters = match executed {
+            Ok(result) => result?,
+            Err(payload) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                return Err(GpuError::WorkerPanic(panic_message(&payload)));
             }
         };
 
@@ -353,28 +567,82 @@ impl VirtualGpu {
         })
     }
 
-    /// Dynamic-chunk dispatch through the persistent pool, or through
-    /// per-call spawned scopes when pooled dispatch is off. Both share the
-    /// same claim order semantics; the pool merely reuses parked threads.
-    fn dispatch_dynamic<F>(&self, count: usize, workers: usize, chunk: usize, body: F)
+    /// Whether dispatch should bypass the pool: no pool, or the degradation
+    /// ladder forced spawn dispatch for this frame.
+    fn use_spawn(&self) -> bool {
+        self.pool.is_none() || self.spawn_override.load(Ordering::Relaxed)
+    }
+
+    /// Converts a pool timeout into the device-level error, counting it.
+    fn timeout_error(&self, t: PoolTimeout) -> GpuError {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        GpuError::LaunchTimeout {
+            deadline_ms: t.deadline.as_millis() as u64,
+        }
+    }
+
+    /// Normalizes an injected stall onto a worker lane of this dispatch
+    /// (lane 0 is the launching thread and runs the watchdog, so it cannot
+    /// stall). Inert when fewer than 2 workers participate.
+    fn armed_stall(armed: Option<&ArmedFaults>, workers: usize) -> Option<(usize, Duration)> {
+        let a = armed?;
+        let lane = a.stall_lane?;
+        if workers < 2 {
+            return None;
+        }
+        Some((1 + lane % (workers - 1), a.stall))
+    }
+
+    /// Dynamic-chunk dispatch through the persistent pool (guarded by the
+    /// watchdog deadline, if any), or through per-call spawned scopes when
+    /// pooled dispatch is off. Both share the same claim order semantics;
+    /// the pool merely reuses parked threads.
+    fn dispatch_dynamic<F>(
+        &self,
+        count: usize,
+        workers: usize,
+        chunk: usize,
+        stall: Option<(usize, Duration)>,
+        body: F,
+    ) -> Result<(), GpuError>
     where
         F: Fn(usize, usize) + Sync,
     {
         match &self.pool {
-            Some(pool) => pool.parallel_for(count, workers, chunk, body),
-            None => spawn_parallel_for(count, workers, chunk, body),
+            Some(pm) if !self.use_spawn() => pm
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .parallel_for_guarded(count, workers, chunk, self.watchdog, stall, body)
+                .map_err(|t| self.timeout_error(t)),
+            _ => {
+                spawn_parallel_for(count, workers, chunk, body);
+                Ok(())
+            }
         }
     }
 
     /// Static-stride dispatch (index `i` → worker `i % workers`, a pure
     /// function of `(count, workers)` on both paths).
-    fn dispatch_static<F>(&self, count: usize, workers: usize, body: F)
+    fn dispatch_static<F>(
+        &self,
+        count: usize,
+        workers: usize,
+        stall: Option<(usize, Duration)>,
+        body: F,
+    ) -> Result<(), GpuError>
     where
         F: Fn(usize, usize) + Sync,
     {
         match &self.pool {
-            Some(pool) => pool.parallel_for_static(count, workers, body),
-            None => spawn_parallel_for_static(count, workers, body),
+            Some(pm) if !self.use_spawn() => pm
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .parallel_for_static_guarded(count, workers, self.watchdog, stall, body)
+                .map_err(|t| self.timeout_error(t)),
+            _ => {
+                spawn_parallel_for_static(count, workers, body);
+                Ok(())
+            }
         }
     }
 
@@ -384,26 +652,38 @@ impl VirtualGpu {
         kernel: &K,
         cfg: &LaunchConfig,
         caches: &[Mutex<CacheSim>],
-    ) -> Counters {
+        armed: Option<&ArmedFaults>,
+    ) -> Result<Counters, GpuError> {
         let shared_counters = SharedCounters::default();
         let hazards = AtomicU64::new(0);
         let sm_count = self.spec.sm_count as usize;
         let total_blocks = cfg.total_blocks();
+        let sms = sm_count.min(total_blocks);
+        let panic_sm = armed.and_then(|a| a.panic_sm).map(|l| l % sms.max(1));
 
-        self.dispatch_dynamic(sm_count.min(total_blocks), self.workers, 1, |sm_id, _| {
-            let mut local = Counters::default();
-            let mut cache = caches[sm_id].lock().unwrap();
-            let mut block = sm_id;
-            while block < total_blocks {
-                self.run_block_reference(kernel, cfg, block, &mut local, &mut cache, &hazards);
-                block += sm_count;
-            }
-            shared_counters.merge(&local);
-        });
+        self.dispatch_dynamic(
+            sms,
+            self.workers,
+            1,
+            Self::armed_stall(armed, self.workers.min(sms.max(1))),
+            |sm_id, _| {
+                if panic_sm == Some(sm_id) {
+                    panic!("injected fault: worker panic on sm {sm_id}");
+                }
+                let mut local = Counters::default();
+                let mut cache = caches[sm_id].lock().unwrap_or_else(|e| e.into_inner());
+                let mut block = sm_id;
+                while block < total_blocks {
+                    self.run_block_reference(kernel, cfg, block, &mut local, &mut cache, &hazards);
+                    block += sm_count;
+                }
+                shared_counters.merge(&local);
+            },
+        )?;
 
         let mut counters = shared_counters.snapshot();
         counters.shared_hazards = hazards.load(Ordering::Relaxed);
-        counters
+        Ok(counters)
     }
 
     /// The batched executor: same SM schedule, but blocks whose kernel
@@ -416,12 +696,14 @@ impl VirtualGpu {
         kernel: &'k K,
         cfg: &LaunchConfig,
         caches: &[Mutex<CacheSim>],
-    ) -> Counters {
+        armed: Option<&ArmedFaults>,
+    ) -> Result<Counters, GpuError> {
         let sm_count = self.spec.sm_count as usize;
         let total_blocks = cfg.total_blocks();
         let sms = sm_count.min(total_blocks);
         let workers = self.workers.min(sms.max(1));
         let hazards = AtomicU64::new(0);
+        let panic_sm = armed.and_then(|a| a.panic_sm).map(|l| l % sms.max(1));
 
         struct WorkerState<'k> {
             counters: Counters,
@@ -445,45 +727,60 @@ impl VirtualGpu {
             })
             .collect();
 
-        self.dispatch_static(sms, workers, |sm_id, worker| {
-            let mut state = states[worker].lock().unwrap();
-            let state = &mut *state;
-            let mut cache = caches[sm_id].lock().unwrap();
-            let mut block = sm_id;
-            while block < total_blocks {
-                let mut bctx = BlockCtx {
-                    block_idx: cfg.grid.delinearize(block),
-                    block_dim: cfg.block,
-                    grid_dim: cfg.grid,
-                    spec: &self.spec,
-                    counters: &mut state.counters,
-                    cache: &mut cache,
-                    shadow: &mut state.shadow,
-                };
-                if !kernel.run_block(&mut bctx) {
-                    self.run_block_reference(
-                        kernel,
-                        cfg,
-                        block,
-                        &mut state.counters,
-                        &mut cache,
-                        &hazards,
-                    );
+        self.dispatch_static(
+            sms,
+            workers,
+            Self::armed_stall(armed, workers),
+            |sm_id, worker| {
+                if panic_sm == Some(sm_id) {
+                    panic!("injected fault: worker panic on sm {sm_id}");
                 }
-                block += sm_count;
-            }
-        });
+                let mut state = states[worker].lock().unwrap_or_else(|e| e.into_inner());
+                let state = &mut *state;
+                let mut cache = caches[sm_id].lock().unwrap_or_else(|e| e.into_inner());
+                let mut block = sm_id;
+                while block < total_blocks {
+                    let mut bctx = BlockCtx {
+                        block_idx: cfg.grid.delinearize(block),
+                        block_dim: cfg.block,
+                        grid_dim: cfg.grid,
+                        spec: &self.spec,
+                        counters: &mut state.counters,
+                        cache: &mut cache,
+                        shadow: &mut state.shadow,
+                    };
+                    if !kernel.run_block(&mut bctx) {
+                        self.run_block_reference(
+                            kernel,
+                            cfg,
+                            block,
+                            &mut state.counters,
+                            &mut cache,
+                            &hazards,
+                        );
+                    }
+                    block += sm_count;
+                }
+            },
+        )?;
 
         // Deterministic reduction: counters and shadows merge in worker
         // order, single-threaded.
+        let corrupt_shadow = armed.is_some_and(|a| a.shadow_corrupt);
         let mut counters = Counters::default();
-        for s in states {
-            let state = s.into_inner().unwrap();
+        for (i, s) in states.into_iter().enumerate() {
+            let state = s.into_inner().unwrap_or_else(|e| e.into_inner());
             counters.merge(&state.counters);
-            state.shadow.merge();
+            if corrupt_shadow && i == 0 {
+                // Injected shadow corruption hits the first worker's buffer
+                // after its (correct) drain; the arena must drop it.
+                state.shadow.merge_corrupting(true);
+            } else {
+                state.shadow.merge();
+            }
         }
         counters.shared_hazards += hazards.load(Ordering::Relaxed);
-        counters
+        Ok(counters)
     }
 
     /// Executes one block on the reference path: all phases, warp by warp.
@@ -558,6 +855,17 @@ impl VirtualGpu {
 impl Default for VirtualGpu {
     fn default() -> Self {
         VirtualGpu::gtx480()
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -979,5 +1287,168 @@ mod tests {
         assert_eq!(gpu.workers, gpu.spec().sm_count as usize);
         let gpu = VirtualGpu::gtx480().with_workers(3);
         assert_eq!(gpu.workers, 3);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and recovery.
+    // ------------------------------------------------------------------
+
+    use crate::fault::{FaultKind, FaultPlan};
+    use std::time::Duration;
+
+    /// Runs saxpy (a=2, x=i, y0=0) on `gpu`, returning the image.
+    fn saxpy_frame(gpu: &VirtualGpu, n: usize) -> Result<Vec<f32>, GpuError> {
+        let (x, _) = gpu.try_upload((0..n).map(|i| i as f32).collect::<Vec<_>>())?;
+        let y = gpu.alloc_atomic_f32(n);
+        let k = Saxpy {
+            a: 2.0,
+            x: &x,
+            y: &y,
+            n,
+        };
+        gpu.launch(
+            "saxpy",
+            &k,
+            LaunchConfig::new(n.div_ceil(128) as u32, 128u32),
+        )?;
+        Ok(gpu.try_download(&y)?.0)
+    }
+
+    #[test]
+    fn fault_plan_none_is_invisible() {
+        let clean = VirtualGpu::gtx480().with_workers(4);
+        let chaos = VirtualGpu::gtx480()
+            .with_workers(4)
+            .with_fault_plan(Arc::new(FaultPlan::none()))
+            .with_watchdog(Duration::from_secs(30));
+        let a = saxpy_frame(&clean, 4096).unwrap();
+        let b = saxpy_frame(&chaos, 4096).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(chaos.diagnostics(), GpuDiagnostics::default());
+    }
+
+    #[test]
+    fn injected_panic_is_caught_and_device_recovers_bit_identically() {
+        let clean = VirtualGpu::gtx480().with_workers(4);
+        let expected = saxpy_frame(&clean, 4096).unwrap();
+
+        let gpu = VirtualGpu::gtx480()
+            .with_workers(4)
+            .with_fault_plan(Arc::new(FaultPlan::single(FaultKind::WorkerPanic, 0, 2)));
+        let err = saxpy_frame(&gpu, 4096).expect_err("launch 0 must fail");
+        assert!(matches!(err, GpuError::WorkerPanic(_)), "got {err:?}");
+        assert_eq!(gpu.diagnostics().panics_caught, 1);
+
+        // The fault is one-shot: the very next frame is clean and
+        // bit-identical to the fault-free device.
+        let retried = saxpy_frame(&gpu, 4096).expect("retry must succeed");
+        assert_eq!(retried, expected);
+    }
+
+    #[test]
+    fn injected_oom_surfaces_on_try_upload() {
+        let gpu = VirtualGpu::gtx480().with_fault_plan(Arc::new(FaultPlan::single(
+            FaultKind::AllocOom,
+            0,
+            0,
+        )));
+        let err = saxpy_frame(&gpu, 256).expect_err("upload must report OOM");
+        assert!(matches!(err, GpuError::OutOfMemory { .. }), "got {err:?}");
+        // The failed attempt never armed a launch, so the retry is still
+        // launch 0 — and the fault is spent.
+        assert!(saxpy_frame(&gpu, 256).is_ok());
+    }
+
+    #[test]
+    fn transfer_corruption_caught_by_checksum_and_device_data_survives() {
+        let clean = VirtualGpu::gtx480().with_workers(4);
+        let expected = saxpy_frame(&clean, 8192).unwrap();
+
+        let gpu = VirtualGpu::gtx480()
+            .with_workers(4)
+            .with_fault_plan(Arc::new(FaultPlan::single(
+                FaultKind::TransferCorrupt,
+                0,
+                1,
+            )));
+        let n = 8192;
+        let (x, _) = gpu
+            .try_upload((0..n).map(|i| i as f32).collect::<Vec<_>>())
+            .unwrap();
+        let y = gpu.alloc_atomic_f32(n);
+        let k = Saxpy {
+            a: 2.0,
+            x: &x,
+            y: &y,
+            n,
+        };
+        gpu.launch("saxpy", &k, LaunchConfig::new(64u32, 128u32))
+            .unwrap();
+        let err = gpu
+            .try_download(&y)
+            .expect_err("checksum must catch the flip");
+        assert!(
+            matches!(err, GpuError::TransferCorrupted { chunk: 1 }),
+            "got {err:?}"
+        );
+        assert_eq!(gpu.diagnostics().checksum_catches, 1);
+        // Verification is non-destructive: the device image is intact, so
+        // re-downloading (fault spent) recovers the exact frame.
+        let (host, _) = gpu.try_download(&y).expect("second download is clean");
+        assert_eq!(host, expected);
+    }
+
+    #[test]
+    fn stuck_lane_times_out_within_deadline_and_pool_rebuilds() {
+        let clean = VirtualGpu::gtx480().with_workers(3);
+        let expected = saxpy_frame(&clean, 4096).unwrap();
+
+        let stall = Duration::from_millis(300);
+        let gpu = VirtualGpu::gtx480()
+            .with_workers(3)
+            .with_watchdog(Duration::from_millis(30))
+            .with_fault_plan(Arc::new(
+                FaultPlan::single(FaultKind::StuckLane, 0, 0).with_stall(stall),
+            ));
+        let start = std::time::Instant::now();
+        let err = saxpy_frame(&gpu, 4096).expect_err("stuck lane must time out");
+        assert!(
+            start.elapsed() < stall,
+            "watchdog must fire before the stall ends"
+        );
+        assert!(
+            matches!(err, GpuError::LaunchTimeout { deadline_ms: 30 }),
+            "got {err:?}"
+        );
+        assert_eq!(gpu.diagnostics().timeouts, 1);
+
+        // The very next launch rebuilds the pool and recovers bit-exactly.
+        let retried = saxpy_frame(&gpu, 4096).expect("retry after rebuild");
+        assert_eq!(retried, expected);
+        assert_eq!(gpu.diagnostics().pool_rebuilds, 1);
+    }
+
+    #[test]
+    fn texture_bind_fault_fires_once() {
+        let gpu = VirtualGpu::gtx480().with_fault_plan(Arc::new(FaultPlan::single(
+            FaultKind::TextureBindFail,
+            0,
+            0,
+        )));
+        let r = gpu.bind_texture(4, 4, 1, vec![0.0; 16]);
+        assert!(matches!(r, Err(GpuError::TextureBind(_))));
+        assert!(gpu.bind_texture(4, 4, 1, vec![0.0; 16]).is_ok());
+    }
+
+    #[test]
+    fn dispatch_override_matches_pooled_results() {
+        let gpu = VirtualGpu::gtx480().with_workers(4);
+        let pooled = saxpy_frame(&gpu, 4096).unwrap();
+        gpu.set_dispatch_override(true);
+        let spawned = saxpy_frame(&gpu, 4096).unwrap();
+        gpu.set_dispatch_override(false);
+        let pooled_again = saxpy_frame(&gpu, 4096).unwrap();
+        assert_eq!(pooled, spawned, "ladder rung 1 must be bit-identical");
+        assert_eq!(pooled, pooled_again);
     }
 }

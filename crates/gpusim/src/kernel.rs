@@ -21,6 +21,7 @@ use crate::memory::cache::CacheSim;
 use crate::memory::global::{GlobalAtomicF32, GlobalBuffer};
 use crate::memory::shared::SharedMem;
 use crate::memory::texture::Texture;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// One device operation observed during a thread's execution of a phase.
@@ -156,9 +157,17 @@ const SHADOW_CHUNK: usize = 16;
 /// Buffers are returned only by [`ShadowSet::merge`], which zeroes every
 /// dirty chunk as it merges, so a recycled buffer needs no zeroing pass; a
 /// launch that panics simply drops its buffers instead of recycling them.
+///
+/// The drained-buffer invariant is *enforced*, not assumed: both `put` and
+/// `take` check the dirty bitmap (a few words, essentially free) and a
+/// buffer that fails the check — corrupted in flight, or returned by a
+/// faulted launch — is dropped and counted ([`Self::dropped`]) rather than
+/// recycled into a future frame.
 #[derive(Debug, Default)]
 pub struct BufferArena {
     free: Mutex<Vec<ShadowBuf>>,
+    /// Corrupted (non-drained) buffers dropped instead of recycled.
+    dropped: AtomicU64,
 }
 
 /// Upper bound on pooled buffers: enough for every worker of the widest
@@ -174,39 +183,60 @@ impl BufferArena {
 
     /// Buffers currently pooled (test/diagnostic use).
     pub fn pooled(&self) -> usize {
-        self.free.lock().unwrap().len()
+        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Corrupted buffers dropped (instead of recycled) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// A drained buffer resized for `len` values. Recycled buffers are
     /// all-zero by the merge contract; a size change falls back to
-    /// clear-and-resize.
+    /// clear-and-resize, and a buffer failing the drained check is dropped
+    /// (defense in depth — `put` already screens).
     fn take(&self, len: usize) -> ShadowBuf {
-        let recycled = self.free.lock().unwrap().pop();
-        match recycled {
-            Some(mut sb) => {
-                if sb.vals.len() != len {
-                    sb.vals.clear();
-                    sb.vals.resize(len, 0.0);
-                    sb.dirty.clear();
-                    sb.dirty.resize(dirty_words(len), 0);
-                } else {
-                    debug_assert!(
-                        sb.vals.iter().all(|&v| v == 0.0) && sb.dirty.iter().all(|&w| w == 0),
-                        "arena invariant: recycled shadows are drained"
-                    );
+        loop {
+            let recycled = self.free.lock().unwrap_or_else(|e| e.into_inner()).pop();
+            match recycled {
+                Some(mut sb) => {
+                    if sb.dirty.iter().any(|&w| w != 0) {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if sb.vals.len() != len {
+                        sb.vals.clear();
+                        sb.vals.resize(len, 0.0);
+                        sb.dirty.clear();
+                        sb.dirty.resize(dirty_words(len), 0);
+                    } else {
+                        debug_assert!(
+                            sb.vals.iter().all(|&v| v == 0.0),
+                            "arena invariant: recycled shadows are drained"
+                        );
+                    }
+                    return sb;
                 }
-                sb
+                None => {
+                    return ShadowBuf {
+                        vals: vec![0.0; len],
+                        dirty: vec![0; dirty_words(len)],
+                    }
+                }
             }
-            None => ShadowBuf {
-                vals: vec![0.0; len],
-                dirty: vec![0; dirty_words(len)],
-            },
         }
     }
 
-    /// Returns a drained buffer to the pool.
+    /// Returns a buffer to the pool — if it really is drained. A buffer
+    /// with surviving dirty bits is corrupted (its values may be non-zero,
+    /// which would silently leak into the next frame's image); it is
+    /// dropped and counted instead.
     fn put(&self, sb: ShadowBuf) {
-        let mut free = self.free.lock().unwrap();
+        if sb.dirty.iter().any(|&w| w != 0) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
         if free.len() < ARENA_CAP {
             free.push(sb);
         }
@@ -362,9 +392,24 @@ impl<'k> ShadowSet<'k> {
     /// Both walk each buffer in ascending index order and skip zeros, so
     /// the merged values are bit-identical.
     pub(crate) fn merge(self) {
+        self.merge_corrupting(false);
+    }
+
+    /// [`Self::merge`] with an injected fault: after the (complete,
+    /// correct) drain, re-mark the first buffer's first chunk dirty with a
+    /// poisoned value, simulating in-flight corruption of the recycled
+    /// storage. The image is unaffected — the point is to exercise the
+    /// arena's integrity check, which must drop the buffer, not recycle it.
+    pub(crate) fn merge_corrupting(self, corrupt_first: bool) {
+        let mut corrupt = corrupt_first;
         for (buf, mut sb) in self.bufs {
             if let Some(arena) = self.arena {
                 sb.drain_into(buf);
+                if corrupt && !sb.vals.is_empty() {
+                    sb.vals[0] = f32::NAN;
+                    sb.dirty[0] |= 1;
+                    corrupt = false;
+                }
                 arena.put(sb);
             } else {
                 buf.merge_add_range(0, &sb.vals);
@@ -649,5 +694,49 @@ mod tests {
         shadow.merge();
         assert_eq!(small.read(3), 1.0);
         assert_eq!(big.read(4095), 2.0);
+    }
+
+    #[test]
+    fn arena_drops_corrupted_buffer_instead_of_recycling() {
+        let space = AddressSpace::new();
+        let img = GlobalAtomicF32::zeroed(&space, 256);
+        let arena = BufferArena::new();
+        {
+            let mut shadow = ShadowSet::with_arena(&arena);
+            shadow.add(&img, 7, 1.0);
+            // Injected corruption: the buffer comes back non-drained.
+            shadow.merge_corrupting(true);
+        }
+        assert_eq!(arena.pooled(), 0, "corrupted buffer must not be pooled");
+        assert_eq!(arena.dropped(), 1);
+        assert_eq!(img.read(7), 1.0, "the merge itself stays correct");
+
+        // The next launch allocates fresh and the frame stays clean.
+        let mut shadow = ShadowSet::with_arena(&arena);
+        shadow.add(&img, 7, 1.0);
+        shadow.merge();
+        assert_eq!(arena.pooled(), 1);
+        assert_eq!(img.read(7), 2.0);
+        for i in 0..256 {
+            assert!(img.read(i).is_finite(), "no NaN may leak into pixel {i}");
+        }
+    }
+
+    #[test]
+    fn arena_take_screens_corrupted_buffers_too() {
+        let arena = BufferArena::new();
+        // Plant a corrupted buffer directly in the free list (put() would
+        // screen it, so bypass it to exercise take()'s check).
+        arena.free.lock().unwrap().push(ShadowBuf {
+            vals: vec![9.0; 32],
+            dirty: vec![1; dirty_words(32)],
+        });
+        let sb = arena.take(32);
+        assert!(
+            sb.vals.iter().all(|&v| v == 0.0),
+            "take must hand out a clean buffer"
+        );
+        assert_eq!(arena.dropped(), 1);
+        assert_eq!(arena.pooled(), 0);
     }
 }

@@ -62,6 +62,7 @@ pub mod device;
 pub mod dim;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod kernel;
 pub mod launch;
 pub mod memory;
@@ -74,7 +75,8 @@ pub use counters::{Counters, FlopClass};
 pub use device::DeviceSpec;
 pub use dim::Dim3;
 pub use error::GpuError;
-pub use exec::{ExecMode, VirtualGpu};
+pub use exec::{ExecMode, GpuDiagnostics, VirtualGpu};
+pub use fault::{ArmedFaults, FaultKind, FaultPlan, FaultSpec};
 pub use kernel::{BlockCtx, BufferArena, Event, Kernel, ShadowBuf, ShadowSet, ThreadCtx};
 pub use launch::LaunchConfig;
 pub use memory::global::{GlobalAtomicF32, GlobalBuffer};

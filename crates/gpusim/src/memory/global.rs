@@ -240,6 +240,49 @@ impl GlobalAtomicF32 {
             v
         }));
     }
+
+    /// Resets every element to `+0.0`. Used by verified downloads (which
+    /// cannot drain-as-they-copy like [`Self::take_to_host`], since a
+    /// checksum failure must leave the device data intact for the retry)
+    /// and by retry attempts clearing a partially-written frame.
+    pub fn fill_zero(&self) {
+        for cell in &self.data {
+            cell.store(0f32.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Device-side per-chunk checksums over the raw bit patterns, `chunk`
+    /// values per checksum (the last chunk may be short). Compared against
+    /// the host copy after a transfer to detect in-flight corruption.
+    pub fn chunk_checksums(&self, chunk: usize) -> Vec<u64> {
+        let chunk = chunk.max(1);
+        self.data
+            .chunks(chunk)
+            .map(|cells| {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for cell in cells {
+                    h = (h.rotate_left(5) ^ u64::from(cell.load(Ordering::Relaxed)))
+                        .wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h
+            })
+            .collect()
+    }
+}
+
+/// Host-side twin of [`GlobalAtomicF32::chunk_checksums`]: same function
+/// over an `f32` slice, for the post-transfer comparison.
+pub fn chunk_checksums_host(vals: &[f32], chunk: usize) -> Vec<u64> {
+    let chunk = chunk.max(1);
+    vals.chunks(chunk)
+        .map(|c| {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for v in c {
+                h = (h.rotate_left(5) ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -356,5 +399,32 @@ mod tests {
         let space = AddressSpace::new();
         let buf = GlobalBuffer::from_host(&space, vec![1u32]);
         let _ = buf.read(1);
+    }
+
+    #[test]
+    fn fill_zero_resets_everything() {
+        let space = AddressSpace::new();
+        let buf = GlobalAtomicF32::from_host(&space, &[1.0, -2.0, 3.5]);
+        buf.fill_zero();
+        assert_eq!(buf.to_host(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn chunk_checksums_match_host_twin_and_catch_a_bit_flip() {
+        let space = AddressSpace::new();
+        let vals: Vec<f32> = (0..1000).map(|i| i as f32 * 0.5).collect();
+        let buf = GlobalAtomicF32::from_host(&space, &vals);
+        let dev = buf.chunk_checksums(256);
+        assert_eq!(dev.len(), 4, "1000 values in 256-chunks");
+        assert_eq!(dev, chunk_checksums_host(&vals, 256));
+        // A single flipped mantissa bit in chunk 2 must change exactly that
+        // chunk's checksum.
+        let mut corrupted = vals.clone();
+        corrupted[600] = f32::from_bits(corrupted[600].to_bits() ^ 0x0008_0000);
+        let host = chunk_checksums_host(&corrupted, 256);
+        assert_eq!(host[0], dev[0]);
+        assert_eq!(host[1], dev[1]);
+        assert_ne!(host[2], dev[2]);
+        assert_eq!(host[3], dev[3]);
     }
 }

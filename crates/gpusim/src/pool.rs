@@ -33,11 +33,46 @@
 //! the pool itself stays parked and reusable. Nested calls from inside a
 //! worker body run inline on that worker (no second generation is
 //! published), which cannot deadlock.
+//!
+//! ## Watchdog and abandonment
+//!
+//! [`WorkerPool::run_guarded`] accepts a deadline; if worker lanes have not
+//! finished the generation by then, the launching thread *abandons* it and
+//! returns [`PoolTimeout`] instead of blocking forever. Abandonment must be
+//! sound against the lifetime-erased job pointer (it borrows the launching
+//! stack frame), so each lane moves through a tiny fence state machine:
+//! before dereferencing the job for a role it CASes its lane slot
+//! `IDLE → BUSY`, and back `BUSY → IDLE` after. The watchdog abandons by
+//! CASing `IDLE → FENCED` on every worker lane: a fenced lane wakes, fails
+//! its `IDLE → BUSY` CAS, and parks without ever touching the dangling
+//! pointer. A lane observed `BUSY` is *inside* kernel code and cannot be
+//! fenced — the watchdog keeps waiting until it reaches a role boundary
+//! (a truly wedged kernel body therefore still hangs the launch, exactly
+//! as a scoped join would; the injectable stalls used for chaos testing
+//! happen at the generation boundary, where fencing always succeeds).
+//! After a timeout the pool is *poisoned*: abandoned lanes may still be
+//! draining, so no further generation is published — [`WorkerPool::run`]
+//! falls back to inline execution and the owner is expected to drop and
+//! rebuild the pool (joining the stragglers) before the next launch.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Lane fence states (see the module docs on abandonment).
+const LANE_IDLE: u8 = 0;
+const LANE_BUSY: u8 = 1;
+const LANE_FENCED: u8 = 2;
+
+/// A guarded dispatch exceeded its watchdog deadline; the generation was
+/// abandoned and the pool poisoned (see [`WorkerPool::poisoned`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolTimeout {
+    /// The deadline that expired.
+    pub deadline: Duration,
+}
 
 thread_local! {
     /// Set while this thread is executing a pool lane (worker or caller).
@@ -57,6 +92,9 @@ struct Job {
     lanes: usize,
     /// Roles to play; lane `l` plays `l, l + lanes, …` below this.
     roles: usize,
+    /// Injected fault: `(lane, duration)` sleeps that worker lane at the
+    /// generation boundary, before it claims any role (chaos testing).
+    stall: Option<(usize, Duration)>,
 }
 
 // SAFETY: the task pointer is only dereferenced by participant lanes while
@@ -72,6 +110,9 @@ struct PoolState {
     outstanding: usize,
     panic: Option<Box<dyn std::any::Any + Send + 'static>>,
     shutdown: bool,
+    /// Set when a generation was abandoned on timeout: stragglers may still
+    /// be draining, so no further generation may be published.
+    poisoned: bool,
 }
 
 struct PoolInner {
@@ -83,6 +124,9 @@ struct PoolInner {
     /// Serializes launches from different threads (same-thread reentry runs
     /// inline and never reaches this lock).
     launch: Mutex<()>,
+    /// Per-lane fence slots for watchdog abandonment (index 0 unused: lane
+    /// 0 is the launching thread, which runs the watchdog itself).
+    lane_state: Vec<AtomicU8>,
 }
 
 /// A persistent pool of parked worker threads, one per virtual SM.
@@ -107,14 +151,16 @@ impl WorkerPool {
     /// A pool with `lanes` parallel lanes (clamped to ≥ 1). A 1-lane pool
     /// never spawns threads; an `n`-lane pool spawns `n − 1` on first use.
     pub fn new(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
         WorkerPool {
             inner: Arc::new(PoolInner {
                 state: Mutex::new(PoolState::default()),
                 work: Condvar::new(),
                 done: Condvar::new(),
                 launch: Mutex::new(()),
+                lane_state: (0..lanes).map(|_| AtomicU8::new(LANE_IDLE)).collect(),
             }),
-            lanes: lanes.max(1),
+            lanes,
             handles: Mutex::new(Vec::new()),
         }
     }
@@ -124,21 +170,58 @@ impl WorkerPool {
         self.lanes
     }
 
+    /// Whether a guarded dispatch abandoned a generation on timeout. A
+    /// poisoned pool runs everything inline (correct but serial); the owner
+    /// should drop and rebuild it to restore parallel dispatch.
+    pub fn poisoned(&self) -> bool {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .poisoned
+    }
+
     /// Runs `task(role)` for every role in `0..roles`, spreading roles over
     /// the pool's lanes (lane `l` plays roles `l, l + lanes, …`, each in
     /// ascending order). Blocks until every role has run.
     fn run(&self, roles: usize, task: &(dyn Fn(usize) + Sync)) {
+        // Infallible: without a deadline the wait can only end in
+        // completion, so the Err arm is unreachable.
+        let _ = self.run_guarded(roles, None, None, task);
+    }
+
+    /// [`Self::run`] with an optional watchdog `deadline` and an optional
+    /// injected `stall` (chaos testing; see [`Job::stall`]).
+    ///
+    /// With a deadline, a generation whose worker lanes do not finish in
+    /// time is abandoned: every unfinished lane is fenced at its next role
+    /// boundary, the pool is poisoned, and `Err(PoolTimeout)` is returned.
+    /// The launching thread's own lane 0 always runs to completion first —
+    /// the watchdog starts after it, so the effective deadline is measured
+    /// from the end of lane 0's roles.
+    ///
+    /// Inline paths (1 effective lane, nested dispatch, poisoned pool)
+    /// ignore both the deadline and the stall and always return `Ok`.
+    fn run_guarded(
+        &self,
+        roles: usize,
+        deadline: Option<Duration>,
+        stall: Option<(usize, Duration)>,
+        task: &(dyn Fn(usize) + Sync),
+    ) -> Result<(), PoolTimeout> {
         if roles == 0 {
-            return;
+            return Ok(());
         }
         let lanes = self.lanes.min(roles);
-        if lanes == 1 || IN_POOL.get() {
-            // Single lane, or nested dispatch from inside a pool lane:
-            // play every role inline, in order.
+        if lanes == 1 || IN_POOL.get() || self.poisoned() {
+            // Single lane, nested dispatch from inside a pool lane, or a
+            // poisoned pool (stragglers may still be draining — publishing
+            // would corrupt the generation bookkeeping): play every role
+            // inline, in order.
             for role in 0..roles {
                 task(role);
             }
-            return;
+            return Ok(());
         }
         self.ensure_threads();
 
@@ -163,9 +246,19 @@ impl WorkerPool {
             task: erase(task),
             lanes,
             roles,
+            // Lane 0 is the launching thread (it runs the watchdog), so a
+            // stall can only target a worker lane.
+            stall: stall.filter(|&(l, _)| l >= 1 && l < lanes),
         };
         {
             let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            // Reset fences for the participating lanes. Publishing is only
+            // reached when the previous generation fully completed (a
+            // poisoned pool runs inline above), so no straggler can observe
+            // the reset.
+            for slot in &self.inner.lane_state[..lanes] {
+                slot.store(LANE_IDLE, Ordering::SeqCst);
+            }
             st.job = Some(job);
             st.outstanding = lanes - 1;
             st.generation = st.generation.wrapping_add(1);
@@ -183,19 +276,88 @@ impl WorkerPool {
         }));
         IN_POOL.set(false);
 
-        let worker_panic = {
-            let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-            while st.outstanding > 0 {
-                st = self.inner.done.wait(st).unwrap_or_else(|e| e.into_inner());
-            }
-            st.job = None;
-            st.panic.take()
-        };
+        let outcome = self.await_generation(lanes, deadline);
         if let Err(p) = lane0 {
             resume_unwind(p);
         }
-        if let Some(p) = worker_panic {
-            resume_unwind(p);
+        match outcome {
+            Ok(Some(p)) => resume_unwind(p),
+            Ok(None) => Ok(()),
+            Err(t) => Err(t),
+        }
+    }
+
+    /// Waits for the worker lanes of the current generation, enforcing the
+    /// watchdog deadline. Returns a worker panic payload on clean
+    /// completion, or `Err` after abandoning the generation.
+    #[allow(clippy::type_complexity)]
+    fn await_generation(
+        &self,
+        lanes: usize,
+        deadline: Option<Duration>,
+    ) -> Result<Option<Box<dyn std::any::Any + Send + 'static>>, PoolTimeout> {
+        let inner = &self.inner;
+        let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(deadline) = deadline else {
+            while st.outstanding > 0 {
+                st = inner.done.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.job = None;
+            return Ok(st.panic.take());
+        };
+
+        let start = Instant::now();
+        let mut fenced_any = false;
+        loop {
+            if st.outstanding == 0 && !fenced_any {
+                // Clean completion: no lane was ever fenced, so every role
+                // ran.
+                st.job = None;
+                return Ok(st.panic.take());
+            }
+            match deadline.checked_sub(start.elapsed()) {
+                Some(remaining) if !fenced_any => {
+                    let (guard, _) = inner
+                        .done
+                        .wait_timeout(st, remaining)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                }
+                _ => {
+                    // Deadline expired: abandon the generation. Fence every
+                    // worker lane at its next role boundary; a lane observed
+                    // BUSY is inside kernel code and cannot be abandoned
+                    // soundly — keep waiting for it. Once a lane has been
+                    // fenced we are committed to the timeout: its remaining
+                    // roles are lost, so the generation can never be
+                    // reported as complete.
+                    let mut all_fenced = true;
+                    for slot in &inner.lane_state[1..lanes] {
+                        match slot.compare_exchange(
+                            LANE_IDLE,
+                            LANE_FENCED,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        ) {
+                            Ok(_) => fenced_any = true,
+                            Err(LANE_FENCED) => {}
+                            Err(_) => all_fenced = false,
+                        }
+                    }
+                    if all_fenced {
+                        st.poisoned = true;
+                        st.job = None;
+                        // Timeout takes precedence over any partial panic.
+                        st.panic = None;
+                        return Err(PoolTimeout { deadline });
+                    }
+                    let (guard, _) = inner
+                        .done
+                        .wait_timeout(st, Duration::from_millis(1))
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                }
+            }
         }
     }
 
@@ -286,6 +448,79 @@ impl WorkerPool {
         });
     }
 
+    /// [`Self::parallel_for`] with a watchdog `deadline` and an optional
+    /// injected `stall` (see [`Self::run_guarded`]). Inline fast paths
+    /// (single worker, small counts) cannot time out and return `Ok`.
+    pub fn parallel_for_guarded<F>(
+        &self,
+        count: usize,
+        workers: usize,
+        chunk: usize,
+        deadline: Option<Duration>,
+        stall: Option<(usize, Duration)>,
+        body: F,
+    ) -> Result<(), PoolTimeout>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let workers = workers.max(1);
+        let chunk = chunk.max(1);
+        if count == 0 {
+            return Ok(());
+        }
+        if workers == 1 || count <= chunk {
+            for i in 0..count {
+                body(i, 0);
+            }
+            return Ok(());
+        }
+        let next = AtomicUsize::new(0);
+        self.run_guarded(workers, deadline, stall, &|worker_id| loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= count {
+                break;
+            }
+            let end = (start + chunk).min(count);
+            for i in start..end {
+                body(i, worker_id);
+            }
+        })
+    }
+
+    /// [`Self::parallel_for_static`] with a watchdog `deadline` and an
+    /// optional injected `stall` (see [`Self::run_guarded`]). The static
+    /// index → worker mapping is unchanged; a timeout abandons the
+    /// generation, so the caller must treat the work as not done.
+    pub fn parallel_for_static_guarded<F>(
+        &self,
+        count: usize,
+        workers: usize,
+        deadline: Option<Duration>,
+        stall: Option<(usize, Duration)>,
+        body: F,
+    ) -> Result<(), PoolTimeout>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let workers = workers.max(1).min(count.max(1));
+        if count == 0 {
+            return Ok(());
+        }
+        if workers == 1 {
+            for i in 0..count {
+                body(i, 0);
+            }
+            return Ok(());
+        }
+        self.run_guarded(workers, deadline, stall, &|worker_id| {
+            let mut i = worker_id;
+            while i < count {
+                body(i, worker_id);
+                i += workers;
+            }
+        })
+    }
+
     /// Splits `data` into consecutive chunks of `chunk` elements (the last
     /// may be short) and runs `body(chunk_index, chunk_slice)` for each,
     /// spreading chunks over `workers` roles.
@@ -359,14 +594,41 @@ fn worker_loop(lane: usize, inner: &PoolInner) {
             }
         };
 
+        // Injected stall (chaos testing): sleep at the generation boundary,
+        // before claiming any role. The lane is IDLE throughout, so the
+        // watchdog can fence it and return without waiting out the sleep.
+        if let Some((stall_lane, dur)) = job.stall {
+            if stall_lane == lane {
+                std::thread::sleep(dur);
+            }
+        }
+
         IN_POOL.set(true);
         let result = catch_unwind(AssertUnwindSafe(|| {
-            // SAFETY: see `Job`: the launching thread keeps the pointee
-            // alive until this generation completes.
-            let task = unsafe { &*job.task };
+            let fence = &inner.lane_state[lane];
             let mut role = lane;
             while role < job.roles {
+                if fence
+                    .compare_exchange(LANE_IDLE, LANE_BUSY, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    // Fenced: the generation was abandoned on timeout and
+                    // the job pointer may dangle. Stop without touching it.
+                    break;
+                }
+                // SAFETY: see `Job`: the launching thread keeps the pointee
+                // alive until the generation completes or is abandoned, and
+                // abandonment only proceeds once this lane is fenced — which
+                // the BUSY fence state just excluded for the duration of
+                // this role.
+                let task = unsafe { &*job.task };
                 task(role);
+                if fence
+                    .compare_exchange(LANE_BUSY, LANE_IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    break;
+                }
                 role += job.lanes;
             }
         }));
@@ -711,5 +973,112 @@ mod tests {
             total.fetch_add(i as u64, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Watchdog / abandonment coverage.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn guarded_without_deadline_matches_plain_dispatch() {
+        let pool = WorkerPool::new(4);
+        let total = AtomicU64::new(0);
+        pool.parallel_for_static_guarded(997, 4, None, None, |i, _| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        })
+        .expect("no deadline, cannot time out");
+        assert_eq!(total.load(Ordering::Relaxed), 996 * 997 / 2);
+        assert!(!pool.poisoned());
+    }
+
+    #[test]
+    fn guarded_completes_within_generous_deadline() {
+        let pool = WorkerPool::new(4);
+        let total = AtomicU64::new(0);
+        pool.parallel_for_guarded(2000, 4, 16, Some(Duration::from_secs(30)), None, |i, _| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        })
+        .expect("well within deadline");
+        assert_eq!(total.load(Ordering::Relaxed), 1999 * 2000 / 2);
+        assert!(!pool.poisoned());
+    }
+
+    #[test]
+    fn stall_shorter_than_deadline_recovers_without_timeout() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..30).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_static_guarded(
+            30,
+            3,
+            Some(Duration::from_secs(30)),
+            Some((1, Duration::from_millis(10))),
+            |i, _| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            },
+        )
+        .expect("stall ends before the deadline");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(!pool.poisoned());
+    }
+
+    #[test]
+    fn watchdog_times_out_stalled_lane_within_deadline_and_poisons_pool() {
+        let pool = WorkerPool::new(3);
+        let stall = Duration::from_millis(400);
+        let start = Instant::now();
+        let result = pool.parallel_for_static_guarded(
+            30,
+            3,
+            Some(Duration::from_millis(30)),
+            Some((1, stall)),
+            |_, _| {},
+        );
+        let elapsed = start.elapsed();
+        assert_eq!(
+            result,
+            Err(PoolTimeout {
+                deadline: Duration::from_millis(30)
+            })
+        );
+        assert!(
+            elapsed < stall,
+            "watchdog must return well before the {stall:?} stall ends, took {elapsed:?}"
+        );
+        assert!(pool.poisoned());
+
+        // A poisoned pool still produces correct results — inline, without
+        // publishing a generation the stragglers could corrupt.
+        let total = AtomicU64::new(0);
+        pool.parallel_for(100, 3, 4, |i, w| {
+            assert_eq!(w, 0, "poisoned pool must dispatch inline");
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn rebuilding_a_poisoned_pool_restores_parallel_dispatch() {
+        let mut pool = WorkerPool::new(3);
+        let r = pool.parallel_for_static_guarded(
+            30,
+            3,
+            Some(Duration::from_millis(20)),
+            Some((2, Duration::from_millis(200))),
+            |_, _| {},
+        );
+        assert!(r.is_err());
+        assert!(pool.poisoned());
+
+        // Tear down (joins the straggler) and rebuild — the very next
+        // dispatch must run parallel again.
+        pool = WorkerPool::new(3);
+        assert!(!pool.poisoned());
+        let hits: Vec<AtomicUsize> = (0..60).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_static_guarded(60, 3, Some(Duration::from_secs(30)), None, |i, w| {
+            assert_eq!(i % 3, w);
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("rebuilt pool dispatches normally");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 }

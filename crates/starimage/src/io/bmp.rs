@@ -108,8 +108,20 @@ pub fn read_bmp_gray8<R: Read>(r: &mut R) -> Result<(usize, usize, Vec<u8>), Ima
         )));
     }
     let (width, height) = (width as usize, height as usize);
+    // Cap declared dimensions (16k per side) so a malformed header can
+    // neither overflow the size arithmetic nor reserve absurd memory.
+    const MAX_DIM: usize = 1 << 14;
+    if width > MAX_DIM || height > MAX_DIM {
+        return Err(ImageError::Format(format!(
+            "BMP dimensions {width}x{height} exceed the {MAX_DIM}-pixel-per-side cap"
+        )));
+    }
     let row_stride = (width + 3) & !3;
-    need(data_offset + row_stride * height)?;
+    let pixel_end = row_stride
+        .checked_mul(height)
+        .and_then(|px| px.checked_add(data_offset))
+        .ok_or_else(|| ImageError::Format("BMP size arithmetic overflows".into()))?;
+    need(pixel_end)?;
 
     let mut gray = vec![0u8; width * height];
     for y in 0..height {
@@ -188,5 +200,41 @@ mod tests {
     fn mismatched_payload_panics() {
         let mut buf = Vec::new();
         let _ = write_bmp_gray8(&mut buf, 4, 4, &[0; 3]);
+    }
+
+    #[test]
+    fn truncated_header_detected() {
+        let mut buf = Vec::new();
+        write_bmp_gray8(&mut buf, 4, 4, &[1; 16]).unwrap();
+        for cut in [1usize, 13, 30, 53] {
+            let short = &buf[..cut];
+            assert!(
+                matches!(read_bmp_gray8(&mut &short[..]), Err(ImageError::Format(_))),
+                "cut at {cut} must fail cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_declared_dimensions_rejected() {
+        let mut buf = Vec::new();
+        write_bmp_gray8(&mut buf, 2, 2, &[0; 4]).unwrap();
+        // Declare i32::MAX × i32::MAX in the header of a tiny file.
+        buf[18..22].copy_from_slice(&i32::MAX.to_le_bytes());
+        buf[22..26].copy_from_slice(&i32::MAX.to_le_bytes());
+        let msg = read_bmp_gray8(&mut &buf[..]).unwrap_err().to_string();
+        assert!(
+            msg.contains("cap"),
+            "expected the dimension cap, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn short_pixel_payload_names_the_shortfall() {
+        let mut buf = Vec::new();
+        write_bmp_gray8(&mut buf, 8, 8, &[3; 64]).unwrap();
+        buf.truncate(buf.len() - 40);
+        let msg = read_bmp_gray8(&mut &buf[..]).unwrap_err().to_string();
+        assert!(msg.contains("need"), "got: {msg}");
     }
 }

@@ -44,6 +44,11 @@ pub fn write_pgm_ascii<W: Write>(w: &mut W, img: &ImageF32, map: GrayMap) -> io:
     out.flush()
 }
 
+/// Upper bound on decoded pixels (2²⁸ ≈ 268 M, a 16k×16k frame): a
+/// malformed header cannot make the reader reserve memory for dimensions
+/// the payload could never back.
+pub const MAX_PIXELS: usize = 1 << 28;
+
 /// A decoded PGM image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pgm {
@@ -121,15 +126,27 @@ pub fn read_pgm<R: Read>(r: &mut R) -> Result<Pgm, ImageError> {
     if maxval == 0 || maxval > 65535 {
         return Err(ImageError::Format(format!("PGM: bad maxval {maxval}")));
     }
-    let n = width as usize * height as usize;
-    let mut samples = Vec::with_capacity(n);
-    if binary {
+    let n = (width as usize)
+        .checked_mul(height as usize)
+        .filter(|&n| n <= MAX_PIXELS)
+        .ok_or_else(|| {
+            ImageError::Format(format!(
+                "PGM: declared size {width}x{height} exceeds the {MAX_PIXELS}-pixel cap"
+            ))
+        })?;
+    // Validate the payload BEFORE reserving sample memory: a malformed
+    // header must fail with a format error, never an allocation.
+    let samples = if binary {
         pos += 1; // single whitespace after maxval
         let wide = maxval > 255;
         let bytes_needed = n * if wide { 2 } else { 1 };
         if buf.len() < pos + bytes_needed {
-            return Err(ImageError::Format("PGM: truncated pixel data".into()));
+            return Err(ImageError::Format(format!(
+                "PGM: truncated pixel data (need {bytes_needed} bytes, have {})",
+                buf.len().saturating_sub(pos)
+            )));
         }
+        let mut samples = Vec::with_capacity(n);
         if wide {
             for c in buf[pos..pos + bytes_needed].chunks_exact(2) {
                 samples.push(u16::from_be_bytes([c[0], c[1]]));
@@ -137,7 +154,17 @@ pub fn read_pgm<R: Read>(r: &mut R) -> Result<Pgm, ImageError> {
         } else {
             samples.extend(buf[pos..pos + bytes_needed].iter().map(|&b| b as u16));
         }
+        samples
     } else {
+        // ASCII samples need at least one digit plus a separator each, so
+        // the remaining bytes bound the sample count before any reserve.
+        let remaining = buf.len().saturating_sub(skip_ws(&buf, pos));
+        if remaining < 2 * n - 1 {
+            return Err(ImageError::Format(format!(
+                "PGM: truncated ASCII pixel data ({remaining} bytes cannot hold {n} samples)"
+            )));
+        }
+        let mut samples = Vec::with_capacity(n);
         let mut p = pos;
         for _ in 0..n {
             let (v, np) = number(&buf, p)?;
@@ -149,7 +176,8 @@ pub fn read_pgm<R: Read>(r: &mut R) -> Result<Pgm, ImageError> {
             samples.push(v as u16);
             p = np;
         }
-    }
+        samples
+    };
     Ok(Pgm {
         width: width as usize,
         height: height as usize,
@@ -210,5 +238,45 @@ mod tests {
         assert!(read_pgm(&mut &b"P5\n2 2\n255\nab"[..]).is_err()); // truncated
         assert!(read_pgm(&mut &b"P2\n1 1\n255\n300\n"[..]).is_err()); // > maxval
         assert!(read_pgm(&mut &b"P5\n1 1\n99999\nx"[..]).is_err()); // maxval
+    }
+
+    #[test]
+    fn truncated_headers_fail_cleanly() {
+        for fixture in [
+            &b""[..],
+            &b"P5"[..],
+            &b"P5\n4"[..],
+            &b"P5\n4 4"[..],
+            &b"P5\n4 4\n255"[..],        // header complete, zero payload
+            &b"P2\n2 2\n255\n1 2 3"[..], // one ASCII sample short
+        ] {
+            let err = read_pgm(&mut &fixture[..]).unwrap_err();
+            assert!(
+                matches!(err, ImageError::Format(_)),
+                "fixture {fixture:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_declared_dimensions_fail_before_allocating() {
+        // 4 G × 4 G pixels declared in an 18-byte file: the reader must
+        // reject the header, not reserve the claimed memory.
+        let huge = b"P5\n4294967295 4294967295\n255\nxx";
+        let err = read_pgm(&mut &huge[..]).unwrap_err();
+        assert!(
+            err.to_string().contains("cap"),
+            "expected the pixel-cap error, got {err}"
+        );
+        // Same for the ASCII variant.
+        let huge = b"P2\n100000 100000\n255\n1 2 3\n";
+        assert!(read_pgm(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn short_binary_payload_reports_byte_counts() {
+        let short = b"P5\n4 4\n255\nabcde"; // 5 of 16 bytes
+        let msg = read_pgm(&mut &short[..]).unwrap_err().to_string();
+        assert!(msg.contains("16"), "message should name the need: {msg}");
     }
 }

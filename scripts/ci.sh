@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full offline CI gate: format, lint, build, test, bench smokes.
-# Writes BENCH_PR1.json (executor speedup headline) and BENCH_PR2.json
-# (sustained-throughput headline) to the repo root.
+# Writes BENCH_PR1.json (executor speedup headline), BENCH_PR2.json
+# (sustained-throughput headline), and BENCH_PR3.json (chaos-mode
+# overhead + seeded fault recovery) to the repo root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,3 +30,11 @@ cargo run --release -p starsim-bench -- --experiment throughput --quick --out .
 
 echo "== BENCH_PR2.json"
 cat BENCH_PR2.json
+
+echo "== chaos bench smoke (seeded fault injection + recovery)"
+cargo run --release -p starsim-bench -- --chaos --seed 7 --quick --out .
+
+echo "== BENCH_PR3.json"
+cat BENCH_PR3.json
+grep -q '"bit_identical": true' BENCH_PR3.json
+grep -q '"exhausted": 0' BENCH_PR3.json
