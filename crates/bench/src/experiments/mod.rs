@@ -15,6 +15,7 @@ pub mod table3;
 pub mod test1;
 pub mod test2;
 pub mod throughput;
+pub mod trace;
 
 use std::path::PathBuf;
 
@@ -38,6 +39,12 @@ pub struct Context {
     /// modeled times are identical for any count; only host wall-clock
     /// changes.
     pub workers: Option<usize>,
+    /// Where the `trace` experiment writes its Chrome trace-event JSON
+    /// (`--trace PATH`). `None` = `<out_dir>/trace.json`.
+    pub trace_path: Option<PathBuf>,
+    /// Print the human-readable telemetry table after the `trace`
+    /// experiment (`--metrics`).
+    pub metrics: bool,
 }
 
 impl Default for Context {
@@ -48,6 +55,8 @@ impl Default for Context {
             out_dir: PathBuf::from("results"),
             exec_mode: ExecMode::default(),
             workers: None,
+            trace_path: None,
+            metrics: false,
         }
     }
 }

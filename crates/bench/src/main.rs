@@ -4,15 +4,21 @@
 //! ```text
 //! starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]
 //!               [--exec reference|batched] [--workers N] [--chaos]
+//!               [--trace PATH] [--metrics]
 //!
 //! NAME ∈ { fig2, fig9, fig10, fig11, fig12, table1, table2,
 //!          fig13, fig14, fig15, fig16, table3, ablation, contention,
 //!          devices, multigpu, streams, session, lutbuild, executor,
-//!          throughput, chaos, all }
+//!          throughput, chaos, trace, all }
 //! ```
 //!
 //! `--chaos` is shorthand for `--experiment chaos`: the fault-injection
 //! overhead gate plus a seeded recovery run (writes `BENCH_PR3.json`).
+//!
+//! `--trace PATH` is shorthand for `--experiment trace` with the Chrome
+//! trace-event JSON written to PATH (loadable in Perfetto); `--metrics`
+//! additionally prints the telemetry rollup table. The trace experiment
+//! measures the telemetry overhead gate and writes `BENCH_PR4.json`.
 //!
 //! Sequential times are measured wall-clock on this host; GPU times come
 //! from the virtual GPU's calibrated Fermi model (see `gpusim`). Shapes —
@@ -23,7 +29,7 @@ mod experiments;
 
 use experiments::{
     ablation, chaos, contention, devices, executor, fig2, lutbuild, multigpu, session, streams,
-    table3, test1, test2, throughput, Context,
+    table3, test1, test2, throughput, trace, Context,
 };
 use starsim_core::ExecMode;
 
@@ -41,6 +47,18 @@ fn main() {
             }
             "--quick" => ctx.quick = true,
             "--chaos" => experiment = String::from("chaos"),
+            "--trace" => {
+                ctx.trace_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("missing --trace path"))
+                        .into(),
+                );
+                experiment = String::from("trace");
+            }
+            "--metrics" => {
+                ctx.metrics = true;
+                experiment = String::from("trace");
+            }
             "--seed" => {
                 ctx.seed = args
                     .next()
@@ -164,6 +182,10 @@ fn main() {
             "Chaos mode (fault-plan overhead + seeded recovery)",
             chaos::run(&ctx),
         ),
+        "trace" => section(
+            "Telemetry (overhead gate + Perfetto trace export)",
+            trace::run(&ctx),
+        ),
         "all" => {
             let t1 = t1.as_ref().unwrap();
             let t2 = t2.as_ref().unwrap();
@@ -206,6 +228,10 @@ fn main() {
                 "Chaos mode (fault-plan overhead + seeded recovery)",
                 chaos::run(&ctx),
             );
+            section(
+                "Telemetry (overhead gate + Perfetto trace export)",
+                trace::run(&ctx),
+            );
         }
         other => usage(&format!("unknown experiment `{other}`")),
     }
@@ -217,10 +243,10 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]\n\
-                      [--exec reference|batched] [--workers N]\n\
+                      [--exec reference|batched] [--workers N] [--trace PATH] [--metrics]\n\
          NAME: fig2 fig9 fig10 fig11 fig12 table1 table2 fig13 fig14 fig15 fig16\n\
                table3 ablation contention devices multigpu streams session lutbuild\n\
-               executor throughput all (default)"
+               executor throughput chaos trace all (default)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

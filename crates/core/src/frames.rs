@@ -9,7 +9,9 @@
 //! resident across frames) → one [`SimulationReport`] per frame, with the
 //! slew-dependent smear applied automatically when it matters.
 
-use gpusim::VirtualGpu;
+use std::sync::Arc;
+
+use gpusim::{GpuDiagnostics, VirtualGpu};
 use psf::smear::SmearedGaussianPsf;
 use starfield::dynamics::AttitudeDynamics;
 use starfield::fov::SkyCatalog;
@@ -20,6 +22,7 @@ use crate::error::SimError;
 use crate::report::SimulationReport;
 use crate::resilience::{ResilienceReport, RetryPolicy};
 use crate::session::AdaptiveSession;
+use crate::telemetry::{maybe_span, FrameTelemetry, Telemetry};
 
 /// A clocked, attitude-propagating frame source.
 pub struct FrameSequencer {
@@ -130,6 +133,19 @@ impl FrameSequencer {
         self
     }
 
+    /// Attaches a telemetry sink: every frame records spans, metrics and
+    /// device launch traces, and [`Self::run_frames`] reports carry a
+    /// [`FrameTelemetry`] rollup.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.session.set_telemetry(Some(telemetry));
+        self
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.session.telemetry()
+    }
+
     /// Cumulative resilience accounting for the underlying session.
     pub fn resilience_report(&self) -> ResilienceReport {
         self.session.resilience_report()
@@ -152,11 +168,14 @@ impl FrameSequencer {
 
     /// Renders the next frame and advances the clock and attitude.
     pub fn next_frame(&mut self) -> Result<Frame, SimError> {
+        let _frame_span = maybe_span(self.session.telemetry(), "frame");
         let attitude = self.dynamics.attitude;
         let config = self.config();
+        let star_gen = maybe_span(self.session.telemetry(), "star-gen");
         let catalog = self
             .sky
             .view(attitude, &self.camera, config.roi_side as f32);
+        drop(star_gen);
         let report = self.session.render(&catalog)?;
         let frame = Frame {
             index: (self.time_s / self.frame_dt).round() as u64,
@@ -188,11 +207,14 @@ impl FrameSequencer {
         let mut app_time_s = 0.0;
         let start = std::time::Instant::now();
         for _ in 0..n {
+            let _frame_span = maybe_span(self.session.telemetry(), "frame");
             let attitude = self.dynamics.attitude;
             let config = self.config();
+            let star_gen = maybe_span(self.session.telemetry(), "star-gen");
             let catalog = self
                 .sky
                 .view(attitude, &self.camera, config.roi_side as f32);
+            drop(star_gen);
             let timing = self.session.render_into(&catalog, &mut host)?;
             latencies_s.push(timing.wall_time_s);
             app_time_s += timing.app_time_s;
@@ -208,6 +230,12 @@ impl FrameSequencer {
             p99_ms: percentile_ms(&latencies_s, 99.0),
             mean_app_time_s: app_time_s / n as f64,
             resilience: self.session.resilience_report(),
+            diagnostics: self.session.diagnostics(),
+            telemetry: self
+                .session
+                .telemetry()
+                .map(|t| t.frame_telemetry())
+                .map(Box::new),
         })
     }
 }
@@ -220,7 +248,7 @@ fn percentile_ms(sorted_s: &[f64], q: f64) -> f64 {
 }
 
 /// Sustained host throughput over a [`FrameSequencer::run_frames`] burst.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ThroughputReport {
     /// Frames rendered.
     pub frames: usize,
@@ -236,6 +264,14 @@ pub struct ThroughputReport {
     /// cumulative for the session as of the end of the burst (all-zero on
     /// a fault-free run).
     pub resilience: ResilienceReport,
+    /// Device resilience counters at the end of the burst, so frame-loop
+    /// callers see pool rebuilds / checksum catches / arena drops without
+    /// holding a device reference.
+    pub diagnostics: GpuDiagnostics,
+    /// Telemetry rollup (span stages, launch counts, metrics) when a sink
+    /// is attached ([`FrameSequencer::with_telemetry`]); `None` otherwise.
+    /// Boxed: the rollup is much larger than the scalar fields.
+    pub telemetry: Option<Box<FrameTelemetry>>,
 }
 
 impl ThroughputReport {

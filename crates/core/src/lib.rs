@@ -38,6 +38,7 @@ pub mod sequential;
 pub mod session;
 pub mod star_record;
 pub mod streams;
+pub mod telemetry;
 pub mod validate;
 
 pub use adaptive::{AdaptiveKernel, AdaptiveSimulator};
@@ -52,8 +53,9 @@ pub use report::SimulationReport;
 pub use resilience::{ResilienceReport, RetryPolicy, Rung};
 pub use selection::{Choice, InflectionPoint};
 pub use sequential::SequentialSimulator;
-pub use session::{AdaptiveSession, FrameTiming, LutCache};
+pub use session::{AdaptiveSession, FrameTiming, LutCache, LutCacheStats};
 pub use star_record::{to_device_stars, DeviceStar};
+pub use telemetry::{FrameTelemetry, MetricsRegistry, SpanRecord, StageStats, Telemetry};
 
 use starfield::StarCatalog;
 

@@ -118,6 +118,18 @@ impl Rung {
     pub fn index(self) -> usize {
         self as usize
     }
+
+    /// Static span name for telemetry: one attempt at this rung records a
+    /// span of this name, so a trace shows exactly which ladder steps a
+    /// frame descended through.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Rung::Configured => "attempt-configured",
+            Rung::SpawnDispatch => "attempt-spawn-dispatch",
+            Rung::ReferenceExec => "attempt-reference-exec",
+            Rung::DirectPsf => "attempt-direct-psf",
+        }
+    }
 }
 
 /// Counters describing what the resilient frame loop saw and did.

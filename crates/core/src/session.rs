@@ -30,6 +30,7 @@ use crate::parallel::StarCentricKernel;
 use crate::report::SimulationReport;
 use crate::resilience::{run_with_retry, ResilienceReport, RetryPolicy, Rung};
 use crate::star_record::to_device_stars;
+use crate::telemetry::{maybe_span, Telemetry};
 
 /// Everything the lookup-table build depends on, hashable. Floats are
 /// compared by bit pattern: two configs share a table exactly when every
@@ -93,6 +94,23 @@ pub struct LutCache {
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`LutCache`] accounting, cheap to copy
+/// into telemetry reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LutCacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that had to build a table.
+    pub misses: u64,
+    /// Tables displaced by the LRU bound.
+    pub evictions: u64,
+    /// Tables currently resident.
+    pub len: usize,
+    /// Maximum resident tables.
+    pub capacity: usize,
 }
 
 impl Default for LutCache {
@@ -123,6 +141,7 @@ impl LutCache {
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -149,6 +168,24 @@ impl LutCache {
     /// Lookups that had to build.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Tables evicted by the LRU bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// All counters plus occupancy in one consistent-enough snapshot
+    /// (each field is individually exact; the set is racy under
+    /// concurrent use, like any monitoring read).
+    pub fn stats(&self) -> LutCacheStats {
+        LutCacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            len: self.len(),
+            capacity: self.capacity,
+        }
     }
 
     /// Returns the cached table for `config`, building (and caching) it on
@@ -187,6 +224,7 @@ impl LutCache {
                 break; // unreachable: map is non-empty above capacity ≥ 1
             };
             map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         map.insert(
             key,
@@ -241,6 +279,9 @@ pub struct AdaptiveSession {
     retry: Option<RetryPolicy>,
     /// Host-side resilience accounting (faults, retries, rungs).
     stats: Mutex<ResilienceReport>,
+    /// When set, every render path records spans and metrics here (and
+    /// the device records launch traces into the same sink's timeline).
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl AdaptiveSession {
@@ -288,8 +329,56 @@ impl AdaptiveSession {
         config.validate()?;
         let builder = AdaptiveSimulator::on(VirtualGpu::new(gpu.spec().clone()));
         let lut = Arc::new(builder.build_lut(&config)?);
-        let mut session = Self::with_lut_retry(gpu, config, lut, lut_build_time_s, Some(policy))?;
+        let mut session =
+            Self::with_lut_retry(gpu, config, lut, lut_build_time_s, Some(policy), None)?;
         session.retry = Some(policy);
+        Ok(session)
+    }
+
+    /// Opens a fully observable session: spans for every setup and render
+    /// stage, cache and frame metrics, and device launch traces all land
+    /// in `telemetry`. With a `cache`, the lookup table goes through it
+    /// (recording `lut_cache.*` counters); without one it is built fresh.
+    pub fn on_telemetry(
+        gpu: VirtualGpu,
+        config: SimConfig,
+        cache: Option<&LutCache>,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        let setup_span = telemetry.span("session-setup");
+        let (lut, charge): (Arc<LookupTable>, fn(&LookupTable) -> f64) = {
+            let _build = telemetry.span("lut-build");
+            match cache {
+                Some(cache) => {
+                    let (lut, hit) = cache.get_or_build(&gpu, &config)?;
+                    let stats = cache.stats();
+                    let metrics = telemetry.metrics();
+                    metrics.counter_add(
+                        if hit {
+                            "lut_cache.hits"
+                        } else {
+                            "lut_cache.misses"
+                        },
+                        1,
+                    );
+                    metrics.gauge_set("lut_cache.len", stats.len as f64);
+                    metrics.gauge_set("lut_cache.evictions", stats.evictions as f64);
+                    let charge: fn(&LookupTable) -> f64 = if hit {
+                        zero_build_time
+                    } else {
+                        lut_build_time_s
+                    };
+                    (lut, charge)
+                }
+                None => {
+                    let builder = AdaptiveSimulator::on(VirtualGpu::new(gpu.spec().clone()));
+                    (Arc::new(builder.build_lut(&config)?), lut_build_time_s)
+                }
+            }
+        };
+        let session = Self::with_lut_retry(gpu, config, lut, charge, None, Some(telemetry))?;
+        drop(setup_span);
         Ok(session)
     }
 
@@ -302,7 +391,7 @@ impl AdaptiveSession {
         lut: Arc<LookupTable>,
         build_charge: fn(&LookupTable) -> f64,
     ) -> Result<Self, SimError> {
-        Self::with_lut_retry(gpu, config, lut, build_charge, None)
+        Self::with_lut_retry(gpu, config, lut, build_charge, None, None)
     }
 
     /// Constructor tail with an optional bind-retry policy: a transient
@@ -315,11 +404,18 @@ impl AdaptiveSession {
         lut: Arc<LookupTable>,
         build_charge: fn(&LookupTable) -> f64,
         retry: Option<RetryPolicy>,
+        telemetry: Option<Arc<Telemetry>>,
     ) -> Result<Self, SimError> {
-        let gpu = match config.workers {
+        let mut gpu = match config.workers {
             Some(w) => gpu.with_workers(w),
             None => gpu,
         };
+        if let Some(t) = &telemetry {
+            // After `with_workers`: a rebuilt pool starts with its lane
+            // rings gated off, and this re-propagates the gate.
+            gpu.set_telemetry(Some(t.gpu_sink()));
+        }
+        let _bind_span = maybe_span(telemetry.as_ref(), "texture-bind");
         let build_time = build_charge(&lut);
         let side = config.roi_side;
         let mut stats = ResilienceReport::default();
@@ -351,6 +447,7 @@ impl AdaptiveSession {
             frames_rendered: std::cell::Cell::new(0),
             retry: None,
             stats: Mutex::new(stats),
+            telemetry,
         })
     }
 
@@ -389,6 +486,31 @@ impl AdaptiveSession {
         report
     }
 
+    /// Attaches a telemetry sink after construction: subsequent renders
+    /// record spans/metrics and the device records launch traces.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.set_telemetry(Some(telemetry));
+        self
+    }
+
+    /// Attaches or detaches the telemetry sink in place.
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<Telemetry>>) {
+        self.gpu
+            .set_telemetry(telemetry.as_ref().map(|t| t.gpu_sink()));
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// The device's resilience counters (pool rebuilds, checksum catches,
+    /// panics, timeouts, arena drops) without handing out the device.
+    pub fn diagnostics(&self) -> gpusim::GpuDiagnostics {
+        self.gpu.diagnostics()
+    }
+
     /// The session's device (for fault-plan wiring in tests and benches).
     pub fn gpu(&self) -> &VirtualGpu {
         &self.gpu
@@ -424,11 +546,14 @@ impl AdaptiveSession {
         rung: Rung,
     ) -> Result<(gpusim::KernelProfile, f64), SimError> {
         let config = &self.config;
+        let upload_span = maybe_span(self.telemetry.as_ref(), "star-upload");
         let (stars, t_stars) = self.gpu.try_upload(to_device_stars(catalog.stars()))?;
         let t_img_up = self
             .gpu
             .transfer_model()
             .time(gpusim::MemcpyKind::HostToDevice, config.pixels() * 4);
+        drop(upload_span);
+        let _launch_span = maybe_span(self.telemetry.as_ref(), "kernel-launch");
 
         let star_count = catalog.len();
         let mode = if rung >= Rung::ReferenceExec {
@@ -471,6 +596,7 @@ impl AdaptiveSession {
     /// profile carries **no** lookup-table build or texture-binding items —
     /// they were paid at session setup.
     pub fn render(&self, catalog: &StarCatalog) -> Result<SimulationReport, SimError> {
+        let _render_span = maybe_span(self.telemetry.as_ref(), "render");
         let wall_start = Instant::now();
         let mut profile = AppProfile::new();
         let config = &self.config;
@@ -486,6 +612,7 @@ impl AdaptiveSession {
         let (kernel_profile, t_up) = self.launch_frame(catalog, image_dev, Rung::Configured)?;
         profile.kernels.push(kernel_profile);
 
+        let download_span = maybe_span(self.telemetry.as_ref(), "download");
         let (host_pixels, t_down) = if self.frame_reuse {
             // Drain the persistent device image so the next frame starts
             // from zero, exactly like a fresh allocation.
@@ -495,9 +622,11 @@ impl AdaptiveSession {
         } else {
             self.gpu.try_download(image_dev)?
         };
+        drop(download_span);
         profile.push_overhead("CPU-GPU transmission", t_up + t_down);
 
         self.frames_rendered.set(self.frames_rendered.get() + 1);
+        self.note_frame_metrics(wall_start.elapsed().as_secs_f64());
         let image = ImageF32::from_data(config.width, config.height, host_pixels);
         let app_time_s = profile.app_time();
         Ok(SimulationReport {
@@ -529,6 +658,7 @@ impl AdaptiveSession {
         catalog: &StarCatalog,
         host: &mut Vec<f32>,
     ) -> Result<FrameTiming, SimError> {
+        let _render_span = maybe_span(self.telemetry.as_ref(), "render");
         let result = match self.retry {
             None => self.render_attempt(catalog, host, Rung::Configured),
             Some(policy) => {
@@ -544,10 +674,21 @@ impl AdaptiveSession {
                 })
             }
         };
-        if result.is_ok() {
+        if let Ok(timing) = &result {
             self.frames_rendered.set(self.frames_rendered.get() + 1);
+            self.note_frame_metrics(timing.wall_time_s);
         }
         result
+    }
+
+    /// Per-frame metric rollup, recorded once per successful frame.
+    fn note_frame_metrics(&self, wall_s: f64) {
+        if let Some(t) = &self.telemetry {
+            let metrics = t.metrics();
+            metrics.counter_add("frames.rendered", 1);
+            metrics.observe("frame.wall_ms", wall_s * 1e3);
+            metrics.gauge_set("arena.pooled", self.gpu.arena_pooled() as f64);
+        }
     }
 
     /// One attempt of the zero-allocation frame path at `rung`.
@@ -557,6 +698,7 @@ impl AdaptiveSession {
         host: &mut Vec<f32>,
         rung: Rung,
     ) -> Result<FrameTiming, SimError> {
+        let _attempt_span = maybe_span(self.telemetry.as_ref(), rung.span_name());
         let spawn = rung >= Rung::SpawnDispatch;
         if spawn {
             // Sidestep the worker pool: spawn dispatch survives a poisoned
@@ -585,6 +727,7 @@ impl AdaptiveSession {
             &fresh_image
         };
         let (kernel_profile, t_up) = self.launch_frame(catalog, image_dev, rung)?;
+        let _download_span = maybe_span(self.telemetry.as_ref(), "download");
         let t_down = if self.frame_reuse {
             self.gpu.try_download_take(image_dev, host)?
         } else {

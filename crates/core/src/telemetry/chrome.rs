@@ -1,0 +1,187 @@
+//! Chrome trace-event JSON exporter (the "JSON Array Format" with a
+//! `traceEvents` wrapper object), loadable in Perfetto or
+//! `chrome://tracing`.
+//!
+//! Layout of the emitted trace:
+//!
+//! * **pid 1 — "host"**: every span as a complete (`"ph": "X"`) event,
+//!   one tid per recording thread. Nesting falls out of the timestamps;
+//!   span/parent IDs are kept in `args` for tooling.
+//! * **pid 2 — "gpu"**: per-launch rows — the launch itself on tid 0,
+//!   its dispatch window on tid 1, its merge window on tid 2, and every
+//!   drained lane event as an instant (`"ph": "i"`) on tid 100+lane.
+//!
+//! Timestamps are epoch-relative microseconds straight from the shared
+//! telemetry clock, so host and device rows line up.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use super::Telemetry;
+
+/// Serializes `telemetry` (spans + device launches) as Chrome
+/// trace-event JSON.
+pub fn chrome_trace_json(telemetry: &Telemetry) -> String {
+    let spans = telemetry.snapshot_spans();
+    let launches = telemetry.snapshot_gpu_launches();
+    let mut events: Vec<String> = Vec::with_capacity(spans.len() + launches.len() * 4 + 4);
+
+    // Process/thread metadata rows.
+    for (pid, name) in [(1, "host"), (2, "gpu")] {
+        events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"{name}"}}}}"#
+        ));
+    }
+    events.push(
+        r#"{"name":"thread_name","ph":"M","pid":2,"tid":0,"args":{"name":"launches"}}"#.to_string(),
+    );
+
+    for s in &spans {
+        events.push(format!(
+            concat!(
+                r#"{{"name":{name},"cat":"host","ph":"X","ts":{ts},"dur":{dur},"#,
+                r#""pid":1,"tid":{tid},"args":{{"span":{id},"parent":{parent}}}}}"#
+            ),
+            name = quote(s.name),
+            ts = s.start_us,
+            dur = s.duration_us().max(1),
+            tid = s.thread,
+            id = s.id,
+            parent = s.parent,
+        ));
+    }
+
+    for l in &launches {
+        events.push(format!(
+            concat!(
+                r#"{{"name":{name},"cat":"gpu","ph":"X","ts":{ts},"dur":{dur},"#,
+                r#""pid":2,"tid":0,"args":{{"launch":{launch},"mode":{mode},"#,
+                r#""modeled_kernel_us":{modeled:.3}}}}}"#
+            ),
+            name = quote(&format!("gpu:{}", l.name)),
+            ts = l.start_us,
+            dur = l.end_us.saturating_sub(l.start_us).max(1),
+            launch = l.launch,
+            mode = quote(l.mode),
+            modeled = l.modeled_kernel_s * 1e6,
+        ));
+        for (tid, label, window) in [(1, "dispatch", l.dispatch_us), (2, "merge", l.merge_us)] {
+            if let Some((start, end)) = window {
+                events.push(format!(
+                    concat!(
+                        r#"{{"name":{name},"cat":"gpu","ph":"X","ts":{ts},"dur":{dur},"#,
+                        r#""pid":2,"tid":{tid},"args":{{"launch":{launch}}}}}"#
+                    ),
+                    name = quote(label),
+                    ts = start,
+                    dur = end.saturating_sub(start).max(1),
+                    tid = tid,
+                    launch = l.launch,
+                ));
+            }
+        }
+        for e in &l.lane_events {
+            events.push(format!(
+                concat!(
+                    r#"{{"name":{name},"cat":"lane","ph":"i","s":"t","ts":{ts},"#,
+                    r#""pid":2,"tid":{tid},"args":{{"lane":{lane},"generation":{gen},"#,
+                    r#""launch":{launch}}}}}"#
+                ),
+                name = quote(e.kind.label()),
+                ts = e.t_us,
+                tid = 100 + e.lane as u64,
+                lane = e.lane,
+                gen = e.generation,
+                launch = l.launch,
+            ));
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `path` (creating parent directories).
+pub fn write_chrome_trace(telemetry: &Telemetry, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(chrome_trace_json(telemetry).as_bytes())
+}
+
+/// JSON string literal with the escapes the trace needs (names are ASCII
+/// identifiers in practice; this stays correct for anything).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::json;
+    use super::*;
+
+    #[test]
+    fn quote_escapes_specials() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn exported_trace_parses_back_with_expected_shape() {
+        let t = Telemetry::new();
+        {
+            let _f = t.span("frame");
+            let _r = t.span("render");
+        }
+        let text = chrome_trace_json(&t);
+        let doc = json::parse(&text).expect("exporter must emit valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        for x in xs {
+            assert!(x.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(x.get("dur").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+            assert_eq!(x.get("pid").and_then(|v| v.as_f64()), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn write_creates_parent_directories() {
+        let t = Telemetry::new();
+        let dir = std::env::temp_dir().join("starsim_trace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("trace.json");
+        write_chrome_trace(&t, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(json::parse(&text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,216 @@
+//! The metrics layer: named counters, gauges and histograms with a
+//! deterministic snapshot order.
+//!
+//! Keys are `&'static str` (closed vocabulary, no per-record
+//! allocation); storage is `BTreeMap` so snapshots iterate in a stable
+//! order — reports and tests never depend on hash order. Histograms
+//! keep raw samples up to a bound and summarize with nearest-rank
+//! percentiles at snapshot time.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Retained samples per histogram; further observations only update the
+/// count/sum/max summary (enough for p50/p99 over any realistic frame
+/// run while bounding memory).
+const HISTOGRAM_SAMPLES: usize = 1 << 16;
+
+#[derive(Default)]
+struct Histogram {
+    samples: Vec<f64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+/// Summary statistics of one histogram at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded (including any past the sample bound).
+    pub count: u64,
+    /// Nearest-rank 50th percentile of the retained samples.
+    pub p50: f64,
+    /// Nearest-rank 99th percentile of the retained samples.
+    pub p99: f64,
+    /// Mean over all observations.
+    pub mean: f64,
+    /// Maximum over all observations.
+    pub max: f64,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A registry of counters (monotone), gauges (last value wins) and
+/// histograms (distribution summaries), all keyed by static names.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (created at zero).
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        *inner.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.gauges.insert(name, value);
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&self, name: &'static str, value: f64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let h = inner.histograms.entry(name).or_default();
+        if h.samples.len() < HISTOGRAM_SAMPLES {
+            h.samples.push(value);
+        }
+        h.count += 1;
+        h.sum += value;
+        h.max = if h.count == 1 {
+            value
+        } else {
+            h.max.max(value)
+        };
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.gauges.get(name).copied()
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.counters.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> Vec<(&'static str, f64)> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.gauges.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// All histograms in name order, summarized.
+    pub fn histograms(&self) -> Vec<(&'static str, HistogramSummary)> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .histograms
+            .iter()
+            .map(|(&k, h)| (k, summarize(h)))
+            .collect()
+    }
+}
+
+fn summarize(h: &Histogram) -> HistogramSummary {
+    let mut sorted = h.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    HistogramSummary {
+        count: h.count,
+        p50: percentile(&sorted, 50.0),
+        p99: percentile(&sorted, 99.0),
+        mean: if h.count == 0 {
+            0.0
+        } else {
+            h.sum / h.count as f64
+        },
+        max: if h.count == 0 { 0.0 } else { h.max },
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.counter("absent"), 0);
+        m.counter_add("hits", 2);
+        m.counter_add("hits", 3);
+        assert_eq!(m.counter("hits"), 5);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.gauge("x"), None);
+        m.gauge_set("x", 1.5);
+        m.gauge_set("x", 2.5);
+        assert_eq!(m.gauge("x"), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let m = MetricsRegistry::new();
+        for v in 1..=100 {
+            m.observe("lat", v as f64);
+        }
+        let h = m.histograms();
+        assert_eq!(h.len(), 1);
+        let (name, s) = h[0];
+        assert_eq!(name, "lat");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_iterates_in_name_order() {
+        let m = MetricsRegistry::new();
+        m.counter_add("zeta", 1);
+        m.counter_add("alpha", 1);
+        m.counter_add("mid", 1);
+        let names: Vec<_> = m.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[1.0, 2.0], 50.0), 1.0);
+    }
+}

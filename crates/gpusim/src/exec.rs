@@ -29,8 +29,34 @@ use crate::pool::{
     default_workers, spawn_parallel_for, spawn_parallel_for_static, PoolTimeout, WorkerPool,
 };
 use crate::profiler::KernelProfile;
+use crate::telemetry::{now_us, GpuTelemetry, LaunchTrace};
 use crate::timing::{kernel_time, occupancy, CostModel};
 use crate::warp::analyze_warp;
+
+/// Host wall-clock stamps the executors record for one launch (dispatch
+/// window, and for the batched path the shadow-merge window). `Cell`s:
+/// only the launching thread writes them.
+#[derive(Default)]
+struct LaunchStamps {
+    dispatch_start: std::cell::Cell<u64>,
+    dispatch_end: std::cell::Cell<u64>,
+    merge_start: std::cell::Cell<u64>,
+    merge_end: std::cell::Cell<u64>,
+}
+
+impl LaunchStamps {
+    fn window(start: u64, end: u64) -> Option<(u64, u64)> {
+        (end > 0 && end >= start).then_some((start, end))
+    }
+
+    fn dispatch(&self) -> Option<(u64, u64)> {
+        Self::window(self.dispatch_start.get(), self.dispatch_end.get())
+    }
+
+    fn merge(&self) -> Option<(u64, u64)> {
+        Self::window(self.merge_start.get(), self.merge_end.get())
+    }
+}
 
 /// Values per transfer-verification chunk (16 KiB of `f32`): coarse enough
 /// that the checksum pass is a small fraction of the copy it guards, fine
@@ -122,6 +148,11 @@ pub struct VirtualGpu {
     /// When `false`, launches allocate caches and shadows fresh each call
     /// (the allocation baseline, see [`Self::with_buffer_reuse`]).
     reuse: bool,
+    /// Telemetry sink; `None` (the default) keeps every launch free of
+    /// trace recording and lane-event drains.
+    telemetry: Option<Arc<GpuTelemetry>>,
+    /// Sequence number for traced launches.
+    launch_seq: AtomicU64,
 }
 
 /// Counters of resilience events on a device, all monotone since device
@@ -167,6 +198,8 @@ impl VirtualGpu {
             launch_gate: Mutex::new(()),
             arena: BufferArena::new(),
             reuse: true,
+            telemetry: None,
+            launch_seq: AtomicU64::new(0),
         }
     }
 
@@ -255,6 +288,30 @@ impl VirtualGpu {
     /// on a device already built [`Self::with_spawn_dispatch`].
     pub fn set_dispatch_override(&self, spawn: bool) {
         self.spawn_override.store(spawn, Ordering::Relaxed);
+    }
+
+    /// Attaches a telemetry sink: every subsequent launch records a
+    /// [`LaunchTrace`] (start/end, dispatch and merge windows, drained
+    /// per-lane events) into it. See also [`Self::set_telemetry`].
+    pub fn with_telemetry(mut self, sink: Arc<GpuTelemetry>) -> Self {
+        self.set_telemetry(Some(sink));
+        self
+    }
+
+    /// Attaches or detaches the telemetry sink, propagating the recording
+    /// gate to the worker pool's lane rings.
+    pub fn set_telemetry(&mut self, sink: Option<Arc<GpuTelemetry>>) {
+        if let Some(pm) = &self.pool {
+            pm.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .set_telemetry(sink.is_some());
+        }
+        self.telemetry = sink;
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<GpuTelemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Resilience event counters (monotone since construction).
@@ -501,6 +558,7 @@ impl VirtualGpu {
     ) -> Result<KernelProfile, GpuError> {
         cfg.validate(&self.spec)?;
         let occ = occupancy(&self.spec, &cfg);
+        let trace_start = self.telemetry.as_ref().map(|_| now_us());
 
         // Launches are serialized like a CUDA stream-0 queue: the persistent
         // caches and arena are device state. (Poison-tolerant: a panicking
@@ -509,17 +567,21 @@ impl VirtualGpu {
 
         // A pool poisoned by a watchdog timeout is torn down (joining any
         // straggler) and rebuilt here, so the launch after a timeout runs
-        // at full parallel width again.
+        // at full parallel width again. The rebuilt pool inherits the
+        // telemetry gate (fresh rings, recording re-enabled).
         if let Some(pm) = &self.pool {
             let mut pool = pm.lock().unwrap_or_else(|e| e.into_inner());
             if pool.poisoned() {
                 *pool = WorkerPool::new(self.workers);
+                pool.set_telemetry(self.telemetry.is_some());
                 self.pool_rebuilds.fetch_add(1, Ordering::Relaxed);
             }
         }
 
         let armed = self.fault.as_ref().map(|f| f.arm());
         let armed = armed.as_ref();
+        let stamps = LaunchStamps::default();
+        let stamps_ref = self.telemetry.as_ref().map(|_| &stamps);
 
         // Kernel panics — injected or genuine — must not cross the device
         // boundary: partial counters and shadows are discarded and the
@@ -537,15 +599,21 @@ impl VirtualGpu {
                 }
                 match mode {
                     ExecMode::Reference => {
-                        self.execute_reference(kernel, &cfg, &self.caches, armed)
+                        self.execute_reference(kernel, &cfg, &self.caches, armed, stamps_ref)
                     }
-                    ExecMode::Batched => self.execute_batched(kernel, &cfg, &self.caches, armed),
+                    ExecMode::Batched => {
+                        self.execute_batched(kernel, &cfg, &self.caches, armed, stamps_ref)
+                    }
                 }
             } else {
                 let caches = Self::build_caches(&self.spec);
                 match mode {
-                    ExecMode::Reference => self.execute_reference(kernel, &cfg, &caches, armed),
-                    ExecMode::Batched => self.execute_batched(kernel, &cfg, &caches, armed),
+                    ExecMode::Reference => {
+                        self.execute_reference(kernel, &cfg, &caches, armed, stamps_ref)
+                    }
+                    ExecMode::Batched => {
+                        self.execute_batched(kernel, &cfg, &caches, armed, stamps_ref)
+                    }
                 }
             }
         }));
@@ -558,6 +626,30 @@ impl VirtualGpu {
         };
 
         let (time_s, cycles) = kernel_time(&counters, &self.spec, &self.cost, &occ);
+        if let (Some(sink), Some(start_us)) = (&self.telemetry, trace_start) {
+            // Drain the lane rings while every lane is parked (the launch
+            // gate is still held), sort across lanes, and record the trace.
+            let mut lane_events = Vec::new();
+            let mut events_dropped = 0;
+            if let Some(pm) = &self.pool {
+                let pool = pm.lock().unwrap_or_else(|e| e.into_inner());
+                pool.drain_events(&mut lane_events);
+                events_dropped = pool.events_dropped();
+            }
+            lane_events.sort_by_key(|e| e.t_us);
+            sink.record(LaunchTrace {
+                name: name.to_string(),
+                mode: mode.as_str(),
+                launch: self.launch_seq.fetch_add(1, Ordering::Relaxed),
+                start_us,
+                end_us: now_us(),
+                dispatch_us: stamps.dispatch(),
+                merge_us: stamps.merge(),
+                modeled_kernel_s: time_s,
+                lane_events,
+                events_dropped,
+            });
+        }
         Ok(KernelProfile {
             name: name.to_string(),
             time_s,
@@ -653,6 +745,7 @@ impl VirtualGpu {
         cfg: &LaunchConfig,
         caches: &[Mutex<CacheSim>],
         armed: Option<&ArmedFaults>,
+        stamps: Option<&LaunchStamps>,
     ) -> Result<Counters, GpuError> {
         let shared_counters = SharedCounters::default();
         let hazards = AtomicU64::new(0);
@@ -661,6 +754,9 @@ impl VirtualGpu {
         let sms = sm_count.min(total_blocks);
         let panic_sm = armed.and_then(|a| a.panic_sm).map(|l| l % sms.max(1));
 
+        if let Some(s) = stamps {
+            s.dispatch_start.set(now_us());
+        }
         self.dispatch_dynamic(
             sms,
             self.workers,
@@ -680,6 +776,9 @@ impl VirtualGpu {
                 shared_counters.merge(&local);
             },
         )?;
+        if let Some(s) = stamps {
+            s.dispatch_end.set(now_us());
+        }
 
         let mut counters = shared_counters.snapshot();
         counters.shared_hazards = hazards.load(Ordering::Relaxed);
@@ -697,6 +796,7 @@ impl VirtualGpu {
         cfg: &LaunchConfig,
         caches: &[Mutex<CacheSim>],
         armed: Option<&ArmedFaults>,
+        stamps: Option<&LaunchStamps>,
     ) -> Result<Counters, GpuError> {
         let sm_count = self.spec.sm_count as usize;
         let total_blocks = cfg.total_blocks();
@@ -727,6 +827,9 @@ impl VirtualGpu {
             })
             .collect();
 
+        if let Some(s) = stamps {
+            s.dispatch_start.set(now_us());
+        }
         self.dispatch_static(
             sms,
             workers,
@@ -763,6 +866,10 @@ impl VirtualGpu {
                 }
             },
         )?;
+        if let Some(s) = stamps {
+            s.dispatch_end.set(now_us());
+            s.merge_start.set(now_us());
+        }
 
         // Deterministic reduction: counters and shadows merge in worker
         // order, single-threaded.
@@ -780,6 +887,9 @@ impl VirtualGpu {
             }
         }
         counters.shared_hazards += hazards.load(Ordering::Relaxed);
+        if let Some(s) = stamps {
+            s.merge_end.set(now_us());
+        }
         Ok(counters)
     }
 
@@ -1438,6 +1548,40 @@ mod tests {
         let r = gpu.bind_texture(4, 4, 1, vec![0.0; 16]);
         assert!(matches!(r, Err(GpuError::TextureBind(_))));
         assert!(gpu.bind_texture(4, 4, 1, vec![0.0; 16]).is_ok());
+    }
+
+    #[test]
+    fn telemetry_records_launch_traces_with_lane_events() {
+        let sink = Arc::new(GpuTelemetry::new());
+        let gpu = VirtualGpu::gtx480()
+            .with_workers(4)
+            .with_telemetry(Arc::clone(&sink));
+        let expected = saxpy_frame(&VirtualGpu::gtx480().with_workers(4), 4096).unwrap();
+        let traced = saxpy_frame(&gpu, 4096).unwrap();
+        assert_eq!(traced, expected, "telemetry must not perturb results");
+
+        let launches = sink.take_launches();
+        assert_eq!(launches.len(), 1);
+        let t = &launches[0];
+        assert_eq!(t.name, "saxpy");
+        assert_eq!(t.mode, "batched");
+        assert_eq!(t.launch, 0);
+        assert!(t.end_us >= t.start_us);
+        let (d0, d1) = t.dispatch_us.expect("dispatch window stamped");
+        assert!(d0 >= t.start_us && d1 >= d0);
+        let (m0, m1) = t.merge_us.expect("batched launch stamps a merge");
+        assert!(m0 >= d1 && m1 >= m0);
+        assert!(t.modeled_kernel_s > 0.0);
+        assert!(
+            t.lane_events
+                .iter()
+                .any(|e| e.kind == crate::telemetry::LaneEventKind::Launch),
+            "lane events must include the publish: {:?}",
+            t.lane_events
+        );
+        assert!(t.lane_events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+        assert_eq!(t.events_dropped, 0);
+        assert!(sink.is_empty(), "take_launches drains the sink");
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod launch;
 pub mod memory;
 pub mod pool;
 pub mod profiler;
+pub mod telemetry;
 pub mod timing;
 pub mod warp;
 
@@ -84,4 +85,5 @@ pub use memory::texture::Texture;
 pub use memory::transfer::{MemcpyKind, TransferModel};
 pub use pool::WorkerPool;
 pub use profiler::{AppProfile, Boundedness, KernelProfile, OverheadItem};
+pub use telemetry::{EventRing, GpuTelemetry, LaneEvent, LaneEventKind, LaunchTrace};
 pub use timing::{CostModel, Occupancy};

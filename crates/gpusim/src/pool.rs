@@ -56,15 +56,22 @@
 //! rebuild the pool (joining the stragglers) before the next launch.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use crate::telemetry::{now_us, EventRing, LaneEvent, LaneEventKind};
 
 /// Lane fence states (see the module docs on abandonment).
 const LANE_IDLE: u8 = 0;
 const LANE_BUSY: u8 = 1;
 const LANE_FENCED: u8 = 2;
+
+/// Per-lane telemetry ring capacity. A launch produces 2–3 events per
+/// lane and the rings are drained once per launch, so this is ample; a
+/// burst beyond it drops events (counted) rather than growing.
+const RING_CAPACITY: usize = 128;
 
 /// A guarded dispatch exceeded its watchdog deadline; the generation was
 /// abandoned and the pool poisoned (see [`WorkerPool::poisoned`]).
@@ -127,6 +134,30 @@ struct PoolInner {
     /// Per-lane fence slots for watchdog abandonment (index 0 unused: lane
     /// 0 is the launching thread, which runs the watchdog itself).
     lane_state: Vec<AtomicU8>,
+    /// Per-lane telemetry event rings, recorded only while `telemetry`
+    /// is set and drained between launches (see [`WorkerPool::drain_events`]).
+    rings: Vec<EventRing>,
+    /// Gates all event recording: a single relaxed load on the hot path
+    /// when telemetry is off.
+    telemetry: AtomicBool,
+}
+
+impl PoolInner {
+    /// Records one lane event if telemetry is enabled. Hot-path cost when
+    /// disabled: one relaxed atomic load.
+    fn record(&self, lane: usize, generation: u64, kind: LaneEventKind) {
+        if !self.telemetry.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(ring) = self.rings.get(lane) {
+            ring.push(LaneEvent {
+                t_us: now_us(),
+                lane: lane.min(u8::MAX as usize) as u8,
+                generation: (generation & 0xFFF) as u16,
+                kind,
+            });
+        }
+    }
 }
 
 /// A persistent pool of parked worker threads, one per virtual SM.
@@ -159,6 +190,8 @@ impl WorkerPool {
                 done: Condvar::new(),
                 launch: Mutex::new(()),
                 lane_state: (0..lanes).map(|_| AtomicU8::new(LANE_IDLE)).collect(),
+                rings: (0..lanes).map(|_| EventRing::new(RING_CAPACITY)).collect(),
+                telemetry: AtomicBool::new(false),
             }),
             lanes,
             handles: Mutex::new(Vec::new()),
@@ -168,6 +201,35 @@ impl WorkerPool {
     /// Maximum parallel lanes (including the launching thread).
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// Enables or disables per-lane event recording. Off by default; when
+    /// off the only hot-path cost is one relaxed atomic load per event
+    /// site.
+    pub fn set_telemetry(&self, enabled: bool) {
+        self.inner.telemetry.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether per-lane event recording is enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.inner.telemetry.load(Ordering::Relaxed)
+    }
+
+    /// Drains every lane's event ring into `out` (unsorted across lanes).
+    ///
+    /// Must be called between launches: the launch lock is held by the
+    /// dispatching thread and every lane is parked, so no writer races
+    /// the drain (the pool state mutex hand-off provides the
+    /// happens-before edge for the lanes' final events).
+    pub fn drain_events(&self, out: &mut Vec<LaneEvent>) {
+        for ring in &self.inner.rings {
+            ring.drain_into(out);
+        }
+    }
+
+    /// Cumulative events dropped across all lane rings (ring overflow).
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.rings.iter().map(|r| r.dropped()).sum()
     }
 
     /// Whether a guarded dispatch abandoned a generation on timeout. A
@@ -250,6 +312,7 @@ impl WorkerPool {
             // stall can only target a worker lane.
             stall: stall.filter(|&(l, _)| l >= 1 && l < lanes),
         };
+        let generation;
         {
             let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
             // Reset fences for the participating lanes. Publishing is only
@@ -262,8 +325,11 @@ impl WorkerPool {
             st.job = Some(job);
             st.outstanding = lanes - 1;
             st.generation = st.generation.wrapping_add(1);
+            generation = st.generation;
             self.inner.work.notify_all();
         }
+        // Lane 0 is the launcher: one Launch event marks the publish.
+        self.inner.record(0, generation, LaneEventKind::Launch);
 
         // Lane 0 runs on the launching thread.
         IN_POOL.set(true);
@@ -594,11 +660,14 @@ fn worker_loop(lane: usize, inner: &PoolInner) {
             }
         };
 
+        inner.record(lane, seen, LaneEventKind::Wake);
+
         // Injected stall (chaos testing): sleep at the generation boundary,
         // before claiming any role. The lane is IDLE throughout, so the
         // watchdog can fence it and return without waiting out the sleep.
         if let Some((stall_lane, dur)) = job.stall {
             if stall_lane == lane {
+                inner.record(lane, seen, LaneEventKind::Stall);
                 std::thread::sleep(dur);
             }
         }
@@ -614,6 +683,7 @@ fn worker_loop(lane: usize, inner: &PoolInner) {
                 {
                     // Fenced: the generation was abandoned on timeout and
                     // the job pointer may dangle. Stop without touching it.
+                    inner.record(lane, seen, LaneEventKind::Fenced);
                     break;
                 }
                 // SAFETY: see `Job`: the launching thread keeps the pointee
@@ -627,12 +697,17 @@ fn worker_loop(lane: usize, inner: &PoolInner) {
                     .compare_exchange(LANE_BUSY, LANE_IDLE, Ordering::SeqCst, Ordering::SeqCst)
                     .is_err()
                 {
+                    inner.record(lane, seen, LaneEventKind::Fenced);
                     break;
                 }
                 role += job.lanes;
             }
         }));
         IN_POOL.set(false);
+        if result.is_err() {
+            inner.record(lane, seen, LaneEventKind::Panic);
+        }
+        inner.record(lane, seen, LaneEventKind::Park);
 
         let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
         if let Err(p) = result {
@@ -973,6 +1048,33 @@ mod tests {
             total.fetch_add(i as u64, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn telemetry_rings_record_launch_wake_park() {
+        use crate::telemetry::LaneEventKind as K;
+        let pool = WorkerPool::new(3);
+        pool.set_telemetry(true);
+        assert!(pool.telemetry_enabled());
+        pool.parallel_for_static(30, 3, |_, _| {});
+        let mut events = Vec::new();
+        pool.drain_events(&mut events);
+        assert_eq!(
+            events.iter().filter(|e| e.kind == K::Launch).count(),
+            1,
+            "one Launch on lane 0: {events:?}"
+        );
+        assert!(events.iter().any(|e| e.kind == K::Launch && e.lane == 0));
+        assert_eq!(events.iter().filter(|e| e.kind == K::Wake).count(), 2);
+        assert_eq!(events.iter().filter(|e| e.kind == K::Park).count(), 2);
+        assert_eq!(pool.events_dropped(), 0);
+
+        // Disabled again: the hot path records nothing.
+        pool.set_telemetry(false);
+        pool.parallel_for_static(30, 3, |_, _| {});
+        events.clear();
+        pool.drain_events(&mut events);
+        assert!(events.is_empty());
     }
 
     // ------------------------------------------------------------------

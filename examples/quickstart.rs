@@ -1,6 +1,6 @@
 //! Quickstart: render the paper's Fig. 2 scene — a 1024×1024 star image
 //! with 2252 stars — with all three simulators, compare them, and write
-//! the picture to `quickstart.bmp`.
+//! the picture to `results/quickstart.bmp`.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -67,7 +67,9 @@ fn main() {
         s.lit_pixels, s.max, s.total
     );
 
-    let mut f = std::fs::File::create("quickstart.bmp").expect("create quickstart.bmp");
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut f =
+        std::fs::File::create("results/quickstart.bmp").expect("create results/quickstart.bmp");
     write_bmp(&mut f, &parallel.image, GrayMap::with_gamma(s.max, 2.2)).expect("write bmp");
-    println!("wrote quickstart.bmp");
+    println!("wrote results/quickstart.bmp");
 }

@@ -76,7 +76,9 @@ fn main() {
     let h = histogram(&report.image, 8, s.max);
     println!("intensity histogram (8 bins to peak): {h:?}");
 
-    let mut f = std::fs::File::create("sky_survey.pgm").expect("create sky_survey.pgm");
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut f =
+        std::fs::File::create("results/sky_survey.pgm").expect("create results/sky_survey.pgm");
     write_pgm16(&mut f, &report.image, GrayMap::with_gamma(s.max, 2.2)).expect("write pgm");
-    println!("wrote sky_survey.pgm (16-bit)");
+    println!("wrote results/sky_survey.pgm (16-bit)");
 }

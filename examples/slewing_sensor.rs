@@ -94,7 +94,9 @@ fn main() {
         catalog.len()
     );
 
-    let mut f = std::fs::File::create("slewing_sensor.pgm").expect("create slewing_sensor.pgm");
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut f = std::fs::File::create("results/slewing_sensor.pgm")
+        .expect("create results/slewing_sensor.pgm");
     write_pgm16(&mut f, &noisy, GrayMap::with_gamma(stats(&noisy).max, 2.2)).expect("write pgm");
-    println!("wrote slewing_sensor.pgm (16-bit, streaks + noise)");
+    println!("wrote results/slewing_sensor.pgm (16-bit, streaks + noise)");
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full offline CI gate: format, lint, build, test, bench smokes.
-# Writes BENCH_PR1.json (executor speedup headline), BENCH_PR2.json
-# (sustained-throughput headline), and BENCH_PR3.json (chaos-mode
-# overhead + seeded fault recovery) to the repo root.
+# Bench artefacts (BENCH_PR1.json executor speedup, BENCH_PR2.json
+# sustained throughput, BENCH_PR3.json chaos overhead + recovery,
+# BENCH_PR4.json telemetry overhead + trace validation) land in
+# results/ and are copied to the repo root for the PR gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,21 +21,33 @@ echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
 echo "== executor bench smoke"
-cargo run --release -p starsim-bench -- --experiment executor --quick --out .
+cargo run --release -p starsim-bench -- --experiment executor --quick --out results
 
 echo "== BENCH_PR1.json"
-cat BENCH_PR1.json
+cat results/BENCH_PR1.json
 
 echo "== throughput bench smoke"
-cargo run --release -p starsim-bench -- --experiment throughput --quick --out .
+cargo run --release -p starsim-bench -- --experiment throughput --quick --out results
 
 echo "== BENCH_PR2.json"
-cat BENCH_PR2.json
+cat results/BENCH_PR2.json
 
 echo "== chaos bench smoke (seeded fault injection + recovery)"
-cargo run --release -p starsim-bench -- --chaos --seed 7 --quick --out .
+cargo run --release -p starsim-bench -- --chaos --seed 7 --quick --out results
 
 echo "== BENCH_PR3.json"
-cat BENCH_PR3.json
-grep -q '"bit_identical": true' BENCH_PR3.json
-grep -q '"exhausted": 0' BENCH_PR3.json
+cat results/BENCH_PR3.json
+grep -q '"bit_identical": true' results/BENCH_PR3.json
+grep -q '"exhausted": 0' results/BENCH_PR3.json
+
+echo "== telemetry bench smoke (overhead gate + Perfetto trace export)"
+cargo run --release -p starsim-bench -- --trace results/trace.json --quick --out results
+
+echo "== BENCH_PR4.json"
+cat results/BENCH_PR4.json
+grep -q '"trace_valid": true' results/BENCH_PR4.json
+grep -q '"stages_ok": true' results/BENCH_PR4.json
+grep -q '"gate_ok": true' results/BENCH_PR4.json
+
+cp results/BENCH_PR1.json results/BENCH_PR2.json results/BENCH_PR3.json \
+   results/BENCH_PR4.json .
