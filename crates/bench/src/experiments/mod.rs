@@ -9,6 +9,7 @@ pub mod fig2;
 pub mod format;
 pub mod lutbuild;
 pub mod multigpu;
+pub mod sanitize;
 pub mod session;
 pub mod streams;
 pub mod table3;

@@ -3,13 +3,13 @@
 //!
 //! ```text
 //! starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]
-//!               [--exec reference|batched] [--workers N] [--chaos]
-//!               [--trace PATH] [--metrics]
+//!               [--exec reference|batched|sanitized] [--workers N] [--chaos]
+//!               [--trace PATH] [--metrics] [--sanitize]
 //!
 //! NAME ∈ { fig2, fig9, fig10, fig11, fig12, table1, table2,
 //!          fig13, fig14, fig15, fig16, table3, ablation, contention,
 //!          devices, multigpu, streams, session, lutbuild, executor,
-//!          throughput, chaos, trace, all }
+//!          throughput, chaos, trace, sanitize, all }
 //! ```
 //!
 //! `--chaos` is shorthand for `--experiment chaos`: the fault-injection
@@ -20,6 +20,11 @@
 //! additionally prints the telemetry rollup table. The trace experiment
 //! measures the telemetry overhead gate and writes `BENCH_PR4.json`.
 //!
+//! `--sanitize` is shorthand for `--experiment sanitize`: the sanitizer's
+//! disabled-overhead gate, the clean pass over the three paper simulators
+//! in `--exec sanitized` mode, and the known-bad corpus sweep (writes
+//! `BENCH_PR5.json`).
+//!
 //! Sequential times are measured wall-clock on this host; GPU times come
 //! from the virtual GPU's calibrated Fermi model (see `gpusim`). Shapes —
 //! who wins, where the inflection points fall — are the reproduction
@@ -28,8 +33,8 @@
 mod experiments;
 
 use experiments::{
-    ablation, chaos, contention, devices, executor, fig2, lutbuild, multigpu, session, streams,
-    table3, test1, test2, throughput, trace, Context,
+    ablation, chaos, contention, devices, executor, fig2, lutbuild, multigpu, sanitize, session,
+    streams, table3, test1, test2, throughput, trace, Context,
 };
 use starsim_core::ExecMode;
 
@@ -59,6 +64,7 @@ fn main() {
                 ctx.metrics = true;
                 experiment = String::from("trace");
             }
+            "--sanitize" => experiment = String::from("sanitize"),
             "--seed" => {
                 ctx.seed = args
                     .next()
@@ -186,6 +192,10 @@ fn main() {
             "Telemetry (overhead gate + Perfetto trace export)",
             trace::run(&ctx),
         ),
+        "sanitize" => section(
+            "Sanitizer (disabled-overhead gate + clean pass + corpus)",
+            sanitize::run(&ctx),
+        ),
         "all" => {
             let t1 = t1.as_ref().unwrap();
             let t2 = t2.as_ref().unwrap();
@@ -232,6 +242,10 @@ fn main() {
                 "Telemetry (overhead gate + Perfetto trace export)",
                 trace::run(&ctx),
             );
+            section(
+                "Sanitizer (disabled-overhead gate + clean pass + corpus)",
+                sanitize::run(&ctx),
+            );
         }
         other => usage(&format!("unknown experiment `{other}`")),
     }
@@ -243,10 +257,11 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]\n\
-                      [--exec reference|batched] [--workers N] [--trace PATH] [--metrics]\n\
+                      [--exec reference|batched|sanitized] [--workers N] [--trace PATH]\n\
+                      [--metrics] [--sanitize]\n\
          NAME: fig2 fig9 fig10 fig11 fig12 table1 table2 fig13 fig14 fig15 fig16\n\
                table3 ablation contention devices multigpu streams session lutbuild\n\
-               executor throughput chaos trace all (default)"
+               executor throughput chaos trace sanitize all (default)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

@@ -310,6 +310,9 @@ impl Simulator for AdaptiveSimulator {
         config: &SimConfig,
     ) -> Result<SimulationReport, SimError> {
         config.validate()?;
+        // Static pre-launch validation: the ROI must fit the image before
+        // any launch is dispatched.
+        gpusim::sanitize::validate_roi(config.roi_side, config.width, config.height)?;
         let wall_start = Instant::now();
         let mut profile = AppProfile::new();
 
@@ -328,6 +331,10 @@ impl Simulator for AdaptiveSimulator {
             self.gpu
                 .bind_texture(side, side, lut.layers(), lut.data().to_vec())?;
         profile.push_overhead("texture memory binding", t_bind);
+        // Static LUT-domain validation: every index the kernel can fetch —
+        // magnitude layer, ROI row/column — must lie inside the bound
+        // table (clamp addressing would silently mask a shape mismatch).
+        gpusim::sanitize::validate_lut_domain(&lut_tex, lut.layers() - 1, side - 1, side - 1)?;
 
         // Host → device transfers.
         let (stars, t_stars) = self.gpu.upload(to_device_stars(catalog.stars()));

@@ -287,6 +287,10 @@ impl Simulator for ParallelSimulator {
         config: &SimConfig,
     ) -> Result<SimulationReport, SimError> {
         config.validate()?;
+        // Static pre-launch validation: an ROI square overrunning the image
+        // would send every star's inner loop out of bounds — reject with a
+        // typed error before anything is dispatched.
+        gpusim::sanitize::validate_roi(config.roi_side, config.width, config.height)?;
         let wall_start = Instant::now();
         let mut profile = AppProfile::new();
 

@@ -418,6 +418,9 @@ impl AdaptiveSession {
         let _bind_span = maybe_span(telemetry.as_ref(), "texture-bind");
         let build_time = build_charge(&lut);
         let side = config.roi_side;
+        // Static pre-launch validation: the ROI must fit the image, or
+        // every frame of this session would index out of bounds.
+        gpusim::sanitize::validate_roi(side, config.width, config.height)?;
         let mut stats = ResilienceReport::default();
         let max_attempts = retry.map_or(1, |p| p.max_attempts.max(1));
         let mut attempt = 1u32;
@@ -435,6 +438,10 @@ impl AdaptiveSession {
                 }
             }
         };
+        // Static LUT-domain validation: the fetch domain of every future
+        // frame (magnitude layers × ROI texels) must lie inside the table
+        // just bound — texture clamping would mask a shape mismatch.
+        gpusim::sanitize::validate_lut_domain(&lut_tex, lut.layers() - 1, side - 1, side - 1)?;
         let image_dev = gpu.alloc_atomic_f32(config.pixels());
         Ok(AdaptiveSession {
             gpu,
@@ -556,7 +563,11 @@ impl AdaptiveSession {
         let _launch_span = maybe_span(self.telemetry.as_ref(), "kernel-launch");
 
         let star_count = catalog.len();
-        let mode = if rung >= Rung::ReferenceExec {
+        let mode = if config.exec_mode == ExecMode::Sanitized {
+            // The sanitizer already rides the reference path; degradation
+            // to ReferenceExec must not silently detach it.
+            ExecMode::Sanitized
+        } else if rung >= Rung::ReferenceExec {
             ExecMode::Reference
         } else {
             config.exec_mode

@@ -18,7 +18,7 @@ use crate::device::DeviceSpec;
 use crate::dim::Dim3;
 use crate::error::GpuError;
 use crate::fault::{ArmedFaults, FaultKind, FaultPlan};
-use crate::kernel::{BlockCtx, BufferArena, Kernel, ShadowSet, ThreadCtx};
+use crate::kernel::{BlockCtx, BufferArena, Event, Kernel, ShadowSet, ThreadCtx};
 use crate::launch::LaunchConfig;
 use crate::memory::cache::CacheSim;
 use crate::memory::global::{chunk_checksums_host, AddressSpace, GlobalAtomicF32, GlobalBuffer};
@@ -29,6 +29,10 @@ use crate::pool::{
     default_workers, spawn_parallel_for, spawn_parallel_for_static, PoolTimeout, WorkerPool,
 };
 use crate::profiler::KernelProfile;
+use crate::sanitize::{
+    self, Access, AccessKind, Finding, FindingKind, LaneHooks, SanitizeConfig, SanitizeReport,
+    SmSan,
+};
 use crate::telemetry::{now_us, GpuTelemetry, LaunchTrace};
 use crate::timing::{kernel_time, occupancy, CostModel};
 use crate::warp::analyze_warp;
@@ -80,14 +84,24 @@ pub enum ExecMode {
     /// same schedule.
     #[default]
     Batched,
+    /// The reference path with the sanitizer attached: every memory access
+    /// feeds shadow access sets (racecheck / synccheck / memcheck per the
+    /// device's [`SanitizeConfig`]), out-of-bounds accesses are reported
+    /// instead of faulting, and each launch appends a [`SanitizeReport`]
+    /// drained via [`VirtualGpu::take_sanitize_reports`]. Functional
+    /// outputs, counters, and modeled times stay bit-identical to
+    /// [`ExecMode::Reference`] on defect-free kernels.
+    Sanitized,
 }
 
 impl ExecMode {
-    /// Parses the CLI spelling (`"reference"` / `"batched"`).
+    /// Parses the CLI spelling (`"reference"` / `"batched"` /
+    /// `"sanitized"`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "reference" => Some(ExecMode::Reference),
             "batched" => Some(ExecMode::Batched),
+            "sanitized" => Some(ExecMode::Sanitized),
             _ => None,
         }
     }
@@ -97,6 +111,7 @@ impl ExecMode {
         match self {
             ExecMode::Reference => "reference",
             ExecMode::Batched => "batched",
+            ExecMode::Sanitized => "sanitized",
         }
     }
 }
@@ -153,7 +168,20 @@ pub struct VirtualGpu {
     telemetry: Option<Arc<GpuTelemetry>>,
     /// Sequence number for traced launches.
     launch_seq: AtomicU64,
+    /// Sanitizer configuration; only consulted by [`ExecMode::Sanitized`]
+    /// launches and the per-launch arena use-after-recycle screen, so the
+    /// disabled-mode cost is two relaxed atomic loads per launch.
+    san_config: SanitizeConfig,
+    /// Sanitizer reports accumulated since the last
+    /// [`Self::take_sanitize_reports`] drain (bounded backlog).
+    san_reports: Mutex<Vec<SanitizeReport>>,
+    /// Monotone launch id stamped into sanitizer reports.
+    san_seq: AtomicU64,
 }
+
+/// Undrained sanitizer reports kept per device; older reports are evicted
+/// first, so a long chaos run without drains cannot grow without bound.
+const SAN_REPORT_BACKLOG: usize = 1024;
 
 /// Counters of resilience events on a device, all monotone since device
 /// construction. Zero across the board in a fault-free run.
@@ -200,6 +228,9 @@ impl VirtualGpu {
             reuse: true,
             telemetry: None,
             launch_seq: AtomicU64::new(0),
+            san_config: SanitizeConfig::default(),
+            san_reports: Mutex::new(Vec::new()),
+            san_seq: AtomicU64::new(0),
         }
     }
 
@@ -323,6 +354,34 @@ impl VirtualGpu {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             arena_drops: self.arena.dropped(),
         }
+    }
+
+    /// Overrides the sanitizer configuration (which checks run in
+    /// [`ExecMode::Sanitized`] launches, report and access caps).
+    pub fn with_sanitize_config(mut self, cfg: SanitizeConfig) -> Self {
+        self.san_config = cfg;
+        self
+    }
+
+    /// The sanitizer configuration in effect.
+    pub fn sanitize_config(&self) -> &SanitizeConfig {
+        &self.san_config
+    }
+
+    /// Drains accumulated sanitizer reports: one per
+    /// [`ExecMode::Sanitized`] launch, plus arena use-after-recycle
+    /// reports from launches in any mode.
+    pub fn take_sanitize_reports(&self) -> Vec<SanitizeReport> {
+        std::mem::take(&mut *self.san_reports.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Appends a report, evicting the oldest past the backlog bound.
+    fn push_sanitize_report(&self, report: SanitizeReport) {
+        let mut reports = self.san_reports.lock().unwrap_or_else(|e| e.into_inner());
+        if reports.len() >= SAN_REPORT_BACKLOG {
+            reports.remove(0);
+        }
+        reports.push(report);
     }
 
     /// Overrides the cost model.
@@ -582,6 +641,11 @@ impl VirtualGpu {
         let armed = armed.as_ref();
         let stamps = LaunchStamps::default();
         let stamps_ref = self.telemetry.as_ref().map(|_| &stamps);
+        // Sanitizer launch id and the arena use-after-recycle watermark
+        // (the screen itself runs in every mode; a launch that trips it
+        // gets a memcheck report below).
+        let launch_id = self.san_seq.fetch_add(1, Ordering::Relaxed);
+        let arena_drops_before = self.arena.dropped();
 
         // Kernel panics — injected or genuine — must not cross the device
         // boundary: partial counters and shadows are discarded and the
@@ -604,6 +668,15 @@ impl VirtualGpu {
                     ExecMode::Batched => {
                         self.execute_batched(kernel, &cfg, &self.caches, armed, stamps_ref)
                     }
+                    ExecMode::Sanitized => self.execute_sanitized(
+                        name,
+                        launch_id,
+                        kernel,
+                        &cfg,
+                        &self.caches,
+                        armed,
+                        stamps_ref,
+                    ),
                 }
             } else {
                 let caches = Self::build_caches(&self.spec);
@@ -614,6 +687,9 @@ impl VirtualGpu {
                     ExecMode::Batched => {
                         self.execute_batched(kernel, &cfg, &caches, armed, stamps_ref)
                     }
+                    ExecMode::Sanitized => self.execute_sanitized(
+                        name, launch_id, kernel, &cfg, &caches, armed, stamps_ref,
+                    ),
                 }
             }
         }));
@@ -624,6 +700,26 @@ impl VirtualGpu {
                 return Err(GpuError::WorkerPanic(panic_message(&payload)));
             }
         };
+
+        // Memcheck: any shadow buffer the arena screened out during this
+        // launch is a use-after-recycle — corrupted storage almost handed
+        // to a future frame. Reported (in every exec mode), not fatal: the
+        // drop itself already contained the damage.
+        let arena_drops = self.arena.dropped().saturating_sub(arena_drops_before);
+        if arena_drops > 0 && self.san_config.memcheck {
+            self.push_sanitize_report(SanitizeReport {
+                kernel: name.to_string(),
+                launch: launch_id,
+                findings: vec![Finding {
+                    block: 0,
+                    kind: FindingKind::ArenaRecycleFault {
+                        dropped: arena_drops,
+                    },
+                }],
+                accesses: 0,
+                truncated: false,
+            });
+        }
 
         let (time_s, cycles) = kernel_time(&counters, &self.spec, &self.cost, &occ);
         if let (Some(sink), Some(start_us)) = (&self.telemetry, trace_start) {
@@ -770,7 +866,9 @@ impl VirtualGpu {
                 let mut cache = caches[sm_id].lock().unwrap_or_else(|e| e.into_inner());
                 let mut block = sm_id;
                 while block < total_blocks {
-                    self.run_block_reference(kernel, cfg, block, &mut local, &mut cache, &hazards);
+                    self.run_block_reference(
+                        kernel, cfg, block, &mut local, &mut cache, &hazards, None,
+                    );
                     block += sm_count;
                 }
                 shared_counters.merge(&local);
@@ -779,6 +877,87 @@ impl VirtualGpu {
         if let Some(s) = stamps {
             s.dispatch_end.set(now_us());
         }
+
+        let mut counters = shared_counters.snapshot();
+        counters.shared_hazards = hazards.load(Ordering::Relaxed);
+        Ok(counters)
+    }
+
+    /// The sanitized executor: the reference schedule with per-SM shadow
+    /// access sets attached. Each SM records its lanes' accesses and
+    /// inline findings into its own slot (lock-free in practice — one
+    /// worker owns an SM at a time); after the join the slots are merged
+    /// *in SM order* and analyzed single-threaded, so the report is
+    /// deterministic for any worker count. Counters, hazards, and the
+    /// functional output are computed exactly as in
+    /// [`Self::execute_reference`].
+    #[allow(clippy::too_many_arguments)]
+    fn execute_sanitized<K: Kernel>(
+        &self,
+        name: &str,
+        launch_id: u64,
+        kernel: &K,
+        cfg: &LaunchConfig,
+        caches: &[Mutex<CacheSim>],
+        armed: Option<&ArmedFaults>,
+        stamps: Option<&LaunchStamps>,
+    ) -> Result<Counters, GpuError> {
+        let shared_counters = SharedCounters::default();
+        let hazards = AtomicU64::new(0);
+        let sm_count = self.spec.sm_count as usize;
+        let total_blocks = cfg.total_blocks();
+        let sms = sm_count.min(total_blocks);
+        let panic_sm = armed.and_then(|a| a.panic_sm).map(|l| l % sms.max(1));
+        let san_cfg = &self.san_config;
+        let slots: Vec<Mutex<SmSan>> = (0..sms).map(|_| Mutex::new(SmSan::default())).collect();
+
+        if let Some(s) = stamps {
+            s.dispatch_start.set(now_us());
+        }
+        self.dispatch_dynamic(
+            sms,
+            self.workers,
+            1,
+            Self::armed_stall(armed, self.workers.min(sms.max(1))),
+            |sm_id, _| {
+                if panic_sm == Some(sm_id) {
+                    panic!("injected fault: worker panic on sm {sm_id}");
+                }
+                let mut local = Counters::default();
+                let mut cache = caches[sm_id].lock().unwrap_or_else(|e| e.into_inner());
+                let mut slot = slots[sm_id].lock().unwrap_or_else(|e| e.into_inner());
+                let mut block = sm_id;
+                while block < total_blocks {
+                    self.run_block_reference(
+                        kernel,
+                        cfg,
+                        block,
+                        &mut local,
+                        &mut cache,
+                        &hazards,
+                        Some((san_cfg, &mut slot)),
+                    );
+                    block += sm_count;
+                }
+                shared_counters.merge(&local);
+            },
+        )?;
+        if let Some(s) = stamps {
+            s.dispatch_end.set(now_us());
+        }
+
+        let per_sm: Vec<SmSan> = slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        let (findings, accesses, truncated) = sanitize::analyze(san_cfg, per_sm);
+        self.push_sanitize_report(SanitizeReport {
+            kernel: name.to_string(),
+            launch: launch_id,
+            findings,
+            accesses,
+            truncated,
+        });
 
         let mut counters = shared_counters.snapshot();
         counters.shared_hazards = hazards.load(Ordering::Relaxed);
@@ -860,6 +1039,7 @@ impl VirtualGpu {
                             &mut state.counters,
                             &mut cache,
                             &hazards,
+                            None,
                         );
                     }
                     block += sm_count;
@@ -894,6 +1074,13 @@ impl VirtualGpu {
     }
 
     /// Executes one block on the reference path: all phases, warp by warp.
+    ///
+    /// With `san` attached (the sanitized executor), the lanes' event
+    /// traces are additionally mirrored into the SM's shadow access set,
+    /// barrier arrivals are checked for divergence, and memcheck hooks are
+    /// installed on every thread context — without changing a single
+    /// counter or functional result.
+    #[allow(clippy::too_many_arguments)]
     fn run_block_reference<K: Kernel>(
         &self,
         kernel: &K,
@@ -902,12 +1089,16 @@ impl VirtualGpu {
         counters: &mut Counters,
         cache: &mut CacheSim,
         hazards: &AtomicU64,
+        mut san: Option<(&SanitizeConfig, &mut SmSan)>,
     ) {
         let block_idx = cfg.grid.delinearize(block_linear);
         let threads = cfg.threads_per_block();
         let warp = self.spec.warp_size as usize;
         let shared = SharedMem::new(cfg.shared_mem_bytes / 4);
         let phases = kernel.phases().max(1);
+        // Inline memcheck findings from this block's lanes (RefCell: lanes
+        // run strictly sequentially on the owning worker).
+        let lane_findings = std::cell::RefCell::new(Vec::new());
 
         let mut exited = vec![false; threads];
         // Reusable per-lane trace buffers.
@@ -924,6 +1115,25 @@ impl VirtualGpu {
                     .filter(|&ws| (ws..(ws + warp).min(threads)).any(|t| !exited[t]))
                     .count();
                 counters.barriers += live_warps as u64;
+                // Synccheck: some lanes of the block arrive at this
+                // barrier while others already returned — divergent
+                // `__syncthreads()`. A fully-exited block (the paper's
+                // whole-block starCount guard) never arrives and is fine.
+                if let Some((sc, slot)) = san.as_mut() {
+                    if sc.synccheck {
+                        let gone = exited.iter().filter(|&&e| e).count();
+                        if gone > 0 && gone < threads {
+                            slot.findings.push(Finding {
+                                block: block_linear,
+                                kind: FindingKind::BarrierDivergence {
+                                    barrier: phase,
+                                    arrived: threads - gone,
+                                    expected: threads,
+                                },
+                            });
+                        }
+                    }
+                }
             }
             for warp_start in (0..threads).step_by(warp) {
                 let lanes = warp.min(threads - warp_start);
@@ -940,6 +1150,14 @@ impl VirtualGpu {
                     let mut ctx = ThreadCtx::new(
                         thread_idx, block_idx, cfg.block, cfg.grid, &shared, ctx_events,
                     );
+                    if let Some((sc, _)) = san.as_ref() {
+                        ctx.set_sanitizer(LaneHooks {
+                            findings: &lane_findings,
+                            block: block_linear,
+                            epoch: phase,
+                            memcheck: sc.memcheck,
+                        });
+                    }
                     kernel.run(phase, &mut ctx);
                     if ctx.exited() {
                         exited[t] = true;
@@ -948,6 +1166,31 @@ impl VirtualGpu {
                         counters.threads += 1;
                     }
                     *trace = ctx.take_events();
+                    // Mirror this lane's accesses into the shadow set.
+                    if let Some((sc, slot)) = san.as_mut() {
+                        for ev in trace.iter() {
+                            let (kind, addr) = match *ev {
+                                Event::GlobalRead { addr, .. } => (AccessKind::GlobalRead, addr),
+                                Event::GlobalWrite { addr, .. } => (AccessKind::GlobalWrite, addr),
+                                Event::AtomicAdd { addr } => (AccessKind::GlobalAtomic, addr),
+                                Event::SharedRead { word } => (AccessKind::SharedRead, word as u64),
+                                Event::SharedWrite { word } => {
+                                    (AccessKind::SharedWrite, word as u64)
+                                }
+                                _ => continue,
+                            };
+                            slot.record(
+                                sc.access_cap,
+                                Access {
+                                    block: block_linear,
+                                    epoch: phase as u32,
+                                    lane: t as u32,
+                                    kind,
+                                    addr,
+                                },
+                            );
+                        }
+                    }
                 }
                 for trace in traces.iter_mut().skip(lanes) {
                     trace.clear();
@@ -959,6 +1202,9 @@ impl VirtualGpu {
             }
         }
         hazards.fetch_add(shared.hazards(), Ordering::Relaxed);
+        if let Some((_, slot)) = san.as_mut() {
+            slot.findings.append(&mut lane_findings.borrow_mut());
+        }
     }
 }
 
@@ -1205,9 +1451,11 @@ mod tests {
     fn exec_mode_parses_cli_spellings() {
         assert_eq!(ExecMode::parse("reference"), Some(ExecMode::Reference));
         assert_eq!(ExecMode::parse("batched"), Some(ExecMode::Batched));
+        assert_eq!(ExecMode::parse("sanitized"), Some(ExecMode::Sanitized));
         assert_eq!(ExecMode::parse("turbo"), None);
         assert_eq!(ExecMode::Batched.as_str(), "batched");
         assert_eq!(ExecMode::Reference.as_str(), "reference");
+        assert_eq!(ExecMode::Sanitized.as_str(), "sanitized");
         assert_eq!(ExecMode::default(), ExecMode::Batched);
     }
 

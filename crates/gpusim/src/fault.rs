@@ -335,7 +335,7 @@ mod tests {
     fn seeded_plans_are_deterministic_and_cover_every_kind() {
         let a = FaultPlan::seeded(7, 24);
         let b = FaultPlan::seeded(7, 24);
-        let specs = |p: &FaultPlan| p.faults.lock().unwrap().clone();
+        let specs = |p: &FaultPlan| p.faults.lock().unwrap_or_else(|e| e.into_inner()).clone();
         assert_eq!(specs(&a), specs(&b), "same seed, same plan");
         let c = FaultPlan::seeded(8, 24);
         assert_ne!(specs(&a), specs(&c), "different seed, different plan");

@@ -21,6 +21,7 @@ use crate::memory::cache::CacheSim;
 use crate::memory::global::{GlobalAtomicF32, GlobalBuffer};
 use crate::memory::shared::SharedMem;
 use crate::memory::texture::Texture;
+use crate::sanitize::{LaneHooks, MemSpace};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -36,6 +37,13 @@ pub enum Event {
     },
     /// A global memory read at a device byte address.
     GlobalRead {
+        /// Device byte address.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u16,
+    },
+    /// A plain (non-atomic) global memory store at a device byte address.
+    GlobalWrite {
         /// Device byte address.
         addr: u64,
         /// Access width in bytes.
@@ -419,6 +427,12 @@ impl<'k> ShadowSet<'k> {
 }
 
 /// Per-thread execution context: identity, shared memory, and event log.
+///
+/// In sanitized launches the executor attaches [`LaneHooks`] via
+/// [`Self::set_sanitizer`]; every device op then bounds-checks its index
+/// *before* touching memory, reporting out-of-bounds accesses (clamped or
+/// dropped) instead of panicking, so the launch completes and the memcheck
+/// findings reach the report.
 #[derive(Debug)]
 pub struct ThreadCtx<'a> {
     /// `threadIdx`.
@@ -432,6 +446,7 @@ pub struct ThreadCtx<'a> {
     shared: &'a SharedMem,
     events: Vec<Event>,
     exited: bool,
+    san: Option<LaneHooks<'a>>,
 }
 
 impl<'a> ThreadCtx<'a> {
@@ -452,6 +467,31 @@ impl<'a> ThreadCtx<'a> {
             shared,
             events,
             exited: false,
+            san: None,
+        }
+    }
+
+    /// Attaches the sanitizer's per-lane memcheck hooks (sanitized
+    /// executor only).
+    pub(crate) fn set_sanitizer(&mut self, hooks: LaneHooks<'a>) {
+        self.san = Some(hooks);
+    }
+
+    /// Memcheck an index against `limit`: in-bounds indices pass through;
+    /// out-of-bounds indices are reported through the hooks and clamped to
+    /// the last element when sanitized, or returned as-is (to fault in the
+    /// underlying memory model) otherwise. Returns `(index, was_oob)`.
+    #[inline]
+    fn check_index(&self, space: MemSpace, idx: usize, limit: usize) -> (usize, bool) {
+        if idx < limit {
+            return (idx, false);
+        }
+        match &self.san {
+            Some(hooks) if hooks.memcheck && limit > 0 => {
+                hooks.oob(space, idx, limit, self.thread_linear());
+                (limit - 1, true)
+            }
+            _ => (idx, false),
         }
     }
 
@@ -478,6 +518,7 @@ impl<'a> ThreadCtx<'a> {
     /// Global memory read of element `idx` from a device buffer.
     #[inline]
     pub fn global_read<T: Copy>(&mut self, buf: &GlobalBuffer<T>, idx: usize) -> T {
+        let (idx, _) = self.check_index(MemSpace::Global, idx, buf.len());
         self.events.push(Event::GlobalRead {
             addr: buf.addr_of(idx),
             bytes: std::mem::size_of::<T>() as u16,
@@ -488,15 +529,45 @@ impl<'a> ThreadCtx<'a> {
     /// Global-memory `atomicAdd(&buf[idx], v)`, returning the old value.
     #[inline]
     pub fn atomic_add_global(&mut self, buf: &GlobalAtomicF32, idx: usize, v: f32) -> f32 {
+        let (idx, oob) = self.check_index(MemSpace::Global, idx, buf.len());
         self.events.push(Event::AtomicAdd {
             addr: buf.addr_of(idx),
         });
+        if oob {
+            // The add is suppressed: the clamped address keeps the warp
+            // analysis well-formed, but the stray accumulation must not
+            // corrupt the last pixel.
+            return 0.0;
+        }
         buf.atomic_add(idx, v)
+    }
+
+    /// Plain (non-atomic) global store `buf[idx] = v` — the operation the
+    /// paper's kernel must *never* use for contended image pixels. Exists
+    /// so the sanitizer's known-bad corpus can express the
+    /// atomicAdd-replaced-by-store defect; racecheck treats it as a
+    /// conflicting write.
+    #[inline]
+    pub fn global_write(&mut self, buf: &GlobalAtomicF32, idx: usize, v: f32) {
+        let (idx, oob) = self.check_index(MemSpace::Global, idx, buf.len());
+        self.events.push(Event::GlobalWrite {
+            addr: buf.addr_of(idx),
+            bytes: 4,
+        });
+        if !oob {
+            buf.store(idx, v);
+        }
     }
 
     /// Shared memory read of word `idx`.
     #[inline]
     pub fn shared_read(&mut self, idx: usize) -> f32 {
+        let (idx, oob) = self.check_index(MemSpace::Shared, idx, self.shared.len());
+        if oob {
+            // Reading uninitialized/foreign memory: return a defined zero
+            // without touching the (nonexistent) word.
+            return 0.0;
+        }
         self.events.push(Event::SharedRead { word: idx as u32 });
         self.shared.read(idx, self.thread_linear() as u32)
     }
@@ -504,13 +575,36 @@ impl<'a> ThreadCtx<'a> {
     /// Shared memory write of word `idx`.
     #[inline]
     pub fn shared_write(&mut self, idx: usize, v: f32) {
+        let (idx, oob) = self.check_index(MemSpace::Shared, idx, self.shared.len());
+        if oob {
+            // The store is dropped entirely — clamping would corrupt the
+            // last legitimate word.
+            return;
+        }
         self.events.push(Event::SharedWrite { word: idx as u32 });
         self.shared.write(idx, v, self.thread_linear() as u32);
     }
 
     /// Texture fetch `tex[layer](x, y)` with clamp addressing.
+    ///
+    /// Hardware clamping masks out-of-domain fetches, so under the
+    /// sanitizer the *pre-clamp* coordinates are memchecked: a layer or
+    /// texel index outside the bound table is reported even though the
+    /// clamped fetch proceeds.
     #[inline]
     pub fn tex_fetch(&mut self, tex: &Texture, layer: usize, x: i64, y: i64) -> f32 {
+        if let Some(hooks) = &self.san {
+            if hooks.memcheck {
+                let lane = self.thread_linear();
+                if layer >= tex.layers() {
+                    hooks.oob(MemSpace::Texture, layer, tex.layers(), lane);
+                } else if x < 0 || x as usize >= tex.width() {
+                    hooks.oob(MemSpace::Texture, x.max(0) as usize, tex.width(), lane);
+                } else if y < 0 || y as usize >= tex.height() {
+                    hooks.oob(MemSpace::Texture, y.max(0) as usize, tex.height(), lane);
+                }
+            }
+        }
         let (value, addr) = tex.fetch(layer, x, y);
         self.events.push(Event::TexFetch { addr });
         value
@@ -727,10 +821,14 @@ mod tests {
         let arena = BufferArena::new();
         // Plant a corrupted buffer directly in the free list (put() would
         // screen it, so bypass it to exercise take()'s check).
-        arena.free.lock().unwrap().push(ShadowBuf {
-            vals: vec![9.0; 32],
-            dirty: vec![1; dirty_words(32)],
-        });
+        arena
+            .free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ShadowBuf {
+                vals: vec![9.0; 32],
+                dirty: vec![1; dirty_words(32)],
+            });
         let sb = arena.take(32);
         assert!(
             sb.vals.iter().all(|&v| v == 0.0),

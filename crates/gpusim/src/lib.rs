@@ -68,6 +68,7 @@ pub mod launch;
 pub mod memory;
 pub mod pool;
 pub mod profiler;
+pub mod sanitize;
 pub mod telemetry;
 pub mod timing;
 pub mod warp;
@@ -85,5 +86,6 @@ pub use memory::texture::Texture;
 pub use memory::transfer::{MemcpyKind, TransferModel};
 pub use pool::WorkerPool;
 pub use profiler::{AppProfile, Boundedness, KernelProfile, OverheadItem};
+pub use sanitize::{Finding, FindingKind, MemSpace, SanitizeConfig, SanitizeReport};
 pub use telemetry::{EventRing, GpuTelemetry, LaneEvent, LaneEventKind, LaunchTrace};
 pub use timing::{CostModel, Occupancy};

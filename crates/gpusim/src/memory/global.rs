@@ -156,6 +156,19 @@ impl GlobalAtomicF32 {
         }
     }
 
+    /// Plain (non-atomic) store `buf[idx] = v` — a device kernel writing
+    /// through an ordinary global store instead of `atomicAdd`. Lost
+    /// updates under contention are exactly the defect the sanitizer's
+    /// racecheck exists to flag; correct kernels accumulate with
+    /// [`Self::atomic_add`].
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn store(&self, idx: usize, v: f32) {
+        self.data[idx].store(v.to_bits(), Ordering::Relaxed);
+    }
+
     /// Single-writer bulk add: `self[i] += vals[i]` for every non-zero
     /// entry of `vals` (which may be shorter than the buffer).
     ///

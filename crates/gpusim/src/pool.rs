@@ -827,6 +827,9 @@ where
 /// Raw base pointer wrapper so the closure can be `Sync`. Disjointness of
 /// the per-chunk slices is what actually makes the access sound.
 struct SlicePtr<T>(*mut T);
+// SAFETY: shared across lanes only inside `parallel_for_slices`, where each
+// lane derives a slice from a chunk range no other lane touches; `T: Send`
+// makes handing those disjoint elements to other threads sound.
 unsafe impl<T: Send> Sync for SlicePtr<T> {}
 
 /// The number of workers to use by default: one per available core.
@@ -859,9 +862,12 @@ mod tests {
         let order = std::sync::Mutex::new(Vec::new());
         parallel_for(5, 1, 2, |i, w| {
             assert_eq!(w, 0);
-            order.lock().unwrap().push(i);
+            order.lock().unwrap_or_else(|e| e.into_inner()).push(i);
         });
-        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            *order.lock().unwrap_or_else(|e| e.into_inner()),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -906,9 +912,12 @@ mod tests {
         let order = std::sync::Mutex::new(Vec::new());
         parallel_for_static(4, 1, |i, w| {
             assert_eq!(w, 0);
-            order.lock().unwrap().push(i);
+            order.lock().unwrap_or_else(|e| e.into_inner()).push(i);
         });
-        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            *order.lock().unwrap_or_else(|e| e.into_inner()),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]
@@ -1017,7 +1026,7 @@ mod tests {
             let last = std::sync::Mutex::new(None);
             pool.parallel_for(6, 4, 1, |j, w| {
                 assert_eq!(w, 0, "nested dispatch must be inline");
-                let mut last = last.lock().unwrap();
+                let mut last = last.lock().unwrap_or_else(|e| e.into_inner());
                 if let Some(prev) = *last {
                     assert!(j > prev, "inline order must be ascending");
                 }

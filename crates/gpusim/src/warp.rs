@@ -54,6 +54,7 @@ pub fn analyze_warp(
         let mut flop_groups: HashMap<u8, (FlopClass, u64)> = HashMap::new();
         addrs.clear();
         words.clear();
+        let mut gwrite_addrs: Vec<(u64, u16)> = Vec::new();
         let mut swrite_words: Vec<u32> = Vec::new();
         let mut tex_addrs: Vec<u64> = Vec::new();
         let mut atomic_addrs: Vec<u64> = Vec::new();
@@ -69,6 +70,7 @@ pub fn analyze_warp(
                     e.1 += n as u64;
                 }
                 Event::GlobalRead { addr, bytes } => addrs.push((addr, bytes)),
+                Event::GlobalWrite { addr, bytes } => gwrite_addrs.push((addr, bytes)),
                 Event::SharedRead { word } => words.push(word),
                 Event::SharedWrite { word } => swrite_words.push(word),
                 Event::TexFetch { addr } => tex_addrs.push(addr),
@@ -93,6 +95,11 @@ pub fn analyze_warp(
         if !addrs.is_empty() {
             counters.global_requests += 1;
             counters.global_transactions += coalesce_transactions(&addrs, spec.coalesce_segment);
+        }
+        if !gwrite_addrs.is_empty() {
+            counters.global_requests += 1;
+            counters.global_transactions +=
+                coalesce_transactions(&gwrite_addrs, spec.coalesce_segment);
         }
         if !words.is_empty() {
             counters.shared_requests += 1;

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Full offline CI gate: format, lint, build, test, bench smokes.
+# Full offline CI gate: format, lint, build, test, Miri smoke, bench smokes.
 # Bench artefacts (BENCH_PR1.json executor speedup, BENCH_PR2.json
 # sustained throughput, BENCH_PR3.json chaos overhead + recovery,
-# BENCH_PR4.json telemetry overhead + trace validation) land in
-# results/ and are copied to the repo root for the PR gate.
+# BENCH_PR4.json telemetry overhead + trace validation, BENCH_PR5.json
+# sanitizer gate + clean pass + corpus) land in results/ and are copied
+# to the repo root for the PR gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,6 +20,26 @@ cargo build --release
 
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
+
+# Miri smoke over the std-only leaf crates (rng, psf, starfield): UB
+# checking on the pure-math core. Gated on a working miri component so the
+# gate stays green on toolchains without it, and time-boxed so an
+# interpreter-speed run can't wedge CI (timeout exit 124 = soft skip).
+echo "== cargo miri test smoke (rng, psf, starfield)"
+if cargo miri --version >/dev/null 2>&1; then
+  MIRI_RC=0
+  MIRIFLAGS="-Zmiri-disable-isolation" \
+    timeout 900 cargo miri test -q -p starsim-rng -p starsim-psf -p starfield \
+    || MIRI_RC=$?
+  if [ "$MIRI_RC" -eq 124 ]; then
+    echo "miri: timed out after 900s — soft skip"
+  elif [ "$MIRI_RC" -ne 0 ]; then
+    echo "miri: FAILED (exit $MIRI_RC)"
+    exit "$MIRI_RC"
+  fi
+else
+  echo "miri: component not installed — skipped"
+fi
 
 echo "== executor bench smoke"
 cargo run --release -p starsim-bench -- --experiment executor --quick --out results
@@ -49,5 +70,14 @@ grep -q '"trace_valid": true' results/BENCH_PR4.json
 grep -q '"stages_ok": true' results/BENCH_PR4.json
 grep -q '"gate_ok": true' results/BENCH_PR4.json
 
+echo "== sanitizer bench smoke (disabled-overhead gate + clean pass + corpus)"
+cargo run --release -p starsim-bench -- --sanitize --quick --out results
+
+echo "== BENCH_PR5.json"
+cat results/BENCH_PR5.json
+grep -q '"findings": 0' results/BENCH_PR5.json
+grep -q '"corpus_flagged": true' results/BENCH_PR5.json
+grep -q '"gate_ok": true' results/BENCH_PR5.json
+
 cp results/BENCH_PR1.json results/BENCH_PR2.json results/BENCH_PR3.json \
-   results/BENCH_PR4.json .
+   results/BENCH_PR4.json results/BENCH_PR5.json .
