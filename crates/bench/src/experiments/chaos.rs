@@ -21,7 +21,7 @@ use starfield::catalog::StarCatalog;
 use starfield::FieldGenerator;
 use starsim_core::{AdaptiveSession, RetryPolicy};
 
-use super::format::Table;
+use super::format::{write_json_object, Json, Table};
 use super::Context;
 
 /// Headline shape: the paper's test-1 workload at 2^13 stars.
@@ -153,34 +153,28 @@ pub fn run(ctx: &Context) -> Table {
         );
     }
 
-    let json = format!(
-        concat!(
-            "{{\"workload\": \"test1/2^13\", \"frames\": {}, \"workers\": {},\n",
-            " \"baseline_fps\": {:.3}, \"plan_none_fps\": {:.3}, ",
-            "\"overhead_pct\": {:.3},\n",
-            " \"chaos_seed\": {}, \"chaos_frames\": {}, \"chaos_fps\": {:.3},\n",
-            " \"faults_injected\": {}, \"retries\": {}, ",
-            "\"rung_frames\": [{}, {}, {}, {}],\n",
-            " \"exhausted\": {}, \"bit_identical\": {}}}\n",
-        ),
-        frames,
-        workers,
-        baseline_fps,
-        plan_none_fps,
-        overhead_pct,
-        ctx.seed,
-        CHAOS_FRAMES,
-        chaos_fps,
-        plan.injected(),
-        report.retries,
-        report.rung_frames[0],
-        report.rung_frames[1],
-        report.rung_frames[2],
-        report.rung_frames[3],
-        report.exhausted,
-        bit_identical,
+    let _ = write_json_object(
+        &ctx.out_path("BENCH_PR3.json"),
+        &[
+            ("workload", Json::Str("test1/2^13".into())),
+            ("frames", Json::Int(frames as u64)),
+            ("workers", Json::Int(workers as u64)),
+            ("baseline_fps", Json::f3(baseline_fps)),
+            ("plan_none_fps", Json::f3(plan_none_fps)),
+            ("overhead_pct", Json::f3(overhead_pct)),
+            ("chaos_seed", Json::Int(ctx.seed)),
+            ("chaos_frames", Json::Int(CHAOS_FRAMES as u64)),
+            ("chaos_fps", Json::f3(chaos_fps)),
+            ("faults_injected", Json::Int(plan.injected())),
+            ("retries", Json::Int(report.retries)),
+            (
+                "rung_frames",
+                Json::Array(report.rung_frames.iter().map(|&n| Json::Int(n)).collect()),
+            ),
+            ("exhausted", Json::Int(report.exhausted)),
+            ("bit_identical", Json::Bool(bit_identical)),
+        ],
     );
-    let _ = std::fs::write(ctx.out_path("BENCH_PR3.json"), json);
     t
 }
 

@@ -12,7 +12,7 @@ use std::time::Instant;
 use starfield::workload;
 use starsim_core::{ExecMode, ParallelSimulator, Simulator};
 
-use super::format::{speedup, Table};
+use super::format::{speedup, write_json_object, Json, Table};
 use super::Context;
 
 /// The headline workload: 2^13 stars. Always measured, even under
@@ -67,13 +67,14 @@ pub fn run(ctx: &Context) -> Table {
     let _ = t.write_csv(&ctx.out_path("executor.csv"));
 
     let (reference_s, batched_s) = headline.expect("headline exponent always measured");
-    let json = format!(
-        "{{\"exec_reference_s\": {:.6}, \"exec_batched_s\": {:.6}, \"speedup\": {:.3}}}\n",
-        reference_s,
-        batched_s,
-        reference_s / batched_s
+    let _ = write_json_object(
+        &ctx.out_path("BENCH_PR1.json"),
+        &[
+            ("exec_reference_s", Json::f6(reference_s)),
+            ("exec_batched_s", Json::f6(batched_s)),
+            ("speedup", Json::f3(reference_s / batched_s)),
+        ],
     );
-    let _ = std::fs::write(ctx.out_path("BENCH_PR1.json"), json);
     t
 }
 

@@ -11,6 +11,7 @@ pub mod lutbuild;
 pub mod multigpu;
 pub mod sanitize;
 pub mod session;
+pub mod simd;
 pub mod streams;
 pub mod table3;
 pub mod test1;
@@ -20,7 +21,7 @@ pub mod trace;
 
 use std::path::PathBuf;
 
-use starsim_core::{ExecMode, SimConfig};
+use starsim_core::{ExecMode, KernelBackend, SimConfig};
 
 /// Shared experiment settings.
 #[derive(Debug, Clone)]
@@ -35,6 +36,11 @@ pub struct Context {
     /// Counters and modeled times are identical across modes; only host
     /// wall-clock changes. The `executor` experiment measures both.
     pub exec_mode: ExecMode,
+    /// Arithmetic backend for the batched fast paths (`--backend`).
+    /// Counters and modeled times are identical across backends; the SIMD
+    /// backend trades a documented pixel tolerance for host wall-clock
+    /// (the `simd` experiment measures both and gates the error).
+    pub backend: KernelBackend,
     /// Host worker threads per launch (`--workers`). `None` = auto (one
     /// per available core, capped at the device SM count). Counters and
     /// modeled times are identical for any count; only host wall-clock
@@ -55,6 +61,7 @@ impl Default for Context {
             seed: 2012,
             out_dir: PathBuf::from("results"),
             exec_mode: ExecMode::default(),
+            backend: KernelBackend::default(),
             workers: None,
             trace_path: None,
             metrics: false,
@@ -74,6 +81,7 @@ impl Context {
     pub fn sim_config(&self, width: usize, height: usize, roi_side: usize) -> SimConfig {
         let mut config = SimConfig::new(width, height, roi_side);
         config.exec_mode = self.exec_mode;
+        config.backend = self.backend;
         config.workers = self.workers;
         config
     }

@@ -25,7 +25,7 @@ use starsim_core::{
     AdaptiveSession, AdaptiveSimulator, ParallelSimulator, SequentialSimulator, Simulator,
 };
 
-use super::format::Table;
+use super::format::{write_json_object, Json, Table};
 use super::Context;
 
 /// Headline shape for the overhead gate: the paper's test-1 workload at
@@ -254,26 +254,22 @@ pub fn run(ctx: &Context) -> Table {
     }
     t.row(vec!["corpus_flagged".into(), corpus_flagged.to_string()]);
 
-    let json = format!(
-        concat!(
-            "{{\"workload\": \"test1/2^13\", \"frames\": {}, \"workers\": {},\n",
-            " \"baseline_fps\": {:.3}, \"attached_fps\": {:.3}, ",
-            "\"overhead_pct\": {:.3}, \"gate_ok\": {},\n",
-            " \"clean_reports\": {}, \"findings\": {},\n",
-            " \"corpus_kernels\": {}, \"corpus_flagged\": {}}}\n",
-        ),
-        frames,
-        workers,
-        baseline_fps,
-        attached_fps,
-        overhead_pct,
-        gate_ok,
-        reports,
-        findings,
-        rows.len(),
-        corpus_flagged,
+    let _ = write_json_object(
+        &ctx.out_path("BENCH_PR5.json"),
+        &[
+            ("workload", Json::Str("test1/2^13".into())),
+            ("frames", Json::Int(frames as u64)),
+            ("workers", Json::Int(workers as u64)),
+            ("baseline_fps", Json::f3(baseline_fps)),
+            ("attached_fps", Json::f3(attached_fps)),
+            ("overhead_pct", Json::f3(overhead_pct)),
+            ("gate_ok", Json::Bool(gate_ok)),
+            ("clean_reports", Json::Int(reports as u64)),
+            ("findings", Json::Int(findings as u64)),
+            ("corpus_kernels", Json::Int(rows.len() as u64)),
+            ("corpus_flagged", Json::Bool(corpus_flagged)),
+        ],
     );
-    let _ = std::fs::write(ctx.out_path("BENCH_PR5.json"), json);
     t
 }
 

@@ -1,0 +1,169 @@
+//! SIMD backend comparison: scalar vs lane-oriented batched fast paths
+//! (`gpusim::KernelBackend`).
+//!
+//! Counters and modeled GPU times are bit-equal across backends — proven
+//! here on the headline workload and exhaustively by
+//! `tests/exec_modes.rs` — so the two numbers of interest are **host
+//! wall-clock** of the batched executor and the **pixel error** the SIMD
+//! approximation introduces. The headline workload (2^13 stars, ROI 10,
+//! 1024×1024 — the paper's test-1 shape) is written to `BENCH_PR6.json`
+//! with both gates evaluated:
+//!
+//! * `speedup_ok` — SIMD is ≥ 2.0× faster than scalar on the batched
+//!   star-centric kernel;
+//! * `error_ok` — the SIMD image agrees with the scalar image within the
+//!   parallel-vs-sequential tolerance (1e-5 absolute or 1e-4 relative per
+//!   pixel — the same `images_close` gate the test suite uses).
+
+use std::time::Instant;
+
+use starfield::workload;
+use starsim_core::{KernelBackend, ParallelSimulator, SimulationReport, Simulator};
+
+use super::format::{speedup, write_json_object, Json, Table};
+use super::Context;
+
+/// The headline workload: 2^13 stars. Always measured, even under
+/// `--quick`, so `BENCH_PR6.json` is comparable across runs.
+const HEADLINE_EXPONENT: u32 = 13;
+
+/// The wall-clock gate: SIMD must at least halve the batched time.
+const SPEEDUP_GATE: f64 = 2.0;
+
+/// The pixel-error gate — the parallel-vs-sequential mixed tolerance.
+const ABS_TOL: f32 = 1e-5;
+const REL_TOL: f32 = 1e-4;
+
+/// Best-of-`reps` wall-clock seconds plus one representative report
+/// (deterministic virtual GPU: every rep yields identical output).
+fn measure(
+    w: &workload::Workload,
+    ctx: &Context,
+    backend: KernelBackend,
+    reps: usize,
+) -> (f64, SimulationReport) {
+    let mut config = ctx.sim_config(w.image_size, w.image_size, w.roi_side);
+    config.backend = backend;
+    let sim = ParallelSimulator::new();
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = sim.simulate(&w.catalog, &config).expect("simulate");
+        best = best.min(start.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    (best, report.expect("reps >= 1"))
+}
+
+/// Runs the backend comparison and writes `simd.csv` plus the
+/// `BENCH_PR6.json` headline artefact.
+pub fn run(ctx: &Context) -> Table {
+    let exponents: &[u32] = if ctx.quick {
+        &[HEADLINE_EXPONENT]
+    } else {
+        &[12, 13, 14, 15]
+    };
+    let mut t = Table::new(vec![
+        "stars",
+        "scalar_s",
+        "simd_s",
+        "speedup",
+        "max_abs_err",
+        "max_rel_err",
+    ]);
+    let mut headline = None;
+    for &exponent in exponents {
+        eprintln!("simd: 2^{exponent} stars ...");
+        let w = workload::test1(exponent, ctx.seed);
+        let (scalar_s, scalar) = measure(&w, ctx, KernelBackend::Scalar, 3);
+        let (simd_s, simd) = measure(&w, ctx, KernelBackend::Simd, 3);
+
+        let counters_equal = scalar.profile.kernels[0].counters == simd.profile.kernels[0].counters
+            && scalar.profile.kernels[0].time_s.to_bits()
+                == simd.profile.kernels[0].time_s.to_bits();
+        let d = starimage::diff::compare(&scalar.image, &simd.image, 0.0);
+        let error_ok = starimage::diff::images_close(&scalar.image, &simd.image, ABS_TOL, REL_TOL);
+        if exponent == HEADLINE_EXPONENT {
+            headline = Some((scalar_s, simd_s, d, counters_equal, error_ok));
+        }
+        t.row(vec![
+            format!("2^{exponent}"),
+            format!("{scalar_s:.3}"),
+            format!("{simd_s:.3}"),
+            speedup(scalar_s / simd_s),
+            format!("{:.2e}", d.max_abs),
+            format!("{:.2e}", d.max_rel),
+        ]);
+    }
+    let _ = t.write_csv(&ctx.out_path("simd.csv"));
+
+    let (scalar_s, simd_s, d, counters_equal, error_ok) =
+        headline.expect("headline exponent always measured");
+    let ratio = scalar_s / simd_s;
+    let speedup_ok = ratio >= SPEEDUP_GATE;
+    let gate_ok = speedup_ok && error_ok && counters_equal;
+    if !gate_ok {
+        eprintln!(
+            "simd: WARNING: gate failed — speedup {ratio:.2}x (need {SPEEDUP_GATE}x), \
+             error_ok {error_ok}, counters_equal {counters_equal}"
+        );
+    }
+    let _ = write_json_object(
+        &ctx.out_path("BENCH_PR6.json"),
+        &[
+            (
+                "workload",
+                Json::Str(format!("test1/2^{HEADLINE_EXPONENT}")),
+            ),
+            ("exec_batched_scalar_s", Json::f6(scalar_s)),
+            ("exec_batched_simd_s", Json::f6(simd_s)),
+            ("speedup", Json::f3(ratio)),
+            ("speedup_gate", Json::f3(SPEEDUP_GATE)),
+            ("max_abs_err", Json::F64(d.max_abs as f64, 9)),
+            ("max_rel_err", Json::F64(d.max_rel as f64, 9)),
+            ("counters_equal", Json::Bool(counters_equal)),
+            ("speedup_ok", Json::Bool(speedup_ok)),
+            ("error_ok", Json::Bool(error_ok)),
+            ("gate_ok", Json::Bool(gate_ok)),
+        ],
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simd_study_runs_quick_and_writes_artefacts() {
+        let dir = std::env::temp_dir().join("starsim_simd_bench");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = Context {
+            quick: true,
+            out_dir: dir.clone(),
+            ..Default::default()
+        };
+        let t = run(&ctx);
+        assert_eq!(t.len(), 1);
+        let json = std::fs::read_to_string(dir.join("BENCH_PR6.json")).unwrap();
+        for key in [
+            "exec_batched_scalar_s",
+            "exec_batched_simd_s",
+            "speedup",
+            "max_abs_err",
+            "max_rel_err",
+            "counters_equal",
+            "error_ok",
+            "gate_ok",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Correctness gates must hold even in a debug-profile smoke run
+        // (the 2x speedup gate is only meaningful under --release and is
+        // asserted by scripts/ci.sh instead).
+        assert!(json.contains("\"counters_equal\": true"), "{json}");
+        assert!(json.contains("\"error_ok\": true"), "{json}");
+        assert!(dir.join("simd.csv").exists());
+    }
+}

@@ -16,7 +16,7 @@ use starfield::catalog::StarCatalog;
 use starfield::workload;
 use starsim_core::AdaptiveSession;
 
-use super::format::{speedup, Table};
+use super::format::{speedup, write_json_object, Json, Table};
 use super::Context;
 
 /// The headline workload: 2^13 stars. Always measured, even under
@@ -147,27 +147,21 @@ pub fn run(ctx: &Context) -> Table {
     };
     let spawn_alloc = by_name("spawn_alloc");
     let pooled_reuse = by_name("pooled_reuse");
-    let json = format!(
-        concat!(
-            "{{\"workload\": \"{}\", \"frames\": {}, \"workers\": {},\n",
-            " \"spawn_alloc_fps\": {:.3}, \"spawn_alloc_p50_ms\": {:.3}, ",
-            "\"spawn_alloc_p99_ms\": {:.3},\n",
-            " \"pooled_reuse_fps\": {:.3}, \"pooled_reuse_p50_ms\": {:.3}, ",
-            "\"pooled_reuse_p99_ms\": {:.3},\n",
-            " \"speedup\": {:.3}}}\n",
-        ),
-        w.label,
-        frames,
-        workers,
-        spawn_alloc.fps,
-        spawn_alloc.p50_ms,
-        spawn_alloc.p99_ms,
-        pooled_reuse.fps,
-        pooled_reuse.p50_ms,
-        pooled_reuse.p99_ms,
-        pooled_reuse.fps / spawn_alloc.fps,
+    let _ = write_json_object(
+        &ctx.out_path("BENCH_PR2.json"),
+        &[
+            ("workload", Json::Str(w.label.clone())),
+            ("frames", Json::Int(frames as u64)),
+            ("workers", Json::Int(workers as u64)),
+            ("spawn_alloc_fps", Json::f3(spawn_alloc.fps)),
+            ("spawn_alloc_p50_ms", Json::f3(spawn_alloc.p50_ms)),
+            ("spawn_alloc_p99_ms", Json::f3(spawn_alloc.p99_ms)),
+            ("pooled_reuse_fps", Json::f3(pooled_reuse.fps)),
+            ("pooled_reuse_p50_ms", Json::f3(pooled_reuse.p50_ms)),
+            ("pooled_reuse_p99_ms", Json::f3(pooled_reuse.p99_ms)),
+            ("speedup", Json::f3(pooled_reuse.fps / spawn_alloc.fps)),
+        ],
     );
-    let _ = std::fs::write(ctx.out_path("BENCH_PR2.json"), json);
 
     t.row(vec![
         "speedup (pooled_reuse / spawn_alloc)".to_string(),

@@ -22,7 +22,7 @@ use starfield::FieldGenerator;
 use starsim_core::telemetry::{parse_json, write_chrome_trace, JsonValue};
 use starsim_core::{AdaptiveSession, LutCache, Telemetry};
 
-use super::format::Table;
+use super::format::{write_json_object, Json, Table};
 use super::Context;
 
 /// Headline shape: the paper's test-1 workload at 2^13 stars (the same
@@ -206,32 +206,26 @@ pub fn run(ctx: &Context) -> Table {
     ]);
     t.row(vec!["trace_valid".into(), shape.valid.to_string()]);
 
-    let json = format!(
-        concat!(
-            "{{\"workload\": \"test1/2^13\", \"frames\": {}, \"workers\": {},\n",
-            " \"baseline_fps\": {:.3}, \"telemetry_fps\": {:.3}, ",
-            "\"overhead_pct\": {:.3}, \"gate_ok\": {},\n",
-            " \"spans\": {}, \"host_stages\": {}, \"stages_ok\": {},\n",
-            " \"gpu_launches\": {}, \"lane_events\": {}, ",
-            "\"lane_launches\": {}, \"nested_spans\": {},\n",
-            " \"trace_valid\": {}}}\n",
-        ),
-        frames,
-        workers,
-        baseline_fps,
-        telemetry_fps,
-        overhead_pct,
-        gate_ok,
-        ft.spans_recorded,
-        shape.host_stages,
-        stages_ok,
-        ft.gpu_launches,
-        shape.lane_instants,
-        shape.lane_launches,
-        shape.nested_spans,
-        shape.valid,
+    let _ = write_json_object(
+        &ctx.out_path("BENCH_PR4.json"),
+        &[
+            ("workload", Json::Str("test1/2^13".into())),
+            ("frames", Json::Int(frames as u64)),
+            ("workers", Json::Int(workers as u64)),
+            ("baseline_fps", Json::f3(baseline_fps)),
+            ("telemetry_fps", Json::f3(telemetry_fps)),
+            ("overhead_pct", Json::f3(overhead_pct)),
+            ("gate_ok", Json::Bool(gate_ok)),
+            ("spans", Json::Int(ft.spans_recorded as u64)),
+            ("host_stages", Json::Int(shape.host_stages as u64)),
+            ("stages_ok", Json::Bool(stages_ok)),
+            ("gpu_launches", Json::Int(ft.gpu_launches as u64)),
+            ("lane_events", Json::Int(shape.lane_instants as u64)),
+            ("lane_launches", Json::Int(shape.lane_launches as u64)),
+            ("nested_spans", Json::Int(shape.nested_spans as u64)),
+            ("trace_valid", Json::Bool(shape.valid)),
+        ],
     );
-    let _ = std::fs::write(ctx.out_path("BENCH_PR4.json"), json);
     t
 }
 

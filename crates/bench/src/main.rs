@@ -3,14 +3,19 @@
 //!
 //! ```text
 //! starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]
-//!               [--exec reference|batched|sanitized] [--workers N] [--chaos]
-//!               [--trace PATH] [--metrics] [--sanitize]
+//!               [--exec reference|batched|sanitized] [--backend scalar|simd]
+//!               [--workers N] [--chaos] [--trace PATH] [--metrics] [--sanitize]
 //!
 //! NAME ∈ { fig2, fig9, fig10, fig11, fig12, table1, table2,
 //!          fig13, fig14, fig15, fig16, table3, ablation, contention,
 //!          devices, multigpu, streams, session, lutbuild, executor,
-//!          throughput, chaos, trace, sanitize, all }
+//!          throughput, chaos, trace, sanitize, simd, all }
 //! ```
+//!
+//! `--backend simd` runs every experiment with the lane-oriented batched
+//! fast paths (identical counters and modeled times; bounded pixel error).
+//! The `simd` experiment compares the two backends directly and writes
+//! `BENCH_PR6.json`.
 //!
 //! `--chaos` is shorthand for `--experiment chaos`: the fault-injection
 //! overhead gate plus a seeded recovery run (writes `BENCH_PR3.json`).
@@ -34,9 +39,9 @@ mod experiments;
 
 use experiments::{
     ablation, chaos, contention, devices, executor, fig2, lutbuild, multigpu, sanitize, session,
-    streams, table3, test1, test2, throughput, trace, Context,
+    simd, streams, table3, test1, test2, throughput, trace, Context,
 };
-use starsim_core::ExecMode;
+use starsim_core::{ExecMode, KernelBackend};
 
 fn main() {
     let mut ctx = Context::default();
@@ -81,6 +86,13 @@ fn main() {
                 let mode = args.next().unwrap_or_else(|| usage("missing --exec mode"));
                 ctx.exec_mode = ExecMode::parse(&mode)
                     .unwrap_or_else(|| usage(&format!("bad --exec `{mode}`")));
+            }
+            "--backend" => {
+                let b = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --backend name"));
+                ctx.backend = KernelBackend::parse(&b)
+                    .unwrap_or_else(|| usage(&format!("bad --backend `{b}`")));
             }
             "--workers" => {
                 let n: usize = args
@@ -196,6 +208,10 @@ fn main() {
             "Sanitizer (disabled-overhead gate + clean pass + corpus)",
             sanitize::run(&ctx),
         ),
+        "simd" => section(
+            "SIMD backend (batched wall-clock + pixel-error gate)",
+            simd::run(&ctx),
+        ),
         "all" => {
             let t1 = t1.as_ref().unwrap();
             let t2 = t2.as_ref().unwrap();
@@ -246,6 +262,10 @@ fn main() {
                 "Sanitizer (disabled-overhead gate + clean pass + corpus)",
                 sanitize::run(&ctx),
             );
+            section(
+                "SIMD backend (batched wall-clock + pixel-error gate)",
+                simd::run(&ctx),
+            );
         }
         other => usage(&format!("unknown experiment `{other}`")),
     }
@@ -257,11 +277,11 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]\n\
-                      [--exec reference|batched|sanitized] [--workers N] [--trace PATH]\n\
-                      [--metrics] [--sanitize]\n\
+                      [--exec reference|batched|sanitized] [--backend scalar|simd]\n\
+                      [--workers N] [--trace PATH] [--metrics] [--sanitize]\n\
          NAME: fig2 fig9 fig10 fig11 fig12 table1 table2 fig13 fig14 fig15 fig16\n\
                table3 ablation contention devices multigpu streams session lutbuild\n\
-               executor throughput chaos trace sanitize all (default)"
+               executor throughput chaos trace sanitize simd all (default)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

@@ -18,7 +18,8 @@ use std::time::Instant;
 
 use gpusim::memory::global::{GlobalAtomicF32, GlobalBuffer};
 use gpusim::{
-    AppProfile, BlockCtx, FlopClass, Kernel, LaunchConfig, Texture, ThreadCtx, VirtualGpu,
+    AppProfile, BlockCtx, FlopClass, Kernel, KernelBackend, LaunchConfig, Texture, ThreadCtx,
+    VirtualGpu,
 };
 use psf::lut::{LookupTable, LutParams};
 use psf::roi::Roi;
@@ -192,16 +193,35 @@ impl Kernel for AdaptiveKernel<'_> {
             ctx.counters.tex_fetches += (side * side) as u64;
             let mut tex_hits = 0u64;
             let acc = ctx.shadow.accumulator(self.image);
+            // Simd backend: stage the fetched LUT row in a stack buffer
+            // (texture fetches and cache accesses stay scalar, in the
+            // reference lane order, so tex_hits is identical), then add the
+            // whole row into the accumulator span with the lane helper. One
+            // add per slot either way — the backends are bit-identical here.
+            // Launch validation caps side at 32 (side² ≤ 1024 threads).
+            let mut row_buf = [0.0f32; 32];
+            let staged = ctx.backend == KernelBackend::Simd && side <= row_buf.len();
             for j in 0..side {
                 let py = y0 + j as i64;
                 let row = py as usize * self.width + x0 as usize;
                 let row_vals = acc.span_mut(row, row + side);
-                for (i, slot) in row_vals.iter_mut().enumerate() {
-                    let (gray, taddr) = self.lut_tex.fetch(layer, i as i64, j as i64);
-                    if ctx.cache.access(taddr) {
-                        tex_hits += 1;
+                if staged {
+                    for (i, slot) in row_buf[..side].iter_mut().enumerate() {
+                        let (gray, taddr) = self.lut_tex.fetch(layer, i as i64, j as i64);
+                        if ctx.cache.access(taddr) {
+                            tex_hits += 1;
+                        }
+                        *slot = gray;
                     }
-                    *slot += gray;
+                    psf::lanes::accumulate(row_vals, &row_buf[..side]);
+                } else {
+                    for (i, slot) in row_vals.iter_mut().enumerate() {
+                        let (gray, taddr) = self.lut_tex.fetch(layer, i as i64, j as i64);
+                        if ctx.cache.access(taddr) {
+                            tex_hits += 1;
+                        }
+                        *slot += gray;
+                    }
                 }
             }
             ctx.counters.tex_hits += tex_hits;
@@ -356,7 +376,8 @@ impl Simulator for AdaptiveSimulator {
             roi: Roi::new(side),
         };
         let cfg = LaunchConfig::star_centric(star_count.max(1), side, self.gpu.spec())
-            .with_shared_mem(SMEM_WORDS * 4);
+            .with_shared_mem(SMEM_WORDS * 4)
+            .with_backend(config.backend);
         let kp = self
             .gpu
             .launch_mode("adaptive-lut", &kernel, cfg, config.exec_mode)?;
@@ -471,6 +492,28 @@ mod tests {
             c.tex_hit_rate() > 0.5,
             "expected cache reuse, hit rate {}",
             c.tex_hit_rate()
+        );
+    }
+
+    #[test]
+    fn simd_backend_is_bit_identical() {
+        // The adaptive kernel's Simd path only restages the fetched row;
+        // values, counters, and cache hit sequences must be bit-equal.
+        let cfg = small_config();
+        let cat = FieldGenerator::new(64, 64).generate(150, 17);
+        let scalar = AdaptiveSimulator::new().simulate(&cat, &cfg).unwrap();
+        let mut cfg_simd = cfg.clone();
+        cfg_simd.backend = gpusim::KernelBackend::Simd;
+        let simd = AdaptiveSimulator::new().simulate(&cat, &cfg_simd).unwrap();
+        assert_eq!(
+            scalar.profile.kernels[0].counters,
+            simd.profile.kernels[0].counters
+        );
+        let a = scalar.image.data();
+        let b = simd.image.data();
+        assert!(
+            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "adaptive simd path must be bit-identical"
         );
     }
 

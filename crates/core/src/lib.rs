@@ -45,7 +45,7 @@ pub use adaptive::{AdaptiveKernel, AdaptiveSimulator};
 pub use config::{PsfKind, SimConfig};
 pub use error::SimError;
 pub use frames::{Frame, FrameSequencer, ThroughputReport};
-pub use gpusim::ExecMode;
+pub use gpusim::{ExecMode, KernelBackend};
 pub use multi_gpu::MultiGpuSimulator;
 pub use parallel::{ParallelSimulator, StarCentricKernel};
 pub use pixel_centric::{PixelCentricKernel, PixelCentricSimulator};

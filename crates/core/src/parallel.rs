@@ -17,7 +17,9 @@
 use std::time::Instant;
 
 use gpusim::memory::global::{GlobalAtomicF32, GlobalBuffer};
-use gpusim::{AppProfile, BlockCtx, FlopClass, Kernel, LaunchConfig, ThreadCtx, VirtualGpu};
+use gpusim::{
+    AppProfile, BlockCtx, FlopClass, Kernel, KernelBackend, LaunchConfig, ThreadCtx, VirtualGpu,
+};
 use psf::integrated::PsfModel;
 use psf::roi::Roi;
 use starfield::StarCatalog;
@@ -197,15 +199,63 @@ impl Kernel for StarCentricKernel<'_> {
                                                      // Shadow lookup hoisted to a per-row accumulator span: only the
                                                      // PSF evaluation and one add remain per pixel.
             let acc = ctx.shadow.accumulator(self.image);
-            for j in 0..side {
-                let py = y0 + j as i64;
-                let row = py as usize * self.width + x0 as usize;
-                let row_vals = acc.span_mut(row, row + side);
-                for (i, slot) in row_vals.iter_mut().enumerate() {
-                    let mu = self
-                        .psf
-                        .eval((x0 + i as i64) as f32, py as f32, star.x, star.y);
-                    *slot += g * mu;
+            match ctx.backend {
+                KernelBackend::Scalar => {
+                    for j in 0..side {
+                        let py = y0 + j as i64;
+                        let row = py as usize * self.width + x0 as usize;
+                        let row_vals = acc.span_mut(row, row + side);
+                        for (i, slot) in row_vals.iter_mut().enumerate() {
+                            let mu =
+                                self.psf
+                                    .eval((x0 + i as i64) as f32, py as f32, star.x, star.y);
+                            *slot += g * mu;
+                        }
+                    }
+                }
+                KernelBackend::Simd => {
+                    // Lane-oriented evaluation: identical counter charges
+                    // (all above this match), approximated pixel values
+                    // within `psf::lanes`' documented bounds. Separable
+                    // PSFs factor into two axis vectors (2·side
+                    // transcendentals for the whole block instead of
+                    // side²) and deposit via a pure multiply-add outer
+                    // product; non-separable models fall back to the
+                    // lane row evaluator. Stack buffers cover the
+                    // 1024-thread launch cap (side ≤ 32).
+                    let mut xs = [0.0f32; 32];
+                    let mut ys = [0.0f32; 32];
+                    let factors = if side <= 32 {
+                        self.psf.axis_factors(
+                            &mut xs[..side],
+                            &mut ys[..side],
+                            x0 as f32,
+                            y0 as f32,
+                            star.x,
+                            star.y,
+                        )
+                    } else {
+                        None
+                    };
+                    if let Some(scale) = factors {
+                        for (j, &fy) in ys[..side].iter().enumerate() {
+                            let py = y0 + j as i64;
+                            let row = py as usize * self.width + x0 as usize;
+                            let row_vals = acc.span_mut(row, row + side);
+                            let aj = g * scale * fy;
+                            for (slot, &ex) in row_vals.iter_mut().zip(&xs[..side]) {
+                                *slot += aj * ex;
+                            }
+                        }
+                    } else {
+                        for j in 0..side {
+                            let py = y0 + j as i64;
+                            let row = py as usize * self.width + x0 as usize;
+                            let row_vals = acc.span_mut(row, row + side);
+                            self.psf
+                                .accumulate_row(row_vals, g, x0 as f32, py as f32, star.x, star.y);
+                        }
+                    }
                 }
             }
         } else {
@@ -317,7 +367,8 @@ impl Simulator for ParallelSimulator {
             a_factor: config.a_factor,
         };
         let cfg = LaunchConfig::star_centric(star_count.max(1), config.roi_side, self.gpu.spec())
-            .with_shared_mem(SMEM_WORDS * 4);
+            .with_shared_mem(SMEM_WORDS * 4)
+            .with_backend(config.backend);
         let kp = self
             .gpu
             .launch_mode("star-centric", &kernel, cfg, config.exec_mode)?;
@@ -394,6 +445,50 @@ mod tests {
         // Two phases with a barrier between: 4 warps per 100-thread block.
         assert_eq!(k.counters.barriers, (n * 4) as u64);
         assert_eq!(k.counters.shared_hazards, 0, "staging is barrier-safe");
+    }
+
+    #[test]
+    fn simd_backend_matches_scalar_within_tolerance() {
+        let cat = FieldGenerator::new(64, 64).generate(200, 7);
+        let cfg = small_config();
+        let scalar = ParallelSimulator::new().simulate(&cat, &cfg).unwrap();
+        let mut cfg_simd = cfg.clone();
+        cfg_simd.backend = KernelBackend::Simd;
+        let simd = ParallelSimulator::new().simulate(&cat, &cfg_simd).unwrap();
+        // Counters and modeled times are bit-equal by construction; only
+        // the interior-ROI arithmetic differs.
+        assert_eq!(
+            scalar.profile.kernels[0].counters,
+            simd.profile.kernels[0].counters
+        );
+        assert_eq!(
+            scalar.profile.kernels[0].time_s.to_bits(),
+            simd.profile.kernels[0].time_s.to_bits()
+        );
+        assert!(
+            images_close(&scalar.image, &simd.image, 1e-5, 1e-4),
+            "simd image must stay inside the parallel-vs-sequential gate"
+        );
+    }
+
+    #[test]
+    fn simd_backend_matches_scalar_for_integrated_psf() {
+        let cat = FieldGenerator::new(64, 64).generate(120, 13);
+        let mut cfg = small_config();
+        cfg.psf = crate::config::PsfKind::Integrated;
+        let scalar = ParallelSimulator::new().simulate(&cat, &cfg).unwrap();
+        cfg.backend = KernelBackend::Simd;
+        let simd = ParallelSimulator::new().simulate(&cat, &cfg).unwrap();
+        assert_eq!(
+            scalar.profile.kernels[0].counters,
+            simd.profile.kernels[0].counters
+        );
+        // f32 erf rounding scales with a_factor; 1e-4 abs at A=1000 is the
+        // documented bound (see psf::lanes).
+        assert!(
+            images_close(&scalar.image, &simd.image, 1e-4, 1e-4),
+            "integrated-psf simd image out of tolerance"
+        );
     }
 
     #[test]

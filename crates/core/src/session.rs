@@ -573,7 +573,8 @@ impl AdaptiveSession {
             config.exec_mode
         };
         let cfg = LaunchConfig::star_centric(star_count.max(1), config.roi_side, self.gpu.spec())
-            .with_shared_mem(3 * 4);
+            .with_shared_mem(3 * 4)
+            .with_backend(config.backend);
         let profile = if rung == Rung::DirectPsf {
             let kernel = StarCentricKernel {
                 stars: &stars,

@@ -1030,6 +1030,7 @@ impl VirtualGpu {
                         counters: &mut state.counters,
                         cache: &mut cache,
                         shadow: &mut state.shadow,
+                        backend: cfg.backend,
                     };
                     if !kernel.run_block(&mut bctx) {
                         self.run_block_reference(

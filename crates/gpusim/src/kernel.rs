@@ -76,6 +76,45 @@ pub enum Event {
     },
 }
 
+/// Host-side arithmetic backend for [`Kernel::run_block`] fast paths.
+///
+/// A pure execution strategy, orthogonal to [`crate::ExecMode`]: the
+/// counter model and every modeled GPU time are **bit-equal across
+/// backends** (the analytic charges never depend on how the host computes
+/// pixel values), and only the functional image may differ — by the
+/// bounded approximation error of the vector math, gated by the same
+/// tolerance the simulators already accept for accumulation-order
+/// differences. The reference (per-thread) executor always computes
+/// scalar, so `Simd` only affects blocks taken by `run_block`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelBackend {
+    /// Scalar inner loops — the accuracy baseline and the default.
+    #[default]
+    Scalar,
+    /// Vectorized interior-ROI loops (portable lane math; see
+    /// `psf::lanes` for the approximation contract).
+    Simd,
+}
+
+impl KernelBackend {
+    /// Parses a CLI name (`"scalar"` / `"simd"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scalar" => Some(KernelBackend::Scalar),
+            "simd" => Some(KernelBackend::Simd),
+            _ => None,
+        }
+    }
+
+    /// The CLI / JSON name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Simd => "simd",
+        }
+    }
+}
+
 /// A barrier-phased kernel.
 ///
 /// Implementations must be `Sync`: the same kernel object is shared by all
@@ -137,6 +176,10 @@ pub struct BlockCtx<'k, 'a> {
     pub cache: &'a mut CacheSim,
     /// The worker's private accumulation buffers (image privatization).
     pub shadow: &'a mut ShadowSet<'k>,
+    /// Arithmetic backend the launch selected ([`crate::LaunchConfig`]'s
+    /// `backend`). Fast paths branch on this for their interior loops;
+    /// counter accounting must not.
+    pub backend: KernelBackend,
 }
 
 impl BlockCtx<'_, '_> {

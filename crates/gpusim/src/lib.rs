@@ -79,7 +79,9 @@ pub use dim::Dim3;
 pub use error::GpuError;
 pub use exec::{ExecMode, GpuDiagnostics, VirtualGpu};
 pub use fault::{ArmedFaults, FaultKind, FaultPlan, FaultSpec};
-pub use kernel::{BlockCtx, BufferArena, Event, Kernel, ShadowBuf, ShadowSet, ThreadCtx};
+pub use kernel::{
+    BlockCtx, BufferArena, Event, Kernel, KernelBackend, ShadowBuf, ShadowSet, ThreadCtx,
+};
 pub use launch::LaunchConfig;
 pub use memory::global::{GlobalAtomicF32, GlobalBuffer};
 pub use memory::texture::Texture;

@@ -116,9 +116,9 @@ fn occupancy_bounds() {
         // Replace the block shape with the generated one (may exceed caps;
         // skip those — validate() guards real launches).
         let cfg = LaunchConfig {
-            grid: base.grid,
             block: Dim3::d2(tx, ty),
             shared_mem_bytes: smem,
+            ..base
         };
         if cfg.validate(&dev).is_err() {
             continue;

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full offline CI gate: format, lint, build, test, Miri smoke, bench smokes.
-# Bench artefacts (BENCH_PR1.json executor speedup, BENCH_PR2.json
-# sustained throughput, BENCH_PR3.json chaos overhead + recovery,
-# BENCH_PR4.json telemetry overhead + trace validation, BENCH_PR5.json
-# sanitizer gate + clean pass + corpus) land in results/ and are copied
-# to the repo root for the PR gate.
+#
+# Artefact convention: every BENCH_PR*.json (PR1 executor speedup, PR2
+# sustained throughput, PR3 chaos overhead + recovery, PR4 telemetry
+# overhead + trace validation, PR5 sanitizer gate + clean pass + corpus,
+# PR6 SIMD backend speedup + pixel-error gate) is written to results/ —
+# the single tracked location. Only the *current* PR's artefact
+# (BENCH_PR6.json) is additionally copied to the repo root for the PR
+# gate, at the end of this script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,6 +23,13 @@ cargo build --release
 
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
+
+# The backend contract: the exec-modes and sanitizer suites must hold
+# verbatim with the SIMD fast paths selected (counters and modeled times
+# bit-equal; image assertions switch to the documented tolerance where
+# the suite says so).
+echo "== exec-modes + sanitizer suites under STARSIM_BACKEND=simd"
+STARSIM_BACKEND=simd cargo test -q --test exec_modes --test sanitizer
 
 # Miri smoke over the std-only leaf crates (rng, psf, starfield): UB
 # checking on the pure-math core. Gated on a working miri component so the
@@ -41,20 +51,24 @@ else
   echo "miri: component not installed — skipped"
 fi
 
+# Every bench smoke is time-boxed: a wedged run (e.g. a rare scheduler
+# race under fault injection) should fail the gate loudly, not hang it.
+BENCH="timeout 600 target/release/starsim-bench"
+
 echo "== executor bench smoke"
-cargo run --release -p starsim-bench -- --experiment executor --quick --out results
+$BENCH --experiment executor --quick --out results
 
 echo "== BENCH_PR1.json"
 cat results/BENCH_PR1.json
 
 echo "== throughput bench smoke"
-cargo run --release -p starsim-bench -- --experiment throughput --quick --out results
+$BENCH --experiment throughput --quick --out results
 
 echo "== BENCH_PR2.json"
 cat results/BENCH_PR2.json
 
 echo "== chaos bench smoke (seeded fault injection + recovery)"
-cargo run --release -p starsim-bench -- --chaos --seed 7 --quick --out results
+$BENCH --chaos --seed 7 --quick --out results
 
 echo "== BENCH_PR3.json"
 cat results/BENCH_PR3.json
@@ -62,7 +76,7 @@ grep -q '"bit_identical": true' results/BENCH_PR3.json
 grep -q '"exhausted": 0' results/BENCH_PR3.json
 
 echo "== telemetry bench smoke (overhead gate + Perfetto trace export)"
-cargo run --release -p starsim-bench -- --trace results/trace.json --quick --out results
+$BENCH --trace results/trace.json --quick --out results
 
 echo "== BENCH_PR4.json"
 cat results/BENCH_PR4.json
@@ -71,7 +85,7 @@ grep -q '"stages_ok": true' results/BENCH_PR4.json
 grep -q '"gate_ok": true' results/BENCH_PR4.json
 
 echo "== sanitizer bench smoke (disabled-overhead gate + clean pass + corpus)"
-cargo run --release -p starsim-bench -- --sanitize --quick --out results
+$BENCH --sanitize --quick --out results
 
 echo "== BENCH_PR5.json"
 cat results/BENCH_PR5.json
@@ -79,5 +93,15 @@ grep -q '"findings": 0' results/BENCH_PR5.json
 grep -q '"corpus_flagged": true' results/BENCH_PR5.json
 grep -q '"gate_ok": true' results/BENCH_PR5.json
 
-cp results/BENCH_PR1.json results/BENCH_PR2.json results/BENCH_PR3.json \
-   results/BENCH_PR4.json results/BENCH_PR5.json .
+echo "== simd backend bench (scalar vs simd wall-clock + error gate)"
+$BENCH --experiment simd --quick --out results
+
+echo "== BENCH_PR6.json"
+cat results/BENCH_PR6.json
+grep -q '"counters_equal": true' results/BENCH_PR6.json
+grep -q '"error_ok": true' results/BENCH_PR6.json
+grep -q '"speedup_ok": true' results/BENCH_PR6.json
+grep -q '"gate_ok": true' results/BENCH_PR6.json
+
+# Root copy: current PR's artefact only (see the convention at the top).
+cp results/BENCH_PR6.json .

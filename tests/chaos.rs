@@ -120,6 +120,35 @@ fn chaos_matrix_adaptive_session_recovers_bit_identically() {
 }
 
 #[test]
+fn chaos_matrix_simd_backend_recovers_bit_identically() {
+    // The resilience ladder is backend-independent: a session configured
+    // with the SIMD fast paths absorbs every fault kind and still produces
+    // frames bit-identical to a fault-free *scalar* run — the adaptive
+    // SIMD path is bit-identical by construction, and any degradation to
+    // the reference executor lands on scalar per-thread code anyway.
+    let mut simd_cfg = cfg();
+    simd_cfg.backend = starsim::sim::KernelBackend::Simd;
+
+    let clean = AdaptiveSession::on(VirtualGpu::gtx480(), cfg()).expect("clean scalar session");
+    let expected = session_frames(&clean);
+
+    for kind in FaultKind::ALL {
+        let (plan, gpu) = chaos_gpu(kind);
+        let session = AdaptiveSession::on_resilient(gpu, simd_cfg.clone(), fast_retry())
+            .expect("resilient simd session");
+        let got = session_frames(&session);
+        assert_eq!(
+            expected, got,
+            "{kind:?}: simd recovery must be bit-identical to the scalar fault-free run"
+        );
+        assert_eq!(plan.remaining(), 0, "{kind:?}: the fault must have fired");
+        let r = session.resilience_report();
+        assert_eq!(r.frames, FRAMES as u64, "{kind:?}");
+        assert_eq!(r.exhausted, 0, "{kind:?}");
+    }
+}
+
+#[test]
 fn chaos_matrix_parallel_simulator_recovers_bit_identically() {
     let expected: Vec<Vec<u32>> = {
         let sim = ParallelSimulator::on(VirtualGpu::gtx480().with_workers(WORKERS));

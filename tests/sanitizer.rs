@@ -29,6 +29,19 @@ fn device() -> VirtualGpu {
         .with_exec_mode(ExecMode::Sanitized)
 }
 
+/// A [`SimConfig`] honoring `STARSIM_BACKEND` (scripts/ci.sh reruns this
+/// suite with `STARSIM_BACKEND=simd`): every sanitizer claim — corpus
+/// flagging, clean passes, sanitized-vs-reference bit identity — must be
+/// backend-independent.
+fn sim_config(w: usize, h: usize, roi: usize) -> SimConfig {
+    let mut c = SimConfig::new(w, h, roi);
+    if let Ok(s) = std::env::var("STARSIM_BACKEND") {
+        c.backend = gpusim::KernelBackend::parse(&s)
+            .unwrap_or_else(|| panic!("STARSIM_BACKEND must be scalar|simd, got {s:?}"));
+    }
+    c
+}
+
 /// Launches `kernel` once in sanitized mode and drains the single report.
 fn sanitize_one<K: gpusim::Kernel>(
     gpu: &VirtualGpu,
@@ -261,8 +274,7 @@ fn arena_use_after_recycle_is_reported_as_memcheck_finding() {
         .with_exec_mode(ExecMode::Batched);
     let sim = ParallelSimulator::on(gpu);
     let cat = FieldGenerator::new(64, 64).generate(100, 11);
-    sim.simulate(&cat, &SimConfig::new(64, 64, 10))
-        .expect("frame");
+    sim.simulate(&cat, &sim_config(64, 64, 10)).expect("frame");
     let reports = sim.gpu().take_sanitize_reports();
     assert_eq!(reports.len(), 1, "{reports:?}");
     assert!(matches!(
@@ -273,7 +285,7 @@ fn arena_use_after_recycle_is_reported_as_memcheck_finding() {
 
 #[test]
 fn all_three_simulators_pass_the_sanitizer_clean() {
-    let mut config = SimConfig::new(64, 64, 10);
+    let mut config = sim_config(64, 64, 10);
     config.exec_mode = ExecMode::Sanitized;
     let cat = FieldGenerator::new(64, 64).generate(200, 7);
 
@@ -302,7 +314,7 @@ fn all_three_simulators_pass_the_sanitizer_clean() {
 
 #[test]
 fn sanitized_session_stays_clean_across_frames() {
-    let mut config = SimConfig::new(64, 64, 10);
+    let mut config = sim_config(64, 64, 10);
     config.exec_mode = ExecMode::Sanitized;
     config.workers = Some(2);
     let session = AdaptiveSession::on(VirtualGpu::gtx480(), config).expect("session");
@@ -319,7 +331,7 @@ fn sanitized_session_stays_clean_across_frames() {
 #[test]
 fn sanitized_execution_is_bit_identical_to_reference() {
     let cat = FieldGenerator::new(64, 64).generate(300, 5);
-    let mut reference = SimConfig::new(64, 64, 10);
+    let mut reference = sim_config(64, 64, 10);
     reference.exec_mode = ExecMode::Reference;
     let mut sanitized = reference.clone();
     sanitized.exec_mode = ExecMode::Sanitized;
@@ -360,7 +372,7 @@ fn sanitized_execution_is_bit_identical_to_reference() {
 #[test]
 fn static_validator_rejects_oversized_roi_before_dispatch() {
     // ROI 80 on a 64×64 image: every star would index past the image.
-    let config = SimConfig::new(64, 64, 80);
+    let config = sim_config(64, 64, 80);
     let cat = FieldGenerator::new(64, 64).generate(10, 1);
     let err = ParallelSimulator::new()
         .simulate(&cat, &config)
