@@ -1,0 +1,392 @@
+//! Frame-pipelined scheduler benchmark: the double-buffered producer /
+//! consumer frame loop ([`FrameSequencer::run_frames_pipelined`]) against
+//! the sequential frame loop, with the pre-PR-7 executor scheduling as the
+//! baseline.
+//!
+//! Three legs at the headline shape (2^13 stars dense in a 10° FOV,
+//! ROI 10, 1024×1024 — the paper's test-1 scale as a frame stream):
+//!
+//! * `sequential_legacy` — [`FrameSequencer::run_frames`] on a device with
+//!   the legacy per-worker scheduler (the gate baseline);
+//! * `sequential` — the same loop on the current scheduler (also the
+//!   bit-identity reference);
+//! * `pipelined` — [`FrameSequencer::run_frames_pipelined`], star gen +
+//!   upload overlapped with kernel + download.
+//!
+//! `BENCH_PR7.json` carries the gates:
+//!
+//! * `speedup_ok` — pipelined FPS ≥ 1.3× the legacy sequential loop;
+//! * `p99_ok` — pipelined p99 frame latency ≤ 39 ms;
+//! * `bit_identical` — pipelined images, counters and modeled times are
+//!   bit-equal to the sequential loop across a seed × workers × backend
+//!   sweep (the invariant `tests/pipeline.rs` checks exhaustively).
+
+use std::sync::Arc;
+
+use gpusim::{DeviceSpec, KernelBackend, VirtualGpu};
+use starfield::dynamics::AttitudeDynamics;
+use starfield::{Attitude, Camera, SkyCatalog, SkyStar};
+use starsim_core::{CancelToken, FrameSequencer, LutCache, SimConfig, ThroughputReport};
+
+use super::format::{speedup, write_json_object, Json, Table};
+use super::Context;
+
+/// The headline workload: 2^13 stars. Always measured, even under
+/// `--quick`, so `BENCH_PR7.json` is comparable across runs.
+const HEADLINE_EXPONENT: u32 = 13;
+
+/// The throughput gate: the pipelined loop must beat the legacy-scheduled
+/// sequential loop by at least this factor.
+const SPEEDUP_GATE: f64 = 1.3;
+
+/// The tail-latency gate, milliseconds.
+const P99_GATE_MS: f64 = 39.0;
+
+/// A sky with exactly `stars` stars spread over the central ~84% of a
+/// `fov_rad` field of view around (ra 0, dec 0): every star stays on the
+/// sensor for the whole burst. A golden-ratio lattice (no RNG dependency)
+/// keeps the layout deterministic per seed and low-discrepancy — dense,
+/// even coverage like the paper's large-scale fields.
+fn dense_sky(stars: usize, fov_rad: f64, seed: u64) -> SkyCatalog {
+    const PHI1: f64 = 0.754_877_666_246_692_8; // plastic-number lattice
+    const PHI2: f64 = 0.569_840_290_998_053_2;
+    let offset = (seed % 4096) as f64 * PHI2;
+    (0..stars)
+        .map(|i| {
+            let t = i as f64 + offset;
+            let u = (t * PHI1).fract();
+            let v = (t * PHI2).fract();
+            let ra = (u - 0.5) * 0.84 * fov_rad;
+            let dec = (v - 0.5) * 0.84 * fov_rad;
+            let mag = 6.0 * ((t * PHI1 * 7.0).fract() as f32);
+            SkyStar::new(ra, dec, mag)
+        })
+        .collect()
+}
+
+/// A sequencer over the dense sky: boresight on the field centre, a drift
+/// slow enough to keep the point PSF (and every star in view) while still
+/// changing the field every frame.
+fn sequencer(
+    gpu: VirtualGpu,
+    config: SimConfig,
+    stars: usize,
+    seed: u64,
+) -> Result<FrameSequencer, starsim_core::SimError> {
+    let fov_rad = 10.0f64.to_radians();
+    let camera = Camera::from_fov(fov_rad, config.width, config.height).expect("valid camera");
+    FrameSequencer::on_device(
+        gpu,
+        dense_sky(stars, fov_rad, seed),
+        camera,
+        AttitudeDynamics::new(Attitude::pointing(0.0, 0.0, 0.0), [5e-4, 0.0, 0.0]),
+        config,
+        0.05,
+        0.1,
+    )
+}
+
+/// One leg's sustained numbers plus the report of its best pass.
+struct Sustained {
+    fps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    report: ThroughputReport,
+}
+
+/// Runs `reps` bursts of `frames` and keeps the fastest pass (the one
+/// least disturbed by unrelated host load — the same best-of-reps policy
+/// as the `executor` and `throughput` experiments). One untimed warmup
+/// burst populates the pool, the LUT, and the pipeline's device images.
+fn measure(seq: &mut FrameSequencer, frames: usize, reps: usize, pipelined: bool) -> Sustained {
+    let run = |seq: &mut FrameSequencer| -> ThroughputReport {
+        if pipelined {
+            seq.run_frames_pipelined(frames).expect("pipelined burst")
+        } else {
+            seq.run_frames(frames).expect("sequential burst")
+        }
+    };
+    let _ = run(seq); // warmup
+    let mut best: Option<Sustained> = None;
+    for _ in 0..reps.max(1) {
+        let report = run(seq);
+        let pass = Sustained {
+            fps: report.fps(),
+            p50_ms: report.p50_ms,
+            p99_ms: report.p99_ms,
+            report,
+        };
+        if best.as_ref().is_none_or(|b| pass.fps > b.fps) {
+            best = Some(pass);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// FNV-1a over one burst's identity-relevant state: image bits, counters
+/// and modeled-time bits per frame.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Digest of `frames` sequential frames (the reference schedule).
+fn sequential_digest(seq: &mut FrameSequencer, frames: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for _ in 0..frames {
+        let f = seq.next_frame().expect("frame");
+        for p in f.report.image.data() {
+            fnv1a(&mut h, &p.to_bits().to_le_bytes());
+        }
+        fnv1a(
+            &mut h,
+            format!("{:?}", f.report.profile.kernels[0].counters).as_bytes(),
+        );
+        fnv1a(&mut h, &f.report.app_time_s.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// Digest of `frames` pipelined frames, taken in flight.
+fn pipelined_digest(seq: &mut FrameSequencer, frames: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let token = CancelToken::new();
+    seq.run_frames_pipelined_observed(frames, &token, |frame| {
+        for p in frame.pixels {
+            fnv1a(&mut h, &p.to_bits().to_le_bytes());
+        }
+        fnv1a(&mut h, format!("{:?}", frame.timing.counters).as_bytes());
+        fnv1a(&mut h, &frame.timing.app_time_s.to_bits().to_le_bytes());
+    })
+    .expect("pipelined burst");
+    h
+}
+
+/// Sweeps seed × workers × backend at a small shape and reports whether
+/// every configuration's pipelined digest matches the sequential one.
+fn identity_sweep(ctx: &Context, seeds: &[u64]) -> (bool, usize) {
+    let mut all_equal = true;
+    let mut configs = 0;
+    for &seed in seeds {
+        for &workers in &[2usize, 15] {
+            for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+                let mut config = ctx.sim_config(256, 256, 10);
+                config.workers = Some(workers);
+                config.backend = backend;
+                let mut reference = sequencer(VirtualGpu::gtx480(), config.clone(), 1024, seed)
+                    .expect("reference sequencer");
+                let mut pipelined =
+                    sequencer(VirtualGpu::gtx480(), config, 1024, seed).expect("sequencer");
+                let expected = sequential_digest(&mut reference, 3);
+                let got = pipelined_digest(&mut pipelined, 3);
+                if expected != got {
+                    eprintln!(
+                        "pipeline: WARNING: identity broken at seed {seed}, \
+                         {workers} workers, {backend:?}"
+                    );
+                    all_equal = false;
+                }
+                configs += 1;
+            }
+        }
+    }
+    (all_equal, configs)
+}
+
+/// Runs the three-leg comparison and writes `pipeline.csv` plus the
+/// `BENCH_PR7.json` headline artefact.
+pub fn run(ctx: &Context) -> Table {
+    let frames = if ctx.quick { 6 } else { 24 };
+    let reps = if ctx.quick { 2 } else { 3 };
+    let stars = 1usize << HEADLINE_EXPONENT;
+    // One worker per virtual SM — the deployed shape — unless --workers
+    // overrides it.
+    let workers = ctx
+        .workers
+        .unwrap_or(DeviceSpec::gtx480().sm_count as usize);
+    let mut config = ctx.sim_config(1024, 1024, 10);
+    config.workers = Some(workers);
+    let cache = Arc::new(LutCache::new());
+
+    let mut t = Table::new(vec!["config", "fps", "p50_ms", "p99_ms"]);
+    let mut measured = Vec::new();
+    for (name, legacy, pipelined) in [
+        ("sequential_legacy", true, false),
+        ("sequential", false, false),
+        ("pipelined", false, true),
+    ] {
+        eprintln!("pipeline: {name} ({frames} frames, {workers} workers) ...");
+        let gpu = if legacy {
+            VirtualGpu::gtx480().with_legacy_scheduler()
+        } else {
+            VirtualGpu::gtx480()
+        };
+        let mut seq = sequencer(gpu, config.clone(), stars, ctx.seed)
+            .expect("sequencer")
+            .with_lut_cache(Arc::clone(&cache));
+        let s = measure(&mut seq, frames, reps, pipelined);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", s.fps),
+            format!("{:.3}", s.p50_ms),
+            format!("{:.3}", s.p99_ms),
+        ]);
+        measured.push((name, s));
+    }
+    let _ = t.write_csv(&ctx.out_path("pipeline.csv"));
+
+    let by_name = |name: &str| -> &Sustained {
+        &measured
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("all legs measured")
+            .1
+    };
+    let legacy = by_name("sequential_legacy");
+    let sequential = by_name("sequential");
+    let pipelined = by_name("pipelined");
+    let overlap = pipelined
+        .report
+        .overlap
+        .expect("pipelined bursts report overlap");
+    let lut = pipelined.report.lut_cache.unwrap_or_default();
+
+    let seeds: &[u64] = if ctx.quick {
+        &[ctx.seed]
+    } else {
+        &[ctx.seed, ctx.seed + 4]
+    };
+    eprintln!("pipeline: bit-identity sweep ({} seeds) ...", seeds.len());
+    let (bit_identical, identity_configs) = identity_sweep(ctx, seeds);
+
+    let ratio = pipelined.fps / legacy.fps;
+    let speedup_ok = ratio >= SPEEDUP_GATE;
+    let p99_ok = pipelined.p99_ms <= P99_GATE_MS;
+    let gate_ok = speedup_ok && p99_ok && bit_identical;
+    if !gate_ok {
+        eprintln!(
+            "pipeline: WARNING: gate failed — speedup {ratio:.2}x (need {SPEEDUP_GATE}x), \
+             p99 {:.2} ms (need <= {P99_GATE_MS}), bit_identical {bit_identical}",
+            pipelined.p99_ms
+        );
+    }
+    let _ = write_json_object(
+        &ctx.out_path("BENCH_PR7.json"),
+        &[
+            (
+                "workload",
+                Json::Str(format!("dense/2^{HEADLINE_EXPONENT} @1024")),
+            ),
+            ("frames", Json::Int(frames as u64)),
+            ("workers", Json::Int(workers as u64)),
+            ("sequential_legacy_fps", Json::f3(legacy.fps)),
+            ("sequential_legacy_p99_ms", Json::f3(legacy.p99_ms)),
+            ("sequential_fps", Json::f3(sequential.fps)),
+            ("sequential_p99_ms", Json::f3(sequential.p99_ms)),
+            ("pipelined_fps", Json::f3(pipelined.fps)),
+            ("pipelined_p50_ms", Json::f3(pipelined.p50_ms)),
+            ("pipelined_p99_ms", Json::f3(pipelined.p99_ms)),
+            ("speedup", Json::f3(ratio)),
+            ("speedup_gate", Json::f3(SPEEDUP_GATE)),
+            ("p99_gate_ms", Json::f3(P99_GATE_MS)),
+            ("overlap_modeled_saved_s", Json::f6(overlap.modeled.saved_s)),
+            (
+                "overlap_modeled_efficiency",
+                Json::f3(overlap.modeled_efficiency),
+            ),
+            (
+                "overlap_measured_efficiency",
+                Json::f3(overlap.measured_efficiency),
+            ),
+            ("lut_prefetch_s", Json::f6(pipelined.report.lut_prefetch_s)),
+            ("lut_hits", Json::Int(lut.hits)),
+            ("lut_misses", Json::Int(lut.misses)),
+            ("lut_evictions", Json::Int(lut.evictions)),
+            ("identity_configs", Json::Int(identity_configs as u64)),
+            ("bit_identical", Json::Bool(bit_identical)),
+            ("speedup_ok", Json::Bool(speedup_ok)),
+            ("p99_ok", Json::Bool(p99_ok)),
+            ("gate_ok", Json::Bool(gate_ok)),
+        ],
+    );
+
+    t.row(vec![
+        "speedup (pipelined / sequential_legacy)".to_string(),
+        speedup(ratio),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_study_runs_quick_and_writes_artefacts() {
+        let dir = std::env::temp_dir().join("starsim_pipeline_bench");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = Context {
+            quick: true,
+            out_dir: dir.clone(),
+            // Keep the smoke cheap: the full SM-wide fan-out is the real
+            // bench run's job.
+            workers: Some(2),
+            ..Default::default()
+        };
+        let t = run(&ctx);
+        assert_eq!(t.len(), 4, "three legs plus the speedup row");
+        let json = std::fs::read_to_string(dir.join("BENCH_PR7.json")).unwrap();
+        for key in [
+            "sequential_legacy_fps",
+            "sequential_fps",
+            "pipelined_fps",
+            "pipelined_p50_ms",
+            "pipelined_p99_ms",
+            "speedup",
+            "overlap_modeled_efficiency",
+            "lut_prefetch_s",
+            "lut_misses",
+            "bit_identical",
+            "speedup_ok",
+            "p99_ok",
+            "gate_ok",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The correctness gate must hold even in a debug-profile smoke run
+        // (the speed gates are only meaningful under --release and are
+        // asserted by scripts/ci.sh instead).
+        assert!(json.contains("\"bit_identical\": true"), "{json}");
+        assert!(dir.join("pipeline.csv").exists());
+    }
+
+    #[test]
+    fn dense_sky_is_deterministic_and_fills_the_fov() {
+        let fov = 10.0f64.to_radians();
+        let a = dense_sky(512, fov, 7);
+        let b = dense_sky(512, fov, 7);
+        let c = dense_sky(512, fov, 8);
+        assert_eq!(a.len(), 512);
+        assert_eq!(a.stars().len(), b.stars().len());
+        for (x, y) in a.stars().iter().zip(b.stars()) {
+            assert_eq!(x.ra.to_bits(), y.ra.to_bits());
+            assert_eq!(x.dec.to_bits(), y.dec.to_bits());
+        }
+        assert!(
+            a.stars()
+                .iter()
+                .zip(c.stars())
+                .any(|(x, y)| x.ra.to_bits() != y.ra.to_bits()),
+            "different seeds shift the lattice"
+        );
+        for s in a.stars() {
+            assert!(s.ra.abs() <= 0.42 * fov + 1e-12);
+            assert!(s.dec.abs() <= 0.42 * fov + 1e-12);
+            assert!((0.0..=6.0).contains(&s.mag.0));
+        }
+    }
+}

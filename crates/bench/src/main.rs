@@ -5,17 +5,23 @@
 //! starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]
 //!               [--exec reference|batched|sanitized] [--backend scalar|simd]
 //!               [--workers N] [--chaos] [--trace PATH] [--metrics] [--sanitize]
+//!               [--pipeline]
 //!
 //! NAME ∈ { fig2, fig9, fig10, fig11, fig12, table1, table2,
 //!          fig13, fig14, fig15, fig16, table3, ablation, contention,
 //!          devices, multigpu, streams, session, lutbuild, executor,
-//!          throughput, chaos, trace, sanitize, simd, all }
+//!          throughput, chaos, trace, sanitize, simd, pipeline, all }
 //! ```
 //!
 //! `--backend simd` runs every experiment with the lane-oriented batched
 //! fast paths (identical counters and modeled times; bounded pixel error).
 //! The `simd` experiment compares the two backends directly and writes
 //! `BENCH_PR6.json`.
+//!
+//! `--pipeline` is shorthand for `--experiment pipeline`: the
+//! frame-pipelined scheduler against the sequential frame loop, with the
+//! overlap-efficiency accounting and the bit-identity sweep (writes
+//! `BENCH_PR7.json`).
 //!
 //! `--chaos` is shorthand for `--experiment chaos`: the fault-injection
 //! overhead gate plus a seeded recovery run (writes `BENCH_PR3.json`).
@@ -38,8 +44,8 @@
 mod experiments;
 
 use experiments::{
-    ablation, chaos, contention, devices, executor, fig2, lutbuild, multigpu, sanitize, session,
-    simd, streams, table3, test1, test2, throughput, trace, Context,
+    ablation, chaos, contention, devices, executor, fig2, lutbuild, multigpu, pipeline, sanitize,
+    session, simd, streams, table3, test1, test2, throughput, trace, Context,
 };
 use starsim_core::{ExecMode, KernelBackend};
 
@@ -70,6 +76,7 @@ fn main() {
                 experiment = String::from("trace");
             }
             "--sanitize" => experiment = String::from("sanitize"),
+            "--pipeline" => experiment = String::from("pipeline"),
             "--seed" => {
                 ctx.seed = args
                     .next()
@@ -212,6 +219,10 @@ fn main() {
             "SIMD backend (batched wall-clock + pixel-error gate)",
             simd::run(&ctx),
         ),
+        "pipeline" => section(
+            "Frame pipeline (overlap + bit-identity gates)",
+            pipeline::run(&ctx),
+        ),
         "all" => {
             let t1 = t1.as_ref().unwrap();
             let t2 = t2.as_ref().unwrap();
@@ -266,6 +277,10 @@ fn main() {
                 "SIMD backend (batched wall-clock + pixel-error gate)",
                 simd::run(&ctx),
             );
+            section(
+                "Frame pipeline (overlap + bit-identity gates)",
+                pipeline::run(&ctx),
+            );
         }
         other => usage(&format!("unknown experiment `{other}`")),
     }
@@ -278,10 +293,10 @@ fn usage(error: &str) -> ! {
     eprintln!(
         "usage: starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]\n\
                       [--exec reference|batched|sanitized] [--backend scalar|simd]\n\
-                      [--workers N] [--trace PATH] [--metrics] [--sanitize]\n\
+                      [--workers N] [--trace PATH] [--metrics] [--sanitize] [--pipeline]\n\
          NAME: fig2 fig9 fig10 fig11 fig12 table1 table2 fig13 fig14 fig15 fig16\n\
                table3 ablation contention devices multigpu streams session lutbuild\n\
-               executor throughput chaos trace sanitize simd all (default)"
+               executor throughput chaos trace sanitize simd pipeline all (default)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

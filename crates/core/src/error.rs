@@ -18,6 +18,11 @@ pub enum SimError {
         /// The error from the final attempt.
         last: Box<SimError>,
     },
+    /// The frame loop was cancelled through a
+    /// [`crate::resilience::CancelToken`] before completing its burst.
+    /// In-flight frames drained deterministically first; the sequencer's
+    /// clock stops exactly after the last completed frame.
+    Cancelled,
 }
 
 impl fmt::Display for SimError {
@@ -30,6 +35,7 @@ impl fmt::Display for SimError {
                 f,
                 "all {attempts} retry attempts exhausted; last error: {last}"
             ),
+            SimError::Cancelled => write!(f, "frame loop cancelled"),
         }
     }
 }
@@ -72,6 +78,13 @@ mod tests {
         assert!(g.source().is_some());
         let p: SimError = psf::PsfError::InvalidParameter("y".into()).into();
         assert!(p.to_string().contains("y"));
+    }
+
+    #[test]
+    fn cancelled_displays_and_has_no_source() {
+        let e = SimError::Cancelled;
+        assert!(e.to_string().contains("cancelled"));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -8,8 +8,20 @@
 //! retrieval → the persistent [`crate::AdaptiveSession`] (lookup table
 //! resident across frames) → one [`SimulationReport`] per frame, with the
 //! slew-dependent smear applied automatically when it matters.
+//!
+//! Two frame-loop schedules are offered. [`FrameSequencer::run_frames`] is
+//! the sequential reference: each frame's star generation, upload, kernel
+//! and download run back to back on the calling thread.
+//! [`FrameSequencer::run_frames_pipelined`] double-buffers the loop —
+//! frame `N+1`'s attitude propagation, FOV retrieval and star upload run
+//! on a producer thread while frame `N`'s kernel and download execute on
+//! the caller — and is required to be *bit-identical* to the sequential
+//! schedule: same images, same counters, same modeled times, for every
+//! seed, worker count and kernel backend.
 
+use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
+use std::time::Instant;
 
 use gpusim::{GpuDiagnostics, VirtualGpu};
 use psf::smear::SmearedGaussianPsf;
@@ -20,8 +32,9 @@ use starfield::projection::Camera;
 use crate::config::{PsfKind, SimConfig};
 use crate::error::SimError;
 use crate::report::SimulationReport;
-use crate::resilience::{ResilienceReport, RetryPolicy};
-use crate::session::AdaptiveSession;
+use crate::resilience::{CancelToken, ResilienceReport, RetryPolicy};
+use crate::session::{AdaptiveSession, FrameTiming, LutCache, LutCacheStats, PreparedStars};
+use crate::streams::{frame_overlap_estimate, StreamedEstimate};
 use crate::telemetry::{maybe_span, FrameTelemetry, Telemetry};
 
 /// A clocked, attitude-propagating frame source.
@@ -36,6 +49,13 @@ pub struct FrameSequencer {
     frame_dt: f64,
     session: AdaptiveSession,
     time_s: f64,
+    /// Shared LUT cache, when attached: pipelined bursts (re)validate the
+    /// table off the render critical path and reports carry its counters.
+    lut_cache: Option<Arc<LutCache>>,
+    /// The two rotating device images of the pipelined schedule, allocated
+    /// on first use and reused for the sequencer's lifetime — the steady
+    /// state allocates nothing.
+    pipeline_images: Option<[gpusim::GlobalAtomicF32; 2]>,
 }
 
 impl FrameSequencer {
@@ -97,6 +117,8 @@ impl FrameSequencer {
             frame_dt,
             session,
             time_s: 0.0,
+            lut_cache: None,
+            pipeline_images: None,
         })
     }
 
@@ -144,6 +166,16 @@ impl FrameSequencer {
     /// The attached telemetry sink, if any.
     pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
         self.session.telemetry()
+    }
+
+    /// Attaches a shared [`LutCache`]. Pipelined bursts prefetch (and
+    /// revalidate) the lookup table on the producer thread before the
+    /// first frame — off the kernel/download critical path — and every
+    /// [`ThroughputReport`] carries the cache's hit/miss/eviction
+    /// counters plus the time that prefetch took.
+    pub fn with_lut_cache(mut self, cache: Arc<LutCache>) -> Self {
+        self.lut_cache = Some(cache);
+        self
     }
 
     /// Cumulative resilience accounting for the underlying session.
@@ -205,9 +237,13 @@ impl FrameSequencer {
         let mut host = Vec::new();
         let mut latencies_s = Vec::with_capacity(n);
         let mut app_time_s = 0.0;
+        let mut totals = PhaseTotals::default();
+        let mut produce_busy_s = 0.0;
+        let mut consume_busy_s = 0.0;
         let start = std::time::Instant::now();
         for _ in 0..n {
             let _frame_span = maybe_span(self.session.telemetry(), "frame");
+            let t0 = Instant::now();
             let attitude = self.dynamics.attitude;
             let config = self.config();
             let star_gen = maybe_span(self.session.telemetry(), "star-gen");
@@ -215,9 +251,13 @@ impl FrameSequencer {
                 .sky
                 .view(attitude, &self.camera, config.roi_side as f32);
             drop(star_gen);
+            produce_busy_s += t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
             let timing = self.session.render_into(&catalog, &mut host)?;
+            consume_busy_s += t1.elapsed().as_secs_f64();
             latencies_s.push(timing.wall_time_s);
             app_time_s += timing.app_time_s;
+            totals.absorb(&timing);
             self.dynamics.step(self.frame_dt);
             self.time_s += self.frame_dt;
         }
@@ -231,12 +271,254 @@ impl FrameSequencer {
             mean_app_time_s: app_time_s / n as f64,
             resilience: self.session.resilience_report(),
             diagnostics: self.session.diagnostics(),
+            overlap: Some(overlap_report(
+                n,
+                &totals,
+                produce_busy_s,
+                consume_busy_s,
+                elapsed_s,
+            )),
+            lut_cache: self.lut_cache.as_ref().map(|c| c.stats()),
+            lut_prefetch_s: 0.0,
             telemetry: self
                 .session
                 .telemetry()
                 .map(|t| t.frame_telemetry())
                 .map(Box::new),
         })
+    }
+
+    /// Renders `n` frames through the frame-pipelined schedule: a scoped
+    /// producer thread runs frame `N+1`'s attitude propagation, FOV
+    /// retrieval, star generation and star upload while the calling thread
+    /// executes frame `N`'s kernel and download. Two device images rotate
+    /// between in-flight frames (allocated once, on the first pipelined
+    /// burst), so the steady state performs no new allocation.
+    ///
+    /// **Invariant:** the emitted images, device counters and modeled
+    /// times are bit-equal to [`Self::run_frames`] for every seed, worker
+    /// count and [`gpusim::KernelBackend`]; faults retry and degrade
+    /// through the same [`RetryPolicy`] ladder on the consuming thread, in
+    /// frame order, so recovery is bit-identical on rungs 0–1 too.
+    pub fn run_frames_pipelined(&mut self, n: usize) -> Result<ThroughputReport, SimError> {
+        let token = CancelToken::new();
+        self.run_frames_pipelined_observed(n, &token, |_| {})
+    }
+
+    /// [`Self::run_frames_pipelined`] with an observer: `on_frame` runs on
+    /// the consuming thread after each frame completes, seeing the frame's
+    /// pixels in place. Cancelling `token` (from the observer or another
+    /// thread) stops production; frames already in flight drain
+    /// deterministically, the clock stops exactly after the last completed
+    /// frame, and the burst returns [`SimError::Cancelled`]. A later burst
+    /// (or [`Self::next_frame`]) resumes bit-identically with where an
+    /// uninterrupted run would have been.
+    pub fn run_frames_pipelined_observed(
+        &mut self,
+        n: usize,
+        token: &CancelToken,
+        mut on_frame: impl FnMut(&PipelinedFrame<'_>),
+    ) -> Result<ThroughputReport, SimError> {
+        assert!(n > 0, "need at least one frame");
+        if self.pipeline_images.is_none() {
+            self.pipeline_images = Some([
+                self.session.alloc_frame_image(),
+                self.session.alloc_frame_image(),
+            ]);
+        }
+        let images = self.pipeline_images.as_ref().expect("just allocated");
+        let session = &self.session;
+        let sky = &self.sky;
+        let camera = &self.camera;
+        let base_config = &self.base_config;
+        let exposure_s = self.exposure_s;
+        let frame_dt = self.frame_dt;
+        let start_time_s = self.time_s;
+        let start_dynamics = self.dynamics;
+        let lut_cache = self.lut_cache.clone();
+
+        let mut host = Vec::new();
+        let mut latencies_s = Vec::with_capacity(n);
+        let mut app_time_s = 0.0;
+        let mut totals = PhaseTotals::default();
+        let mut consume_busy_s = 0.0;
+        let mut completed = 0usize;
+        let mut error: Option<SimError> = None;
+        let mut produce_busy_s = 0.0;
+        let mut lut_prefetch_s = 0.0;
+        let mut produced: Result<(), SimError> = Ok(());
+
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            // Producer stage: stars for frame N+1 while frame N renders.
+            // Capacity 1 bounds the producer to at most two prepared
+            // frames ahead of the render stage (one queued, one in hand).
+            let (tx, rx) = sync_channel::<PreparedStars>(1);
+            let producer = scope.spawn(move || -> (f64, f64, Result<(), SimError>) {
+                let mut busy_s = 0.0;
+                let mut prefetch_s = 0.0;
+                if let Some(cache) = &lut_cache {
+                    let t0 = Instant::now();
+                    let span = maybe_span(session.telemetry(), "lut-prefetch");
+                    let result = cache.prefetch(session.gpu(), session.config());
+                    drop(span);
+                    prefetch_s = t0.elapsed().as_secs_f64();
+                    if let Err(e) = result {
+                        return (busy_s, prefetch_s, Err(e));
+                    }
+                }
+                let mut dynamics = start_dynamics;
+                for _ in 0..n {
+                    if token.is_cancelled() {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let produce_span = maybe_span(session.telemetry(), "frame-produce");
+                    let attitude = dynamics.attitude;
+                    let config = Self::frame_config(base_config, camera, &dynamics, exposure_s);
+                    let star_gen = maybe_span(session.telemetry(), "star-gen");
+                    let catalog = sky.view(attitude, camera, config.roi_side as f32);
+                    drop(star_gen);
+                    let prepared = session.prepare_stars(&catalog);
+                    drop(produce_span);
+                    dynamics.step(frame_dt);
+                    busy_s += t0.elapsed().as_secs_f64();
+                    if tx.send(prepared).is_err() {
+                        break; // consumer stopped early
+                    }
+                }
+                (busy_s, prefetch_s, Ok(()))
+            });
+
+            // Consumer stage (this thread): kernel + download for frame N.
+            while let Ok(prepared) = rx.recv() {
+                let t0 = Instant::now();
+                let frame_span = maybe_span(session.telemetry(), "frame");
+                let image_dev = &images[completed % 2];
+                match session.render_prepared_into(&prepared, image_dev, &mut host) {
+                    Ok(timing) => {
+                        drop(frame_span);
+                        latencies_s.push(timing.wall_time_s);
+                        app_time_s += timing.app_time_s;
+                        totals.absorb(&timing);
+                        let time_s = start_time_s + completed as f64 * frame_dt;
+                        let frame = PipelinedFrame {
+                            index: (time_s / frame_dt).round() as u64,
+                            time_s,
+                            stars_in_view: prepared.star_count(),
+                            pixels: &host,
+                            timing,
+                        };
+                        completed += 1;
+                        consume_busy_s += t0.elapsed().as_secs_f64();
+                        on_frame(&frame);
+                    }
+                    Err(e) => {
+                        drop(frame_span);
+                        consume_busy_s += t0.elapsed().as_secs_f64();
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+            drop(rx); // unblock a producer mid-send
+            let (busy_s, prefetch_s, result) = producer.join().expect("producer thread panicked");
+            produce_busy_s = busy_s;
+            lut_prefetch_s = prefetch_s;
+            produced = result;
+        });
+        let elapsed_s = start.elapsed().as_secs_f64();
+
+        // The producer propagated its own attitude copy (possibly a frame
+        // ahead); re-step the sequencer's state to exactly the completed
+        // frames so a later burst resumes bit-identically.
+        let mut dynamics = start_dynamics;
+        for _ in 0..completed {
+            dynamics.step(frame_dt);
+        }
+        self.dynamics = dynamics;
+        self.time_s = start_time_s + completed as f64 * frame_dt;
+
+        if let Some(e) = error {
+            return Err(e);
+        }
+        produced?;
+        if completed < n {
+            return Err(SimError::Cancelled);
+        }
+        latencies_s.sort_by(f64::total_cmp);
+        Ok(ThroughputReport {
+            frames: n,
+            elapsed_s,
+            p50_ms: percentile_ms(&latencies_s, 50.0),
+            p99_ms: percentile_ms(&latencies_s, 99.0),
+            mean_app_time_s: app_time_s / n as f64,
+            resilience: self.session.resilience_report(),
+            diagnostics: self.session.diagnostics(),
+            overlap: Some(overlap_report(
+                n,
+                &totals,
+                produce_busy_s,
+                consume_busy_s,
+                elapsed_s,
+            )),
+            lut_cache: self.lut_cache.as_ref().map(|c| c.stats()),
+            lut_prefetch_s,
+            telemetry: self
+                .session
+                .telemetry()
+                .map(|t| t.frame_telemetry())
+                .map(Box::new),
+        })
+    }
+}
+
+/// Modeled per-phase totals over a burst, for the overlap estimate.
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseTotals {
+    upload_s: f64,
+    kernel_s: f64,
+    serial_s: f64,
+}
+
+impl PhaseTotals {
+    fn absorb(&mut self, timing: &FrameTiming) {
+        self.upload_s += timing.star_upload_s;
+        self.kernel_s += timing.kernel_s;
+        self.serial_s += timing.serial_transfer_s;
+    }
+}
+
+/// Builds the overlap section of a [`ThroughputReport`] from the burst's
+/// modeled phase totals and measured stage-busy times.
+fn overlap_report(
+    frames: usize,
+    totals: &PhaseTotals,
+    produce_busy_s: f64,
+    consume_busy_s: f64,
+    elapsed_s: f64,
+) -> OverlapReport {
+    let modeled = frame_overlap_estimate(frames, totals.upload_s, totals.kernel_s, totals.serial_s);
+    OverlapReport {
+        modeled_efficiency: {
+            let smaller = totals.upload_s.min(totals.kernel_s);
+            if smaller <= 0.0 {
+                0.0
+            } else {
+                (modeled.saved_s / smaller).clamp(0.0, 1.0)
+            }
+        },
+        modeled,
+        produce_busy_s,
+        consume_busy_s,
+        measured_efficiency: {
+            let smaller = produce_busy_s.min(consume_busy_s);
+            if smaller <= 0.0 {
+                0.0
+            } else {
+                ((produce_busy_s + consume_busy_s - elapsed_s).max(0.0) / smaller).clamp(0.0, 1.0)
+            }
+        },
     }
 }
 
@@ -268,6 +550,17 @@ pub struct ThroughputReport {
     /// callers see pool rebuilds / checksum catches / arena drops without
     /// holding a device reference.
     pub diagnostics: GpuDiagnostics,
+    /// Modeled-vs-measured overlap accounting for the burst: how much of
+    /// the producer stage (star gen + upload) the pipeline could hide
+    /// behind the consumer stage (kernel + download), and how much it did.
+    pub overlap: Option<OverlapReport>,
+    /// Hit/miss/eviction counters of the attached [`LutCache`]
+    /// ([`FrameSequencer::with_lut_cache`]); `None` without a cache.
+    pub lut_cache: Option<LutCacheStats>,
+    /// Wall-clock the pipelined producer spent prefetching the lookup
+    /// table before the first frame — LUT work amortized off the render
+    /// critical path. Zero for sequential bursts or without a cache.
+    pub lut_prefetch_s: f64,
     /// Telemetry rollup (span stages, launch counts, metrics) when a sink
     /// is attached ([`FrameSequencer::with_telemetry`]); `None` otherwise.
     /// Boxed: the rollup is much larger than the scalar fields.
@@ -279,6 +572,50 @@ impl ThroughputReport {
     pub fn fps(&self) -> f64 {
         self.frames as f64 / self.elapsed_s
     }
+}
+
+/// Overlap accounting for one frame burst: the modeled software-pipeline
+/// bound over the burst's phase totals, next to what the host actually
+/// overlapped.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapReport {
+    /// The modeled pipeline bound ([`frame_overlap_estimate`]) over the
+    /// burst's star-upload / kernel / serial-transfer totals.
+    pub modeled: StreamedEstimate,
+    /// `modeled.saved_s` over the smaller of the two overlappable phase
+    /// totals, in `[0, 1]`: 1 means the smaller phase disappears entirely
+    /// behind the larger.
+    pub modeled_efficiency: f64,
+    /// Host wall-clock the producer stage (attitude propagation, FOV
+    /// retrieval, star generation, star upload) was busy, seconds.
+    pub produce_busy_s: f64,
+    /// Host wall-clock the consumer stage (kernel + download) was busy,
+    /// seconds.
+    pub consume_busy_s: f64,
+    /// Measured overlap: busy time hidden by running the stages
+    /// concurrently, over the smaller stage's busy time, in `[0, 1]`.
+    /// Sequential bursts measure ≈ 0; a perfectly overlapped pipeline
+    /// measures ≈ 1 (single-core hosts report ≈ 0 either way — the model
+    /// above is the capacity estimate).
+    pub measured_efficiency: f64,
+}
+
+/// One frame as observed in flight by
+/// [`FrameSequencer::run_frames_pipelined_observed`]. Borrows the burst's
+/// rotating host buffer: the pixels are valid for the callback's duration
+/// only.
+#[derive(Debug)]
+pub struct PipelinedFrame<'a> {
+    /// Frame number since the sequencer started.
+    pub index: u64,
+    /// Simulation time the frame was taken, seconds.
+    pub time_s: f64,
+    /// Stars the FOV retrieval placed on (or near) the sensor.
+    pub stars_in_view: usize,
+    /// The rendered image, row-major `width × height`.
+    pub pixels: &'a [f32],
+    /// Per-frame timing decomposition (bit-equal to the sequential path).
+    pub timing: FrameTiming,
 }
 
 /// One emitted sensor frame.

@@ -44,16 +44,16 @@ pub mod validate;
 pub use adaptive::{AdaptiveKernel, AdaptiveSimulator};
 pub use config::{PsfKind, SimConfig};
 pub use error::SimError;
-pub use frames::{Frame, FrameSequencer, ThroughputReport};
+pub use frames::{Frame, FrameSequencer, OverlapReport, PipelinedFrame, ThroughputReport};
 pub use gpusim::{ExecMode, KernelBackend};
 pub use multi_gpu::MultiGpuSimulator;
 pub use parallel::{ParallelSimulator, StarCentricKernel};
 pub use pixel_centric::{PixelCentricKernel, PixelCentricSimulator};
 pub use report::SimulationReport;
-pub use resilience::{ResilienceReport, RetryPolicy, Rung};
+pub use resilience::{CancelToken, ResilienceReport, RetryPolicy, Rung};
 pub use selection::{Choice, InflectionPoint};
 pub use sequential::SequentialSimulator;
-pub use session::{AdaptiveSession, FrameTiming, LutCache, LutCacheStats};
+pub use session::{AdaptiveSession, FrameTiming, LutCache, LutCacheStats, PreparedStars};
 pub use star_record::{to_device_stars, DeviceStar};
 pub use telemetry::{FrameTelemetry, MetricsRegistry, SpanRecord, StageStats, Telemetry};
 

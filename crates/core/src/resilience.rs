@@ -31,7 +31,49 @@
 
 use crate::error::SimError;
 use gpusim::{GpuDiagnostics, GpuError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A cooperative cancellation handle for the pipelined frame loop
+/// ([`crate::frames::FrameSequencer::run_frames_pipelined_observed`]).
+///
+/// Cloning shares the flag: any clone can [`Self::cancel`], every stage
+/// observes it. Cancellation composes with the retry ladder rather than
+/// racing it — the producer stops *admitting* new frames, while frames
+/// already in flight drain deterministically (including any
+/// [`RetryPolicy`] retries they need), so the sequencer's clock stops
+/// exactly after the last completed frame and a later burst resumes
+/// bit-identically with an uninterrupted run.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// `Err(SimError::Cancelled)` once cancellation has been requested —
+    /// the admission check stages run before starting new work.
+    pub fn checkpoint(&self) -> Result<(), SimError> {
+        if self.is_cancelled() {
+            Err(SimError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// Bounded-retry parameters for the resilient frame loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -372,6 +414,20 @@ mod tests {
         assert_eq!(a.panics, 1);
         assert_eq!(a.timeouts, 1);
         assert_eq!(a.rung_frames, [3, 1, 0, 0]);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(token.checkpoint().is_ok());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(matches!(token.checkpoint(), Err(SimError::Cancelled)));
+        // Idempotent.
+        token.cancel();
+        assert!(clone.is_cancelled());
     }
 
     #[test]

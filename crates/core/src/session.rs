@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use gpusim::{AppProfile, ExecMode, LaunchConfig, Texture, VirtualGpu};
+use gpusim::{AppProfile, ExecMode, GlobalBuffer, LaunchConfig, MemcpyKind, Texture, VirtualGpu};
 use psf::lut::LookupTable;
 use psf::roi::Roi;
 use starfield::StarCatalog;
@@ -29,7 +29,7 @@ use crate::error::SimError;
 use crate::parallel::StarCentricKernel;
 use crate::report::SimulationReport;
 use crate::resilience::{run_with_retry, ResilienceReport, RetryPolicy, Rung};
-use crate::star_record::to_device_stars;
+use crate::star_record::{to_device_stars, DeviceStar};
 use crate::telemetry::{maybe_span, Telemetry};
 
 /// Everything the lookup-table build depends on, hashable. Floats are
@@ -188,6 +188,18 @@ impl LutCache {
         }
     }
 
+    /// Builds (or touches) the table for `config` without opening a
+    /// session — the off-critical-path warm-up hook. The pipelined frame
+    /// loop calls this from its producer stage while the consumer renders,
+    /// so a later session over the same optics pays neither the host-side
+    /// build nor the modeled build time. Returns `true` on a hit (the
+    /// table was already resident).
+    pub fn prefetch(&self, gpu: &VirtualGpu, config: &SimConfig) -> Result<bool, SimError> {
+        config.validate()?;
+        let (_, hit) = self.get_or_build(gpu, config)?;
+        Ok(hit)
+    }
+
     /// Returns the cached table for `config`, building (and caching) it on
     /// a miss. The boolean is `true` on a hit.
     fn get_or_build(
@@ -249,12 +261,54 @@ fn zero_build_time(_: &LookupTable) -> f64 {
 
 /// Timings of one frame rendered through the zero-allocation path
 /// ([`AdaptiveSession::render_into`]).
+///
+/// Beyond the two headline numbers, the timing splits the modeled
+/// application time into its pipeline phases (`app_time_s == kernel_s +
+/// star_upload_s + serial_transfer_s` up to float summation order) and
+/// carries the launch's hardware counters, so frame-loop callers can
+/// check bit-equality between render paths and feed the
+/// [`crate::streams`] overlap model without re-rendering.
 #[derive(Debug, Clone, Copy)]
 pub struct FrameTiming {
     /// Modeled application time (kernel + transfers), seconds.
     pub app_time_s: f64,
     /// Host wall-clock time of the render call, seconds.
     pub wall_time_s: f64,
+    /// Modeled kernel execution time, seconds.
+    pub kernel_s: f64,
+    /// Modeled star-upload time — the transfer a pipelined loop can hide
+    /// behind the previous frame's kernel, seconds.
+    pub star_upload_s: f64,
+    /// Modeled image upload + download — the serial prefix/suffix no
+    /// pipeline removes, seconds.
+    pub serial_transfer_s: f64,
+    /// Hardware counters of the frame's kernel launch.
+    pub counters: gpusim::Counters,
+}
+
+/// One frame's star data staged on the device ahead of its launch by the
+/// pipelined frame loop's producer stage ([`AdaptiveSession::prepare_stars`]).
+///
+/// Holds the uploaded buffer plus the modeled upload time; the fault-plan
+/// consult is deferred to the consumer so fault coordinates stay
+/// serialized in launch order.
+pub struct PreparedStars {
+    stars: GlobalBuffer<DeviceStar>,
+    star_count: usize,
+    star_bytes: usize,
+    t_stars: f64,
+}
+
+impl PreparedStars {
+    /// Stars staged in the buffer.
+    pub fn star_count(&self) -> usize {
+        self.star_count
+    }
+
+    /// Modeled host→device time of the staged upload, seconds.
+    pub fn modeled_upload_s(&self) -> f64 {
+        self.t_stars
+    }
 }
 
 /// A long-lived adaptive simulator with its lookup table resident in
@@ -273,7 +327,9 @@ pub struct AdaptiveSession {
     frame_reuse: bool,
     /// One-time setup cost (LUT build + upload + bind), seconds.
     setup_time_s: f64,
-    frames_rendered: std::cell::Cell<u64>,
+    /// Atomic (not `Cell`) so the session is `Sync`: the pipelined frame
+    /// loop shares one session between its producer and consumer stages.
+    frames_rendered: AtomicU64,
     /// When set, [`Self::render_into`] retries failed frames under this
     /// policy, descending the degradation ladder one [`Rung`] per attempt.
     retry: Option<RetryPolicy>,
@@ -451,7 +507,7 @@ impl AdaptiveSession {
             image_dev,
             frame_reuse: true,
             setup_time_s: build_time + t_upload + t_bind,
-            frames_rendered: std::cell::Cell::new(0),
+            frames_rendered: AtomicU64::new(0),
             retry: None,
             stats: Mutex::new(stats),
             telemetry,
@@ -535,7 +591,7 @@ impl AdaptiveSession {
 
     /// Frames rendered so far.
     pub fn frames_rendered(&self) -> u64 {
-        self.frames_rendered.get()
+        self.frames_rendered.load(Ordering::Relaxed)
     }
 
     /// Uploads the catalog and launches the fetch kernel against
@@ -551,18 +607,32 @@ impl AdaptiveSession {
         catalog: &StarCatalog,
         image_dev: &gpusim::GlobalAtomicF32,
         rung: Rung,
-    ) -> Result<(gpusim::KernelProfile, f64), SimError> {
-        let config = &self.config;
+    ) -> Result<(gpusim::KernelProfile, f64, f64), SimError> {
         let upload_span = maybe_span(self.telemetry.as_ref(), "star-upload");
         let (stars, t_stars) = self.gpu.try_upload(to_device_stars(catalog.stars()))?;
         let t_img_up = self
             .gpu
             .transfer_model()
-            .time(gpusim::MemcpyKind::HostToDevice, config.pixels() * 4);
+            .time(MemcpyKind::HostToDevice, self.config.pixels() * 4);
         drop(upload_span);
+        let profile = self.launch_kernel(&stars, catalog.len(), image_dev, rung)?;
+        Ok((profile, t_stars, t_img_up))
+    }
+
+    /// The kernel half of [`Self::launch_frame`]: mode/rung selection and
+    /// the launch itself, against an already-uploaded star buffer. Shared
+    /// by the sequential path and the pipelined path (whose star buffer
+    /// was staged ahead of time by [`Self::prepare_stars`]).
+    fn launch_kernel(
+        &self,
+        stars: &GlobalBuffer<DeviceStar>,
+        star_count: usize,
+        image_dev: &gpusim::GlobalAtomicF32,
+        rung: Rung,
+    ) -> Result<gpusim::KernelProfile, SimError> {
+        let config = &self.config;
         let _launch_span = maybe_span(self.telemetry.as_ref(), "kernel-launch");
 
-        let star_count = catalog.len();
         let mode = if config.exec_mode == ExecMode::Sanitized {
             // The sanitizer already rides the reference path; degradation
             // to ReferenceExec must not silently detach it.
@@ -577,7 +647,7 @@ impl AdaptiveSession {
             .with_backend(config.backend);
         let profile = if rung == Rung::DirectPsf {
             let kernel = StarCentricKernel {
-                stars: &stars,
+                stars,
                 image: image_dev,
                 star_count,
                 width: config.width,
@@ -590,7 +660,7 @@ impl AdaptiveSession {
                 .launch_mode("star-centric-fallback", &kernel, cfg, mode)?
         } else {
             let kernel = AdaptiveKernel {
-                stars: &stars,
+                stars,
                 image: image_dev,
                 lut_tex: &self.lut_tex,
                 lut: self.lut.as_ref(),
@@ -601,7 +671,7 @@ impl AdaptiveSession {
             };
             self.gpu.launch_mode("adaptive-lut", &kernel, cfg, mode)?
         };
-        Ok((profile, t_stars + t_img_up))
+        Ok(profile)
     }
 
     /// Renders one frame. Unlike [`AdaptiveSimulator::simulate`], the
@@ -621,7 +691,9 @@ impl AdaptiveSession {
             fresh_image = self.gpu.alloc_atomic_f32(config.pixels());
             &fresh_image
         };
-        let (kernel_profile, t_up) = self.launch_frame(catalog, image_dev, Rung::Configured)?;
+        let (kernel_profile, t_stars, t_img_up) =
+            self.launch_frame(catalog, image_dev, Rung::Configured)?;
+        let t_up = t_stars + t_img_up;
         profile.kernels.push(kernel_profile);
 
         let download_span = maybe_span(self.telemetry.as_ref(), "download");
@@ -637,7 +709,7 @@ impl AdaptiveSession {
         drop(download_span);
         profile.push_overhead("CPU-GPU transmission", t_up + t_down);
 
-        self.frames_rendered.set(self.frames_rendered.get() + 1);
+        self.frames_rendered.fetch_add(1, Ordering::Relaxed);
         self.note_frame_metrics(wall_start.elapsed().as_secs_f64());
         let image = ImageF32::from_data(config.width, config.height, host_pixels);
         let app_time_s = profile.app_time();
@@ -687,7 +759,7 @@ impl AdaptiveSession {
             }
         };
         if let Ok(timing) = &result {
-            self.frames_rendered.set(self.frames_rendered.get() + 1);
+            self.frames_rendered.fetch_add(1, Ordering::Relaxed);
             self.note_frame_metrics(timing.wall_time_s);
         }
         result
@@ -738,7 +810,8 @@ impl AdaptiveSession {
             fresh_image = self.gpu.alloc_atomic_f32(self.config.pixels());
             &fresh_image
         };
-        let (kernel_profile, t_up) = self.launch_frame(catalog, image_dev, rung)?;
+        let (kernel_profile, t_stars, t_img_up) = self.launch_frame(catalog, image_dev, rung)?;
+        let t_up = t_stars + t_img_up;
         let _download_span = maybe_span(self.telemetry.as_ref(), "download");
         let t_down = if self.frame_reuse {
             self.gpu.try_download_take(image_dev, host)?
@@ -751,6 +824,136 @@ impl AdaptiveSession {
             // report bit-equal modeled times.
             app_time_s: kernel_profile.time_s + (t_up + t_down),
             wall_time_s: wall_start.elapsed().as_secs_f64(),
+            kernel_s: kernel_profile.time_s,
+            star_upload_s: t_stars,
+            serial_transfer_s: t_img_up + t_down,
+            counters: kernel_profile.counters,
+        })
+    }
+
+    /// A fresh zeroed device image sized for this session's frames.
+    ///
+    /// The pipelined frame loop allocates two of these once and rotates
+    /// them across frames (frame N downloading while frame N+1's stars
+    /// stage), so its steady state allocates nothing — the same contract
+    /// as the session's own persistent image.
+    pub fn alloc_frame_image(&self) -> gpusim::GlobalAtomicF32 {
+        self.gpu.alloc_atomic_f32(self.config.pixels())
+    }
+
+    /// Stages one frame's star data on the device — the producer half of
+    /// the pipelined frame loop. Runs the host-side record conversion and
+    /// the upload copy, but does **not** consult the fault plan: fault
+    /// coordinates stay serialized in launch order, so the consumer takes
+    /// the upload fault in [`Self::render_prepared_into`] just before the
+    /// launch, exactly where the sequential loop would.
+    pub fn prepare_stars(&self, catalog: &StarCatalog) -> PreparedStars {
+        let _upload_span = maybe_span(self.telemetry.as_ref(), "star-upload");
+        let data = to_device_stars(catalog.stars());
+        let star_bytes = std::mem::size_of::<DeviceStar>() * data.len();
+        let (stars, t_stars) = self.gpu.upload(data);
+        PreparedStars {
+            stars,
+            star_count: catalog.len(),
+            star_bytes,
+            t_stars,
+        }
+    }
+
+    /// Renders one frame from stars staged by [`Self::prepare_stars`] into
+    /// `image_dev` (one of the pipeline's two rotating device images),
+    /// draining the result into `host` — the consumer half of the
+    /// pipelined frame loop.
+    ///
+    /// Pixels, counters, and modeled times are bit-identical to
+    /// [`Self::render_into`] on the same catalog: the staged upload is the
+    /// same bytes, the upload-fault consult happens here in launch order,
+    /// and the modeled-time summation replays the sequential association
+    /// exactly. With a [`RetryPolicy`] installed, failed attempts descend
+    /// the same degradation ladder; retries re-launch from the retained
+    /// staged buffer after zeroing `image_dev`, so recovery on rungs 0–1
+    /// is bit-identical just as in the sequential loop.
+    pub fn render_prepared_into(
+        &self,
+        prepared: &PreparedStars,
+        image_dev: &gpusim::GlobalAtomicF32,
+        host: &mut Vec<f32>,
+    ) -> Result<FrameTiming, SimError> {
+        let _render_span = maybe_span(self.telemetry.as_ref(), "render");
+        let result = match self.retry {
+            None => self.prepared_attempt(prepared, image_dev, host, Rung::Configured),
+            Some(policy) => {
+                let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+                run_with_retry(&policy, &mut stats, |rung| {
+                    if rung != Rung::Configured {
+                        // A failed attempt may have deposited partial
+                        // results into the rotating device image; the
+                        // retry must start from zero to stay bit-identical.
+                        image_dev.fill_zero();
+                    }
+                    self.prepared_attempt(prepared, image_dev, host, rung)
+                })
+            }
+        };
+        if let Ok(timing) = &result {
+            self.frames_rendered.fetch_add(1, Ordering::Relaxed);
+            self.note_frame_metrics(timing.wall_time_s);
+        }
+        result
+    }
+
+    /// One attempt of the prepared-frame path at `rung` (same dispatch
+    /// override handling as [`Self::render_attempt`]).
+    fn prepared_attempt(
+        &self,
+        prepared: &PreparedStars,
+        image_dev: &gpusim::GlobalAtomicF32,
+        host: &mut Vec<f32>,
+        rung: Rung,
+    ) -> Result<FrameTiming, SimError> {
+        let _attempt_span = maybe_span(self.telemetry.as_ref(), rung.span_name());
+        let spawn = rung >= Rung::SpawnDispatch;
+        if spawn {
+            self.gpu.set_dispatch_override(true);
+        }
+        let result = self.prepared_attempt_inner(prepared, image_dev, host, rung);
+        if spawn {
+            self.gpu.set_dispatch_override(false);
+        }
+        result
+    }
+
+    fn prepared_attempt_inner(
+        &self,
+        prepared: &PreparedStars,
+        image_dev: &gpusim::GlobalAtomicF32,
+        host: &mut Vec<f32>,
+        rung: Rung,
+    ) -> Result<FrameTiming, SimError> {
+        let wall_start = Instant::now();
+        // The upload-fault consult the producer deliberately skipped: an
+        // `AllocOom` spec bound to this launch surfaces here, in launch
+        // order, exactly as `try_upload` would have in the sequential loop.
+        self.gpu.take_upload_fault(prepared.star_bytes)?;
+        let t_stars = prepared.t_stars;
+        let t_img_up = self
+            .gpu
+            .transfer_model()
+            .time(MemcpyKind::HostToDevice, self.config.pixels() * 4);
+        let kernel_profile =
+            self.launch_kernel(&prepared.stars, prepared.star_count, image_dev, rung)?;
+        let t_up = t_stars + t_img_up;
+        let _download_span = maybe_span(self.telemetry.as_ref(), "download");
+        let t_down = self.gpu.try_download_take(image_dev, host)?;
+        Ok(FrameTiming {
+            // Identical float association to `render_attempt_inner`, so
+            // pipelined and sequential modeled times are bit-equal.
+            app_time_s: kernel_profile.time_s + (t_up + t_down),
+            wall_time_s: wall_start.elapsed().as_secs_f64(),
+            kernel_s: kernel_profile.time_s,
+            star_upload_s: t_stars,
+            serial_transfer_s: t_img_up + t_down,
+            counters: kernel_profile.counters,
         })
     }
 
@@ -900,6 +1103,65 @@ mod tests {
         assert_eq!(report.app_time_s, timing.app_time_s);
         assert_eq!(by_buffer.frames_rendered(), 4);
         assert!(timing.wall_time_s > 0.0);
+    }
+
+    #[test]
+    fn session_is_sync_for_the_pipelined_stages() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<AdaptiveSession>();
+        assert_sync::<PreparedStars>();
+    }
+
+    #[test]
+    fn prepared_path_matches_render_into_bitwise() {
+        let cat = FieldGenerator::new(128, 128).generate(250, 11);
+        let sequential = AdaptiveSession::new(cfg()).unwrap();
+        let pipelined = AdaptiveSession::new(cfg()).unwrap();
+        let mut expected = Vec::new();
+        let expected_t = sequential.render_into(&cat, &mut expected).unwrap();
+
+        let image = pipelined.alloc_frame_image();
+        let prepared = pipelined.prepare_stars(&cat);
+        assert_eq!(prepared.star_count(), cat.len());
+        assert!(prepared.modeled_upload_s() > 0.0);
+        let mut host = Vec::new();
+        let timing = pipelined
+            .render_prepared_into(&prepared, &image, &mut host)
+            .unwrap();
+        assert_eq!(
+            expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            host.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "prepared path must match render_into bit-for-bit"
+        );
+        assert_eq!(expected_t.app_time_s.to_bits(), timing.app_time_s.to_bits());
+        assert_eq!(expected_t.kernel_s.to_bits(), timing.kernel_s.to_bits());
+        assert_eq!(expected_t.counters, timing.counters);
+        assert_eq!(pipelined.frames_rendered(), 1);
+    }
+
+    #[test]
+    fn frame_timing_phases_sum_to_the_app_time() {
+        let cat = FieldGenerator::new(128, 128).generate(250, 11);
+        let session = AdaptiveSession::new(cfg()).unwrap();
+        let mut host = Vec::new();
+        let t = session.render_into(&cat, &mut host).unwrap();
+        let sum = t.kernel_s + t.star_upload_s + t.serial_transfer_s;
+        assert!((t.app_time_s - sum).abs() <= 1e-15 * t.app_time_s.abs());
+        assert!(t.kernel_s > 0.0 && t.star_upload_s > 0.0 && t.serial_transfer_s > 0.0);
+    }
+
+    #[test]
+    fn lut_cache_prefetch_warms_the_cache_off_session() {
+        let cache = LutCache::new();
+        let gpu = VirtualGpu::gtx480();
+        let hit = cache.prefetch(&gpu, &cfg()).unwrap();
+        assert!(!hit, "first prefetch builds");
+        let hit = cache.prefetch(&gpu, &cfg()).unwrap();
+        assert!(hit, "second prefetch hits");
+        // A session over the same optics now skips the build entirely.
+        let warm = AdaptiveSession::on_cached(VirtualGpu::gtx480(), cfg(), &cache).unwrap();
+        assert_eq!(cache.hits(), 2);
+        assert!(warm.setup_time_s() > 0.0);
     }
 
     #[test]

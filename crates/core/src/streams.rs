@@ -77,6 +77,42 @@ pub fn streamed_estimate(report: &SimulationReport, streams: usize) -> StreamedE
     }
 }
 
+/// Models the frame-pipelined sequencer as a software pipeline over whole
+/// frames instead of upload chunks: frame `i+1`'s star generation + upload
+/// (total `upload_s` across the burst) overlaps frame `i`'s kernel (total
+/// `kernel_s`), while the per-frame image upload + download (`serial_s`)
+/// never overlaps. The same bound as [`streamed_estimate`] applies with
+/// `n = frames` pipeline stages in flight.
+///
+/// Degenerate phases (either total ≤ 0) fall back to the unpipelined sum so
+/// empty bursts and zero-star frames report zero savings.
+///
+/// # Panics
+/// Panics when `frames == 0`.
+pub fn frame_overlap_estimate(
+    frames: usize,
+    upload_s: f64,
+    kernel_s: f64,
+    serial_s: f64,
+) -> StreamedEstimate {
+    assert!(frames > 0, "need at least one frame");
+    let n = frames as f64;
+    let u = upload_s;
+    let k = kernel_s;
+    let pipelined = if u <= 0.0 || k <= 0.0 {
+        u + k
+    } else {
+        (u + k) / n + u.max(k) * (n - 1.0) / n
+    };
+    let app = serial_s + pipelined;
+    StreamedEstimate {
+        streams: frames,
+        app_time_s: app,
+        serial_s,
+        saved_s: (serial_s + u + k - app).max(0.0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +184,45 @@ mod tests {
     fn zero_streams_rejected() {
         let r = report(100);
         let _ = streamed_estimate(&r, 0);
+    }
+
+    #[test]
+    fn frame_overlap_single_frame_is_the_plain_sum() {
+        let e = frame_overlap_estimate(1, 0.2, 0.5, 0.1);
+        assert!((e.app_time_s - 0.8).abs() < 1e-12);
+        assert!(e.saved_s.abs() < 1e-12, "one frame cannot overlap");
+        assert_eq!(e.streams, 1);
+    }
+
+    #[test]
+    fn frame_overlap_hides_the_smaller_phase_asymptotically() {
+        let e = frame_overlap_estimate(10_000, 0.2, 0.5, 0.1);
+        let expect = 0.1 + 0.5; // serial + max(U, K)
+        assert!(
+            (e.app_time_s - expect).abs() < 1e-3,
+            "asymptote {} vs {expect}",
+            e.app_time_s
+        );
+        assert!((e.saved_s - 0.2).abs() < 1e-3, "savings ≈ min(U, K)");
+    }
+
+    #[test]
+    fn frame_overlap_more_frames_never_hurt_and_degenerates_safely() {
+        let mut prev = f64::INFINITY;
+        for n in 1..=32 {
+            let e = frame_overlap_estimate(n, 0.3, 0.4, 0.05);
+            assert!(e.app_time_s <= prev + 1e-12);
+            assert!(e.saved_s >= 0.0);
+            prev = e.app_time_s;
+        }
+        let degenerate = frame_overlap_estimate(8, 0.0, 0.4, 0.05);
+        assert!((degenerate.app_time_s - 0.45).abs() < 1e-15);
+        assert_eq!(degenerate.saved_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn frame_overlap_zero_frames_rejected() {
+        let _ = frame_overlap_estimate(0, 0.1, 0.1, 0.1);
     }
 }

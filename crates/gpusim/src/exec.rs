@@ -18,7 +18,7 @@ use crate::device::DeviceSpec;
 use crate::dim::Dim3;
 use crate::error::GpuError;
 use crate::fault::{ArmedFaults, FaultKind, FaultPlan};
-use crate::kernel::{BlockCtx, BufferArena, Event, Kernel, ShadowSet, ThreadCtx};
+use crate::kernel::{BlockCtx, BufferArena, Event, Kernel, RoleRuns, ShadowSet, ThreadCtx};
 use crate::launch::LaunchConfig;
 use crate::memory::cache::CacheSim;
 use crate::memory::global::{chunk_checksums_host, AddressSpace, GlobalAtomicF32, GlobalBuffer};
@@ -137,6 +137,14 @@ pub struct VirtualGpu {
     /// mutex so a watchdog-poisoned pool can be torn down and rebuilt at
     /// the next launch through `&self` (the launch gate serializes access).
     pool: Option<Mutex<WorkerPool>>,
+    /// When set, batched launches use the pre-PR-7 scheduler: one pool
+    /// lane per worker (even beyond the host's core count) and per-worker
+    /// dense shadow buffers merged after the join. Kept as the measured
+    /// baseline for the pipeline experiment — the new role-extraction
+    /// scheduler below groups float additions per *role* instead of per
+    /// worker, so the two schedulers agree within the usual float
+    /// tolerance but are not bit-equal to each other.
+    legacy_scheduler: bool,
     /// Per-launch escape hatch: when set, dispatch bypasses the pool and
     /// spawns scoped threads — the degradation ladder's first rung, usable
     /// through `&self` mid-frame.
@@ -160,6 +168,11 @@ pub struct VirtualGpu {
     launch_gate: Mutex<()>,
     /// Recycled shadow storage for the batched executor.
     arena: BufferArena,
+    /// Recycled per-role run lists for the batched executor's extraction
+    /// merge (capacity persists across launches — the zero-allocation
+    /// frame loop). Guarded by the launch gate like the arena; the mutex
+    /// satisfies `Sync`.
+    runs_pool: Mutex<Vec<RoleRuns>>,
     /// When `false`, launches allocate caches and shadows fresh each call
     /// (the allocation baseline, see [`Self::with_buffer_reuse`]).
     reuse: bool,
@@ -182,6 +195,10 @@ pub struct VirtualGpu {
 /// Undrained sanitizer reports kept per device; older reports are evicted
 /// first, so a long chaos run without drains cannot grow without bound.
 const SAN_REPORT_BACKLOG: usize = 1024;
+
+/// Upper bound on recycled per-role run lists — one per SM of the widest
+/// device shape plus slack, mirroring the arena's cap.
+const RUNS_POOL_CAP: usize = 64;
 
 /// Counters of resilience events on a device, all monotone since device
 /// construction. Zero across the board in a fault-free run.
@@ -214,7 +231,10 @@ impl VirtualGpu {
             space: AddressSpace::new(),
             workers,
             exec_mode: ExecMode::default(),
+            // `workers` is already ≤ the host's core count here, so this
+            // matches `pool_lanes` (which only bites after `with_workers`).
             pool: Some(Mutex::new(WorkerPool::new(workers))),
+            legacy_scheduler: false,
             spawn_override: AtomicBool::new(false),
             fault: None,
             watchdog: None,
@@ -225,6 +245,7 @@ impl VirtualGpu {
             caches,
             launch_gate: Mutex::new(()),
             arena: BufferArena::new(),
+            runs_pool: Mutex::new(Vec::new()),
             reuse: true,
             telemetry: None,
             launch_seq: AtomicU64::new(0),
@@ -270,9 +291,26 @@ impl VirtualGpu {
         }
         self.workers = workers;
         if self.pool.is_some() {
-            self.pool = Some(Mutex::new(WorkerPool::new(workers)));
+            self.pool = Some(Mutex::new(WorkerPool::new(self.pool_lanes())));
         }
         self
+    }
+
+    /// Lanes the persistent pool should hold: one per worker, but never
+    /// more than the host has cores — surplus lanes cannot add parallelism
+    /// and each one costs a wake/park handshake and a context switch per
+    /// launch. Role virtualization keeps the index → worker mapping (and
+    /// therefore images, counters, and modeled times) bit-identical at any
+    /// lane count, so the cap is purely a host-scheduling choice. A floor
+    /// of two lanes (when the caller asked for ≥ 2 workers) keeps the
+    /// watchdog, injected-stall, and lane-telemetry machinery live even on
+    /// a single-core host — those paths need a real worker lane to fence.
+    fn pool_lanes(&self) -> usize {
+        if self.legacy_scheduler {
+            self.workers
+        } else {
+            self.workers.min(default_workers().max(2)).max(1)
+        }
     }
 
     /// Replaces pooled dispatch with per-launch scoped-thread spawning —
@@ -280,6 +318,20 @@ impl VirtualGpu {
     /// throughput experiment.
     pub fn with_spawn_dispatch(mut self) -> Self {
         self.pool = None;
+        self
+    }
+
+    /// Selects the pre-PR-7 batched scheduler — one pool lane per worker
+    /// and per-worker dense shadows merged post-join, no work stealing —
+    /// kept as the measured baseline for the pipeline experiment.
+    /// Counters and modeled times are bit-equal to the default scheduler;
+    /// images agree within float-summation-grouping tolerance (the default
+    /// scheduler groups per role, the legacy one per worker).
+    pub fn with_legacy_scheduler(mut self) -> Self {
+        self.legacy_scheduler = true;
+        if self.pool.is_some() {
+            self.pool = Some(Mutex::new(WorkerPool::new(self.pool_lanes())));
+        }
         self
     }
 
@@ -434,19 +486,38 @@ impl VirtualGpu {
     /// spec bound to the upcoming launch surfaces here as
     /// [`GpuError::OutOfMemory`]. Identical to `upload` without a plan.
     pub fn try_upload<T: Copy>(&self, data: Vec<T>) -> Result<(GlobalBuffer<T>, f64), GpuError> {
+        self.take_upload_fault(std::mem::size_of::<T>() * data.len())?;
+        Ok(self.upload(data))
+    }
+
+    /// Consults the fault plan for an [`FaultKind::AllocOom`] spec bound
+    /// to the upcoming launch, as [`Self::try_upload`] would before
+    /// copying `requested` bytes. The pipelined frame loop uploads star
+    /// data ahead of time on a producer stage and calls this just before
+    /// the launch instead, so fault coordinates stay serialized in launch
+    /// order exactly as in the sequential loop.
+    pub fn take_upload_fault(&self, requested: usize) -> Result<(), GpuError> {
         if let Some(plan) = &self.fault {
             if plan
                 .take(FaultKind::AllocOom, plan.upcoming_launch())
                 .is_some()
             {
                 return Err(GpuError::OutOfMemory {
-                    requested: std::mem::size_of::<T>() * data.len(),
+                    requested,
                     available: 0,
                     space: "global",
                 });
             }
         }
-        Ok(self.upload(data))
+        Ok(())
+    }
+
+    /// Whether downloads verify per-chunk checksums (a fault plan with
+    /// transfer faults is attached). The pipelined frame loop degrades to
+    /// synchronous downloads when this holds, so injected transfer faults
+    /// keep their sequential launch coordinates.
+    pub fn verifies_transfers(&self) -> bool {
+        self.fault.as_deref().is_some_and(|p| p.verify_transfers())
     }
 
     /// Allocates a zero-filled atomic f32 device buffer (e.g. the output
@@ -631,7 +702,7 @@ impl VirtualGpu {
         if let Some(pm) = &self.pool {
             let mut pool = pm.lock().unwrap_or_else(|e| e.into_inner());
             if pool.poisoned() {
-                *pool = WorkerPool::new(self.workers);
+                *pool = WorkerPool::new(self.pool_lanes());
                 pool.set_telemetry(self.telemetry.is_some());
                 self.pool_rebuilds.fetch_add(1, Ordering::Relaxed);
             }
@@ -810,8 +881,40 @@ impl VirtualGpu {
     }
 
     /// Static-stride dispatch (index `i` → worker `i % workers`, a pure
-    /// function of `(count, workers)` on both paths).
+    /// function of `(count, workers)` on both paths). The pooled path
+    /// claims roles by work stealing — ragged per-SM block batches no
+    /// longer serialize on one lane. Stealing may run two roles of the
+    /// same worker concurrently, so callers must accumulate per *role*
+    /// (the extraction scheduler does); per-worker state may only be
+    /// touched through order-insensitive operations.
     fn dispatch_static<F>(
+        &self,
+        count: usize,
+        workers: usize,
+        stall: Option<(usize, Duration)>,
+        body: F,
+    ) -> Result<(), GpuError>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        match &self.pool {
+            Some(pm) if !self.use_spawn() => pm
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .parallel_for_static_stealing_guarded(count, workers, self.watchdog, stall, body)
+                .map_err(|t| self.timeout_error(t)),
+            _ => {
+                spawn_parallel_for_static(count, workers, body);
+                Ok(())
+            }
+        }
+    }
+
+    /// [`Self::dispatch_static`] without work stealing: each lane runs
+    /// exactly the roles congruent to it, in ascending order — the
+    /// pre-PR-7 schedule the legacy batched strategy's per-worker
+    /// accumulation depends on.
+    fn dispatch_static_legacy<F>(
         &self,
         count: usize,
         workers: usize,
@@ -966,10 +1069,196 @@ impl VirtualGpu {
 
     /// The batched executor: same SM schedule, but blocks whose kernel
     /// implements [`Kernel::run_block`] are processed whole, accumulating
-    /// image output into per-worker private shadows that are merged in
-    /// worker order after the join (so the image is deterministic for a
-    /// fixed worker count, and counters/times for *any* worker count).
+    /// image output into private shadows instead of CAS-looping on the
+    /// shared target.
+    ///
+    /// Two strategies share this entry point. The default extraction
+    /// scheduler accumulates per *role* (SM) and drains each role's sparse
+    /// output while it is still cache-warm, so the image is deterministic
+    /// for *any* worker count ≥ 2 and any lane count; the legacy scheduler
+    /// ([`Self::with_legacy_scheduler`]) keeps the pre-PR-7 per-worker
+    /// dense shadows. Counters and modeled times are bit-equal either way.
+    ///
+    /// Single-worker launches always take the legacy strategy: with one
+    /// worker its single accumulator replays the reference executor's
+    /// addition order exactly (the image starts at zero, so draining the
+    /// one shadow is the same chain of adds), preserving the
+    /// batched-equals-reference-bit-for-bit contract that per-role
+    /// grouping cannot — and at one worker the two schedules are the same
+    /// ascending role walk anyway.
     fn execute_batched<'k, K: Kernel>(
+        &'k self,
+        kernel: &'k K,
+        cfg: &LaunchConfig,
+        caches: &[Mutex<CacheSim>],
+        armed: Option<&ArmedFaults>,
+        stamps: Option<&LaunchStamps>,
+    ) -> Result<Counters, GpuError> {
+        let sms = (self.spec.sm_count as usize).min(cfg.total_blocks());
+        let workers = self.workers.min(sms.max(1));
+        if self.legacy_scheduler || workers == 1 {
+            self.execute_batched_legacy(kernel, cfg, caches, armed, stamps)
+        } else {
+            self.execute_batched_extracting(kernel, cfg, caches, armed, stamps)
+        }
+    }
+
+    /// The default batched strategy: per-role accumulation with in-dispatch
+    /// sparse extraction.
+    ///
+    /// Each role (SM) accumulates its blocks into a dense scratch shadow
+    /// drawn from the arena, then — still on the worker lane, while the
+    /// touched chunks are cache-warm — drains the scratch into a compact
+    /// run list and recycles it. Only about one scratch buffer per *lane*
+    /// is ever live, so the working set stays small no matter how many
+    /// workers the caller asked for; the post-join merge reads the compact
+    /// runs sequentially instead of re-walking megabytes of cold dense
+    /// shadows. The merge adds role outputs in ascending role order — a
+    /// pure function of the launch schedule — so the image is bit-identical
+    /// for every worker count, lane count, and dispatch path (pooled,
+    /// stolen, or spawned). Per-role accumulation is also what makes work
+    /// stealing safe: two roles of the same worker may run concurrently on
+    /// different lanes, and they never share an accumulator.
+    fn execute_batched_extracting<'k, K: Kernel>(
+        &'k self,
+        kernel: &'k K,
+        cfg: &LaunchConfig,
+        caches: &[Mutex<CacheSim>],
+        armed: Option<&ArmedFaults>,
+        stamps: Option<&LaunchStamps>,
+    ) -> Result<Counters, GpuError> {
+        let sm_count = self.spec.sm_count as usize;
+        let total_blocks = cfg.total_blocks();
+        let sms = sm_count.min(total_blocks);
+        let workers = self.workers.min(sms.max(1));
+        let hazards = AtomicU64::new(0);
+        let panic_sm = armed.and_then(|a| a.panic_sm).map(|l| l % sms.max(1));
+
+        // Per-worker counters (integral, so accumulation order within a
+        // worker cannot matter even when stealing interleaves its roles);
+        // merged in worker order below. The short lock is contended only
+        // when two roles of one worker finish simultaneously.
+        let counter_slots: Vec<Mutex<Counters>> = (0..workers)
+            .map(|_| Mutex::new(Counters::default()))
+            .collect();
+        // Target buffers registered by extraction, in first-sight order;
+        // run lists refer to them by slot index.
+        let targets: Mutex<Vec<&'k GlobalAtomicF32>> = Mutex::new(Vec::new());
+        // One run list per role, recycled (with their capacity) across
+        // launches so the steady-state frame loop stays allocation-free.
+        let runs: Vec<Mutex<RoleRuns>> = {
+            let mut pool = self.runs_pool.lock().unwrap_or_else(|e| e.into_inner());
+            (0..sms)
+                .map(|_| Mutex::new(pool.pop().unwrap_or_default()))
+                .collect()
+        };
+
+        if let Some(s) = stamps {
+            s.dispatch_start.set(now_us());
+        }
+        self.dispatch_static(
+            sms,
+            workers,
+            Self::armed_stall(armed, workers),
+            |sm_id, worker| {
+                if panic_sm == Some(sm_id) {
+                    panic!("injected fault: worker panic on sm {sm_id}");
+                }
+                let mut counters = Counters::default();
+                let mut shadow = if self.reuse {
+                    ShadowSet::with_arena(&self.arena)
+                } else {
+                    ShadowSet::new()
+                };
+                let mut cache = caches[sm_id].lock().unwrap_or_else(|e| e.into_inner());
+                let mut block = sm_id;
+                while block < total_blocks {
+                    let mut bctx = BlockCtx {
+                        block_idx: cfg.grid.delinearize(block),
+                        block_dim: cfg.block,
+                        grid_dim: cfg.grid,
+                        spec: &self.spec,
+                        counters: &mut counters,
+                        cache: &mut cache,
+                        shadow: &mut shadow,
+                        backend: cfg.backend,
+                    };
+                    if !kernel.run_block(&mut bctx) {
+                        self.run_block_reference(
+                            kernel,
+                            cfg,
+                            block,
+                            &mut counters,
+                            &mut cache,
+                            &hazards,
+                            None,
+                        );
+                    }
+                    block += sm_count;
+                }
+                // Drain this role's output while its chunks are still
+                // cache-warm; the scratch goes back to the arena drained,
+                // ready for the next role on this lane.
+                let mut out = runs[sm_id].lock().unwrap_or_else(|e| e.into_inner());
+                out.clear();
+                shadow.extract_into(
+                    &mut targets.lock().unwrap_or_else(|e| e.into_inner()),
+                    &mut out,
+                );
+                counter_slots[worker]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .merge(&counters);
+            },
+        )?;
+        if let Some(s) = stamps {
+            s.dispatch_end.set(now_us());
+            s.merge_start.set(now_us());
+        }
+
+        // Deterministic reduction: counters merge in worker order, role
+        // outputs in role order — both single-threaded under the launch
+        // gate, so the plain read-modify-write in `merge_add_range` is
+        // race-free.
+        let mut counters = Counters::default();
+        for s in &counter_slots {
+            counters.merge(&s.lock().unwrap_or_else(|e| e.into_inner()));
+        }
+        let targets = targets.into_inner().unwrap_or_else(|e| e.into_inner());
+        {
+            let mut pool = self.runs_pool.lock().unwrap_or_else(|e| e.into_inner());
+            for r in runs {
+                let mut r = r.into_inner().unwrap_or_else(|e| e.into_inner());
+                r.merge_into(&targets);
+                r.clear();
+                if pool.len() < RUNS_POOL_CAP {
+                    pool.push(r);
+                }
+            }
+        }
+        // Injected shadow corruption: poison one drained scratch buffer on
+        // its way back to the arena, which must screen (drop) it instead
+        // of recycling — same observable as the legacy scheduler's
+        // post-drain corruption of worker 0's buffer.
+        if armed.is_some_and(|a| a.shadow_corrupt) && self.reuse {
+            if let Some(target) = targets.first() {
+                let mut sb = self.arena.take(target.len());
+                sb.poison();
+                self.arena.put(sb);
+            }
+        }
+        counters.shared_hazards += hazards.load(Ordering::Relaxed);
+        if let Some(s) = stamps {
+            s.merge_end.set(now_us());
+        }
+        Ok(counters)
+    }
+
+    /// The pre-PR-7 batched strategy: per-worker dense shadows, merged in
+    /// worker order after the join (image deterministic for a fixed worker
+    /// count only). Selected by [`Self::with_legacy_scheduler`] as the
+    /// measured baseline for the pipeline experiment.
+    fn execute_batched_legacy<'k, K: Kernel>(
         &'k self,
         kernel: &'k K,
         cfg: &LaunchConfig,
@@ -988,11 +1277,11 @@ impl VirtualGpu {
             counters: Counters,
             shadow: ShadowSet<'k>,
         }
-        // One private state per worker. The static schedule guarantees each
-        // state is only ever touched by its worker, so the mutexes are
-        // uncontended; they exist to satisfy `Sync`. Shadow storage comes
-        // from the device arena when reuse is on — recycled, not
-        // reallocated, across frames.
+        // One private state per worker. The static (non-stealing) schedule
+        // guarantees each state is only ever touched by its worker, so the
+        // mutexes are uncontended; they exist to satisfy `Sync`. Shadow
+        // storage comes from the device arena when reuse is on — recycled,
+        // not reallocated, across frames.
         let states: Vec<Mutex<WorkerState<'k>>> = (0..workers)
             .map(|_| {
                 Mutex::new(WorkerState {
@@ -1009,7 +1298,7 @@ impl VirtualGpu {
         if let Some(s) = stamps {
             s.dispatch_start.set(now_us());
         }
-        self.dispatch_static(
+        self.dispatch_static_legacy(
             sms,
             workers,
             Self::armed_stall(armed, workers),

@@ -246,7 +246,7 @@ impl BufferArena {
     /// all-zero by the merge contract; a size change falls back to
     /// clear-and-resize, and a buffer failing the drained check is dropped
     /// (defense in depth — `put` already screens).
-    fn take(&self, len: usize) -> ShadowBuf {
+    pub(crate) fn take(&self, len: usize) -> ShadowBuf {
         loop {
             let recycled = self.free.lock().unwrap_or_else(|e| e.into_inner()).pop();
             match recycled {
@@ -282,7 +282,7 @@ impl BufferArena {
     /// with surviving dirty bits is corrupted (its values may be non-zero,
     /// which would silently leak into the next frame's image); it is
     /// dropped and counted instead.
-    fn put(&self, sb: ShadowBuf) {
+    pub(crate) fn put(&self, sb: ShadowBuf) {
         if sb.dirty.iter().any(|&w| w != 0) {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
@@ -338,15 +338,15 @@ impl ShadowBuf {
         &mut self.vals[start..end]
     }
 
-    /// Merges every non-zero value into `buf` in ascending index order and
-    /// drains the shadow back to the all-zero state (values zeroed, dirty
-    /// bits cleared) so the arena can recycle it without a clearing pass.
+    /// Visits every dirty run in ascending index order as
+    /// `f(start, span)`, clearing the dirty bits; `f` must leave the span
+    /// all-zero (drained) so the buffer is recyclable afterwards.
     ///
     /// Runs of consecutive dirty chunks (the common case: an ROI row
-    /// straddling a chunk boundary) coalesce into one merge-and-zero pass,
-    /// and each chunk is visited once, in ascending order either way — the
-    /// per-pixel addition order is unchanged.
-    fn drain_into(&mut self, buf: &GlobalAtomicF32) {
+    /// straddling a chunk boundary) coalesce into one visit, and each
+    /// chunk is seen once, in ascending order either way — the per-pixel
+    /// order is unchanged.
+    fn drain_runs(&mut self, mut f: impl FnMut(usize, &mut [f32])) {
         for (w, word) in self.dirty.iter_mut().enumerate() {
             let mut bits = *word;
             *word = 0;
@@ -361,8 +361,56 @@ impl ShadowBuf {
                 };
                 let start = (w * 64 + b) * SHADOW_CHUNK;
                 let end = (start + run * SHADOW_CHUNK).min(self.vals.len());
-                buf.merge_drain_range(start, &mut self.vals[start..end]);
+                f(start, &mut self.vals[start..end]);
             }
+        }
+    }
+
+    /// Merges every non-zero value into `buf` in ascending index order and
+    /// drains the shadow back to the all-zero state (values zeroed, dirty
+    /// bits cleared) so the arena can recycle it without a clearing pass.
+    fn drain_into(&mut self, buf: &GlobalAtomicF32) {
+        self.drain_runs(|start, span| buf.merge_drain_range(start, span));
+    }
+
+    /// Marks the buffer corrupted — first value poisoned, first dirty bit
+    /// re-set — simulating in-flight corruption of drained storage. Used
+    /// by fault injection to exercise the arena's integrity screen.
+    pub(crate) fn poison(&mut self) {
+        if !self.vals.is_empty() {
+            self.vals[0] = f32::NAN;
+            self.dirty[0] |= 1;
+        }
+    }
+}
+
+/// One role's extracted kernel output: compact runs of values destined for
+/// target buffers registered in a launch-wide slot table. Recorded in
+/// ascending index order per target; `vals` holds the run values back to
+/// back. Recycled (with capacity) across launches by the executor.
+#[derive(Debug, Default)]
+pub(crate) struct RoleRuns {
+    /// `(target slot, start index in the target, value count)` per run.
+    segs: Vec<(u32, u32, u32)>,
+    vals: Vec<f32>,
+}
+
+impl RoleRuns {
+    /// Empties the lists, keeping their capacity.
+    pub(crate) fn clear(&mut self) {
+        self.segs.clear();
+        self.vals.clear();
+    }
+
+    /// Adds every recorded non-zero value into its target buffer, in
+    /// recorded (ascending) order. Single-writer, like
+    /// [`GlobalAtomicF32::merge_add_range`].
+    pub(crate) fn merge_into(&self, targets: &[&GlobalAtomicF32]) {
+        let mut cursor = 0usize;
+        for &(slot, start, len) in &self.segs {
+            let vals = &self.vals[cursor..cursor + len as usize];
+            cursor += len as usize;
+            targets[slot as usize].merge_add_range(start as usize, vals);
         }
     }
 }
@@ -451,6 +499,37 @@ impl<'k> ShadowSet<'k> {
     /// poisoned value, simulating in-flight corruption of the recycled
     /// storage. The image is unaffected — the point is to exercise the
     /// arena's integrity check, which must drop the buffer, not recycle it.
+    /// Drains every accumulator into `out` as compact runs — registering
+    /// each target buffer in `targets` (by address) on first sight and
+    /// referring to it by slot — then recycles the drained scratch into
+    /// the arena, if any.
+    ///
+    /// This is the extraction scheduler's per-role drain: it runs on the
+    /// worker lane right after the role's blocks, while the touched chunks
+    /// are cache-warm. The extracted values are exactly the per-role
+    /// accumulated values in ascending index order, so a later
+    /// [`RoleRuns::merge_into`] in role order reproduces the one-add-per-
+    /// role-pixel reduction bit-for-bit.
+    pub(crate) fn extract_into(self, targets: &mut Vec<&'k GlobalAtomicF32>, out: &mut RoleRuns) {
+        for (buf, mut sb) in self.bufs {
+            let slot = targets
+                .iter()
+                .position(|t| std::ptr::eq(*t, buf))
+                .unwrap_or_else(|| {
+                    targets.push(buf);
+                    targets.len() - 1
+                }) as u32;
+            sb.drain_runs(|start, span| {
+                out.segs.push((slot, start as u32, span.len() as u32));
+                out.vals.extend_from_slice(span);
+                span.fill(0.0);
+            });
+            if let Some(arena) = self.arena {
+                arena.put(sb);
+            }
+        }
+    }
+
     pub(crate) fn merge_corrupting(self, corrupt_first: bool) {
         let mut corrupt = corrupt_first;
         for (buf, mut sb) in self.bufs {

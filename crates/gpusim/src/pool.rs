@@ -26,6 +26,19 @@
 //! worker-order merge see exactly the index → worker mapping the scoped
 //! implementation produced, on any machine.
 //!
+//! ## Work stealing
+//!
+//! The static stride above can go ragged: with more roles than lanes, a
+//! lane stuck with two heavy roles serializes them while its neighbours
+//! idle. [`WorkerPool::parallel_for_static_stealing_guarded`] keeps the
+//! *same* index → worker mapping (each role is still executed whole, its
+//! indices ascending, by exactly one lane) but lets idle lanes claim the
+//! next unplayed role from a shared atomic counter instead of a fixed
+//! stride — which lane runs a role changes, what the role does never
+//! does, so per-role side effects stay deterministic. The counter lives
+//! on the launching stack like the job pointer, so lanes only touch it
+//! inside the same BUSY fence window that guards the task dereference.
+//!
 //! ## Panics and nesting
 //!
 //! A panic in a worker body is caught, the generation is allowed to finish
@@ -97,8 +110,13 @@ struct Job {
     task: *const (dyn Fn(usize) + Sync),
     /// Lanes participating in this generation (≤ pool lanes).
     lanes: usize,
-    /// Roles to play; lane `l` plays `l, l + lanes, …` below this.
+    /// Roles to play; lane `l` plays `l, l + lanes, …` below this (static
+    /// stride), unless `next_role` selects work stealing.
     roles: usize,
+    /// Work-stealing role counter on the launching stack frame; null for
+    /// the static strided schedule. Dereferenced only inside the BUSY
+    /// fence window — the same liveness argument as `task`.
+    next_role: *const AtomicUsize,
     /// Injected fault: `(lane, duration)` sleeps that worker lane at the
     /// generation boundary, before it claims any role (chaos testing).
     stall: Option<(usize, Duration)>,
@@ -249,11 +267,12 @@ impl WorkerPool {
     fn run(&self, roles: usize, task: &(dyn Fn(usize) + Sync)) {
         // Infallible: without a deadline the wait can only end in
         // completion, so the Err arm is unreachable.
-        let _ = self.run_guarded(roles, None, None, task);
+        let _ = self.run_guarded(roles, None, None, false, task);
     }
 
-    /// [`Self::run`] with an optional watchdog `deadline` and an optional
-    /// injected `stall` (chaos testing; see [`Job::stall`]).
+    /// [`Self::run`] with an optional watchdog `deadline`, an optional
+    /// injected `stall` (chaos testing; see [`Job::stall`]), and an
+    /// optional work-stealing schedule (see the module docs).
     ///
     /// With a deadline, a generation whose worker lanes do not finish in
     /// time is abandoned: every unfinished lane is fenced at its next role
@@ -269,6 +288,7 @@ impl WorkerPool {
         roles: usize,
         deadline: Option<Duration>,
         stall: Option<(usize, Duration)>,
+        steal: bool,
         task: &(dyn Fn(usize) + Sync),
     ) -> Result<(), PoolTimeout> {
         if roles == 0 {
@@ -304,13 +324,21 @@ impl WorkerPool {
                 >(task)
             }
         }
+        let next_role = AtomicUsize::new(0);
         let job = Job {
             task: erase(task),
             lanes,
             roles,
+            next_role: if steal { &next_role } else { std::ptr::null() },
             // Lane 0 is the launching thread (it runs the watchdog), so a
-            // stall can only target a worker lane.
-            stall: stall.filter(|&(l, _)| l >= 1 && l < lanes),
+            // stall can only target a worker lane. A stall armed for a lane
+            // beyond this dispatch's width (the pool may have fewer lanes
+            // than the caller has workers) is remapped into the
+            // participating worker lanes instead of silently dropped —
+            // chaos schedules must fire regardless of the host's core
+            // count.
+            stall: stall
+                .and_then(|(l, d)| (l >= 1 && lanes >= 2).then(|| (1 + (l - 1) % (lanes - 1), d))),
         };
         let generation;
         {
@@ -331,13 +359,24 @@ impl WorkerPool {
         // Lane 0 is the launcher: one Launch event marks the publish.
         self.inner.record(0, generation, LaneEventKind::Launch);
 
-        // Lane 0 runs on the launching thread.
+        // Lane 0 runs on the launching thread. It owns the steal counter's
+        // allocation, so it claims from it directly — no fence needed.
         IN_POOL.set(true);
         let lane0 = catch_unwind(AssertUnwindSafe(|| {
-            let mut role = 0;
-            while role < roles {
-                task(role);
-                role += lanes;
+            if steal {
+                loop {
+                    let role = next_role.fetch_add(1, Ordering::Relaxed);
+                    if role >= roles {
+                        break;
+                    }
+                    task(role);
+                }
+            } else {
+                let mut role = 0;
+                while role < roles {
+                    task(role);
+                    role += lanes;
+                }
             }
         }));
         IN_POOL.set(false);
@@ -541,7 +580,7 @@ impl WorkerPool {
             return Ok(());
         }
         let next = AtomicUsize::new(0);
-        self.run_guarded(workers, deadline, stall, &|worker_id| loop {
+        self.run_guarded(workers, deadline, stall, false, &|worker_id| loop {
             let start = next.fetch_add(chunk, Ordering::Relaxed);
             if start >= count {
                 break;
@@ -578,7 +617,46 @@ impl WorkerPool {
             }
             return Ok(());
         }
-        self.run_guarded(workers, deadline, stall, &|worker_id| {
+        self.run_guarded(workers, deadline, stall, false, &|worker_id| {
+            let mut i = worker_id;
+            while i < count {
+                body(i, worker_id);
+                i += workers;
+            }
+        })
+    }
+
+    /// [`Self::parallel_for_static_guarded`] with work stealing between
+    /// idle lanes: the index → worker mapping and per-role ascending order
+    /// are identical (each role is still one worker's whole stride,
+    /// executed by exactly one lane), but roles are claimed from a shared
+    /// counter instead of assigned `lane, lane + lanes, …` — so a ragged
+    /// batch (one heavy role among light ones) no longer serializes two
+    /// heavy roles on one lane while the others idle. Deterministic side
+    /// effects are preserved because they key on the role (`worker_id`),
+    /// never on the executing lane.
+    pub fn parallel_for_static_stealing_guarded<F>(
+        &self,
+        count: usize,
+        workers: usize,
+        deadline: Option<Duration>,
+        stall: Option<(usize, Duration)>,
+        body: F,
+    ) -> Result<(), PoolTimeout>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let workers = workers.max(1).min(count.max(1));
+        if count == 0 {
+            return Ok(());
+        }
+        if workers == 1 {
+            for i in 0..count {
+                body(i, 0);
+            }
+            return Ok(());
+        }
+        self.run_guarded(workers, deadline, stall, true, &|worker_id| {
             let mut i = worker_id;
             while i < count {
                 body(i, worker_id);
@@ -675,8 +753,8 @@ fn worker_loop(lane: usize, inner: &PoolInner) {
         IN_POOL.set(true);
         let result = catch_unwind(AssertUnwindSafe(|| {
             let fence = &inner.lane_state[lane];
-            let mut role = lane;
-            while role < job.roles {
+            let mut next_static = lane;
+            loop {
                 if fence
                     .compare_exchange(LANE_IDLE, LANE_BUSY, Ordering::SeqCst, Ordering::SeqCst)
                     .is_err()
@@ -687,10 +765,26 @@ fn worker_loop(lane: usize, inner: &PoolInner) {
                     break;
                 }
                 // SAFETY: see `Job`: the launching thread keeps the pointee
-                // alive until the generation completes or is abandoned, and
-                // abandonment only proceeds once this lane is fenced — which
-                // the BUSY fence state just excluded for the duration of
-                // this role.
+                // (and, in steal mode, the role counter next to it) alive
+                // until the generation completes or is abandoned, and
+                // abandonment only proceeds once this lane is fenced —
+                // which the BUSY fence state just excluded for the
+                // duration of this role.
+                let role = if job.next_role.is_null() {
+                    next_static
+                } else {
+                    unsafe { &*job.next_role }.fetch_add(1, Ordering::Relaxed)
+                };
+                if role >= job.roles {
+                    let _ = fence.compare_exchange(
+                        LANE_BUSY,
+                        LANE_IDLE,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    break;
+                }
+                // SAFETY: see above.
                 let task = unsafe { &*job.task };
                 task(role);
                 if fence
@@ -700,7 +794,7 @@ fn worker_loop(lane: usize, inner: &PoolInner) {
                     inner.record(lane, seen, LaneEventKind::Fenced);
                     break;
                 }
-                role += job.lanes;
+                next_static += job.lanes;
             }
         }));
         IN_POOL.set(false);
@@ -1191,5 +1285,103 @@ mod tests {
         })
         .expect("rebuilt pool dispatches normally");
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    // ------------------------------------------------------------------
+    // Work-stealing coverage.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn stealing_visits_every_index_once_with_static_mapping() {
+        for lanes in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            for (count, workers) in [(997, 4), (30, 30), (13, 15), (64, 3)] {
+                let hits: Vec<AtomicUsize> = (0..count).map(|_| AtomicUsize::new(0)).collect();
+                pool.parallel_for_static_stealing_guarded(count, workers, None, None, |i, w| {
+                    assert_eq!(i % workers.min(count), w, "index→worker mapping is static");
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                })
+                .expect("no deadline, cannot time out");
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "every index exactly once at lanes={lanes} count={count} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_unblocks_ragged_batches_across_lanes() {
+        // Two lanes, four roles, role 0 heavy: without stealing lane 0
+        // would also own role 2 and serialize behind the heavy role; with
+        // stealing lane 1 picks up roles 1..3 while lane 0 is busy. The
+        // observable contract here is completion with the static mapping —
+        // the scheduling win itself is wall-clock and measured by bench.
+        let pool = WorkerPool::new(2);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_static_stealing_guarded(4, 4, None, None, |i, w| {
+            assert_eq!(i, w);
+            if i == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("no deadline");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(!pool.poisoned());
+    }
+
+    #[test]
+    fn stealing_stall_recovers_and_watchdog_still_fires() {
+        // A short injected stall recovers without a timeout…
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..30).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_static_stealing_guarded(
+            30,
+            6,
+            Some(Duration::from_secs(30)),
+            Some((1, Duration::from_millis(10))),
+            |i, _| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            },
+        )
+        .expect("stall ends before the deadline");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+
+        // …and a stall past the deadline still trips the watchdog.
+        let r = pool.parallel_for_static_stealing_guarded(
+            30,
+            6,
+            Some(Duration::from_millis(25)),
+            Some((1, Duration::from_millis(300))),
+            |_, _| {},
+        );
+        assert_eq!(
+            r,
+            Err(PoolTimeout {
+                deadline: Duration::from_millis(25)
+            })
+        );
+        assert!(pool.poisoned());
+    }
+
+    #[test]
+    fn stealing_worker_panic_does_not_wedge_the_pool() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel_for_static_stealing_guarded(8, 4, None, None, |i, _| {
+                if i == 2 {
+                    panic!("injected");
+                }
+            })
+        }));
+        assert!(caught.is_err(), "panic must propagate to the launcher");
+        // The pool must still dispatch correctly afterwards.
+        let total = AtomicU64::new(0);
+        pool.parallel_for_static_stealing_guarded(100, 4, None, None, |i, _| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        })
+        .expect("pool survives a panicked generation");
+        assert_eq!(total.load(Ordering::Relaxed), 99 * 100 / 2);
     }
 }

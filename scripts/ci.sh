@@ -4,10 +4,11 @@
 # Artefact convention: every BENCH_PR*.json (PR1 executor speedup, PR2
 # sustained throughput, PR3 chaos overhead + recovery, PR4 telemetry
 # overhead + trace validation, PR5 sanitizer gate + clean pass + corpus,
-# PR6 SIMD backend speedup + pixel-error gate) is written to results/ —
-# the single tracked location. Only the *current* PR's artefact
-# (BENCH_PR6.json) is additionally copied to the repo root for the PR
-# gate, at the end of this script.
+# PR6 SIMD backend speedup + pixel-error gate, PR7 frame-pipelined
+# scheduler speedup + bit-identity) is written to results/ — the single
+# tracked location. Only the *current* PR's artefact (BENCH_PR7.json) is
+# additionally copied to the repo root for the PR gate, at the end of
+# this script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,8 +29,8 @@ cargo test -q --workspace
 # verbatim with the SIMD fast paths selected (counters and modeled times
 # bit-equal; image assertions switch to the documented tolerance where
 # the suite says so).
-echo "== exec-modes + sanitizer suites under STARSIM_BACKEND=simd"
-STARSIM_BACKEND=simd cargo test -q --test exec_modes --test sanitizer
+echo "== exec-modes + sanitizer + pipeline suites under STARSIM_BACKEND=simd"
+STARSIM_BACKEND=simd cargo test -q --test exec_modes --test sanitizer --test pipeline
 
 # Miri smoke over the std-only leaf crates (rng, psf, starfield): UB
 # checking on the pure-math core. Gated on a working miri component so the
@@ -103,5 +104,15 @@ grep -q '"error_ok": true' results/BENCH_PR6.json
 grep -q '"speedup_ok": true' results/BENCH_PR6.json
 grep -q '"gate_ok": true' results/BENCH_PR6.json
 
+echo "== frame-pipeline bench (overlap scheduler vs sequential loop + bit-identity)"
+$BENCH --pipeline --quick --out results
+
+echo "== BENCH_PR7.json"
+cat results/BENCH_PR7.json
+grep -q '"bit_identical": true' results/BENCH_PR7.json
+grep -q '"speedup_ok": true' results/BENCH_PR7.json
+grep -q '"p99_ok": true' results/BENCH_PR7.json
+grep -q '"gate_ok": true' results/BENCH_PR7.json
+
 # Root copy: current PR's artefact only (see the convention at the top).
-cp results/BENCH_PR6.json .
+cp results/BENCH_PR7.json .

@@ -1,0 +1,314 @@
+//! Frame-pipelined scheduler contract.
+//!
+//! [`FrameSequencer::run_frames_pipelined`] overlaps frame `N+1`'s star
+//! generation + upload with frame `N`'s kernel + download. Its defining
+//! invariant: the pipelined schedule is **bit-identical** to the
+//! sequential frame loop — same images, same device counters, same
+//! modeled times — for every seed, worker count and kernel backend; and
+//! faults injected mid-pipeline retry/degrade through the same resilience
+//! ladder, in frame order, recovering bit-identically. Cancellation
+//! drains in-flight frames deterministically and a resumed sequencer
+//! continues exactly where an uninterrupted run would have been.
+//!
+//! `STARSIM_BACKEND=simd` reruns the suite with the SIMD fast paths
+//! (scripts/ci.sh does exactly that); the identity tests additionally
+//! sweep both backends explicitly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use starsim::field::dynamics::AttitudeDynamics;
+use starsim::field::generator::synthetic_sky;
+use starsim::field::{Attitude, Camera};
+use starsim::gpu::{FaultKind, FaultPlan, KernelBackend, VirtualGpu};
+use starsim::sim::telemetry::Telemetry;
+use starsim::sim::{
+    CancelToken, FrameSequencer, LutCache, RetryPolicy, SimConfig, SimError, ThroughputReport,
+};
+
+const FRAMES: usize = 4;
+
+fn backend_under_test() -> KernelBackend {
+    match std::env::var("STARSIM_BACKEND") {
+        Ok(s) => KernelBackend::parse(&s)
+            .unwrap_or_else(|| panic!("STARSIM_BACKEND must be scalar|simd, got {s:?}")),
+        Err(_) => KernelBackend::Scalar,
+    }
+}
+
+fn config(workers: usize, backend: KernelBackend) -> SimConfig {
+    let mut c = SimConfig::new(128, 128, 10);
+    c.workers = Some(workers);
+    c.backend = backend;
+    c
+}
+
+/// A drifting-field sequencer (gentle slew: the frames differ, no smear).
+fn sequencer(gpu: VirtualGpu, seed: u64, workers: usize, backend: KernelBackend) -> FrameSequencer {
+    FrameSequencer::on_device(
+        gpu,
+        synthetic_sky(30_000, 0.0, 6.0, seed),
+        Camera::from_fov(10.0f64.to_radians(), 128, 128).unwrap(),
+        AttitudeDynamics::new(Attitude::pointing(1.0, 0.2, 0.0), [0.002, 0.0, 0.0]),
+        config(workers, backend),
+        0.1,
+        0.5,
+    )
+    .unwrap()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// One frame's identity-relevant state: image bits, counters, modeled
+/// time bits.
+#[derive(Debug, PartialEq, Eq)]
+struct FrameDigest {
+    image: Vec<u32>,
+    counters: starsim::gpu::Counters,
+    app_time_bits: u64,
+}
+
+/// The sequential reference: `n` frames through [`FrameSequencer::next_frame`].
+fn sequential_digests(seq: &mut FrameSequencer, n: usize) -> Vec<FrameDigest> {
+    (0..n)
+        .map(|_| {
+            let f = seq.next_frame().unwrap();
+            FrameDigest {
+                image: bits(f.report.image.data()),
+                counters: f.report.profile.kernels[0].counters,
+                app_time_bits: f.report.app_time_s.to_bits(),
+            }
+        })
+        .collect()
+}
+
+/// `n` frames through the pipelined schedule, digested from the observer.
+fn pipelined_digests(seq: &mut FrameSequencer, n: usize) -> (Vec<FrameDigest>, ThroughputReport) {
+    let mut digests = Vec::with_capacity(n);
+    let token = CancelToken::new();
+    let report = seq
+        .run_frames_pipelined_observed(n, &token, |frame| {
+            digests.push(FrameDigest {
+                image: bits(frame.pixels),
+                counters: frame.timing.counters,
+                app_time_bits: frame.timing.app_time_s.to_bits(),
+            });
+        })
+        .unwrap();
+    (digests, report)
+}
+
+#[test]
+fn pipelined_matches_sequential_bit_identically() {
+    for &seed in &[3u64, 11] {
+        for &workers in &[1usize, 4, 15] {
+            for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+                let mut reference = sequencer(VirtualGpu::gtx480(), seed, workers, backend);
+                let expected = sequential_digests(&mut reference, FRAMES);
+                let mut pipelined = sequencer(VirtualGpu::gtx480(), seed, workers, backend);
+                let (got, report) = pipelined_digests(&mut pipelined, FRAMES);
+                assert_eq!(
+                    expected, got,
+                    "seed {seed}, {workers} workers, {backend:?}: pipelined frames \
+                     must be bit-identical to the sequential loop"
+                );
+                assert_eq!(report.frames, FRAMES);
+                assert!(report.overlap.is_some());
+                assert!(
+                    (pipelined.time_s() - reference.time_s()).abs() < 1e-12,
+                    "both clocks advanced {FRAMES} frames"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_bursts_compose_with_next_frame() {
+    // Burst, single frame, burst again: the interleaved schedule sees the
+    // same sky as one long sequential run.
+    let mut reference = sequencer(VirtualGpu::gtx480(), 5, 4, backend_under_test());
+    let expected = sequential_digests(&mut reference, 5);
+    let mut seq = sequencer(VirtualGpu::gtx480(), 5, 4, backend_under_test());
+    let (first, _) = pipelined_digests(&mut seq, 2);
+    let middle = sequential_digests(&mut seq, 1);
+    let (rest, _) = pipelined_digests(&mut seq, 2);
+    let got: Vec<FrameDigest> = first.into_iter().chain(middle).chain(rest).collect();
+    assert_eq!(expected, got, "pipelined bursts must compose seamlessly");
+}
+
+#[test]
+fn pipelined_span_tree_is_deterministic_and_two_staged() {
+    let run = || {
+        let telemetry = Telemetry::new();
+        let mut seq = sequencer(VirtualGpu::gtx480(), 7, 2, backend_under_test())
+            .with_telemetry(Arc::clone(&telemetry));
+        seq.run_frames_pipelined(FRAMES).unwrap();
+        telemetry
+    };
+    let a = run().span_tree_signature();
+    let b = run().span_tree_signature();
+    assert_eq!(a, b, "pipelined span tree must be deterministic");
+    let n = FRAMES;
+    // Producer stage roots on its own thread.
+    assert!(a.contains(&("", "frame-produce", n)), "sig: {a:?}");
+    assert!(a.contains(&("frame-produce", "star-gen", n)));
+    assert!(a.contains(&("frame-produce", "star-upload", n)));
+    // Consumer stage: frame > render > attempt > kernel + download.
+    assert!(a.contains(&("", "frame", n)));
+    assert!(a.contains(&("frame", "render", n)));
+    assert!(a.contains(&("render", "attempt-configured", n)));
+    assert!(a.contains(&("attempt-configured", "kernel-launch", n)));
+    assert!(a.contains(&("attempt-configured", "download", n)));
+}
+
+#[test]
+fn chaos_matrix_pipelined_recovers_bit_identically() {
+    let backend = backend_under_test();
+    let mut clean = sequencer(VirtualGpu::gtx480(), 13, 4, backend);
+    let expected = sequential_digests(&mut clean, FRAMES)
+        .into_iter()
+        .map(|d| d.image)
+        .collect::<Vec<_>>();
+
+    for kind in FaultKind::ALL {
+        if kind == FaultKind::TextureBindFail {
+            // Fires at session setup (the one texture bind), never
+            // mid-pipeline — covered by the session chaos matrix.
+            continue;
+        }
+        let plan = Arc::new(FaultPlan::single(kind, 1, 2).with_stall(Duration::from_millis(150)));
+        let gpu = VirtualGpu::gtx480()
+            .with_fault_plan(Arc::clone(&plan))
+            .with_watchdog(Duration::from_millis(40));
+        let mut seq = sequencer(gpu, 13, 4, backend).with_retry_policy(RetryPolicy {
+            backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        });
+        let (got, _report) = pipelined_digests(&mut seq, FRAMES);
+        let got = got.into_iter().map(|d| d.image).collect::<Vec<_>>();
+        assert_eq!(
+            expected, got,
+            "{kind:?}: mid-pipeline fault must recover bit-identically"
+        );
+        assert_eq!(plan.remaining(), 0, "{kind:?}: the fault must have fired");
+    }
+}
+
+#[test]
+fn pipelined_fault_accounting_matches_the_sequential_ladder() {
+    // The exact scenario frames.rs tests sequentially: one worker panic at
+    // launch 1 degrades that frame to spawn dispatch, later frames are
+    // unaffected.
+    let gpu = VirtualGpu::gtx480().with_fault_plan(Arc::new(FaultPlan::single(
+        FaultKind::WorkerPanic,
+        1,
+        2,
+    )));
+    let mut seq = sequencer(gpu, 17, 4, backend_under_test()).with_retry_policy(RetryPolicy {
+        backoff: Duration::ZERO,
+        ..RetryPolicy::default()
+    });
+    let report = seq.run_frames_pipelined(FRAMES).unwrap();
+    assert_eq!(report.frames, FRAMES);
+    assert_eq!(report.resilience.panics, 1);
+    assert_eq!(report.resilience.retries, 1);
+    assert_eq!(
+        report.resilience.rung_frames,
+        [3, 1, 0, 0],
+        "one frame degraded to spawn dispatch, the rest stayed configured"
+    );
+}
+
+#[test]
+fn cancellation_drains_in_flight_frames_and_resumes_bit_identically() {
+    let backend = backend_under_test();
+    let mut reference = sequencer(VirtualGpu::gtx480(), 23, 2, backend);
+    let expected = sequential_digests(&mut reference, 6);
+
+    let mut seq = sequencer(VirtualGpu::gtx480(), 23, 2, backend);
+    let token = CancelToken::new();
+    let mut digests = Vec::new();
+    let err = seq
+        .run_frames_pipelined_observed(6, &token, |frame| {
+            digests.push(FrameDigest {
+                image: bits(frame.pixels),
+                counters: frame.timing.counters,
+                app_time_bits: frame.timing.app_time_s.to_bits(),
+            });
+            if frame.index == 1 {
+                token.cancel();
+            }
+        })
+        .unwrap_err();
+    assert!(matches!(err, SimError::Cancelled), "got {err}");
+    let completed = digests.len();
+    assert!(
+        (2..=4).contains(&completed),
+        "cancel after frame 1 drains at most the two produced frames \
+         already in flight, got {completed}"
+    );
+    assert!(
+        (seq.time_s() - completed as f64 * 0.5).abs() < 1e-12,
+        "the clock stops exactly after the last completed frame"
+    );
+    assert_eq!(
+        &expected[..completed],
+        &digests[..],
+        "drained frames are bit-identical to the sequential loop"
+    );
+
+    // Resume: the remaining frames continue exactly where an
+    // uninterrupted run would have been.
+    let resumed = sequential_digests(&mut seq, 6 - completed);
+    assert_eq!(&expected[completed..], &resumed[..]);
+}
+
+#[test]
+fn immediate_cancellation_completes_no_frames() {
+    let mut seq = sequencer(VirtualGpu::gtx480(), 29, 2, backend_under_test());
+    let token = CancelToken::new();
+    token.cancel();
+    let err = seq
+        .run_frames_pipelined_observed(4, &token, |_| panic!("no frame should complete"))
+        .unwrap_err();
+    assert!(matches!(err, SimError::Cancelled));
+    assert_eq!(seq.time_s(), 0.0, "the clock must not advance");
+}
+
+#[test]
+fn overlap_and_lut_stats_surface_on_the_report() {
+    let cache = Arc::new(LutCache::new());
+    let mut seq = sequencer(VirtualGpu::gtx480(), 31, 2, backend_under_test())
+        .with_lut_cache(Arc::clone(&cache));
+
+    let report = seq.run_frames_pipelined(FRAMES).unwrap();
+    let overlap = report.overlap.expect("pipelined bursts report overlap");
+    assert!(overlap.modeled.app_time_s > 0.0);
+    assert!(overlap.modeled.saved_s >= 0.0);
+    assert!((0.0..=1.0).contains(&overlap.modeled_efficiency));
+    assert!((0.0..=1.0).contains(&overlap.measured_efficiency));
+    assert!(overlap.produce_busy_s > 0.0);
+    assert!(overlap.consume_busy_s > 0.0);
+
+    // The producer prefetched (and built) the LUT off the critical path.
+    assert!(report.lut_prefetch_s > 0.0);
+    let stats = report.lut_cache.expect("cache stats surface");
+    assert_eq!(stats.len, 1);
+    assert!(stats.misses >= 1, "first prefetch builds: {stats:?}");
+
+    // A second burst revalidates from cache.
+    let report = seq.run_frames_pipelined(FRAMES).unwrap();
+    let stats = report.lut_cache.unwrap();
+    assert!(stats.hits >= 1, "second prefetch hits: {stats:?}");
+    assert_eq!(stats.len, 1);
+
+    // The sequential loop also reports overlap accounting (its measured
+    // efficiency is ~0) and never spends prefetch time.
+    let report = seq.run_frames(FRAMES).unwrap();
+    assert!(report.overlap.is_some());
+    assert_eq!(report.lut_prefetch_s, 0.0);
+    assert!(report.lut_cache.is_some());
+}
