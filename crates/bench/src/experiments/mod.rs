@@ -11,6 +11,7 @@ pub mod lutbuild;
 pub mod multigpu;
 pub mod pipeline;
 pub mod sanitize;
+pub mod server;
 pub mod session;
 pub mod simd;
 pub mod streams;

@@ -5,12 +5,13 @@
 //! starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]
 //!               [--exec reference|batched|sanitized] [--backend scalar|simd]
 //!               [--workers N] [--chaos] [--trace PATH] [--metrics] [--sanitize]
-//!               [--pipeline]
+//!               [--pipeline] [--server]
 //!
 //! NAME ∈ { fig2, fig9, fig10, fig11, fig12, table1, table2,
 //!          fig13, fig14, fig15, fig16, table3, ablation, contention,
 //!          devices, multigpu, streams, session, lutbuild, executor,
-//!          throughput, chaos, trace, sanitize, simd, pipeline, all }
+//!          throughput, chaos, trace, sanitize, simd, pipeline, server,
+//!          all }
 //! ```
 //!
 //! `--backend simd` runs every experiment with the lane-oriented batched
@@ -22,6 +23,12 @@
 //! frame-pipelined scheduler against the sequential frame loop, with the
 //! overlap-efficiency accounting and the bit-identity sweep (writes
 //! `BENCH_PR7.json`).
+//!
+//! `--server` is shorthand for `--experiment server`: boots an in-process
+//! `starsimd`, drives it with concurrent closed-loop clients at several
+//! times sustainable demand, and gates on admission behavior, admitted-p99
+//! protection and deadline-cancelled-burst resumability (writes
+//! `BENCH_PR8.json`).
 //!
 //! `--chaos` is shorthand for `--experiment chaos`: the fault-injection
 //! overhead gate plus a seeded recovery run (writes `BENCH_PR3.json`).
@@ -45,7 +52,7 @@ mod experiments;
 
 use experiments::{
     ablation, chaos, contention, devices, executor, fig2, lutbuild, multigpu, pipeline, sanitize,
-    session, simd, streams, table3, test1, test2, throughput, trace, Context,
+    server, session, simd, streams, table3, test1, test2, throughput, trace, Context,
 };
 use starsim_core::{ExecMode, KernelBackend};
 
@@ -77,6 +84,7 @@ fn main() {
             }
             "--sanitize" => experiment = String::from("sanitize"),
             "--pipeline" => experiment = String::from("pipeline"),
+            "--server" => experiment = String::from("server"),
             "--seed" => {
                 ctx.seed = args
                     .next()
@@ -223,6 +231,10 @@ fn main() {
             "Frame pipeline (overlap + bit-identity gates)",
             pipeline::run(&ctx),
         ),
+        "server" => section(
+            "Server loadgen (admission + deadline + shedding gates)",
+            server::run(&ctx),
+        ),
         "all" => {
             let t1 = t1.as_ref().unwrap();
             let t2 = t2.as_ref().unwrap();
@@ -281,6 +293,10 @@ fn main() {
                 "Frame pipeline (overlap + bit-identity gates)",
                 pipeline::run(&ctx),
             );
+            section(
+                "Server loadgen (admission + deadline + shedding gates)",
+                server::run(&ctx),
+            );
         }
         other => usage(&format!("unknown experiment `{other}`")),
     }
@@ -296,7 +312,7 @@ fn usage(error: &str) -> ! {
                       [--workers N] [--trace PATH] [--metrics] [--sanitize] [--pipeline]\n\
          NAME: fig2 fig9 fig10 fig11 fig12 table1 table2 fig13 fig14 fig15 fig16\n\
                table3 ablation contention devices multigpu streams session lutbuild\n\
-               executor throughput chaos trace sanitize simd pipeline all (default)"
+               executor throughput chaos trace sanitize simd pipeline server all (default)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

@@ -1,0 +1,513 @@
+//! Admission control and load shedding for the `starsimd` server.
+//!
+//! The server's overload posture is **bounded queues + explicit
+//! rejection**: demand beyond [`AdmissionConfig::capacity`] concurrent
+//! requests is rejected immediately with a retry-after hint
+//! ([`Rejected`]), never buffered — queue depth (and with it memory and
+//! tail latency) stays bounded by construction. Admitted work holds a
+//! [`Permit`]; dropping it frees the slot.
+//!
+//! Before shedding *requests*, the server sheds *optional work* through a
+//! [`ShedLevel`] ladder that mirrors the fault ladder of
+//! [`crate::resilience::Rung`]: telemetry detail first, monitoring
+//! resolution second, the adaptive kernel's LUT/texture pressure last
+//! ([`crate::session::AdaptiveSession::set_shed_floor`]). The ladder
+//! moves on **hysteresis** over utilization observations
+//! ([`AdmissionController::observe`]): `shed_hold` consecutive
+//! observations at ≥ `shed_high` utilization escalate one level;
+//! `shed_hold` consecutive at ≤ `shed_low` de-escalate one — so a single
+//! burst neither whipsaws the ladder nor locks it high. Observation
+//! counts (not wall-clock) drive the transitions, keeping tests
+//! deterministic.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tuning for one [`AdmissionController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Maximum concurrently admitted requests (queued + running). Demand
+    /// past this is rejected, never buffered.
+    pub capacity: usize,
+    /// Retry hint stamped on every [`Rejected`], milliseconds.
+    pub retry_after_ms: u64,
+    /// Utilization (`depth / capacity`) at or above which an observation
+    /// counts toward escalating the shed ladder.
+    pub shed_high: f64,
+    /// Utilization at or below which an observation counts toward
+    /// de-escalating.
+    pub shed_low: f64,
+    /// Consecutive qualifying observations required to move one level.
+    pub shed_hold: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            capacity: 8,
+            retry_after_ms: 50,
+            shed_high: 0.75,
+            shed_low: 0.25,
+            shed_hold: 3,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Validates the thresholds (`0 ≤ shed_low < shed_high ≤ 1`,
+    /// `capacity ≥ 1`, `shed_hold ≥ 1`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity == 0 {
+            return Err("admission capacity must be ≥ 1".into());
+        }
+        if self.shed_hold == 0 {
+            return Err("shed_hold must be ≥ 1".into());
+        }
+        if !(self.shed_low.is_finite() && self.shed_high.is_finite()) {
+            return Err("shed thresholds must be finite".into());
+        }
+        if !(0.0..=1.0).contains(&self.shed_low)
+            || !(0.0..=1.0).contains(&self.shed_high)
+            || self.shed_low >= self.shed_high
+        {
+            return Err(format!(
+                "need 0 ≤ shed_low ({}) < shed_high ({}) ≤ 1",
+                self.shed_low, self.shed_high
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One level of the load-shedding ladder, cheapest shed first. Each level
+/// includes every shed above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShedLevel {
+    /// No shedding: full telemetry, full monitoring, configured kernels.
+    Full = 0,
+    /// Per-session telemetry detail (spans, launch traces) is detached —
+    /// the cheapest work the server can stop doing.
+    LeanTelemetry = 1,
+    /// Monitoring responses drop per-tenant detail and histograms,
+    /// keeping only headline gauges.
+    CoarseMonitoring = 2,
+    /// Sessions render at the star-centric direct-PSF floor
+    /// ([`crate::resilience::Rung::DirectPsf`]), shedding the shared
+    /// LUT/texture pressure — the last shed before rejecting requests
+    /// outright.
+    FallbackRender = 3,
+}
+
+impl ShedLevel {
+    /// All levels, lightest to heaviest.
+    pub const ALL: [ShedLevel; 4] = [
+        ShedLevel::Full,
+        ShedLevel::LeanTelemetry,
+        ShedLevel::CoarseMonitoring,
+        ShedLevel::FallbackRender,
+    ];
+
+    /// Ladder position, `0..4`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The level at `index`, the inverse of [`Self::index`].
+    pub fn from_index(index: usize) -> Option<ShedLevel> {
+        ShedLevel::ALL.get(index).copied()
+    }
+
+    /// One level heavier, or `None` at the top.
+    pub fn escalate(self) -> Option<ShedLevel> {
+        ShedLevel::from_index(self.index() + 1)
+    }
+
+    /// One level lighter, or `None` at [`ShedLevel::Full`].
+    pub fn relax(self) -> Option<ShedLevel> {
+        self.index().checked_sub(1).and_then(ShedLevel::from_index)
+    }
+
+    /// Stable wire/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedLevel::Full => "full",
+            ShedLevel::LeanTelemetry => "lean-telemetry",
+            ShedLevel::CoarseMonitoring => "coarse-monitoring",
+            ShedLevel::FallbackRender => "fallback-render",
+        }
+    }
+}
+
+/// The admission verdict when no slot is free: come back in
+/// `retry_after_ms`. Carrying the hint (rather than timing out the
+/// caller) is the contract — rejected clients know to back off, admitted
+/// clients keep their latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected {
+    /// Suggested client back-off before retrying, milliseconds.
+    pub retry_after_ms: u64,
+    /// Queue depth at rejection time (= capacity).
+    pub depth: usize,
+}
+
+/// Hysteresis state for the shed ladder (guarded by one small mutex; the
+/// ladder moves on monitoring cadence, never on a render hot path).
+#[derive(Debug, Default)]
+struct ShedState {
+    level_idx: usize,
+    high_streak: u32,
+    low_streak: u32,
+}
+
+/// Shared state behind an [`AdmissionController`] — also held by every
+/// outstanding [`Permit`], whose drop releases its slot.
+#[derive(Debug)]
+struct ControllerInner {
+    depth: AtomicUsize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    released: AtomicU64,
+    shed: Mutex<ShedState>,
+}
+
+/// A bounded admission gate plus the shed-ladder controller.
+///
+/// Cloning shares the state (it is the handle the acceptor, the
+/// monitoring endpoint, and every request thread use concurrently).
+#[derive(Clone, Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    inner: Arc<ControllerInner>,
+}
+
+/// An admitted request's slot. Dropping it releases the slot; keep it
+/// alive for the request's full queued + running lifetime.
+#[derive(Debug)]
+pub struct Permit {
+    inner: Arc<ControllerInner>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.inner.depth.fetch_sub(1, Ordering::AcqRel);
+        self.inner.released.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A monitoring snapshot of an [`AdmissionController`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted since start.
+    pub admitted: u64,
+    /// Requests rejected since start.
+    pub rejected: u64,
+    /// Permits released (admitted requests that finished).
+    pub released: u64,
+    /// Permits currently outstanding.
+    pub depth: usize,
+    /// The admission bound.
+    pub capacity: usize,
+    /// The shed ladder's current level.
+    pub shed_level: ShedLevel,
+}
+
+impl AdmissionController {
+    /// A controller over `config`.
+    ///
+    /// # Panics
+    /// Panics when the config does not [`AdmissionConfig::validate`] —
+    /// admission bounds are a construction-time decision, not a runtime
+    /// input.
+    pub fn new(config: AdmissionConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid admission config: {msg}");
+        }
+        AdmissionController {
+            config,
+            inner: Arc::new(ControllerInner {
+                depth: AtomicUsize::new(0),
+                admitted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                released: AtomicU64::new(0),
+                shed: Mutex::new(ShedState::default()),
+            }),
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Tries to admit one request. `Ok` hands back a [`Permit`] holding a
+    /// slot; `Err` means the gate is at capacity and the caller should
+    /// relay the retry-after hint. Never blocks, never buffers.
+    pub fn try_admit(&self) -> Result<Permit, Rejected> {
+        let mut depth = self.inner.depth.load(Ordering::Acquire);
+        loop {
+            if depth >= self.config.capacity {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejected {
+                    retry_after_ms: self.config.retry_after_ms,
+                    depth,
+                });
+            }
+            match self.inner.depth.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.inner.admitted.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Permit {
+                        inner: Arc::clone(&self.inner),
+                    });
+                }
+                Err(actual) => depth = actual,
+            }
+        }
+    }
+
+    /// Permits currently outstanding.
+    pub fn depth(&self) -> usize {
+        self.inner.depth.load(Ordering::Acquire)
+    }
+
+    /// Current utilization, `depth / capacity` in `[0, ∞)` (transiently
+    /// above 1 is impossible — admission is bounded — so effectively
+    /// `[0, 1]`).
+    pub fn utilization(&self) -> f64 {
+        self.depth() as f64 / self.config.capacity as f64
+    }
+
+    /// The shed ladder's current level.
+    pub fn shed_level(&self) -> ShedLevel {
+        let shed = self.inner.shed.lock().unwrap_or_else(|e| e.into_inner());
+        ShedLevel::from_index(shed.level_idx).unwrap_or(ShedLevel::Full)
+    }
+
+    /// Feeds one utilization observation to the hysteresis ladder and
+    /// returns the (possibly moved) level. Call on a steady cadence — the
+    /// server observes once per handled message; tests can drive it
+    /// directly.
+    pub fn observe(&self) -> ShedLevel {
+        let util = self.utilization();
+        let mut shed = self.inner.shed.lock().unwrap_or_else(|e| e.into_inner());
+        if util >= self.config.shed_high {
+            shed.low_streak = 0;
+            shed.high_streak += 1;
+            if shed.high_streak >= self.config.shed_hold {
+                shed.high_streak = 0;
+                if let Some(next) = ShedLevel::from_index(shed.level_idx)
+                    .unwrap_or(ShedLevel::Full)
+                    .escalate()
+                {
+                    shed.level_idx = next.index();
+                }
+            }
+        } else if util <= self.config.shed_low {
+            shed.high_streak = 0;
+            shed.low_streak += 1;
+            if shed.low_streak >= self.config.shed_hold {
+                shed.low_streak = 0;
+                if let Some(prev) = ShedLevel::from_index(shed.level_idx)
+                    .unwrap_or(ShedLevel::Full)
+                    .relax()
+                {
+                    shed.level_idx = prev.index();
+                }
+            }
+        } else {
+            // Mid-band: pressure is neither building nor clearly gone.
+            // Reset both streaks so only *sustained* signals move the
+            // ladder.
+            shed.high_streak = 0;
+            shed.low_streak = 0;
+        }
+        ShedLevel::from_index(shed.level_idx).unwrap_or(ShedLevel::Full)
+    }
+
+    /// A monitoring snapshot (each field individually exact; the set is
+    /// racy under concurrent use, like any monitoring read).
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.inner.admitted.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            released: self.inner.released.load(Ordering::Relaxed),
+            depth: self.depth(),
+            capacity: self.config.capacity,
+            shed_level: self.shed_level(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(capacity: usize) -> AdmissionController {
+        AdmissionController::new(AdmissionConfig {
+            capacity,
+            retry_after_ms: 25,
+            ..AdmissionConfig::default()
+        })
+    }
+
+    #[test]
+    fn admits_to_capacity_then_rejects_with_retry_after() {
+        let gate = controller(2);
+        let p1 = gate.try_admit().unwrap();
+        let p2 = gate.try_admit().unwrap();
+        assert_eq!(gate.depth(), 2);
+        let rejected = gate.try_admit().unwrap_err();
+        assert_eq!(rejected.retry_after_ms, 25);
+        assert_eq!(rejected.depth, 2);
+        // Releasing a permit frees the slot immediately.
+        drop(p1);
+        assert_eq!(gate.depth(), 1);
+        let p3 = gate.try_admit().unwrap();
+        drop((p2, p3));
+        let stats = gate.stats();
+        assert_eq!(
+            (stats.admitted, stats.rejected, stats.released, stats.depth),
+            (3, 1, 3, 0)
+        );
+    }
+
+    #[test]
+    fn depth_never_exceeds_capacity_under_concurrent_admits() {
+        let gate = controller(4);
+        let peak = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let gate = gate.clone();
+                let peak = Arc::clone(&peak);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        if let Ok(permit) = gate.try_admit() {
+                            peak.fetch_max(gate.depth(), Ordering::Relaxed);
+                            drop(permit);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::Relaxed) <= 4);
+        assert_eq!(gate.depth(), 0);
+        let stats = gate.stats();
+        assert_eq!(stats.admitted, stats.released);
+    }
+
+    #[test]
+    fn hysteresis_escalates_only_after_sustained_pressure() {
+        let gate = AdmissionController::new(AdmissionConfig {
+            capacity: 2,
+            shed_high: 0.75,
+            shed_low: 0.25,
+            shed_hold: 3,
+            ..AdmissionConfig::default()
+        });
+        let _p1 = gate.try_admit().unwrap();
+        let _p2 = gate.try_admit().unwrap(); // utilization 1.0
+        assert_eq!(gate.observe(), ShedLevel::Full);
+        assert_eq!(gate.observe(), ShedLevel::Full);
+        assert_eq!(gate.observe(), ShedLevel::LeanTelemetry, "3rd high obs");
+        // Next hold escalates again; the ladder tops out at FallbackRender.
+        for _ in 0..3 {
+            gate.observe();
+        }
+        assert_eq!(gate.shed_level(), ShedLevel::CoarseMonitoring);
+        for _ in 0..6 {
+            gate.observe();
+        }
+        assert_eq!(gate.shed_level(), ShedLevel::FallbackRender);
+        for _ in 0..3 {
+            gate.observe();
+        }
+        assert_eq!(gate.shed_level(), ShedLevel::FallbackRender, "clamped");
+    }
+
+    #[test]
+    fn hysteresis_relaxes_after_sustained_idle_and_midband_resets() {
+        let gate = AdmissionController::new(AdmissionConfig {
+            capacity: 2,
+            shed_high: 0.75,
+            shed_low: 0.25,
+            shed_hold: 2,
+            ..AdmissionConfig::default()
+        });
+        let p1 = gate.try_admit().unwrap();
+        let _p2 = gate.try_admit().unwrap();
+        gate.observe();
+        gate.observe();
+        assert_eq!(gate.shed_level(), ShedLevel::LeanTelemetry);
+
+        // Mid-band (0.5): neither streak builds; one more high obs is not
+        // enough to escalate because the streak was reset.
+        drop(p1);
+        gate.observe();
+        let _p3 = gate.try_admit().unwrap();
+        gate.observe(); // high again, streak = 1 < hold
+        assert_eq!(gate.shed_level(), ShedLevel::LeanTelemetry);
+
+        // Sustained idle de-escalates back to Full.
+        drop(_p3);
+        drop(_p2);
+        assert_eq!(gate.observe(), ShedLevel::LeanTelemetry, "1st low obs");
+        assert_eq!(gate.observe(), ShedLevel::Full, "2nd low obs relaxes");
+        assert_eq!(gate.observe(), ShedLevel::Full);
+    }
+
+    #[test]
+    fn shed_level_order_names_and_indexing() {
+        assert_eq!(ShedLevel::Full.escalate(), Some(ShedLevel::LeanTelemetry));
+        assert_eq!(ShedLevel::FallbackRender.escalate(), None);
+        assert_eq!(ShedLevel::Full.relax(), None);
+        assert_eq!(
+            ShedLevel::FallbackRender.relax(),
+            Some(ShedLevel::CoarseMonitoring)
+        );
+        for level in ShedLevel::ALL {
+            assert_eq!(ShedLevel::from_index(level.index()), Some(level));
+            assert!(!level.name().is_empty());
+        }
+        assert_eq!(ShedLevel::from_index(4), None);
+        assert!(ShedLevel::Full < ShedLevel::FallbackRender);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(AdmissionConfig::default().validate().is_ok());
+        let bad = AdmissionConfig {
+            capacity: 0,
+            ..AdmissionConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = AdmissionConfig {
+            shed_low: 0.8,
+            shed_high: 0.5,
+            ..AdmissionConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = AdmissionConfig {
+            shed_hold: 0,
+            ..AdmissionConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = AdmissionConfig {
+            shed_high: f64::NAN,
+            ..AdmissionConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid admission config")]
+    fn controller_panics_on_invalid_config() {
+        let _ = AdmissionController::new(AdmissionConfig {
+            capacity: 0,
+            ..AdmissionConfig::default()
+        });
+    }
+}

@@ -23,6 +23,11 @@ pub enum SimError {
     /// In-flight frames drained deterministically first; the sequencer's
     /// clock stops exactly after the last completed frame.
     Cancelled,
+    /// A per-request deadline budget expired before the burst completed.
+    /// Same drain semantics as [`SimError::Cancelled`] — the distinct
+    /// variant lets servers count deadline misses separately from
+    /// operator cancels.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +41,7 @@ impl fmt::Display for SimError {
                 "all {attempts} retry attempts exhausted; last error: {last}"
             ),
             SimError::Cancelled => write!(f, "frame loop cancelled"),
+            SimError::DeadlineExceeded => write!(f, "deadline budget exceeded"),
         }
     }
 }
@@ -85,6 +91,9 @@ mod tests {
         let e = SimError::Cancelled;
         assert!(e.to_string().contains("cancelled"));
         assert!(e.source().is_none());
+        let d = SimError::DeadlineExceeded;
+        assert!(d.to_string().contains("deadline"));
+        assert!(d.source().is_none());
     }
 
     #[test]

@@ -122,6 +122,54 @@ impl FrameSequencer {
         })
     }
 
+    /// Wraps an already-open session — the server path, where the session
+    /// was opened through a shared tenant-attributed [`LutCache`]
+    /// ([`AdaptiveSession::on_cached_tenant`]) before the sequencer
+    /// exists. The session's config becomes the base config; the attitude
+    /// rate must not engage the smear PSF (the session's lookup table was
+    /// built for the base optics), or construction fails.
+    pub fn on_session(
+        session: AdaptiveSession,
+        sky: SkyCatalog,
+        camera: Camera,
+        dynamics: AttitudeDynamics,
+        exposure_s: f64,
+        frame_dt: f64,
+    ) -> Result<Self, SimError> {
+        let base_config = session.config().clone();
+        if (camera.width, camera.height) != (base_config.width, base_config.height) {
+            return Err(SimError::InvalidConfig(format!(
+                "camera {}x{} does not match session config {}x{}",
+                camera.width, camera.height, base_config.width, base_config.height
+            )));
+        }
+        if !(exposure_s > 0.0 && frame_dt > 0.0 && exposure_s <= frame_dt) {
+            return Err(SimError::InvalidConfig(format!(
+                "need 0 < exposure ({exposure_s}) ≤ frame period ({frame_dt})"
+            )));
+        }
+        if Self::frame_config(&base_config, &camera, &dynamics, exposure_s) != base_config {
+            return Err(SimError::InvalidConfig(
+                "attitude rate engages the smear PSF, but the session's lookup \
+                 table was built for the unsmeared optics; open the session on \
+                 the smeared config or slow the slew"
+                    .into(),
+            ));
+        }
+        Ok(FrameSequencer {
+            sky,
+            camera,
+            dynamics,
+            base_config,
+            exposure_s,
+            frame_dt,
+            session,
+            time_s: 0.0,
+            lut_cache: None,
+            pipeline_images: None,
+        })
+    }
+
     /// The per-frame config: the base config plus the rate-derived smear.
     fn frame_config(
         base: &SimConfig,
@@ -166,6 +214,24 @@ impl FrameSequencer {
     /// The attached telemetry sink, if any.
     pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
         self.session.telemetry()
+    }
+
+    /// Attaches or detaches the telemetry sink in place — servers shed
+    /// telemetry detail under load by detaching it, without rebuilding
+    /// the sequencer.
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<Telemetry>>) {
+        self.session.set_telemetry(telemetry);
+    }
+
+    /// The underlying session (shed floor, diagnostics, config).
+    pub fn session(&self) -> &AdaptiveSession {
+        &self.session
+    }
+
+    /// Sets the session's load-shedding floor (see
+    /// [`AdaptiveSession::set_shed_floor`]).
+    pub fn set_shed_floor(&self, floor: crate::resilience::Rung) {
+        self.session.set_shed_floor(floor);
     }
 
     /// Attaches a shared [`LutCache`]. Pipelined bursts prefetch (and
@@ -326,6 +392,10 @@ impl FrameSequencer {
                 self.session.alloc_frame_image(),
             ]);
         }
+        // Let the retry ladder see the burst's token: a deadline expiring
+        // mid-retry stops burning attempts at the next between-attempt
+        // checkpoint instead of descending the whole ladder first.
+        self.session.set_cancel_token(Some(token.clone()));
         let images = self.pipeline_images.as_ref().expect("just allocated");
         let session = &self.session;
         let sky = &self.sky;
@@ -415,6 +485,10 @@ impl FrameSequencer {
                     }
                     Err(e) => {
                         drop(frame_span);
+                        // A failed attempt may have left partial deposits
+                        // in the rotating image; zero it so a later burst
+                        // resumes from a clean device state.
+                        image_dev.fill_zero();
                         consume_busy_s += t0.elapsed().as_secs_f64();
                         error = Some(e);
                         break;
@@ -428,6 +502,7 @@ impl FrameSequencer {
             produced = result;
         });
         let elapsed_s = start.elapsed().as_secs_f64();
+        self.session.set_cancel_token(None);
 
         // The producer propagated its own attitude copy (possibly a frame
         // ahead); re-step the sequencer's state to exactly the completed
@@ -444,7 +519,9 @@ impl FrameSequencer {
         }
         produced?;
         if completed < n {
-            return Err(SimError::Cancelled);
+            // Distinguish an expired deadline budget from an operator
+            // cancel; the drain semantics above were identical either way.
+            return Err(token.cancel_error());
         }
         latencies_s.sort_by(f64::total_cmp);
         Ok(ThroughputReport {

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod admission;
 pub mod config;
 pub mod contention;
 pub mod error;
@@ -31,10 +32,12 @@ pub mod lut_build;
 pub mod multi_gpu;
 pub mod parallel;
 pub mod pixel_centric;
+pub mod protocol;
 pub mod report;
 pub mod resilience;
 pub mod selection;
 pub mod sequential;
+pub mod server;
 pub mod session;
 pub mod star_record;
 pub mod streams;
@@ -42,6 +45,9 @@ pub mod telemetry;
 pub mod validate;
 
 pub use adaptive::{AdaptiveKernel, AdaptiveSimulator};
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionStats, Permit, Rejected, ShedLevel,
+};
 pub use config::{PsfKind, SimConfig};
 pub use error::SimError;
 pub use frames::{Frame, FrameSequencer, OverlapReport, PipelinedFrame, ThroughputReport};
@@ -49,10 +55,12 @@ pub use gpusim::{ExecMode, KernelBackend};
 pub use multi_gpu::MultiGpuSimulator;
 pub use parallel::{ParallelSimulator, StarCentricKernel};
 pub use pixel_centric::{PixelCentricKernel, PixelCentricSimulator};
+pub use protocol::{Message, MonitorReply, ProtoError, RejectCode, RenderDone, SessionSpec};
 pub use report::SimulationReport;
 pub use resilience::{CancelToken, ResilienceReport, RetryPolicy, Rung};
 pub use selection::{Choice, InflectionPoint};
 pub use sequential::SequentialSimulator;
+pub use server::{Client, ServerConfig, ServerHandle, StarServer};
 pub use session::{AdaptiveSession, FrameTiming, LutCache, LutCacheStats, PreparedStars};
 pub use star_record::{to_device_stars, DeviceStar};
 pub use telemetry::{FrameTelemetry, MetricsRegistry, SpanRecord, StageStats, Telemetry};

@@ -32,8 +32,18 @@
 use crate::error::SimError;
 use gpusim::{GpuDiagnostics, GpuError};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared state behind a [`CancelToken`]: the explicit cancel flag plus an
+/// optional wall-clock deadline. The deadline sits behind a (poison-
+/// tolerant) mutex rather than an atomic because it is read once per
+/// *frame*, not per pixel — never on a kernel hot path.
+#[derive(Debug, Default)]
+struct TokenInner {
+    flag: AtomicBool,
+    deadline: Mutex<Option<Instant>>,
+}
 
 /// A cooperative cancellation handle for the pipelined frame loop
 /// ([`crate::frames::FrameSequencer::run_frames_pipelined_observed`]).
@@ -45,30 +55,85 @@ use std::time::Duration;
 /// [`RetryPolicy`] retries they need), so the sequencer's clock stops
 /// exactly after the last completed frame and a later burst resumes
 /// bit-identically with an uninterrupted run.
+///
+/// A token can additionally carry a **deadline budget**
+/// ([`Self::with_deadline`] / [`Self::with_budget`]): once the deadline
+/// passes, the token observes as cancelled and checkpoints surface
+/// [`SimError::DeadlineExceeded`] instead of [`SimError::Cancelled`], so
+/// callers (the `starsimd` server's per-request budgets in particular)
+/// can tell an expired budget from an operator cancel. The drain
+/// semantics are identical: in-flight frames complete, production stops.
 #[derive(Clone, Debug, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<TokenInner>);
 
 impl CancelToken {
-    /// A fresh, un-cancelled token.
+    /// A fresh, un-cancelled token without a deadline.
     pub fn new() -> Self {
         CancelToken::default()
     }
 
+    /// A token that self-cancels once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        let token = CancelToken::new();
+        token.set_deadline(Some(deadline));
+        token
+    }
+
+    /// A token that self-cancels `budget` from now.
+    pub fn with_budget(budget: Duration) -> Self {
+        CancelToken::with_deadline(Instant::now() + budget)
+    }
+
+    /// Installs (or clears) the deadline. Shared by every clone.
+    pub fn set_deadline(&self, deadline: Option<Instant>) {
+        *self.0.deadline.lock().unwrap_or_else(|e| e.into_inner()) = deadline;
+    }
+
+    /// The installed deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        *self.0.deadline.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Time left before the deadline (`None` without one; zero once past).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline().is_some_and(|d| Instant::now() >= d)
+    }
+
     /// Requests cancellation. Idempotent; never blocks.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Release);
+        self.0.flag.store(true, Ordering::Release);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested — explicitly or by an
+    /// expired deadline.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        self.0.flag.load(Ordering::Acquire) || self.deadline_expired()
     }
 
-    /// `Err(SimError::Cancelled)` once cancellation has been requested —
-    /// the admission check stages run before starting new work.
+    /// The error a cancelled checkpoint surfaces: an expired deadline
+    /// reports [`SimError::DeadlineExceeded`], an explicit cancel
+    /// [`SimError::Cancelled`]. The deadline takes precedence — a request
+    /// cancelled *because* its budget expired is a deadline miss.
+    pub fn cancel_error(&self) -> SimError {
+        if self.deadline_expired() {
+            SimError::DeadlineExceeded
+        } else {
+            SimError::Cancelled
+        }
+    }
+
+    /// `Err` once cancellation has been requested (see
+    /// [`Self::cancel_error`] for which) — the admission check stages run
+    /// before starting new work.
     pub fn checkpoint(&self) -> Result<(), SimError> {
         if self.is_cancelled() {
-            Err(SimError::Cancelled)
+            Err(self.cancel_error())
         } else {
             Ok(())
         }
@@ -159,6 +224,11 @@ impl Rung {
     /// Index into [`ResilienceReport::rung_frames`].
     pub fn index(self) -> usize {
         self as usize
+    }
+
+    /// The rung at `index`, the inverse of [`Self::index`].
+    pub fn from_index(index: usize) -> Option<Rung> {
+        Rung::ALL.get(index).copied()
     }
 
     /// Static span name for telemetry: one attempt at this rung records a
@@ -267,10 +337,30 @@ impl ResilienceReport {
 pub fn run_with_retry<T>(
     policy: &RetryPolicy,
     report: &mut ResilienceReport,
+    body: impl FnMut(Rung) -> Result<T, SimError>,
+) -> Result<T, SimError> {
+    run_with_retry_from(policy, report, Rung::Configured, None, body)
+}
+
+/// [`run_with_retry`] with an explicit starting rung and an optional
+/// cancellation token.
+///
+/// `start` seats the ladder below [`Rung::Configured`] — the server's
+/// load-shedding floor ([`crate::session::AdaptiveSession::set_shed_floor`])
+/// enters here. `token` composes cancellation (including deadline
+/// budgets) with the retry ladder deterministically: it is consulted only
+/// **between** attempts, never mid-attempt, so an in-flight attempt
+/// always drains before the cancel surfaces — the same drain contract as
+/// the pipelined frame loop.
+pub fn run_with_retry_from<T>(
+    policy: &RetryPolicy,
+    report: &mut ResilienceReport,
+    start: Rung,
+    token: Option<&CancelToken>,
     mut body: impl FnMut(Rung) -> Result<T, SimError>,
 ) -> Result<T, SimError> {
     let max_attempts = policy.max_attempts.max(1);
-    let mut rung = Rung::Configured;
+    let mut rung = start;
     let mut slept = Duration::ZERO;
     let mut attempt = 1u32;
     loop {
@@ -287,6 +377,11 @@ pub fn run_with_retry<T>(
                         attempts: attempt,
                         last: Box::new(err),
                     });
+                }
+                if let Some(token) = token {
+                    // A cancelled (or deadline-expired) request stops
+                    // burning retry budget; the error says which.
+                    token.checkpoint()?;
                 }
                 report.retries += 1;
                 let nap = policy
@@ -436,5 +531,96 @@ mod tests {
         assert_eq!(Rung::DirectPsf.next(), None);
         assert_eq!(Rung::ALL.len(), 4);
         assert_eq!(Rung::DirectPsf.index(), 3);
+        for rung in Rung::ALL {
+            assert_eq!(Rung::from_index(rung.index()), Some(rung));
+        }
+        assert_eq!(Rung::from_index(4), None);
+    }
+
+    #[test]
+    fn deadline_token_expires_and_reports_deadline_exceeded() {
+        let token = CancelToken::with_budget(Duration::from_millis(5));
+        assert!(!token.is_cancelled(), "fresh budget not yet expired");
+        assert!(token.checkpoint().is_ok());
+        assert!(token.remaining().is_some());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(token.is_cancelled(), "expired budget observes cancelled");
+        assert!(token.deadline_expired());
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+        assert!(matches!(
+            token.checkpoint(),
+            Err(SimError::DeadlineExceeded)
+        ));
+        // An explicit cancel on top keeps the deadline diagnosis.
+        token.cancel();
+        assert!(matches!(token.cancel_error(), SimError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn deadline_is_shared_across_clones_and_clearable() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(token.deadline().is_none());
+        assert!(token.remaining().is_none());
+        clone.set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(token.is_cancelled(), "clone's deadline is shared");
+        token.set_deadline(None);
+        assert!(!clone.is_cancelled(), "cleared deadline un-cancels");
+        clone.cancel();
+        assert!(matches!(token.cancel_error(), SimError::Cancelled));
+    }
+
+    #[test]
+    fn retry_from_starts_at_the_given_rung() {
+        let mut report = ResilienceReport::default();
+        let mut rungs = Vec::new();
+        let out = run_with_retry_from(
+            &RetryPolicy {
+                backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            &mut report,
+            Rung::ReferenceExec,
+            None,
+            |rung| {
+                rungs.push(rung);
+                if rungs.len() < 2 {
+                    Err(SimError::Gpu(gpusim::GpuError::WorkerPanic("w".into())))
+                } else {
+                    Ok(7)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(rungs, vec![Rung::ReferenceExec, Rung::DirectPsf]);
+        assert_eq!(report.rung_frames, [0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_retry_ladder_between_attempts() {
+        let token = CancelToken::new();
+        let mut report = ResilienceReport::default();
+        let mut attempts = 0u32;
+        let err = run_with_retry_from(
+            &RetryPolicy {
+                backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            &mut report,
+            Rung::Configured,
+            Some(&token),
+            |_| {
+                attempts += 1;
+                token.cancel(); // cancel lands mid-attempt ...
+                Err::<(), _>(SimError::Gpu(gpusim::GpuError::WorkerPanic("w".into())))
+            },
+        )
+        .unwrap_err();
+        // ... and surfaces at the between-attempt checkpoint: exactly one
+        // attempt ran, no retry was spent.
+        assert_eq!(attempts, 1);
+        assert!(matches!(err, SimError::Cancelled), "got {err}");
+        assert_eq!(report.retries, 0);
     }
 }

@@ -13,7 +13,7 @@
 //! based adaptive simulator wins at *every* scale where a GPU wins at all.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -28,7 +28,7 @@ use crate::config::{PsfKind, SimConfig};
 use crate::error::SimError;
 use crate::parallel::StarCentricKernel;
 use crate::report::SimulationReport;
-use crate::resilience::{run_with_retry, ResilienceReport, RetryPolicy, Rung};
+use crate::resilience::{run_with_retry_from, CancelToken, ResilienceReport, RetryPolicy, Rung};
 use crate::star_record::{to_device_stars, DeviceStar};
 use crate::telemetry::{maybe_span, Telemetry};
 
@@ -69,10 +69,21 @@ impl LutKey {
     }
 }
 
-/// A cached table plus its recency stamp.
+/// A cached table plus its recency stamp and owning tenant.
 struct LutEntry {
     lut: Arc<LookupTable>,
     last_use: u64,
+    /// The tenant whose miss built (and whose quota holds) this table;
+    /// `None` for anonymous (non-server) use.
+    owner: Option<String>,
+}
+
+/// Per-tenant [`LutCache`] counters (guarded by the tenants mutex).
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantCounters {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 /// A cross-session cache of built lookup tables, bounded by an LRU policy.
@@ -88,9 +99,20 @@ struct LutEntry {
 /// [`LutCache::DEFAULT_CAPACITY`]); inserting past the bound evicts the
 /// least-recently-*used* key, so a many-optics server's memory stays
 /// bounded while its hot optics stay resident.
+/// When the cache is shared across server tenants
+/// ([`Self::with_tenant_quota`] + [`Self::get_or_build_for`]), each
+/// tenant's resident tables are additionally bounded by a per-tenant
+/// quota, and inserting past *that* bound evicts the tenant's **own**
+/// least-recently-used table first — one tenant churning through optics
+/// cannot evict another tenant's hot tables. Per-tenant hit/miss/eviction
+/// counters are kept alongside the global ones ([`Self::stats_for`]).
 pub struct LutCache {
     map: Mutex<HashMap<LutKey, LutEntry>>,
     capacity: usize,
+    /// Maximum resident tables owned by any single tenant (`None` = only
+    /// the global bound applies).
+    tenant_quota: Option<usize>,
+    tenants: Mutex<HashMap<String, TenantCounters>>,
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -138,11 +160,31 @@ impl LutCache {
         LutCache {
             map: Mutex::new(HashMap::new()),
             capacity,
+            tenant_quota: None,
+            tenants: Mutex::new(HashMap::new()),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds every tenant to at most `quota` resident tables of its own.
+    /// Inserting past the quota evicts the tenant's own LRU table (charged
+    /// to that tenant), before the global bound is even consulted — the
+    /// isolation guarantee multi-tenant servers need.
+    ///
+    /// # Panics
+    /// Panics when `quota` is zero.
+    pub fn with_tenant_quota(mut self, quota: usize) -> Self {
+        assert!(quota > 0, "LutCache tenant quota must be positive");
+        self.tenant_quota = Some(quota);
+        self
+    }
+
+    /// The per-tenant resident-table quota, if one is set.
+    pub fn tenant_quota(&self) -> Option<usize> {
+        self.tenant_quota
     }
 
     /// Maximum number of resident tables.
@@ -207,6 +249,21 @@ impl LutCache {
         gpu: &VirtualGpu,
         config: &SimConfig,
     ) -> Result<(Arc<LookupTable>, bool), SimError> {
+        self.get_or_build_for(gpu, config, None)
+    }
+
+    /// [`get_or_build`](Self::get_or_build) with tenant attribution: the
+    /// lookup is charged to `tenant`'s hit/miss counters, a built table is
+    /// owned by (and counts against the quota of) `tenant`, and quota
+    /// evictions displace the tenant's **own** LRU table before the global
+    /// LRU bound runs — so one tenant's churn never evicts another's
+    /// tables through the quota path.
+    pub fn get_or_build_for(
+        &self,
+        gpu: &VirtualGpu,
+        config: &SimConfig,
+        tenant: Option<&str>,
+    ) -> Result<(Arc<LookupTable>, bool), SimError> {
         let key = LutKey::of(config);
         if let Some(entry) = self
             .map
@@ -216,6 +273,9 @@ impl LutCache {
         {
             entry.last_use = self.tick.fetch_add(1, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(tenant) = tenant {
+                self.tenant_counters(tenant, |c| c.hits += 1);
+            }
             return Ok((Arc::clone(&entry.lut), true));
         }
         // Build outside the lock: a miss takes milliseconds and other
@@ -224,7 +284,33 @@ impl LutCache {
         let builder = AdaptiveSimulator::on(VirtualGpu::new(gpu.spec().clone()));
         let lut = Arc::new(builder.build_lut(config)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(tenant) = tenant {
+            self.tenant_counters(tenant, |c| c.misses += 1);
+        }
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let (Some(tenant), Some(quota)) = (tenant, self.tenant_quota) {
+            // Quota bound first: the inserting tenant pays for its own
+            // churn before any shared-capacity pressure is applied.
+            while !map.contains_key(&key)
+                && map
+                    .values()
+                    .filter(|e| e.owner.as_deref() == Some(tenant))
+                    .count()
+                    >= quota
+            {
+                let Some(victim) = map
+                    .iter()
+                    .filter(|(_, e)| e.owner.as_deref() == Some(tenant))
+                    .min_by_key(|(_, e)| e.last_use)
+                    .map(|(k, _)| k.clone())
+                else {
+                    break; // unreachable: the filter found ≥ quota ≥ 1 above
+                };
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.tenant_counters(tenant, |c| c.evictions += 1);
+            }
+        }
         while map.len() >= self.capacity && !map.contains_key(&key) {
             // Evict the least-recently-used entry. Linear scan: the cache
             // is small by construction (that is its purpose).
@@ -235,7 +321,9 @@ impl LutCache {
             else {
                 break; // unreachable: map is non-empty above capacity ≥ 1
             };
-            map.remove(&victim);
+            if let Some(owner) = map.remove(&victim).and_then(|e| e.owner) {
+                self.tenant_counters(&owner, |c| c.evictions += 1);
+            }
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         map.insert(
@@ -243,9 +331,62 @@ impl LutCache {
             LutEntry {
                 lut: Arc::clone(&lut),
                 last_use: self.tick.fetch_add(1, Ordering::Relaxed),
+                owner: tenant.map(String::from),
             },
         );
         Ok((lut, false))
+    }
+
+    /// Applies `update` to `tenant`'s counters, creating them on first use.
+    fn tenant_counters(&self, tenant: &str, update: impl FnOnce(&mut TenantCounters)) {
+        let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        update(tenants.entry(tenant.to_string()).or_default());
+    }
+
+    /// `tenant`'s view of the cache: its own hit/miss/eviction counters,
+    /// the tables it currently owns, and the bound they count against (the
+    /// tenant quota when set, the shared capacity otherwise). All-zero for
+    /// a tenant the cache has never seen.
+    pub fn stats_for(&self, tenant: &str) -> LutCacheStats {
+        let counters = self
+            .tenants
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(tenant)
+            .copied()
+            .unwrap_or_default();
+        let len = self
+            .map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .filter(|e| e.owner.as_deref() == Some(tenant))
+            .count();
+        LutCacheStats {
+            hits: counters.hits,
+            misses: counters.misses,
+            evictions: counters.evictions,
+            len,
+            capacity: self.tenant_quota.unwrap_or(self.capacity),
+        }
+    }
+
+    /// Every tenant the cache has served, with its stats, sorted by name
+    /// (deterministic for monitoring responses).
+    pub fn tenant_stats(&self) -> Vec<(String, LutCacheStats)> {
+        let names: Vec<String> = {
+            let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+            let mut names: Vec<String> = tenants.keys().cloned().collect();
+            names.sort();
+            names
+        };
+        names
+            .into_iter()
+            .map(|name| {
+                let stats = self.stats_for(&name);
+                (name, stats)
+            })
+            .collect()
     }
 }
 
@@ -338,6 +479,15 @@ pub struct AdaptiveSession {
     /// When set, every render path records spans and metrics here (and
     /// the device records launch traces into the same sink's timeline).
     telemetry: Option<Arc<Telemetry>>,
+    /// Load-shedding floor as a [`Rung::index`]: render attempts start the
+    /// degradation ladder here instead of [`Rung::Configured`]. Atomic so
+    /// a server's shed controller can lower/raise the floor while frames
+    /// are in flight on other threads.
+    shed_floor: AtomicU8,
+    /// When set, the retry ladder consults this token **between**
+    /// attempts, so a cancelled (or deadline-expired) request stops
+    /// burning retry budget while in-flight attempts still drain.
+    cancel_token: Option<CancelToken>,
 }
 
 impl AdaptiveSession {
@@ -372,6 +522,27 @@ impl AdaptiveSession {
             lut_build_time_s
         };
         Self::with_lut(gpu, config, lut, charge)
+    }
+
+    /// [`Self::on_cached`] with tenant attribution: the lookup is charged
+    /// to `tenant`'s cache counters and quota
+    /// ([`LutCache::get_or_build_for`]). Returns the session plus whether
+    /// the table came from cache, so servers can report per-session cache
+    /// behavior to the client.
+    pub fn on_cached_tenant(
+        gpu: VirtualGpu,
+        config: SimConfig,
+        cache: &LutCache,
+        tenant: &str,
+    ) -> Result<(Self, bool), SimError> {
+        config.validate()?;
+        let (lut, hit) = cache.get_or_build_for(&gpu, &config, Some(tenant))?;
+        let charge = if hit {
+            zero_build_time
+        } else {
+            lut_build_time_s
+        };
+        Ok((Self::with_lut(gpu, config, lut, charge)?, hit))
     }
 
     /// Opens a session with the resilient frame loop enabled: texture
@@ -511,6 +682,8 @@ impl AdaptiveSession {
             retry: None,
             stats: Mutex::new(stats),
             telemetry,
+            shed_floor: AtomicU8::new(Rung::Configured.index() as u8),
+            cancel_token: None,
         })
     }
 
@@ -538,6 +711,31 @@ impl AdaptiveSession {
     /// The active frame retry policy, if any.
     pub fn retry_policy(&self) -> Option<RetryPolicy> {
         self.retry
+    }
+
+    /// Sets the load-shedding floor: subsequent render attempts start the
+    /// degradation ladder at `floor` instead of [`Rung::Configured`].
+    /// [`Rung::DirectPsf`] is the server's heaviest shed — the adaptive
+    /// LUT kernel (and its shared texture pressure) is bypassed for the
+    /// star-centric fallback, trading bit-fidelity for capacity exactly
+    /// like the fault ladder's last rung. Takes `&self`: a shed controller
+    /// may flip the floor while frames are in flight.
+    pub fn set_shed_floor(&self, floor: Rung) {
+        self.shed_floor
+            .store(floor.index() as u8, Ordering::Relaxed);
+    }
+
+    /// The current load-shedding floor ([`Rung::Configured`] by default).
+    pub fn shed_floor(&self) -> Rung {
+        Rung::from_index(self.shed_floor.load(Ordering::Relaxed) as usize)
+            .unwrap_or(Rung::Configured)
+    }
+
+    /// Installs (or clears) the cancellation token the retry ladder
+    /// consults between attempts — deadline budgets compose with retries
+    /// through this hook.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel_token = token;
     }
 
     /// Cumulative resilience accounting for this session: host-side fault
@@ -743,19 +941,26 @@ impl AdaptiveSession {
         host: &mut Vec<f32>,
     ) -> Result<FrameTiming, SimError> {
         let _render_span = maybe_span(self.telemetry.as_ref(), "render");
+        let start = self.shed_floor();
         let result = match self.retry {
-            None => self.render_attempt(catalog, host, Rung::Configured),
+            None => self.render_attempt(catalog, host, start),
             Some(policy) => {
                 let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
-                run_with_retry(&policy, &mut stats, |rung| {
-                    if rung != Rung::Configured && self.frame_reuse {
-                        // A failed attempt may have deposited partial
-                        // results into the persistent device image; the
-                        // retry must start from zero to stay bit-identical.
-                        self.image_dev.fill_zero();
-                    }
-                    self.render_attempt(catalog, host, rung)
-                })
+                run_with_retry_from(
+                    &policy,
+                    &mut stats,
+                    start,
+                    self.cancel_token.as_ref(),
+                    |rung| {
+                        if rung != start && self.frame_reuse {
+                            // A failed attempt may have deposited partial
+                            // results into the persistent device image; the
+                            // retry must start from zero to stay bit-identical.
+                            self.image_dev.fill_zero();
+                        }
+                        self.render_attempt(catalog, host, rung)
+                    },
+                )
             }
         };
         if let Ok(timing) = &result {
@@ -880,19 +1085,26 @@ impl AdaptiveSession {
         host: &mut Vec<f32>,
     ) -> Result<FrameTiming, SimError> {
         let _render_span = maybe_span(self.telemetry.as_ref(), "render");
+        let start = self.shed_floor();
         let result = match self.retry {
-            None => self.prepared_attempt(prepared, image_dev, host, Rung::Configured),
+            None => self.prepared_attempt(prepared, image_dev, host, start),
             Some(policy) => {
                 let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
-                run_with_retry(&policy, &mut stats, |rung| {
-                    if rung != Rung::Configured {
-                        // A failed attempt may have deposited partial
-                        // results into the rotating device image; the
-                        // retry must start from zero to stay bit-identical.
-                        image_dev.fill_zero();
-                    }
-                    self.prepared_attempt(prepared, image_dev, host, rung)
-                })
+                run_with_retry_from(
+                    &policy,
+                    &mut stats,
+                    start,
+                    self.cancel_token.as_ref(),
+                    |rung| {
+                        if rung != start {
+                            // A failed attempt may have deposited partial
+                            // results into the rotating device image; the
+                            // retry must start from zero to stay bit-identical.
+                            image_dev.fill_zero();
+                        }
+                        self.prepared_attempt(prepared, image_dev, host, rung)
+                    },
+                )
             }
         };
         if let Ok(timing) = &result {
@@ -1219,6 +1431,118 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn lut_cache_rejects_zero_capacity() {
         let _ = LutCache::with_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quota must be positive")]
+    fn lut_cache_rejects_zero_tenant_quota() {
+        let _ = LutCache::new().with_tenant_quota(0);
+    }
+
+    #[test]
+    fn tenant_quota_evicts_the_tenants_own_tables_first() {
+        // Shared capacity 4, but each tenant may own at most 1 table.
+        let cache = LutCache::with_capacity(4).with_tenant_quota(1);
+        assert_eq!(cache.tenant_quota(), Some(1));
+        let gpu = VirtualGpu::gtx480;
+        let mut sigma3 = cfg();
+        sigma3.sigma = 3.0;
+        let mut sigma4 = cfg();
+        sigma4.sigma = 4.0;
+
+        // Tenant a resident with `cfg`; tenant b resident with `sigma3`.
+        let _ = cache.get_or_build_for(&gpu(), &cfg(), Some("a")).unwrap();
+        let _ = cache.get_or_build_for(&gpu(), &sigma3, Some("b")).unwrap();
+        assert_eq!(cache.len(), 2);
+
+        // Tenant a churns to a third optics: its OWN table is evicted even
+        // though the shared cache has room — tenant b is untouched.
+        let _ = cache.get_or_build_for(&gpu(), &sigma4, Some("a")).unwrap();
+        assert_eq!(cache.len(), 2, "a's quota bound the insert");
+        let a = cache.stats_for("a");
+        let b = cache.stats_for("b");
+        assert_eq!((a.misses, a.evictions, a.len), (2, 1, 1));
+        assert_eq!((b.misses, b.evictions, b.len), (1, 0, 1));
+        assert_eq!(a.capacity, 1, "per-tenant view reports the quota");
+
+        // b's table survived a's churn: this lookup is a hit.
+        let (_, hit) = cache.get_or_build_for(&gpu(), &sigma3, Some("b")).unwrap();
+        assert!(hit, "one tenant's churn must not evict another's tables");
+        assert_eq!(cache.stats_for("b").hits, 1);
+
+        // The sorted roll-up sees both tenants.
+        let all = cache.tenant_stats();
+        assert_eq!(
+            all.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        // Unknown tenants read as all-zero, not a panic.
+        assert_eq!(
+            cache.stats_for("nobody"),
+            LutCacheStats {
+                capacity: 1,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn tenant_hits_share_tables_across_tenants() {
+        let cache = LutCache::new().with_tenant_quota(2);
+        let gpu = VirtualGpu::gtx480;
+        let (lut_a, hit_a) = cache.get_or_build_for(&gpu(), &cfg(), Some("a")).unwrap();
+        let (lut_b, hit_b) = cache.get_or_build_for(&gpu(), &cfg(), Some("b")).unwrap();
+        assert!(!hit_a && hit_b, "same optics: b hits a's table");
+        assert!(Arc::ptr_eq(&lut_a, &lut_b));
+        // The table stays owned by (and counted against) its builder.
+        assert_eq!(cache.stats_for("a").len, 1);
+        assert_eq!(cache.stats_for("b").len, 0);
+        assert_eq!(cache.stats_for("b").hits, 1);
+    }
+
+    #[test]
+    fn on_cached_tenant_reports_the_hit_and_renders_identically() {
+        let cat = FieldGenerator::new(128, 128).generate(200, 9);
+        let cache = LutCache::new().with_tenant_quota(2);
+        let plain = AdaptiveSession::new(cfg()).unwrap();
+        let (cold, cold_hit) =
+            AdaptiveSession::on_cached_tenant(VirtualGpu::gtx480(), cfg(), &cache, "a").unwrap();
+        let (warm, warm_hit) =
+            AdaptiveSession::on_cached_tenant(VirtualGpu::gtx480(), cfg(), &cache, "b").unwrap();
+        assert!(!cold_hit && warm_hit);
+        let a = plain.render(&cat).unwrap();
+        let b = cold.render(&cat).unwrap();
+        let c = warm.render(&cat).unwrap();
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.image, c.image);
+    }
+
+    #[test]
+    fn shed_floor_switches_the_kernel_and_restores() {
+        let cat = FieldGenerator::new(128, 128).generate(200, 5);
+        let session = AdaptiveSession::new(cfg()).unwrap();
+        let mut adaptive = Vec::new();
+        session.render_into(&cat, &mut adaptive).unwrap();
+
+        // Shed to the star-centric fallback: numerically close, and the
+        // direct-PSF reference for this catalog.
+        assert_eq!(session.shed_floor(), Rung::Configured);
+        session.set_shed_floor(Rung::DirectPsf);
+        assert_eq!(session.shed_floor(), Rung::DirectPsf);
+        let mut shed = Vec::new();
+        session.render_into(&cat, &mut shed).unwrap();
+        let direct = ParallelSimulator::new().simulate(&cat, &cfg()).unwrap();
+        let shed_img = ImageF32::from_data(128, 128, shed);
+        assert!(images_close(&direct.image, &shed_img, 1e-5, 1e-5));
+
+        // Restoring the floor restores bit-identical adaptive output.
+        session.set_shed_floor(Rung::Configured);
+        let mut restored = Vec::new();
+        session.render_into(&cat, &mut restored).unwrap();
+        assert_eq!(
+            adaptive.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            restored.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

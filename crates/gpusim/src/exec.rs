@@ -216,6 +216,42 @@ pub struct GpuDiagnostics {
     pub arena_drops: u64,
 }
 
+impl GpuDiagnostics {
+    /// Adds `other`'s counters into `self` — fleet aggregation over many
+    /// devices (e.g. a server folding per-session snapshots into one
+    /// monitoring total).
+    pub fn absorb(&mut self, other: &GpuDiagnostics) {
+        self.pool_rebuilds += other.pool_rebuilds;
+        self.checksum_catches += other.checksum_catches;
+        self.panics_caught += other.panics_caught;
+        self.timeouts += other.timeouts;
+        self.arena_drops += other.arena_drops;
+    }
+
+    /// The counter delta since `earlier` (saturating, so a stale or
+    /// mismatched snapshot yields zeros rather than wrap-around noise).
+    pub fn since(&self, earlier: &GpuDiagnostics) -> GpuDiagnostics {
+        GpuDiagnostics {
+            pool_rebuilds: self.pool_rebuilds.saturating_sub(earlier.pool_rebuilds),
+            checksum_catches: self
+                .checksum_catches
+                .saturating_sub(earlier.checksum_catches),
+            panics_caught: self.panics_caught.saturating_sub(earlier.panics_caught),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            arena_drops: self.arena_drops.saturating_sub(earlier.arena_drops),
+        }
+    }
+
+    /// Sum of all counters — a quick "anything happened?" predicate.
+    pub fn total(&self) -> u64 {
+        self.pool_rebuilds
+            + self.checksum_catches
+            + self.panics_caught
+            + self.timeouts
+            + self.arena_drops
+    }
+}
+
 impl VirtualGpu {
     /// A device with the given spec, Fermi cost constants, PCIe-2 transfer
     /// model, and one worker per host core (never more than the device has

@@ -5,10 +5,10 @@
 # sustained throughput, PR3 chaos overhead + recovery, PR4 telemetry
 # overhead + trace validation, PR5 sanitizer gate + clean pass + corpus,
 # PR6 SIMD backend speedup + pixel-error gate, PR7 frame-pipelined
-# scheduler speedup + bit-identity) is written to results/ — the single
-# tracked location. Only the *current* PR's artefact (BENCH_PR7.json) is
-# additionally copied to the repo root for the PR gate, at the end of
-# this script.
+# scheduler speedup + bit-identity, PR8 server loadgen overload gates) is
+# written to results/ — the single tracked location. Only the *current*
+# PR's artefact (BENCH_PR8.json) is additionally copied to the repo root
+# for the PR gate, at the end of this script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -114,5 +114,22 @@ grep -q '"speedup_ok": true' results/BENCH_PR7.json
 grep -q '"p99_ok": true' results/BENCH_PR7.json
 grep -q '"gate_ok": true' results/BENCH_PR7.json
 
+# starsimd smoke: boots a server on an ephemeral port, runs a render
+# round-trip, forces an admission reject (retry-after hint), drains, and
+# exits non-zero on any misbehaviour.
+echo "== starsimd server smoke (--self-test)"
+timeout 120 target/release/starsimd --self-test
+
+echo "== server loadgen bench (admission + deadline + shedding gates)"
+$BENCH --server --quick --out results
+
+echo "== BENCH_PR8.json"
+cat results/BENCH_PR8.json
+grep -q '"reject_rate"' results/BENCH_PR8.json
+grep -q '"deadline_miss_rate"' results/BENCH_PR8.json
+grep -q '"retry_after_honored": true' results/BENCH_PR8.json
+grep -q '"resume_identical": true' results/BENCH_PR8.json
+grep -q '"gate_ok": true' results/BENCH_PR8.json
+
 # Root copy: current PR's artefact only (see the convention at the top).
-cp results/BENCH_PR7.json .
+cp results/BENCH_PR8.json .

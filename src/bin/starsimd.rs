@@ -1,0 +1,213 @@
+//! `starsimd` — the overload-safe star-image render server.
+//!
+//! ```text
+//! starsimd serve [--addr HOST:PORT] [--capacity N] [--retry-after MS]
+//!                [--lut-capacity N] [--tenant-quota N] [--max-sessions N]
+//! starsimd --self-test
+//! ```
+//!
+//! `serve` binds the address (default `127.0.0.1:7877` — see `--addr`),
+//! prints the bound address on stdout (`listening ADDR`), and serves until
+//! killed. `--self-test` boots a server on an ephemeral port, runs a
+//! render round-trip, forces an admission reject, drains, and exits 0 iff
+//! every step behaved — the CI smoke in one command.
+
+use std::process::exit;
+use std::time::Duration;
+
+use starsim::sim::admission::AdmissionConfig;
+use starsim::sim::protocol::{Message, RejectCode, SessionSpec};
+use starsim::sim::server::{Client, ServerConfig, StarServer};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("--self-test") | Some("self-test") => self_test(),
+        Some("--help") | Some("-h") | Some("help") | None => usage(""),
+        Some(other) => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "starsimd — overload-safe star-image render server\n\
+         \n\
+         USAGE:\n\
+         \x20 starsimd serve [--addr HOST:PORT] [--capacity N] [--retry-after MS]\n\
+         \x20                [--lut-capacity N] [--tenant-quota N] [--max-sessions N]\n\
+         \x20 starsimd --self-test\n\
+         \n\
+         The server speaks the SSIM v1 length-prefixed frame protocol; see\n\
+         DESIGN.md §14 for the wire format and the shedding ladder."
+    );
+    exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let at = args.iter().position(|a| a == flag)?;
+    let value = args.get(at + 1).unwrap_or_else(|| {
+        usage(&format!("{flag} needs a value"));
+    });
+    match value.parse() {
+        Ok(v) => Some(v),
+        Err(_) => usage(&format!("bad value `{value}` for {flag}")),
+    }
+}
+
+fn serve(args: &[String]) {
+    let addr: String = parse(args, "--addr").unwrap_or_else(|| "127.0.0.1:7877".into());
+    let mut config = ServerConfig::default();
+    let mut admission = AdmissionConfig::default();
+    if let Some(capacity) = parse(args, "--capacity") {
+        admission.capacity = capacity;
+    }
+    if let Some(retry_after_ms) = parse(args, "--retry-after") {
+        admission.retry_after_ms = retry_after_ms;
+    }
+    config.admission = admission;
+    if let Some(lut_capacity) = parse(args, "--lut-capacity") {
+        config.lut_capacity = lut_capacity;
+    }
+    if let Some(quota) = parse::<usize>(args, "--tenant-quota") {
+        config.tenant_quota = (quota > 0).then_some(quota);
+    }
+    if let Some(max_sessions) = parse(args, "--max-sessions") {
+        config.max_sessions_per_conn = max_sessions;
+    }
+    let handle = match StarServer::bind(&addr, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    println!("listening {}", handle.addr());
+    // Serve until killed; the handle's drop path shuts the acceptor down.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// One assertion of the self-test: print and fail loudly.
+fn check(ok: bool, what: &str) {
+    if ok {
+        println!("self-test: {what}: ok");
+    } else {
+        eprintln!("self-test: {what}: FAILED");
+        exit(1);
+    }
+}
+
+fn self_test() {
+    // Tiny admission window so saturation is cheap to force.
+    let mut config = ServerConfig::default();
+    config.admission.capacity = 2;
+    config.admission.retry_after_ms = 25;
+    let handle = StarServer::bind("127.0.0.1:0", config).unwrap_or_else(|e| {
+        eprintln!("self-test: bind: FAILED ({e})");
+        exit(1);
+    });
+    println!("self-test: listening {}", handle.addr());
+
+    let mut client = Client::connect(handle.addr()).unwrap_or_else(|e| {
+        eprintln!("self-test: connect/hello: FAILED ({e})");
+        exit(1);
+    });
+    check(true, "hello handshake");
+
+    let spec = SessionSpec {
+        width: 128,
+        height: 128,
+        roi_side: 8,
+        stars: 2000,
+        seed: 11,
+        backend: 0,
+        tenant: "self-test".into(),
+    };
+    let (session, _hit) = client.open_session(&spec).unwrap_or_else(|e| {
+        eprintln!("self-test: open session: FAILED ({e})");
+        exit(1);
+    });
+    check(true, "open session");
+
+    // Render round-trip: two bursts over the same session must fold into
+    // one strictly advancing digest.
+    let first = match client.render(session, 3, 0) {
+        Ok(Message::RenderDone(done)) => done,
+        other => {
+            eprintln!("self-test: render: FAILED ({other:?})");
+            exit(1);
+        }
+    };
+    check(
+        first.completed == 3 && !first.deadline_missed,
+        "render round-trip",
+    );
+    let second = match client.render(session, 2, 0) {
+        Ok(Message::RenderDone(done)) => done,
+        other => {
+            eprintln!("self-test: render 2: FAILED ({other:?})");
+            exit(1);
+        }
+    };
+    check(
+        second.digest != first.digest,
+        "digest advances across bursts",
+    );
+
+    // Forced admission reject: hold every permit, then ask for work.
+    let permits: Vec<_> = (0..2)
+        .map(|i| {
+            handle.admission().try_admit().unwrap_or_else(|_| {
+                eprintln!("self-test: pre-saturation permit {i}: FAILED");
+                exit(1);
+            })
+        })
+        .collect();
+    match client.render(session, 1, 0) {
+        Ok(Message::Reject {
+            code: RejectCode::Saturated,
+            retry_after_ms,
+            ..
+        }) => check(retry_after_ms > 0, "saturated reject carries retry-after"),
+        other => {
+            eprintln!("self-test: saturated reject: FAILED ({other:?})");
+            exit(1);
+        }
+    }
+    drop(permits);
+
+    // Monitoring snapshot reflects the reject.
+    let monitor = client.monitor().unwrap_or_else(|e| {
+        eprintln!("self-test: monitor: FAILED ({e})");
+        exit(1);
+    });
+    check(
+        monitor.rejected >= 1 && monitor.capacity == 2,
+        "monitor counts the reject",
+    );
+
+    // Graceful drain: ack with nothing pending, then rejects as draining.
+    let pending = client.drain().unwrap_or_else(|e| {
+        eprintln!("self-test: drain: FAILED ({e})");
+        exit(1);
+    });
+    check(pending == 0, "drain acks with no pending work");
+    match client.render(session, 1, 0) {
+        Ok(Message::Reject {
+            code: RejectCode::Draining,
+            ..
+        }) => check(true, "post-drain render rejected as draining"),
+        other => {
+            eprintln!("self-test: post-drain reject: FAILED ({other:?})");
+            exit(1);
+        }
+    }
+
+    handle.shutdown();
+    println!("self-test: PASS");
+}
