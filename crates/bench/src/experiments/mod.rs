@@ -9,6 +9,7 @@ pub mod fig2;
 pub mod format;
 pub mod lutbuild;
 pub mod multigpu;
+pub mod obsplane;
 pub mod pipeline;
 pub mod sanitize;
 pub mod server;

@@ -47,7 +47,7 @@ const P99_GATE_MS: f64 = 39.0;
 /// sensor for the whole burst. A golden-ratio lattice (no RNG dependency)
 /// keeps the layout deterministic per seed and low-discrepancy — dense,
 /// even coverage like the paper's large-scale fields.
-fn dense_sky(stars: usize, fov_rad: f64, seed: u64) -> SkyCatalog {
+pub(super) fn dense_sky(stars: usize, fov_rad: f64, seed: u64) -> SkyCatalog {
     const PHI1: f64 = 0.754_877_666_246_692_8; // plastic-number lattice
     const PHI2: f64 = 0.569_840_290_998_053_2;
     let offset = (seed % 4096) as f64 * PHI2;
@@ -67,7 +67,7 @@ fn dense_sky(stars: usize, fov_rad: f64, seed: u64) -> SkyCatalog {
 /// A sequencer over the dense sky: boresight on the field centre, a drift
 /// slow enough to keep the point PSF (and every star in view) while still
 /// changing the field every frame.
-fn sequencer(
+pub(super) fn sequencer(
     gpu: VirtualGpu,
     config: SimConfig,
     stars: usize,

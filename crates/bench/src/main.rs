@@ -5,13 +5,13 @@
 //! starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]
 //!               [--exec reference|batched|sanitized] [--backend scalar|simd]
 //!               [--workers N] [--chaos] [--trace PATH] [--metrics] [--sanitize]
-//!               [--pipeline] [--server]
+//!               [--pipeline] [--server] [--obsplane]
 //!
 //! NAME ∈ { fig2, fig9, fig10, fig11, fig12, table1, table2,
 //!          fig13, fig14, fig15, fig16, table3, ablation, contention,
 //!          devices, multigpu, streams, session, lutbuild, executor,
 //!          throughput, chaos, trace, sanitize, simd, pipeline, server,
-//!          all }
+//!          obsplane, all }
 //! ```
 //!
 //! `--backend simd` runs every experiment with the lane-oriented batched
@@ -29,6 +29,12 @@
 //! times sustainable demand, and gates on admission behavior, admitted-p99
 //! protection and deadline-cancelled-burst resumability (writes
 //! `BENCH_PR8.json`).
+//!
+//! `--obsplane` is shorthand for `--experiment obsplane`: the
+//! observability plane's exporter + flight-recorder disabled-overhead
+//! gate, a wire scrape + SLO check, a seeded-fault post-mortem
+//! round-trip, and the per-device utilization determinism sweep (writes
+//! `BENCH_PR9.json`).
 //!
 //! `--chaos` is shorthand for `--experiment chaos`: the fault-injection
 //! overhead gate plus a seeded recovery run (writes `BENCH_PR3.json`).
@@ -51,8 +57,8 @@
 mod experiments;
 
 use experiments::{
-    ablation, chaos, contention, devices, executor, fig2, lutbuild, multigpu, pipeline, sanitize,
-    server, session, simd, streams, table3, test1, test2, throughput, trace, Context,
+    ablation, chaos, contention, devices, executor, fig2, lutbuild, multigpu, obsplane, pipeline,
+    sanitize, server, session, simd, streams, table3, test1, test2, throughput, trace, Context,
 };
 use starsim_core::{ExecMode, KernelBackend};
 
@@ -85,6 +91,7 @@ fn main() {
             "--sanitize" => experiment = String::from("sanitize"),
             "--pipeline" => experiment = String::from("pipeline"),
             "--server" => experiment = String::from("server"),
+            "--obsplane" => experiment = String::from("obsplane"),
             "--seed" => {
                 ctx.seed = args
                     .next()
@@ -235,6 +242,10 @@ fn main() {
             "Server loadgen (admission + deadline + shedding gates)",
             server::run(&ctx),
         ),
+        "obsplane" => section(
+            "Observability plane (overhead + flight-recorder + utilization gates)",
+            obsplane::run(&ctx),
+        ),
         "all" => {
             let t1 = t1.as_ref().unwrap();
             let t2 = t2.as_ref().unwrap();
@@ -297,6 +308,10 @@ fn main() {
                 "Server loadgen (admission + deadline + shedding gates)",
                 server::run(&ctx),
             );
+            section(
+                "Observability plane (overhead + flight-recorder + utilization gates)",
+                obsplane::run(&ctx),
+            );
         }
         other => usage(&format!("unknown experiment `{other}`")),
     }
@@ -310,9 +325,11 @@ fn usage(error: &str) -> ! {
         "usage: starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]\n\
                       [--exec reference|batched|sanitized] [--backend scalar|simd]\n\
                       [--workers N] [--trace PATH] [--metrics] [--sanitize] [--pipeline]\n\
+                      [--server] [--obsplane]\n\
          NAME: fig2 fig9 fig10 fig11 fig12 table1 table2 fig13 fig14 fig15 fig16\n\
                table3 ablation contention devices multigpu streams session lutbuild\n\
-               executor throughput chaos trace sanitize simd pipeline server all (default)"
+               executor throughput chaos trace sanitize simd pipeline server obsplane\n\
+               all (default)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

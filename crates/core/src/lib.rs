@@ -30,6 +30,7 @@ pub mod error;
 pub mod frames;
 pub mod lut_build;
 pub mod multi_gpu;
+pub mod obsplane;
 pub mod parallel;
 pub mod pixel_centric;
 pub mod protocol;
@@ -53,9 +54,14 @@ pub use error::SimError;
 pub use frames::{Frame, FrameSequencer, OverlapReport, PipelinedFrame, ThroughputReport};
 pub use gpusim::{ExecMode, KernelBackend};
 pub use multi_gpu::MultiGpuSimulator;
+pub use obsplane::{
+    FlightEntry, FlightRecorder, MetricsSnapshot, ObsPlane, SeriesRing, SloKind, SloReport, SloSpec,
+};
 pub use parallel::{ParallelSimulator, StarCentricKernel};
 pub use pixel_centric::{PixelCentricKernel, PixelCentricSimulator};
-pub use protocol::{Message, MonitorReply, ProtoError, RejectCode, RenderDone, SessionSpec};
+pub use protocol::{
+    Message, MonitorReply, ProtoError, RejectCode, RenderDone, SessionSpec, SloState,
+};
 pub use report::SimulationReport;
 pub use resilience::{CancelToken, ResilienceReport, RetryPolicy, Rung};
 pub use selection::{Choice, InflectionPoint};

@@ -259,9 +259,54 @@ pub struct MonitorReply {
     pub sessions: u32,
     /// Whether `body` carries the full-resolution detail.
     pub detail: bool,
+    /// One-line resilience-rung summary (frames per rung + retries),
+    /// e.g. `rungs configured=12 spawn=1 reference=0 direct-psf=0
+    /// retries=1`. **Preserved at every shed level** — coarse monitoring
+    /// drops `body`, never this.
+    pub rung_summary: String,
     /// JSON text: metrics histograms, GPU diagnostics, per-tenant LUT
     /// cache stats. Empty when `detail` is false.
     pub body: String,
+}
+
+/// Aggregate SLO state carried by [`Message::AlertsReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloState {
+    /// Every objective is inside budget.
+    Ok = 0,
+    /// At least one objective's slow burn rate is over budget.
+    Warn = 1,
+    /// At least one objective's fast burn rate is over budget — page.
+    Page = 2,
+}
+
+impl SloState {
+    fn from_u8(v: u8) -> Option<SloState> {
+        Some(match v {
+            0 => SloState::Ok,
+            1 => SloState::Warn,
+            2 => SloState::Page,
+            _ => return None,
+        })
+    }
+
+    /// Stable wire/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloState::Ok => "ok",
+            SloState::Warn => "warn",
+            SloState::Page => "page",
+        }
+    }
+
+    /// The more severe of two states.
+    pub fn max(self, other: SloState) -> SloState {
+        if (other as u8) > (self as u8) {
+            other
+        } else {
+            self
+        }
+    }
 }
 
 /// One protocol message. See the module docs for the frame layout.
@@ -329,6 +374,26 @@ pub enum Message {
         /// The closed session.
         session: u64,
     },
+    /// Ask for the time-series metrics exposition (the scrape request).
+    Metrics,
+    /// The scrape reply: a Prometheus-style text exposition of every
+    /// counter/gauge/histogram series the observability plane retains.
+    MetricsReply {
+        /// Snapshots currently held in the server's time-series ring.
+        snapshots: u32,
+        /// The text exposition (see `obsplane::expose`).
+        exposition: String,
+    },
+    /// Ask for the SLO engine's burn-rate alert evaluation.
+    Alerts,
+    /// The alert evaluation: aggregate state plus per-objective detail.
+    AlertsReply {
+        /// Worst state across all objectives.
+        state: SloState,
+        /// JSON text: one entry per objective with its window value,
+        /// budget, and fast/slow burn rates.
+        body: String,
+    },
 }
 
 impl Message {
@@ -347,6 +412,10 @@ impl Message {
             Message::DrainAck { .. } => 11,
             Message::CloseSession { .. } => 12,
             Message::SessionClosed { .. } => 13,
+            Message::Metrics => 14,
+            Message::MetricsReply { .. } => 15,
+            Message::Alerts => 16,
+            Message::AlertsReply { .. } => 17,
         }
     }
 
@@ -399,7 +468,7 @@ impl Message {
                 put_u32(out, *retry_after_ms);
                 put_str(out, message);
             }
-            Message::Monitor | Message::Drain => {}
+            Message::Monitor | Message::Drain | Message::Metrics | Message::Alerts => {}
             Message::MonitorReply(reply) => {
                 out.push(reply.shed_level);
                 put_u32(out, reply.depth);
@@ -409,7 +478,19 @@ impl Message {
                 put_u64(out, reply.deadline_misses);
                 put_u32(out, reply.sessions);
                 out.push(u8::from(reply.detail));
+                put_str(out, &reply.rung_summary);
                 put_long_str(out, &reply.body);
+            }
+            Message::MetricsReply {
+                snapshots,
+                exposition,
+            } => {
+                put_u32(out, *snapshots);
+                put_long_str(out, exposition);
+            }
+            Message::AlertsReply { state, body } => {
+                out.push(*state as u8);
+                put_long_str(out, body);
             }
             Message::DrainAck { pending } => put_u32(out, *pending),
             Message::CloseSession { session } | Message::SessionClosed { session } => {
@@ -467,12 +548,24 @@ impl Message {
                 deadline_misses: r.u64()?,
                 sessions: r.u32()?,
                 detail: r.bool()?,
+                rung_summary: r.str(1024)?,
                 body: r.long_str(MAX_PAYLOAD)?,
             }),
             10 => Message::Drain,
             11 => Message::DrainAck { pending: r.u32()? },
             12 => Message::CloseSession { session: r.u64()? },
             13 => Message::SessionClosed { session: r.u64()? },
+            14 => Message::Metrics,
+            15 => Message::MetricsReply {
+                snapshots: r.u32()?,
+                exposition: r.long_str(MAX_PAYLOAD)?,
+            },
+            16 => Message::Alerts,
+            17 => Message::AlertsReply {
+                state: SloState::from_u8(r.u8()?)
+                    .ok_or_else(|| ProtoError::Malformed("unknown SLO state".into()))?,
+                body: r.long_str(MAX_PAYLOAD)?,
+            },
             other => return Err(ProtoError::UnknownType(other)),
         };
         r.finish()?;
@@ -697,12 +790,35 @@ mod tests {
             deadline_misses: 2,
             sessions: 5,
             detail: true,
+            rung_summary: "rungs configured=12 spawn=1 reference=0 direct-psf=0 retries=1".into(),
             body: "{\"metrics\":{}}".into(),
         }));
         round_trip(Message::Drain);
         round_trip(Message::DrainAck { pending: 0 });
         round_trip(Message::CloseSession { session: 42 });
         round_trip(Message::SessionClosed { session: 42 });
+        round_trip(Message::Metrics);
+        round_trip(Message::MetricsReply {
+            snapshots: 12,
+            exposition: "# TYPE starsim_frames_rendered counter\n\
+                         starsim_frames_rendered 42\n"
+                .into(),
+        });
+        round_trip(Message::Alerts);
+        for state in [SloState::Ok, SloState::Warn, SloState::Page] {
+            round_trip(Message::AlertsReply {
+                state,
+                body: "{\"objectives\":[]}".into(),
+            });
+        }
+    }
+
+    #[test]
+    fn slo_state_orders_by_severity() {
+        assert_eq!(SloState::Ok.max(SloState::Warn), SloState::Warn);
+        assert_eq!(SloState::Page.max(SloState::Warn), SloState::Page);
+        assert_eq!(SloState::Ok.name(), "ok");
+        assert_eq!(SloState::Page.name(), "page");
     }
 
     #[test]

@@ -28,11 +28,13 @@ use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use gpusim::{GpuDiagnostics, VirtualGpu};
+use gpusim::telemetry::now_us;
+use gpusim::{DeviceSpec, DeviceUtilization, GpuDiagnostics, UtilizationSink, VirtualGpu};
 use starfield::dynamics::AttitudeDynamics;
 use starfield::generator::synthetic_sky;
 use starfield::projection::Camera;
@@ -41,9 +43,10 @@ use starfield::Attitude;
 use crate::admission::{AdmissionConfig, AdmissionController, Permit, ShedLevel};
 use crate::error::SimError;
 use crate::frames::FrameSequencer;
+use crate::obsplane::{FlightEntry, ObsPlane, DEFAULT_SAMPLE_PERIOD_US};
 use crate::protocol::{
     read_message, write_message, Message, MonitorReply, ProtoError, RejectCode, RenderDone,
-    SessionSpec, MAX_FRAMES_PER_REQUEST, PROTOCOL_VERSION,
+    SessionSpec, SloState, MAX_FRAMES_PER_REQUEST, PROTOCOL_VERSION,
 };
 use crate::resilience::{CancelToken, Rung};
 use crate::session::{AdaptiveSession, LutCache};
@@ -100,6 +103,11 @@ pub struct ServerConfig {
     /// `fault_plan` retry/degrade through it exactly as in-process frame
     /// loops do.
     pub retry: Option<crate::resilience::RetryPolicy>,
+    /// Directory the flight recorder dumps post-mortems into. `None`
+    /// counts dump triggers without writing files.
+    pub flight_dir: Option<PathBuf>,
+    /// Minimum microseconds between observability-plane ring samples.
+    pub sample_period_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +124,8 @@ impl Default for ServerConfig {
             fault_plan: None,
             watchdog: None,
             retry: None,
+            flight_dir: None,
+            sample_period_us: DEFAULT_SAMPLE_PERIOD_US,
         }
     }
 }
@@ -134,6 +144,19 @@ struct Shared {
     /// Fleet-aggregated device diagnostics, folded in as per-session
     /// deltas after each render.
     gpu_diags: Mutex<GpuDiagnostics>,
+    /// The observability plane: series ring, SLO engine, flight recorder.
+    obs: ObsPlane,
+    /// Fleet per-device utilization aggregate, shared by every session's
+    /// virtual GPU. Its launch count doubles as the request→launch
+    /// correlation sequence.
+    utilization: Arc<UtilizationSink>,
+    /// Server-wide request id, stamped on every inbound message.
+    next_request_id: AtomicU64,
+    /// Last observed shed level (index); escalations trip a flight dump.
+    last_shed: AtomicUsize,
+    /// Fleet rung-frame totals, folded in as per-session deltas after
+    /// each render — the source of the monitor's rung summary.
+    rung_frames: Mutex<[u64; 4]>,
 }
 
 /// The `starsimd` server engine. [`StarServer::bind`] starts the acceptor
@@ -156,6 +179,8 @@ impl StarServer {
         if let Some(quota) = config.tenant_quota {
             cache = cache.with_tenant_quota(quota);
         }
+        let obs = ObsPlane::with_sample_period_us(config.sample_period_us);
+        obs.recorder().set_dir(config.flight_dir.clone());
         let shared = Arc::new(Shared {
             admission,
             cache: Arc::new(cache),
@@ -166,6 +191,11 @@ impl StarServer {
             deadline_misses: AtomicU64::new(0),
             handler_panics: AtomicU64::new(0),
             gpu_diags: Mutex::new(GpuDiagnostics::default()),
+            obs,
+            utilization: Arc::new(UtilizationSink::new(&DeviceSpec::gtx480())),
+            next_request_id: AtomicU64::new(0),
+            last_shed: AtomicUsize::new(0),
+            rung_frames: Mutex::new([0; 4]),
             config,
         });
         let accept_shared = Arc::clone(&shared);
@@ -208,6 +238,17 @@ impl ServerHandle {
     /// The server's telemetry sink.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.shared.telemetry
+    }
+
+    /// The observability plane (series ring, SLO engine, flight
+    /// recorder) — tests and benches read scrape state directly here.
+    pub fn obs(&self) -> &ObsPlane {
+        &self.shared.obs
+    }
+
+    /// A copy of the fleet per-device utilization aggregate.
+    pub fn device_utilization(&self) -> DeviceUtilization {
+        self.shared.utilization.snapshot()
     }
 
     /// Request handler panics caught (and isolated) so far.
@@ -280,6 +321,8 @@ struct SessionState {
     digest: u64,
     /// Device diagnostics at the last fleet-aggregate fold, for deltas.
     last_diags: GpuDiagnostics,
+    /// Rung-frame totals at the last fleet-aggregate fold, for deltas.
+    last_rung: [u64; 4],
 }
 
 /// Per-connection handler state. Sessions are connection-scoped: ids are
@@ -335,8 +378,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             Message::OpenSession(_) => None,
             _ => None,
         };
+        let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
         let reply = match catch_unwind(AssertUnwindSafe(|| {
-            handle_message(message, &mut conn, &shared)
+            handle_message(message, request_id, &mut conn, &shared)
         })) {
             Ok(reply) => reply,
             Err(_) => {
@@ -350,6 +394,20 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                         shared.sessions_open.fetch_sub(1, Ordering::Relaxed);
                     }
                 }
+                shared.obs.recorder().record(FlightEntry {
+                    t_us: now_us(),
+                    request_id,
+                    session: touched.unwrap_or(0),
+                    tenant: String::new(),
+                    kind: "panic",
+                    frames: 0,
+                    launch_range: (0, 0),
+                    detail: "request handler panicked; session discarded".into(),
+                });
+                let _ = shared
+                    .obs
+                    .recorder()
+                    .dump("handler panic", Some(&shared.telemetry));
                 Message::Reject {
                     code: RejectCode::Internal,
                     retry_after_ms: 0,
@@ -367,8 +425,16 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
-fn handle_message(message: Message, conn: &mut ConnState, shared: &Shared) -> Message {
+fn handle_message(
+    message: Message,
+    request_id: u64,
+    conn: &mut ConnState,
+    shared: &Shared,
+) -> Message {
     shared.telemetry.metrics().counter_add("server.requests", 1);
+    // Pull-through sampling: any request traffic keeps the series ring
+    // fresh (one atomic load unless the sample period elapsed).
+    shared.obs.maybe_sample(shared.telemetry.metrics());
     match message {
         Message::Hello { version } => {
             if version == PROTOCOL_VERSION {
@@ -384,13 +450,34 @@ fn handle_message(message: Message, conn: &mut ConnState, shared: &Shared) -> Me
                 )
             }
         }
-        Message::OpenSession(spec) => handle_open(spec, conn, shared),
+        Message::OpenSession(spec) => handle_open(spec, request_id, conn, shared),
         Message::Render {
             session,
             frames,
             deadline_ms,
-        } => handle_render(session, frames, deadline_ms, conn, shared),
+        } => handle_render(session, frames, deadline_ms, request_id, conn, shared),
         Message::Monitor => Message::MonitorReply(monitor_snapshot(conn, shared)),
+        Message::Metrics => {
+            let stats = shared.admission.stats();
+            shared
+                .obs
+                .sync_admission(shared.telemetry.metrics(), stats.admitted, stats.rejected);
+            let (snapshots, exposition) = shared
+                .obs
+                .scrape(shared.telemetry.metrics(), &scrape_labels(shared));
+            Message::MetricsReply {
+                snapshots,
+                exposition,
+            }
+        }
+        Message::Alerts => {
+            let stats = shared.admission.stats();
+            shared
+                .obs
+                .sync_admission(shared.telemetry.metrics(), stats.admitted, stats.rejected);
+            let (state, body) = shared.obs.alerts(shared.telemetry.metrics());
+            Message::AlertsReply { state, body }
+        }
         Message::Drain => {
             shared.draining.store(true, Ordering::Release);
             // Ack once in-flight work drains (bounded wait — an ack with
@@ -427,7 +514,12 @@ fn handle_message(message: Message, conn: &mut ConnState, shared: &Shared) -> Me
     }
 }
 
-fn handle_open(spec: SessionSpec, conn: &mut ConnState, shared: &Shared) -> Message {
+fn handle_open(
+    spec: SessionSpec,
+    request_id: u64,
+    conn: &mut ConnState,
+    shared: &Shared,
+) -> Message {
     if shared.draining.load(Ordering::Acquire) {
         return reject(shared, RejectCode::Draining, 0, "server is draining".into());
     }
@@ -455,7 +547,7 @@ fn handle_open(spec: SessionSpec, conn: &mut ConnState, shared: &Shared) -> Mess
             "fault injection: tenant {panic_tenant} panics its handler"
         );
     }
-    let mut gpu = VirtualGpu::gtx480();
+    let mut gpu = VirtualGpu::gtx480().with_utilization(Arc::clone(&shared.utilization));
     if let Some(plan) = &shared.config.fault_plan {
         gpu = gpu.with_fault_plan(Arc::clone(plan));
     }
@@ -497,13 +589,24 @@ fn handle_open(spec: SessionSpec, conn: &mut ConnState, shared: &Shared) -> Mess
     };
     let id = conn.next_id;
     conn.next_id += 1;
+    shared.obs.recorder().record(FlightEntry {
+        t_us: now_us(),
+        request_id,
+        session: id,
+        tenant: spec.tenant.clone(),
+        kind: "open",
+        frames: 0,
+        launch_range: (0, 0),
+        detail: format!("stars={} lut_cache_hit={lut_cache_hit}", spec.stars),
+    });
     let mut state = SessionState {
         seq,
         tenant: spec.tenant,
         digest: DIGEST_SEED,
         last_diags: GpuDiagnostics::default(),
+        last_rung: [0; 4],
     };
-    apply_shed(shared.admission.observe(), &mut state, shared);
+    apply_shed(observe_shed(shared), &mut state, shared);
     conn.sessions.insert(id, state);
     shared.sessions_open.fetch_add(1, Ordering::Relaxed);
     shared
@@ -520,6 +623,7 @@ fn handle_render(
     id: u64,
     frames: u32,
     deadline_ms: u32,
+    request_id: u64,
     conn: &mut ConnState,
     shared: &Shared,
 ) -> Message {
@@ -546,7 +650,7 @@ fn handle_render(
         Ok(permit) => permit,
         Err(message) => return message,
     };
-    let level = shared.admission.observe();
+    let level = observe_shed(shared);
     let state = conn.sessions.get_mut(&id).expect("checked above");
     apply_shed(level, state, shared);
 
@@ -558,6 +662,7 @@ fn handle_render(
     let mut digest = state.digest;
     let mut completed: u32 = 0;
     let mut app_time_us: u64 = 0;
+    let launch_first = shared.utilization.launches();
     let start = Instant::now();
     let result = state
         .seq
@@ -569,6 +674,7 @@ fn handle_render(
             app_time_us += (frame.timing.app_time_s * 1e6) as u64;
         });
     let wall_us = start.elapsed().as_micros() as u64;
+    let launch_range = (launch_first, shared.utilization.launches());
     state.digest = digest;
 
     // Fold this session's device-diagnostics delta into the fleet total.
@@ -576,6 +682,16 @@ fn handle_render(
     let delta = now_diags.since(&state.last_diags);
     state.last_diags = now_diags;
     lock_tolerant(&shared.gpu_diags).absorb(&delta);
+
+    // Same delta fold for rung frames — the monitor's rung summary.
+    let report = state.seq.resilience_report();
+    {
+        let mut fleet = lock_tolerant(&shared.rung_frames);
+        for (i, fleet_rung) in fleet.iter_mut().enumerate() {
+            *fleet_rung += report.rung_frames[i].saturating_sub(state.last_rung[i]);
+        }
+    }
+    state.last_rung = report.rung_frames;
 
     let deadline_missed = match result {
         Ok(_) => false,
@@ -592,13 +708,48 @@ fn handle_render(
         Err(e) => {
             // The burst drained deterministically before erroring; the
             // session stays usable, the request is answered with the error.
+            shared.obs.recorder().record(FlightEntry {
+                t_us: now_us(),
+                request_id,
+                session: id,
+                tenant: state.tenant.clone(),
+                kind: "fault",
+                frames: u64::from(completed),
+                launch_range,
+                detail: e.to_string(),
+            });
+            let _ = shared
+                .obs
+                .recorder()
+                .dump("internal render fault", Some(&shared.telemetry));
             return reject(shared, RejectCode::Internal, 0, e.to_string());
         }
     };
     if level < ShedLevel::CoarseMonitoring {
         let metrics = shared.telemetry.metrics();
         metrics.observe("server.render_wall_ms", wall_us as f64 / 1e3);
+        metrics.counter_add("server.renders", 1);
         metrics.counter_add("server.frames_rendered", u64::from(completed));
+    }
+    shared.obs.recorder().record(FlightEntry {
+        t_us: now_us(),
+        request_id,
+        session: id,
+        tenant: state.tenant.clone(),
+        kind: if deadline_missed {
+            "deadline-miss"
+        } else {
+            "render"
+        },
+        frames: u64::from(completed),
+        launch_range,
+        detail: format!("requested={frames} wall_us={wall_us} shed={}", level.name()),
+    });
+    if deadline_missed {
+        let _ = shared
+            .obs
+            .recorder()
+            .dump("deadline miss", Some(&shared.telemetry));
     }
     Message::RenderDone(RenderDone {
         session: id,
@@ -617,7 +768,7 @@ fn admit(shared: &Shared) -> Result<Permit, Message> {
     match shared.admission.try_admit() {
         Ok(permit) => Ok(permit),
         Err(rejected) => {
-            shared.admission.observe();
+            observe_shed(shared);
             Err(reject(
                 shared,
                 RejectCode::Saturated,
@@ -645,6 +796,59 @@ fn reject(shared: &Shared, code: RejectCode, retry_after_ms: u32, message: Strin
         code,
         retry_after_ms,
         message,
+    }
+}
+
+/// Observes the shed ladder and, on an escalation (the level climbing),
+/// records a black-box entry and dumps a post-mortem — the flight
+/// recorder captures the ladder's climb even when nobody is scraping.
+fn observe_shed(shared: &Shared) -> ShedLevel {
+    let level = shared.admission.observe();
+    let prev = shared.last_shed.swap(level.index(), Ordering::Relaxed);
+    if level.index() > prev {
+        shared.obs.recorder().record(FlightEntry {
+            t_us: now_us(),
+            request_id: 0,
+            session: 0,
+            tenant: String::new(),
+            kind: "shed-escalation",
+            frames: 0,
+            launch_range: (0, 0),
+            detail: format!(
+                "{} -> {}",
+                ShedLevel::from_index(prev).map_or("?", |l| l.name()),
+                level.name()
+            ),
+        });
+        let _ = shared
+            .obs
+            .recorder()
+            .dump("shed-ladder escalation", Some(&shared.telemetry));
+    }
+    level
+}
+
+/// The instance-level exposition labels: device, shed level, rung floor,
+/// open sessions. (Per-tenant detail stays in counters/monitor bodies.)
+fn scrape_labels(shared: &Shared) -> Vec<(String, String)> {
+    let level = shared.admission.shed_level();
+    vec![
+        ("device".to_string(), "gtx480".to_string()),
+        ("shed".to_string(), level.name().to_string()),
+        ("rung_floor".to_string(), rung_floor(level).to_string()),
+        (
+            "sessions".to_string(),
+            shared.sessions_open.load(Ordering::Relaxed).to_string(),
+        ),
+    ]
+}
+
+/// The render-ladder floor the shed level imposes (mirrors
+/// [`apply_shed`]).
+fn rung_floor(level: ShedLevel) -> &'static str {
+    match level {
+        ShedLevel::FallbackRender => "direct-psf",
+        _ => "configured",
     }
 }
 
@@ -678,6 +882,19 @@ fn monitor_snapshot(conn: &ConnState, shared: &Shared) -> MonitorReply {
     } else {
         String::new()
     };
+    // The rung summary survives every shed level — even at
+    // CoarseMonitoring an operator can still see which ladder rungs the
+    // fleet is rendering on, in one line.
+    let rungs = *lock_tolerant(&shared.rung_frames);
+    let rung_summary = format!(
+        "shed={} floor={} rung_frames configured={} spawn={} reference={} direct-psf={}",
+        level.name(),
+        rung_floor(level),
+        rungs[0],
+        rungs[1],
+        rungs[2],
+        rungs[3]
+    );
     MonitorReply {
         shed_level: level.index() as u8,
         depth: stats.depth as u32,
@@ -687,6 +904,7 @@ fn monitor_snapshot(conn: &ConnState, shared: &Shared) -> MonitorReply {
         deadline_misses: shared.deadline_misses.load(Ordering::Relaxed),
         sessions: shared.sessions_open.load(Ordering::Relaxed) as u32,
         detail,
+        rung_summary,
         body,
     }
 }
@@ -843,6 +1061,30 @@ impl Client {
             Message::MonitorReply(reply) => Ok(reply),
             other => Err(ProtoError::Malformed(format!(
                 "expected MonitorReply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Scrapes the metrics exposition; returns
+    /// `(ring_snapshots, exposition_text)`.
+    pub fn metrics(&mut self) -> Result<(u32, String), ProtoError> {
+        match self.request(&Message::Metrics)? {
+            Message::MetricsReply {
+                snapshots,
+                exposition,
+            } => Ok((snapshots, exposition)),
+            other => Err(ProtoError::Malformed(format!(
+                "expected MetricsReply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the SLO evaluation; returns `(overall_state, json_body)`.
+    pub fn alerts(&mut self) -> Result<(SloState, String), ProtoError> {
+        match self.request(&Message::Alerts)? {
+            Message::AlertsReply { state, body } => Ok((state, body)),
+            other => Err(ProtoError::Malformed(format!(
+                "expected AlertsReply, got {other:?}"
             ))),
         }
     }

@@ -60,7 +60,7 @@ pub fn chrome_trace_json(telemetry: &Telemetry) -> String {
             ),
             name = quote(&format!("gpu:{}", l.name)),
             ts = l.start_us,
-            dur = l.end_us.saturating_sub(l.start_us).max(1),
+            dur = gpusim::telemetry::delta_us(l.start_us, l.end_us).max(1),
             launch = l.launch,
             mode = quote(l.mode),
             modeled = l.modeled_kernel_s * 1e6,
@@ -74,7 +74,7 @@ pub fn chrome_trace_json(telemetry: &Telemetry) -> String {
                     ),
                     name = quote(label),
                     ts = start,
-                    dur = end.saturating_sub(start).max(1),
+                    dur = gpusim::telemetry::delta_us(start, end).max(1),
                     tid = tid,
                     launch = l.launch,
                 ));

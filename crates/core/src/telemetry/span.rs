@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use gpusim::telemetry::now_us;
+use gpusim::telemetry::{delta_us, now_us};
 
 use super::Telemetry;
 
@@ -42,9 +42,10 @@ pub struct SpanRecord {
 }
 
 impl SpanRecord {
-    /// Span duration in microseconds.
+    /// Span duration in microseconds (wrap- and regression-safe: a
+    /// wrapped or racing clock clamps to zero instead of going huge).
     pub fn duration_us(&self) -> u64 {
-        self.end_us.saturating_sub(self.start_us)
+        delta_us(self.start_us, self.end_us)
     }
 }
 

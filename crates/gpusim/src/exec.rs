@@ -28,7 +28,7 @@ use crate::memory::transfer::{MemcpyKind, TransferModel};
 use crate::pool::{
     default_workers, spawn_parallel_for, spawn_parallel_for_static, PoolTimeout, WorkerPool,
 };
-use crate::profiler::KernelProfile;
+use crate::profiler::{KernelProfile, UtilizationSink};
 use crate::sanitize::{
     self, Access, AccessKind, Finding, FindingKind, LaneHooks, SanitizeConfig, SanitizeReport,
     SmSan,
@@ -179,6 +179,9 @@ pub struct VirtualGpu {
     /// Telemetry sink; `None` (the default) keeps every launch free of
     /// trace recording and lane-event drains.
     telemetry: Option<Arc<GpuTelemetry>>,
+    /// Per-device utilization accumulator; `None` (the default) skips
+    /// the per-launch fold entirely.
+    utilization: Option<Arc<UtilizationSink>>,
     /// Sequence number for traced launches.
     launch_seq: AtomicU64,
     /// Sanitizer configuration; only consulted by [`ExecMode::Sanitized`]
@@ -284,6 +287,7 @@ impl VirtualGpu {
             runs_pool: Mutex::new(Vec::new()),
             reuse: true,
             telemetry: None,
+            utilization: None,
             launch_seq: AtomicU64::new(0),
             san_config: SanitizeConfig::default(),
             san_reports: Mutex::new(Vec::new()),
@@ -431,6 +435,26 @@ impl VirtualGpu {
     /// The attached telemetry sink, if any.
     pub fn telemetry(&self) -> Option<&Arc<GpuTelemetry>> {
         self.telemetry.as_ref()
+    }
+
+    /// Attaches a utilization accumulator: every subsequent launch folds
+    /// its modeled profile (occupancy, cycle breakdown, cache/memory
+    /// counters) into the shared [`DeviceUtilization`] aggregate. All
+    /// inputs are modeled, so the aggregate is bit-identical across host
+    /// worker counts for the same workload.
+    pub fn with_utilization(mut self, sink: Arc<UtilizationSink>) -> Self {
+        self.utilization = Some(sink);
+        self
+    }
+
+    /// Attaches or detaches the utilization accumulator.
+    pub fn set_utilization(&mut self, sink: Option<Arc<UtilizationSink>>) {
+        self.utilization = sink;
+    }
+
+    /// The attached utilization accumulator, if any.
+    pub fn utilization(&self) -> Option<&Arc<UtilizationSink>> {
+        self.utilization.as_ref()
     }
 
     /// Resilience event counters (monotone since construction).
@@ -853,13 +877,19 @@ impl VirtualGpu {
                 events_dropped,
             });
         }
-        Ok(KernelProfile {
+        let profile = KernelProfile {
             name: name.to_string(),
             time_s,
             cycles,
             counters,
             occupancy: occ,
-        })
+        };
+        // Still under the launch gate: the fold is serialized with every
+        // other launch, so aggregate order is deterministic.
+        if let Some(sink) = &self.utilization {
+            sink.record(&profile);
+        }
+        Ok(profile)
     }
 
     /// Whether dispatch should bypass the pool: no pool, or the degradation

@@ -87,7 +87,9 @@ pub use memory::global::{GlobalAtomicF32, GlobalBuffer};
 pub use memory::texture::Texture;
 pub use memory::transfer::{MemcpyKind, TransferModel};
 pub use pool::WorkerPool;
-pub use profiler::{AppProfile, Boundedness, KernelProfile, OverheadItem};
+pub use profiler::{
+    AppProfile, Boundedness, DeviceUtilization, KernelProfile, OverheadItem, UtilizationSink,
+};
 pub use sanitize::{Finding, FindingKind, MemSpace, SanitizeConfig, SanitizeReport};
 pub use telemetry::{EventRing, GpuTelemetry, LaneEvent, LaneEventKind, LaunchTrace};
 pub use timing::{CostModel, Occupancy};

@@ -4,7 +4,10 @@
 //! *non-kernel overhead* (Figs. 11/12/15/16, Table I); these types carry
 //! exactly that decomposition.
 
+use std::sync::Mutex;
+
 use crate::counters::Counters;
+use crate::device::DeviceSpec;
 use crate::timing::{CycleBreakdown, Occupancy};
 
 /// The result of one kernel launch.
@@ -189,6 +192,211 @@ impl AppProfile {
     }
 }
 
+/// Aggregated utilization of one device across many launches — the
+/// per-device report multi-`VirtualGpu` sharding schedules against
+/// (ROADMAP item 2). Every input is *modeled* (counters, cycle
+/// breakdown, occupancy), never wall clock, and launches are serialized
+/// by the device's launch gate, so the aggregate is **bit-identical
+/// across host worker counts** for the same workload — the determinism
+/// contract `bench --obsplane` pins.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceUtilization {
+    /// Device marketing name (the [`DeviceSpec`] key).
+    pub device: &'static str,
+    /// SMs on the device.
+    pub sm_count: u32,
+    /// Launches aggregated.
+    pub launches: u64,
+    /// Total modeled kernel time, seconds.
+    pub modeled_kernel_s: f64,
+    /// Lane-stall breakdown: modeled cycles summed per pipeline, launch
+    /// order (which is gate-serialized, hence deterministic).
+    pub stall_cycles: CycleBreakdown,
+    /// Sum of per-launch occupancy fractions (mean = `/ launches`).
+    pub occupancy_sum: f64,
+    /// Lowest per-launch occupancy fraction seen (1.0 when empty).
+    pub occupancy_min: f64,
+    /// Highest per-launch occupancy fraction seen.
+    pub occupancy_max: f64,
+    /// Per-launch `active_sms / sm_count` weighted by that launch's
+    /// total cycles — the modeled SM busy fraction once divided by
+    /// `stall_cycles.total()`.
+    pub busy_sm_cycles: f64,
+    /// Scalar texture fetches across all launches.
+    pub tex_fetches: u64,
+    /// Texture fetches that hit the per-SM cache.
+    pub tex_hits: u64,
+    /// Coalesced 128-byte global segments moved.
+    pub global_transactions: u64,
+    /// Global-memory coalescing segment, bytes (traffic multiplier).
+    pub coalesce_segment: u64,
+    /// Warp-level atomic serialization steps.
+    pub atomic_conflicts: u64,
+    /// Warps whose branches diverged.
+    pub divergent_branches: u64,
+}
+
+impl DeviceUtilization {
+    /// An empty report keyed to `spec`.
+    pub fn for_spec(spec: &DeviceSpec) -> Self {
+        DeviceUtilization {
+            device: spec.name,
+            sm_count: spec.sm_count,
+            occupancy_min: 1.0,
+            coalesce_segment: spec.coalesce_segment as u64,
+            ..Default::default()
+        }
+    }
+
+    /// Folds one launch into the aggregate.
+    pub fn absorb(&mut self, profile: &KernelProfile) {
+        self.launches += 1;
+        self.modeled_kernel_s += profile.time_s;
+        let b = &profile.cycles;
+        self.stall_cycles.arith += b.arith;
+        self.stall_cycles.special += b.special;
+        self.stall_cycles.shared += b.shared;
+        self.stall_cycles.global += b.global;
+        self.stall_cycles.texture += b.texture;
+        self.stall_cycles.atomic += b.atomic;
+        self.stall_cycles.control += b.control;
+        let occ = &profile.occupancy;
+        self.occupancy_sum += occ.fraction;
+        self.occupancy_min = self.occupancy_min.min(occ.fraction);
+        self.occupancy_max = self.occupancy_max.max(occ.fraction);
+        if self.sm_count > 0 {
+            self.busy_sm_cycles += b.total() * f64::from(occ.active_sms) / f64::from(self.sm_count);
+        }
+        let c = &profile.counters;
+        self.tex_fetches += c.tex_fetches;
+        self.tex_hits += c.tex_hits;
+        self.global_transactions += c.global_transactions;
+        self.atomic_conflicts += c.atomic_conflicts;
+        self.divergent_branches += c.divergent_branches;
+    }
+
+    /// Mean per-launch occupancy fraction.
+    pub fn occupancy_mean(&self) -> f64 {
+        if self.launches == 0 {
+            0.0
+        } else {
+            self.occupancy_sum / self.launches as f64
+        }
+    }
+
+    /// Modeled fraction of SM-cycles spent busy, in `[0, 1]`.
+    pub fn sm_busy_fraction(&self) -> f64 {
+        let total = self.stall_cycles.total();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.busy_sm_cycles / total
+        }
+    }
+
+    /// Texture/LUT cache hit rate in `[0, 1]`; 1.0 with no fetches.
+    pub fn tex_hit_rate(&self) -> f64 {
+        if self.tex_fetches == 0 {
+            1.0
+        } else {
+            self.tex_hits as f64 / self.tex_fetches as f64
+        }
+    }
+
+    /// Estimated global-memory traffic, bytes (`transactions × segment`).
+    pub fn memory_traffic_bytes(&self) -> u64 {
+        self.global_transactions * self.coalesce_segment
+    }
+
+    /// A bit-exact signature of the aggregate: every float rendered via
+    /// its IEEE-754 bit pattern, so two reports compare equal iff every
+    /// accumulated value is *bit*-identical — the cross-worker-count
+    /// determinism check, immune to print rounding.
+    pub fn signature(&self) -> String {
+        let b = &self.stall_cycles;
+        format!(
+            "{}/sm{} launches={} kernel_s={:016x} stall=[{:016x},{:016x},{:016x},{:016x},{:016x},{:016x},{:016x}] \
+             occ=[{:016x},{:016x},{:016x}] busy={:016x} tex={}/{} gmem={} atomics={} div={}",
+            self.device,
+            self.sm_count,
+            self.launches,
+            self.modeled_kernel_s.to_bits(),
+            b.arith.to_bits(),
+            b.special.to_bits(),
+            b.shared.to_bits(),
+            b.global.to_bits(),
+            b.texture.to_bits(),
+            b.atomic.to_bits(),
+            b.control.to_bits(),
+            self.occupancy_sum.to_bits(),
+            self.occupancy_min.to_bits(),
+            self.occupancy_max.to_bits(),
+            self.busy_sm_cycles.to_bits(),
+            self.tex_hits,
+            self.tex_fetches,
+            self.global_transactions,
+            self.atomic_conflicts,
+            self.divergent_branches,
+        )
+    }
+}
+
+/// Shared per-device utilization accumulator, attached to a `VirtualGpu`
+/// via [`crate::VirtualGpu::with_utilization`]. Recording happens under
+/// the device's launch gate (launches are serialized anyway), so the
+/// mutex is uncontended on the hot path and the fold itself is a dozen
+/// float/integer adds — no allocation, no wall-clock reads.
+#[derive(Debug)]
+pub struct UtilizationSink {
+    inner: Mutex<DeviceUtilization>,
+}
+
+impl UtilizationSink {
+    /// An empty sink keyed to `spec`.
+    pub fn new(spec: &DeviceSpec) -> Self {
+        UtilizationSink {
+            inner: Mutex::new(DeviceUtilization::for_spec(spec)),
+        }
+    }
+
+    /// Folds one launch profile into the aggregate.
+    pub fn record(&self, profile: &KernelProfile) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .absorb(profile);
+    }
+
+    /// A copy of the current aggregate.
+    pub fn snapshot(&self) -> DeviceUtilization {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Launches folded in so far — a monotone sequence usable as a
+    /// launch-range correlator without cloning the aggregate.
+    pub fn launches(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .launches
+    }
+
+    /// Resets the aggregate to empty (same device key).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let device = inner.device;
+        let sm_count = inner.sm_count;
+        let segment = inner.coalesce_segment;
+        *inner = DeviceUtilization {
+            device,
+            sm_count,
+            occupancy_min: 1.0,
+            coalesce_segment: segment,
+            ..Default::default()
+        };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +484,56 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(k.boundedness(), Boundedness::Control);
+    }
+
+    #[test]
+    fn utilization_sink_aggregates_and_signs_bit_exactly() {
+        let spec = DeviceSpec::gtx480();
+        let sink = UtilizationSink::new(&spec);
+        let mut k = kernel("k", 0.002, 1000);
+        k.cycles = CycleBreakdown {
+            arith: 100.0,
+            texture: 50.0,
+            ..Default::default()
+        };
+        k.counters.tex_fetches = 10;
+        k.counters.tex_hits = 8;
+        k.counters.global_transactions = 4;
+        k.occupancy.fraction = 0.5;
+        k.occupancy.active_sms = 15;
+        sink.record(&k);
+        sink.record(&k);
+        let u = sink.snapshot();
+        assert_eq!(u.device, "GTX480");
+        assert_eq!(u.launches, 2);
+        assert_eq!(u.tex_fetches, 20);
+        assert!((u.tex_hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(u.memory_traffic_bytes(), 8 * 128);
+        assert!((u.occupancy_mean() - 0.5).abs() < 1e-12);
+        assert!((u.sm_busy_fraction() - 1.0).abs() < 1e-12, "all SMs active");
+        assert_eq!(u.stall_cycles.arith, 200.0);
+
+        // Same fold order ⇒ bit-identical signature; the signature is
+        // sensitive to any single-bit change.
+        let sink2 = UtilizationSink::new(&spec);
+        sink2.record(&k);
+        sink2.record(&k);
+        assert_eq!(u.signature(), sink2.snapshot().signature());
+        let mut k2 = k.clone();
+        k2.cycles.arith += 1e-9;
+        sink2.reset();
+        sink2.record(&k);
+        sink2.record(&k2);
+        assert_ne!(u.signature(), sink2.snapshot().signature());
+    }
+
+    #[test]
+    fn utilization_empty_report_is_benign() {
+        let u = DeviceUtilization::for_spec(&DeviceSpec::gtx480());
+        assert_eq!(u.occupancy_mean(), 0.0);
+        assert_eq!(u.sm_busy_fraction(), 0.0);
+        assert_eq!(u.tex_hit_rate(), 1.0);
+        assert_eq!(u.memory_traffic_bytes(), 0);
     }
 
     #[test]

@@ -26,6 +26,24 @@ pub fn now_us() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
 }
 
+/// Wrap-safe elapsed microseconds between two [`now_us`] stamps.
+///
+/// Timestamps may wrap (lane events carry only 40 bits — ~12.7 days of
+/// uptime) or regress (stamps taken on different threads race by a few
+/// microseconds around a drain). A plain `end - start` would panic in
+/// debug builds or produce a negative-huge sample in release; this
+/// helper computes the wrapping difference and treats any delta larger
+/// than half the range as a regression, clamping it to zero. Use it at
+/// every subtraction site that feeds a histogram or a trace duration.
+pub fn delta_us(start_us: u64, end_us: u64) -> u64 {
+    let d = end_us.wrapping_sub(start_us);
+    if d > u64::MAX / 2 {
+        0
+    } else {
+        d
+    }
+}
+
 /// What happened on a worker lane.
 ///
 /// Discriminants are stable (packed into 4 bits of the wire format);
@@ -281,6 +299,28 @@ mod tests {
         let a = now_us();
         let b = now_us();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn delta_us_is_wrap_and_regression_safe() {
+        // Normal forward progress.
+        assert_eq!(delta_us(100, 250), 150);
+        assert_eq!(delta_us(0, 0), 0);
+        // Clock regression (cross-thread stamp race): clamps to zero
+        // instead of a negative-huge sample.
+        assert_eq!(delta_us(250, 100), 0);
+        assert_eq!(delta_us(u64::MAX / 2 + 2, 1), 0);
+        // Counter wrap (e.g. a 40-bit lane timestamp rolling over):
+        // the wrapping difference recovers the true small delta.
+        assert_eq!(delta_us(u64::MAX - 9, 10), 20);
+        let forty_bit_max = (1u64 << 40) - 1;
+        let wrapped = forty_bit_max.wrapping_add(5) & forty_bit_max;
+        assert_eq!(
+            delta_us(forty_bit_max - 2, wrapped | (1 << 40)),
+            // Same low-40-bit distance once the caller re-extends;
+            // full-width stamps just subtract.
+            delta_us(forty_bit_max - 2, forty_bit_max + 5)
+        );
     }
 
     #[test]

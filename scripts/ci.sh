@@ -5,10 +5,11 @@
 # sustained throughput, PR3 chaos overhead + recovery, PR4 telemetry
 # overhead + trace validation, PR5 sanitizer gate + clean pass + corpus,
 # PR6 SIMD backend speedup + pixel-error gate, PR7 frame-pipelined
-# scheduler speedup + bit-identity, PR8 server loadgen overload gates) is
-# written to results/ — the single tracked location. Only the *current*
-# PR's artefact (BENCH_PR8.json) is additionally copied to the repo root
-# for the PR gate, at the end of this script.
+# scheduler speedup + bit-identity, PR8 server loadgen overload gates,
+# PR9 observability-plane overhead + flight-recorder + utilization
+# gates) is written to results/ — the single tracked location. Only the
+# *current* PR's artefact (BENCH_PR9.json) is additionally copied to the
+# repo root for the PR gate, at the end of this script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -131,5 +132,25 @@ grep -q '"retry_after_honored": true' results/BENCH_PR8.json
 grep -q '"resume_identical": true' results/BENCH_PR8.json
 grep -q '"gate_ok": true' results/BENCH_PR8.json
 
+# starsimd observability smoke: scrape parses, SLOs ok, seeded fault
+# dumps a parseable flight-recorder post-mortem.
+echo "== starsimd observability smoke (--obs-smoke)"
+timeout 120 target/release/starsimd --obs-smoke
+
+echo "== observability plane bench (overhead + flight-recorder + utilization gates)"
+$BENCH --obsplane --quick --out results
+
+echo "== BENCH_PR9.json"
+cat results/BENCH_PR9.json
+grep -q '"overhead_pct"' results/BENCH_PR9.json
+grep -q '"exposition_ok": true' results/BENCH_PR9.json
+grep -q '"wire_scrape_ok": true' results/BENCH_PR9.json
+grep -q '"slo_ok": true' results/BENCH_PR9.json
+grep -q '"flight_dump_ok": true' results/BENCH_PR9.json
+grep -q '"trace_ok": true' results/BENCH_PR9.json
+grep -q '"chain_ok": true' results/BENCH_PR9.json
+grep -q '"util_signature_match": true' results/BENCH_PR9.json
+grep -q '"gate_ok": true' results/BENCH_PR9.json
+
 # Root copy: current PR's artefact only (see the convention at the top).
-cp results/BENCH_PR8.json .
+cp results/BENCH_PR9.json .

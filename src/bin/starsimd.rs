@@ -3,20 +3,25 @@
 //! ```text
 //! starsimd serve [--addr HOST:PORT] [--capacity N] [--retry-after MS]
 //!                [--lut-capacity N] [--tenant-quota N] [--max-sessions N]
+//!                [--flight-dir DIR]
 //! starsimd --self-test
+//! starsimd --obs-smoke
 //! ```
 //!
 //! `serve` binds the address (default `127.0.0.1:7877` — see `--addr`),
 //! prints the bound address on stdout (`listening ADDR`), and serves until
 //! killed. `--self-test` boots a server on an ephemeral port, runs a
 //! render round-trip, forces an admission reject, drains, and exits 0 iff
-//! every step behaved — the CI smoke in one command.
+//! every step behaved — the CI smoke in one command. `--obs-smoke` does
+//! the same for the observability plane: scrape → exposition parses and
+//! SLOs are `ok`, then a seeded handler fault → a flight-recorder dump
+//! is written and parses.
 
 use std::process::exit;
 use std::time::Duration;
 
 use starsim::sim::admission::AdmissionConfig;
-use starsim::sim::protocol::{Message, RejectCode, SessionSpec};
+use starsim::sim::protocol::{Message, RejectCode, SessionSpec, SloState};
 use starsim::sim::server::{Client, ServerConfig, StarServer};
 
 fn main() {
@@ -24,6 +29,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("--self-test") | Some("self-test") => self_test(),
+        Some("--obs-smoke") | Some("obs-smoke") => obs_smoke(),
         Some("--help") | Some("-h") | Some("help") | None => usage(""),
         Some(other) => usage(&format!("unknown command `{other}`")),
     }
@@ -39,10 +45,13 @@ fn usage(err: &str) -> ! {
          USAGE:\n\
          \x20 starsimd serve [--addr HOST:PORT] [--capacity N] [--retry-after MS]\n\
          \x20                [--lut-capacity N] [--tenant-quota N] [--max-sessions N]\n\
+         \x20                [--flight-dir DIR]\n\
          \x20 starsimd --self-test\n\
+         \x20 starsimd --obs-smoke\n\
          \n\
          The server speaks the SSIM v1 length-prefixed frame protocol; see\n\
-         DESIGN.md §14 for the wire format and the shedding ladder."
+         DESIGN.md §14 for the wire format and the shedding ladder, §15 for\n\
+         the observability plane (Metrics/Alerts scrapes, flight recorder)."
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -78,6 +87,9 @@ fn serve(args: &[String]) {
     if let Some(max_sessions) = parse(args, "--max-sessions") {
         config.max_sessions_per_conn = max_sessions;
     }
+    if let Some(flight_dir) = parse::<std::path::PathBuf>(args, "--flight-dir") {
+        config.flight_dir = Some(flight_dir);
+    }
     let handle = match StarServer::bind(&addr, config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -92,14 +104,18 @@ fn serve(args: &[String]) {
     }
 }
 
-/// One assertion of the self-test: print and fail loudly.
-fn check(ok: bool, what: &str) {
+/// One assertion of a smoke run: print and fail loudly.
+fn check_as(smoke: &str, ok: bool, what: &str) {
     if ok {
-        println!("self-test: {what}: ok");
+        println!("{smoke}: {what}: ok");
     } else {
-        eprintln!("self-test: {what}: FAILED");
+        eprintln!("{smoke}: {what}: FAILED");
         exit(1);
     }
+}
+
+fn check(ok: bool, what: &str) {
+    check_as("self-test", ok, what);
 }
 
 fn self_test() {
@@ -210,4 +226,139 @@ fn self_test() {
 
     handle.shutdown();
     println!("self-test: PASS");
+}
+
+fn obs_smoke() {
+    let check = |ok: bool, what: &str| check_as("obs-smoke", ok, what);
+    let dir = std::env::temp_dir().join(format!("starsimd-obs-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        flight_dir: Some(dir.clone()),
+        panic_tenant: Some("chaos".into()),
+        ..ServerConfig::default()
+    };
+    let handle = StarServer::bind("127.0.0.1:0", config).unwrap_or_else(|e| {
+        eprintln!("obs-smoke: bind: FAILED ({e})");
+        exit(1);
+    });
+    println!("obs-smoke: listening {}", handle.addr());
+    let mut client = Client::connect(handle.addr()).unwrap_or_else(|e| {
+        eprintln!("obs-smoke: connect: FAILED ({e})");
+        exit(1);
+    });
+
+    let spec = SessionSpec {
+        width: 128,
+        height: 128,
+        roi_side: 8,
+        stars: 2000,
+        seed: 11,
+        backend: 0,
+        tenant: "obs-smoke".into(),
+    };
+    let (session, _) = client.open_session(&spec).unwrap_or_else(|e| {
+        eprintln!("obs-smoke: open session: FAILED ({e})");
+        exit(1);
+    });
+    match client.render(session, 2, 0) {
+        Ok(Message::RenderDone(done)) => check(done.completed == 2, "render round-trip"),
+        other => {
+            eprintln!("obs-smoke: render: FAILED ({other:?})");
+            exit(1);
+        }
+    }
+
+    // Scrape: the exposition parses and carries the frame counter.
+    let (snapshots, exposition) = client.metrics().unwrap_or_else(|e| {
+        eprintln!("obs-smoke: metrics scrape: FAILED ({e})");
+        exit(1);
+    });
+    check(snapshots >= 1, "scrape retains ring snapshots");
+    match starsim::sim::obsplane::parse_exposition(&exposition) {
+        Ok(samples) => check(
+            samples
+                .iter()
+                .any(|s| s.name == "starsim_server_frames_rendered" && s.value >= 2.0),
+            "exposition parses with frame counters",
+        ),
+        Err(e) => {
+            eprintln!("obs-smoke: exposition parse: FAILED ({e})");
+            exit(1);
+        }
+    }
+
+    // SLOs on a healthy server are ok.
+    match client.alerts() {
+        Ok((SloState::Ok, _)) => check(true, "SLO state ok"),
+        Ok((state, body)) => {
+            eprintln!("obs-smoke: SLO state: FAILED ({} — {body})", state.name());
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("obs-smoke: alerts: FAILED ({e})");
+            exit(1);
+        }
+    }
+
+    // The rung summary survives on the monitor path.
+    match client.monitor() {
+        Ok(monitor) => check(
+            monitor.rung_summary.contains("rung_frames"),
+            "monitor carries the rung summary",
+        ),
+        Err(e) => {
+            eprintln!("obs-smoke: monitor: FAILED ({e})");
+            exit(1);
+        }
+    }
+
+    // Seeded fault: the chaos tenant panics its handler, which must
+    // produce a parseable flight-recorder dump.
+    match client.request(&Message::OpenSession(SessionSpec {
+        tenant: "chaos".into(),
+        ..spec
+    })) {
+        Ok(Message::Reject {
+            code: RejectCode::Internal,
+            ..
+        }) => check(true, "seeded fault isolated to a reject"),
+        other => {
+            eprintln!("obs-smoke: seeded fault: FAILED ({other:?})");
+            exit(1);
+        }
+    }
+    check(
+        handle.obs().recorder().dump_count() >= 1,
+        "fault tripped a flight dump",
+    );
+    let dump = std::fs::read_dir(&dir)
+        .ok()
+        .and_then(|entries| {
+            entries.filter_map(|e| e.ok()).map(|e| e.path()).find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("flight-"))
+            })
+        })
+        .unwrap_or_else(|| {
+            eprintln!("obs-smoke: flight dump file: FAILED (none written)");
+            exit(1);
+        });
+    match std::fs::read_to_string(&dump)
+        .map_err(|e| e.to_string())
+        .and_then(|text| starsim::sim::telemetry::parse_json(&text).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => check(
+            doc.get("entries").is_some() && doc.get("trace").is_some(),
+            "flight dump parses with entries and trace",
+        ),
+        Err(e) => {
+            eprintln!("obs-smoke: flight dump parse: FAILED ({e})");
+            exit(1);
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    handle.shutdown();
+    println!("obs-smoke: PASS");
 }

@@ -366,6 +366,126 @@ fn drain_stops_admitting_and_acks_clean() {
 }
 
 #[test]
+fn obsplane_scrapes_alerts_and_flight_records_over_the_wire() {
+    let dir = std::env::temp_dir().join("starsimd_obsplane_itest");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        flight_dir: Some(dir.clone()),
+        panic_tenant: Some("evil".into()),
+        ..ServerConfig::default()
+    };
+    let handle = boot(config);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let (session, _) = client.open_session(&spec("obs")).expect("open");
+    assert!(matches!(
+        render_done(&mut client, session, 2, 0),
+        Message::RenderDone(_)
+    ));
+
+    // Metrics scrape: the exposition parses back and carries the render
+    // counters plus the instance labels.
+    let (snapshots, exposition) = client.metrics().expect("metrics");
+    assert!(snapshots >= 1);
+    let samples = starsim::sim::obsplane::parse_exposition(&exposition).expect("exposition parses");
+    let frames = samples
+        .iter()
+        .find(|s| s.name == "starsim_server_frames_rendered")
+        .expect("frames counter exposed");
+    assert!(frames.value >= 2.0);
+    assert!(
+        frames
+            .labels
+            .iter()
+            .any(|(k, v)| k == "device" && v == "gtx480"),
+        "{:?}",
+        frames.labels
+    );
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "starsim_server_requests_total"),
+        "admission stats synced into the scrape"
+    );
+
+    // Alerts: a healthy server is Ok with a well-formed JSON body.
+    let (state, body) = client.alerts().expect("alerts");
+    assert_eq!(state, starsim::sim::SloState::Ok, "{body}");
+    let doc = starsim::sim::telemetry::parse_json(&body).expect("alert body is JSON");
+    assert_eq!(doc.get("state").and_then(|v| v.as_str()), Some("ok"));
+
+    // The monitor rung summary is present (full detail here).
+    let monitor = client.monitor().expect("monitor");
+    assert!(
+        monitor.rung_summary.contains("configured="),
+        "{}",
+        monitor.rung_summary
+    );
+
+    // The fleet utilization aggregate saw this session's launches.
+    let util = handle.device_utilization();
+    assert!(util.launches > 0);
+    assert!(util.occupancy_mean() > 0.0 && util.occupancy_mean() <= 1.0);
+
+    // A handler panic trips a flight-recorder dump with the full
+    // request chain: the render entry correlates request → session →
+    // launch range, the panic entry closes the story.
+    match client
+        .request(&Message::OpenSession(spec("evil")))
+        .expect("panic becomes a reply")
+    {
+        Message::Reject { code, .. } => assert_eq!(code, RejectCode::Internal),
+        other => panic!("expected Internal reject, got {other:?}"),
+    }
+    assert!(handle.obs().recorder().dump_count() >= 1);
+    let dump_path = std::fs::read_dir(&dir)
+        .expect("flight dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flight-"))
+        })
+        .expect("a flight dump was written");
+    let text = std::fs::read_to_string(&dump_path).expect("read dump");
+    let doc = starsim::sim::telemetry::parse_json(&text).expect("dump is valid JSON");
+    let entries = doc
+        .get("entries")
+        .and_then(|v| v.as_array())
+        .expect("entries array");
+    let kind_of = |e: &starsim::sim::telemetry::JsonValue| {
+        e.get("kind").and_then(|v| v.as_str()).map(str::to_string)
+    };
+    let render = entries
+        .iter()
+        .find(|e| kind_of(e) == Some("render".into()))
+        .expect("render entry in the black box");
+    assert!(render.get("request_id").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    assert_eq!(
+        render.get("session").and_then(|v| v.as_f64()),
+        Some(session as f64)
+    );
+    assert!(
+        render.get("launch_past_last").and_then(|v| v.as_f64())
+            > render.get("launch_first").and_then(|v| v.as_f64()),
+        "the render is correlated to its kernel launches"
+    );
+    assert!(
+        entries.iter().any(|e| kind_of(e) == Some("panic".into())),
+        "the fault itself is in the black box"
+    );
+    // The dump embeds a loadable Chrome trace.
+    assert!(doc
+        .get("trace")
+        .and_then(|t| t.get("traceEvents"))
+        .and_then(|v| v.as_array())
+        .is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+    handle.shutdown();
+}
+
+#[test]
 fn chaos_matrix_recovers_bit_identically_through_the_server_with_concurrent_tenants() {
     const FRAMES: u32 = 6;
 
