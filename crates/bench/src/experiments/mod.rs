@@ -1,6 +1,7 @@
 //! The experiment suite: one module per paper table/figure group.
 
 pub mod ablation;
+pub mod analyze;
 pub mod chaos;
 pub mod contention;
 pub mod devices;

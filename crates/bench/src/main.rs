@@ -5,13 +5,13 @@
 //! starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]
 //!               [--exec reference|batched|sanitized] [--backend scalar|simd]
 //!               [--workers N] [--chaos] [--trace PATH] [--metrics] [--sanitize]
-//!               [--pipeline] [--server] [--obsplane]
+//!               [--pipeline] [--server] [--obsplane] [--analyze]
 //!
 //! NAME ∈ { fig2, fig9, fig10, fig11, fig12, table1, table2,
 //!          fig13, fig14, fig15, fig16, table3, ablation, contention,
 //!          devices, multigpu, streams, session, lutbuild, executor,
 //!          throughput, chaos, trace, sanitize, simd, pipeline, server,
-//!          obsplane, all }
+//!          obsplane, analyze, all }
 //! ```
 //!
 //! `--backend simd` runs every experiment with the lane-oriented batched
@@ -36,6 +36,13 @@
 //! round-trip, and the per-device utilization determinism sweep (writes
 //! `BENCH_PR9.json`).
 //!
+//! `--analyze` is shorthand for `--experiment analyze`: the static
+//! kernel analyzer's consistency gate — static coalescing/bank-conflict/
+//! texture-working-set/occupancy predictions vs dynamic measurements on
+//! all three production kernels x both backends, report determinism,
+//! the perf-defect corpus, and the advisor-runs-once check (writes
+//! `BENCH_PR10.json`).
+//!
 //! `--chaos` is shorthand for `--experiment chaos`: the fault-injection
 //! overhead gate plus a seeded recovery run (writes `BENCH_PR3.json`).
 //!
@@ -57,8 +64,9 @@
 mod experiments;
 
 use experiments::{
-    ablation, chaos, contention, devices, executor, fig2, lutbuild, multigpu, obsplane, pipeline,
-    sanitize, server, session, simd, streams, table3, test1, test2, throughput, trace, Context,
+    ablation, analyze, chaos, contention, devices, executor, fig2, lutbuild, multigpu, obsplane,
+    pipeline, sanitize, server, session, simd, streams, table3, test1, test2, throughput, trace,
+    Context,
 };
 use starsim_core::{ExecMode, KernelBackend};
 
@@ -92,6 +100,7 @@ fn main() {
             "--pipeline" => experiment = String::from("pipeline"),
             "--server" => experiment = String::from("server"),
             "--obsplane" => experiment = String::from("obsplane"),
+            "--analyze" => experiment = String::from("analyze"),
             "--seed" => {
                 ctx.seed = args
                     .next()
@@ -246,6 +255,10 @@ fn main() {
             "Observability plane (overhead + flight-recorder + utilization gates)",
             obsplane::run(&ctx),
         ),
+        "analyze" => section(
+            "Static kernel analyzer (static-vs-dynamic consistency gates)",
+            analyze::run(&ctx),
+        ),
         "all" => {
             let t1 = t1.as_ref().unwrap();
             let t2 = t2.as_ref().unwrap();
@@ -312,6 +325,10 @@ fn main() {
                 "Observability plane (overhead + flight-recorder + utilization gates)",
                 obsplane::run(&ctx),
             );
+            section(
+                "Static kernel analyzer (static-vs-dynamic consistency gates)",
+                analyze::run(&ctx),
+            );
         }
         other => usage(&format!("unknown experiment `{other}`")),
     }
@@ -325,10 +342,11 @@ fn usage(error: &str) -> ! {
         "usage: starsim-bench [--experiment NAME] [--quick] [--seed N] [--out DIR]\n\
                       [--exec reference|batched|sanitized] [--backend scalar|simd]\n\
                       [--workers N] [--trace PATH] [--metrics] [--sanitize] [--pipeline]\n\
-                      [--server] [--obsplane]\n\
+                      [--server] [--obsplane] [--analyze]\n\
          NAME: fig2 fig9 fig10 fig11 fig12 table1 table2 fig13 fig14 fig15 fig16\n\
                table3 ablation contention devices multigpu streams session lutbuild\n\
                executor throughput chaos trace sanitize simd pipeline server obsplane\n\
+               analyze\n\
                all (default)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });

@@ -43,7 +43,7 @@ pub const LUT_BUILD_S_PER_ENTRY: f64 = 10e-9;
 /// Shared-memory layout: `[lut layer, posX, posY]` — "the content of shared
 /// memory ... is also changed by storing star magnitude instead" (§III-C);
 /// we stage the resolved table layer, which is the binned magnitude.
-const SMEM_WORDS: usize = 3;
+pub(crate) const SMEM_WORDS: usize = 3;
 const SMEM_LAYER: usize = 0;
 const SMEM_POS_X: usize = 1;
 const SMEM_POS_Y: usize = 2;

@@ -1,0 +1,243 @@
+//! Static-vs-dynamic kernel audits: run the static analyzer over a
+//! production kernel *exactly as its simulator builds it*, then launch the
+//! very same (kernel, config) pair and return both the predicted
+//! [`KernelReport`] and the measured [`KernelProfile`] side by side.
+//!
+//! This is the substrate of the `bench --analyze` consistency gate: the
+//! static pass must agree with the dynamic counters within the documented
+//! tolerances ([`gpusim::analyze::COALESCE_TOL`] and friends) on all three
+//! production kernels, or the gate fails. Keeping the kernel/launch
+//! construction here — one function per simulator, mirroring the
+//! simulator's own `simulate` body — guarantees the audit vets the real
+//! production configuration, not a lookalike.
+
+use std::sync::Arc;
+
+use gpusim::analyze::{analyze_kernel, KernelReport};
+use gpusim::{Dim3, KernelProfile, LaunchConfig, VirtualGpu};
+use psf::roi::Roi;
+use starfield::StarCatalog;
+
+use crate::adaptive::{AdaptiveKernel, AdaptiveSimulator, SMEM_WORDS as ADAPTIVE_SMEM_WORDS};
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::parallel::{StarCentricKernel, SMEM_WORDS as STAR_SMEM_WORDS};
+use crate::pixel_centric::{PixelCentricKernel, TILE};
+use crate::star_record::to_device_stars;
+
+/// One production kernel's static prediction next to its dynamic
+/// measurement, from the same (kernel, launch, device) triple.
+#[derive(Debug, Clone)]
+pub struct KernelAudit {
+    /// Launch name (`"star-centric"`, `"adaptive-lut"`, `"pixel-centric"`).
+    pub name: String,
+    /// The static analyzer's report.
+    pub report: KernelReport,
+    /// The dynamic launch's profile (counters, occupancy, modeled time).
+    pub profile: KernelProfile,
+}
+
+impl KernelAudit {
+    /// Measured global transactions per warp-level request.
+    pub fn measured_tx_per_request(&self) -> f64 {
+        let c = &self.profile.counters;
+        if c.global_requests == 0 {
+            0.0
+        } else {
+            c.global_transactions as f64 / c.global_requests as f64
+        }
+    }
+
+    /// Measured shared-memory conflict extra per request.
+    pub fn measured_shared_extra_per_request(&self) -> f64 {
+        let c = &self.profile.counters;
+        if c.shared_requests == 0 {
+            0.0
+        } else {
+            c.shared_conflicts as f64 / c.shared_requests as f64
+        }
+    }
+
+    /// Measured texture hit rate (1.0 for kernels with no fetches).
+    pub fn measured_tex_hit_rate(&self) -> f64 {
+        self.profile.counters.tex_hit_rate()
+    }
+}
+
+fn device(config: &SimConfig) -> VirtualGpu {
+    let gpu = VirtualGpu::gtx480();
+    match config.workers {
+        Some(w) => gpu.with_workers(w),
+        None => gpu,
+    }
+}
+
+/// Audits the paper's Fig. 6 star-centric kernel under `config` over
+/// `catalog`, exactly as `ParallelSimulator::simulate` launches it.
+pub fn audit_star_centric(
+    config: &SimConfig,
+    catalog: &StarCatalog,
+) -> Result<KernelAudit, SimError> {
+    config.validate()?;
+    let gpu = device(config);
+    let (stars, _t) = gpu.upload(to_device_stars(catalog.stars()));
+    let image_dev = gpu.alloc_atomic_f32(config.pixels());
+    let star_count = catalog.len();
+    let kernel = StarCentricKernel {
+        stars: &stars,
+        image: &image_dev,
+        star_count,
+        width: config.width,
+        height: config.height,
+        roi: Roi::new(config.roi_side),
+        psf: config.psf_model(),
+        a_factor: config.a_factor,
+    };
+    let cfg = LaunchConfig::star_centric(star_count.max(1), config.roi_side, gpu.spec())
+        .with_shared_mem(STAR_SMEM_WORDS * 4)
+        .with_backend(config.backend);
+    let report = analyze_kernel("star-centric", &kernel, &cfg, gpu.spec())?;
+    let profile = gpu.launch_mode("star-centric", &kernel, cfg, config.exec_mode)?;
+    Ok(KernelAudit {
+        name: "star-centric".into(),
+        report,
+        profile,
+    })
+}
+
+/// Audits the adaptive lookup-table kernel under `config` over `catalog`,
+/// exactly as `AdaptiveSimulator::simulate` launches it (lookup table
+/// built and bound to texture memory first).
+pub fn audit_adaptive(config: &SimConfig, catalog: &StarCatalog) -> Result<KernelAudit, SimError> {
+    config.validate()?;
+    let gpu = device(config);
+    let lut = Arc::new(AdaptiveSimulator::new().build_lut(config)?);
+    let side = config.roi_side;
+    let (lut_tex, _tu, _tb) = gpu.bind_texture(side, side, lut.layers(), lut.data().to_vec())?;
+    let (stars, _t) = gpu.upload(to_device_stars(catalog.stars()));
+    let image_dev = gpu.alloc_atomic_f32(config.pixels());
+    let star_count = catalog.len();
+    let kernel = AdaptiveKernel {
+        stars: &stars,
+        image: &image_dev,
+        lut_tex: &lut_tex,
+        lut: &lut,
+        star_count,
+        width: config.width,
+        height: config.height,
+        roi: Roi::new(side),
+    };
+    let cfg = LaunchConfig::star_centric(star_count.max(1), side, gpu.spec())
+        .with_shared_mem(ADAPTIVE_SMEM_WORDS * 4)
+        .with_backend(config.backend);
+    let report = analyze_kernel("adaptive-lut", &kernel, &cfg, gpu.spec())?;
+    let profile = gpu.launch_mode("adaptive-lut", &kernel, cfg, config.exec_mode)?;
+    Ok(KernelAudit {
+        name: "adaptive-lut".into(),
+        report,
+        profile,
+    })
+}
+
+/// Audits the pixel-centric baseline kernel under `config` over `catalog`,
+/// exactly as `PixelCentricSimulator::simulate` launches it.
+pub fn audit_pixel_centric(
+    config: &SimConfig,
+    catalog: &StarCatalog,
+) -> Result<KernelAudit, SimError> {
+    config.validate()?;
+    let gpu = device(config);
+    let (stars, _t) = gpu.upload(to_device_stars(catalog.stars()));
+    let image_dev = gpu.alloc_atomic_f32(config.pixels());
+    let kernel = PixelCentricKernel {
+        stars: &stars,
+        image: &image_dev,
+        star_count: catalog.len(),
+        width: config.width,
+        height: config.height,
+        roi: Roi::new(config.roi_side),
+        psf: config.psf_model(),
+        a_factor: config.a_factor,
+    };
+    let grid = Dim3::d2(
+        (config.width as u32).div_ceil(TILE),
+        (config.height as u32).div_ceil(TILE),
+    );
+    let cfg = LaunchConfig::new(grid, Dim3::d2(TILE, TILE));
+    let report = analyze_kernel("pixel-centric", &kernel, &cfg, gpu.spec())?;
+    let profile = gpu.launch("pixel-centric", &kernel, cfg)?;
+    Ok(KernelAudit {
+        name: "pixel-centric".into(),
+        report,
+        profile,
+    })
+}
+
+/// Audits all three production kernels under one config/catalog —
+/// star-centric, adaptive, pixel-centric, in that order.
+pub fn audit_production(
+    config: &SimConfig,
+    catalog: &StarCatalog,
+) -> Result<Vec<KernelAudit>, SimError> {
+    Ok(vec![
+        audit_star_centric(config, catalog)?,
+        audit_adaptive(config, catalog)?,
+        audit_pixel_centric(config, catalog)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::analyze::{BANK_TOL, COALESCE_TOL, TEX_HIT_TOL};
+    use starfield::FieldGenerator;
+
+    fn setup() -> (SimConfig, StarCatalog) {
+        let config = SimConfig {
+            width: 256,
+            height: 256,
+            ..SimConfig::default()
+        };
+        let catalog = FieldGenerator::new(256, 256).generate(128, 2012);
+        (config, catalog)
+    }
+
+    #[test]
+    fn production_kernels_are_clean_and_consistent() {
+        let (config, catalog) = setup();
+        for audit in audit_production(&config, &catalog).unwrap() {
+            assert!(
+                !audit.report.has_deny(),
+                "{}: {:#?}",
+                audit.name,
+                audit.report.lints
+            );
+            let p = &audit.report.prediction;
+            assert!(
+                (p.global_tx_per_request - audit.measured_tx_per_request()).abs() <= COALESCE_TOL,
+                "{}: static {} vs dynamic {}",
+                audit.name,
+                p.global_tx_per_request,
+                audit.measured_tx_per_request()
+            );
+            assert!(
+                (p.shared_extra_per_request - audit.measured_shared_extra_per_request()).abs()
+                    <= BANK_TOL,
+                "{}: shared extra mismatch",
+                audit.name
+            );
+            assert!(
+                audit.measured_tex_hit_rate() + TEX_HIT_TOL >= p.tex_hit_rate_floor,
+                "{}: measured hit rate {} below predicted floor {}",
+                audit.name,
+                audit.measured_tex_hit_rate(),
+                p.tex_hit_rate_floor
+            );
+            assert_eq!(
+                audit.report.occupancy, audit.profile.occupancy,
+                "{}",
+                audit.name
+            );
+        }
+    }
+}

@@ -66,6 +66,12 @@ pub struct SimConfig {
     /// Functional parallelism only — no effect on counters or modeled
     /// times. The device clamps values beyond its SM count with a warning.
     pub workers: Option<usize>,
+    /// Run the static kernel analyzer (`gpusim::analyze`) at session
+    /// setup: the pre-launch advisor vets the production kernel once —
+    /// deny-level findings reject the session, predictions land in the
+    /// metrics registry as gauges. Off by default; the frame hot path is
+    /// never touched either way.
+    pub analyze: bool,
 }
 
 impl Default for SimConfig {
@@ -89,6 +95,7 @@ impl Default for SimConfig {
             exec_mode: ExecMode::default(),
             backend: KernelBackend::default(),
             workers: None,
+            analyze: false,
         }
     }
 }

@@ -24,6 +24,7 @@
 
 pub mod adaptive;
 pub mod admission;
+pub mod analysis;
 pub mod config;
 pub mod contention;
 pub mod error;
@@ -48,6 +49,9 @@ pub mod validate;
 pub use adaptive::{AdaptiveKernel, AdaptiveSimulator};
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionStats, Permit, Rejected, ShedLevel,
+};
+pub use analysis::{
+    audit_adaptive, audit_pixel_centric, audit_production, audit_star_centric, KernelAudit,
 };
 pub use config::{PsfKind, SimConfig};
 pub use error::SimError;

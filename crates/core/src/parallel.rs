@@ -33,7 +33,7 @@ use crate::Simulator;
 
 /// Shared-memory layout of the kernel: `[brightness, posX, posY]`
 /// (the paper's `__shared__ float shareMem[3]`).
-const SMEM_WORDS: usize = 3;
+pub(crate) const SMEM_WORDS: usize = 3;
 const SMEM_BRIGHTNESS: usize = 0;
 const SMEM_POS_X: usize = 1;
 const SMEM_POS_Y: usize = 2;

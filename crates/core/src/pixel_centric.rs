@@ -27,7 +27,7 @@ use crate::star_record::{to_device_stars, DeviceStar};
 use crate::Simulator;
 
 /// Image tile side per thread block.
-const TILE: u32 = 16;
+pub(crate) const TILE: u32 = 16;
 
 /// The pixel-centric kernel (paper Fig. 3a).
 pub struct PixelCentricKernel<'a> {

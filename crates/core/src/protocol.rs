@@ -31,8 +31,14 @@ pub const MAGIC: [u8; 4] = *b"SSIM";
 pub const PROTOCOL_VERSION: u16 = 1;
 /// Hard cap on a frame payload. Checked before allocation.
 pub const MAX_PAYLOAD: usize = 1 << 20;
-/// Hard cap on requested image width/height, pixels.
-pub const MAX_DIM: usize = 4096;
+/// Hard cap on requested image width/height, pixels. Aliases
+/// [`gpusim::device::MAX_IMAGE_DIM`] — the server boundary and the
+/// pre-launch validator (`gpusim::sanitize::validate_roi`) share one
+/// source of truth, so the caps cannot drift apart.
+pub const MAX_DIM: usize = gpusim::device::MAX_IMAGE_DIM;
+/// Hard cap on a session's ROI side, pixels (aliases
+/// [`gpusim::device::MAX_ROI_SIDE`], shared like [`MAX_DIM`]).
+pub const MAX_ROI: usize = gpusim::device::MAX_ROI_SIDE;
 /// Hard cap on a session's synthetic-sky star count.
 pub const MAX_STARS: usize = 1 << 20;
 /// Hard cap on frames per render request.
@@ -201,11 +207,14 @@ impl SessionSpec {
         config
             .validate()
             .map_err(|e| ProtoError::Malformed(e.to_string()))?;
-        if config.roi_side > 32 {
+        if config.roi_side > MAX_ROI {
             // The device's thread-block cap; SimConfig::validate leaves
             // this to the launch validator, but the boundary rejects it
             // eagerly so a worker never sees it.
-            return bad(format!("roi_side {} exceeds the 32px cap", self.roi_side));
+            return bad(format!(
+                "roi_side {} exceeds the {MAX_ROI}px cap",
+                self.roi_side
+            ));
         }
         Ok(config)
     }

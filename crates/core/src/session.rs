@@ -23,7 +23,7 @@ use psf::roi::Roi;
 use starfield::StarCatalog;
 use starimage::ImageF32;
 
-use crate::adaptive::{AdaptiveKernel, AdaptiveSimulator, LUT_BUILD_S_PER_ENTRY};
+use crate::adaptive::{AdaptiveKernel, AdaptiveSimulator, LUT_BUILD_S_PER_ENTRY, SMEM_WORDS};
 use crate::config::{PsfKind, SimConfig};
 use crate::error::SimError;
 use crate::parallel::StarCentricKernel;
@@ -488,6 +488,11 @@ pub struct AdaptiveSession {
     /// attempts, so a cancelled (or deadline-expired) request stops
     /// burning retry budget while in-flight attempts still drain.
     cancel_token: Option<CancelToken>,
+    /// The static analyzer's report for this session's production kernel,
+    /// when the config enabled the pre-launch advisor
+    /// ([`SimConfig::analyze`]). Produced once at setup; frames never
+    /// re-run the analysis.
+    analysis: Option<gpusim::KernelReport>,
 }
 
 impl AdaptiveSession {
@@ -670,7 +675,7 @@ impl AdaptiveSession {
         // just bound — texture clamping would mask a shape mismatch.
         gpusim::sanitize::validate_lut_domain(&lut_tex, lut.layers() - 1, side - 1, side - 1)?;
         let image_dev = gpu.alloc_atomic_f32(config.pixels());
-        Ok(AdaptiveSession {
+        let mut session = AdaptiveSession {
             gpu,
             config,
             lut,
@@ -684,7 +689,96 @@ impl AdaptiveSession {
             telemetry,
             shed_floor: AtomicU8::new(Rung::Configured.index() as u8),
             cancel_token: None,
-        })
+            analysis: None,
+        };
+        if session.config.analyze {
+            session.run_advisor()?;
+        }
+        Ok(session)
+    }
+
+    /// Runs the pre-launch advisor once over this session's production
+    /// kernel: the static analyzer vets the exact (kernel, launch, device)
+    /// triple every frame will use — deny-level findings reject the
+    /// session before a single frame renders — and a one-star dynamic
+    /// probe launch (into a scratch image; session state is untouched)
+    /// measures the texture hit rate the static floor predicts. Both land
+    /// in the metrics registry as `analyze.*` gauges when telemetry is
+    /// attached.
+    fn run_advisor(&mut self) -> Result<(), SimError> {
+        let _span = maybe_span(self.telemetry.as_ref(), "static-analysis");
+        let side = self.config.roi_side;
+        let (lo, hi) = self.config.mag_range;
+        let probe = DeviceStar {
+            mag: 0.5 * (lo + hi),
+            x: self.config.width as f32 / 2.0,
+            y: self.config.height as f32 / 2.0,
+        };
+        let (stars, _t) = self.gpu.upload(vec![probe]);
+        let scratch = self.gpu.alloc_atomic_f32(self.config.pixels());
+        let kernel = AdaptiveKernel {
+            stars: &stars,
+            image: &scratch,
+            lut_tex: &self.lut_tex,
+            lut: &self.lut,
+            star_count: 1,
+            width: self.config.width,
+            height: self.config.height,
+            roi: Roi::new(side),
+        };
+        let cfg = LaunchConfig::star_centric(1, side, self.gpu.spec())
+            .with_shared_mem(SMEM_WORDS * 4)
+            .with_backend(self.config.backend);
+        let report = self.gpu.advise_launch("adaptive-lut", &kernel, &cfg)?;
+        // The probe pins Reference mode: counters are bit-equal across exec
+        // modes, and inheriting Sanitized here would append a setup-time
+        // sanitize report that frame-accounting consumers don't expect.
+        let profile = self.gpu.launch_mode(
+            "adaptive-lut-probe",
+            &kernel,
+            cfg,
+            gpusim::ExecMode::Reference,
+        )?;
+        if let Some(t) = &self.telemetry {
+            let m = t.metrics();
+            m.gauge_set(
+                "analyze.adaptive_lut.lints_deny",
+                report.count(gpusim::LintLevel::Deny) as f64,
+            );
+            m.gauge_set(
+                "analyze.adaptive_lut.lints_warn",
+                report.count(gpusim::LintLevel::Warn) as f64,
+            );
+            m.gauge_set(
+                "analyze.adaptive_lut.lints_info",
+                report.count(gpusim::LintLevel::Info) as f64,
+            );
+            m.gauge_set(
+                "analyze.adaptive_lut.occupancy",
+                report.prediction.occupancy_fraction,
+            );
+            let floor = report.prediction.tex_hit_rate_floor;
+            let measured = profile.counters.tex_hit_rate();
+            m.gauge_set("analyze.adaptive_lut.tex_hit_rate_floor", floor);
+            m.gauge_set("analyze.adaptive_lut.tex_hit_rate_measured", measured);
+            m.gauge_set("analyze.adaptive_lut.tex_hit_rate_delta", measured - floor);
+        }
+        self.analysis = Some(report);
+        Ok(())
+    }
+
+    /// The static analyzer's report from session setup, when
+    /// [`SimConfig::analyze`] was enabled.
+    pub fn analysis(&self) -> Option<&gpusim::KernelReport> {
+        self.analysis.as_ref()
+    }
+
+    /// How many times the pre-launch advisor has run on this session's
+    /// device — exactly once per session with [`SimConfig::analyze`] set,
+    /// zero otherwise, regardless of how many frames render (the gate
+    /// asserts the frame hot path never pays for analysis).
+    pub fn advise_runs(&self) -> u64 {
+        self.gpu.advise_count()
     }
 
     /// Enables/disables device-image reuse across frames (default on).

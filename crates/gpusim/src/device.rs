@@ -7,6 +7,19 @@
 
 use crate::dim::Dim3;
 
+/// Hard cap on the width/height of any image a production surface accepts,
+/// pixels. Single source of truth: `core::protocol::SessionSpec::validate`
+/// (the server boundary) and [`crate::sanitize::validate_roi`] (the
+/// pre-launch validator) both enforce exactly this constant, so the limits
+/// cannot drift apart.
+pub const MAX_IMAGE_DIM: usize = 4096;
+
+/// Hard cap on the ROI side, pixels: 32² = 1024 threads is the compute
+/// capability 2.0 per-block limit (the paper's §IV-D restriction). Shared
+/// by the server boundary and the pre-launch validator like
+/// [`MAX_IMAGE_DIM`].
+pub const MAX_ROI_SIDE: usize = 32;
+
 /// Architectural parameters of a simulated GPU.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
@@ -125,6 +138,17 @@ impl DeviceSpec {
     /// (side² ≤ max threads per block) — the paper's §IV-D limitation.
     pub fn max_roi_side(&self) -> usize {
         (self.max_threads_per_block as f64).sqrt().floor() as usize
+    }
+
+    /// Per-SM texture-cache capacity in bytes: the device budget shared
+    /// evenly across SMs, rounded down to a whole number of sets. This is
+    /// the exact geometry the executor builds its per-SM `CacheSim`s with,
+    /// and the capacity the static analyzer compares per-block working
+    /// sets against — one formula, so prediction and measurement agree on
+    /// where the paper's cache inflection points fall.
+    pub fn tex_cache_per_sm_bytes(&self) -> usize {
+        let set_bytes = self.tex_cache_line * self.tex_cache_ways;
+        ((self.tex_cache_bytes / self.sm_count as usize) / set_bytes).max(1) * set_bytes
     }
 }
 

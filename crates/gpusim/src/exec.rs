@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::analyze::{KernelReport, LintLevel};
 use crate::counters::{Counters, SharedCounters};
 use crate::device::DeviceSpec;
 #[cfg(test)]
@@ -158,6 +159,10 @@ pub struct VirtualGpu {
     checksum_catches: AtomicU64,
     panics_caught: AtomicU64,
     timeouts: AtomicU64,
+    /// Pre-launch advisor invocations ([`Self::advise_launch`]) — lets
+    /// callers assert the static analyzer ran once at session setup and
+    /// never on the frame hot path.
+    advises: AtomicU64,
     /// Persistent per-SM texture caches ([`Self::launch_mode`] resets them
     /// at launch entry, so every launch still starts cold exactly like a
     /// freshly-built cache). Each SM is processed by one worker at a time;
@@ -281,6 +286,7 @@ impl VirtualGpu {
             checksum_catches: AtomicU64::new(0),
             panics_caught: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            advises: AtomicU64::new(0),
             caches,
             launch_gate: Mutex::new(()),
             arena: BufferArena::new(),
@@ -304,13 +310,15 @@ impl VirtualGpu {
     /// budget shared evenly across SMs, rounded down to a whole number of
     /// sets.
     fn build_caches(spec: &DeviceSpec) -> Vec<Mutex<CacheSim>> {
-        let sm_count = spec.sm_count as usize;
-        let line = spec.tex_cache_line;
-        let ways = spec.tex_cache_ways;
-        let set_bytes = line * ways;
-        let per_sm_bytes = ((spec.tex_cache_bytes / sm_count) / set_bytes).max(1) * set_bytes;
-        (0..sm_count)
-            .map(|_| Mutex::new(CacheSim::new(per_sm_bytes, line, ways)))
+        let per_sm_bytes = spec.tex_cache_per_sm_bytes();
+        (0..spec.sm_count as usize)
+            .map(|_| {
+                Mutex::new(CacheSim::new(
+                    per_sm_bytes,
+                    spec.tex_cache_line,
+                    spec.tex_cache_ways,
+                ))
+            })
             .collect()
     }
 
@@ -723,6 +731,45 @@ impl VirtualGpu {
         )?;
         let upload = self.transfer.time(MemcpyKind::HostToDevice, bytes);
         Ok((tex, upload, self.cost.tex_bind_overhead_s))
+    }
+
+    /// Pre-launch advisor: statically analyzes `kernel` under `cfg` on
+    /// this device (see [`crate::analyze`]) **without launching it** and
+    /// without touching any launch state — no gate, no caches, no pool.
+    /// Deny-level findings reject the launch shape with
+    /// [`GpuError::InvalidLaunch`]; otherwise the full [`KernelReport`]
+    /// is returned for the caller to log or export.
+    ///
+    /// This is deliberately *not* wired into [`Self::launch`]: the advisor
+    /// is meant to run once at session setup, keeping the per-frame hot
+    /// path overhead at exactly zero. [`Self::advise_count`] lets tests
+    /// assert that.
+    pub fn advise_launch<K: Kernel>(
+        &self,
+        name: &str,
+        kernel: &K,
+        cfg: &LaunchConfig,
+    ) -> Result<KernelReport, GpuError> {
+        self.advises.fetch_add(1, Ordering::Relaxed);
+        let report = crate::analyze::analyze_kernel(name, kernel, cfg, &self.spec)?;
+        if report.has_deny() {
+            let denies: Vec<String> = report
+                .lints
+                .iter()
+                .filter(|l| l.level == LintLevel::Deny)
+                .map(|l| format!("{}: {}", l.code, l.message))
+                .collect();
+            return Err(GpuError::InvalidLaunch(format!(
+                "static analysis denied launch of `{name}`: {}",
+                denies.join("; ")
+            )));
+        }
+        Ok(report)
+    }
+
+    /// How many times [`Self::advise_launch`] has run on this device.
+    pub fn advise_count(&self) -> u64 {
+        self.advises.load(Ordering::Relaxed)
     }
 
     /// Launches a kernel in the device's configured [`ExecMode`]:

@@ -569,6 +569,12 @@ pub struct ThreadCtx<'a> {
     events: Vec<Event>,
     exited: bool,
     san: Option<LaneHooks<'a>>,
+    /// Probe mode (static analyzer): events are recorded as usual, but
+    /// global mutation — `atomicAdd` and plain stores — is suppressed, so
+    /// interpreting a kernel for its access trace leaves device memory
+    /// untouched. Shared memory stays functional (it is the analyzer's own
+    /// scratch block) so later phases observe phase-0 staging.
+    probe: bool,
 }
 
 impl<'a> ThreadCtx<'a> {
@@ -590,7 +596,14 @@ impl<'a> ThreadCtx<'a> {
             events,
             exited: false,
             san: None,
+            probe: false,
         }
+    }
+
+    /// Switches this context into side-effect-free probe mode (static
+    /// analyzer only — see [`crate::analyze`]).
+    pub(crate) fn set_probe(&mut self) {
+        self.probe = true;
     }
 
     /// Attaches the sanitizer's per-lane memcheck hooks (sanitized
@@ -655,10 +668,11 @@ impl<'a> ThreadCtx<'a> {
         self.events.push(Event::AtomicAdd {
             addr: buf.addr_of(idx),
         });
-        if oob {
+        if oob || self.probe {
             // The add is suppressed: the clamped address keeps the warp
             // analysis well-formed, but the stray accumulation must not
-            // corrupt the last pixel.
+            // corrupt the last pixel. Probe mode suppresses every add —
+            // the analyzer only wants the address trace.
             return 0.0;
         }
         buf.atomic_add(idx, v)
@@ -676,7 +690,7 @@ impl<'a> ThreadCtx<'a> {
             addr: buf.addr_of(idx),
             bytes: 4,
         });
-        if !oob {
+        if !oob && !self.probe {
             buf.store(idx, v);
         }
     }

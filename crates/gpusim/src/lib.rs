@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod counters;
 pub mod device;
 pub mod dim;
@@ -73,6 +74,10 @@ pub mod telemetry;
 pub mod timing;
 pub mod warp;
 
+pub use analyze::{
+    AccessPattern, AccessSite, CacheRegime, KernelReport, Lint, LintLevel, Prediction, SiteKind,
+    TextureFootprint,
+};
 pub use counters::{Counters, FlopClass};
 pub use device::DeviceSpec;
 pub use dim::Dim3;

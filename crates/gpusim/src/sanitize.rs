@@ -517,9 +517,27 @@ pub fn validate_launch(cfg: &LaunchConfig, spec: &DeviceSpec) -> Result<(), GpuE
 /// Checks that an ROI square fits the image it renders into. A kernel
 /// launched with a larger ROI would index rows/columns past the image
 /// bounds on every star — rejected before dispatch instead.
+///
+/// Also enforces the production caps — [`crate::device::MAX_ROI_SIDE`]
+/// and [`crate::device::MAX_IMAGE_DIM`] — so this validator and the
+/// server boundary (`core::protocol::SessionSpec::validate`) agree on one
+/// source of truth and cannot drift apart.
 pub fn validate_roi(roi_side: usize, width: usize, height: usize) -> Result<(), GpuError> {
     if roi_side == 0 {
         return Err(GpuError::InvalidLaunch("ROI side must be positive".into()));
+    }
+    if roi_side > crate::device::MAX_ROI_SIDE {
+        return Err(GpuError::InvalidLaunch(format!(
+            "ROI side {roi_side} exceeds the {} px cap (32² threads is the \
+             CC 2.0 per-block limit)",
+            crate::device::MAX_ROI_SIDE
+        )));
+    }
+    if width > crate::device::MAX_IMAGE_DIM || height > crate::device::MAX_IMAGE_DIM {
+        return Err(GpuError::InvalidLaunch(format!(
+            "image {width}×{height} exceeds the {0}×{0} px cap",
+            crate::device::MAX_IMAGE_DIM
+        )));
     }
     if roi_side > width || roi_side > height {
         return Err(GpuError::InvalidLaunch(format!(
@@ -686,6 +704,79 @@ pub mod corpus {
     impl Kernel for TexLayerOob<'_> {
         fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) {
             let _ = ctx.tex_fetch(self.lut, self.lut.layers(), 0, 0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Performance-defect corpus (static analyzer targets). These kernels
+    // are *functionally correct* — the sanitizer finds nothing — but each
+    // violates one of the paper's memory-behavior rules badly enough that
+    // `gpusim::analyze` must deny the launch.
+    // ------------------------------------------------------------------
+
+    /// Every lane reads `src[lane × 32]`: a 128-byte stride, so each of
+    /// the 32 lanes lands in its own coalescing segment and one warp
+    /// request costs 32 transactions. Must produce a deny-level
+    /// `uncoalesced-global` lint. Launch with one 32-thread block and
+    /// `src.len() ≥ 993`.
+    pub struct Uncoalesced<'a> {
+        /// Source array, read with the pathological stride.
+        pub src: &'a GlobalBuffer<f32>,
+        /// Output image.
+        pub image: &'a GlobalAtomicF32,
+    }
+
+    impl Kernel for Uncoalesced<'_> {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) {
+            let t = ctx.thread_linear();
+            let v = ctx.global_read(self.src, t * 32);
+            ctx.atomic_add_global(self.image, t % self.image.len(), v);
+        }
+    }
+
+    /// Every lane writes then reads shared word `lane × 32`: on 32-bank
+    /// hardware all 32 distinct words map to bank 0, a 32-way conflict on
+    /// both accesses. Must produce a deny-level `shared-bank-conflict`
+    /// lint. Launch with one 32-thread block and 1024 shared words
+    /// (4096 B); the same-thread write→read pair is *not* a race, so the
+    /// sanitizer stays silent.
+    pub struct BankConflict<'a> {
+        /// Output image.
+        pub image: &'a GlobalAtomicF32,
+    }
+
+    impl Kernel for BankConflict<'_> {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) {
+            let t = ctx.thread_linear();
+            ctx.shared_write(t * 32, t as f32);
+            let v = ctx.shared_read(t * 32);
+            ctx.atomic_add_global(self.image, t % self.image.len(), v);
+        }
+    }
+
+    /// Each of the 32 lanes fetches 16 texels stepped 8 apart in both
+    /// axes of a 256×256 table: 512 sample points whose Morton-swizzled
+    /// addresses occupy 512 distinct 128-byte lines (65 536 B) — beyond
+    /// the GTX480's 51 200 B per-SM texture cache, past the paper's
+    /// measured inflection point. Must produce a deny-level
+    /// `texture-working-set` lint. Bind a 256×256×1 table and launch one
+    /// 32-thread block.
+    pub struct WorkingSetBlowout<'a> {
+        /// The bound lookup table (256×256, 1 layer).
+        pub lut: &'a Texture,
+        /// Output image.
+        pub image: &'a GlobalAtomicF32,
+    }
+
+    impl Kernel for WorkingSetBlowout<'_> {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) {
+            let t = ctx.thread_linear();
+            let mut acc = 0.0f32;
+            for j in 0..16 {
+                acc += ctx.tex_fetch(self.lut, 0, (t * 8) as i64, (j * 8) as i64);
+                ctx.flops(FlopClass::Add, 1);
+            }
+            ctx.atomic_add_global(self.image, t % self.image.len(), acc);
         }
     }
 }

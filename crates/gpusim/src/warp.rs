@@ -173,6 +173,24 @@ pub fn bank_conflict_extra(words: &[u32], banks: u32) -> u64 {
     (max_degree as u64).saturating_sub(1)
 }
 
+/// Fits an affine lane→address map over a warp's accesses (in lane
+/// order): returns `Some(stride)` when every adjacent active-lane pair is
+/// exactly `stride` bytes apart — the abstract-domain primitive the static
+/// analyzer classifies global traffic with (`stride == element size` ⇒
+/// coalesced, otherwise strided-k). Returns `None` for non-affine
+/// (scattered) patterns; a single access is trivially affine with
+/// stride 0.
+pub fn affine_stride(addrs: &[u64]) -> Option<i64> {
+    if addrs.len() < 2 {
+        return Some(0);
+    }
+    let stride = addrs[1] as i64 - addrs[0] as i64;
+    addrs
+        .windows(2)
+        .all(|w| w[1] as i64 - w[0] as i64 == stride)
+        .then_some(stride)
+}
+
 /// Extra serialization steps for same-address atomics within one warp:
 /// `Σ_addr (multiplicity − 1)`.
 pub fn atomic_serialization_extra(addrs: &[u64]) -> u64 {

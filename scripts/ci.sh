@@ -7,9 +7,10 @@
 # PR6 SIMD backend speedup + pixel-error gate, PR7 frame-pipelined
 # scheduler speedup + bit-identity, PR8 server loadgen overload gates,
 # PR9 observability-plane overhead + flight-recorder + utilization
-# gates) is written to results/ — the single tracked location. Only the
-# *current* PR's artefact (BENCH_PR9.json) is additionally copied to the
-# repo root for the PR gate, at the end of this script.
+# gates, PR10 static-analyzer consistency gate + perf-defect corpus) is
+# written to results/ — the single tracked location. Only the *current*
+# PR's artefact (BENCH_PR10.json) is additionally copied to the repo
+# root for the PR gate, at the end of this script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +34,11 @@ cargo test -q --workspace
 echo "== exec-modes + sanitizer + pipeline suites under STARSIM_BACKEND=simd"
 STARSIM_BACKEND=simd cargo test -q --test exec_modes --test sanitizer --test pipeline
 
+# The analyzer contract: the sanitizer suite must hold verbatim with the
+# pre-launch advisor enabled (setup-only analysis; frames untouched).
+echo "== sanitizer suite under STARSIM_ANALYZE=1"
+STARSIM_ANALYZE=1 cargo test -q --test sanitizer
+
 # Miri smoke over the std-only leaf crates (rng, psf, starfield): UB
 # checking on the pure-math core. Gated on a working miri component so the
 # gate stays green on toolchains without it, and time-boxed so an
@@ -51,6 +57,25 @@ if cargo miri --version >/dev/null 2>&1; then
   fi
 else
   echo "miri: component not installed — skipped"
+fi
+
+# Dedicated miri leg over the SIMD lane kernels (psf::lanes): the analyzer
+# and the batched fast paths both lean on them, so UB-check them by name
+# even when the broad smoke above soft-skips on time.
+echo "== cargo miri test smoke (psf::lanes)"
+if cargo miri --version >/dev/null 2>&1; then
+  MIRI_RC=0
+  MIRIFLAGS="-Zmiri-disable-isolation" \
+    timeout 300 cargo miri test -q -p starsim-psf lanes \
+    || MIRI_RC=$?
+  if [ "$MIRI_RC" -eq 124 ]; then
+    echo "miri (psf::lanes): timed out after 300s — soft skip"
+  elif [ "$MIRI_RC" -ne 0 ]; then
+    echo "miri (psf::lanes): FAILED (exit $MIRI_RC)"
+    exit "$MIRI_RC"
+  fi
+else
+  echo "miri (psf::lanes): component not installed — skipped"
 fi
 
 # Every bench smoke is time-boxed: a wedged run (e.g. a rare scheduler
@@ -152,5 +177,16 @@ grep -q '"chain_ok": true' results/BENCH_PR9.json
 grep -q '"util_signature_match": true' results/BENCH_PR9.json
 grep -q '"gate_ok": true' results/BENCH_PR9.json
 
+echo "== static-analyzer bench (static-vs-dynamic consistency + corpus + advisor gates)"
+$BENCH --analyze --quick --out results
+
+echo "== BENCH_PR10.json"
+cat results/BENCH_PR10.json
+grep -q '"production_ok": true' results/BENCH_PR10.json
+grep -q '"determinism_ok": true' results/BENCH_PR10.json
+grep -q '"corpus_flagged": true' results/BENCH_PR10.json
+grep -q '"advisor_runs": 1' results/BENCH_PR10.json
+grep -q '"gate_ok": true' results/BENCH_PR10.json
+
 # Root copy: current PR's artefact only (see the convention at the top).
-cp results/BENCH_PR9.json .
+cp results/BENCH_PR10.json .

@@ -113,7 +113,8 @@ fn bad_inputs_fail_cleanly() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    // ROI over the device limit surfaces the GPU error.
+    // ROI over the device cap surfaces the GPU error (the unified
+    // `MAX_ROI_SIDE` bound shared by protocol and sanitizer validation).
     let out = starsim()
         .args([
             "render",
@@ -127,5 +128,5 @@ fn bad_inputs_fail_cleanly() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("exceeds device limit"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exceeds the 32 px cap"));
 }

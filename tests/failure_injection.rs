@@ -12,7 +12,7 @@ fn roi_beyond_thread_block_limit_is_rejected() {
     let cfg = SimConfig::new(256, 256, 33);
     let err = ParallelSimulator::new().simulate(&cat, &cfg).unwrap_err();
     match err {
-        SimError::Gpu(g) => assert!(g.to_string().contains("exceeds device limit")),
+        SimError::Gpu(g) => assert!(g.to_string().contains("exceeds the 32 px cap")),
         other => panic!("expected launch error, got {other}"),
     }
     // The sequential simulator has no such limit.

@@ -39,6 +39,12 @@ fn sim_config(w: usize, h: usize, roi: usize) -> SimConfig {
         c.backend = gpusim::KernelBackend::parse(&s)
             .unwrap_or_else(|| panic!("STARSIM_BACKEND must be scalar|simd, got {s:?}"));
     }
+    // scripts/ci.sh also reruns this suite with STARSIM_ANALYZE=1: every
+    // sanitizer claim must hold with the pre-launch advisor enabled (the
+    // analyzer is setup-only, so nothing here may change).
+    if std::env::var("STARSIM_ANALYZE").is_ok_and(|v| v == "1") {
+        c.analyze = true;
+    }
     c
 }
 
